@@ -1,0 +1,33 @@
+//! End-to-end factorization benches: CALU (sequential reference and
+//! threaded hybrid executor) against the GEPP and incremental-pivoting
+//! baselines, all at equal problem size.
+
+use calu_core::{calu_factor, calu_simple, gepp_factor, incpiv_factor, CaluConfig};
+use calu_matrix::gen;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_factorizations(c: &mut Criterion) {
+    let n = 256usize;
+    let b = 32usize;
+    let a = gen::uniform(n, n, 7);
+    let mut group = c.benchmark_group("factor_256");
+    group.bench_function("calu_simple", |bch| bch.iter(|| calu_simple(&a, b, 4)));
+    group.bench_function("gepp", |bch| bch.iter(|| gepp_factor(&a, b)));
+    group.bench_function("incpiv", |bch| bch.iter(|| incpiv_factor(&a, b)));
+    group.bench_function("calu_threaded_1", |bch| {
+        let cfg = CaluConfig::new(b).with_threads(1);
+        bch.iter(|| calu_factor(&a, &cfg).unwrap())
+    });
+    group.bench_function("calu_threaded_4_h10", |bch| {
+        let cfg = CaluConfig::new(b).with_threads(4).with_dratio(0.1);
+        bch.iter(|| calu_factor(&a, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_factorizations
+}
+criterion_main!(benches);

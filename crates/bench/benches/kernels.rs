@@ -1,0 +1,90 @@
+//! Criterion microbenches for the pure-Rust kernels: how many Gflop/s
+//! the gemm/trsm/getrf building blocks sustain on this host. These rates
+//! justify the efficiency table of the simulator's cost model.
+
+use calu_kernels::{dgemm, dgetf2, dgetrf_recursive, dtrsm_left_lower_unit};
+use calu_matrix::gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dgemm");
+    for &n in &[64usize, 128, 256] {
+        let a = gen::uniform(n, n, 1);
+        let b = gen::uniform(n, n, 2);
+        let c0 = gen::uniform(n, n, 3);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter_batched(
+                || c0.clone(),
+                |mut cm| {
+                    dgemm(
+                        n, n, n, -1.0,
+                        a.as_slice(), n,
+                        b.as_slice(), n,
+                        1.0,
+                        cm.as_mut_slice(), n,
+                    );
+                    cm
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_getrf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("panel_getrf");
+    let (m, n) = (512usize, 64usize);
+    let a = gen::uniform(m, n, 4);
+    group.bench_function("dgetf2_unblocked", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut p| {
+                let ld = p.ld();
+                dgetf2(m, n, p.as_mut_slice(), ld)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dgetrf_recursive", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut p| {
+                let ld = p.ld();
+                dgetrf_recursive(m, n, p.as_mut_slice(), ld)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let n = 128usize;
+    let l = {
+        let r = gen::uniform(n, n, 5);
+        calu_matrix::DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j { 1.0 } else if i > j { 0.3 * r.get(i, j) } else { 0.0 }
+        })
+    };
+    let b = gen::uniform(n, n, 6);
+    c.bench_function("dtrsm_left_lower_unit_128", |bch| {
+        bch.iter_batched(
+            || b.clone(),
+            |mut x| {
+                let ld = x.ld();
+                dtrsm_left_lower_unit(n, n, l.as_slice(), n, x.as_mut_slice(), ld);
+                x
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_getrf, bench_trsm
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Scheduling-policy overhead: tasks scheduled per second through each
+//! policy (single-threaded decision procedure, as the simulator uses it).
+
+use calu_dag::TaskGraph;
+use calu_matrix::ProcessGrid;
+use calu_sched::{make_policy, SchedulerKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn drive(g: &TaskGraph, kind: SchedulerKind, cores: usize) -> usize {
+    let grid = ProcessGrid::square_for(cores).unwrap();
+    let mut p = make_policy(kind, g, grid);
+    let mut deps: Vec<u32> = g.ids().map(|t| g.dep_count(t)).collect();
+    for t in g.initial_ready() {
+        p.on_ready(t, None);
+    }
+    let mut done = 0;
+    while done < g.len() {
+        for core in 0..cores {
+            if let Some(popped) = p.pop(core) {
+                done += 1;
+                for &s in g.successors(popped.task) {
+                    deps[s.idx()] -= 1;
+                    if deps[s.idx()] == 0 {
+                        p.on_ready(s, Some(core));
+                    }
+                }
+            }
+        }
+    }
+    done
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let g = TaskGraph::build_calu(3000, 3000, 100, 4);
+    let mut group = c.benchmark_group("policy_drain");
+    group.throughput(Throughput::Elements(g.len() as u64));
+    for kind in [
+        SchedulerKind::Static,
+        SchedulerKind::Dynamic,
+        SchedulerKind::Hybrid { dratio: 0.1 },
+        SchedulerKind::WorkStealing { seed: 1 },
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind}")), &kind, |b, &k| {
+            b.iter(|| drive(&g, k, 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Simulator throughput: simulated tasks per second of the discrete-event
+//! engine, the cost that bounds how large the figure sweeps can go.
+
+use calu_bench::default_noise;
+use calu_dag::TaskGraph;
+use calu_matrix::{Layout, ProcessGrid};
+use calu_sched::SchedulerKind;
+use calu_sim::{run, MachineConfig, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_engine(c: &mut Criterion) {
+    let mach = MachineConfig::intel_xeon_16(default_noise());
+    let grid = ProcessGrid::square_for(16).unwrap();
+    let g = TaskGraph::build_calu(4000, 4000, 100, grid.pr());
+    let mut group = c.benchmark_group("sim_engine");
+    group.throughput(Throughput::Elements(g.len() as u64));
+    for sched in [
+        SchedulerKind::Static,
+        SchedulerKind::Hybrid { dratio: 0.1 },
+        SchedulerKind::Dynamic,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sched}")),
+            &sched,
+            |b, &s| {
+                let cfg = SimConfig::new(mach.clone(), Layout::BlockCyclic, s);
+                b.iter(|| run(&g, &cfg))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

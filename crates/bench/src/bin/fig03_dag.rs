@@ -1,0 +1,19 @@
+//! Figure 3: the task dependency graph of a 4×4-tile CALU with its two
+//! critical paths (red = static section, green = dynamic section).
+//!
+//! Prints Graphviz DOT; pipe through `dot -Tsvg` to draw.
+
+use calu_dag::{dot, TaskGraph};
+use calu_sched::nstatic_for;
+
+fn main() {
+    let g = TaskGraph::build_calu(400, 400, 100, 2);
+    let nstatic = nstatic_for(0.25, g.num_panels()); // static(25% dynamic): 3 of 4 panels
+    println!("{}", dot::to_dot(&g, nstatic));
+    eprintln!(
+        "// {} tasks, {} edges, Nstatic = {nstatic} of {} panels",
+        g.len(),
+        g.num_edges(),
+        g.num_panels()
+    );
+}

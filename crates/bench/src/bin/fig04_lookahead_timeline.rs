@@ -1,0 +1,33 @@
+//! Figure 4: first steps of factoring a 5000×5000 matrix with
+//! static(20% dynamic) — threads that would idle during the panel
+//! factorization (red) execute dynamic updates (green) instead.
+
+use calu_bench::default_noise;
+use calu_dag::TaskGraph;
+use calu_matrix::{Layout, ProcessGrid};
+use calu_sched::SchedulerKind;
+use calu_sim::{run, MachineConfig, SimConfig};
+use calu_trace::{render, Timeline, TimelineMetrics};
+
+fn main() {
+    let mach = MachineConfig::intel_xeon_16(default_noise());
+    let grid = ProcessGrid::square_for(mach.cores()).unwrap();
+    let g = TaskGraph::build_calu(5000, 5000, 100, grid.pr());
+    let cfg = SimConfig::new(mach, Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.2 })
+        .with_trace();
+    let r = run(&g, &cfg);
+    let tl = r.timeline.unwrap();
+    // keep only the first 10% of the run, like the paper's zoomed view
+    let cut = 0.10 * tl.makespan();
+    let mut zoom = Timeline::new(tl.cores());
+    for s in tl.spans().iter().filter(|s| s.start < cut) {
+        let mut s = *s;
+        s.end = s.end.min(cut);
+        zoom.push(s);
+    }
+    println!("=== Fig 4 — first steps, n=5000, static(20% dynamic), 16 cores ===");
+    println!("P = panel factorization (red in the paper), S = update (green)\n");
+    print!("{}", render::ascii(&zoom, 110));
+    let m = TimelineMetrics::of(&zoom);
+    println!("utilization over the zoomed window: {:.1}% (almost no idle time)", m.utilization * 100.0);
+}

@@ -1,0 +1,37 @@
+//! Figure 6: CALU with static/dynamic scheduling on the 16-core Intel
+//! model, block cyclic layout, dynamic percentage 0–100%.
+//!
+//! Paper shape: static worst; hybrid ≈ dynamic with hybrid(10%) on top
+//! (8.2% over static, 1.4% over dynamic at n = 5000).
+
+use calu_bench::{gf, machines, pct_over, print_table, run_calu, sched_sweep};
+use calu_matrix::Layout;
+use calu_sched::SchedulerKind;
+
+fn main() {
+    let (_, intel) = machines()[0].clone();
+    let headers: Vec<String> = std::iter::once("n".into())
+        .chain(sched_sweep().into_iter().map(|(s, _)| s))
+        .collect();
+    let mut rows = Vec::new();
+    let mut at5000 = Vec::new();
+    for n in [4000usize, 5000, 8000] {
+        let mut row = vec![n.to_string()];
+        for (_, sched) in sched_sweep() {
+            let r = run_calu(n, &intel, Layout::BlockCyclic, sched, false);
+            if n == 5000 {
+                at5000.push((sched, r.gflops()));
+            }
+            row.push(gf(r.gflops()));
+        }
+        rows.push(row);
+    }
+    print_table("Fig 6 — Intel 16-core, BCL, Gflop/s vs dynamic %", &headers, &rows);
+    let get = |k: SchedulerKind| at5000.iter().find(|(s, _)| *s == k).unwrap().1;
+    let h10 = get(SchedulerKind::Hybrid { dratio: 0.1 });
+    println!(
+        "\nn=5000: hybrid(10%) vs static {}, vs dynamic {}   (paper: +8.2%, +1.4%)",
+        pct_over(h10, get(SchedulerKind::Static)),
+        pct_over(h10, get(SchedulerKind::Dynamic)),
+    );
+}

@@ -1,0 +1,25 @@
+//! Figure 7: CALU scheduling sweep on the 48-core AMD model, BCL layout.
+//!
+//! Paper shape: static is competitive (NUMA locality), fully dynamic is
+//! the worst, and static + a small dynamic % (10–20%) wins.
+
+use calu_bench::{gf, machines, print_table, run_calu, sched_sweep};
+use calu_matrix::Layout;
+
+fn main() {
+    let (_, amd) = machines()[1].clone();
+    let headers: Vec<String> = std::iter::once("n".into())
+        .chain(sched_sweep().into_iter().map(|(s, _)| s))
+        .collect();
+    let mut rows = Vec::new();
+    for n in [4000usize, 6000, 8000, 10000] {
+        let mut row = vec![n.to_string()];
+        for (_, sched) in sched_sweep() {
+            let r = run_calu(n, &amd, Layout::BlockCyclic, sched, false);
+            row.push(gf(r.gflops()));
+        }
+        rows.push(row);
+    }
+    print_table("Fig 7 — AMD 48-core, BCL, Gflop/s vs dynamic %", &headers, &rows);
+    println!("\nExpected shape: hybrid(10-20%) on top; fully dynamic last (NUMA).");
+}

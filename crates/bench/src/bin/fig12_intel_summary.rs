@@ -1,0 +1,39 @@
+//! Figure 12: impact of data layout and scheduling on the Intel model —
+//! the full cross product over matrix sizes. "dynamic rectangular" is
+//! the paper's name for dynamic scheduling on the column-major layout.
+
+use calu_bench::{gf, machines, print_table, run_calu};
+use calu_matrix::Layout;
+use calu_sched::SchedulerKind;
+
+fn main() {
+    let (_, intel) = machines()[0].clone();
+    run_summary("Fig 12 — Intel 16-core: layout × scheduling", &intel);
+    println!("\nExpected shape: BCL hybrid(10%) best overall; 2l-BL competitive at small n;");
+    println!("BCL pulls ahead for large n (grouped BLAS-3); CM always behind.");
+}
+
+pub fn run_summary(title: &str, mach: &calu_sim::MachineConfig) {
+    let configs: Vec<(String, Layout, SchedulerKind)> = vec![
+        ("BCL static".into(), Layout::BlockCyclic, SchedulerKind::Static),
+        ("BCL h10".into(), Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.1 }),
+        ("BCL dynamic".into(), Layout::BlockCyclic, SchedulerKind::Dynamic),
+        ("2l-BL static".into(), Layout::TwoLevelBlock, SchedulerKind::Static),
+        ("2l-BL h10".into(), Layout::TwoLevelBlock, SchedulerKind::Hybrid { dratio: 0.1 }),
+        ("2l-BL dynamic".into(), Layout::TwoLevelBlock, SchedulerKind::Dynamic),
+        ("CM dynamic".into(), Layout::ColumnMajor, SchedulerKind::Dynamic),
+    ];
+    let headers: Vec<String> = std::iter::once("n".into())
+        .chain(configs.iter().map(|(s, _, _)| s.clone()))
+        .collect();
+    let mut rows = Vec::new();
+    for n in [2000usize, 4000, 6000, 8000, 10000, 15000] {
+        let mut row = vec![n.to_string()];
+        for (_, layout, sched) in &configs {
+            let r = run_calu(n, mach, *layout, *sched, false);
+            row.push(gf(r.gflops()));
+        }
+        rows.push(row);
+    }
+    print_table(title, &headers, &rows);
+}

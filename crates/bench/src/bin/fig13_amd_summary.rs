@@ -1,0 +1,16 @@
+//! Figure 13: impact of data layout and scheduling on the AMD model.
+//! Paper's peak reference: CALU static(10% dynamic) BCL reaches
+//! 264 Gflop/s (49% of peak) at n = 15000.
+
+use calu_bench::machines;
+
+#[path = "fig12_intel_summary.rs"]
+#[allow(dead_code)] // the included file's main() is unused here
+mod intel;
+
+fn main() {
+    let (_, amd) = machines()[1].clone();
+    intel::run_summary("Fig 13 — AMD 48-core: layout × scheduling", &amd);
+    println!("\nExpected shape: dynamic far behind on every layout (NUMA);");
+    println!("BCL h10 best; paper peak reference 264 GF = 49% of 539.5 GF at n=15000.");
+}

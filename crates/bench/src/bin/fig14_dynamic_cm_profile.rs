@@ -1,0 +1,42 @@
+//! Figure 14: fully dynamic CALU with the column-major layout — the
+//! worst profile in the paper. The dynamic implementation works at
+//! column granularity (Algorithm 2: "do task S … for all I"), so the
+//! tail of the factorization has fewer ready units than cores and most
+//! threads drain long before the end ("90% of threads become idle after
+//! only 60% of the total factorization time").
+
+use calu_bench::default_noise;
+use calu_dag::TaskGraph;
+use calu_matrix::{Layout, ProcessGrid};
+use calu_sched::SchedulerKind;
+use calu_sim::{run, MachineConfig, SimConfig};
+use calu_trace::{render, svg};
+
+fn main() {
+    let mach = MachineConfig::amd_opteron_with_cores(18, default_noise());
+    let grid = ProcessGrid::square_for(mach.cores()).unwrap();
+    let g = TaskGraph::build_calu(2500, 2500, 100, grid.pr());
+    let cfg = SimConfig::new(mach, Layout::ColumnMajor, SchedulerKind::Dynamic)
+        .with_column_granularity()
+        .with_trace();
+    let r = run(&g, &cfg);
+    let tl = r.timeline.as_ref().unwrap();
+    println!("=== Fig 14 — dynamic CALU, CM layout, n=2500, b=100, 18 cores (AMD model) ===");
+    print!("{}", render::ascii(tl, 110));
+    let svg_path = "results/fig14_timeline.svg";
+    if std::fs::write(svg_path, svg::svg(tl, svg::SvgOptions::default())).is_ok() {
+        println!("(SVG timeline written to {svg_path})");
+    }
+    println!("\n{:.1} Gflop/s — the slowest configuration in the design space", r.gflops());
+    println!("mean busy-core fraction by window of the makespan:");
+    for (a, b) in [(0.0, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (0.8, 1.0)] {
+        println!(
+            "  [{:>3.0}%, {:>3.0}%]: {:>5.1}% busy",
+            a * 100.0,
+            b * 100.0,
+            tl.busy_fraction_in_window(a, b) * 100.0
+        );
+    }
+    println!("(paper: most threads idle from ~60% of the factorization time onward;");
+    println!(" other variants only drain at 80–90%)");
+}

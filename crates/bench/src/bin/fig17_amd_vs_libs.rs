@@ -1,0 +1,14 @@
+//! Figure 17: CALU vs MKL vs PLASMA on the AMD model.
+//! Paper: CALU ~100% (up to 110%) faster than MKL at n=10000; 20–30%
+//! over PLASMA for larger matrices.
+
+use calu_bench::machines;
+
+#[path = "fig16_intel_vs_libs.rs"]
+#[allow(dead_code)] // the included file's main() is unused here
+mod libs;
+
+fn main() {
+    let (_, amd) = machines()[1].clone();
+    libs::run_libs("Fig 17 — AMD 48-core: CALU vs MKL vs PLASMA", &amd);
+}

@@ -1,0 +1,158 @@
+//! Shared harness for the figure/table binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §5 for the index). They all go through the same
+//! entry points here so the experimental setup is identical across
+//! figures: same seeds, same block-size rule, same machine presets.
+
+use calu_dag::TaskGraph;
+use calu_matrix::{Layout, ProcessGrid};
+use calu_sched::SchedulerKind;
+use calu_sim::{run, MachineConfig, NoiseConfig, SimConfig, SimResult};
+
+/// The seed every figure uses for OS noise (determinism across runs).
+pub const NOISE_SEED: u64 = 42;
+
+/// Default OS-noise model used in all performance figures (the paper's
+/// machines ran a standard Linux with daemons).
+pub fn default_noise() -> NoiseConfig {
+    NoiseConfig::os_daemons(NOISE_SEED)
+}
+
+/// Block size rule used across the experiments: the paper tunes `b` per
+/// size; we grow it with `n` to keep tile counts (and simulation time)
+/// manageable while preserving the tasks-per-core ratios.
+pub fn block_for(n: usize) -> usize {
+    if n <= 8000 {
+        100
+    } else if n <= 12000 {
+        125
+    } else {
+        150
+    }
+}
+
+/// The two machine models of §5.
+pub fn machines() -> [(&'static str, MachineConfig); 2] {
+    [
+        ("Intel Xeon 16-core", MachineConfig::intel_xeon_16(default_noise())),
+        ("AMD Opteron 48-core", MachineConfig::amd_opteron_48(default_noise())),
+    ]
+}
+
+/// Build the CALU task graph for an `n × n` matrix on `machine`'s grid
+/// (TSLU leaves = one per grid row, as in the paper).
+pub fn calu_graph(n: usize, machine: &MachineConfig) -> TaskGraph {
+    let grid = ProcessGrid::square_for(machine.cores()).expect("cores > 0");
+    TaskGraph::build_calu(n, n, block_for(n), grid.pr())
+}
+
+/// Run one simulated CALU experiment.
+pub fn run_calu(
+    n: usize,
+    machine: &MachineConfig,
+    layout: Layout,
+    sched: SchedulerKind,
+    trace: bool,
+) -> SimResult {
+    let g = calu_graph(n, machine);
+    let mut cfg = SimConfig::new(machine.clone(), layout, sched);
+    cfg.record_trace = trace;
+    run(&g, &cfg)
+}
+
+/// Run the MKL stand-in (GEPP, sequential panel, column-major, fully
+/// dynamic updates — numactl-interleaved pages as in §5.3).
+pub fn run_mkl(n: usize, machine: &MachineConfig) -> SimResult {
+    let g = TaskGraph::build_gepp(n, n, block_for(n));
+    let cfg = SimConfig::new(machine.clone(), Layout::ColumnMajor, SchedulerKind::Dynamic);
+    run(&g, &cfg)
+}
+
+/// Run the PLASMA stand-in (tiled incremental pivoting, tile layout,
+/// static pipeline scheduling as in PLASMA 2.3.1).
+pub fn run_plasma(n: usize, machine: &MachineConfig) -> SimResult {
+    let g = TaskGraph::build_incpiv(n, n, block_for(n));
+    let cfg = SimConfig::new(machine.clone(), Layout::TwoLevelBlock, SchedulerKind::Static);
+    run(&g, &cfg)
+}
+
+/// The scheduler sweep of Figures 6–11: static, 10–75% dynamic, dynamic.
+pub fn sched_sweep() -> Vec<(String, SchedulerKind)> {
+    SchedulerKind::paper_sweep()
+        .into_iter()
+        .map(|s| (s.to_string(), s))
+        .collect()
+}
+
+/// Print an aligned table: header row + data rows.
+pub fn print_table(title: &str, headers: &[String], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(headers);
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format Gflop/s.
+pub fn gf(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a percentage improvement of `a` over `b`.
+pub fn pct_over(a: f64, b: f64) -> String {
+    format!("{:+.1}%", (a / b - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_rule() {
+        assert_eq!(block_for(2500), 100);
+        assert_eq!(block_for(8000), 100);
+        assert_eq!(block_for(10000), 125);
+        assert_eq!(block_for(15000), 150);
+    }
+
+    #[test]
+    fn harness_smoke() {
+        let (_, intel) = &machines()[0];
+        let r = run_calu(
+            2000,
+            intel,
+            Layout::BlockCyclic,
+            SchedulerKind::Hybrid { dratio: 0.1 },
+            false,
+        );
+        assert!(r.gflops() > 10.0 && r.gflops() < 85.3);
+        let mkl = run_mkl(2000, intel);
+        assert!(mkl.gflops() < r.gflops(), "CALU must beat the MKL model");
+        let plasma = run_plasma(2000, intel);
+        assert!(plasma.gflops() > 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(gf(12.34), "12.3");
+        assert_eq!(pct_over(110.0, 100.0), "+10.0%");
+        assert_eq!(pct_over(90.0, 100.0), "-10.0%");
+    }
+}

@@ -1,0 +1,123 @@
+//! Configuration of the CALU driver — the paper's design space knobs
+//! (Table 1): block size, thread count/grid, data layout, and the
+//! percentage of dynamically scheduled panels.
+
+use crate::error::CaluError;
+use calu_matrix::{Layout, ProcessGrid};
+
+/// Configuration for [`crate::calu_factor`].
+#[derive(Debug, Clone)]
+pub struct CaluConfig {
+    /// Tile size `b`.
+    pub b: usize,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Fraction of panels scheduled dynamically (`0.0` = fully static,
+    /// `1.0` = fully dynamic). The paper finds `0.1` a good default.
+    pub dratio: f64,
+    /// Data layout for the tiled storage.
+    pub layout: Layout,
+    /// Grouping width for BLAS-3 calls on owned blocks (the paper uses
+    /// `k = 3` with the BCL layout).
+    pub group: usize,
+}
+
+impl CaluConfig {
+    /// Defaults from the paper's best configuration: BCL layout, 10%
+    /// dynamic, grouping 3, single thread (callers set their own).
+    pub fn new(b: usize) -> Self {
+        Self {
+            b,
+            threads: 1,
+            dratio: 0.1,
+            layout: Layout::BlockCyclic,
+            group: 3,
+        }
+    }
+
+    /// Set the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the dynamic fraction.
+    pub fn with_dratio(mut self, dratio: f64) -> Self {
+        self.dratio = dratio;
+        self
+    }
+
+    /// Set the data layout.
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Validate and derive the thread grid.
+    pub fn validate(&self) -> Result<ProcessGrid, CaluError> {
+        if self.b == 0 {
+            return Err(CaluError::InvalidConfig("block size must be positive".into()));
+        }
+        if self.threads == 0 {
+            return Err(CaluError::InvalidConfig("need at least one thread".into()));
+        }
+        if !(0.0..=1.0).contains(&self.dratio) {
+            return Err(CaluError::InvalidConfig(format!(
+                "dratio {} out of [0,1]",
+                self.dratio
+            )));
+        }
+        if self.group == 0 {
+            return Err(CaluError::InvalidConfig("group must be positive".into()));
+        }
+        ProcessGrid::square_for(self.threads)
+            .map_err(|e| CaluError::InvalidConfig(e.to_string()))
+    }
+
+    /// Effective BLAS-3 grouping: only the BCL layout can group (§4).
+    pub fn effective_group(&self) -> usize {
+        if self.layout.supports_grouping() {
+            self.group
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_best() {
+        let c = CaluConfig::new(100);
+        assert_eq!(c.b, 100);
+        assert_eq!(c.dratio, 0.1);
+        assert_eq!(c.layout, Layout::BlockCyclic);
+        assert_eq!(c.group, 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = CaluConfig::new(64)
+            .with_threads(8)
+            .with_dratio(0.25)
+            .with_layout(Layout::TwoLevelBlock);
+        assert_eq!(c.threads, 8);
+        assert_eq!(c.dratio, 0.25);
+        assert_eq!(c.effective_group(), 1, "2l-BL cannot group");
+        let grid = c.validate().unwrap();
+        assert_eq!(grid.size(), 8);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(CaluConfig::new(0).validate().is_err());
+        assert!(CaluConfig::new(8).with_threads(0).validate().is_err());
+        assert!(CaluConfig::new(8).with_dratio(1.5).validate().is_err());
+        let mut c = CaluConfig::new(8);
+        c.group = 0;
+        assert!(c.validate().is_err());
+    }
+}

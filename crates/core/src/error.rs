@@ -1,0 +1,37 @@
+//! Error type of the factorization drivers.
+
+use std::fmt;
+
+/// Errors returned by the factorization drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaluError {
+    /// Invalid configuration (bad block size, zero threads, dratio out of
+    /// range, …).
+    InvalidConfig(String),
+    /// The matrix is empty.
+    EmptyMatrix,
+}
+
+impl fmt::Display for CaluError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaluError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            CaluError::EmptyMatrix => write!(f, "matrix is empty"),
+        }
+    }
+}
+
+impl std::error::Error for CaluError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CaluError::InvalidConfig("b = 0".into())
+            .to_string()
+            .contains("b = 0"));
+        assert!(CaluError::EmptyMatrix.to_string().contains("empty"));
+    }
+}

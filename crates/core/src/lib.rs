@@ -1,0 +1,40 @@
+//! CALU — communication-avoiding LU factorization with tournament
+//! pivoting and hybrid static/dynamic scheduling.
+//!
+//! This crate is the paper's primary contribution, implemented for real:
+//!
+//! * [`tslu`] — tournament pivoting: candidate pivot rows are selected by
+//!   GEPP on row chunks and merged up a binary reduction tree (§2);
+//! * [`simple::calu_simple`] — a plain dense reference implementation
+//!   (the numerical oracle for everything else);
+//! * [`threaded`] — the multithreaded tiled executor implementing
+//!   Algorithm 1/2: the first `Nstatic` panels are scheduled statically
+//!   by block-cyclic ownership, the rest through a shared dynamic queue,
+//!   and idle threads pull dynamic tasks while waiting on the panel;
+//! * [`gepp`] — blocked Gaussian elimination with partial pivoting (the
+//!   MKL `dgetrf` stand-in);
+//! * [`incpiv`] — tiled LU with incremental (block pairwise) pivoting
+//!   (the PLASMA `dgetrf_incpiv` stand-in);
+//! * [`verify`] — residuals, growth factors, triangular solves.
+//!
+//! Entry point: [`calu_factor`] (see [`CaluConfig`]).
+
+pub mod config;
+pub mod error;
+pub mod factorization;
+pub mod gepp;
+pub mod incpiv;
+pub mod pivot;
+pub mod shared;
+pub mod simple;
+pub mod threaded;
+pub mod tslu;
+pub mod verify;
+
+pub use config::CaluConfig;
+pub use error::CaluError;
+pub use factorization::Factorization;
+pub use gepp::gepp_factor;
+pub use incpiv::{incpiv_factor, IncPivFactors};
+pub use simple::calu_simple;
+pub use threaded::calu_factor;

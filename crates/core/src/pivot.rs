@@ -1,0 +1,109 @@
+//! From tournament winners to swap sequences.
+//!
+//! TSLU returns the *set* of global rows selected as pivots for a panel;
+//! the factorization needs that as a LAPACK-style sequence of row swaps
+//! `Π_K` that moves those rows into the diagonal block (§2: "these pivots
+//! are permuted into the diagonal positions").
+
+use calu_matrix::RowPerm;
+use std::collections::HashMap;
+
+/// Build the swap sequence that brings `selected[t]` (global row ids, all
+/// `>= base`) to row `base + t`, for `t = 0..selected.len()`, emulating
+/// the swaps being applied in order.
+///
+/// Panics if a selected row is out of range or repeated.
+pub fn swaps_for_selection(base: usize, selected: &[usize]) -> RowPerm {
+    // current position of any row that has been displaced
+    let mut pos_of: HashMap<usize, usize> = HashMap::new();
+    // which row currently sits at a position (only tracked once touched)
+    let mut row_at: HashMap<usize, usize> = HashMap::new();
+
+    let mut piv = Vec::with_capacity(selected.len());
+    for (t, &row) in selected.iter().enumerate() {
+        assert!(row >= base, "selected row {row} above the panel base {base}");
+        let target = base + t;
+        let src = *pos_of.get(&row).unwrap_or(&row);
+        assert!(src >= target, "row {row} selected twice");
+        piv.push(src);
+        if src != target {
+            let displaced = *row_at.get(&target).unwrap_or(&target);
+            // swap occupants of `target` and `src`
+            row_at.insert(target, row);
+            row_at.insert(src, displaced);
+            pos_of.insert(row, target);
+            pos_of.insert(displaced, src);
+        } else {
+            row_at.insert(target, row);
+            pos_of.insert(row, target);
+        }
+    }
+    RowPerm::from_pivots(base, piv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calu_matrix::DenseMatrix;
+
+    /// after applying the swaps, rows base..base+w of the matrix must be
+    /// exactly the selected rows, in order
+    fn check(base: usize, selected: &[usize], nrows: usize) {
+        let a = DenseMatrix::from_fn(nrows, 1, |i, _| i as f64);
+        let perm = swaps_for_selection(base, selected);
+        let p = perm.permuted(&a);
+        for (t, &row) in selected.iter().enumerate() {
+            assert_eq!(
+                p.get(base + t, 0),
+                row as f64,
+                "selection {selected:?} base {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_selection() {
+        check(0, &[0, 1, 2], 5);
+        let perm = swaps_for_selection(0, &[0, 1, 2]);
+        assert_eq!(perm.pivots(), &[0, 1, 2]); // all no-op swaps
+    }
+
+    #[test]
+    fn simple_selection() {
+        check(0, &[3, 1], 5);
+        check(0, &[4, 3, 2], 6);
+    }
+
+    #[test]
+    fn selection_with_base_offset() {
+        check(2, &[5, 2, 4], 8);
+        check(3, &[3, 7], 8);
+    }
+
+    #[test]
+    fn selection_that_displaces_earlier_targets() {
+        // selecting row that currently holds a displaced occupant
+        check(0, &[2, 0, 1], 4);
+        check(0, &[1, 0], 3);
+        check(0, &[3, 2, 1, 0], 4);
+    }
+
+    #[test]
+    fn long_random_selection() {
+        // deterministic shuffle of 0..16 taken 8 at a time
+        let sel = [9, 3, 15, 0, 7, 12, 4, 11];
+        check(0, &sel, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "selected twice")]
+    fn rejects_duplicates() {
+        swaps_for_selection(0, &[2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "above the panel base")]
+    fn rejects_rows_above_base() {
+        swaps_for_selection(3, &[1]);
+    }
+}

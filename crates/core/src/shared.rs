@@ -1,0 +1,150 @@
+//! Shared tile access for the parallel executor.
+//!
+//! All tile storages keep their elements in one contiguous buffer
+//! (`calu-matrix`'s [`TileStorage`] contract). The executor needs many
+//! threads writing *different* tiles of that buffer concurrently; the
+//! task DAG guarantees the tiles are disjoint, and this module funnels
+//! the one unavoidable `unsafe` into a single audited wrapper.
+
+use calu_matrix::storage::TileLoc;
+use calu_matrix::TileStorage;
+use std::cell::UnsafeCell;
+
+/// A raw, writable view of one tile (column-major, leading dimension
+/// `ld`).
+#[derive(Debug, Clone, Copy)]
+pub struct TilePtr {
+    /// Pointer to element `(0, 0)` of the tile.
+    pub ptr: *mut f64,
+    /// Leading dimension.
+    pub ld: usize,
+    /// Tile rows.
+    pub rows: usize,
+    /// Tile columns.
+    pub cols: usize,
+}
+
+impl TilePtr {
+    /// Read element `(i, j)`.
+    ///
+    /// # Safety
+    /// The caller must have (shared) access to the tile per the DAG.
+    #[inline]
+    pub unsafe fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(i + j * self.ld)
+    }
+
+    /// Write element `(i, j)`.
+    ///
+    /// # Safety
+    /// The caller must have exclusive access to the tile per the DAG.
+    #[inline]
+    pub unsafe fn set(&self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        *self.ptr.add(i + j * self.ld) = v;
+    }
+}
+
+/// Storage wrapper handing out per-tile raw pointers.
+///
+/// Safety model: tasks of the factorization DAG write disjoint tiles at
+/// any instant (enforced by dependence counting), so concurrent
+/// [`SharedTiles::tile_ptr`] uses never alias writes. Tiles may share
+/// cache lines (CM/BCL interleave tiles within columns of the parent
+/// buffer) but never share *elements*.
+pub struct SharedTiles<S: TileStorage> {
+    inner: UnsafeCell<S>,
+}
+
+// SAFETY: access discipline is delegated to the task DAG; see type docs.
+unsafe impl<S: TileStorage + Send> Send for SharedTiles<S> {}
+unsafe impl<S: TileStorage + Send> Sync for SharedTiles<S> {}
+
+impl<S: TileStorage> SharedTiles<S> {
+    /// Wrap a storage for shared tile access.
+    pub fn new(storage: S) -> Self {
+        Self {
+            inner: UnsafeCell::new(storage),
+        }
+    }
+
+    /// Unwrap the storage after all workers have finished.
+    pub fn into_inner(self) -> S {
+        self.inner.into_inner()
+    }
+
+    /// Tile location metadata (no data access).
+    pub fn loc(&self, ti: usize, tj: usize) -> TileLoc {
+        // SAFETY: tile_loc reads immutable geometry only.
+        unsafe { (*self.inner.get()).tile_loc(ti, tj) }
+    }
+
+    /// Raw pointer to tile `(ti, tj)`.
+    ///
+    /// # Safety
+    /// Callers must respect the DAG: no two threads may hold a writable
+    /// view of the same tile at the same time, and readers must be
+    /// ordered after the writer that produced the data.
+    pub unsafe fn tile_ptr(&self, ti: usize, tj: usize) -> TilePtr {
+        let loc = self.loc(ti, tj);
+        let base = (*self.inner.get()).buffer_mut().as_mut_ptr();
+        TilePtr {
+            ptr: base.add(loc.offset),
+            ld: loc.ld,
+            rows: loc.rows,
+            cols: loc.cols,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calu_matrix::{gen, BclMatrix, ProcessGrid, TileStorage};
+
+    #[test]
+    fn tile_ptr_reads_match_storage() {
+        let a = gen::uniform(12, 12, 1);
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let s = BclMatrix::from_dense(&a, 4, grid);
+        let shared = SharedTiles::new(s);
+        unsafe {
+            let t = shared.tile_ptr(1, 2);
+            assert_eq!(t.rows, 4);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(t.get(i, j), a.get(4 + i, 8 + j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn writes_are_visible_after_unwrap() {
+        let a = gen::uniform(8, 8, 2);
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let shared = SharedTiles::new(BclMatrix::from_dense(&a, 4, grid));
+        unsafe {
+            let t = shared.tile_ptr(0, 0);
+            t.set(1, 1, 42.0);
+        }
+        let back = shared.into_inner().to_dense();
+        assert_eq!(back.get(1, 1), 42.0);
+        assert_eq!(back.get(0, 0), a.get(0, 0));
+    }
+
+    #[test]
+    fn disjoint_tiles_have_disjoint_elements() {
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let shared = SharedTiles::new(BclMatrix::zeros(8, 8, 4, grid));
+        unsafe {
+            let a = shared.tile_ptr(0, 0);
+            let b = shared.tile_ptr(1, 1);
+            a.set(0, 0, 1.0);
+            b.set(0, 0, 2.0);
+            assert_eq!(a.get(0, 0), 1.0);
+            assert_eq!(b.get(0, 0), 2.0);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! General matrix multiply `C ← α·A·B + β·C` on column-major sub-blocks.
+//!
+//! This is the kernel behind task **S** (trailing-matrix update), which
+//! dominates the flops of the factorization (§2). The implementation is a
+//! cache-blocked `j-k-i` loop: the innermost loop is a contiguous AXPY
+//! over a column of `A` and a column of `C`, which the compiler
+//! auto-vectorizes, and the `k` dimension is blocked so the active panel
+//! of `A` stays in cache.
+
+use crate::small::daxpy;
+
+/// Panel width of the k-blocking (columns of A kept hot in cache).
+const KC: usize = 128;
+
+/// `C ← α·A·B + β·C` with `A: m×k`, `B: k×n`, `C: m×n`, all column-major
+/// with leading dimensions `lda/ldb/ldc` (slices start at each block's
+/// `(0,0)` element).
+///
+/// Panics if a leading dimension is smaller than the block height or if a
+/// slice is too short for the addressed span.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(lda >= m && ldc >= m, "leading dimension too small for block height");
+    assert!(k == 0 || ldb >= k, "ldb too small");
+    assert!(a.len() >= span(m, k, lda), "a slice too short");
+    assert!(b.len() >= span(k, n, ldb), "b slice too short");
+    assert!(c.len() >= span(m, n, ldc), "c slice too short");
+
+    // β-scaling of C.
+    if beta != 1.0 {
+        for j in 0..n {
+            let col = &mut c[j * ldc..j * ldc + m];
+            if beta == 0.0 {
+                col.fill(0.0);
+            } else {
+                for v in col {
+                    *v *= beta;
+                }
+            }
+        }
+    }
+    if k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    // k-blocked jki loop.
+    let mut l0 = 0;
+    while l0 < k {
+        let lb = KC.min(k - l0);
+        for j in 0..n {
+            let (c_lo, c_hi) = (j * ldc, j * ldc + m);
+            // Split borrows: B column entries are read scalar-wise.
+            for l in l0..l0 + lb {
+                let blj = alpha * b[l + j * ldb];
+                if blj == 0.0 {
+                    continue;
+                }
+                let a_col = &a[l * lda..l * lda + m];
+                let c_col = &mut c[c_lo..c_hi];
+                daxpy(blj, a_col, c_col);
+            }
+        }
+        l0 += lb;
+    }
+}
+
+/// Raw-pointer variant of [`dgemm`] for callers (the parallel executor)
+/// whose tiles alias a single shared buffer.
+///
+/// # Safety
+///
+/// The three blocks must be valid for the spans they address
+/// (`(cols−1)·ld + rows` elements each), `c` must not overlap `a` or `b`,
+/// and the caller must guarantee exclusive access to `c` for the duration
+/// of the call.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn dgemm_raw(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    beta: f64,
+    c: *mut f64,
+    ldc: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let a = std::slice::from_raw_parts(a, span(m, k, lda));
+    let b = std::slice::from_raw_parts(b, span(k, n, ldb));
+    let c = std::slice::from_raw_parts_mut(c, span(m, n, ldc));
+    dgemm(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+/// Elements spanned by an `r × c` block with leading dimension `ld`.
+#[inline]
+fn span(r: usize, c: usize, ld: usize) -> usize {
+    if r == 0 || c == 0 {
+        0
+    } else {
+        (c - 1) * ld + r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calu_matrix::{gen, ops, DenseMatrix};
+
+    fn dgemm_dense(alpha: f64, a: &DenseMatrix, b: &DenseMatrix, beta: f64, c: &DenseMatrix) -> DenseMatrix {
+        let mut out = c.clone();
+        dgemm(
+            a.rows(),
+            b.cols(),
+            a.cols(),
+            alpha,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
+            beta,
+            out.as_mut_slice(),
+            c.ld(),
+        );
+        out
+    }
+
+    #[test]
+    fn matches_reference_on_random_shapes() {
+        for (m, n, k, seed) in [(5, 7, 3, 1), (16, 16, 16, 2), (33, 17, 129, 3), (1, 9, 4, 4), (64, 1, 200, 5)] {
+            let a = gen::uniform(m, k, seed);
+            let b = gen::uniform(k, n, seed + 100);
+            let c = gen::uniform(m, n, seed + 200);
+            let got = dgemm_dense(1.0, &a, &b, 1.0, &c);
+            let want = ops::add(&ops::matmul(&a, &b), &c);
+            assert!(got.approx_eq(&want, 1e-11), "shape ({m},{n},{k})");
+        }
+    }
+
+    #[test]
+    fn alpha_beta_combinations() {
+        let a = gen::uniform(8, 6, 10);
+        let b = gen::uniform(6, 5, 11);
+        let c = gen::uniform(8, 5, 12);
+        // beta = 0 overwrites C entirely (even NaN-free from garbage C)
+        let got = dgemm_dense(2.0, &a, &b, 0.0, &c);
+        let want = ops::scale(2.0, &ops::matmul(&a, &b));
+        assert!(got.approx_eq(&want, 1e-12));
+        // alpha = 0, beta = 2 just scales C
+        let got = dgemm_dense(0.0, &a, &b, 2.0, &c);
+        assert!(got.approx_eq(&ops::scale(2.0, &c), 1e-12));
+        // alpha = -1, beta = 1 is the update kernel of task S
+        let got = dgemm_dense(-1.0, &a, &b, 1.0, &c);
+        let want = ops::sub(&c, &ops::matmul(&a, &b));
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn submatrix_with_leading_dimension() {
+        // Multiply 3x3 blocks living inside 10x10 parents.
+        let pa = gen::uniform(10, 10, 20);
+        let pb = gen::uniform(10, 10, 21);
+        let mut pc = gen::uniform(10, 10, 22);
+        let (r, c, sz) = (2, 4, 3);
+        let a = pa.submatrix(r, c, sz, sz);
+        let b = pb.submatrix(r, c, sz, sz);
+        let c0 = pc.submatrix(r, c, sz, sz);
+        let off = c * 10 + r;
+        // run on the parent slices with ld = 10
+        let (pa_s, pb_s) = (pa.as_slice(), pb.as_slice());
+        let pc_s = pc.as_mut_slice();
+        dgemm(sz, sz, sz, 1.0, &pa_s[off..], 10, &pb_s[off..], 10, 1.0, &mut pc_s[off..], 10);
+        let want = ops::add(&ops::matmul(&a, &b), &c0);
+        let got = pc.submatrix(r, c, sz, sz);
+        assert!(got.approx_eq(&want, 1e-12));
+        // elements outside the target block untouched
+        assert_eq!(pc.get(0, 0), gen::uniform(10, 10, 22).get(0, 0));
+    }
+
+    #[test]
+    fn k_zero_only_scales() {
+        let mut c = gen::uniform(4, 4, 30);
+        let orig = c.clone();
+        let (rows, ld) = (c.rows(), c.ld());
+        dgemm(rows, rows, 0, 1.0, &[], 4, &[], 4, 0.5, c.as_mut_slice(), ld);
+        assert!(c.approx_eq(&ops::scale(0.5, &orig), 1e-14));
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut c: Vec<f64> = vec![];
+        dgemm(0, 0, 5, 1.0, &[1.0; 5], 1, &[1.0; 5], 5, 1.0, &mut c, 1);
+    }
+
+    #[test]
+    fn raw_variant_matches_safe() {
+        let a = gen::uniform(6, 4, 40);
+        let b = gen::uniform(4, 5, 41);
+        let c = gen::uniform(6, 5, 42);
+        let mut c1 = c.clone();
+        let mut c2 = c.clone();
+        dgemm(6, 5, 4, -1.0, a.as_slice(), 6, b.as_slice(), 4, 1.0, c1.as_mut_slice(), 6);
+        unsafe {
+            dgemm_raw(
+                6,
+                5,
+                4,
+                -1.0,
+                a.as_slice().as_ptr(),
+                6,
+                b.as_slice().as_ptr(),
+                4,
+                1.0,
+                c2.as_mut_slice().as_mut_ptr(),
+                6,
+            );
+        }
+        assert!(c1.approx_eq(&c2, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "leading dimension")]
+    fn rejects_bad_ld() {
+        let mut c = vec![0.0; 16];
+        dgemm(4, 4, 4, 1.0, &[0.0; 16], 3, &[0.0; 16], 4, 0.0, &mut c, 4);
+    }
+
+    #[test]
+    fn large_k_blocking_path() {
+        // k > KC exercises the blocked loop
+        let a = gen::uniform(7, 300, 50);
+        let b = gen::uniform(300, 6, 51);
+        let c = DenseMatrix::zeros(7, 6);
+        let got = dgemm_dense(1.0, &a, &b, 0.0, &c);
+        let want = ops::matmul(&a, &b);
+        assert!(got.approx_eq(&want, 1e-10));
+    }
+}

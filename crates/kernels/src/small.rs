@@ -1,0 +1,69 @@
+//! BLAS-1 helpers shared by the larger kernels.
+
+/// Index of the element with largest absolute value in `x` (first on ties).
+/// Panics on an empty slice.
+#[inline]
+pub fn idamax(x: &[f64]) -> usize {
+    assert!(!x.is_empty(), "idamax of empty vector");
+    let mut best = 0;
+    let mut bv = x[0].abs();
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        let a = v.abs();
+        if a > bv {
+            bv = a;
+            best = i;
+        }
+    }
+    best
+}
+
+/// `y ← y + alpha·x` over equal-length slices.
+#[inline]
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha·x`.
+#[inline]
+pub fn dscal(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idamax_finds_largest_abs() {
+        assert_eq!(idamax(&[1.0, -5.0, 3.0]), 1);
+        assert_eq!(idamax(&[2.0]), 0);
+        // first index wins ties
+        assert_eq!(idamax(&[-4.0, 4.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn idamax_empty_panics() {
+        idamax(&[]);
+    }
+
+    #[test]
+    fn daxpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        daxpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn dscal_scales() {
+        let mut x = [1.0, -2.0];
+        dscal(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+}

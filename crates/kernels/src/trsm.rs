@@ -1,0 +1,255 @@
+//! Triangular solves — the kernels behind tasks **L** and **U**.
+//!
+//! * task U computes `U_{K,J} = L_{KK}^{-1} · A_{K,J}` →
+//!   [`dtrsm_left_lower_unit`];
+//! * task L computes `L_{I,K} = A_{I,K} · U_{KK}^{-1}` →
+//!   [`dtrsm_right_upper`].
+
+use crate::small::daxpy;
+
+/// Solve `L · X = B` in place (`B ← L⁻¹·B`) where `L` is `m×m` **unit**
+/// lower triangular (diagonal implicitly 1, strictly-upper part ignored)
+/// and `B` is `m×n`. Column-major with leading dimensions `ldl`, `ldb`.
+pub fn dtrsm_left_lower_unit(m: usize, n: usize, l: &[f64], ldl: usize, b: &mut [f64], ldb: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(ldl >= m && ldb >= m, "leading dimension too small");
+    assert!(l.len() >= (m - 1) * ldl + m, "l slice too short");
+    assert!(b.len() >= (n - 1) * ldb + m, "b slice too short");
+    for j in 0..n {
+        let col = &mut b[j * ldb..j * ldb + m];
+        // forward substitution; the update of rows k+1.. is an AXPY with
+        // the contiguous subcolumn of L below its diagonal.
+        for k in 0..m {
+            let xk = col[k];
+            if xk == 0.0 {
+                continue;
+            }
+            let (_, tail) = col.split_at_mut(k + 1);
+            let l_tail = &l[k * ldl + k + 1..k * ldl + m];
+            daxpy(-xk, l_tail, tail);
+        }
+    }
+}
+
+/// Solve `X · U = B` in place (`B ← B·U⁻¹`) where `U` is `n×n` upper
+/// triangular with a **non-unit** diagonal and `B` is `m×n`. Column-major
+/// with leading dimensions `ldu`, `ldb`.
+///
+/// A zero diagonal entry of `U` produces `inf`/`NaN` in the result, like
+/// the BLAS; singularity is detected by the factorization drivers, not
+/// here.
+pub fn dtrsm_right_upper(m: usize, n: usize, u: &[f64], ldu: usize, b: &mut [f64], ldb: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(ldu >= n && ldb >= m, "leading dimension too small");
+    assert!(u.len() >= (n - 1) * ldu + n, "u slice too short");
+    assert!(b.len() >= (n - 1) * ldb + m, "b slice too short");
+    for j in 0..n {
+        // X[:,j] = (B[:,j] − Σ_{k<j} X[:,k]·u[k,j]) / u[j,j]
+        for k in 0..j {
+            let ukj = u[k + j * ldu];
+            if ukj == 0.0 {
+                continue;
+            }
+            // split the buffer so we can read column k while writing column j
+            let (head, tail) = b.split_at_mut(j * ldb);
+            let x_k = &head[k * ldb..k * ldb + m];
+            let b_j = &mut tail[..m];
+            daxpy(-ukj, x_k, b_j);
+        }
+        let d = 1.0 / u[j + j * ldu];
+        for v in &mut b[j * ldb..j * ldb + m] {
+            *v *= d;
+        }
+    }
+}
+
+/// Raw-pointer variant of [`dtrsm_left_lower_unit`].
+///
+/// # Safety
+/// Blocks must be valid for their spans, `b` must not overlap `l`, and the
+/// caller must have exclusive access to `b`.
+pub unsafe fn dtrsm_left_lower_unit_raw(
+    m: usize,
+    n: usize,
+    l: *const f64,
+    ldl: usize,
+    b: *mut f64,
+    ldb: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let l = std::slice::from_raw_parts(l, (m - 1) * ldl + m);
+    let b = std::slice::from_raw_parts_mut(b, (n - 1) * ldb + m);
+    dtrsm_left_lower_unit(m, n, l, ldl, b, ldb);
+}
+
+/// Raw-pointer variant of [`dtrsm_right_upper`].
+///
+/// # Safety
+/// Blocks must be valid for their spans, `b` must not overlap `u`, and the
+/// caller must have exclusive access to `b`.
+pub unsafe fn dtrsm_right_upper_raw(
+    m: usize,
+    n: usize,
+    u: *const f64,
+    ldu: usize,
+    b: *mut f64,
+    ldb: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let u = std::slice::from_raw_parts(u, (n - 1) * ldu + n);
+    let b = std::slice::from_raw_parts_mut(b, (n - 1) * ldb + m);
+    dtrsm_right_upper(m, n, u, ldu, b, ldb);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calu_matrix::{gen, ops, DenseMatrix};
+
+    /// build a well-conditioned unit lower triangular matrix
+    fn unit_lower(n: usize, seed: u64) -> DenseMatrix {
+        let r = gen::uniform(n, n, seed);
+        DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                0.5 * r.get(i, j)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// build a well-conditioned upper triangular matrix
+    fn upper(n: usize, seed: u64) -> DenseMatrix {
+        let r = gen::uniform(n, n, seed);
+        DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0 + r.get(i, j).abs()
+            } else if i < j {
+                r.get(i, j)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn left_solve_recovers_rhs() {
+        for (m, n) in [(1, 1), (4, 7), (16, 3), (23, 23)] {
+            let l = unit_lower(m, 7);
+            let x_true = gen::uniform(m, n, 8);
+            let b = ops::matmul(&l, &x_true);
+            let mut x = b.clone();
+            let ld = x.ld();
+            dtrsm_left_lower_unit(m, n, l.as_slice(), l.ld(), x.as_mut_slice(), ld);
+            assert!(x.approx_eq(&x_true, 1e-10), "shape ({m},{n})");
+        }
+    }
+
+    #[test]
+    fn left_solve_ignores_upper_garbage() {
+        // strictly-upper part of L must be ignored
+        let mut l = unit_lower(5, 1);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                l.set(i, j, f64::NAN);
+            }
+        }
+        let x_true = gen::uniform(5, 2, 2);
+        let clean = unit_lower(5, 1);
+        let b = ops::matmul(&clean, &x_true);
+        let mut x = b.clone();
+        let ld = x.ld();
+        dtrsm_left_lower_unit(5, 2, l.as_slice(), l.ld(), x.as_mut_slice(), ld);
+        assert!(x.approx_eq(&x_true, 1e-12));
+    }
+
+    #[test]
+    fn right_solve_recovers_lhs() {
+        for (m, n) in [(1, 1), (7, 4), (3, 16), (23, 23)] {
+            let u = upper(n, 17);
+            let x_true = gen::uniform(m, n, 18);
+            let b = ops::matmul(&x_true, &u);
+            let mut x = b.clone();
+            let ld = x.ld();
+            dtrsm_right_upper(m, n, u.as_slice(), u.ld(), x.as_mut_slice(), ld);
+            assert!(x.approx_eq(&x_true, 1e-10), "shape ({m},{n})");
+        }
+    }
+
+    #[test]
+    fn right_solve_ignores_lower_garbage() {
+        let mut u = upper(4, 3);
+        for i in 0..4 {
+            for j in 0..i {
+                u.set(i, j, f64::NAN);
+            }
+        }
+        let clean = upper(4, 3);
+        let x_true = gen::uniform(3, 4, 4);
+        let b = ops::matmul(&x_true, &clean);
+        let mut x = b.clone();
+        let ld = x.ld();
+        dtrsm_right_upper(3, 4, u.as_slice(), u.ld(), x.as_mut_slice(), ld);
+        assert!(x.approx_eq(&x_true, 1e-12));
+    }
+
+    #[test]
+    fn works_on_submatrices_with_ld() {
+        let m = 4;
+        let parent_l = {
+            let mut p = DenseMatrix::zeros(10, 10);
+            p.set_submatrix(3, 3, &unit_lower(m, 5));
+            p
+        };
+        let x_true = gen::uniform(m, 2, 6);
+        let b = ops::matmul(&parent_l.submatrix(3, 3, m, m), &x_true);
+        let mut parent_b = DenseMatrix::zeros(10, 6);
+        parent_b.set_submatrix(2, 1, &b);
+        let l_off = 3 * 10 + 3;
+        let b_off = 10 + 2;
+        dtrsm_left_lower_unit(
+            m,
+            2,
+            &parent_l.as_slice()[l_off..],
+            10,
+            &mut parent_b.as_mut_slice()[b_off..],
+            10,
+        );
+        assert!(parent_b.submatrix(2, 1, m, 2).approx_eq(&x_true, 1e-12));
+        assert_eq!(parent_b.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn raw_variants_match_safe() {
+        let l = unit_lower(6, 9);
+        let u = upper(6, 10);
+        let b0 = gen::uniform(6, 6, 11);
+        let mut b1 = b0.clone();
+        let mut b2 = b0.clone();
+        dtrsm_left_lower_unit(6, 6, l.as_slice(), 6, b1.as_mut_slice(), 6);
+        unsafe { dtrsm_left_lower_unit_raw(6, 6, l.as_slice().as_ptr(), 6, b2.as_mut_slice().as_mut_ptr(), 6) };
+        assert!(b1.approx_eq(&b2, 0.0));
+        let mut b1 = b0.clone();
+        let mut b2 = b0.clone();
+        dtrsm_right_upper(6, 6, u.as_slice(), 6, b1.as_mut_slice(), 6);
+        unsafe { dtrsm_right_upper_raw(6, 6, u.as_slice().as_ptr(), 6, b2.as_mut_slice().as_mut_ptr(), 6) };
+        assert!(b1.approx_eq(&b2, 0.0));
+    }
+
+    #[test]
+    fn empty_is_noop() {
+        let mut b: Vec<f64> = vec![];
+        dtrsm_left_lower_unit(0, 3, &[], 1, &mut b, 1);
+        dtrsm_right_upper(3, 0, &[], 1, &mut b, 1);
+    }
+}

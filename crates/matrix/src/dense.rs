@@ -1,0 +1,354 @@
+//! Column-major dense matrix, the LAPACK-compatible baseline storage.
+
+use crate::error::MatrixError;
+
+/// A dense `rows × cols` matrix of `f64` stored in column-major order,
+/// exactly like LAPACK's `CM` layout in the paper (§4).
+///
+/// Element `(i, j)` lives at `data[i + j * rows]`.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        let show_r = self.rows.min(8);
+        let show_c = self.cols.min(8);
+        for i in 0..show_r {
+            write!(f, "  ")?;
+            for j in 0..show_c {
+                write!(f, "{:>10.4} ", self.get(i, j))?;
+            }
+            if show_c < self.cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if show_r < self.rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl DenseMatrix {
+    /// Create a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wrap an existing column-major buffer.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MatrixError> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::DimensionMismatch {
+                what: "column-major data length",
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Build from row-major data (convenience for tests and examples).
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Result<Self, MatrixError> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::DimensionMismatch {
+                what: "row-major data length",
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Self::from_fn(rows, cols, |i, j| data[i * cols + j]))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension of the storage (= number of rows).
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.rows
+    }
+
+    /// Read element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows]
+    }
+
+    /// Write element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows] = v;
+    }
+
+    /// Borrow the raw column-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw column-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutably borrow column `j` as a contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Copy the submatrix with top-left corner `(r0, c0)` and shape
+    /// `(nr, nc)` into a new matrix.
+    pub fn submatrix(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> DenseMatrix {
+        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "submatrix out of range");
+        DenseMatrix::from_fn(nr, nc, |i, j| self.get(r0 + i, c0 + j))
+    }
+
+    /// Overwrite the submatrix at `(r0, c0)` with the contents of `src`.
+    pub fn set_submatrix(&mut self, r0: usize, c0: usize, src: &DenseMatrix) {
+        assert!(
+            r0 + src.rows <= self.rows && c0 + src.cols <= self.cols,
+            "set_submatrix out of range"
+        );
+        for j in 0..src.cols {
+            for i in 0..src.rows {
+                self.set(r0 + i, c0 + j, src.get(i, j));
+            }
+        }
+    }
+
+    /// Return the transpose as a new matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Swap rows `r1` and `r2` across all columns.
+    pub fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        assert!(r1 < self.rows && r2 < self.rows);
+        for j in 0..self.cols {
+            let base = j * self.rows;
+            self.data.swap(base + r1, base + r2);
+        }
+    }
+
+    /// Swap rows `r1` and `r2` but only within columns `[c0, c1)`.
+    pub fn swap_rows_in_cols(&mut self, r1: usize, r2: usize, c0: usize, c1: usize) {
+        if r1 == r2 {
+            return;
+        }
+        assert!(r1 < self.rows && r2 < self.rows && c1 <= self.cols && c0 <= c1);
+        for j in c0..c1 {
+            let base = j * self.rows;
+            self.data.swap(base + r1, base + r2);
+        }
+    }
+
+    /// Extract the unit-lower-triangular factor from a factorized matrix
+    /// (strictly lower part of `self` with ones on the diagonal), shaped
+    /// `rows × min(rows, cols)`.
+    pub fn lower_unit(&self) -> DenseMatrix {
+        let k = self.rows.min(self.cols);
+        DenseMatrix::from_fn(self.rows, k, |i, j| {
+            if i > j {
+                self.get(i, j)
+            } else if i == j {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Extract the upper-triangular factor from a factorized matrix,
+    /// shaped `min(rows, cols) × cols`.
+    pub fn upper(&self) -> DenseMatrix {
+        let k = self.rows.min(self.cols);
+        DenseMatrix::from_fn(k, self.cols, |i, j| if i <= j { self.get(i, j) } else { 0.0 })
+    }
+
+    /// Maximum absolute element, 0.0 for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// True if every corresponding element differs by at most `tol`.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = DenseMatrix::zeros(3, 4);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 4);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(1, 0), 0.0);
+        assert_eq!(i.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn column_major_indexing() {
+        let m = DenseMatrix::from_col_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn from_rows_matches_row_major_reading() {
+        let m = DenseMatrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        assert!(DenseMatrix::from_col_major(2, 3, vec![0.0; 5]).is_err());
+        assert!(DenseMatrix::from_rows(2, 3, &[0.0; 7]).is_err());
+    }
+
+    #[test]
+    fn submatrix_roundtrip() {
+        let m = DenseMatrix::from_fn(5, 5, |i, j| (i * 10 + j) as f64);
+        let s = m.submatrix(1, 2, 3, 2);
+        assert_eq!(s.get(0, 0), 12.0);
+        assert_eq!(s.get(2, 1), 33.0);
+        let mut t = DenseMatrix::zeros(5, 5);
+        t.set_submatrix(1, 2, &s);
+        assert_eq!(t.get(1, 2), 12.0);
+        assert_eq!(t.get(3, 3), 33.0);
+        assert_eq!(t.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let m = DenseMatrix::from_fn(3, 5, |i, j| (i + 7 * j) as f64);
+        assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+        assert_eq!(m.transpose().get(4, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn swap_rows_full_and_partial() {
+        let mut m = DenseMatrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        m.swap_rows(0, 2);
+        assert_eq!(m.get(0, 0), 6.0);
+        assert_eq!(m.get(2, 1), 1.0);
+        let mut m2 = DenseMatrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        m2.swap_rows_in_cols(0, 2, 1, 3);
+        // column 0 untouched
+        assert_eq!(m2.get(0, 0), 0.0);
+        assert_eq!(m2.get(2, 0), 6.0);
+        // columns 1..3 swapped
+        assert_eq!(m2.get(0, 1), 7.0);
+        assert_eq!(m2.get(2, 2), 2.0);
+    }
+
+    #[test]
+    fn lu_factor_extraction() {
+        let m = DenseMatrix::from_rows(3, 3, &[2.0, 1.0, 1.0, 4.0, 3.0, 3.0, 8.0, 7.0, 9.0]).unwrap();
+        let l = m.lower_unit();
+        assert_eq!(l.get(0, 0), 1.0);
+        assert_eq!(l.get(1, 0), 4.0);
+        assert_eq!(l.get(0, 1), 0.0);
+        let u = m.upper();
+        assert_eq!(u.get(0, 0), 2.0);
+        assert_eq!(u.get(1, 0), 0.0);
+        assert_eq!(u.get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn rectangular_factor_shapes() {
+        let tall = DenseMatrix::zeros(5, 3);
+        assert_eq!(tall.lower_unit().rows(), 5);
+        assert_eq!(tall.lower_unit().cols(), 3);
+        assert_eq!(tall.upper().rows(), 3);
+        assert_eq!(tall.upper().cols(), 3);
+        let wide = DenseMatrix::zeros(3, 5);
+        assert_eq!(wide.lower_unit().cols(), 3);
+        assert_eq!(wide.upper().rows(), 3);
+        assert_eq!(wide.upper().cols(), 5);
+    }
+
+    #[test]
+    fn max_abs_and_approx_eq() {
+        let m = DenseMatrix::from_rows(2, 2, &[1.0, -5.0, 0.25, 3.0]).unwrap();
+        assert_eq!(m.max_abs(), 5.0);
+        let mut m2 = m.clone();
+        m2.set(0, 0, 1.0 + 1e-12);
+        assert!(m.approx_eq(&m2, 1e-10));
+        assert!(!m.approx_eq(&m2, 1e-14));
+    }
+}

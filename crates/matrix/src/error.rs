@@ -1,0 +1,76 @@
+//! Error type shared by the matrix substrate.
+
+use std::fmt;
+
+/// Errors raised by matrix construction and layout conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Dimensions do not match the operation (e.g. data length vs. shape).
+    DimensionMismatch {
+        /// Human-readable description of what mismatched.
+        what: &'static str,
+        /// Expected value.
+        expected: usize,
+        /// Value that was supplied.
+        got: usize,
+    },
+    /// A block size of zero (or larger than allowed) was supplied.
+    InvalidBlockSize(usize),
+    /// The process grid is empty or inconsistent with the thread count.
+    InvalidGrid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// An index was out of range.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "dimension mismatch in {what}: expected {expected}, got {got}"),
+            MatrixError::InvalidBlockSize(b) => write!(f, "invalid block size {b}"),
+            MatrixError::InvalidGrid { rows, cols } => {
+                write!(f, "invalid process grid {rows}x{cols}")
+            }
+            MatrixError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MatrixError::DimensionMismatch {
+            what: "data length",
+            expected: 12,
+            got: 10,
+        };
+        assert!(e.to_string().contains("data length"));
+        assert!(e.to_string().contains("12"));
+        let e = MatrixError::InvalidBlockSize(0);
+        assert!(e.to_string().contains('0'));
+        let e = MatrixError::InvalidGrid { rows: 0, cols: 3 };
+        assert!(e.to_string().contains("0x3"));
+        let e = MatrixError::IndexOutOfBounds { index: 5, bound: 5 };
+        assert!(e.to_string().contains('5'));
+    }
+}

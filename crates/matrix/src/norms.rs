@@ -1,0 +1,85 @@
+//! Matrix norms used for residual and stability measurements.
+
+use crate::dense::DenseMatrix;
+
+/// Frobenius norm: `sqrt(sum a_ij^2)`.
+pub fn frobenius(a: &DenseMatrix) -> f64 {
+    a.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// 1-norm: maximum absolute column sum.
+pub fn one_norm(a: &DenseMatrix) -> f64 {
+    (0..a.cols())
+        .map(|j| a.col(j).iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Infinity norm: maximum absolute row sum.
+pub fn inf_norm(a: &DenseMatrix) -> f64 {
+    let mut sums = vec![0.0f64; a.rows()];
+    for j in 0..a.cols() {
+        for (i, v) in a.col(j).iter().enumerate() {
+            sums[i] += v.abs();
+        }
+    }
+    sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Max norm: largest absolute entry.
+pub fn max_norm(a: &DenseMatrix) -> f64 {
+    a.max_abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(2, 3, &[1.0, -2.0, 3.0, -4.0, 5.0, -6.0]).unwrap()
+    }
+
+    #[test]
+    fn frobenius_known_value() {
+        let a = sample();
+        let want = (1.0f64 + 4.0 + 9.0 + 16.0 + 25.0 + 36.0).sqrt();
+        assert!((frobenius(&a) - want).abs() < 1e-14);
+    }
+
+    #[test]
+    fn one_norm_is_max_col_sum() {
+        // columns: |1|+|−4|=5, |−2|+|5|=7, |3|+|−6|=9
+        assert_eq!(one_norm(&sample()), 9.0);
+    }
+
+    #[test]
+    fn inf_norm_is_max_row_sum() {
+        // rows: 1+2+3=6, 4+5+6=15
+        assert_eq!(inf_norm(&sample()), 15.0);
+    }
+
+    #[test]
+    fn max_norm_is_largest_entry() {
+        assert_eq!(max_norm(&sample()), 6.0);
+    }
+
+    #[test]
+    fn norms_of_zero_matrix() {
+        let z = DenseMatrix::zeros(3, 3);
+        assert_eq!(frobenius(&z), 0.0);
+        assert_eq!(one_norm(&z), 0.0);
+        assert_eq!(inf_norm(&z), 0.0);
+    }
+
+    #[test]
+    fn norm_inequalities_hold() {
+        let a = crate::gen::uniform(20, 20, 9);
+        let f = frobenius(&a);
+        let o = one_norm(&a);
+        let i = inf_norm(&a);
+        let m = max_norm(&a);
+        let n = 20.0f64;
+        assert!(m <= f && f <= n * m + 1e-12);
+        assert!(o <= n.sqrt() * f + 1e-12);
+        assert!(i <= n.sqrt() * f + 1e-12);
+    }
+}

@@ -1,0 +1,556 @@
+//! Tile-addressable storages: the common [`TileStorage`] interface and its
+//! three implementations (CM, BCL, 2l-BL).
+//!
+//! Every storage keeps its elements in **one contiguous buffer**; a tile is
+//! identified by `(offset, ld)` into that buffer. This uniformity is what
+//! lets the parallel executor hand out raw per-tile pointers while the DAG
+//! guarantees disjoint access.
+
+use crate::dense::DenseMatrix;
+use crate::grid::ProcessGrid;
+use crate::layout::Layout;
+use crate::tile::Tiling;
+
+/// Immutable view of one tile: `rows × cols` stored column-major with
+/// leading dimension `ld` inside `data` (element `(i,j)` at `data[i + j*ld]`).
+#[derive(Debug)]
+pub struct TileRef<'a> {
+    /// Backing slice, starting at the tile's first element.
+    pub data: &'a [f64],
+    /// Leading dimension.
+    pub ld: usize,
+    /// Tile rows.
+    pub rows: usize,
+    /// Tile columns.
+    pub cols: usize,
+}
+
+impl TileRef<'_> {
+    /// Read element `(i, j)` of the tile.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld]
+    }
+
+    /// Copy the tile into a fresh dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j))
+    }
+}
+
+/// Mutable view of one tile (same addressing as [`TileRef`]).
+#[derive(Debug)]
+pub struct TileRefMut<'a> {
+    /// Backing slice, starting at the tile's first element.
+    pub data: &'a mut [f64],
+    /// Leading dimension.
+    pub ld: usize,
+    /// Tile rows.
+    pub rows: usize,
+    /// Tile columns.
+    pub cols: usize,
+}
+
+impl TileRefMut<'_> {
+    /// Read element `(i, j)` of the tile.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld]
+    }
+
+    /// Write element `(i, j)` of the tile.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld] = v;
+    }
+}
+
+/// Location of a tile inside a storage's contiguous buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileLoc {
+    /// Index of the tile's `(0,0)` element in the buffer.
+    pub offset: usize,
+    /// Leading dimension of the tile's column stride.
+    pub ld: usize,
+    /// Tile rows.
+    pub rows: usize,
+    /// Tile cols.
+    pub cols: usize,
+}
+
+/// A matrix cut into `b × b` tiles, each addressable as a column-major
+/// sub-block of one contiguous buffer.
+pub trait TileStorage {
+    /// The tiling geometry (m, n, b).
+    fn tiling(&self) -> Tiling;
+
+    /// Which of the paper's layouts this storage implements.
+    fn layout(&self) -> Layout;
+
+    /// The ownership grid used to place tiles (CM reports a 1×1 grid).
+    fn grid(&self) -> ProcessGrid;
+
+    /// Buffer location of tile `(ti, tj)`.
+    fn tile_loc(&self, ti: usize, tj: usize) -> TileLoc;
+
+    /// The single backing buffer.
+    fn buffer(&self) -> &[f64];
+
+    /// Mutable access to the backing buffer.
+    fn buffer_mut(&mut self) -> &mut [f64];
+
+    /// Immutable tile view.
+    fn tile(&self, ti: usize, tj: usize) -> TileRef<'_> {
+        let loc = self.tile_loc(ti, tj);
+        let end = loc.offset + tile_span(loc);
+        TileRef {
+            data: &self.buffer()[loc.offset..end],
+            ld: loc.ld,
+            rows: loc.rows,
+            cols: loc.cols,
+        }
+    }
+
+    /// Mutable tile view.
+    fn tile_mut(&mut self, ti: usize, tj: usize) -> TileRefMut<'_> {
+        let loc = self.tile_loc(ti, tj);
+        let end = loc.offset + tile_span(loc);
+        TileRefMut {
+            data: &mut self.buffer_mut()[loc.offset..end],
+            ld: loc.ld,
+            rows: loc.rows,
+            cols: loc.cols,
+        }
+    }
+
+    /// Read one element through the tile map (slow path, for tests/IO).
+    fn get(&self, i: usize, j: usize) -> f64 {
+        let t = self.tiling();
+        let tile = self.tile(t.tile_of_row(i), t.tile_of_col(j));
+        tile.get(t.row_in_tile(i), j % t.b)
+    }
+
+    /// Write one element through the tile map (slow path, for tests/IO).
+    fn set(&mut self, i: usize, j: usize, v: f64) {
+        let t = self.tiling();
+        let (ti, tj) = (t.tile_of_row(i), t.tile_of_col(j));
+        let (ri, rj) = (t.row_in_tile(i), j % t.b);
+        let mut tile = self.tile_mut(ti, tj);
+        tile.set(ri, rj, v);
+    }
+
+    /// Gather the whole matrix into a fresh column-major dense matrix.
+    fn to_dense(&self) -> DenseMatrix {
+        let t = self.tiling();
+        let mut out = DenseMatrix::zeros(t.m, t.n);
+        for (ti, tj) in t.tiles() {
+            let tile = self.tile(ti, tj);
+            let (r0, c0) = (t.row_start(ti), t.col_start(tj));
+            for j in 0..tile.cols {
+                for i in 0..tile.rows {
+                    out.set(r0 + i, c0 + j, tile.get(i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Scatter a dense matrix into this storage (shapes must match).
+    fn load_dense(&mut self, a: &DenseMatrix) {
+        let t = self.tiling();
+        assert_eq!((a.rows(), a.cols()), (t.m, t.n), "load_dense shape mismatch");
+        for (ti, tj) in t.tiles() {
+            let (r0, c0) = (t.row_start(ti), t.col_start(tj));
+            let mut tile = self.tile_mut(ti, tj);
+            for j in 0..tile.cols {
+                for i in 0..tile.rows {
+                    tile.set(i, j, a.get(r0 + i, c0 + j));
+                }
+            }
+        }
+    }
+}
+
+/// Number of buffer elements spanned by a tile (from its offset to one past
+/// its last element).
+#[inline]
+fn tile_span(loc: TileLoc) -> usize {
+    if loc.rows == 0 || loc.cols == 0 {
+        0
+    } else {
+        (loc.cols - 1) * loc.ld + loc.rows
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Column-major storage
+// ---------------------------------------------------------------------------
+
+/// Column-major dense storage with tile addressing: the `CM` layout.
+#[derive(Debug, Clone)]
+pub struct CmTiles {
+    tiling: Tiling,
+    data: Vec<f64>,
+}
+
+impl CmTiles {
+    /// Zero-initialized CM storage.
+    pub fn zeros(m: usize, n: usize, b: usize) -> Self {
+        Self {
+            tiling: Tiling::new(m, n, b),
+            data: vec![0.0; m * n],
+        }
+    }
+
+    /// Build from a dense matrix.
+    pub fn from_dense(a: &DenseMatrix, b: usize) -> Self {
+        Self {
+            tiling: Tiling::new(a.rows(), a.cols(), b),
+            data: a.as_slice().to_vec(),
+        }
+    }
+}
+
+impl TileStorage for CmTiles {
+    fn tiling(&self) -> Tiling {
+        self.tiling
+    }
+
+    fn layout(&self) -> Layout {
+        Layout::ColumnMajor
+    }
+
+    fn grid(&self) -> ProcessGrid {
+        ProcessGrid::new(1, 1).expect("1x1 grid")
+    }
+
+    fn tile_loc(&self, ti: usize, tj: usize) -> TileLoc {
+        let t = self.tiling;
+        let d = t.tile_dims(ti, tj);
+        TileLoc {
+            offset: t.col_start(tj) * t.m + t.row_start(ti),
+            ld: t.m,
+            rows: d.rows,
+            cols: d.cols,
+        }
+    }
+
+    fn buffer(&self) -> &[f64] {
+        &self.data
+    }
+
+    fn buffer_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block cyclic layout
+// ---------------------------------------------------------------------------
+
+/// The block cyclic layout of §4.1.
+///
+/// Tiles are distributed block-cyclically over a `pr × pc` thread grid and
+/// each thread's submatrix is stored contiguously in column-major order
+/// (one region of the shared buffer per thread). Within a thread's region,
+/// tiles that are vertically adjacent in the *local* submatrix share
+/// columns, so a thread can run one BLAS-3 call on several of its tiles at
+/// once — the grouping optimization of §3.
+#[derive(Debug, Clone)]
+pub struct BclMatrix {
+    tiling: Tiling,
+    grid: ProcessGrid,
+    /// Region start of each thread's local submatrix in `data`.
+    region_start: Vec<usize>,
+    /// Local leading dimension (local row count) per thread.
+    local_ld: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl BclMatrix {
+    /// Zero-initialized BCL storage over `grid`.
+    pub fn zeros(m: usize, n: usize, b: usize, grid: ProcessGrid) -> Self {
+        let tiling = Tiling::new(m, n, b);
+        let tr = tiling.tile_rows();
+        let tc = tiling.tile_cols();
+        let p = grid.size();
+        let mut region_start = vec![0usize; p + 1];
+        let mut local_ld = vec![0usize; p];
+        for t in 0..p {
+            let (r, c) = grid.coords_of(t);
+            let rows: usize = grid.owned_tile_rows(tr, r).map(|ti| tiling.tile_row_count(ti)).sum();
+            let cols: usize = grid.owned_tile_cols(tc, c).map(|tj| tiling.tile_col_count(tj)).sum();
+            local_ld[t] = rows;
+            region_start[t + 1] = region_start[t] + rows * cols;
+        }
+        let total = region_start[p];
+        Self {
+            tiling,
+            grid,
+            region_start,
+            local_ld,
+            data: vec![0.0; total],
+        }
+    }
+
+    /// Build from a dense matrix.
+    pub fn from_dense(a: &DenseMatrix, b: usize, grid: ProcessGrid) -> Self {
+        let mut s = Self::zeros(a.rows(), a.cols(), b, grid);
+        s.load_dense(a);
+        s
+    }
+
+    /// The contiguous local region of thread `t` (for locality inspection
+    /// and the grouped-update fast path).
+    pub fn region(&self, t: usize) -> &[f64] {
+        &self.data[self.region_start[t]..self.region_start[t + 1]]
+    }
+
+    /// Local leading dimension of thread `t`'s submatrix.
+    pub fn region_ld(&self, t: usize) -> usize {
+        self.local_ld[t]
+    }
+}
+
+impl TileStorage for BclMatrix {
+    fn tiling(&self) -> Tiling {
+        self.tiling
+    }
+
+    fn layout(&self) -> Layout {
+        Layout::BlockCyclic
+    }
+
+    fn grid(&self) -> ProcessGrid {
+        self.grid
+    }
+
+    fn tile_loc(&self, ti: usize, tj: usize) -> TileLoc {
+        let t = self.tiling;
+        let d = t.tile_dims(ti, tj);
+        let owner = self.grid.owner(ti, tj);
+        let li = self.grid.local_tile_row(ti);
+        let lj = self.grid.local_tile_col(tj);
+        // Owned tile rows/cols before the ragged last one are always full
+        // `b`, so local offsets are simply li*b, lj*b.
+        let ld = self.local_ld[owner];
+        TileLoc {
+            offset: self.region_start[owner] + lj * t.b * ld + li * t.b,
+            ld,
+            rows: d.rows,
+            cols: d.cols,
+        }
+    }
+
+    fn buffer(&self) -> &[f64] {
+        &self.data
+    }
+
+    fn buffer_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-level block layout
+// ---------------------------------------------------------------------------
+
+/// The two-level block layout of §4.2.
+///
+/// First level: tiles are distributed block-cyclically over the thread
+/// grid, like [`BclMatrix`]. Second level: each `b × b` tile is stored
+/// contiguously (ld = tile rows), so a tile fits in cache and any kernel on
+/// it runs without extra memory transfers. The price (noted in the paper)
+/// is that tiles can no longer be grouped into larger BLAS-3 calls.
+#[derive(Debug, Clone)]
+pub struct TlbMatrix {
+    tiling: Tiling,
+    grid: ProcessGrid,
+    /// offset of each tile (row-major over (ti,tj)) in `data`.
+    tile_offset: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl TlbMatrix {
+    /// Zero-initialized 2l-BL storage over `grid`.
+    pub fn zeros(m: usize, n: usize, b: usize, grid: ProcessGrid) -> Self {
+        let tiling = Tiling::new(m, n, b);
+        let tr = tiling.tile_rows();
+        let tc = tiling.tile_cols();
+        // Lay the tiles out thread by thread (so each thread's tiles are
+        // clustered in memory, mirroring the first-level distribution),
+        // then in local column-major order.
+        let mut tile_offset = vec![0usize; tr * tc];
+        let mut cursor = 0usize;
+        for t in 0..grid.size() {
+            let (r, c) = grid.coords_of(t);
+            for tj in grid.owned_tile_cols(tc, c) {
+                for ti in grid.owned_tile_rows(tr, r) {
+                    let d = tiling.tile_dims(ti, tj);
+                    tile_offset[ti * tc + tj] = cursor;
+                    cursor += d.rows * d.cols;
+                }
+            }
+        }
+        Self {
+            tiling,
+            grid,
+            tile_offset,
+            data: vec![0.0; cursor],
+        }
+    }
+
+    /// Build from a dense matrix.
+    pub fn from_dense(a: &DenseMatrix, b: usize, grid: ProcessGrid) -> Self {
+        let mut s = Self::zeros(a.rows(), a.cols(), b, grid);
+        s.load_dense(a);
+        s
+    }
+}
+
+impl TileStorage for TlbMatrix {
+    fn tiling(&self) -> Tiling {
+        self.tiling
+    }
+
+    fn layout(&self) -> Layout {
+        Layout::TwoLevelBlock
+    }
+
+    fn grid(&self) -> ProcessGrid {
+        self.grid
+    }
+
+    fn tile_loc(&self, ti: usize, tj: usize) -> TileLoc {
+        let t = self.tiling;
+        let d = t.tile_dims(ti, tj);
+        TileLoc {
+            offset: self.tile_offset[ti * t.tile_cols() + tj],
+            ld: d.rows,
+            rows: d.rows,
+            cols: d.cols,
+        }
+    }
+
+    fn buffer(&self) -> &[f64] {
+        &self.data
+    }
+
+    fn buffer_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn sample(m: usize, n: usize) -> DenseMatrix {
+        gen::uniform(m, n, 42)
+    }
+
+    #[test]
+    fn cm_roundtrip() {
+        let a = sample(17, 13);
+        let s = CmTiles::from_dense(&a, 5);
+        assert!(s.to_dense().approx_eq(&a, 0.0));
+        assert_eq!(s.layout(), Layout::ColumnMajor);
+    }
+
+    #[test]
+    fn bcl_roundtrip_exact_and_ragged() {
+        for (m, n, b) in [(12, 12, 3), (17, 13, 5), (8, 20, 4), (5, 5, 8)] {
+            let a = sample(m, n);
+            let g = ProcessGrid::new(2, 2).unwrap();
+            let s = BclMatrix::from_dense(&a, b, g);
+            assert!(s.to_dense().approx_eq(&a, 0.0), "m={m} n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn tlb_roundtrip_exact_and_ragged() {
+        for (m, n, b) in [(12, 12, 3), (17, 13, 5), (8, 20, 4), (5, 5, 8)] {
+            let a = sample(m, n);
+            let g = ProcessGrid::new(2, 3).unwrap();
+            let s = TlbMatrix::from_dense(&a, b, g);
+            assert!(s.to_dense().approx_eq(&a, 0.0), "m={m} n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn tile_views_match_dense_blocks() {
+        let a = sample(20, 15);
+        let g = ProcessGrid::new(2, 2).unwrap();
+        let cm = CmTiles::from_dense(&a, 4);
+        let bcl = BclMatrix::from_dense(&a, 4, g);
+        let tlb = TlbMatrix::from_dense(&a, 4, g);
+        let t = cm.tiling();
+        for (ti, tj) in t.tiles() {
+            let want = a.submatrix(
+                t.row_start(ti),
+                t.col_start(tj),
+                t.tile_row_count(ti),
+                t.tile_col_count(tj),
+            );
+            for s in [&cm as &dyn TileStorage, &bcl, &tlb] {
+                let got = s.tile(ti, tj).to_dense();
+                assert!(got.approx_eq(&want, 0.0), "layout {:?} tile ({ti},{tj})", s.layout());
+            }
+        }
+    }
+
+    #[test]
+    fn element_accessors_roundtrip() {
+        let g = ProcessGrid::new(2, 2).unwrap();
+        let mut s = TlbMatrix::zeros(10, 10, 3, g);
+        s.set(7, 4, 3.5);
+        assert_eq!(s.get(7, 4), 3.5);
+        let mut s = BclMatrix::zeros(10, 10, 3, g);
+        s.set(9, 9, -1.25);
+        assert_eq!(s.get(9, 9), -1.25);
+    }
+
+    #[test]
+    fn tlb_tiles_are_contiguous() {
+        let g = ProcessGrid::new(2, 2).unwrap();
+        let s = TlbMatrix::zeros(12, 12, 3, g);
+        let t = s.tiling();
+        for (ti, tj) in t.tiles() {
+            let loc = s.tile_loc(ti, tj);
+            assert_eq!(loc.ld, loc.rows, "tile ({ti},{tj}) must be contiguous");
+        }
+    }
+
+    #[test]
+    fn bcl_vertical_neighbors_share_columns() {
+        // Tiles (0,0) and (2,0) belong to the same thread on a 2x2 grid and
+        // must be vertically adjacent in its local submatrix.
+        let g = ProcessGrid::new(2, 2).unwrap();
+        let s = BclMatrix::zeros(16, 16, 4, g);
+        let a = s.tile_loc(0, 0);
+        let c = s.tile_loc(2, 0);
+        assert_eq!(a.ld, c.ld);
+        assert_eq!(c.offset, a.offset + 4, "local rows must be stacked");
+    }
+
+    #[test]
+    fn bcl_regions_partition_buffer() {
+        let g = ProcessGrid::new(2, 3).unwrap();
+        let s = BclMatrix::zeros(20, 18, 4, g);
+        let total: usize = (0..g.size()).map(|t| s.region(t).len()).sum();
+        assert_eq!(total, s.buffer().len());
+        assert_eq!(s.buffer().len(), 20 * 18);
+    }
+
+    #[test]
+    fn grids_reported() {
+        let g = ProcessGrid::new(2, 3).unwrap();
+        assert_eq!(BclMatrix::zeros(8, 8, 2, g).grid(), g);
+        assert_eq!(TlbMatrix::zeros(8, 8, 2, g).grid(), g);
+        assert_eq!(CmTiles::zeros(8, 8, 2).grid().size(), 1);
+    }
+}

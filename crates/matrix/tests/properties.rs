@@ -1,0 +1,111 @@
+//! Property-based tests of the storage substrate.
+
+use calu_matrix::{gen, norms, ops, BclMatrix, CmTiles, DenseMatrix, ProcessGrid, RowPerm, TileStorage, TlbMatrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn storage_roundtrips(
+        m in 1usize..50,
+        n in 1usize..50,
+        b in 1usize..16,
+        pr in 1usize..4,
+        pc in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let a = gen::uniform(m, n, seed);
+        let grid = ProcessGrid::new(pr, pc).unwrap();
+        prop_assert!(CmTiles::from_dense(&a, b).to_dense().approx_eq(&a, 0.0));
+        prop_assert!(BclMatrix::from_dense(&a, b, grid).to_dense().approx_eq(&a, 0.0));
+        prop_assert!(TlbMatrix::from_dense(&a, b, grid).to_dense().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn tile_views_agree_across_layouts(
+        m in 1usize..40,
+        n in 1usize..40,
+        b in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let a = gen::uniform(m, n, seed);
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let cm = CmTiles::from_dense(&a, b);
+        let bcl = BclMatrix::from_dense(&a, b, grid);
+        let tlb = TlbMatrix::from_dense(&a, b, grid);
+        let t = cm.tiling();
+        for (ti, tj) in t.tiles() {
+            let want = cm.tile(ti, tj).to_dense();
+            prop_assert!(bcl.tile(ti, tj).to_dense().approx_eq(&want, 0.0));
+            prop_assert!(tlb.tile(ti, tj).to_dense().approx_eq(&want, 0.0));
+        }
+    }
+
+    #[test]
+    fn block_cyclic_owner_counts_are_balanced(
+        tiles in 1usize..40,
+        pr in 1usize..5,
+    ) {
+        let grid = ProcessGrid::new(pr, 1).unwrap();
+        let counts: Vec<usize> = (0..pr).map(|r| grid.local_tile_rows(tiles, r)).collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "cyclic distribution is balanced");
+        prop_assert_eq!(counts.iter().sum::<usize>(), tiles);
+    }
+
+    #[test]
+    fn permutations_are_bijections(
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // random valid pivot sequence
+        let mut piv = Vec::with_capacity(n);
+        let mut state = seed;
+        for k in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            piv.push(k + (state as usize % (n - k)));
+        }
+        let perm = RowPerm::from_pivots(0, piv);
+        let p = perm.explicit(n);
+        let mut sorted = p.clone();
+        sorted.sort();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        // apply + inverse = identity
+        let a = gen::uniform(n, 3, seed);
+        let mut b = a.clone();
+        perm.apply(&mut b);
+        perm.apply_inverse(&mut b);
+        prop_assert!(b.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn norm_relations(
+        m in 1usize..30,
+        n in 1usize..30,
+        seed in 0u64..1000,
+    ) {
+        let a = gen::uniform(m, n, seed);
+        let f = norms::frobenius(&a);
+        let mx = norms::max_norm(&a);
+        prop_assert!(mx <= f + 1e-12);
+        prop_assert!(f <= ((m * n) as f64).sqrt() * mx + 1e-12);
+        // triangle inequality on a random pair
+        let b = gen::uniform(m, n, seed + 1);
+        prop_assert!(norms::frobenius(&ops::add(&a, &b)) <= f + norms::frobenius(&b) + 1e-9);
+    }
+
+    #[test]
+    fn transpose_preserves_norms(
+        m in 1usize..25,
+        n in 1usize..25,
+        seed in 0u64..1000,
+    ) {
+        let a = gen::uniform(m, n, seed);
+        let at = a.transpose();
+        prop_assert!((norms::frobenius(&a) - norms::frobenius(&at)).abs() < 1e-12);
+        prop_assert!((norms::one_norm(&a) - norms::inf_norm(&at)).abs() < 1e-12);
+        let _ = DenseMatrix::zeros(1, 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! §7: projecting the dynamic-fraction lower bound to exascale nodes.
+//!
+//! "Keeping the work per core constant, the term `(δ_max − δ_avg)` can
+//! increase in the presence of noise amplification. … we project that the
+//! lower-bounds for percentage dynamic … will have to increase for use on
+//! future high-performance clusters."
+
+use crate::theorem1::{max_static_fraction, NoiseStats};
+
+/// One row of the projection table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectionRow {
+    /// Cores per node.
+    pub cores: usize,
+    /// Modeled noise skew `δ_max − δ_avg` (seconds).
+    pub noise_skew: f64,
+    /// Maximum static fraction from Theorem 1.
+    pub max_static: f64,
+    /// Implied minimum dynamic percentage (`(1 − f_s)·100`).
+    pub min_dynamic_pct: f64,
+}
+
+/// Project the minimum dynamic fraction for node sizes `cores`, under
+/// weak scaling (work per core constant at `work_per_core` seconds) and a
+/// noise skew that grows with the core count as
+/// `base_skew · (p / p0)^amplification` (noise amplification, \[14\] in the
+/// paper). `p0` is the first entry's core count.
+pub fn dynamic_fraction_projection(
+    cores: &[usize],
+    work_per_core: f64,
+    base_skew: f64,
+    amplification: f64,
+) -> Vec<ProjectionRow> {
+    assert!(!cores.is_empty(), "need at least one node size");
+    let p0 = cores[0] as f64;
+    cores
+        .iter()
+        .map(|&p| {
+            let skew = base_skew * ((p as f64) / p0).powf(amplification);
+            let noise = NoiseStats {
+                delta_max: skew,
+                delta_avg: 0.0,
+            };
+            // weak scaling: T1 = p * work_per_core, so Tp = work_per_core
+            let fs = max_static_fraction(p as f64 * work_per_core, p, noise);
+            ProjectionRow {
+                cores: p,
+                noise_skew: skew,
+                max_static: fs,
+                min_dynamic_pct: (1.0 - fs) * 100.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_need_grows_with_cores() {
+        let rows = dynamic_fraction_projection(&[16, 48, 192, 1024], 1.0, 0.01, 0.5);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].min_dynamic_pct >= w[0].min_dynamic_pct,
+                "projection must be monotone"
+            );
+        }
+        assert!(rows[0].min_dynamic_pct < rows[3].min_dynamic_pct);
+    }
+
+    #[test]
+    fn no_amplification_is_flat() {
+        let rows = dynamic_fraction_projection(&[16, 1024], 1.0, 0.05, 0.0);
+        assert!((rows[0].min_dynamic_pct - rows[1].min_dynamic_pct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projections_stay_in_range() {
+        let rows = dynamic_fraction_projection(&[16, 100000], 0.1, 0.05, 1.0);
+        for r in rows {
+            assert!((0.0..=100.0).contains(&r.min_dynamic_pct));
+            assert!((0.0..=1.0).contains(&r.max_static));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Theorem 1 and its extensions (§6).
+
+/// Summary statistics of the per-core excess work `δ_i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseStats {
+    /// Largest per-core excess work (seconds).
+    pub delta_max: f64,
+    /// Mean per-core excess work (seconds).
+    pub delta_avg: f64,
+}
+
+impl NoiseStats {
+    /// Compute the statistics from per-core excess-work samples.
+    pub fn from_samples(deltas: &[f64]) -> NoiseStats {
+        assert!(!deltas.is_empty(), "need at least one core");
+        let delta_max = deltas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let delta_avg = deltas.iter().sum::<f64>() / deltas.len() as f64;
+        NoiseStats {
+            delta_max,
+            delta_avg,
+        }
+    }
+}
+
+/// Additional per-run costs the extended model folds into the effective
+/// parallel time (§6: "these additional relevant costs can be captured by
+/// adding a single term … to the denominator").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Overheads {
+    /// Communication on the critical path, `T_criticalPath`.
+    pub critical_path: f64,
+    /// Data-migration cost, `T_migration`.
+    pub migration: f64,
+    /// Remaining scheduling overheads (dequeues, …), `T_overhead`.
+    pub other: f64,
+}
+
+/// Theorem 1: the largest static fraction `f_s` for which the static
+/// schedule can still finish in ideal time, given serial time `t1`,
+/// `p` cores, and noise statistics. Clamped into `[0, 1]`.
+pub fn max_static_fraction(t1: f64, p: usize, noise: NoiseStats) -> f64 {
+    max_static_fraction_ext(t1, p, noise, Overheads::default())
+}
+
+/// Extended Theorem 1 with the denominator `T_1/p + T_cp + T_mig + T_ovh`.
+pub fn max_static_fraction_ext(t1: f64, p: usize, noise: NoiseStats, ovh: Overheads) -> f64 {
+    assert!(p > 0, "need at least one core");
+    assert!(t1 > 0.0, "serial time must be positive");
+    let tp = t1 / p as f64 + ovh.critical_path + ovh.migration + ovh.other;
+    let fs = 1.0 - (noise.delta_max - noise.delta_avg) / tp;
+    fs.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_noise_allows_fully_static() {
+        let noise = NoiseStats {
+            delta_max: 0.0,
+            delta_avg: 0.0,
+        };
+        assert_eq!(max_static_fraction(100.0, 16, noise), 1.0);
+    }
+
+    #[test]
+    fn uniform_noise_allows_fully_static() {
+        // if every core suffers the same delta, no rebalancing is needed
+        let noise = NoiseStats::from_samples(&[0.5; 8]);
+        assert_eq!(max_static_fraction(80.0, 8, noise), 1.0);
+    }
+
+    #[test]
+    fn skewed_noise_requires_dynamic_work() {
+        // one slow core: delta_max - delta_avg = 0.875; Tp = 10
+        let mut deltas = vec![0.0; 8];
+        deltas[0] = 1.0;
+        let noise = NoiseStats::from_samples(&deltas);
+        let fs = max_static_fraction(80.0, 8, noise);
+        assert!((fs - (1.0 - 0.875 / 10.0)).abs() < 1e-12);
+        assert!(fs < 1.0);
+    }
+
+    #[test]
+    fn heavy_noise_clamps_to_zero() {
+        let noise = NoiseStats {
+            delta_max: 100.0,
+            delta_avg: 0.0,
+        };
+        assert_eq!(max_static_fraction(10.0, 10, noise), 0.0);
+    }
+
+    #[test]
+    fn larger_matrices_allow_more_static() {
+        // §6: "increasing matrix size allows us to increase the maximum
+        // static fraction"
+        let noise = NoiseStats {
+            delta_max: 0.2,
+            delta_avg: 0.05,
+        };
+        let small = max_static_fraction(10.0, 16, noise);
+        let large = max_static_fraction(1000.0, 16, noise);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn more_cores_require_more_dynamic() {
+        // keeping T1 constant, growing p shrinks Tp and thus fs
+        let noise = NoiseStats {
+            delta_max: 0.2,
+            delta_avg: 0.05,
+        };
+        let few = max_static_fraction(100.0, 8, noise);
+        let many = max_static_fraction(100.0, 128, noise);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn overhead_terms_raise_the_bound() {
+        // a larger denominator tolerates more noise before rebalancing
+        let noise = NoiseStats {
+            delta_max: 1.0,
+            delta_avg: 0.2,
+        };
+        let plain = max_static_fraction(100.0, 32, noise);
+        let ext = max_static_fraction_ext(
+            100.0,
+            32,
+            noise,
+            Overheads {
+                critical_path: 2.0,
+                migration: 1.0,
+                other: 0.5,
+            },
+        );
+        assert!(ext > plain);
+    }
+
+    #[test]
+    fn stats_from_samples() {
+        let s = NoiseStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.delta_max, 3.0);
+        assert_eq!(s.delta_avg, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn rejects_zero_cores() {
+        max_static_fraction(
+            1.0,
+            0,
+            NoiseStats {
+                delta_max: 0.0,
+                delta_avg: 0.0,
+            },
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Scheduler configuration: the paper's design-space axis (Table 1).
+
+use std::fmt;
+
+/// Which scheduling strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    /// Fully static 2D block-cyclic scheduling.
+    Static,
+    /// Fully dynamic shared-queue scheduling.
+    Dynamic,
+    /// The paper's hybrid: `dratio` is the *fraction of panels scheduled
+    /// dynamically* (`CALU static(number% dynamic)` with
+    /// `number = 100·dratio`).
+    Hybrid {
+        /// Fraction of the computation scheduled dynamically, in `[0,1]`.
+        dratio: f64,
+    },
+    /// Randomized work stealing (related-work baseline, §8).
+    WorkStealing {
+        /// Seed for the victim-selection RNG.
+        seed: u64,
+    },
+}
+
+impl SchedulerKind {
+    /// The hybrid schedulers the paper sweeps in Figures 6–11.
+    pub fn paper_sweep() -> Vec<SchedulerKind> {
+        let mut v = vec![SchedulerKind::Static];
+        for pct in [10, 20, 30, 50, 75] {
+            v.push(SchedulerKind::Hybrid {
+                dratio: pct as f64 / 100.0,
+            });
+        }
+        v.push(SchedulerKind::Dynamic);
+        v
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerKind::Static => write!(f, "static"),
+            SchedulerKind::Dynamic => write!(f, "dynamic"),
+            SchedulerKind::Hybrid { dratio } => {
+                write!(f, "static({:.0}% dynamic)", dratio * 100.0)
+            }
+            SchedulerKind::WorkStealing { .. } => write!(f, "work-stealing"),
+        }
+    }
+}
+
+/// Number of statically scheduled panels: `Nstatic = N·(1 − dratio)`
+/// (Algorithm 1, line 2), rounded to nearest and clamped to `[0, N]`.
+pub fn nstatic_for(dratio: f64, npanels: usize) -> usize {
+    assert!((0.0..=1.0).contains(&dratio), "dratio must be in [0,1]");
+    ((npanels as f64) * (1.0 - dratio)).round().clamp(0.0, npanels as f64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nstatic_extremes() {
+        assert_eq!(nstatic_for(0.0, 10), 10);
+        assert_eq!(nstatic_for(1.0, 10), 0);
+        assert_eq!(nstatic_for(0.2, 10), 8);
+        assert_eq!(nstatic_for(0.25, 10), 8); // rounds 7.5 -> 8
+        assert_eq!(nstatic_for(0.5, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dratio")]
+    fn nstatic_validates() {
+        nstatic_for(1.5, 10);
+    }
+
+    #[test]
+    fn display_matches_paper_nomenclature() {
+        assert_eq!(SchedulerKind::Static.to_string(), "static");
+        assert_eq!(
+            SchedulerKind::Hybrid { dratio: 0.1 }.to_string(),
+            "static(10% dynamic)"
+        );
+        assert_eq!(SchedulerKind::Dynamic.to_string(), "dynamic");
+    }
+
+    #[test]
+    fn sweep_covers_paper_range() {
+        let sweep = SchedulerKind::paper_sweep();
+        assert_eq!(sweep.len(), 7);
+        assert_eq!(sweep[0], SchedulerKind::Static);
+        assert_eq!(*sweep.last().unwrap(), SchedulerKind::Dynamic);
+    }
+}

@@ -1,0 +1,319 @@
+//! The paper's hybrid static/dynamic policy (Algorithms 1 and 2).
+//!
+//! Tasks writing tile columns `< Nstatic` are distributed statically to
+//! their block-cyclic owners; the rest feed one shared queue in DFS
+//! column order. A core always prefers its own static queue ("each
+//! thread executes in priority tasks from the static part, to ensure
+//! progress in the critical path"); only when that is empty does it pull
+//! from the dynamic queue — so the dynamic section is exactly the
+//! load-balancing reservoir that fills the static section's idle pockets.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use calu_dag::{TaskGraph, TaskId, TaskKind};
+use calu_matrix::ProcessGrid;
+
+use crate::config::nstatic_for;
+use crate::owner::OwnerMap;
+use crate::policy::{Policy, Popped, QueueSource};
+use crate::priority::{dynamic_key, static_key};
+
+/// See module docs.
+pub struct HybridPolicy {
+    owners: OwnerMap,
+    kinds: Vec<TaskKind>,
+    static_keys: Vec<u64>,
+    dynamic_keys: Vec<u64>,
+    is_static: Vec<bool>,
+    local: Vec<BinaryHeap<Reverse<(u64, u32)>>>,
+    global: BinaryHeap<Reverse<(u64, u32)>>,
+    nstatic: usize,
+    queued: usize,
+}
+
+impl HybridPolicy {
+    /// Build for graph `g` over `grid`, scheduling a `dratio` fraction of
+    /// the panels dynamically.
+    pub fn new(g: &TaskGraph, grid: ProcessGrid, dratio: f64) -> Self {
+        let nstatic = nstatic_for(dratio, g.num_panels());
+        Self::with_nstatic(g, grid, nstatic)
+    }
+
+    /// Build with an explicit static panel count.
+    pub fn with_nstatic(g: &TaskGraph, grid: ProcessGrid, nstatic: usize) -> Self {
+        let owners = OwnerMap::new(g, grid);
+        let kinds: Vec<TaskKind> = g.ids().map(|t| g.kind(t)).collect();
+        let is_static = kinds.iter().map(|k| k.writes_col() < nstatic).collect();
+        Self {
+            static_keys: kinds.iter().map(static_key).collect(),
+            dynamic_keys: kinds.iter().map(dynamic_key).collect(),
+            local: (0..grid.size()).map(|_| BinaryHeap::new()).collect(),
+            global: BinaryHeap::new(),
+            owners,
+            kinds,
+            is_static,
+            nstatic,
+            queued: 0,
+        }
+    }
+
+    /// The number of statically scheduled panels.
+    pub fn nstatic(&self) -> usize {
+        self.nstatic
+    }
+
+    fn pop_local(&mut self, core: usize) -> Option<TaskId> {
+        self.local[core].pop().map(|Reverse((_, t))| {
+            self.queued -= 1;
+            TaskId(t)
+        })
+    }
+
+    fn pop_global(&mut self) -> Option<TaskId> {
+        self.global.pop().map(|Reverse((_, t))| {
+            self.queued -= 1;
+            TaskId(t)
+        })
+    }
+}
+
+impl Policy for HybridPolicy {
+    fn on_ready(&mut self, t: TaskId, _completer: Option<usize>) {
+        self.queued += 1;
+        if self.is_static[t.idx()] {
+            let owner = self.owners.owner(t);
+            self.local[owner].push(Reverse((self.static_keys[t.idx()], t.0)));
+        } else {
+            self.global.push(Reverse((self.dynamic_keys[t.idx()], t.0)));
+        }
+    }
+
+    fn pop(&mut self, core: usize) -> Option<Popped> {
+        if let Some(task) = self.pop_local(core) {
+            return Some(Popped {
+                task,
+                source: QueueSource::Local,
+            });
+        }
+        self.pop_global().map(|task| Popped {
+            task,
+            source: QueueSource::Global,
+        })
+    }
+
+    fn pop_batch(&mut self, core: usize, max: usize) -> Vec<Popped> {
+        let Some(first) = self.pop(core) else {
+            return vec![];
+        };
+        let mut batch = vec![first];
+        match first.source {
+            // local queue: group the thread's own updates of one column
+            // step, like the paper's grouped BLAS-3 calls on owned blocks
+            QueueSource::Local => {
+                if let TaskKind::Update { k, j, .. } = self.kinds[first.task.idx()] {
+                    while batch.len() < max {
+                        let same_step = self.local[core]
+                            .peek()
+                            .map(|Reverse((_, t))| {
+                                matches!(self.kinds[*t as usize],
+                                    TaskKind::Update { k: hk, j: hj, .. } if hk == k && hj == j)
+                            })
+                            .unwrap_or(false);
+                        if !same_step {
+                            break;
+                        }
+                        let t = self.pop_local(core).expect("peeked");
+                        batch.push(Popped {
+                            task: t,
+                            source: QueueSource::Local,
+                        });
+                    }
+                }
+            }
+            // global queue: group the head run of updates of one column
+            // step (k, j) — adjacent under the DFS order
+            _ => {
+                if let TaskKind::Update { k, j, .. } = self.kinds[first.task.idx()] {
+                    while batch.len() < max {
+                        let same = self
+                            .global
+                            .peek()
+                            .map(|Reverse((_, t))| {
+                                matches!(self.kinds[*t as usize],
+                                    TaskKind::Update { k: hk, j: hj, .. } if hk == k && hj == j)
+                            })
+                            .unwrap_or(false);
+                        if !same {
+                            break;
+                        }
+                        let t = self.pop_global().expect("peeked");
+                        batch.push(Popped {
+                            task: t,
+                            source: QueueSource::Global,
+                        });
+                    }
+                }
+            }
+        }
+        batch
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn queued(&self) -> usize {
+        self.queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> TaskGraph {
+        TaskGraph::build(800, 800, 100) // 8x8 tiles
+    }
+
+    #[test]
+    fn split_follows_writes_col() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let p = HybridPolicy::new(&g, grid, 0.25); // nstatic = 6
+        assert_eq!(p.nstatic(), 6);
+        for t in g.ids() {
+            assert_eq!(p.is_static[t.idx()], g.kind(t).writes_col() < 6);
+        }
+    }
+
+    #[test]
+    fn local_preferred_over_global() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = HybridPolicy::new(&g, grid, 0.5); // nstatic = 4
+        let owners = OwnerMap::new(&g, grid);
+        // a static task owned by core 0 and any dynamic task
+        let stat = g
+            .ids()
+            .find(|&t| g.kind(t).writes_col() < 4 && owners.owner(t) == 0)
+            .unwrap();
+        let dynam = g.ids().find(|&t| g.kind(t).writes_col() >= 4).unwrap();
+        p.on_ready(dynam, None);
+        p.on_ready(stat, None);
+        let first = p.pop(0).unwrap();
+        assert_eq!(first.task, stat);
+        assert_eq!(first.source, QueueSource::Local);
+        let second = p.pop(0).unwrap();
+        assert_eq!(second.task, dynam);
+        assert_eq!(second.source, QueueSource::Global);
+    }
+
+    #[test]
+    fn idle_threads_fall_through_to_dynamic_queue() {
+        // core 3 owns none of the queued static tasks: it must get dynamic work
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = HybridPolicy::new(&g, grid, 0.5);
+        let owners = OwnerMap::new(&g, grid);
+        let stat = g
+            .ids()
+            .find(|&t| g.kind(t).writes_col() < 4 && owners.owner(t) == 0)
+            .unwrap();
+        let dynam = g.ids().find(|&t| g.kind(t).writes_col() >= 4).unwrap();
+        p.on_ready(stat, None);
+        p.on_ready(dynam, None);
+        let popped = p.pop(3).unwrap();
+        assert_eq!(popped.task, dynam, "non-owner must take dynamic work");
+        assert_eq!(popped.source, QueueSource::Global);
+    }
+
+    #[test]
+    fn dratio_zero_is_all_static_dratio_one_all_dynamic() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let all_static = HybridPolicy::new(&g, grid, 0.0);
+        assert!(all_static.is_static.iter().all(|&s| s));
+        let all_dynamic = HybridPolicy::new(&g, grid, 1.0);
+        assert!(all_dynamic.is_static.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn drains_completely() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = HybridPolicy::new(&g, grid, 0.2);
+        let mut deps: Vec<u32> = g.ids().map(|t| g.dep_count(t)).collect();
+        for t in g.initial_ready() {
+            p.on_ready(t, None);
+        }
+        let mut done = 0;
+        while done < g.len() {
+            let mut progressed = false;
+            for core in 0..4 {
+                if let Some(popped) = p.pop(core) {
+                    progressed = true;
+                    done += 1;
+                    for &s in g.successors(popped.task) {
+                        deps[s.idx()] -= 1;
+                        if deps[s.idx()] == 0 {
+                            p.on_ready(s, Some(core));
+                        }
+                    }
+                }
+            }
+            assert!(progressed);
+        }
+        assert_eq!(p.queued(), 0);
+    }
+
+    #[test]
+    fn global_batch_groups_same_column_step_only() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = HybridPolicy::new(&g, grid, 0.5);
+        // two dynamic S tasks in column 5 and one in column 6, all panel 0
+        let pick = |i: u32, j: u32| {
+            g.ids()
+                .find(|&t| g.kind(t) == TaskKind::Update { k: 0, i, j })
+                .unwrap()
+        };
+        for t in [pick(1, 5), pick(2, 5), pick(1, 6)] {
+            assert!(!p.is_static[t.idx()]);
+            p.on_ready(t, None);
+        }
+        let batch = p.pop_batch(0, 4);
+        assert_eq!(batch.len(), 2, "column-5 updates group, column 6 does not");
+        assert!(batch
+            .iter()
+            .all(|pp| matches!(g.kind(pp.task), TaskKind::Update { j: 5, .. })));
+        let rest = p.pop_batch(0, 4);
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn batch_never_mixes_local_and_global() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = HybridPolicy::new(&g, grid, 0.5);
+        let owners = OwnerMap::new(&g, grid);
+        // one static update owned by core 0 and one dynamic update
+        let stat = g
+            .ids()
+            .find(|&t| {
+                matches!(g.kind(t), TaskKind::Update { .. })
+                    && p.is_static[t.idx()]
+                    && owners.owner(t) == 0
+            })
+            .unwrap();
+        let dynam = g
+            .ids()
+            .find(|&t| matches!(g.kind(t), TaskKind::Update { .. }) && !p.is_static[t.idx()])
+            .unwrap();
+        p.on_ready(stat, None);
+        p.on_ready(dynam, None);
+        let batch = p.pop_batch(0, 4);
+        assert_eq!(batch.len(), 1, "local batch must not absorb global tasks");
+        assert_eq!(batch[0].source, QueueSource::Local);
+    }
+}

@@ -1,0 +1,113 @@
+//! Scheduling policies for the CALU task graph (§3 of the paper).
+//!
+//! Four policies cover the paper's design space plus the related-work
+//! baseline:
+//!
+//! * [`StaticPolicy`] — fully static: every task runs on the thread that
+//!   owns its output tile under the 2D block-cyclic distribution; threads
+//!   with empty queues idle (perfect locality, zero dequeue overhead, no
+//!   load balancing).
+//! * [`DynamicPolicy`] — fully dynamic: one shared global queue ordered
+//!   left-to-right / top-to-bottom (the DFS order of Algorithm 2); any
+//!   free thread takes the head (perfect load balance, pays dequeue
+//!   contention and data migration).
+//! * [`HybridPolicy`] — the paper's contribution: tasks writing the first
+//!   `Nstatic` tile columns are scheduled statically, the rest feed the
+//!   global queue, and a thread only turns to the global queue when its
+//!   own queue is empty (Algorithm 1 + 2).
+//! * [`WorkStealingPolicy`] — Cilk-style randomized work stealing, the
+//!   §8 comparison point.
+//!
+//! Policies are *decision procedures*, not executors: both the
+//! discrete-event simulator (`calu-sim`) and the real threaded executor
+//! (`calu-core`) consult the same ownership map ([`OwnerMap`]) and
+//! priority orders ([`priority`]).
+
+pub mod config;
+pub mod owner;
+pub mod policy;
+pub mod priority;
+
+mod dynamic_policy;
+mod hybrid;
+mod static_policy;
+mod work_stealing;
+
+pub use config::{nstatic_for, SchedulerKind};
+pub use dynamic_policy::DynamicPolicy;
+pub use hybrid::HybridPolicy;
+pub use owner::OwnerMap;
+pub use policy::{Policy, Popped, QueueSource};
+pub use static_policy::StaticPolicy;
+pub use work_stealing::WorkStealingPolicy;
+
+use calu_dag::TaskGraph;
+use calu_matrix::ProcessGrid;
+
+/// Build the policy described by `kind` for graph `g` over `p` cores.
+pub fn make_policy(kind: SchedulerKind, g: &TaskGraph, grid: ProcessGrid) -> Box<dyn Policy> {
+    match kind {
+        SchedulerKind::Static => Box::new(StaticPolicy::new(g, grid)),
+        SchedulerKind::Dynamic => Box::new(DynamicPolicy::new(g, grid.size())),
+        SchedulerKind::Hybrid { dratio } => Box::new(HybridPolicy::new(g, grid, dratio)),
+        SchedulerKind::WorkStealing { seed } => {
+            Box::new(WorkStealingPolicy::new(g, grid.size(), seed))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calu_dag::TaskGraph;
+
+    /// Drive any policy single-threaded through the whole DAG and return
+    /// the execution order; panics if the policy loses tasks.
+    pub(crate) fn drain(g: &TaskGraph, policy: &mut dyn Policy, cores: usize) -> Vec<calu_dag::TaskId> {
+        let mut deps: Vec<u32> = g.ids().map(|t| g.dep_count(t)).collect();
+        for t in g.initial_ready() {
+            policy.on_ready(t, None);
+        }
+        let mut order = Vec::with_capacity(g.len());
+        let mut done = 0usize;
+        while done < g.len() {
+            let mut progressed = false;
+            for core in 0..cores {
+                if let Some(p) = policy.pop(core) {
+                    order.push(p.task);
+                    done += 1;
+                    progressed = true;
+                    for &s in g.successors(p.task) {
+                        deps[s.idx()] -= 1;
+                        if deps[s.idx()] == 0 {
+                            policy.on_ready(s, Some(core));
+                        }
+                    }
+                }
+            }
+            assert!(progressed, "policy starved with {done}/{} tasks done", g.len());
+        }
+        order
+    }
+
+    #[test]
+    fn all_policies_execute_every_task_exactly_once() {
+        let g = TaskGraph::build(500, 500, 100);
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        for kind in [
+            SchedulerKind::Static,
+            SchedulerKind::Dynamic,
+            SchedulerKind::Hybrid { dratio: 0.3 },
+            SchedulerKind::WorkStealing { seed: 7 },
+        ] {
+            let mut p = make_policy(kind, &g, grid);
+            let order = drain(&g, p.as_mut(), grid.size());
+            assert_eq!(order.len(), g.len(), "{kind:?}");
+            let mut seen = vec![false; g.len()];
+            for t in &order {
+                assert!(!seen[t.idx()], "{kind:?} ran {t:?} twice");
+                seen[t.idx()] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Fully static scheduling: each thread runs exactly the tasks whose
+//! output tiles it owns, in the static priority order. No load balancing
+//! — an idle thread with an empty queue stays idle (the white pockets of
+//! Figure 1).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use calu_dag::{TaskGraph, TaskId, TaskKind};
+use calu_matrix::ProcessGrid;
+
+use crate::owner::OwnerMap;
+use crate::policy::{Policy, Popped, QueueSource};
+use crate::priority::static_key;
+
+/// See module docs.
+pub struct StaticPolicy {
+    owners: OwnerMap,
+    keys: Vec<u64>,
+    kinds: Vec<TaskKind>,
+    queues: Vec<BinaryHeap<Reverse<(u64, u32)>>>,
+    queued: usize,
+}
+
+impl StaticPolicy {
+    /// Build for graph `g` distributed over `grid`.
+    pub fn new(g: &TaskGraph, grid: ProcessGrid) -> Self {
+        let owners = OwnerMap::new(g, grid);
+        let keys = g.ids().map(|t| static_key(&g.kind(t))).collect();
+        let kinds = g.ids().map(|t| g.kind(t)).collect();
+        let queues = (0..grid.size()).map(|_| BinaryHeap::new()).collect();
+        Self {
+            owners,
+            keys,
+            kinds,
+            queues,
+            queued: 0,
+        }
+    }
+
+    /// Pop the head of `core`'s queue.
+    fn pop_local(&mut self, core: usize) -> Option<TaskId> {
+        self.queues[core].pop().map(|Reverse((_, t))| {
+            self.queued -= 1;
+            TaskId(t)
+        })
+    }
+
+    /// `(panel, column)` of the queue head if it is an `Update` task.
+    fn head_update_step(&self, core: usize) -> Option<(u32, u32)> {
+        self.queues[core].peek().and_then(|Reverse((_, t))| {
+            match self.kinds[*t as usize] {
+                TaskKind::Update { k, j, .. } => Some((k, j)),
+                _ => None,
+            }
+        })
+    }
+}
+
+impl Policy for StaticPolicy {
+    fn on_ready(&mut self, t: TaskId, _completer: Option<usize>) {
+        let owner = self.owners.owner(t);
+        self.queues[owner].push(Reverse((self.keys[t.idx()], t.0)));
+        self.queued += 1;
+    }
+
+    fn pop(&mut self, core: usize) -> Option<Popped> {
+        self.pop_local(core).map(|task| Popped {
+            task,
+            source: QueueSource::Local,
+        })
+    }
+
+    fn pop_batch(&mut self, core: usize, max: usize) -> Vec<Popped> {
+        let Some(first) = self.pop_local(core) else {
+            return vec![];
+        };
+        let mut batch = vec![Popped {
+            task: first,
+            source: QueueSource::Local,
+        }];
+        // Group only updates of the same column step (k, j): the paper
+        // groups blocks sharing the same columns "such that the algorithm
+        // can make progress on its critical path" — grouping across
+        // columns would delay the readiness of the next panel's U tasks.
+        if let TaskKind::Update { k, j, .. } = self.kinds[first.idx()] {
+            while batch.len() < max {
+                match self.head_update_step(core) {
+                    Some((hk, hj)) if hk == k && hj == j => {
+                        let t = self.pop_local(core).expect("peeked head");
+                        batch.push(Popped {
+                            task: t,
+                            source: QueueSource::Local,
+                        });
+                    }
+                    _ => break,
+                }
+            }
+        }
+        batch
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn queued(&self) -> usize {
+        self.queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TaskGraph, StaticPolicy, ProcessGrid) {
+        let g = TaskGraph::build(400, 400, 100);
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let p = StaticPolicy::new(&g, grid);
+        (g, p, grid)
+    }
+
+    #[test]
+    fn tasks_only_run_on_their_owner() {
+        let (g, mut p, grid) = setup();
+        let owners = OwnerMap::new(&g, grid);
+        let mut deps: Vec<u32> = g.ids().map(|t| g.dep_count(t)).collect();
+        for t in g.initial_ready() {
+            p.on_ready(t, None);
+        }
+        let mut done = 0;
+        while done < g.len() {
+            let mut progressed = false;
+            for core in 0..grid.size() {
+                while let Some(popped) = p.pop(core) {
+                    assert_eq!(owners.owner(popped.task), core);
+                    assert_eq!(popped.source, QueueSource::Local);
+                    progressed = true;
+                    done += 1;
+                    for &s in g.successors(popped.task) {
+                        deps[s.idx()] -= 1;
+                        if deps[s.idx()] == 0 {
+                            p.on_ready(s, Some(core));
+                        }
+                    }
+                }
+            }
+            assert!(progressed, "static policy stuck at {done}/{}", g.len());
+        }
+    }
+
+    #[test]
+    fn panel_tasks_preempt_updates_in_queue_order() {
+        let (g, mut p, grid) = setup();
+        // core 3 owns (odd, odd) tiles on the 2x2 grid: it owns both
+        // panel-0 updates like (1,1) and panel-1 leaves like (3,1)
+        let owners = OwnerMap::new(&g, grid);
+        let s_task = g
+            .ids()
+            .find(|&t| matches!(g.kind(t), TaskKind::Update { k: 0, .. }) && owners.owner(t) == 3)
+            .unwrap();
+        let p_task = g
+            .ids()
+            .find(|&t| matches!(g.kind(t), TaskKind::PanelLeaf { k: 1, .. }) && owners.owner(t) == 3)
+            .unwrap();
+        p.on_ready(s_task, None);
+        p.on_ready(p_task, None);
+        assert_eq!(p.pop(3).unwrap().task, p_task, "panel leaf must run first");
+        assert_eq!(p.pop(3).unwrap().task, s_task);
+    }
+
+    #[test]
+    fn batch_groups_same_panel_updates_only() {
+        let (g, mut p, grid) = setup();
+        let owners = OwnerMap::new(&g, grid);
+        // queue several panel-0 updates owned by core 3 (owns 4 of them)
+        let updates: Vec<TaskId> = g
+            .ids()
+            .filter(|&t| matches!(g.kind(t), TaskKind::Update { k: 0, .. }) && owners.owner(t) == 3)
+            .collect();
+        assert!(updates.len() >= 2);
+        for &t in &updates {
+            p.on_ready(t, None);
+        }
+        let batch = p.pop_batch(3, 3);
+        assert!(batch.len() >= 2, "updates of one panel must group");
+        assert!(batch.len() <= 3);
+        for popped in &batch {
+            assert!(matches!(g.kind(popped.task), TaskKind::Update { k: 0, .. }));
+        }
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let (_, mut p, _) = setup();
+        assert!(p.pop(0).is_none());
+        assert!(p.pop_batch(1, 4).is_empty());
+        assert_eq!(p.queued(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulation outputs.
+
+use calu_trace::Timeline;
+
+/// Per-core accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreStats {
+    /// Seconds of useful kernel work.
+    pub work: f64,
+    /// Seconds of scheduler overhead (dequeues, steals).
+    pub overhead: f64,
+    /// Seconds of injected OS noise while busy.
+    pub noise: f64,
+    /// Seconds of memory stalls (cache misses).
+    pub memory: f64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Batched task groups executed.
+    pub batches: u64,
+    /// Bytes pulled from a remote socket.
+    pub remote_bytes: f64,
+    /// Bytes refilled from the local socket.
+    pub local_bytes: f64,
+    /// Tile-cache hits.
+    pub cache_hits: u64,
+    /// Tile-cache misses.
+    pub cache_misses: u64,
+}
+
+/// Result of one simulated factorization.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Simulated wall-clock time.
+    pub makespan: f64,
+    /// Useful flops actually executed (CALU does more than the nominal
+    /// LU count because of the tournament).
+    pub executed_flops: f64,
+    /// The nominal LU flop count `mn² − n³/3` used for Gflop/s plots.
+    pub nominal_flops: f64,
+    /// Per-core accounting.
+    pub cores: Vec<CoreStats>,
+    /// Full per-task trace, if recording was enabled.
+    pub timeline: Option<Timeline>,
+    /// Total tasks executed.
+    pub tasks: usize,
+}
+
+impl SimResult {
+    /// Gflop/s by the paper's convention (nominal flops / makespan).
+    pub fn gflops(&self) -> f64 {
+        self.nominal_flops / self.makespan / 1e9
+    }
+
+    /// Machine utilization: useful work time over `makespan × cores`.
+    pub fn utilization(&self) -> f64 {
+        let work: f64 = self.cores.iter().map(|c| c.work).sum();
+        work / (self.makespan * self.cores.len() as f64)
+    }
+
+    /// Total remote bytes moved (the NUMA traffic the paper's static
+    /// distribution avoids).
+    pub fn remote_bytes(&self) -> f64 {
+        self.cores.iter().map(|c| c.remote_bytes).sum()
+    }
+
+    /// Overall tile-cache hit rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.cores.iter().map(|c| c.cache_hits).sum();
+        let misses: u64 = self.cores.iter().map(|c| c.cache_misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Total scheduler overhead (core-seconds).
+    pub fn total_overhead(&self) -> f64 {
+        self.cores.iter().map(|c| c.overhead).sum()
+    }
+
+    /// Total injected noise absorbed while busy (core-seconds).
+    pub fn total_noise(&self) -> f64 {
+        self.cores.iter().map(|c| c.noise).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let r = SimResult {
+            makespan: 2.0,
+            executed_flops: 4e9,
+            nominal_flops: 3e9,
+            cores: vec![
+                CoreStats {
+                    work: 1.5,
+                    remote_bytes: 10.0,
+                    cache_hits: 3,
+                    cache_misses: 1,
+                    ..Default::default()
+                },
+                CoreStats {
+                    work: 0.5,
+                    remote_bytes: 5.0,
+                    cache_hits: 1,
+                    cache_misses: 3,
+                    ..Default::default()
+                },
+            ],
+            timeline: None,
+            tasks: 10,
+        };
+        assert!((r.gflops() - 1.5).abs() < 1e-12);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(r.remote_bytes(), 15.0);
+        assert!((r.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

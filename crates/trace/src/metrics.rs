@@ -1,0 +1,104 @@
+//! Aggregated timeline statistics.
+
+use crate::span::SpanKind;
+use crate::timeline::Timeline;
+
+/// Summary statistics of an execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineMetrics {
+    /// Number of cores.
+    pub cores: usize,
+    /// Trace makespan (seconds).
+    pub makespan: f64,
+    /// Mean utilization in `[0, 1]` (busy / makespan, incl. noise).
+    pub utilization: f64,
+    /// Total idle core-seconds.
+    pub total_idle: f64,
+    /// Total useful-work core-seconds.
+    pub total_work: f64,
+    /// Total injected-noise core-seconds.
+    pub total_noise: f64,
+    /// Total scheduler-overhead core-seconds.
+    pub total_overhead: f64,
+    /// Time spent in panel (P) tasks.
+    pub panel_time: f64,
+    /// Time spent in update (S) tasks.
+    pub update_time: f64,
+}
+
+impl TimelineMetrics {
+    /// Compute the metrics of a timeline.
+    pub fn of(t: &Timeline) -> Self {
+        let cores = t.cores();
+        let makespan = t.makespan();
+        let total_idle: f64 = (0..cores).map(|c| t.idle_time(c)).sum();
+        let total_work: f64 = (0..cores).map(|c| t.work_time(c)).sum();
+        let by = t.time_by_kind();
+        let get = |k: SpanKind| by.iter().find(|(kk, _)| *kk == k).map_or(0.0, |(_, v)| *v);
+        Self {
+            cores,
+            makespan,
+            utilization: t.utilization(),
+            total_idle,
+            total_work,
+            total_noise: get(SpanKind::Noise),
+            total_overhead: get(SpanKind::Overhead),
+            panel_time: get(SpanKind::Panel),
+            update_time: get(SpanKind::Update),
+        }
+    }
+
+    /// Idle fraction of the whole machine-time rectangle.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.makespan == 0.0 || self.cores == 0 {
+            return 0.0;
+        }
+        self.total_idle / (self.makespan * self.cores as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TaskSpan;
+
+    #[test]
+    fn metrics_add_up() {
+        let mut t = Timeline::new(2);
+        t.push(TaskSpan {
+            core: 0,
+            start: 0.0,
+            end: 8.0,
+            kind: SpanKind::Panel,
+        });
+        t.push(TaskSpan {
+            core: 1,
+            start: 0.0,
+            end: 4.0,
+            kind: SpanKind::Update,
+        });
+        t.push(TaskSpan {
+            core: 1,
+            start: 4.0,
+            end: 6.0,
+            kind: SpanKind::Noise,
+        });
+        let m = TimelineMetrics::of(&t);
+        assert_eq!(m.makespan, 8.0);
+        assert_eq!(m.total_work, 12.0);
+        assert_eq!(m.total_noise, 2.0);
+        assert_eq!(m.total_idle, 2.0);
+        assert_eq!(m.panel_time, 8.0);
+        assert_eq!(m.update_time, 4.0);
+        // busy 14 over 16 core-seconds
+        assert!((m.utilization - 14.0 / 16.0).abs() < 1e-12);
+        assert!((m.idle_fraction() - 2.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let m = TimelineMetrics::of(&Timeline::new(3));
+        assert_eq!(m.total_work, 0.0);
+        assert_eq!(m.idle_fraction(), 0.0);
+    }
+}

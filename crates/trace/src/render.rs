@@ -1,0 +1,104 @@
+//! ASCII timeline rendering — the terminal version of Figures 1/4/14/15.
+
+use crate::timeline::Timeline;
+
+/// Render the timeline as one text row per core and `width` time buckets
+/// per row. Each bucket shows the code of the activity covering most of
+/// it ('P', 'L', 'U', 'S', 'n'oise, 'o'verhead) or '.' when the core was
+/// mostly idle.
+pub fn ascii(t: &Timeline, width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    let mut out = String::new();
+    let makespan = t.makespan();
+    if makespan == 0.0 {
+        out.push_str("(empty timeline)\n");
+        return out;
+    }
+    let dt = makespan / width as f64;
+    for core in 0..t.cores() {
+        let spans = t.core_spans(core);
+        let mut row = String::with_capacity(width + 16);
+        row.push_str(&format!("core {core:>3} |"));
+        for w in 0..width {
+            let (t0, t1) = (w as f64 * dt, (w + 1) as f64 * dt);
+            // find dominant activity in [t0, t1)
+            let mut best = ('.', 0.0f64);
+            for s in &spans {
+                let overlap = (s.end.min(t1) - s.start.max(t0)).max(0.0);
+                if overlap > best.1 {
+                    best = (s.kind.code(), overlap);
+                }
+            }
+            // idle dominates only if total busy overlap < half the bucket
+            let busy: f64 = spans
+                .iter()
+                .map(|s| (s.end.min(t1) - s.start.max(t0)).max(0.0))
+                .sum();
+            row.push(if busy < 0.5 * dt { '.' } else { best.0 });
+        }
+        row.push('|');
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "          0{}{:.4}s  (P panel, L, U, S update, n noise, o overhead, . idle)\n",
+        " ".repeat(width.saturating_sub(8)),
+        makespan
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanKind, TaskSpan};
+
+    #[test]
+    fn renders_rows_per_core() {
+        let mut t = Timeline::new(3);
+        t.push(TaskSpan {
+            core: 0,
+            start: 0.0,
+            end: 10.0,
+            kind: SpanKind::Panel,
+        });
+        t.push(TaskSpan {
+            core: 1,
+            start: 5.0,
+            end: 10.0,
+            kind: SpanKind::Update,
+        });
+        let s = ascii(&t, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // 3 cores + legend
+        assert!(lines[0].contains("PPPPPPPPPP"));
+        assert!(lines[1].contains(".....SSSSS"));
+        assert!(lines[2].contains(".........."));
+    }
+
+    #[test]
+    fn idle_beats_sparse_work() {
+        let mut t = Timeline::new(1);
+        // 1% busy in the middle of a bucket
+        t.push(TaskSpan {
+            core: 0,
+            start: 0.0,
+            end: 0.01,
+            kind: SpanKind::Update,
+        });
+        t.push(TaskSpan {
+            core: 0,
+            start: 0.99,
+            end: 1.0,
+            kind: SpanKind::Update,
+        });
+        let s = ascii(&t, 1);
+        assert!(s.lines().next().unwrap().contains('.'));
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let s = ascii(&Timeline::new(2), 10);
+        assert!(s.contains("empty"));
+    }
+}

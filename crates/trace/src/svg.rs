@@ -1,0 +1,119 @@
+//! SVG timeline rendering, for figures embedded in reports.
+
+use crate::timeline::Timeline;
+use std::fmt::Write as _;
+
+/// Pixel geometry of the SVG rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Plot width in pixels.
+    pub width: f64,
+    /// Height of one core's lane in pixels.
+    pub lane_height: f64,
+    /// Vertical gap between lanes.
+    pub lane_gap: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width: 1000.0,
+            lane_height: 14.0,
+            lane_gap: 3.0,
+        }
+    }
+}
+
+/// Render the timeline as an SVG document: one horizontal lane per core,
+/// one colored rect per span (colors follow the paper's Figure 4 where
+/// red = panel, green = update).
+pub fn svg(t: &Timeline, opt: SvgOptions) -> String {
+    let makespan = t.makespan().max(1e-300);
+    let total_h = (opt.lane_height + opt.lane_gap) * t.cores() as f64 + 24.0;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+        opt.width + 60.0,
+        total_h,
+        opt.width + 60.0,
+        total_h
+    );
+    for core in 0..t.cores() {
+        let y = core as f64 * (opt.lane_height + opt.lane_gap) + 4.0;
+        let _ = writeln!(
+            out,
+            r##"<text x="2" y="{:.1}" font-size="10" font-family="monospace">c{}</text>"##,
+            y + opt.lane_height - 3.0,
+            core
+        );
+        // lane background (white = idle, as in the paper's figures)
+        let _ = writeln!(
+            out,
+            r##"<rect x="30" y="{y:.1}" width="{:.1}" height="{:.1}" fill="#f4f4f4" stroke="#ccc" stroke-width="0.5"/>"##,
+            opt.width, opt.lane_height
+        );
+    }
+    for s in t.spans() {
+        let y = s.core as f64 * (opt.lane_height + opt.lane_gap) + 4.0;
+        let x = 30.0 + s.start / makespan * opt.width;
+        let w = ((s.end - s.start) / makespan * opt.width).max(0.2);
+        let _ = writeln!(
+            out,
+            r##"<rect x="{x:.2}" y="{y:.1}" width="{w:.2}" height="{:.1}" fill="{}"/>"##,
+            opt.lane_height,
+            s.kind.color()
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanKind, TaskSpan};
+
+    #[test]
+    fn svg_structure() {
+        let mut t = Timeline::new(2);
+        t.push(TaskSpan {
+            core: 0,
+            start: 0.0,
+            end: 1.0,
+            kind: SpanKind::Panel,
+        });
+        t.push(TaskSpan {
+            core: 1,
+            start: 0.5,
+            end: 1.0,
+            kind: SpanKind::Update,
+        });
+        let s = svg(&t, SvgOptions::default());
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        // 2 lane backgrounds + 2 spans = 4 rects
+        assert_eq!(s.matches("<rect").count(), 4);
+        assert!(s.contains(SpanKind::Panel.color()));
+        assert!(s.contains(SpanKind::Update.color()));
+    }
+
+    #[test]
+    fn spans_scale_to_width() {
+        let mut t = Timeline::new(1);
+        t.push(TaskSpan {
+            core: 0,
+            start: 0.0,
+            end: 10.0,
+            kind: SpanKind::Update,
+        });
+        let s = svg(
+            &t,
+            SvgOptions {
+                width: 500.0,
+                ..Default::default()
+            },
+        );
+        assert!(s.contains(r#"width="500.00""#));
+    }
+}

@@ -1,0 +1,263 @@
+//! Per-core execution timelines.
+
+use crate::span::{SpanKind, TaskSpan};
+
+/// A complete execution trace: all spans of all cores.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    cores: usize,
+    spans: Vec<TaskSpan>,
+    t_end: f64,
+}
+
+impl Timeline {
+    /// Create an empty timeline for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        Self {
+            cores,
+            spans: Vec::new(),
+            t_end: 0.0,
+        }
+    }
+
+    /// Record a span. Panics if the core index is out of range or the
+    /// span is inverted.
+    pub fn push(&mut self, span: TaskSpan) {
+        assert!(span.core < self.cores, "core {} out of range", span.core);
+        assert!(span.end >= span.start, "inverted span");
+        self.t_end = self.t_end.max(span.end);
+        self.spans.push(span);
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// All spans (unsorted).
+    pub fn spans(&self) -> &[TaskSpan] {
+        &self.spans
+    }
+
+    /// Trace end time (max span end).
+    pub fn makespan(&self) -> f64 {
+        self.t_end
+    }
+
+    /// Spans of one core, sorted by start time.
+    pub fn core_spans(&self, core: usize) -> Vec<TaskSpan> {
+        let mut v: Vec<TaskSpan> = self.spans.iter().filter(|s| s.core == core).copied().collect();
+        v.sort_by(|a, b| a.start.total_cmp(&b.start));
+        v
+    }
+
+    /// Busy time of one core (all spans, including noise/overhead).
+    pub fn busy_time(&self, core: usize) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.core == core)
+            .map(|s| s.duration())
+            .sum()
+    }
+
+    /// Useful-work time of one core (excludes noise and overhead spans).
+    pub fn work_time(&self, core: usize) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.core == core && s.kind.is_work())
+            .map(|s| s.duration())
+            .sum()
+    }
+
+    /// Idle time of one core: makespan minus busy time.
+    pub fn idle_time(&self, core: usize) -> f64 {
+        (self.makespan() - self.busy_time(core)).max(0.0)
+    }
+
+    /// Mean utilization over cores: busy / makespan.
+    pub fn utilization(&self) -> f64 {
+        if self.cores == 0 || self.t_end == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = (0..self.cores).map(|c| self.busy_time(c)).sum();
+        busy / (self.t_end * self.cores as f64)
+    }
+
+    /// Time at which each core performed its last useful work (0.0 for a
+    /// core that never worked).
+    pub fn core_finish_times(&self) -> Vec<f64> {
+        let mut finish = vec![0.0f64; self.cores];
+        for s in &self.spans {
+            if s.kind.is_work() {
+                finish[s.core] = finish[s.core].max(s.end);
+            }
+        }
+        finish
+    }
+
+    /// Fraction of cores whose useful work has *finished* by time
+    /// `frac · makespan` — the Fig 14 metric ("90% of threads become idle
+    /// after only 60% of the total factorization time").
+    pub fn fraction_cores_done_by(&self, frac: f64) -> f64 {
+        if self.cores == 0 {
+            return 0.0;
+        }
+        let cutoff = frac * self.makespan();
+        let done = self
+            .core_finish_times()
+            .into_iter()
+            .filter(|&t| t <= cutoff + 1e-12)
+            .count();
+        done as f64 / self.cores as f64
+    }
+
+    /// Smallest time fraction by which at least `frac_cores` of the cores
+    /// have permanently finished useful work.
+    pub fn time_fraction_when_done(&self, frac_cores: f64) -> f64 {
+        if self.cores == 0 || self.t_end == 0.0 {
+            return 0.0;
+        }
+        let mut finish = self.core_finish_times();
+        finish.sort_by(f64::total_cmp);
+        let need = ((frac_cores * self.cores as f64).ceil() as usize).clamp(1, self.cores);
+        finish[need - 1] / self.t_end
+    }
+
+    /// Mean fraction of cores busy during the window
+    /// `[t0_frac, t1_frac] · makespan` — the metric behind Fig 14's
+    /// "90% of threads become idle after only 60% of the total
+    /// factorization time" (low tail busy-fraction = drained cores).
+    pub fn busy_fraction_in_window(&self, t0_frac: f64, t1_frac: f64) -> f64 {
+        let (t0, t1) = (t0_frac * self.t_end, t1_frac * self.t_end);
+        let window = (t1 - t0).max(f64::MIN_POSITIVE);
+        if self.cores == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .spans
+            .iter()
+            .map(|s| (s.end.min(t1) - s.start.max(t0)).max(0.0))
+            .sum();
+        busy / (window * self.cores as f64)
+    }
+
+    /// Total time spent per span kind across all cores.
+    pub fn time_by_kind(&self) -> Vec<(SpanKind, f64)> {
+        let kinds = [
+            SpanKind::Panel,
+            SpanKind::LFactor,
+            SpanKind::UFactor,
+            SpanKind::Update,
+            SpanKind::Noise,
+            SpanKind::Overhead,
+        ];
+        kinds
+            .iter()
+            .map(|&k| {
+                let t: f64 = self
+                    .spans
+                    .iter()
+                    .filter(|s| s.kind == k)
+                    .map(|s| s.duration())
+                    .sum();
+                (k, t)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(core: usize, start: f64, end: f64, kind: SpanKind) -> TaskSpan {
+        TaskSpan {
+            core,
+            start,
+            end,
+            kind,
+        }
+    }
+
+    fn simple() -> Timeline {
+        let mut t = Timeline::new(2);
+        t.push(span(0, 0.0, 4.0, SpanKind::Panel));
+        t.push(span(0, 4.0, 10.0, SpanKind::Update));
+        t.push(span(1, 0.0, 5.0, SpanKind::Update));
+        t
+    }
+
+    #[test]
+    fn busy_idle_accounting() {
+        let t = simple();
+        assert_eq!(t.makespan(), 10.0);
+        assert_eq!(t.busy_time(0), 10.0);
+        assert_eq!(t.busy_time(1), 5.0);
+        assert_eq!(t.idle_time(1), 5.0);
+        assert!((t.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_excludes_noise() {
+        let mut t = simple();
+        t.push(span(1, 5.0, 7.0, SpanKind::Noise));
+        assert_eq!(t.busy_time(1), 7.0);
+        assert_eq!(t.work_time(1), 5.0);
+    }
+
+    #[test]
+    fn finish_time_metrics() {
+        let t = simple();
+        let f = t.core_finish_times();
+        assert_eq!(f, vec![10.0, 5.0]);
+        // by 50% of makespan, core 1 (only) is done -> 0.5 of cores
+        assert_eq!(t.fraction_cores_done_by(0.5), 0.5);
+        assert_eq!(t.fraction_cores_done_by(1.0), 1.0);
+        // half the cores are done at time fraction 0.5
+        assert!((t.time_fraction_when_done(0.5) - 0.5).abs() < 1e-12);
+        assert!((t.time_fraction_when_done(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_fraction_windows() {
+        let t = simple();
+        // window [0, 0.5] = [0, 5]: core0 busy 5, core1 busy 5 -> 1.0
+        assert!((t.busy_fraction_in_window(0.0, 0.5) - 1.0).abs() < 1e-12);
+        // window [0.5, 1.0] = [5, 10]: core0 busy 5, core1 idle -> 0.5
+        assert!((t.busy_fraction_in_window(0.5, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_by_kind_sums() {
+        let t = simple();
+        let by = t.time_by_kind();
+        let panel = by.iter().find(|(k, _)| *k == SpanKind::Panel).unwrap().1;
+        let upd = by.iter().find(|(k, _)| *k == SpanKind::Update).unwrap().1;
+        assert_eq!(panel, 4.0);
+        assert_eq!(upd, 11.0);
+    }
+
+    #[test]
+    fn core_spans_sorted() {
+        let mut t = Timeline::new(1);
+        t.push(span(0, 5.0, 6.0, SpanKind::Update));
+        t.push(span(0, 0.0, 1.0, SpanKind::Panel));
+        let v = t.core_spans(0);
+        assert!(v[0].start < v[1].start);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_core() {
+        let mut t = Timeline::new(1);
+        t.push(span(3, 0.0, 1.0, SpanKind::Panel));
+    }
+
+    #[test]
+    fn empty_timeline_metrics() {
+        let t = Timeline::new(4);
+        assert_eq!(t.utilization(), 0.0);
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.fraction_cores_done_by(0.5), 1.0, "all cores trivially done");
+    }
+}

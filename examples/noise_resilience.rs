@@ -1,0 +1,58 @@
+//! Noise resilience: how each scheduling strategy degrades as OS noise
+//! grows — the §6/§7 story. Static schedules amplify noise (one delayed
+//! core stalls the pipeline); the hybrid's dynamic section absorbs it.
+//!
+//! ```sh
+//! cargo run --release --example noise_resilience
+//! ```
+
+use calu::dag::TaskGraph;
+use calu::matrix::{Layout, ProcessGrid};
+use calu::model::{max_static_fraction, NoiseStats};
+use calu::sched::SchedulerKind;
+use calu::sim::{run, MachineConfig, NoiseConfig, SimConfig};
+
+fn main() {
+    let n = 4000;
+    let b = 100;
+    let grid = ProcessGrid::square_for(16).unwrap();
+    let g = TaskGraph::build_calu(n, n, b, grid.pr());
+
+    println!("Gflop/s vs OS-noise load (Intel 16-core model, n = {n}, BCL):\n");
+    println!(
+        "  {:>12}  {:>8}  {:>8}  {:>8}  {:>14}",
+        "noise load", "static", "h10", "dynamic", "Thm1 max-fs"
+    );
+    for load_pct in [0.0, 0.5, 1.0, 2.0, 5.0] {
+        let noise = if load_pct == 0.0 {
+            NoiseConfig::off()
+        } else {
+            NoiseConfig {
+                rate_hz: 25.0,
+                mean_duration: load_pct / 100.0 / 25.0,
+                seed: 42,
+            }
+        };
+        let mach = MachineConfig::intel_xeon_16(noise);
+        let gfl = |sched| {
+            run(&g, &SimConfig::new(mach.clone(), Layout::BlockCyclic, sched)).gflops()
+        };
+        let stat = gfl(SchedulerKind::Static);
+        let h10 = gfl(SchedulerKind::Hybrid { dratio: 0.1 });
+        let dynamic = gfl(SchedulerKind::Dynamic);
+        // Theorem 1 with the measured noise of the static run
+        let r = run(
+            &g,
+            &SimConfig::new(mach.clone(), Layout::BlockCyclic, SchedulerKind::Static),
+        );
+        let deltas: Vec<f64> = r.cores.iter().map(|c| c.noise).collect();
+        let work: f64 = r.cores.iter().map(|c| c.work).sum();
+        let fs = max_static_fraction(work, 16, NoiseStats::from_samples(&deltas));
+        println!(
+            "  {:>11.1}%  {:>8.1}  {:>8.1}  {:>8.1}  {:>14.3}",
+            load_pct, stat, h10, dynamic, fs
+        );
+    }
+    println!("\nStatic loses the most as noise grows; the hybrid tracks the best curve.");
+    println!("Theorem 1's maximum static fraction shrinks accordingly.");
+}

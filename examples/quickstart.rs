@@ -1,0 +1,42 @@
+//! Quickstart: factor a matrix with CALU, verify it, solve a system.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use calu::core::{calu_factor, gepp_factor, CaluConfig};
+use calu::matrix::{gen, ops, Layout};
+
+fn main() {
+    // A 768×768 random matrix, factored with tile size 64 on 4 threads,
+    // 10% of the panels scheduled dynamically (the paper's sweet spot).
+    let n = 768;
+    let a = gen::uniform(n, n, 2024);
+    let cfg = CaluConfig::new(64)
+        .with_threads(4)
+        .with_dratio(0.1)
+        .with_layout(Layout::BlockCyclic);
+
+    let f = calu_factor(&a, &cfg).expect("factorization");
+    println!("CALU factorization of a {n}x{n} matrix");
+    println!("  residual  ‖PA − LU‖/‖A‖ = {:.2e}", f.residual(&a));
+    println!("  growth    max|U|/max|A|  = {:.2}", f.growth_factor(&a));
+    println!("  pivots    {} row swaps recorded", f.perm.len());
+
+    // Solve A·x = b and check the backward error.
+    let x_true = gen::uniform(n, 1, 7);
+    let b = ops::matmul(&a, &x_true);
+    let x = f.solve(&b);
+    let err = calu::core::verify::backward_error(&a, &x, &b);
+    println!("  solve     backward error = {err:.2e}");
+
+    // Compare the pivot quality with plain partial pivoting.
+    let g = gepp_factor(&a, 64);
+    println!(
+        "  GEPP comparison: growth {:.2} (tournament pivoting is as stable in practice)",
+        g.growth_factor(&a)
+    );
+    assert!(f.residual(&a) < 1e-12);
+    assert!(err < 1e-12);
+    println!("OK");
+}

@@ -1,0 +1,40 @@
+//! # calu — hybrid static/dynamic scheduling for dense LU factorization
+//!
+//! Facade crate re-exporting the full reproduction of
+//! *Donfack, Grigori, Gropp, Kale — "Hybrid static/dynamic scheduling for
+//! already optimized dense matrix factorization"* (IPDPS 2012).
+//!
+//! The pieces:
+//!
+//! * [`matrix`] — storage layouts (CM / BCL / 2l-BL), grids, generators;
+//! * [`kernels`] — pure-Rust BLAS-3 style kernels;
+//! * [`dag`] — the CALU task dependency graph (tasks P/L/U/S);
+//! * [`sched`] — static, dynamic, hybrid and work-stealing policies;
+//! * [`sim`] — discrete-event multicore/NUMA machine simulator;
+//! * [`trace`] — execution timelines and idle-time metrics;
+//! * [`model`] — the paper's §6 performance model (Theorem 1);
+//! * [`core`] — CALU with tournament pivoting, the threaded hybrid
+//!   executor, and the GEPP / incremental-pivoting baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use calu::core::{calu_factor, CaluConfig};
+//! use calu::matrix::{gen, Layout};
+//!
+//! let a = gen::uniform(256, 256, 42);
+//! let cfg = CaluConfig::new(32).with_threads(4).with_dratio(0.1);
+//! let f = calu_factor(&a, &cfg).unwrap();
+//! let resid = f.residual(&a);
+//! assert!(resid < 1e-12, "residual {resid}");
+//! assert_eq!(cfg.layout, Layout::BlockCyclic);
+//! ```
+
+pub use calu_core as core;
+pub use calu_dag as dag;
+pub use calu_kernels as kernels;
+pub use calu_matrix as matrix;
+pub use calu_model as model;
+pub use calu_sched as sched;
+pub use calu_sim as sim;
+pub use calu_trace as trace;

@@ -1,0 +1,110 @@
+//! Cross-crate integration: factorization correctness over the full
+//! design space (layout × scheduler × threads), verified against dense
+//! references.
+
+use calu::core::{calu_factor, calu_simple, gepp_factor, incpiv_factor, CaluConfig};
+use calu::matrix::{gen, ops, Layout};
+
+#[test]
+fn design_space_cross_product() {
+    let n = 72;
+    let a = gen::uniform(n, n, 100);
+    for layout in [Layout::BlockCyclic, Layout::TwoLevelBlock, Layout::ColumnMajor] {
+        for threads in [1usize, 2, 4] {
+            for dratio in [0.0, 0.1, 1.0] {
+                let cfg = CaluConfig::new(16)
+                    .with_threads(threads)
+                    .with_dratio(dratio)
+                    .with_layout(layout);
+                let f = calu_factor(&a, &cfg).expect("factor");
+                let r = f.residual(&a);
+                assert!(
+                    r < 1e-12,
+                    "residual {r} for layout {layout} threads {threads} dratio {dratio}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_drivers_agree_on_the_solution() {
+    let n = 64;
+    let a = gen::uniform(n, n, 101);
+    let x_true = gen::uniform(n, 1, 102);
+    let rhs = ops::matmul(&a, &x_true);
+
+    let x_calu = calu_factor(&a, &CaluConfig::new(16).with_threads(3))
+        .unwrap()
+        .solve(&rhs);
+    let x_simple = calu_simple(&a, 16, 2).solve(&rhs);
+    let x_gepp = gepp_factor(&a, 16).solve(&rhs);
+    let x_incpiv = incpiv_factor(&a, 16).solve(&rhs);
+
+    for (name, x) in [
+        ("threaded CALU", &x_calu),
+        ("simple CALU", &x_simple),
+        ("GEPP", &x_gepp),
+        ("incpiv", &x_incpiv),
+    ] {
+        assert!(x.approx_eq(&x_true, 1e-7), "{name} diverged");
+    }
+}
+
+#[test]
+fn tournament_pivoting_matches_gepp_stability_on_random() {
+    for seed in [1u64, 2, 3] {
+        let a = gen::uniform(96, 96, seed);
+        let calu = calu_factor(&a, &CaluConfig::new(16).with_threads(4)).unwrap();
+        let gepp = gepp_factor(&a, 16);
+        let ratio = calu.growth_factor(&a) / gepp.growth_factor(&a);
+        assert!(
+            ratio < 10.0,
+            "tournament growth must stay near GEPP's (ratio {ratio}, seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn tall_matrices_through_every_layout() {
+    let a = gen::tall_skinny(120, 40, 103);
+    for layout in [Layout::BlockCyclic, Layout::TwoLevelBlock, Layout::ColumnMajor] {
+        let cfg = CaluConfig::new(20).with_threads(2).with_layout(layout);
+        let f = calu_factor(&a, &cfg).unwrap();
+        assert!(f.residual(&a) < 1e-12, "layout {layout}");
+    }
+}
+
+#[test]
+fn pathological_inputs() {
+    // Wilkinson growth matrix: factors fine, growth is large but finite
+    let w = gen::wilkinson(48);
+    let f = calu_factor(&w, &CaluConfig::new(8).with_threads(2)).unwrap();
+    assert!(calu::core::verify::all_finite(&f.lu));
+    assert!(f.residual(&w) < 1e-6, "roundoff amplified by growth is fine");
+
+    // identity: nothing to do
+    let i = calu::matrix::DenseMatrix::identity(32);
+    let f = calu_factor(&i, &CaluConfig::new(8).with_threads(2)).unwrap();
+    assert!(f.residual(&i) < 1e-15);
+
+    // zero matrix: flagged singular, no panic
+    let z = calu::matrix::DenseMatrix::zeros(24, 24);
+    let f = calu_factor(&z, &CaluConfig::new(8).with_threads(2)).unwrap();
+    assert!(!f.is_nonsingular());
+}
+
+#[test]
+fn determinism_across_repeats_and_thread_counts() {
+    let a = gen::uniform(80, 80, 104);
+    let f2 = calu_factor(&a, &CaluConfig::new(16).with_threads(2)).unwrap();
+    let f4 = calu_factor(&a, &CaluConfig::new(16).with_threads(4)).unwrap();
+    // same grid rows (2x1 vs 2x2) may differ in TSLU chunking; identical
+    // thread counts must be bitwise identical
+    let f4b = calu_factor(&a, &CaluConfig::new(16).with_threads(4)).unwrap();
+    assert!(f4.lu.approx_eq(&f4b.lu, 0.0));
+    assert_eq!(f4.perm.pivots(), f4b.perm.pivots());
+    // different thread counts still factor correctly
+    assert!(f2.residual(&a) < 1e-12);
+    assert!(f4.residual(&a) < 1e-12);
+}

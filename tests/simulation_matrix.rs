@@ -1,0 +1,142 @@
+//! Cross-crate integration: the simulator × scheduler × machine matrix,
+//! checking the paper's qualitative claims hold wherever the paper makes
+//! them.
+
+use calu::dag::TaskGraph;
+use calu::matrix::{Layout, ProcessGrid};
+use calu::sched::SchedulerKind;
+use calu::sim::{run, MachineConfig, NoiseConfig, SimConfig};
+
+fn gflops(n: usize, mach: &MachineConfig, layout: Layout, sched: SchedulerKind) -> f64 {
+    let grid = ProcessGrid::square_for(mach.cores()).unwrap();
+    let g = TaskGraph::build_calu(n, n, 100, grid.pr());
+    run(&g, &SimConfig::new(mach.clone(), layout, sched)).gflops()
+}
+
+#[test]
+fn intel_ordering_static_worst_hybrid_best() {
+    // Fig 6: on the Intel machine static is the least efficient; the
+    // hybrid with a small dynamic share beats fully dynamic
+    let mach = MachineConfig::intel_xeon_16(NoiseConfig::os_daemons(42));
+    let stat = gflops(4000, &mach, Layout::BlockCyclic, SchedulerKind::Static);
+    let h10 = gflops(4000, &mach, Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.1 });
+    let dynamic = gflops(4000, &mach, Layout::BlockCyclic, SchedulerKind::Dynamic);
+    assert!(stat < dynamic, "static {stat} must trail dynamic {dynamic} on Intel");
+    assert!(h10 > dynamic, "hybrid(10%) {h10} must beat dynamic {dynamic}");
+    assert!(h10 > stat * 1.02, "hybrid must beat static clearly");
+}
+
+#[test]
+fn amd_ordering_dynamic_worst() {
+    // Fig 7/10: on the NUMA machine fully dynamic scheduling loses
+    let mach = MachineConfig::amd_opteron_48(NoiseConfig::os_daemons(42));
+    for layout in [Layout::BlockCyclic, Layout::TwoLevelBlock] {
+        let stat = gflops(5000, &mach, layout, SchedulerKind::Static);
+        let h10 = gflops(5000, &mach, layout, SchedulerKind::Hybrid { dratio: 0.1 });
+        let dynamic = gflops(5000, &mach, layout, SchedulerKind::Dynamic);
+        assert!(dynamic < stat, "{layout}: dynamic {dynamic} must trail static {stat}");
+        assert!(h10 > stat, "{layout}: hybrid {h10} must beat static {stat}");
+    }
+}
+
+#[test]
+fn amd_2lbl_dynamic_collapse_is_worst_case() {
+    // Fig 11: the dynamic gap is largest with 2l-BL on the NUMA machine
+    let mach = MachineConfig::amd_opteron_48(NoiseConfig::os_daemons(42));
+    let gap = |layout| {
+        let h10 = gflops(5000, &mach, layout, SchedulerKind::Hybrid { dratio: 0.1 });
+        let dynamic = gflops(5000, &mach, layout, SchedulerKind::Dynamic);
+        h10 / dynamic
+    };
+    assert!(
+        gap(Layout::TwoLevelBlock) > gap(Layout::BlockCyclic),
+        "2l-BL must suffer more from dynamic scheduling than BCL"
+    );
+}
+
+#[test]
+fn calu_beats_both_library_models() {
+    // Figs 16–17
+    for mach in [
+        MachineConfig::intel_xeon_16(NoiseConfig::os_daemons(42)),
+        MachineConfig::amd_opteron_48(NoiseConfig::os_daemons(42)),
+    ] {
+        let grid = ProcessGrid::square_for(mach.cores()).unwrap();
+        let n = 5000;
+        let calu_g = TaskGraph::build_calu(n, n, 100, grid.pr());
+        let calu = run(
+            &calu_g,
+            &SimConfig::new(mach.clone(), Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.1 }),
+        )
+        .gflops();
+        let mkl = run(
+            &TaskGraph::build_gepp(n, n, 100),
+            &SimConfig::new(mach.clone(), Layout::ColumnMajor, SchedulerKind::Dynamic),
+        )
+        .gflops();
+        let plasma = run(
+            &TaskGraph::build_incpiv(n, n, 100),
+            &SimConfig::new(mach.clone(), Layout::TwoLevelBlock, SchedulerKind::Static),
+        )
+        .gflops();
+        assert!(calu > mkl * 1.2, "{}: CALU {calu} vs MKL {mkl}", mach.name);
+        assert!(calu > plasma * 1.1, "{}: CALU {calu} vs PLASMA {plasma}", mach.name);
+        assert!(plasma > mkl, "{}: PLASMA should beat MKL's serial panel", mach.name);
+    }
+}
+
+#[test]
+fn dynamic_cm_profile_drains_early() {
+    // Fig 14: under column-granular dynamic+CM (the paper's fully
+    // dynamic implementation) the tail starves most cores
+    let mach = MachineConfig::amd_opteron_with_cores(18, NoiseConfig::os_daemons(42));
+    let grid = ProcessGrid::square_for(18).unwrap();
+    let g = TaskGraph::build_calu(2500, 2500, 100, grid.pr());
+    let cfg = SimConfig::new(mach.clone(), Layout::ColumnMajor, SchedulerKind::Dynamic)
+        .with_column_granularity()
+        .with_trace();
+    let r = run(&g, &cfg);
+    let gf = r.gflops();
+    let tl = r.timeline.unwrap();
+    let early = tl.busy_fraction_in_window(0.0, 0.6);
+    let tail = tl.busy_fraction_in_window(0.6, 1.0);
+    assert!(
+        tail < 0.65 * early,
+        "tail busy fraction {tail:.2} must collapse vs early {early:.2}"
+    );
+    // and it is the slowest configuration overall (Fig 12/13 summary)
+    let hybrid = run(
+        &g,
+        &SimConfig::new(mach, Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.1 }),
+    );
+    assert!(gf < hybrid.gflops());
+}
+
+#[test]
+fn hybrid_timeline_has_less_idle_than_static() {
+    // Figs 1 vs 15
+    let mach = MachineConfig::amd_opteron_with_cores(18, NoiseConfig::os_daemons(42));
+    let grid = ProcessGrid::square_for(18).unwrap();
+    let g = TaskGraph::build_calu(2500, 2500, 100, grid.pr());
+    let idle = |sched| {
+        let cfg = SimConfig::new(mach.clone(), Layout::TwoLevelBlock, sched).with_trace();
+        let r = run(&g, &cfg);
+        let tl = r.timeline.unwrap();
+        calu::trace::TimelineMetrics::of(&tl).idle_fraction()
+    };
+    let static_idle = idle(SchedulerKind::Static);
+    let hybrid_idle = idle(SchedulerKind::Hybrid { dratio: 0.1 });
+    assert!(
+        hybrid_idle < static_idle,
+        "hybrid idle {hybrid_idle} must undercut static idle {static_idle}"
+    );
+}
+
+#[test]
+fn work_stealing_trails_hybrid() {
+    // §8: random stealing ignores the left-to-right critical path
+    let mach = MachineConfig::amd_opteron_48(NoiseConfig::os_daemons(42));
+    let h10 = gflops(5000, &mach, Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.1 });
+    let ws = gflops(5000, &mach, Layout::BlockCyclic, SchedulerKind::WorkStealing { seed: 9 });
+    assert!(h10 > ws, "hybrid {h10} must beat work stealing {ws}");
+}
