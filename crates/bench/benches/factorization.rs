@@ -1,33 +1,35 @@
 //! End-to-end factorization benches: CALU (sequential reference and
 //! threaded hybrid executor) against the GEPP and incremental-pivoting
-//! baselines, all at equal problem size.
+//! baselines, all at equal problem size, through the Solver facade.
 
-use calu_core::{calu_factor, calu_simple, gepp_factor, incpiv_factor, CaluConfig};
-use calu_matrix::gen;
-use criterion::{criterion_group, criterion_main, Criterion};
+use calu::core::{calu_simple, gepp_factor, incpiv_factor};
+use calu::matrix::gen;
+use calu::Solver;
+use calu_bench::timing::bench;
 
-fn bench_factorizations(c: &mut Criterion) {
+fn main() {
     let n = 256usize;
     let b = 32usize;
     let a = gen::uniform(n, n, 7);
-    let mut group = c.benchmark_group("factor_256");
-    group.bench_function("calu_simple", |bch| bch.iter(|| calu_simple(&a, b, 4)));
-    group.bench_function("gepp", |bch| bch.iter(|| gepp_factor(&a, b)));
-    group.bench_function("incpiv", |bch| bch.iter(|| incpiv_factor(&a, b)));
-    group.bench_function("calu_threaded_1", |bch| {
-        let cfg = CaluConfig::new(b).with_threads(1);
-        bch.iter(|| calu_factor(&a, &cfg).unwrap())
+    println!("factor_{n}:");
+    bench("calu_simple", 10, || {
+        calu_simple(&a, b, 4);
     });
-    group.bench_function("calu_threaded_4_h10", |bch| {
-        let cfg = CaluConfig::new(b).with_threads(4).with_dratio(0.1);
-        bch.iter(|| calu_factor(&a, &cfg).unwrap())
+    bench("gepp", 10, || {
+        gepp_factor(&a, b);
     });
-    group.finish();
+    bench("incpiv", 10, || {
+        incpiv_factor(&a, b);
+    });
+    // solvers are built (and the matrix moved in) outside the timed
+    // region, and verification is off, so these rows time exactly the
+    // factorization — comparable with the raw gepp/incpiv rows above
+    let s1 = Solver::new(a.clone()).tile(b).threads(1).verify(false);
+    bench("calu_threaded_1", 10, || {
+        s1.run().unwrap();
+    });
+    let s4 = Solver::new(a).tile(b).threads(4).dratio(0.1).verify(false);
+    bench("calu_threaded_4_h10", 10, || {
+        s4.run().unwrap();
+    });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_factorizations
-}
-criterion_main!(benches);

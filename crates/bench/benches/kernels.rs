@@ -1,90 +1,89 @@
-//! Criterion microbenches for the pure-Rust kernels: how many Gflop/s
-//! the gemm/trsm/getrf building blocks sustain on this host. These rates
+//! Microbenches for the pure-Rust kernels: how many Gflop/s the
+//! gemm/trsm/getrf building blocks sustain on this host. These rates
 //! justify the efficiency table of the simulator's cost model.
+//!
+//! Per-iteration input copies are pre-built *outside* the timed
+//! closures (criterion's `iter_batched` equivalent): a fresh clone
+//! inside the measurement would bias the smaller kernels, whose
+//! O(n²) setup is a visible fraction of the O(n³) work.
 
-use calu_kernels::{dgemm, dgetf2, dgetrf_recursive, dtrsm_left_lower_unit};
-use calu_matrix::gen;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use calu::kernels::{dgemm, dgetf2, dgetrf_recursive, dtrsm_left_lower_unit};
+use calu::matrix::{gen, DenseMatrix};
+use calu_bench::timing::{bench, bench_throughput};
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dgemm");
+const ITERS: usize = 20;
+
+/// Pre-cloned inputs, one per timed iteration plus the warm-up call.
+fn pool(proto: &DenseMatrix) -> (Vec<DenseMatrix>, std::ops::RangeFrom<usize>) {
+    ((0..=ITERS).map(|_| proto.clone()).collect(), 0..)
+}
+
+fn main() {
+    println!("dgemm:");
     for &n in &[64usize, 128, 256] {
         let a = gen::uniform(n, n, 1);
         let b = gen::uniform(n, n, 2);
-        let c0 = gen::uniform(n, n, 3);
-        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter_batched(
-                || c0.clone(),
-                |mut cm| {
-                    dgemm(
-                        n, n, n, -1.0,
-                        a.as_slice(), n,
-                        b.as_slice(), n,
-                        1.0,
-                        cm.as_mut_slice(), n,
-                    );
-                    cm
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        // dgemm accumulates (beta = 1); reusing one buffer across
+        // iterations leaves the flop count and timing unchanged
+        let mut cm = gen::uniform(n, n, 3);
+        bench_throughput(
+            &format!("dgemm_{n}"),
+            ITERS,
+            (2 * n * n * n) as u64,
+            "flop",
+            || {
+                dgemm(
+                    n,
+                    n,
+                    n,
+                    -1.0,
+                    a.as_slice(),
+                    n,
+                    b.as_slice(),
+                    n,
+                    1.0,
+                    cm.as_mut_slice(),
+                    n,
+                );
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_getrf(c: &mut Criterion) {
-    let mut group = c.benchmark_group("panel_getrf");
+    println!("panel_getrf (512x64):");
     let (m, n) = (512usize, 64usize);
     let a = gen::uniform(m, n, 4);
-    group.bench_function("dgetf2_unblocked", |bch| {
-        bch.iter_batched(
-            || a.clone(),
-            |mut p| {
-                let ld = p.ld();
-                dgetf2(m, n, p.as_mut_slice(), ld)
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    let (mut panels, mut next) = pool(&a);
+    bench("dgetf2_unblocked", ITERS, || {
+        let p = &mut panels[next.next().unwrap()];
+        let ld = p.ld();
+        dgetf2(m, n, p.as_mut_slice(), ld);
     });
-    group.bench_function("dgetrf_recursive", |bch| {
-        bch.iter_batched(
-            || a.clone(),
-            |mut p| {
-                let ld = p.ld();
-                dgetrf_recursive(m, n, p.as_mut_slice(), ld)
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    let (mut panels, mut next) = pool(&a);
+    bench("dgetrf_recursive", ITERS, || {
+        let p = &mut panels[next.next().unwrap()];
+        let ld = p.ld();
+        dgetrf_recursive(m, n, p.as_mut_slice(), ld);
     });
-    group.finish();
-}
 
-fn bench_trsm(c: &mut Criterion) {
+    println!("trsm:");
     let n = 128usize;
     let l = {
         let r = gen::uniform(n, n, 5);
-        calu_matrix::DenseMatrix::from_fn(n, n, |i, j| {
-            if i == j { 1.0 } else if i > j { 0.3 * r.get(i, j) } else { 0.0 }
+        DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                0.3 * r.get(i, j)
+            } else {
+                0.0
+            }
         })
     };
     let b = gen::uniform(n, n, 6);
-    c.bench_function("dtrsm_left_lower_unit_128", |bch| {
-        bch.iter_batched(
-            || b.clone(),
-            |mut x| {
-                let ld = x.ld();
-                dtrsm_left_lower_unit(n, n, l.as_slice(), n, x.as_mut_slice(), ld);
-                x
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    let (mut rhs, mut next) = pool(&b);
+    bench("dtrsm_left_lower_unit_128", ITERS, || {
+        let x = &mut rhs[next.next().unwrap()];
+        let ld = x.ld();
+        dtrsm_left_lower_unit(n, n, l.as_slice(), n, x.as_mut_slice(), ld);
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_gemm, bench_getrf, bench_trsm
-}
-criterion_main!(benches);

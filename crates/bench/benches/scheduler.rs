@@ -1,10 +1,10 @@
 //! Scheduling-policy overhead: tasks scheduled per second through each
 //! policy (single-threaded decision procedure, as the simulator uses it).
 
-use calu_dag::TaskGraph;
-use calu_matrix::ProcessGrid;
-use calu_sched::{make_policy, SchedulerKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use calu::dag::TaskGraph;
+use calu::matrix::ProcessGrid;
+use calu::sched::{make_policy, SchedulerKind};
+use calu_bench::timing::bench_throughput;
 
 fn drive(g: &TaskGraph, kind: SchedulerKind, cores: usize) -> usize {
     let grid = ProcessGrid::square_for(cores).unwrap();
@@ -30,26 +30,17 @@ fn drive(g: &TaskGraph, kind: SchedulerKind, cores: usize) -> usize {
     done
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let g = TaskGraph::build_calu(3000, 3000, 100, 4);
-    let mut group = c.benchmark_group("policy_drain");
-    group.throughput(Throughput::Elements(g.len() as u64));
+    println!("policy_drain ({} tasks):", g.len());
     for kind in [
         SchedulerKind::Static,
         SchedulerKind::Dynamic,
         SchedulerKind::Hybrid { dratio: 0.1 },
         SchedulerKind::WorkStealing { seed: 1 },
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind}")), &kind, |b, &k| {
-            b.iter(|| drive(&g, k, 16))
+        bench_throughput(&format!("{kind}"), 10, g.len() as u64, "task", || {
+            drive(&g, kind, 16);
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_policies
-}
-criterion_main!(benches);

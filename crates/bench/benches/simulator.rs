@@ -1,39 +1,27 @@
-//! Simulator throughput: simulated tasks per second of the discrete-event
-//! engine, the cost that bounds how large the figure sweeps can go.
+//! Simulator throughput: simulated tasks per second of one end-to-end
+//! facade `run()` — plan validation, DAG construction, and the
+//! discrete-event engine together. That is the per-experiment cost the
+//! figure sweeps actually pay, since each experiment goes through the
+//! same Solver path.
 
-use calu_bench::default_noise;
-use calu_dag::TaskGraph;
-use calu_matrix::{Layout, ProcessGrid};
-use calu_sched::SchedulerKind;
-use calu_sim::{run, MachineConfig, SimConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use calu::dag::TaskGraph;
+use calu::sched::SchedulerKind;
+use calu::sim::MachineConfig;
+use calu_bench::timing::bench_throughput;
+use calu_bench::{default_noise, sim_solver};
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let mach = MachineConfig::intel_xeon_16(default_noise());
-    let grid = ProcessGrid::square_for(16).unwrap();
-    let g = TaskGraph::build_calu(4000, 4000, 100, grid.pr());
-    let mut group = c.benchmark_group("sim_engine");
-    group.throughput(Throughput::Elements(g.len() as u64));
+    let tasks = TaskGraph::build_calu(4000, 4000, 100, 4).len();
+    println!("sim_engine (n=4000, {tasks} tasks):");
     for sched in [
         SchedulerKind::Static,
         SchedulerKind::Hybrid { dratio: 0.1 },
         SchedulerKind::Dynamic,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{sched}")),
-            &sched,
-            |b, &s| {
-                let cfg = SimConfig::new(mach.clone(), Layout::BlockCyclic, s);
-                b.iter(|| run(&g, &cfg))
-            },
-        );
+        let solver = sim_solver(4000, &mach).scheduler(sched);
+        bench_throughput(&format!("{sched}"), 10, tasks as u64, "task", || {
+            solver.run().unwrap();
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_engine
-}
-criterion_main!(benches);

@@ -5,27 +5,30 @@
 //! 3. OS noise on/off — what the dynamic section actually absorbs,
 //! 4. work stealing vs the paper's DFS-ordered dynamic queue,
 //! 5. one slow core (persistent δ_i) under each scheduler.
+//!
+//! Every variant is one knob on the same `Solver`, which is the point
+//! of the facade: the ablation is a loop over configurations, not five
+//! hand-wired experiments.
 
-use calu_bench::{default_noise, gf, print_table};
-use calu_dag::TaskGraph;
-use calu_matrix::{Layout, ProcessGrid};
-use calu_sched::SchedulerKind;
-use calu_sim::{run, MachineConfig, NoiseConfig, SimConfig};
+use calu::matrix::ProcessGrid;
+use calu::sched::SchedulerKind;
+use calu::sim::{MachineConfig, NoiseConfig};
+use calu_bench::{default_noise, gf, print_table, run_calu, sim_solver};
 
 fn main() {
     let n = 5000;
-    let b = 100;
-    let grid48 = ProcessGrid::square_for(48).unwrap();
     let amd = MachineConfig::amd_opteron_48(default_noise());
     let h10 = SchedulerKind::Hybrid { dratio: 0.1 };
 
     // 1. grouping
-    let g = TaskGraph::build_calu(n, n, b, grid48.pr());
     let mut rows = Vec::new();
     for (label, group) in [("k = 3 (paper)", 3usize), ("k = 1 (no grouping)", 1)] {
-        let mut cfg = SimConfig::new(amd.clone(), Layout::BlockCyclic, h10);
-        cfg.group_max = group;
-        rows.push(vec![label.to_string(), gf(run(&g, &cfg).gflops())]);
+        let r = sim_solver(n, &amd)
+            .scheduler(h10)
+            .grouping(group)
+            .run()
+            .expect("grouping ablation");
+        rows.push(vec![label.to_string(), gf(r.gflops())]);
     }
     print_table(
         "Ablation 1 — grouped BLAS-3 updates, AMD 48c, BCL, h10, n=5000",
@@ -34,15 +37,20 @@ fn main() {
     );
 
     // 2. TSLU leaf granularity
+    let b = calu_bench::block_for(n);
+    let grid_rows = ProcessGrid::square_for(48).unwrap().pr();
     let mut rows = Vec::new();
     for (label, stride) in [
-        ("per-thread leaves (paper)", grid48.pr()),
+        ("per-thread leaves (paper)", grid_rows),
         ("per-tile leaves (deep tree)", n / b),
         ("single leaf (sequential panel)", 1),
     ] {
-        let g = TaskGraph::build_calu(n, n, b, stride);
-        let cfg = SimConfig::new(amd.clone(), Layout::BlockCyclic, h10);
-        rows.push(vec![label.to_string(), gf(run(&g, &cfg).gflops())]);
+        let r = sim_solver(n, &amd)
+            .scheduler(h10)
+            .tslu_leaves(stride)
+            .run()
+            .expect("leaf ablation");
+        rows.push(vec![label.to_string(), gf(r.gflops())]);
     }
     print_table(
         "Ablation 2 — TSLU reduction granularity, AMD 48c, BCL, h10",
@@ -51,12 +59,15 @@ fn main() {
     );
 
     // 3. noise on/off per scheduler
+    let quiet = MachineConfig::amd_opteron_48(NoiseConfig::off());
     let mut rows = Vec::new();
     for sched in [SchedulerKind::Static, h10, SchedulerKind::Dynamic] {
-        let g = TaskGraph::build_calu(n, n, b, grid48.pr());
-        let quiet = MachineConfig::amd_opteron_48(NoiseConfig::off());
-        let gq = run(&g, &SimConfig::new(quiet, Layout::BlockCyclic, sched)).gflops();
-        let gn = run(&g, &SimConfig::new(amd.clone(), Layout::BlockCyclic, sched)).gflops();
+        let gq = sim_solver(n, &quiet)
+            .scheduler(sched)
+            .run()
+            .unwrap()
+            .gflops();
+        let gn = sim_solver(n, &amd).scheduler(sched).run().unwrap().gflops();
         rows.push(vec![
             sched.to_string(),
             gf(gq),
@@ -66,19 +77,26 @@ fn main() {
     }
     print_table(
         "Ablation 3 — OS noise impact per scheduler, AMD 48c, BCL",
-        &["scheduler".to_string(), "quiet".into(), "noisy".into(), "delta".into()],
+        &[
+            "scheduler".to_string(),
+            "quiet".into(),
+            "noisy".into(),
+            "delta".into(),
+        ],
         &rows,
     );
 
     // 4. work stealing vs DFS dynamic queue
-    let g = TaskGraph::build_calu(n, n, b, grid48.pr());
     let mut rows = Vec::new();
     for (label, sched) in [
         ("DFS dynamic queue (Algorithm 2)", SchedulerKind::Dynamic),
-        ("randomized work stealing", SchedulerKind::WorkStealing { seed: 7 }),
+        (
+            "randomized work stealing",
+            SchedulerKind::WorkStealing { seed: 7 },
+        ),
     ] {
-        let cfg = SimConfig::new(amd.clone(), Layout::BlockCyclic, sched);
-        rows.push(vec![label.to_string(), gf(run(&g, &cfg).gflops())]);
+        let r = run_calu(n, &amd, calu::matrix::Layout::BlockCyclic, sched, false);
+        rows.push(vec![label.to_string(), gf(r.gflops())]);
     }
     print_table(
         "Ablation 4 — §8: steal order vs critical-path order, AMD 48c",
@@ -87,13 +105,20 @@ fn main() {
     );
 
     // 5. one slow core
+    let mut slow = MachineConfig::amd_opteron_48(NoiseConfig::off());
+    slow.slow_core = Some((7, 0.4));
     let mut rows = Vec::new();
     for sched in [SchedulerKind::Static, h10, SchedulerKind::Dynamic] {
-        let mut slow = MachineConfig::amd_opteron_48(NoiseConfig::off());
-        slow.slow_core = Some((7, 0.4));
-        let healthy = MachineConfig::amd_opteron_48(NoiseConfig::off());
-        let gh = run(&g, &SimConfig::new(healthy, Layout::BlockCyclic, sched)).gflops();
-        let gs = run(&g, &SimConfig::new(slow, Layout::BlockCyclic, sched)).gflops();
+        let gh = sim_solver(n, &quiet)
+            .scheduler(sched)
+            .run()
+            .unwrap()
+            .gflops();
+        let gs = sim_solver(n, &slow)
+            .scheduler(sched)
+            .run()
+            .unwrap()
+            .gflops();
         rows.push(vec![
             sched.to_string(),
             gf(gh),
@@ -103,7 +128,12 @@ fn main() {
     }
     print_table(
         "Ablation 5 — one core at 40% speed (persistent δ), AMD 48c, BCL",
-        &["scheduler".to_string(), "healthy".into(), "one slow core".into(), "delta".into()],
+        &[
+            "scheduler".to_string(),
+            "healthy".into(),
+            "one slow core".into(),
+            "delta".into(),
+        ],
         &rows,
     );
 }

@@ -2,28 +2,30 @@
 //! to tiled Cholesky factorization. "While in this paper we focus on
 //! CALU, the same techniques can be applied to other dense
 //! factorizations as Cholesky, QR, …" — here is Cholesky, same
-//! scheduler, same machine models.
+//! scheduler, same machine models, same Solver facade.
 
-use calu_bench::{default_noise, gf, print_table, sched_sweep};
-use calu_dag::TaskGraph;
-use calu_matrix::Layout;
-use calu_sim::{run, MachineConfig, SimConfig};
+use calu::sim::MachineConfig;
+use calu_bench::{default_noise, gf, print_table, run_cholesky, sched_sweep};
 
 fn main() {
     for (name, mach) in [
-        ("Intel Xeon 16-core", MachineConfig::intel_xeon_16(default_noise())),
-        ("AMD Opteron 48-core", MachineConfig::amd_opteron_48(default_noise())),
+        (
+            "Intel Xeon 16-core",
+            MachineConfig::intel_xeon_16(default_noise()),
+        ),
+        (
+            "AMD Opteron 48-core",
+            MachineConfig::amd_opteron_48(default_noise()),
+        ),
     ] {
         let headers: Vec<String> = std::iter::once("n".into())
             .chain(sched_sweep().into_iter().map(|(s, _)| s))
             .collect();
         let mut rows = Vec::new();
         for n in [4000usize, 6000, 8000] {
-            let g = TaskGraph::build_cholesky(n, calu_bench::block_for(n));
             let mut row = vec![n.to_string()];
             for (_, sched) in sched_sweep() {
-                let cfg = SimConfig::new(mach.clone(), Layout::BlockCyclic, sched);
-                row.push(gf(run(&g, &cfg).gflops()));
+                row.push(gf(run_cholesky(n, &mach, sched).gflops()));
             }
             rows.push(row);
         }

@@ -1,16 +1,21 @@
 //! §7: projected minimum dynamic percentage for future many-core nodes
 //! under noise amplification (weak scaling, work per core constant).
 
+use calu::model::dynamic_fraction_projection;
 use calu_bench::print_table;
-use calu_model::dynamic_fraction_projection;
 
 fn main() {
     let cores = [16usize, 48, 192, 768, 3072, 12288, 49152];
     let rows = dynamic_fraction_projection(&cores, 1.0, 5e-3, 0.5);
-    let headers: Vec<String> = ["cores/node", "noise skew (ms)", "max static", "min dynamic %"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "cores/node",
+        "noise skew (ms)",
+        "max static",
+        "min dynamic %",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -5,19 +5,21 @@
 //! Our AMD model scales by whole sockets, so we use 18 cores (3 sockets);
 //! the idle-pocket phenomenon is identical.
 
-use calu_bench::default_noise;
-use calu_dag::TaskGraph;
-use calu_matrix::{Layout, ProcessGrid};
-use calu_sched::SchedulerKind;
-use calu_sim::{run, MachineConfig, SimConfig};
-use calu_trace::{render, svg, TimelineMetrics};
+use calu::matrix::Layout;
+use calu::sched::SchedulerKind;
+use calu::sim::MachineConfig;
+use calu::trace::{render, svg, TimelineMetrics};
+use calu_bench::{default_noise, run_calu};
 
 fn main() {
     let mach = MachineConfig::amd_opteron_with_cores(18, default_noise());
-    let grid = ProcessGrid::square_for(mach.cores()).unwrap();
-    let g = TaskGraph::build_calu(2500, 2500, 100, grid.pr());
-    let cfg = SimConfig::new(mach, Layout::BlockCyclic, SchedulerKind::Static).with_trace();
-    let r = run(&g, &cfg);
+    let r = run_calu(
+        2500,
+        &mach,
+        Layout::BlockCyclic,
+        SchedulerKind::Static,
+        true,
+    );
     let tl = r.timeline.as_ref().unwrap();
     println!("=== Fig 1 — static CALU profile, n=2500, b=100, 18 cores (AMD model) ===");
     print!("{}", render::ascii(tl, 110));

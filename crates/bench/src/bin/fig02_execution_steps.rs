@@ -1,27 +1,26 @@
 //! Figure 2: execution of CALU static(20% dynamic) on a 4×4-tile matrix
 //! with P=4 threads — which thread runs which task, step by step.
 
-use calu_dag::TaskGraph;
-use calu_matrix::{Layout, ProcessGrid};
-use calu_sched::SchedulerKind;
-use calu_sim::{run, MachineConfig, NoiseConfig, SimConfig};
+use calu::sched::SchedulerKind;
+use calu::sim::{MachineConfig, NoiseConfig};
+use calu_bench::sim_solver;
 
 fn main() {
     // a 4-core machine model (one socket of the Intel box)
     let mut mach = MachineConfig::intel_xeon_16(NoiseConfig::off());
     mach.sockets = 1;
-    let grid = ProcessGrid::square_for(4).unwrap();
-    let g = TaskGraph::build_calu(400, 400, 100, grid.pr());
-    let cfg = SimConfig::new(mach, Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.2 })
-        .with_trace();
-    let r = run(&g, &cfg);
-    let tl = r.timeline.unwrap();
+    let r = sim_solver(400, &mach)
+        .scheduler(SchedulerKind::Hybrid { dratio: 0.2 })
+        .trace(true)
+        .run()
+        .expect("simulated run");
+    let tl = r.timeline.as_ref().unwrap();
     println!("=== Fig 2 — CALU static(20% dynamic), 4x4 tiles, P=4 threads ===");
     println!("(exponent in the paper's figure = executing thread)\n");
     let mut spans: Vec<_> = tl.spans().to_vec();
     spans.sort_by(|a, b| a.start.total_cmp(&b.start));
     // associate spans with task names through a second, ordered pass
-    println!("  {:>5}  {:>10}  {:>6}  {}", "step", "t(us)", "thread", "kind");
+    println!("  {:>5}  {:>10}  {:>6}  kind", "step", "t(us)", "thread");
     for (i, s) in spans.iter().enumerate() {
         println!(
             "  {:>5}  {:>10.1}  {:>6}  {:?}",
@@ -31,5 +30,9 @@ fn main() {
             s.kind
         );
     }
-    println!("\ntasks executed: {}  makespan {:.2} ms", r.tasks, r.makespan * 1e3);
+    println!(
+        "\ntasks executed: {}  makespan {:.2} ms",
+        r.tasks,
+        r.makespan * 1e3
+    );
 }

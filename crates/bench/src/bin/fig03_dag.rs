@@ -3,8 +3,8 @@
 //!
 //! Prints Graphviz DOT; pipe through `dot -Tsvg` to draw.
 
-use calu_dag::{dot, TaskGraph};
-use calu_sched::nstatic_for;
+use calu::dag::{dot, TaskGraph};
+use calu::sched::nstatic_for;
 
 fn main() {
     let g = TaskGraph::build_calu(400, 400, 100, 2);

@@ -2,20 +2,21 @@
 //! static(20% dynamic) — threads that would idle during the panel
 //! factorization (red) execute dynamic updates (green) instead.
 
-use calu_bench::default_noise;
-use calu_dag::TaskGraph;
-use calu_matrix::{Layout, ProcessGrid};
-use calu_sched::SchedulerKind;
-use calu_sim::{run, MachineConfig, SimConfig};
-use calu_trace::{render, Timeline, TimelineMetrics};
+use calu::matrix::Layout;
+use calu::sched::SchedulerKind;
+use calu::sim::MachineConfig;
+use calu::trace::{render, Timeline, TimelineMetrics};
+use calu_bench::{default_noise, run_calu};
 
 fn main() {
     let mach = MachineConfig::intel_xeon_16(default_noise());
-    let grid = ProcessGrid::square_for(mach.cores()).unwrap();
-    let g = TaskGraph::build_calu(5000, 5000, 100, grid.pr());
-    let cfg = SimConfig::new(mach, Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.2 })
-        .with_trace();
-    let r = run(&g, &cfg);
+    let r = run_calu(
+        5000,
+        &mach,
+        Layout::BlockCyclic,
+        SchedulerKind::Hybrid { dratio: 0.2 },
+        true,
+    );
     let tl = r.timeline.unwrap();
     // keep only the first 10% of the run, like the paper's zoomed view
     let cut = 0.10 * tl.makespan();
@@ -29,5 +30,8 @@ fn main() {
     println!("P = panel factorization (red in the paper), S = update (green)\n");
     print!("{}", render::ascii(&zoom, 110));
     let m = TimelineMetrics::of(&zoom);
-    println!("utilization over the zoomed window: {:.1}% (almost no idle time)", m.utilization * 100.0);
+    println!(
+        "utilization over the zoomed window: {:.1}% (almost no idle time)",
+        m.utilization * 100.0
+    );
 }

@@ -4,9 +4,9 @@
 //! Paper shape: static worst; hybrid ≈ dynamic with hybrid(10%) on top
 //! (8.2% over static, 1.4% over dynamic at n = 5000).
 
+use calu::matrix::Layout;
+use calu::sched::SchedulerKind;
 use calu_bench::{gf, machines, pct_over, print_table, run_calu, sched_sweep};
-use calu_matrix::Layout;
-use calu_sched::SchedulerKind;
 
 fn main() {
     let (_, intel) = machines()[0].clone();
@@ -26,7 +26,11 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table("Fig 6 — Intel 16-core, BCL, Gflop/s vs dynamic %", &headers, &rows);
+    print_table(
+        "Fig 6 — Intel 16-core, BCL, Gflop/s vs dynamic %",
+        &headers,
+        &rows,
+    );
     let get = |k: SchedulerKind| at5000.iter().find(|(s, _)| *s == k).unwrap().1;
     let h10 = get(SchedulerKind::Hybrid { dratio: 0.1 });
     println!(

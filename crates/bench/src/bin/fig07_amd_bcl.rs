@@ -3,8 +3,8 @@
 //! Paper shape: static is competitive (NUMA locality), fully dynamic is
 //! the worst, and static + a small dynamic % (10–20%) wins.
 
+use calu::matrix::Layout;
 use calu_bench::{gf, machines, print_table, run_calu, sched_sweep};
-use calu_matrix::Layout;
 
 fn main() {
     let (_, amd) = machines()[1].clone();
@@ -20,6 +20,10 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table("Fig 7 — AMD 48-core, BCL, Gflop/s vs dynamic %", &headers, &rows);
+    print_table(
+        "Fig 7 — AMD 48-core, BCL, Gflop/s vs dynamic %",
+        &headers,
+        &rows,
+    );
     println!("\nExpected shape: hybrid(10-20%) on top; fully dynamic last (NUMA).");
 }

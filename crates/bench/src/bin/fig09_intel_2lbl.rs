@@ -2,9 +2,9 @@
 //! block layout. Paper shape: same as BCL — static worst, percentage
 //! barely matters, hybrid(10%) best by ~10.6% over static.
 
+use calu::matrix::Layout;
+use calu::sched::SchedulerKind;
 use calu_bench::{gf, machines, pct_over, print_table, run_calu, sched_sweep};
-use calu_matrix::Layout;
-use calu_sched::SchedulerKind;
 
 fn main() {
     let (_, intel) = machines()[0].clone();
@@ -24,7 +24,11 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table("Fig 9 — Intel 16-core, 2l-BL, Gflop/s vs dynamic %", &headers, &rows);
+    print_table(
+        "Fig 9 — Intel 16-core, 2l-BL, Gflop/s vs dynamic %",
+        &headers,
+        &rows,
+    );
     let get = |k: SchedulerKind| at4000.iter().find(|(s, _)| *s == k).unwrap().1;
     let h10 = get(SchedulerKind::Hybrid { dratio: 0.1 });
     println!(

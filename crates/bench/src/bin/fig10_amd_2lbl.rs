@@ -2,8 +2,8 @@
 //! layout. Paper shape: fully dynamic collapses (no grouping + dequeue
 //! overhead + no reuse); increasing the dynamic share only hurts.
 
+use calu::matrix::Layout;
 use calu_bench::{gf, machines, print_table, run_calu, sched_sweep};
-use calu_matrix::Layout;
 
 fn main() {
     let (_, amd) = machines()[1].clone();
@@ -19,6 +19,10 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table("Fig 10 — AMD 48-core, 2l-BL, Gflop/s vs dynamic %", &headers, &rows);
+    print_table(
+        "Fig 10 — AMD 48-core, 2l-BL, Gflop/s vs dynamic %",
+        &headers,
+        &rows,
+    );
     println!("\nExpected shape: performance decreases monotonically with the dynamic %.");
 }

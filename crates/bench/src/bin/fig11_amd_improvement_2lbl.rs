@@ -2,16 +2,14 @@
 //! model with the 2l-BL layout. Paper: up to +5.9% vs static and +64.9%
 //! vs dynamic on 48 cores.
 
-use calu_bench::{default_noise, pct_over, print_table};
-use calu_dag::TaskGraph;
-use calu_matrix::{Layout, ProcessGrid};
-use calu_sched::SchedulerKind;
-use calu_sim::{run, MachineConfig, SimConfig};
+use calu::matrix::Layout;
+use calu::sched::SchedulerKind;
+use calu::sim::MachineConfig;
+use calu_bench::{default_noise, pct_over, print_table, run_calu};
 
 fn main() {
     for cores in [24usize, 48] {
         let mach = MachineConfig::amd_opteron_with_cores(cores, default_noise());
-        let grid = ProcessGrid::square_for(cores).unwrap();
         let headers = vec![
             "n".to_string(),
             "h10 vs static".into(),
@@ -21,11 +19,7 @@ fn main() {
         ];
         let mut rows = Vec::new();
         for n in [4000usize, 6000, 8000, 10000] {
-            let b = calu_bench::block_for(n);
-            let g = TaskGraph::build_calu(n, n, b, grid.pr());
-            let gfl = |sched| {
-                run(&g, &SimConfig::new(mach.clone(), Layout::TwoLevelBlock, sched)).gflops()
-            };
+            let gfl = |sched| run_calu(n, &mach, Layout::TwoLevelBlock, sched, false).gflops();
             let stat = gfl(SchedulerKind::Static);
             let dynamic = gfl(SchedulerKind::Dynamic);
             let h10 = gfl(SchedulerKind::Hybrid { dratio: 0.1 });
@@ -39,8 +33,10 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Fig 11{} — improvement of hybrid, AMD {cores} cores, 2l-BL",
-                if cores == 24 { "a" } else { "b" }),
+            &format!(
+                "Fig 11{} — improvement of hybrid, AMD {cores} cores, 2l-BL",
+                if cores == 24 { "a" } else { "b" }
+            ),
             &headers,
             &rows,
         );

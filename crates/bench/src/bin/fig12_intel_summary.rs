@@ -2,9 +2,9 @@
 //! the full cross product over matrix sizes. "dynamic rectangular" is
 //! the paper's name for dynamic scheduling on the column-major layout.
 
+use calu::matrix::Layout;
+use calu::sched::SchedulerKind;
 use calu_bench::{gf, machines, print_table, run_calu};
-use calu_matrix::Layout;
-use calu_sched::SchedulerKind;
 
 fn main() {
     let (_, intel) = machines()[0].clone();
@@ -13,15 +13,43 @@ fn main() {
     println!("BCL pulls ahead for large n (grouped BLAS-3); CM always behind.");
 }
 
-pub fn run_summary(title: &str, mach: &calu_sim::MachineConfig) {
+pub fn run_summary(title: &str, mach: &calu::sim::MachineConfig) {
     let configs: Vec<(String, Layout, SchedulerKind)> = vec![
-        ("BCL static".into(), Layout::BlockCyclic, SchedulerKind::Static),
-        ("BCL h10".into(), Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.1 }),
-        ("BCL dynamic".into(), Layout::BlockCyclic, SchedulerKind::Dynamic),
-        ("2l-BL static".into(), Layout::TwoLevelBlock, SchedulerKind::Static),
-        ("2l-BL h10".into(), Layout::TwoLevelBlock, SchedulerKind::Hybrid { dratio: 0.1 }),
-        ("2l-BL dynamic".into(), Layout::TwoLevelBlock, SchedulerKind::Dynamic),
-        ("CM dynamic".into(), Layout::ColumnMajor, SchedulerKind::Dynamic),
+        (
+            "BCL static".into(),
+            Layout::BlockCyclic,
+            SchedulerKind::Static,
+        ),
+        (
+            "BCL h10".into(),
+            Layout::BlockCyclic,
+            SchedulerKind::Hybrid { dratio: 0.1 },
+        ),
+        (
+            "BCL dynamic".into(),
+            Layout::BlockCyclic,
+            SchedulerKind::Dynamic,
+        ),
+        (
+            "2l-BL static".into(),
+            Layout::TwoLevelBlock,
+            SchedulerKind::Static,
+        ),
+        (
+            "2l-BL h10".into(),
+            Layout::TwoLevelBlock,
+            SchedulerKind::Hybrid { dratio: 0.1 },
+        ),
+        (
+            "2l-BL dynamic".into(),
+            Layout::TwoLevelBlock,
+            SchedulerKind::Dynamic,
+        ),
+        (
+            "CM dynamic".into(),
+            Layout::ColumnMajor,
+            SchedulerKind::Dynamic,
+        ),
     ];
     let headers: Vec<String> = std::iter::once("n".into())
         .chain(configs.iter().map(|(s, _, _)| s.clone()))

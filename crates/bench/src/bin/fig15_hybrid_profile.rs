@@ -2,24 +2,21 @@
 //! cores — the small dynamic share keeps the cores busy and removes the
 //! idle pockets of Figure 1.
 
-use calu_bench::default_noise;
-use calu_dag::TaskGraph;
-use calu_matrix::{Layout, ProcessGrid};
-use calu_sched::SchedulerKind;
-use calu_sim::{run, MachineConfig, SimConfig};
-use calu_trace::{render, svg, TimelineMetrics};
+use calu::matrix::Layout;
+use calu::sched::SchedulerKind;
+use calu::sim::MachineConfig;
+use calu::trace::{render, svg, TimelineMetrics};
+use calu_bench::{default_noise, run_calu};
 
 fn main() {
     let mach = MachineConfig::amd_opteron_with_cores(18, default_noise());
-    let grid = ProcessGrid::square_for(mach.cores()).unwrap();
-    let g = TaskGraph::build_calu(2500, 2500, 100, grid.pr());
-    let cfg = SimConfig::new(
-        mach.clone(),
+    let r = run_calu(
+        2500,
+        &mach,
         Layout::TwoLevelBlock,
         SchedulerKind::Hybrid { dratio: 0.1 },
-    )
-    .with_trace();
-    let r = run(&g, &cfg);
+        true,
+    );
     let tl = r.timeline.as_ref().unwrap();
     println!("=== Fig 15 — CALU static(10% dynamic), 2l-BL, n=2500, 18 cores (AMD model) ===");
     print!("{}", render::ascii(tl, 110));
@@ -29,9 +26,12 @@ fn main() {
     }
     let m = TimelineMetrics::of(tl);
     // compare with the fully static profile of Fig 1
-    let stat = run(
-        &g,
-        &SimConfig::new(mach, Layout::TwoLevelBlock, SchedulerKind::Static).with_trace(),
+    let stat = run_calu(
+        2500,
+        &mach,
+        Layout::TwoLevelBlock,
+        SchedulerKind::Static,
+        true,
     );
     let ms = TimelineMetrics::of(stat.timeline.as_ref().unwrap());
     println!(

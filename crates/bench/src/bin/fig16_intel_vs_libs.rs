@@ -2,20 +2,28 @@
 //! Paper: CALU up to 82% faster than MKL (n=4000, 2l-BL), ~60% at
 //! n=10000; 20–30% faster than PLASMA for larger matrices.
 
+use calu::matrix::Layout;
+use calu::sched::SchedulerKind;
 use calu_bench::{gf, machines, pct_over, print_table, run_calu, run_mkl, run_plasma};
-use calu_matrix::Layout;
-use calu_sched::SchedulerKind;
 
 fn main() {
     let (_, mach) = machines()[0].clone();
     run_libs("Fig 16 — Intel 16-core: CALU vs MKL vs PLASMA", &mach);
 }
 
-pub fn run_libs(title: &str, mach: &calu_sim::MachineConfig) {
-    let headers: Vec<String> = ["n", "CALU h10 BCL", "CALU h10 2l-BL", "MKL", "PLASMA", "best vs MKL", "best vs PLASMA"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+pub fn run_libs(title: &str, mach: &calu::sim::MachineConfig) {
+    let headers: Vec<String> = [
+        "n",
+        "CALU h10 BCL",
+        "CALU h10 2l-BL",
+        "MKL",
+        "PLASMA",
+        "best vs MKL",
+        "best vs PLASMA",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for n in [2000usize, 4000, 6000, 8000, 10000] {
         let h10 = SchedulerKind::Hybrid { dratio: 0.1 };

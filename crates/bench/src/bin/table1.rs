@@ -1,8 +1,8 @@
 //! Table 1: the design space — data layout × scheduling strategy,
 //! annotated with measured Gflop/s on both machine models at n = 5000.
 
+use calu::matrix::Layout;
 use calu_bench::{gf, machines, print_table, run_calu, sched_sweep};
-use calu_matrix::Layout;
 
 fn main() {
     let n = 5000;
@@ -11,7 +11,11 @@ fn main() {
             .chain(sched_sweep().into_iter().map(|(s, _)| s))
             .collect();
         let mut rows = Vec::new();
-        for layout in [Layout::BlockCyclic, Layout::TwoLevelBlock, Layout::ColumnMajor] {
+        for layout in [
+            Layout::BlockCyclic,
+            Layout::TwoLevelBlock,
+            Layout::ColumnMajor,
+        ] {
             let mut row = vec![layout.to_string()];
             for (_, sched) in sched_sweep() {
                 // Table 1 marks CM as dynamic-only in the paper's design

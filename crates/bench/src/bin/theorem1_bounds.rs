@@ -1,12 +1,11 @@
 //! §6 Theorem 1: maximum static fraction vs noise skew and core count,
 //! cross-checked against the simulator's measured noise.
 
-use calu_bench::{default_noise, print_table};
-use calu_dag::TaskGraph;
-use calu_matrix::{Layout, ProcessGrid};
-use calu_model::{max_static_fraction, max_static_fraction_ext, NoiseStats, Overheads};
-use calu_sched::SchedulerKind;
-use calu_sim::{run, MachineConfig, SimConfig};
+use calu::matrix::Layout;
+use calu::model::{max_static_fraction, max_static_fraction_ext, NoiseStats, Overheads};
+use calu::sched::SchedulerKind;
+use calu::sim::MachineConfig;
+use calu_bench::{default_noise, print_table, run_calu};
 
 fn main() {
     // analytic table: fs vs p for a fixed noise skew
@@ -31,16 +30,25 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table("Theorem 1 — max static fraction fs (T1 = 20 s)", &headers, &rows);
+    print_table(
+        "Theorem 1 — max static fraction fs (T1 = 20 s)",
+        &headers,
+        &rows,
+    );
 
     // measured: run the simulator, extract per-core noise, apply Theorem 1
     let mach = MachineConfig::amd_opteron_48(default_noise());
-    let grid = ProcessGrid::square_for(48).unwrap();
-    let g = TaskGraph::build_calu(5000, 5000, 100, grid.pr());
-    let r = run(&g, &SimConfig::new(mach.clone(), Layout::BlockCyclic, SchedulerKind::Static));
-    let deltas: Vec<f64> = r.cores.iter().map(|c| c.noise).collect();
+    let r = run_calu(
+        5000,
+        &mach,
+        Layout::BlockCyclic,
+        SchedulerKind::Static,
+        false,
+    );
+    let threads = &r.schedule.threads;
+    let deltas: Vec<f64> = threads.iter().map(|c| c.noise).collect();
     let stats = NoiseStats::from_samples(&deltas);
-    let work: f64 = r.cores.iter().map(|c| c.work).sum();
+    let work: f64 = threads.iter().map(|c| c.work).sum();
     let tp = work / 48.0;
     let fs = max_static_fraction(work, 48, stats);
     let fs_ext = max_static_fraction_ext(
@@ -49,13 +57,17 @@ fn main() {
         stats,
         Overheads {
             critical_path: 0.05 * tp,
-            migration: r.cores.iter().map(|c| c.memory).sum::<f64>() / 48.0,
-            other: r.cores.iter().map(|c| c.overhead).sum::<f64>() / 48.0,
+            migration: threads.iter().map(|c| c.memory).sum::<f64>() / 48.0,
+            other: threads.iter().map(|c| c.overhead).sum::<f64>() / 48.0,
         },
     );
-    println!("\nMeasured on the AMD model (n=5000, static): δmax−δavg = {:.2} ms", (stats.delta_max - stats.delta_avg) * 1e3);
-    println!("Theorem 1 bound: fs ≤ {fs:.4}  (min dynamic ≈ {:.1}%)", (1.0 - fs) * 100.0);
+    println!(
+        "\nMeasured on the AMD model (n=5000, static): δmax−δavg = {:.2} ms",
+        (stats.delta_max - stats.delta_avg) * 1e3
+    );
+    println!(
+        "Theorem 1 bound: fs ≤ {fs:.4}  (min dynamic ≈ {:.1}%)",
+        (1.0 - fs) * 100.0
+    );
     println!("Extended bound:  fs ≤ {fs_ext:.4}");
-    println!("Paper practice: 10% dynamic is usually enough — consistent when the");
-    println!("deterministic load-imbalance term (not just noise) is accounted for.");
 }

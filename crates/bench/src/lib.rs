@@ -1,14 +1,19 @@
 //! Shared harness for the figure/table binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper (see DESIGN.md §5 for the index). They all go through the same
-//! entry points here so the experimental setup is identical across
-//! figures: same seeds, same block-size rule, same machine presets.
+//! paper (see DESIGN.md §5 for the index). They all go through the
+//! unified [`Solver`](calu::Solver) facade with a
+//! [`SimulatedBackend`](calu::SimulatedBackend), so the experimental
+//! setup is identical across figures: same seeds, same block-size rule,
+//! same machine presets — and the exact same entry point a user of the
+//! library would call.
 
-use calu_dag::TaskGraph;
-use calu_matrix::{Layout, ProcessGrid};
-use calu_sched::SchedulerKind;
-use calu_sim::{run, MachineConfig, NoiseConfig, SimConfig, SimResult};
+use calu::matrix::Layout;
+use calu::sched::SchedulerKind;
+use calu::sim::{MachineConfig, NoiseConfig};
+use calu::{Algorithm, MatrixSource, Report, SimulatedBackend, Solver};
+
+pub mod timing;
 
 /// The seed every figure uses for OS noise (determinism across runs).
 pub const NOISE_SEED: u64 = 42;
@@ -35,16 +40,24 @@ pub fn block_for(n: usize) -> usize {
 /// The two machine models of §5.
 pub fn machines() -> [(&'static str, MachineConfig); 2] {
     [
-        ("Intel Xeon 16-core", MachineConfig::intel_xeon_16(default_noise())),
-        ("AMD Opteron 48-core", MachineConfig::amd_opteron_48(default_noise())),
+        (
+            "Intel Xeon 16-core",
+            MachineConfig::intel_xeon_16(default_noise()),
+        ),
+        (
+            "AMD Opteron 48-core",
+            MachineConfig::amd_opteron_48(default_noise()),
+        ),
     ]
 }
 
-/// Build the CALU task graph for an `n × n` matrix on `machine`'s grid
-/// (TSLU leaves = one per grid row, as in the paper).
-pub fn calu_graph(n: usize, machine: &MachineConfig) -> TaskGraph {
-    let grid = ProcessGrid::square_for(machine.cores()).expect("cores > 0");
-    TaskGraph::build_calu(n, n, block_for(n), grid.pr())
+/// A solver pre-configured for one simulated experiment on `machine`:
+/// shape-only `n × n` source, the block-size rule, and the machine's
+/// core count. Figures chain further knobs before `.run()`.
+pub fn sim_solver(n: usize, machine: &MachineConfig) -> Solver {
+    Solver::new(MatrixSource::shape(n, n))
+        .tile(block_for(n))
+        .backend(SimulatedBackend::new(machine.clone()))
 }
 
 /// Run one simulated CALU experiment.
@@ -54,27 +67,44 @@ pub fn run_calu(
     layout: Layout,
     sched: SchedulerKind,
     trace: bool,
-) -> SimResult {
-    let g = calu_graph(n, machine);
-    let mut cfg = SimConfig::new(machine.clone(), layout, sched);
-    cfg.record_trace = trace;
-    run(&g, &cfg)
+) -> Report {
+    sim_solver(n, machine)
+        .layout(layout)
+        .scheduler(sched)
+        .trace(trace)
+        .run()
+        .expect("simulated CALU run")
 }
 
 /// Run the MKL stand-in (GEPP, sequential panel, column-major, fully
 /// dynamic updates — numactl-interleaved pages as in §5.3).
-pub fn run_mkl(n: usize, machine: &MachineConfig) -> SimResult {
-    let g = TaskGraph::build_gepp(n, n, block_for(n));
-    let cfg = SimConfig::new(machine.clone(), Layout::ColumnMajor, SchedulerKind::Dynamic);
-    run(&g, &cfg)
+pub fn run_mkl(n: usize, machine: &MachineConfig) -> Report {
+    sim_solver(n, machine)
+        .algorithm(Algorithm::Gepp)
+        .layout(Layout::ColumnMajor)
+        .scheduler(SchedulerKind::Dynamic)
+        .run()
+        .expect("simulated MKL run")
 }
 
 /// Run the PLASMA stand-in (tiled incremental pivoting, tile layout,
 /// static pipeline scheduling as in PLASMA 2.3.1).
-pub fn run_plasma(n: usize, machine: &MachineConfig) -> SimResult {
-    let g = TaskGraph::build_incpiv(n, n, block_for(n));
-    let cfg = SimConfig::new(machine.clone(), Layout::TwoLevelBlock, SchedulerKind::Static);
-    run(&g, &cfg)
+pub fn run_plasma(n: usize, machine: &MachineConfig) -> Report {
+    sim_solver(n, machine)
+        .algorithm(Algorithm::IncPiv)
+        .layout(Layout::TwoLevelBlock)
+        .scheduler(SchedulerKind::Static)
+        .run()
+        .expect("simulated PLASMA run")
+}
+
+/// Run the §9 Cholesky extension under any scheduler.
+pub fn run_cholesky(n: usize, machine: &MachineConfig, sched: SchedulerKind) -> Report {
+    sim_solver(n, machine)
+        .algorithm(Algorithm::Cholesky)
+        .scheduler(sched)
+        .run()
+        .expect("simulated Cholesky run")
 }
 
 /// The scheduler sweep of Figures 6–11: static, 10–75% dynamic, dynamic.
@@ -147,6 +177,8 @@ mod tests {
         assert!(mkl.gflops() < r.gflops(), "CALU must beat the MKL model");
         let plasma = run_plasma(2000, intel);
         assert!(plasma.gflops() > 0.0);
+        let chol = run_cholesky(2000, intel, SchedulerKind::Hybrid { dratio: 0.1 });
+        assert!(chol.gflops() > 0.0);
     }
 
     #[test]

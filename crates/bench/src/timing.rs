@@ -1,0 +1,85 @@
+//! Minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! The workspace builds hermetically (no criterion), so the benches are
+//! plain `harness = false` binaries that loop workloads under
+//! [`bench`] and print aligned ns/op lines. Invoke them with
+//! `cargo bench` (or `cargo build --benches` just to type-check).
+
+use std::time::Instant;
+
+/// Time `f` for `iters` iterations after one warm-up call and print
+/// `label: mean ± spread` in adaptive units. Returns mean seconds/op.
+pub fn bench<F: FnMut()>(label: &str, iters: usize, mut f: F) -> f64 {
+    assert!(iters > 0);
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let mean = samples.iter().sum::<f64>() / iters as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "  {label:<40} {:>12}/op   (min {}, max {}, {iters} iters)",
+        fmt_secs(mean),
+        fmt_secs(min),
+        fmt_secs(max)
+    );
+    mean
+}
+
+/// Time `f` and report throughput as `count` units of `unit` per op
+/// (printed as `M<unit>/s` — pass `"flop"`, `"task"`, …).
+pub fn bench_throughput<F: FnMut()>(
+    label: &str,
+    iters: usize,
+    count: u64,
+    unit: &str,
+    f: F,
+) -> f64 {
+    let mean = bench(label, iters, f);
+    if mean > 0.0 {
+        println!(
+            "  {:<40} {:>12.1} M{unit}/s",
+            format!("{label} (throughput)"),
+            count as f64 / mean / 1e6
+        );
+    }
+    mean
+}
+
+/// Render seconds with an adaptive unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_mean() {
+        let mut x = 0u64;
+        let mean = bench("noop-ish", 3, || x = x.wrapping_add(1));
+        assert!(mean >= 0.0);
+        assert_eq!(x, 4, "warm-up plus three timed iterations");
+    }
+
+    #[test]
+    fn units_scale() {
+        assert!(fmt_secs(2.0).ends_with(" s"));
+        assert!(fmt_secs(2e-3).ends_with(" ms"));
+        assert!(fmt_secs(2e-6).ends_with(" us"));
+        assert!(fmt_secs(2e-9).ends_with(" ns"));
+    }
+}

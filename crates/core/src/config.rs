@@ -20,6 +20,9 @@ pub struct CaluConfig {
     /// Grouping width for BLAS-3 calls on owned blocks (the paper uses
     /// `k = 3` with the BCL layout).
     pub group: usize,
+    /// TSLU leaves per panel. `None` uses the thread grid's row count,
+    /// as in the paper.
+    pub leaf_stride: Option<usize>,
 }
 
 impl CaluConfig {
@@ -32,6 +35,7 @@ impl CaluConfig {
             dratio: 0.1,
             layout: Layout::BlockCyclic,
             group: 3,
+            leaf_stride: None,
         }
     }
 
@@ -53,10 +57,18 @@ impl CaluConfig {
         self
     }
 
+    /// Override the TSLU leaves per panel (default: grid row count).
+    pub fn with_tslu_leaves(mut self, stride: usize) -> Self {
+        self.leaf_stride = Some(stride);
+        self
+    }
+
     /// Validate and derive the thread grid.
     pub fn validate(&self) -> Result<ProcessGrid, CaluError> {
         if self.b == 0 {
-            return Err(CaluError::InvalidConfig("block size must be positive".into()));
+            return Err(CaluError::InvalidConfig(
+                "block size must be positive".into(),
+            ));
         }
         if self.threads == 0 {
             return Err(CaluError::InvalidConfig("need at least one thread".into()));
@@ -70,8 +82,14 @@ impl CaluConfig {
         if self.group == 0 {
             return Err(CaluError::InvalidConfig("group must be positive".into()));
         }
-        ProcessGrid::square_for(self.threads)
-            .map_err(|e| CaluError::InvalidConfig(e.to_string()))
+        if self.leaf_stride == Some(0) {
+            return Err(CaluError::InvalidConfig(
+                "tslu_leaves(0) is meaningless: each panel needs at least one \
+                 TSLU leaf; use 1 for a sequential panel"
+                    .into(),
+            ));
+        }
+        ProcessGrid::square_for(self.threads).map_err(|e| CaluError::InvalidConfig(e.to_string()))
     }
 
     /// Effective BLAS-3 grouping: only the BCL layout can group (§4).
@@ -119,5 +137,6 @@ mod tests {
         let mut c = CaluConfig::new(8);
         c.group = 0;
         assert!(c.validate().is_err());
+        assert!(CaluConfig::new(8).with_tslu_leaves(0).validate().is_err());
     }
 }

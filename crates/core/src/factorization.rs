@@ -58,7 +58,14 @@ impl Factorization {
             self.perm.pivots(),
         );
         // forward: L y = P rhs
-        dtrsm_left_lower_unit(n, nrhs, self.lu.as_slice(), self.lu.ld(), x.as_mut_slice(), ld);
+        dtrsm_left_lower_unit(
+            n,
+            nrhs,
+            self.lu.as_slice(),
+            self.lu.ld(),
+            x.as_mut_slice(),
+            ld,
+        );
         // back substitution: U x = y
         for col in 0..nrhs {
             for k in (0..n).rev() {
@@ -113,7 +120,10 @@ mod tests {
         let a = gen::wilkinson(12);
         let f = factor(&a);
         let g = f.growth_factor(&a);
-        assert!((g - 2f64.powi(11)).abs() < 1e-6, "GEPP growth 2^(n-1), got {g}");
+        assert!(
+            (g - 2f64.powi(11)).abs() < 1e-6,
+            "GEPP growth 2^(n-1), got {g}"
+        );
     }
 
     #[test]

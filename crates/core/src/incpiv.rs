@@ -71,7 +71,13 @@ fn apply_stack(
     c_hi: usize,
 ) {
     let total = l.rows();
-    let row_of = |s: usize| if s < w { base_top + s } else { base_bot + (s - w) };
+    let row_of = |s: usize| {
+        if s < w {
+            base_top + s
+        } else {
+            base_bot + (s - w)
+        }
+    };
     // P
     for (t, &p) in piv.iter().enumerate() {
         if p != t {
@@ -133,7 +139,14 @@ pub fn incpiv_factor(a: &DenseMatrix, b: usize) -> IncPivFactors {
             }
             // L^{-1}
             let ld = blk.ld();
-            calu_kernels::dtrsm_left_lower_unit(w, wj, l.as_slice(), l.ld(), blk.as_mut_slice(), ld);
+            calu_kernels::dtrsm_left_lower_unit(
+                w,
+                wj,
+                l.as_slice(),
+                l.ld(),
+                blk.as_mut_slice(),
+                ld,
+            );
             w_mat.set_submatrix(c0, j0, &blk);
         }
         ops_list.push(Op::Diag { base: c0, piv, l });
@@ -174,7 +187,7 @@ pub fn incpiv_factor(a: &DenseMatrix, b: usize) -> IncPivFactors {
                 }
             }
             let l_trap = stack.lower_unit(); // (w+ri) x w
-            // SSSSM: update the trailing columns of the tile pair
+                                             // SSSSM: update the trailing columns of the tile pair
             apply_stack(&mut w_mat, c0, r0, w, &p.piv, &l_trap, c0 + w, n);
             ops_list.push(Op::Stack {
                 base_top: c0,
@@ -271,7 +284,8 @@ impl IncPivFactors {
         let x = self.solve(&rhs);
         let ax = ops::matmul(a, &x);
         let diff = ops::sub(&ax, &rhs);
-        norms::frobenius(&diff) / (norms::frobenius(a) * norms::frobenius(&x)).max(f64::MIN_POSITIVE)
+        norms::frobenius(&diff)
+            / (norms::frobenius(a) * norms::frobenius(&x)).max(f64::MIN_POSITIVE)
     }
 
     /// Growth proxy: `max|U| / max|A|`.

@@ -27,6 +27,7 @@ pub mod incpiv;
 pub mod pivot;
 pub mod shared;
 pub mod simple;
+pub mod sync;
 pub mod threaded;
 pub mod tslu;
 pub mod verify;
@@ -37,4 +38,4 @@ pub use factorization::Factorization;
 pub use gepp::gepp_factor;
 pub use incpiv::{incpiv_factor, IncPivFactors};
 pub use simple::calu_simple;
-pub use threaded::calu_factor;
+pub use threaded::{calu_factor, calu_factor_report, calu_factor_traced, ThreadStats};

@@ -21,7 +21,10 @@ pub fn swaps_for_selection(base: usize, selected: &[usize]) -> RowPerm {
 
     let mut piv = Vec::with_capacity(selected.len());
     for (t, &row) in selected.iter().enumerate() {
-        assert!(row >= base, "selected row {row} above the panel base {base}");
+        assert!(
+            row >= base,
+            "selected row {row} above the panel base {base}"
+        );
         let target = base + t;
         let src = *pos_of.get(&row).unwrap_or(&row);
         assert!(src >= target, "row {row} selected twice");

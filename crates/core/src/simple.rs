@@ -153,12 +153,7 @@ mod tests {
         assert!(f.residual(&a) < 1e-13);
         // every pivot stays on the diagonal
         assert_eq!(f.perm.sign(), 1.0);
-        assert!(f
-            .perm
-            .pivots()
-            .iter()
-            .enumerate()
-            .all(|(k, &p)| p == k));
+        assert!(f.perm.pivots().iter().enumerate().all(|(k, &p)| p == k));
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Thin mutex wrapper with an infallible `lock()`.
+//!
+//! The executor held its queues in `parking_lot::Mutex`; in hermetic
+//! builds the workspace is dependency-free, so this wraps
+//! `std::sync::Mutex` with the same non-poisoning API: a panicking
+//! worker already aborts the factorization via the scoped-thread join,
+//! so lock poisoning carries no extra information here.
+
+use std::sync::MutexGuard;
+
+/// A mutex whose `lock()` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
+    }
+}

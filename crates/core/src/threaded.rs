@@ -21,15 +21,26 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use parking_lot::Mutex;
-
 use calu_dag::{PaperKind, TaskGraph, TaskId, TaskKind};
 use calu_kernels::{gemm, lu_nopiv_unblocked, trsm};
 use calu_matrix::{
     BclMatrix, CmTiles, DenseMatrix, Layout, ProcessGrid, RowPerm, TileStorage, TlbMatrix,
 };
-use calu_sched::{nstatic_for, priority, OwnerMap};
+use calu_sched::{nstatic_for, priority, OwnerMap, QueueSource};
 use calu_trace::{SpanKind, TaskSpan, Timeline};
+
+use crate::sync::Mutex;
+
+/// Per-worker queue accounting from one threaded run: where this
+/// worker's tasks came from (its own static queue vs. the shared dynamic
+/// queue). The real executor never steals, so there is no third bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Tasks popped from the worker's own static queue.
+    pub local_pops: u64,
+    /// Tasks popped from the shared dynamic queue.
+    pub global_pops: u64,
+}
 
 use crate::config::CaluConfig;
 use crate::error::CaluError;
@@ -81,11 +92,14 @@ impl<S: TileStorage + Send> Shared<'_, S> {
 
     /// Algorithm 1's pop order: own static queue first, then the shared
     /// dynamic queue (Algorithm 2's DFS order is baked into its keys).
-    fn pop(&self, me: usize) -> Option<TaskId> {
+    fn pop(&self, me: usize) -> Option<(TaskId, QueueSource)> {
         if let Some(Reverse((_, t))) = self.local[me].lock().pop() {
-            return Some(TaskId(t));
+            return Some((TaskId(t), QueueSource::Local));
         }
-        self.global.lock().pop().map(|Reverse((_, t))| TaskId(t))
+        self.global
+            .lock()
+            .pop()
+            .map(|Reverse((_, t))| (TaskId(t), QueueSource::Global))
     }
 
     fn flag_singular(&self, col: usize) {
@@ -256,7 +270,7 @@ fn factor_tiled<S: TileStorage + Send>(
     g: &TaskGraph,
     grid: ProcessGrid,
     dratio: f64,
-) -> (S, RowPerm, Option<usize>, Timeline) {
+) -> (S, RowPerm, Option<usize>, Timeline, Vec<ThreadStats>) {
     let threads = grid.size();
     let nstatic = nstatic_for(dratio, g.num_panels());
     let owners = OwnerMap::new(g, grid);
@@ -269,7 +283,9 @@ fn factor_tiled<S: TileStorage + Send>(
         is_static: kinds.iter().map(|k| k.writes_col() < nstatic).collect(),
         static_keys: kinds.iter().map(priority::static_key).collect(),
         dynamic_keys: kinds.iter().map(priority::dynamic_key).collect(),
-        local: (0..threads).map(|_| Mutex::new(BinaryHeap::new())).collect(),
+        local: (0..threads)
+            .map(|_| Mutex::new(BinaryHeap::new()))
+            .collect(),
         global: Mutex::new(BinaryHeap::new()),
         done: AtomicUsize::new(0),
         singular: AtomicUsize::new(NOT_SINGULAR),
@@ -298,6 +314,7 @@ fn factor_tiled<S: TileStorage + Send>(
     let total = g.len();
     let t0 = Instant::now();
     let mut timeline = Timeline::new(threads);
+    let mut thread_stats = vec![ThreadStats::default(); threads];
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -305,11 +322,16 @@ fn factor_tiled<S: TileStorage + Send>(
             let shared = &shared;
             handles.push(scope.spawn(move || {
                 let mut spans: Vec<TaskSpan> = Vec::new();
+                let mut stats = ThreadStats::default();
                 let mut idle_spins = 0u32;
                 while shared.done.load(Ordering::Acquire) < total {
                     match shared.pop(me) {
-                        Some(t) => {
+                        Some((t, source)) => {
                             idle_spins = 0;
+                            match source {
+                                QueueSource::Local => stats.local_pops += 1,
+                                _ => stats.global_pops += 1,
+                            }
                             let start = t0.elapsed().as_secs_f64();
                             shared.execute(t);
                             let end = t0.elapsed().as_secs_f64();
@@ -337,13 +359,15 @@ fn factor_tiled<S: TileStorage + Send>(
                         }
                     }
                 }
-                spans
+                (spans, stats)
             }));
         }
-        for h in handles {
-            for span in h.join().expect("worker panicked") {
+        for (me, h) in handles.into_iter().enumerate() {
+            let (spans, stats) = h.join().expect("worker panicked");
+            for span in spans {
                 timeline.push(span);
             }
+            thread_stats[me] = stats;
         }
     });
 
@@ -356,7 +380,13 @@ fn factor_tiled<S: TileStorage + Send>(
         NOT_SINGULAR => None,
         c => Some(c),
     };
-    (shared.tiles.into_inner(), perm, singular, timeline)
+    (
+        shared.tiles.into_inner(),
+        perm,
+        singular,
+        timeline,
+        thread_stats,
+    )
 }
 
 /// Apply the deferred "left swaps" (Algorithm 1, line 43): each panel's
@@ -378,33 +408,35 @@ fn apply_left_swaps(lu: &mut DenseMatrix, g: &TaskGraph, perms: &RowPerm, b: usi
     }
 }
 
-/// Factor `a` with CALU under the given configuration and return both
-/// the factorization and the per-thread execution trace.
-pub fn calu_factor_traced(
+/// Factor `a` with CALU and return the factorization, the per-thread
+/// execution trace, and the per-thread queue-source accounting — the
+/// full report the `calu` facade's `ThreadedBackend` builds on.
+pub fn calu_factor_report(
     a: &DenseMatrix,
     cfg: &CaluConfig,
-) -> Result<(Factorization, Timeline), CaluError> {
+) -> Result<(Factorization, Timeline, Vec<ThreadStats>), CaluError> {
     let grid = cfg.validate()?;
     if a.rows() == 0 || a.cols() == 0 {
         return Err(CaluError::EmptyMatrix);
     }
-    let g = TaskGraph::build_calu(a.rows(), a.cols(), cfg.b, grid.pr());
+    let leaf_stride = cfg.leaf_stride.unwrap_or_else(|| grid.pr());
+    let g = TaskGraph::build_calu(a.rows(), a.cols(), cfg.b, leaf_stride);
 
-    let (mut lu, perm, singular_at, timeline) = match cfg.layout {
+    let (mut lu, perm, singular_at, timeline, stats) = match cfg.layout {
         Layout::ColumnMajor => {
             let s = CmTiles::from_dense(a, cfg.b);
-            let (s, p, sing, tl) = factor_tiled(s, &g, grid, cfg.dratio);
-            (s.to_dense(), p, sing, tl)
+            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio);
+            (s.to_dense(), p, sing, tl, st)
         }
         Layout::BlockCyclic => {
             let s = BclMatrix::from_dense(a, cfg.b, grid);
-            let (s, p, sing, tl) = factor_tiled(s, &g, grid, cfg.dratio);
-            (s.to_dense(), p, sing, tl)
+            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio);
+            (s.to_dense(), p, sing, tl, st)
         }
         Layout::TwoLevelBlock => {
             let s = TlbMatrix::from_dense(a, cfg.b, grid);
-            let (s, p, sing, tl) = factor_tiled(s, &g, grid, cfg.dratio);
-            (s.to_dense(), p, sing, tl)
+            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio);
+            (s.to_dense(), p, sing, tl, st)
         }
     };
     apply_left_swaps(&mut lu, &g, &perm, cfg.b);
@@ -415,13 +447,23 @@ pub fn calu_factor_traced(
             singular_at,
         },
         timeline,
+        stats,
     ))
+}
+
+/// Factor `a` with CALU and return the factorization plus the per-thread
+/// execution trace.
+pub fn calu_factor_traced(
+    a: &DenseMatrix,
+    cfg: &CaluConfig,
+) -> Result<(Factorization, Timeline), CaluError> {
+    calu_factor_report(a, cfg).map(|(f, tl, _)| (f, tl))
 }
 
 /// Factor `a` with CALU: tournament pivoting + hybrid static/dynamic
 /// scheduling (Algorithm 1).
 pub fn calu_factor(a: &DenseMatrix, cfg: &CaluConfig) -> Result<Factorization, CaluError> {
-    calu_factor_traced(a, cfg).map(|(f, _)| f)
+    calu_factor_report(a, cfg).map(|(f, _, _)| f)
 }
 
 #[cfg(test)]
@@ -443,7 +485,7 @@ mod tests {
         let cfg = CaluConfig::new(8).with_threads(1);
         let f = calu_factor(&a, &cfg).unwrap();
         let reference = calu_simple(&a, 8, 6); // 6 tiles = 6 leaf chunks? stride=pr=1
-        // same pivot strategy modulo chunking; both must factor correctly
+                                               // same pivot strategy modulo chunking; both must factor correctly
         assert!(f.residual(&a) < 1e-12);
         assert!(reference.residual(&a) < 1e-12);
     }
@@ -451,7 +493,11 @@ mod tests {
     #[test]
     fn multithreaded_all_layouts() {
         let a = gen::uniform(64, 64, 2);
-        for layout in [Layout::BlockCyclic, Layout::TwoLevelBlock, Layout::ColumnMajor] {
+        for layout in [
+            Layout::BlockCyclic,
+            Layout::TwoLevelBlock,
+            Layout::ColumnMajor,
+        ] {
             let cfg = CaluConfig::new(16).with_threads(4).with_layout(layout);
             check(&a, &cfg, 1e-12);
         }
@@ -469,7 +515,10 @@ mod tests {
             solutions.push(f.solve(&rhs));
         }
         for s in &solutions[1..] {
-            assert!(s.approx_eq(&solutions[0], 1e-9), "schedule must not change math");
+            assert!(
+                s.approx_eq(&solutions[0], 1e-9),
+                "schedule must not change math"
+            );
         }
     }
 

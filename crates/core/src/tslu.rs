@@ -103,12 +103,11 @@ impl TreePlan {
         let mut level = 1u32;
         while level_nodes.len() > 1 {
             let mut next = Vec::with_capacity(level_nodes.len().div_ceil(2));
-            let mut idx = 0u32;
-            for pair in level_nodes.chunks(2) {
+            for (idx, pair) in level_nodes.chunks(2).enumerate() {
                 if pair.len() == 2 {
                     steps.push(CombineStep {
                         level,
-                        idx,
+                        idx: idx as u32,
                         left: pair[0],
                         right: pair[1],
                         out: next_slot,
@@ -118,7 +117,6 @@ impl TreePlan {
                 } else {
                     next.push(pair[0]);
                 }
-                idx += 1;
             }
             level_nodes = next;
             level += 1;
@@ -181,7 +179,10 @@ mod tests {
         assert_eq!(p1.root, 0);
         let p2 = TreePlan::new(2);
         assert_eq!(p2.steps.len(), 1);
-        assert_eq!((p2.steps[0].left, p2.steps[0].right, p2.steps[0].out), (0, 1, 2));
+        assert_eq!(
+            (p2.steps[0].left, p2.steps[0].right, p2.steps[0].out),
+            (0, 1, 2)
+        );
         assert_eq!(p2.root, 2);
         // 5 leaves: (0,1)->5, (2,3)->6, 4 promoted; (5,6)->7, 4 promoted;
         // (7,4)->8
@@ -222,7 +223,8 @@ mod tests {
 
     #[test]
     fn pivots_are_distinct_and_in_range() {
-        for (rows, w, chunks, seed) in [(32, 8, 4, 1), (50, 5, 7, 2), (16, 16, 2, 3), (9, 3, 3, 4)] {
+        for (rows, w, chunks, seed) in [(32, 8, 4, 1), (50, 5, 7, 2), (16, 16, 2, 3), (9, 3, 3, 4)]
+        {
             let a = gen::uniform(rows, w, seed);
             let piv = tournament_pivots(&a, chunks);
             assert_eq!(piv.len(), w.min(rows));

@@ -177,14 +177,13 @@ impl TaskGraph {
             let mut level = 1u32;
             while level_nodes.len() > 1 {
                 let mut next: Vec<u32> = Vec::with_capacity(level_nodes.len().div_ceil(2));
-                let mut idx = 0u32;
-                for pair in level_nodes.chunks(2) {
+                for (idx, pair) in level_nodes.chunks(2).enumerate() {
                     if pair.len() == 2 {
                         let id = bld.push(
                             TaskKind::PanelCombine {
                                 k: k as u32,
                                 level,
-                                idx,
+                                idx: idx as u32,
                             },
                             pair,
                         );
@@ -193,7 +192,6 @@ impl TaskGraph {
                         // odd node is promoted unchanged
                         next.push(pair[0]);
                     }
-                    idx += 1;
                 }
                 level_nodes = next;
                 level += 1;
@@ -672,7 +670,7 @@ mod tests {
     #[test]
     fn reduction_tree_is_binary_and_logarithmic() {
         let g = TaskGraph::build(1600, 1600, 100); // 16 block rows
-        // panel 0: 16 leaves -> 8+4+2+1 = 15 combines
+                                                   // panel 0: 16 leaves -> 8+4+2+1 = 15 combines
         let combines = g
             .ids()
             .filter(|&t| matches!(g.kind(t), TaskKind::PanelCombine { k: 0, .. }))

@@ -85,9 +85,9 @@ impl TaskKind {
     /// Map to the paper's P/L/U/S taxonomy.
     pub fn paper_kind(&self) -> PaperKind {
         match self {
-            TaskKind::PanelLeaf { .. } | TaskKind::PanelCombine { .. } | TaskKind::PanelFinish { .. } => {
-                PaperKind::P
-            }
+            TaskKind::PanelLeaf { .. }
+            | TaskKind::PanelCombine { .. }
+            | TaskKind::PanelFinish { .. } => PaperKind::P,
             TaskKind::ComputeL { .. } => PaperKind::L,
             TaskKind::ComputeU { .. } => PaperKind::U,
             TaskKind::Update { .. } => PaperKind::S,
@@ -126,7 +126,9 @@ impl TaskKind {
         match *self {
             TaskKind::PanelLeaf { k, i } => (i as usize, k as usize),
             // reduction nodes are placed with the diagonal block's owner
-            TaskKind::PanelCombine { k, .. } | TaskKind::PanelFinish { k } => (k as usize, k as usize),
+            TaskKind::PanelCombine { k, .. } | TaskKind::PanelFinish { k } => {
+                (k as usize, k as usize)
+            }
             TaskKind::ComputeL { k, i } => (i as usize, k as usize),
             TaskKind::ComputeU { k, j } => (k as usize, j as usize),
             TaskKind::Update { i, j, .. } => (i as usize, j as usize),
@@ -153,15 +155,26 @@ mod tests {
 
     #[test]
     fn paper_kind_mapping() {
-        assert_eq!(TaskKind::PanelLeaf { k: 0, i: 1 }.paper_kind(), PaperKind::P);
         assert_eq!(
-            TaskKind::PanelCombine { k: 0, level: 1, idx: 0 }.paper_kind(),
+            TaskKind::PanelLeaf { k: 0, i: 1 }.paper_kind(),
+            PaperKind::P
+        );
+        assert_eq!(
+            TaskKind::PanelCombine {
+                k: 0,
+                level: 1,
+                idx: 0
+            }
+            .paper_kind(),
             PaperKind::P
         );
         assert_eq!(TaskKind::PanelFinish { k: 2 }.paper_kind(), PaperKind::P);
         assert_eq!(TaskKind::ComputeL { k: 0, i: 1 }.paper_kind(), PaperKind::L);
         assert_eq!(TaskKind::ComputeU { k: 0, j: 1 }.paper_kind(), PaperKind::U);
-        assert_eq!(TaskKind::Update { k: 0, i: 1, j: 1 }.paper_kind(), PaperKind::S);
+        assert_eq!(
+            TaskKind::Update { k: 0, i: 1, j: 1 }.paper_kind(),
+            PaperKind::S
+        );
     }
 
     #[test]

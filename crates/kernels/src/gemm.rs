@@ -35,7 +35,10 @@ pub fn dgemm(
     if m == 0 || n == 0 {
         return;
     }
-    assert!(lda >= m && ldc >= m, "leading dimension too small for block height");
+    assert!(
+        lda >= m && ldc >= m,
+        "leading dimension too small for block height"
+    );
     assert!(k == 0 || ldb >= k, "ldb too small");
     assert!(a.len() >= span(m, k, lda), "a slice too short");
     assert!(b.len() >= span(k, n, ldb), "b slice too short");
@@ -126,7 +129,13 @@ mod tests {
     use super::*;
     use calu_matrix::{gen, ops, DenseMatrix};
 
-    fn dgemm_dense(alpha: f64, a: &DenseMatrix, b: &DenseMatrix, beta: f64, c: &DenseMatrix) -> DenseMatrix {
+    fn dgemm_dense(
+        alpha: f64,
+        a: &DenseMatrix,
+        b: &DenseMatrix,
+        beta: f64,
+        c: &DenseMatrix,
+    ) -> DenseMatrix {
         let mut out = c.clone();
         dgemm(
             a.rows(),
@@ -146,7 +155,13 @@ mod tests {
 
     #[test]
     fn matches_reference_on_random_shapes() {
-        for (m, n, k, seed) in [(5, 7, 3, 1), (16, 16, 16, 2), (33, 17, 129, 3), (1, 9, 4, 4), (64, 1, 200, 5)] {
+        for (m, n, k, seed) in [
+            (5, 7, 3, 1),
+            (16, 16, 16, 2),
+            (33, 17, 129, 3),
+            (1, 9, 4, 4),
+            (64, 1, 200, 5),
+        ] {
             let a = gen::uniform(m, k, seed);
             let b = gen::uniform(k, n, seed + 100);
             let c = gen::uniform(m, n, seed + 200);
@@ -188,7 +203,19 @@ mod tests {
         // run on the parent slices with ld = 10
         let (pa_s, pb_s) = (pa.as_slice(), pb.as_slice());
         let pc_s = pc.as_mut_slice();
-        dgemm(sz, sz, sz, 1.0, &pa_s[off..], 10, &pb_s[off..], 10, 1.0, &mut pc_s[off..], 10);
+        dgemm(
+            sz,
+            sz,
+            sz,
+            1.0,
+            &pa_s[off..],
+            10,
+            &pb_s[off..],
+            10,
+            1.0,
+            &mut pc_s[off..],
+            10,
+        );
         let want = ops::add(&ops::matmul(&a, &b), &c0);
         let got = pc.submatrix(r, c, sz, sz);
         assert!(got.approx_eq(&want, 1e-12));
@@ -201,7 +228,19 @@ mod tests {
         let mut c = gen::uniform(4, 4, 30);
         let orig = c.clone();
         let (rows, ld) = (c.rows(), c.ld());
-        dgemm(rows, rows, 0, 1.0, &[], 4, &[], 4, 0.5, c.as_mut_slice(), ld);
+        dgemm(
+            rows,
+            rows,
+            0,
+            1.0,
+            &[],
+            4,
+            &[],
+            4,
+            0.5,
+            c.as_mut_slice(),
+            ld,
+        );
         assert!(c.approx_eq(&ops::scale(0.5, &orig), 1e-14));
     }
 
@@ -218,7 +257,19 @@ mod tests {
         let c = gen::uniform(6, 5, 42);
         let mut c1 = c.clone();
         let mut c2 = c.clone();
-        dgemm(6, 5, 4, -1.0, a.as_slice(), 6, b.as_slice(), 4, 1.0, c1.as_mut_slice(), 6);
+        dgemm(
+            6,
+            5,
+            4,
+            -1.0,
+            a.as_slice(),
+            6,
+            b.as_slice(),
+            4,
+            1.0,
+            c1.as_mut_slice(),
+            6,
+        );
         unsafe {
             dgemm_raw(
                 6,

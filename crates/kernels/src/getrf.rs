@@ -161,9 +161,7 @@ pub fn dgetrf_recursive(m: usize, n: usize, a: &mut [f64], lda: usize) -> PanelP
 
     let mut piv = left.piv;
     piv.extend(shifted);
-    let singular_at = left
-        .singular_at
-        .or(right.singular_at.map(|c| c + n1));
+    let singular_at = left.singular_at.or(right.singular_at.map(|c| c + n1));
     PanelPivots { piv, singular_at }
 }
 
@@ -223,7 +221,8 @@ mod tests {
 
     #[test]
     fn getf2_picks_largest_pivot() {
-        let a = DenseMatrix::from_rows(3, 3, &[1.0, 2.0, 3.0, 10.0, 5.0, 6.0, 2.0, 8.0, 9.0]).unwrap();
+        let a =
+            DenseMatrix::from_rows(3, 3, &[1.0, 2.0, 3.0, 10.0, 5.0, 6.0, 2.0, 8.0, 9.0]).unwrap();
         let (_, p) = run_getf2(&a);
         assert_eq!(p.piv[0], 1, "row 1 holds the largest first-column entry");
     }
@@ -242,7 +241,13 @@ mod tests {
 
     #[test]
     fn recursive_matches_getf2_pivots_and_factors() {
-        for (m, n, seed) in [(16, 16, 1), (40, 24, 2), (100, 32, 3), (7, 7, 4), (65, 64, 5)] {
+        for (m, n, seed) in [
+            (16, 16, 1),
+            (40, 24, 2),
+            (100, 32, 3),
+            (7, 7, 4),
+            (65, 64, 5),
+        ] {
             let a = gen::uniform(m, n, seed);
             let (f1, p1) = run_getf2(&a);
             let (f2, p2) = run_recursive(&a);
@@ -267,7 +272,7 @@ mod tests {
         let (f, p) = run_recursive(&a);
         assert!(p.is_nonsingular());
         check_plu(&a, &f, &p.piv, 1e-6); // growth 2^19 amplifies roundoff
-        // growth factor is exactly 2^(n-1) for Wilkinson's matrix
+                                         // growth factor is exactly 2^(n-1) for Wilkinson's matrix
         let growth = f.upper().max_abs() / a.max_abs();
         assert!((growth - 2f64.powi(19)).abs() / 2f64.powi(19) < 1e-12);
     }

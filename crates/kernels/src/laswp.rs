@@ -16,8 +16,14 @@ pub fn dlaswp(n: usize, a: &mut [f64], lda: usize, first: usize, piv: &[usize]) 
         .chain(std::iter::once(first + piv.len() - 1))
         .max()
         .unwrap();
-    assert!(lda > max_row, "lda must exceed the largest swapped row index");
-    assert!(a.len() >= (n - 1) * lda + max_row + 1, "block too short for swaps");
+    assert!(
+        lda > max_row,
+        "lda must exceed the largest swapped row index"
+    );
+    assert!(
+        a.len() > (n - 1) * lda + max_row,
+        "block too short for swaps"
+    );
     for (k, &p) in piv.iter().enumerate() {
         let r = first + k;
         if p == r {

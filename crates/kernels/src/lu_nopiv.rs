@@ -80,7 +80,19 @@ pub fn lu_nopiv_blocked(m: usize, n: usize, a: &mut [f64], lda: usize, nb: usize
                     let a21 = panel_cols.as_ptr().add(k0 * lda + next);
                     let u12 = trailing.as_ptr().add(k0);
                     let a22 = trailing.as_mut_ptr().add(next);
-                    dgemm_raw(m - next, n - next, kb, -1.0, a21, lda, u12, lda, 1.0, a22, lda);
+                    dgemm_raw(
+                        m - next,
+                        n - next,
+                        kb,
+                        -1.0,
+                        a21,
+                        lda,
+                        u12,
+                        lda,
+                        1.0,
+                        a22,
+                        lda,
+                    );
                 }
             }
         }

@@ -237,12 +237,30 @@ mod tests {
         let mut b1 = b0.clone();
         let mut b2 = b0.clone();
         dtrsm_left_lower_unit(6, 6, l.as_slice(), 6, b1.as_mut_slice(), 6);
-        unsafe { dtrsm_left_lower_unit_raw(6, 6, l.as_slice().as_ptr(), 6, b2.as_mut_slice().as_mut_ptr(), 6) };
+        unsafe {
+            dtrsm_left_lower_unit_raw(
+                6,
+                6,
+                l.as_slice().as_ptr(),
+                6,
+                b2.as_mut_slice().as_mut_ptr(),
+                6,
+            )
+        };
         assert!(b1.approx_eq(&b2, 0.0));
         let mut b1 = b0.clone();
         let mut b2 = b0.clone();
         dtrsm_right_upper(6, 6, u.as_slice(), 6, b1.as_mut_slice(), 6);
-        unsafe { dtrsm_right_upper_raw(6, 6, u.as_slice().as_ptr(), 6, b2.as_mut_slice().as_mut_ptr(), 6) };
+        unsafe {
+            dtrsm_right_upper_raw(
+                6,
+                6,
+                u.as_slice().as_ptr(),
+                6,
+                b2.as_mut_slice().as_mut_ptr(),
+                6,
+            )
+        };
         assert!(b1.approx_eq(&b2, 0.0));
     }
 

@@ -1,61 +1,81 @@
-//! Property-based tests for the kernels: optimized implementations vs
-//! the textbook oracles in `calu_matrix::ops`, across random shapes.
+//! Randomized-sweep tests for the kernels: optimized implementations vs
+//! the textbook oracles in `calu_matrix::ops`, across seeded random
+//! shapes (formerly proptest).
 
-use calu_kernels::{dgemm, dgetf2, dgetrf_recursive, dtrsm_left_lower_unit, dtrsm_right_upper, lu_nopiv_unblocked};
+use calu_kernels::{
+    dgemm, dgetf2, dgetrf_recursive, dtrsm_left_lower_unit, dtrsm_right_upper, lu_nopiv_unblocked,
+};
 use calu_matrix::{gen, ops, DenseMatrix, RowPerm};
-use proptest::prelude::*;
+use calu_rand::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn gemm_matches_reference(
-        m in 1usize..40,
-        n in 1usize..40,
-        k in 0usize..40,
-        alpha in -2.0f64..2.0,
-        beta in -2.0f64..2.0,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn gemm_matches_reference() {
+    let mut rng = Rng::seed_from_u64(20);
+    for _ in 0..48 {
+        let m = rng.gen_range(1..40);
+        let n = rng.gen_range(1..40);
+        let k = rng.gen_range(0..40);
+        let alpha = rng.gen_range(-2.0..2.0);
+        let beta = rng.gen_range(-2.0..2.0);
+        let seed = rng.next_u64() % 1000;
         let a = gen::uniform(m, k.max(1), seed);
         let b = gen::uniform(k.max(1), n, seed + 1);
         let c = gen::uniform(m, n, seed + 2);
         let mut got = c.clone();
         let ld = got.ld();
-        dgemm(m, n, k, alpha, a.as_slice(), a.ld().max(1), b.as_slice(), b.ld().max(1), beta, got.as_mut_slice(), ld);
+        dgemm(
+            m,
+            n,
+            k,
+            alpha,
+            a.as_slice(),
+            a.ld().max(1),
+            b.as_slice(),
+            b.ld().max(1),
+            beta,
+            got.as_mut_slice(),
+            ld,
+        );
         // reference: alpha*A(:, :k)*B(:k, :) + beta*C
         let want = if k == 0 {
             ops::scale(beta, &c)
         } else {
             let ak = a.submatrix(0, 0, m, k);
             let bk = b.submatrix(0, 0, k, n);
-            ops::add(&ops::scale(alpha, &ops::matmul(&ak, &bk)), &ops::scale(beta, &c))
+            ops::add(
+                &ops::scale(alpha, &ops::matmul(&ak, &bk)),
+                &ops::scale(beta, &c),
+            )
         };
-        prop_assert!(got.approx_eq(&want, 1e-10));
+        assert!(got.approx_eq(&want, 1e-10));
     }
+}
 
-    #[test]
-    fn recursive_lu_equals_unblocked(
-        m in 1usize..60,
-        n in 1usize..40,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn recursive_lu_equals_unblocked() {
+    let mut rng = Rng::seed_from_u64(21);
+    for _ in 0..48 {
+        let m = rng.gen_range(1..60);
+        let n = rng.gen_range(1..40);
+        let seed = rng.next_u64() % 1000;
         let a = gen::uniform(m, n, seed);
         let mut f1 = a.clone();
         let mut f2 = a.clone();
         let ld = a.ld();
         let p1 = dgetf2(m, n, f1.as_mut_slice(), ld);
         let p2 = dgetrf_recursive(m, n, f2.as_mut_slice(), ld);
-        prop_assert_eq!(p1.piv, p2.piv);
-        prop_assert!(f1.approx_eq(&f2, 1e-9));
+        assert_eq!(p1.piv, p2.piv);
+        assert!(f1.approx_eq(&f2, 1e-9));
     }
+}
 
-    #[test]
-    fn gepp_reconstructs_pa(
-        m in 1usize..48,
-        n in 1usize..48,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn gepp_reconstructs_pa() {
+    let mut rng = Rng::seed_from_u64(22);
+    for _ in 0..48 {
+        let m = rng.gen_range(1..48);
+        let n = rng.gen_range(1..48);
+        let seed = rng.next_u64() % 1000;
         let a = gen::uniform(m, n, seed);
         let mut f = a.clone();
         let ld = a.ld();
@@ -63,50 +83,66 @@ proptest! {
         let perm = RowPerm::from_pivots(0, p.piv);
         let pa = perm.permuted(&a);
         let lu = ops::matmul(&f.lower_unit(), &f.upper());
-        prop_assert!(lu.approx_eq(&pa, 1e-9));
+        assert!(lu.approx_eq(&pa, 1e-9));
     }
+}
 
-    #[test]
-    fn trsm_inverts_multiplication(
-        m in 1usize..24,
-        n in 1usize..24,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn trsm_inverts_multiplication() {
+    let mut rng = Rng::seed_from_u64(23);
+    for _ in 0..48 {
+        let m = rng.gen_range(1..24);
+        let n = rng.gen_range(1..24);
+        let seed = rng.next_u64() % 1000;
         // left solve
         let r = gen::uniform(m, m, seed);
         let l = DenseMatrix::from_fn(m, m, |i, j| {
-            if i == j { 1.0 } else if i > j { 0.4 * r.get(i, j) } else { 0.0 }
+            if i == j {
+                1.0
+            } else if i > j {
+                0.4 * r.get(i, j)
+            } else {
+                0.0
+            }
         });
         let x = gen::uniform(m, n, seed + 1);
         let b = ops::matmul(&l, &x);
         let mut got = b.clone();
         let ld = got.ld();
         dtrsm_left_lower_unit(m, n, l.as_slice(), l.ld(), got.as_mut_slice(), ld);
-        prop_assert!(got.approx_eq(&x, 1e-8));
+        assert!(got.approx_eq(&x, 1e-8));
         // right solve
         let r = gen::uniform(n, n, seed + 2);
         let u = DenseMatrix::from_fn(n, n, |i, j| {
-            if i == j { 1.5 + r.get(i, j).abs() } else if i < j { r.get(i, j) } else { 0.0 }
+            if i == j {
+                1.5 + r.get(i, j).abs()
+            } else if i < j {
+                r.get(i, j)
+            } else {
+                0.0
+            }
         });
         let x = gen::uniform(m, n, seed + 3);
         let b = ops::matmul(&x, &u);
         let mut got = b.clone();
         let ld = got.ld();
         dtrsm_right_upper(m, n, u.as_slice(), u.ld(), got.as_mut_slice(), ld);
-        prop_assert!(got.approx_eq(&x, 1e-8));
+        assert!(got.approx_eq(&x, 1e-8));
     }
+}
 
-    #[test]
-    fn lu_nopiv_on_dominant_matrices(
-        n in 1usize..32,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn lu_nopiv_on_dominant_matrices() {
+    let mut rng = Rng::seed_from_u64(24);
+    for _ in 0..48 {
+        let n = rng.gen_range(1..32);
+        let seed = rng.next_u64() % 1000;
         let a = gen::diag_dominant(n, seed);
         let mut f = a.clone();
         let ld = a.ld();
         let s = lu_nopiv_unblocked(n, n, f.as_mut_slice(), ld);
-        prop_assert!(s.is_none());
+        assert!(s.is_none());
         let lu = ops::matmul(&f.lower_unit(), &f.upper());
-        prop_assert!(lu.approx_eq(&a, 1e-8 * n as f64));
+        assert!(lu.approx_eq(&a, 1e-8 * n as f64));
     }
 }

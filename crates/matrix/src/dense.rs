@@ -155,7 +155,10 @@ impl DenseMatrix {
     /// Copy the submatrix with top-left corner `(r0, c0)` and shape
     /// `(nr, nc)` into a new matrix.
     pub fn submatrix(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> DenseMatrix {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "submatrix out of range");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "submatrix out of range"
+        );
         DenseMatrix::from_fn(nr, nc, |i, j| self.get(r0 + i, c0 + j))
     }
 
@@ -221,7 +224,11 @@ impl DenseMatrix {
     /// shaped `min(rows, cols) × cols`.
     pub fn upper(&self) -> DenseMatrix {
         let k = self.rows.min(self.cols);
-        DenseMatrix::from_fn(k, self.cols, |i, j| if i <= j { self.get(i, j) } else { 0.0 })
+        DenseMatrix::from_fn(
+            k,
+            self.cols,
+            |i, j| if i <= j { self.get(i, j) } else { 0.0 },
+        )
     }
 
     /// Maximum absolute element, 0.0 for an empty matrix.
@@ -318,7 +325,8 @@ mod tests {
 
     #[test]
     fn lu_factor_extraction() {
-        let m = DenseMatrix::from_rows(3, 3, &[2.0, 1.0, 1.0, 4.0, 3.0, 3.0, 8.0, 7.0, 9.0]).unwrap();
+        let m =
+            DenseMatrix::from_rows(3, 3, &[2.0, 1.0, 1.0, 4.0, 3.0, 3.0, 8.0, 7.0, 9.0]).unwrap();
         let l = m.lower_unit();
         assert_eq!(l.get(0, 0), 1.0);
         assert_eq!(l.get(1, 0), 4.0);

@@ -39,7 +39,10 @@ impl fmt::Display for MatrixError {
                 what,
                 expected,
                 got,
-            } => write!(f, "dimension mismatch in {what}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "dimension mismatch in {what}: expected {expected}, got {got}"
+            ),
             MatrixError::InvalidBlockSize(b) => write!(f, "invalid block size {b}"),
             MatrixError::InvalidGrid { rows, cols } => {
                 write!(f, "invalid process grid {rows}x{cols}")

@@ -4,26 +4,22 @@
 //! exactly reproducible.
 
 use crate::dense::DenseMatrix;
-use rand::distributions::{Distribution, Uniform};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use calu_rand::Rng;
 
 /// Uniform random entries in `[-1, 1]` — the standard well-conditioned
 /// test matrix for LU benchmarks (used for every performance figure).
 pub fn uniform(m: usize, n: usize, seed: u64) -> DenseMatrix {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let dist = Uniform::new_inclusive(-1.0, 1.0);
-    DenseMatrix::from_fn(m, n, |_, _| dist.sample(&mut rng))
+    let mut rng = Rng::seed_from_u64(seed);
+    DenseMatrix::from_fn(m, n, |_, _| rng.gen_range(-1.0..=1.0))
 }
 
 /// Standard-normal random entries.
 pub fn normal(m: usize, n: usize, seed: u64) -> DenseMatrix {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let dist = Uniform::new(0.0f64, 1.0);
-    // Box-Muller transform; avoids pulling in rand_distr.
+    let mut rng = Rng::seed_from_u64(seed);
+    // Box-Muller transform; avoids a dedicated normal sampler.
     let mut next = move || {
-        let u1: f64 = dist.sample(&mut rng).max(1e-300);
-        let u2: f64 = dist.sample(&mut rng);
+        let u1: f64 = rng.gen_range(0.0..1.0).max(1e-300);
+        let u2: f64 = rng.gen_range(0.0..1.0);
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     };
     DenseMatrix::from_fn(m, n, |_, _| next())
@@ -46,9 +42,7 @@ pub fn diag_dominant(n: usize, seed: u64) -> DenseMatrix {
 /// growth on it — the classic stress test for pivoting strategies.
 pub fn wilkinson(n: usize) -> DenseMatrix {
     DenseMatrix::from_fn(n, n, |i, j| {
-        if j == n - 1 {
-            1.0
-        } else if i == j {
+        if j == n - 1 || i == j {
             1.0
         } else if i > j {
             -1.0
@@ -106,7 +100,12 @@ mod tests {
         let a = normal(200, 200, 3);
         let n = (200 * 200) as f64;
         let mean: f64 = a.as_slice().iter().sum::<f64>() / n;
-        let var: f64 = a.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var: f64 = a
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

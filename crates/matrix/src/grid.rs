@@ -29,7 +29,7 @@ impl ProcessGrid {
             return Err(MatrixError::InvalidGrid { rows: 0, cols: 0 });
         }
         let mut pr = (p as f64).sqrt() as usize;
-        while pr > 1 && p % pr != 0 {
+        while pr > 1 && !p.is_multiple_of(pr) {
             pr -= 1;
         }
         let pr = pr.max(1);
@@ -135,11 +135,26 @@ mod tests {
 
     #[test]
     fn square_for_prefers_balanced_factorizations() {
-        assert_eq!(ProcessGrid::square_for(16).unwrap(), ProcessGrid::new(4, 4).unwrap());
-        assert_eq!(ProcessGrid::square_for(48).unwrap(), ProcessGrid::new(6, 8).unwrap());
-        assert_eq!(ProcessGrid::square_for(24).unwrap(), ProcessGrid::new(4, 6).unwrap());
-        assert_eq!(ProcessGrid::square_for(7).unwrap(), ProcessGrid::new(1, 7).unwrap());
-        assert_eq!(ProcessGrid::square_for(1).unwrap(), ProcessGrid::new(1, 1).unwrap());
+        assert_eq!(
+            ProcessGrid::square_for(16).unwrap(),
+            ProcessGrid::new(4, 4).unwrap()
+        );
+        assert_eq!(
+            ProcessGrid::square_for(48).unwrap(),
+            ProcessGrid::new(6, 8).unwrap()
+        );
+        assert_eq!(
+            ProcessGrid::square_for(24).unwrap(),
+            ProcessGrid::new(4, 6).unwrap()
+        );
+        assert_eq!(
+            ProcessGrid::square_for(7).unwrap(),
+            ProcessGrid::new(1, 7).unwrap()
+        );
+        assert_eq!(
+            ProcessGrid::square_for(1).unwrap(),
+            ProcessGrid::new(1, 1).unwrap()
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub enum Layout {
 
 impl Layout {
     /// All layouts, in the order Table 1 lists them.
-    pub const ALL: [Layout; 3] = [Layout::BlockCyclic, Layout::TwoLevelBlock, Layout::ColumnMajor];
+    pub const ALL: [Layout; 3] = [
+        Layout::BlockCyclic,
+        Layout::TwoLevelBlock,
+        Layout::ColumnMajor,
+    ];
 
     /// Short name as used in the paper's figures.
     pub fn short_name(&self) -> &'static str {
@@ -56,7 +60,9 @@ impl FromStr for Layout {
             "cm" | "column-major" | "columnmajor" => Ok(Layout::ColumnMajor),
             "bcl" | "block-cyclic" | "blockcyclic" => Ok(Layout::BlockCyclic),
             "2l-bl" | "2lbl" | "two-level" | "twolevelblock" => Ok(Layout::TwoLevelBlock),
-            other => Err(format!("unknown layout '{other}' (expected CM, BCL or 2l-BL)")),
+            other => Err(format!(
+                "unknown layout '{other}' (expected CM, BCL or 2l-BL)"
+            )),
         }
     }
 }

@@ -26,13 +26,21 @@ pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
 
 /// Elementwise `A - B`.
 pub fn sub(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
-    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "sub shape mismatch");
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "sub shape mismatch"
+    );
     DenseMatrix::from_fn(a.rows(), a.cols(), |i, j| a.get(i, j) - b.get(i, j))
 }
 
 /// Elementwise `A + B`.
 pub fn add(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
-    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "add shape mismatch");
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "add shape mismatch"
+    );
     DenseMatrix::from_fn(a.rows(), a.cols(), |i, j| a.get(i, j) + b.get(i, j))
 }
 

@@ -26,7 +26,11 @@ impl RowPerm {
     /// `offset + k` and `piv[k]`.
     pub fn from_pivots(offset: usize, piv: Vec<usize>) -> Self {
         for (k, &p) in piv.iter().enumerate() {
-            assert!(p >= offset + k, "pivot {p} must be >= its step row {}", offset + k);
+            assert!(
+                p >= offset + k,
+                "pivot {p} must be >= its step row {}",
+                offset + k
+            );
         }
         Self { piv, offset }
     }

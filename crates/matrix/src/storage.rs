@@ -161,7 +161,11 @@ pub trait TileStorage {
     /// Scatter a dense matrix into this storage (shapes must match).
     fn load_dense(&mut self, a: &DenseMatrix) {
         let t = self.tiling();
-        assert_eq!((a.rows(), a.cols()), (t.m, t.n), "load_dense shape mismatch");
+        assert_eq!(
+            (a.rows(), a.cols()),
+            (t.m, t.n),
+            "load_dense shape mismatch"
+        );
         for (ti, tj) in t.tiles() {
             let (r0, c0) = (t.row_start(ti), t.col_start(tj));
             let mut tile = self.tile_mut(ti, tj);
@@ -281,8 +285,14 @@ impl BclMatrix {
         let mut local_ld = vec![0usize; p];
         for t in 0..p {
             let (r, c) = grid.coords_of(t);
-            let rows: usize = grid.owned_tile_rows(tr, r).map(|ti| tiling.tile_row_count(ti)).sum();
-            let cols: usize = grid.owned_tile_cols(tc, c).map(|tj| tiling.tile_col_count(tj)).sum();
+            let rows: usize = grid
+                .owned_tile_rows(tr, r)
+                .map(|ti| tiling.tile_row_count(ti))
+                .sum();
+            let cols: usize = grid
+                .owned_tile_cols(tc, c)
+                .map(|tj| tiling.tile_col_count(tj))
+                .sum();
             local_ld[t] = rows;
             region_start[t + 1] = region_start[t] + rows * cols;
         }
@@ -498,7 +508,11 @@ mod tests {
             );
             for s in [&cm as &dyn TileStorage, &bcl, &tlb] {
                 let got = s.tile(ti, tj).to_dense();
-                assert!(got.approx_eq(&want, 0.0), "layout {:?} tile ({ti},{tj})", s.layout());
+                assert!(
+                    got.approx_eq(&want, 0.0),
+                    "layout {:?} tile ({ti},{tj})",
+                    s.layout()
+                );
             }
         }
     }

@@ -118,7 +118,13 @@ mod tests {
         let t = Tiling::new(400, 600, 100);
         assert_eq!(t.tile_rows(), 4);
         assert_eq!(t.tile_cols(), 6);
-        assert_eq!(t.tile_dims(3, 5), TileDims { rows: 100, cols: 100 });
+        assert_eq!(
+            t.tile_dims(3, 5),
+            TileDims {
+                rows: 100,
+                cols: 100
+            }
+        );
         assert_eq!(t.tile_diag(), 4);
     }
 

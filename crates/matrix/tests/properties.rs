@@ -1,34 +1,44 @@
-//! Property-based tests of the storage substrate.
+//! Randomized-sweep tests of the storage substrate.
+//!
+//! Formerly proptest-based; the workspace builds hermetically, so the
+//! same invariants are now exercised over seeded pseudo-random
+//! parameter sweeps (deterministic across runs).
 
-use calu_matrix::{gen, norms, ops, BclMatrix, CmTiles, DenseMatrix, ProcessGrid, RowPerm, TileStorage, TlbMatrix};
-use proptest::prelude::*;
+use calu_matrix::{
+    gen, norms, ops, BclMatrix, CmTiles, DenseMatrix, ProcessGrid, RowPerm, TileStorage, TlbMatrix,
+};
+use calu_rand::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn storage_roundtrips(
-        m in 1usize..50,
-        n in 1usize..50,
-        b in 1usize..16,
-        pr in 1usize..4,
-        pc in 1usize..4,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn storage_roundtrips() {
+    let mut rng = Rng::seed_from_u64(1);
+    for _ in 0..64 {
+        let m = rng.gen_range(1..50);
+        let n = rng.gen_range(1..50);
+        let b = rng.gen_range(1..16);
+        let pr = rng.gen_range(1..4);
+        let pc = rng.gen_range(1..4);
+        let seed = rng.next_u64() % 1000;
         let a = gen::uniform(m, n, seed);
         let grid = ProcessGrid::new(pr, pc).unwrap();
-        prop_assert!(CmTiles::from_dense(&a, b).to_dense().approx_eq(&a, 0.0));
-        prop_assert!(BclMatrix::from_dense(&a, b, grid).to_dense().approx_eq(&a, 0.0));
-        prop_assert!(TlbMatrix::from_dense(&a, b, grid).to_dense().approx_eq(&a, 0.0));
+        assert!(CmTiles::from_dense(&a, b).to_dense().approx_eq(&a, 0.0));
+        assert!(BclMatrix::from_dense(&a, b, grid)
+            .to_dense()
+            .approx_eq(&a, 0.0));
+        assert!(TlbMatrix::from_dense(&a, b, grid)
+            .to_dense()
+            .approx_eq(&a, 0.0));
     }
+}
 
-    #[test]
-    fn tile_views_agree_across_layouts(
-        m in 1usize..40,
-        n in 1usize..40,
-        b in 1usize..12,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn tile_views_agree_across_layouts() {
+    let mut rng = Rng::seed_from_u64(2);
+    for _ in 0..48 {
+        let m = rng.gen_range(1..40);
+        let n = rng.gen_range(1..40);
+        let b = rng.gen_range(1..12);
+        let seed = rng.next_u64() % 1000;
         let a = gen::uniform(m, n, seed);
         let grid = ProcessGrid::new(2, 2).unwrap();
         let cm = CmTiles::from_dense(&a, b);
@@ -37,29 +47,32 @@ proptest! {
         let t = cm.tiling();
         for (ti, tj) in t.tiles() {
             let want = cm.tile(ti, tj).to_dense();
-            prop_assert!(bcl.tile(ti, tj).to_dense().approx_eq(&want, 0.0));
-            prop_assert!(tlb.tile(ti, tj).to_dense().approx_eq(&want, 0.0));
+            assert!(bcl.tile(ti, tj).to_dense().approx_eq(&want, 0.0));
+            assert!(tlb.tile(ti, tj).to_dense().approx_eq(&want, 0.0));
         }
     }
+}
 
-    #[test]
-    fn block_cyclic_owner_counts_are_balanced(
-        tiles in 1usize..40,
-        pr in 1usize..5,
-    ) {
-        let grid = ProcessGrid::new(pr, 1).unwrap();
-        let counts: Vec<usize> = (0..pr).map(|r| grid.local_tile_rows(tiles, r)).collect();
-        let min = counts.iter().min().unwrap();
-        let max = counts.iter().max().unwrap();
-        prop_assert!(max - min <= 1, "cyclic distribution is balanced");
-        prop_assert_eq!(counts.iter().sum::<usize>(), tiles);
+#[test]
+fn block_cyclic_owner_counts_are_balanced() {
+    for tiles in 1..40 {
+        for pr in 1..5 {
+            let grid = ProcessGrid::new(pr, 1).unwrap();
+            let counts: Vec<usize> = (0..pr).map(|r| grid.local_tile_rows(tiles, r)).collect();
+            let min = counts.iter().min().unwrap();
+            let max = counts.iter().max().unwrap();
+            assert!(max - min <= 1, "cyclic distribution is balanced");
+            assert_eq!(counts.iter().sum::<usize>(), tiles);
+        }
     }
+}
 
-    #[test]
-    fn permutations_are_bijections(
-        n in 1usize..40,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn permutations_are_bijections() {
+    let mut rng = Rng::seed_from_u64(3);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..40);
+        let seed = rng.next_u64() % 1000;
         // random valid pivot sequence
         let mut piv = Vec::with_capacity(n);
         let mut state = seed;
@@ -71,41 +84,45 @@ proptest! {
         let p = perm.explicit(n);
         let mut sorted = p.clone();
         sorted.sort();
-        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
         // apply + inverse = identity
         let a = gen::uniform(n, 3, seed);
         let mut b = a.clone();
         perm.apply(&mut b);
         perm.apply_inverse(&mut b);
-        prop_assert!(b.approx_eq(&a, 0.0));
+        assert!(b.approx_eq(&a, 0.0));
     }
+}
 
-    #[test]
-    fn norm_relations(
-        m in 1usize..30,
-        n in 1usize..30,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn norm_relations() {
+    let mut rng = Rng::seed_from_u64(4);
+    for _ in 0..64 {
+        let m = rng.gen_range(1..30);
+        let n = rng.gen_range(1..30);
+        let seed = rng.next_u64() % 1000;
         let a = gen::uniform(m, n, seed);
         let f = norms::frobenius(&a);
         let mx = norms::max_norm(&a);
-        prop_assert!(mx <= f + 1e-12);
-        prop_assert!(f <= ((m * n) as f64).sqrt() * mx + 1e-12);
+        assert!(mx <= f + 1e-12);
+        assert!(f <= ((m * n) as f64).sqrt() * mx + 1e-12);
         // triangle inequality on a random pair
         let b = gen::uniform(m, n, seed + 1);
-        prop_assert!(norms::frobenius(&ops::add(&a, &b)) <= f + norms::frobenius(&b) + 1e-9);
+        assert!(norms::frobenius(&ops::add(&a, &b)) <= f + norms::frobenius(&b) + 1e-9);
     }
+}
 
-    #[test]
-    fn transpose_preserves_norms(
-        m in 1usize..25,
-        n in 1usize..25,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn transpose_preserves_norms() {
+    let mut rng = Rng::seed_from_u64(5);
+    for _ in 0..48 {
+        let m = rng.gen_range(1..25);
+        let n = rng.gen_range(1..25);
+        let seed = rng.next_u64() % 1000;
         let a = gen::uniform(m, n, seed);
         let at = a.transpose();
-        prop_assert!((norms::frobenius(&a) - norms::frobenius(&at)).abs() < 1e-12);
-        prop_assert!((norms::one_norm(&a) - norms::inf_norm(&at)).abs() < 1e-12);
+        assert!((norms::frobenius(&a) - norms::frobenius(&at)).abs() < 1e-12);
+        assert!((norms::one_norm(&a) - norms::inf_norm(&at)).abs() < 1e-12);
         let _ = DenseMatrix::zeros(1, 1);
     }
 }

@@ -1,0 +1,163 @@
+//! Minimal deterministic PRNG for the calu workspace.
+//!
+//! The repository runs in hermetic environments with no access to
+//! crates.io, so the tiny slice of the `rand` ecosystem the experiments
+//! need is implemented here: a seedable, portable, fast generator with
+//! uniform sampling over integer and float ranges. Every generator in
+//! the workspace is seeded explicitly, so all experiments stay exactly
+//! reproducible across runs and machines.
+//!
+//! The algorithm is xoshiro256++ (Blackman & Vigna), seeded through
+//! SplitMix64 — the same construction the `rand` crate's `SmallRng` has
+//! used; statistical quality is far beyond what seeded test matrices and
+//! Poisson noise processes require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed (SplitMix64 expansion, so
+    /// nearby seeds yield unrelated streams).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a range; supported for `Range<usize>`,
+    /// `Range<f64>` and `RangeInclusive<f64>`.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Ranges the generator can sample uniformly.
+pub trait SampleRange {
+    /// Element type produced by the range.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        // multiply-shift bounded sampling (Lemire); the slight modulo
+        // bias of the plain approach is irrelevant here but this is just
+        // as cheap and exact for spans far below 2^64
+        let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+        self.start + hi as usize
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        let (a, b) = (*self.start(), *self.end());
+        assert!(a <= b, "empty range");
+        // scale a [0,1) draw across the closed span; hitting b exactly
+        // is measure-zero and callers treat the bound as inclusive
+        a + (b - a) * rng.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn usize_range_covers_and_respects_bounds() {
+        let mut r = Rng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let x = r.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            seen[x - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn f64_range_mean_is_centered() {
+        let mut r = Rng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen_range(-1.0..=1.0)).sum();
+        assert!((sum / n as f64).abs() < 0.01, "mean {}", sum / n as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(5..5);
+    }
+}

@@ -54,7 +54,9 @@ impl fmt::Display for SchedulerKind {
 /// (Algorithm 1, line 2), rounded to nearest and clamped to `[0, N]`.
 pub fn nstatic_for(dratio: f64, npanels: usize) -> usize {
     assert!((0.0..=1.0).contains(&dratio), "dratio must be in [0,1]");
-    ((npanels as f64) * (1.0 - dratio)).round().clamp(0.0, npanels as f64) as usize
+    ((npanels as f64) * (1.0 - dratio))
+        .round()
+        .clamp(0.0, npanels as f64) as usize
 }
 
 #[cfg(test)]

@@ -63,7 +63,11 @@ mod tests {
 
     /// Drive any policy single-threaded through the whole DAG and return
     /// the execution order; panics if the policy loses tasks.
-    pub(crate) fn drain(g: &TaskGraph, policy: &mut dyn Policy, cores: usize) -> Vec<calu_dag::TaskId> {
+    pub(crate) fn drain(
+        g: &TaskGraph,
+        policy: &mut dyn Policy,
+        cores: usize,
+    ) -> Vec<calu_dag::TaskId> {
         let mut deps: Vec<u32> = g.ids().map(|t| g.dep_count(t)).collect();
         for t in g.initial_ready() {
             policy.on_ready(t, None);
@@ -85,7 +89,11 @@ mod tests {
                     }
                 }
             }
-            assert!(progressed, "policy starved with {done}/{} tasks done", g.len());
+            assert!(
+                progressed,
+                "policy starved with {done}/{} tasks done",
+                g.len()
+            );
         }
         order
     }

@@ -29,7 +29,9 @@ fn kind_rank(k: &TaskKind) -> u64 {
 fn indices(k: &TaskKind) -> (u64, u64, u64) {
     match *k {
         TaskKind::PanelLeaf { k, i } => (k as u64, k as u64, i as u64),
-        TaskKind::PanelCombine { k, level, idx } => (k as u64, k as u64, ((level as u64) << 32) | idx as u64),
+        TaskKind::PanelCombine { k, level, idx } => {
+            (k as u64, k as u64, ((level as u64) << 32) | idx as u64)
+        }
         TaskKind::PanelFinish { k } => (k as u64, k as u64, 0),
         TaskKind::ComputeL { k, i } => (k as u64, k as u64, i as u64),
         TaskKind::ComputeU { k, j } => (k as u64, j as u64, 0),
@@ -60,7 +62,10 @@ mod tests {
     fn static_order_puts_panels_first() {
         let p = TaskKind::PanelLeaf { k: 5, i: 6 };
         let s = TaskKind::Update { k: 0, i: 1, j: 1 };
-        assert!(static_key(&p) < static_key(&s), "P beats S even for later panels");
+        assert!(
+            static_key(&p) < static_key(&s),
+            "P beats S even for later panels"
+        );
         let l = TaskKind::ComputeL { k: 2, i: 3 };
         let u = TaskKind::ComputeU { k: 2, j: 3 };
         assert!(static_key(&l) < static_key(&u));
@@ -82,8 +87,14 @@ mod tests {
         let u_col4 = TaskKind::ComputeU { k: 0, j: 4 };
         let s_col4 = TaskKind::Update { k: 0, i: 1, j: 4 };
         let u_col5 = TaskKind::ComputeU { k: 0, j: 5 };
-        assert!(dynamic_key(&u_col4) < dynamic_key(&s_col4), "U before S in a column-step");
-        assert!(dynamic_key(&s_col4) < dynamic_key(&u_col5), "finish column 4 before column 5");
+        assert!(
+            dynamic_key(&u_col4) < dynamic_key(&s_col4),
+            "U before S in a column-step"
+        );
+        assert!(
+            dynamic_key(&s_col4) < dynamic_key(&u_col5),
+            "finish column 4 before column 5"
+        );
         // within a column, earlier elimination steps first
         let s_k0 = TaskKind::Update { k: 0, i: 2, j: 6 };
         let u_k1 = TaskKind::ComputeU { k: 1, j: 6 };
@@ -97,7 +108,10 @@ mod tests {
         let u = TaskKind::ComputeU { k: 4, j: 5 };
         assert!(dynamic_key(&p) < dynamic_key(&u));
         let s_before = TaskKind::Update { k: 3, i: 5, j: 4 };
-        assert!(dynamic_key(&s_before) < dynamic_key(&p), "column 4 updates precede its panel");
+        assert!(
+            dynamic_key(&s_before) < dynamic_key(&p),
+            "column 4 updates precede its panel"
+        );
     }
 
     #[test]
@@ -105,7 +119,11 @@ mod tests {
         let kinds = [
             TaskKind::PanelLeaf { k: 1, i: 1 },
             TaskKind::PanelLeaf { k: 1, i: 2 },
-            TaskKind::PanelCombine { k: 1, level: 1, idx: 0 },
+            TaskKind::PanelCombine {
+                k: 1,
+                level: 1,
+                idx: 0,
+            },
             TaskKind::PanelFinish { k: 1 },
             TaskKind::ComputeL { k: 1, i: 2 },
             TaskKind::ComputeU { k: 1, j: 2 },

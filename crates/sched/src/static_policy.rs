@@ -48,12 +48,12 @@ impl StaticPolicy {
 
     /// `(panel, column)` of the queue head if it is an `Update` task.
     fn head_update_step(&self, core: usize) -> Option<(u32, u32)> {
-        self.queues[core].peek().and_then(|Reverse((_, t))| {
-            match self.kinds[*t as usize] {
+        self.queues[core]
+            .peek()
+            .and_then(|Reverse((_, t))| match self.kinds[*t as usize] {
                 TaskKind::Update { k, j, .. } => Some((k, j)),
                 _ => None,
-            }
-        })
+            })
     }
 }
 
@@ -161,7 +161,9 @@ mod tests {
             .unwrap();
         let p_task = g
             .ids()
-            .find(|&t| matches!(g.kind(t), TaskKind::PanelLeaf { k: 1, .. }) && owners.owner(t) == 3)
+            .find(|&t| {
+                matches!(g.kind(t), TaskKind::PanelLeaf { k: 1, .. }) && owners.owner(t) == 3
+            })
             .unwrap();
         p.on_ready(s_task, None);
         p.on_ready(p_task, None);

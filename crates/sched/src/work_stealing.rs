@@ -10,15 +10,14 @@
 use std::collections::VecDeque;
 
 use calu_dag::{TaskGraph, TaskId};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use calu_rand::Rng;
 
 use crate::policy::{Policy, Popped, QueueSource};
 
 /// See module docs.
 pub struct WorkStealingPolicy {
     deques: Vec<VecDeque<TaskId>>,
-    rng: ChaCha8Rng,
+    rng: Rng,
     rr: usize,
     queued: usize,
 }
@@ -30,7 +29,7 @@ impl WorkStealingPolicy {
         assert!(cores > 0);
         Self {
             deques: (0..cores).map(|_| VecDeque::new()).collect(),
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             rr: 0,
             queued: 0,
         }

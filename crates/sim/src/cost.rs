@@ -127,7 +127,11 @@ pub fn kernel_eff(g: &TaskGraph, kind: &TaskKind, layout: Layout, batch: usize) 
                 2 => 0.84,
                 _ => 0.88,
             };
-            if layout == Layout::BlockCyclic { eff } else { single }
+            if layout == Layout::BlockCyclic {
+                eff
+            } else {
+                single
+            }
         }
     }
 }
@@ -190,12 +194,15 @@ pub fn total_flops(g: &TaskGraph) -> f64 {
     g.ids().map(|t| task_flops(g, t)).sum()
 }
 
-/// The standard LU figure-of-merit flop count (`mn² − n³/3` for `m ≥ n`,
-/// i.e. `(2/3)n³` when square) used for Gflop/s reporting, matching the
-/// paper's plots.
+/// The standard LU figure-of-merit flop count used for Gflop/s
+/// reporting, matching the paper's plots: `2(mnr − (m+n)r²/2 + r³/3)`
+/// with `r = min(m, n)`, which reduces to the familiar `mn² − n³/3`
+/// for `m ≥ n` (`(2/3)n³` when square) and stays positive for wide
+/// matrices.
 pub fn lu_nominal_flops(m: usize, n: usize) -> f64 {
+    let r = m.min(n) as f64;
     let (m, n) = (m as f64, n as f64);
-    m * n * n - n * n * n / 3.0
+    2.0 * m * n * r - (m + n) * r * r + 2.0 * r * r * r / 3.0
 }
 
 /// Cholesky figure-of-merit flop count, `n³/3`.
@@ -224,7 +231,10 @@ mod tests {
         // (per-tile leaves deliberately over-count the tournament)
         let calu = total_flops(&TaskGraph::build_calu(1500, 1500, 100, 4));
         let incpiv = total_flops(&TaskGraph::build_incpiv(1500, 1500, 100));
-        assert!(incpiv > 1.03 * calu, "incremental pivoting pays extra flops");
+        assert!(
+            incpiv > 1.03 * calu,
+            "incremental pivoting pays extra flops"
+        );
         assert!(incpiv < 1.5 * calu);
         // the SSSSM overhead is on the O(n^3) term, so the gap widens
         // with matrix size while CALU's tournament overhead (O(n^2 b))
@@ -302,5 +312,17 @@ mod tests {
     fn nominal_flops_square() {
         let f = lu_nominal_flops(3000, 3000);
         assert!((f - 2.0 / 3.0 * 3000f64.powi(3)).abs() / f < 1e-12);
+    }
+
+    #[test]
+    fn nominal_flops_rectangular() {
+        // tall case keeps the mn² − n³/3 convention
+        let (m, n) = (4000f64, 1000f64);
+        let tall = lu_nominal_flops(4000, 1000);
+        assert!((tall - (m * n * n - n * n * n / 3.0)).abs() / tall < 1e-12);
+        // wide case is positive and symmetric with the tall case
+        let wide = lu_nominal_flops(1000, 4000);
+        assert!(wide > 0.0);
+        assert!((wide - tall).abs() / tall < 1e-12);
     }
 }

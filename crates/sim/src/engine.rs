@@ -141,7 +141,9 @@ impl<'a> Engine<'a> {
             policy,
             deps: g.ids().map(|t| g.dep_count(t)).collect(),
             caches: (0..p).map(|_| TileCache::new(cache_cap)).collect(),
-            noise: (0..p).map(|c| NoiseProcess::new(&cfg.machine.noise, c)).collect(),
+            noise: (0..p)
+                .map(|c| NoiseProcess::new(&cfg.machine.noise, c))
+                .collect(),
             stats: vec![CoreStats::default(); p],
             in_flight: vec![Vec::new(); p],
             last_writer: vec![u32::MAX; g.tile_rows() * g.tile_cols()],
@@ -190,6 +192,13 @@ impl<'a> Engine<'a> {
             QueueSource::Global => m.dequeue_global + m.dequeue_contention * (p - 1.0),
             QueueSource::Stolen => m.dequeue_global + m.steal_cost * (p / 2.0),
         };
+        for popped in &batch {
+            match popped.source {
+                QueueSource::Local => self.stats[core].local_pops += 1,
+                QueueSource::Global => self.stats[core].global_pops += 1,
+                QueueSource::Stolen => self.stats[core].stolen_pops += 1,
+            }
+        }
 
         // memory: cache misses pay local/remote byte costs
         let socket = m.socket_of(core);
@@ -532,7 +541,10 @@ mod slow_core_tests {
         let stat = run(&g, &mk(SchedulerKind::Static));
         let hyb = run(&g, &mk(SchedulerKind::Hybrid { dratio: 0.2 }));
         let dynamic = run(&g, &mk(SchedulerKind::Dynamic));
-        assert!(hyb.makespan < stat.makespan, "hybrid must absorb the slow core");
+        assert!(
+            hyb.makespan < stat.makespan,
+            "hybrid must absorb the slow core"
+        );
         // and the slowdown vs the healthy machine is bounded for dynamic
         let healthy = run(
             &TaskGraph::build_calu(3000, 3000, 100, 4),

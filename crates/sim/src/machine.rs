@@ -167,7 +167,10 @@ impl MachineConfig {
     /// Same AMD model restricted to `cores` cores (the paper's 24-core
     /// runs use half the machine).
     pub fn amd_opteron_with_cores(cores: usize, noise: NoiseConfig) -> Self {
-        assert!(cores % 6 == 0 && cores <= 48, "AMD model scales by whole sockets");
+        assert!(
+            cores.is_multiple_of(6) && cores <= 48,
+            "AMD model scales by whole sockets"
+        );
         Self {
             sockets: cores / 6,
             ..Self::amd_opteron_48(noise)
@@ -187,7 +190,10 @@ mod tests {
         let amd = MachineConfig::amd_opteron_48(NoiseConfig::off());
         assert_eq!(amd.cores(), 48);
         assert!((amd.peak_flops() - 539.5e9).abs() < 1e6);
-        assert!(amd.remote_byte_cost > intel.remote_byte_cost * 3.0, "AMD NUMA penalty dominates");
+        assert!(
+            amd.remote_byte_cost > intel.remote_byte_cost * 3.0,
+            "AMD NUMA penalty dominates"
+        );
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Per-core OS-noise processes: Poisson-arriving excess work (§6's δ).
 
 use crate::machine::NoiseConfig;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use calu_rand::Rng;
 
 /// A single core's noise process. Events arrive with exponential
 /// inter-arrival times (rate `rate_hz`) and exponential durations (mean
@@ -10,7 +9,7 @@ use rand_chacha::ChaCha8Rng;
 /// invisibly (it delays nothing).
 #[derive(Debug, Clone)]
 pub struct NoiseProcess {
-    rng: ChaCha8Rng,
+    rng: Rng,
     rate: f64,
     mean_dur: f64,
     next_event: f64,
@@ -19,7 +18,11 @@ pub struct NoiseProcess {
 impl NoiseProcess {
     /// Create the process for one core.
     pub fn new(cfg: &NoiseConfig, core: usize) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(core as u64));
+        let mut rng = Rng::seed_from_u64(
+            cfg.seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(core as u64),
+        );
         let rate = cfg.rate_hz;
         let mean_dur = cfg.mean_duration;
         let next_event = if rate > 0.0 {
@@ -38,7 +41,7 @@ impl NoiseProcess {
     /// A noiseless process.
     pub fn off() -> Self {
         Self {
-            rng: ChaCha8Rng::seed_from_u64(0),
+            rng: Rng::seed_from_u64(0),
             rate: 0.0,
             mean_dur: 0.0,
             next_event: f64::INFINITY,
@@ -70,7 +73,7 @@ impl NoiseProcess {
     }
 }
 
-fn exp_sample(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+fn exp_sample(rng: &mut Rng, mean: f64) -> f64 {
     let u: f64 = rng.gen_range(1e-12..1.0);
     -u.ln() * mean
 }
@@ -132,7 +135,10 @@ mod tests {
         let mut spans = vec![];
         // long idle period before the task: pending events must not pile up
         let end = p.stretch(1000.0, 0.001, &mut spans);
-        assert!(end - 1000.001 < 0.05, "idle noise must not delay future work");
+        assert!(
+            end - 1000.001 < 0.05,
+            "idle noise must not delay future work"
+        );
     }
 
     #[test]

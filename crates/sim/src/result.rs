@@ -25,6 +25,12 @@ pub struct CoreStats {
     pub cache_hits: u64,
     /// Tile-cache misses.
     pub cache_misses: u64,
+    /// Tasks popped from the core's own static queue.
+    pub local_pops: u64,
+    /// Tasks popped from the shared dynamic queue.
+    pub global_pops: u64,
+    /// Tasks stolen from another core's deque.
+    pub stolen_pops: u64,
 }
 
 /// Result of one simulated factorization.

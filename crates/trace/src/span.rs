@@ -34,12 +34,12 @@ impl SpanKind {
     /// Fill color used in the SVG renderer.
     pub fn color(&self) -> &'static str {
         match self {
-            SpanKind::Panel => "#d62728",     // red, like Figure 4
-            SpanKind::LFactor => "#ff7f0e",   // orange
-            SpanKind::UFactor => "#1f77b4",   // blue
-            SpanKind::Update => "#2ca02c",    // green, like Figure 4
-            SpanKind::Noise => "#7f7f7f",     // grey
-            SpanKind::Overhead => "#bcbd22",  // olive
+            SpanKind::Panel => "#d62728",    // red, like Figure 4
+            SpanKind::LFactor => "#ff7f0e",  // orange
+            SpanKind::UFactor => "#1f77b4",  // blue
+            SpanKind::Update => "#2ca02c",   // green, like Figure 4
+            SpanKind::Noise => "#7f7f7f",    // grey
+            SpanKind::Overhead => "#bcbd22", // olive
         }
     }
 

@@ -46,7 +46,12 @@ impl Timeline {
 
     /// Spans of one core, sorted by start time.
     pub fn core_spans(&self, core: usize) -> Vec<TaskSpan> {
-        let mut v: Vec<TaskSpan> = self.spans.iter().filter(|s| s.core == core).copied().collect();
+        let mut v: Vec<TaskSpan> = self
+            .spans
+            .iter()
+            .filter(|s| s.core == core)
+            .copied()
+            .collect();
         v.sort_by(|a, b| a.start.total_cmp(&b.start));
         v
     }
@@ -258,6 +263,10 @@ mod tests {
         let t = Timeline::new(4);
         assert_eq!(t.utilization(), 0.0);
         assert_eq!(t.makespan(), 0.0);
-        assert_eq!(t.fraction_cores_done_by(0.5), 1.0, "all cores trivially done");
+        assert_eq!(
+            t.fraction_cores_done_by(0.5),
+            1.0,
+            "all cores trivially done"
+        );
     }
 }

@@ -6,17 +6,13 @@
 //! cargo run --release --example noise_resilience
 //! ```
 
-use calu::dag::TaskGraph;
-use calu::matrix::{Layout, ProcessGrid};
 use calu::model::{max_static_fraction, NoiseStats};
 use calu::sched::SchedulerKind;
-use calu::sim::{run, MachineConfig, NoiseConfig, SimConfig};
+use calu::sim::{MachineConfig, NoiseConfig};
+use calu::{MatrixSource, SimulatedBackend, Solver};
 
 fn main() {
     let n = 4000;
-    let b = 100;
-    let grid = ProcessGrid::square_for(16).unwrap();
-    let g = TaskGraph::build_calu(n, n, b, grid.pr());
 
     println!("Gflop/s vs OS-noise load (Intel 16-core model, n = {n}, BCL):\n");
     println!(
@@ -34,19 +30,25 @@ fn main() {
             }
         };
         let mach = MachineConfig::intel_xeon_16(noise);
-        let gfl = |sched| {
-            run(&g, &SimConfig::new(mach.clone(), Layout::BlockCyclic, sched)).gflops()
+        let run = |sched| {
+            Solver::new(MatrixSource::shape(n, n))
+                .scheduler(sched)
+                .backend(SimulatedBackend::new(mach.clone()))
+                .run()
+                .expect("simulated run")
         };
-        let stat = gfl(SchedulerKind::Static);
-        let h10 = gfl(SchedulerKind::Hybrid { dratio: 0.1 });
-        let dynamic = gfl(SchedulerKind::Dynamic);
+        let stat_report = run(SchedulerKind::Static);
+        let stat = stat_report.gflops();
+        let h10 = run(SchedulerKind::Hybrid { dratio: 0.1 }).gflops();
+        let dynamic = run(SchedulerKind::Dynamic).gflops();
         // Theorem 1 with the measured noise of the static run
-        let r = run(
-            &g,
-            &SimConfig::new(mach.clone(), Layout::BlockCyclic, SchedulerKind::Static),
-        );
-        let deltas: Vec<f64> = r.cores.iter().map(|c| c.noise).collect();
-        let work: f64 = r.cores.iter().map(|c| c.work).sum();
+        let deltas: Vec<f64> = stat_report
+            .schedule
+            .threads
+            .iter()
+            .map(|c| c.noise)
+            .collect();
+        let work: f64 = stat_report.schedule.threads.iter().map(|c| c.work).sum();
         let fs = max_static_fraction(work, 16, NoiseStats::from_samples(&deltas));
         println!(
             "  {:>11.1}%  {:>8.1}  {:>8.1}  {:>8.1}  {:>14.3}",

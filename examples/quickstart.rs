@@ -1,27 +1,46 @@
-//! Quickstart: factor a matrix with CALU, verify it, solve a system.
+//! Quickstart: factor a matrix through the unified `Solver`, verify it,
+//! solve a system.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use calu::core::{calu_factor, gepp_factor, CaluConfig};
+use calu::core::gepp_factor;
 use calu::matrix::{gen, ops, Layout};
+use calu::{Solver, ThreadedBackend};
 
 fn main() {
     // A 768×768 random matrix, factored with tile size 64 on 4 threads,
     // 10% of the panels scheduled dynamically (the paper's sweet spot).
     let n = 768;
     let a = gen::uniform(n, n, 2024);
-    let cfg = CaluConfig::new(64)
-        .with_threads(4)
-        .with_dratio(0.1)
-        .with_layout(Layout::BlockCyclic);
+    let report = Solver::new(a.clone())
+        .tile(64)
+        .threads(4)
+        .dratio(0.1)
+        .layout(Layout::BlockCyclic)
+        .backend(ThreadedBackend)
+        .run()
+        .expect("factorization");
 
-    let f = calu_factor(&a, &cfg).expect("factorization");
     println!("CALU factorization of a {n}x{n} matrix");
-    println!("  residual  ‖PA − LU‖/‖A‖ = {:.2e}", f.residual(&a));
-    println!("  growth    max|U|/max|A|  = {:.2}", f.growth_factor(&a));
+    println!(
+        "  residual  ‖PA − LU‖/‖A‖ = {:.2e}",
+        report.residual.unwrap()
+    );
+    println!(
+        "  growth    max|U|/max|A|  = {:.2}",
+        report.growth_factor.unwrap()
+    );
+    let f = report.factorization.as_ref().unwrap();
     println!("  pivots    {} row swaps recorded", f.perm.len());
+    println!(
+        "  schedule  {:.1} ms makespan, {:.0}% utilization, {} of {} tasks via the dynamic queue",
+        report.makespan * 1e3,
+        report.utilization() * 100.0,
+        report.schedule.queue_sources().global,
+        report.tasks,
+    );
 
     // Solve A·x = b and check the backward error.
     let x_true = gen::uniform(n, 1, 7);
@@ -36,7 +55,7 @@ fn main() {
         "  GEPP comparison: growth {:.2} (tournament pivoting is as stable in practice)",
         g.growth_factor(&a)
     );
-    assert!(f.residual(&a) < 1e-12);
+    assert!(report.residual.unwrap() < 1e-12);
     assert!(err < 1e-12);
     println!("OK");
 }

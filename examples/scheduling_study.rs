@@ -2,31 +2,41 @@
 //! machines and find the knee — the experiment behind Figures 6–7,
 //! runnable in seconds on any laptop.
 //!
+//! With the unified `Solver`, "same workload, N machines × M schedulers"
+//! is literally a nested loop over values.
+//!
 //! ```sh
 //! cargo run --release --example scheduling_study
 //! ```
 
-use calu::dag::TaskGraph;
-use calu::matrix::{Layout, ProcessGrid};
+use calu::matrix::Layout;
 use calu::sched::SchedulerKind;
-use calu::sim::{run, MachineConfig, NoiseConfig, SimConfig};
+use calu::sim::{MachineConfig, NoiseConfig};
+use calu::{MatrixSource, SimulatedBackend, Solver};
 
 fn main() {
     let noise = NoiseConfig::os_daemons(42);
     let n = 5000;
-    let b = 100;
     for (name, mach) in [
         ("Intel Xeon 16-core", MachineConfig::intel_xeon_16(noise)),
         ("AMD Opteron 48-core", MachineConfig::amd_opteron_48(noise)),
     ] {
-        let grid = ProcessGrid::square_for(mach.cores()).unwrap();
-        let g = TaskGraph::build_calu(n, n, b, grid.pr());
-        println!("\n{name}  (peak {:.1} Gflop/s), n = {n}, BCL layout", mach.peak_flops() / 1e9);
-        println!("  {:>22}  {:>9}  {:>6}  {:>11}", "scheduler", "Gflop/s", "util", "remote GB");
+        println!(
+            "\n{name}  (peak {:.1} Gflop/s), n = {n}, BCL layout",
+            mach.peak_flops() / 1e9
+        );
+        println!(
+            "  {:>22}  {:>9}  {:>6}  {:>11}",
+            "scheduler", "Gflop/s", "util", "remote GB"
+        );
         let mut best: (String, f64) = (String::new(), 0.0);
         for sched in SchedulerKind::paper_sweep() {
-            let cfg = SimConfig::new(mach.clone(), Layout::BlockCyclic, sched);
-            let r = run(&g, &cfg);
+            let r = Solver::new(MatrixSource::shape(n, n))
+                .layout(Layout::BlockCyclic)
+                .scheduler(sched)
+                .backend(SimulatedBackend::new(mach.clone()))
+                .run()
+                .expect("simulated run");
             println!(
                 "  {:>22}  {:>9.1}  {:>5.1}%  {:>11.2}",
                 sched.to_string(),

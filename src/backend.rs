@@ -1,0 +1,417 @@
+//! Pluggable execution backends for the [`Solver`](crate::Solver).
+//!
+//! A [`Backend`] turns a validated [`Plan`] into a [`Report`]. Two
+//! implementations ship with the crate:
+//!
+//! * [`ThreadedBackend`] — real execution: worker threads, real kernels,
+//!   real pivoting, wall-clock schedule metrics (via
+//!   `calu_core::threaded`);
+//! * [`SimulatedBackend`] — a discrete-event run of the same DAG under
+//!   the same scheduling policies on a modelled machine (via
+//!   `calu_sim::engine`), including NUMA costs and OS noise.
+//!
+//! Both fill the same [`Report`], so swapping one for the other inside
+//! a benchmark loop is a one-line change. Future backends (sharded,
+//! out-of-core, …) implement the same trait.
+
+use std::time::Instant;
+
+use calu_core::{calu_factor_report, gepp_factor, incpiv_factor};
+use calu_sim::{MachineConfig, SimConfig, SimResult};
+
+use crate::error::Error;
+use crate::report::{nominal_flops, Report, ScheduleMetrics, ThreadMetrics};
+use crate::solver::{Algorithm, Plan};
+
+/// An execution substrate for a validated [`Plan`].
+pub trait Backend {
+    /// Human-readable backend name, recorded in the [`Report`].
+    fn name(&self) -> &str;
+
+    /// Thread count to use when the caller leaves it unset.
+    fn preferred_threads(&self) -> Option<usize> {
+        None
+    }
+
+    /// Execute the plan.
+    fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error>;
+}
+
+/// Real multithreaded execution (Algorithms 1 and 2 of the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedBackend;
+
+impl Backend for ThreadedBackend {
+    fn name(&self) -> &str {
+        "threaded"
+    }
+
+    fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error> {
+        if matches!(
+            plan.scheduler,
+            calu_sched::SchedulerKind::WorkStealing { .. }
+        ) {
+            return Err(Error::Unsupported {
+                backend: self.name().into(),
+                what: "the real executor implements the paper's static/dynamic \
+                       queues, not work stealing; use SimulatedBackend or a \
+                       Static/Dynamic/Hybrid scheduler"
+                    .into(),
+            });
+        }
+        if plan.grouping_requested() && plan.group() > 1 {
+            return Err(Error::Unsupported {
+                backend: self.name().into(),
+                what: "the real executor does not implement grouped BLAS-3 \
+                       updates; grouping is a simulator knob — use \
+                       SimulatedBackend or drop .grouping()"
+                    .into(),
+            });
+        }
+        let a = plan.source.materialize().ok_or_else(|| {
+            Error::Config(
+                "the threaded backend factors real data: provide a DenseMatrix \
+                 or MatrixSource::Uniform, not MatrixSource::Shape"
+                    .into(),
+            )
+        })?;
+        let (m, n) = plan.source.dims();
+        let mut report = Report {
+            backend: self.name().into(),
+            algorithm: plan.algorithm,
+            scheduler: plan.scheduler,
+            layout: plan.layout(),
+            dims: (m, n),
+            b: plan.b(),
+            threads: plan.threads(),
+            tasks: 0,
+            makespan: 0.0,
+            nominal_flops: nominal_flops(plan.algorithm, m, n),
+            factorization: None,
+            residual: None,
+            growth_factor: None,
+            schedule: ScheduleMetrics::default(),
+            timeline: None,
+        };
+        match plan.algorithm {
+            Algorithm::Calu => {
+                let cfg = plan.calu_config();
+                let (f, tl, stats) = calu_factor_report(&a, &cfg)?;
+                if plan.verify {
+                    report.residual = Some(f.residual(&a));
+                    report.growth_factor = Some(f.growth_factor(&a));
+                }
+                report.makespan = tl.makespan();
+                report.tasks = tl.spans().len();
+                // one pass over the span list (it can hold tens of
+                // thousands of entries on large runs)
+                let mut work = vec![0.0f64; plan.threads()];
+                let mut busy = vec![0.0f64; plan.threads()];
+                let mut count = vec![0u64; plan.threads()];
+                for s in tl.spans() {
+                    busy[s.core] += s.duration();
+                    if s.kind.is_work() {
+                        work[s.core] += s.duration();
+                    }
+                    count[s.core] += 1;
+                }
+                report.schedule = ScheduleMetrics {
+                    makespan: tl.makespan(),
+                    threads: (0..plan.threads())
+                        .map(|c| ThreadMetrics {
+                            work: work[c],
+                            idle: (tl.makespan() - busy[c]).max(0.0),
+                            tasks: count[c],
+                            local_pops: stats[c].local_pops,
+                            global_pops: stats[c].global_pops,
+                            ..Default::default()
+                        })
+                        .collect(),
+                };
+                report.timeline = plan.record_trace.then_some(tl);
+                report.factorization = Some(f);
+            }
+            Algorithm::Gepp => {
+                let t0 = Instant::now();
+                let f = gepp_factor(a.as_ref(), plan.b());
+                let dt = t0.elapsed().as_secs_f64();
+                if plan.verify {
+                    report.residual = Some(f.residual(&a));
+                    report.growth_factor = Some(f.growth_factor(&a));
+                }
+                report.makespan = dt;
+                // the reference drivers are sequential regardless of the
+                // requested thread count; report what actually ran
+                report.threads = 1;
+                report.schedule = sequential_metrics(dt);
+                report.factorization = Some(f);
+            }
+            Algorithm::IncPiv => {
+                let t0 = Instant::now();
+                let f = incpiv_factor(a.as_ref(), plan.b());
+                let dt = t0.elapsed().as_secs_f64();
+                // incremental pivoting keeps per-tile factors; expose the
+                // numerical checks, not a packed Factorization
+                if plan.verify {
+                    report.residual = Some(f.residual_via_solve(&a, 0));
+                    report.growth_factor = Some(f.growth_factor(&a));
+                }
+                report.makespan = dt;
+                report.threads = 1;
+                report.schedule = sequential_metrics(dt);
+            }
+            Algorithm::Cholesky => {
+                return Err(Error::Unsupported {
+                    backend: self.name().into(),
+                    what: "tiled Cholesky is modelled, not executed; use \
+                           SimulatedBackend"
+                        .into(),
+                });
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Schedule metrics of a sequential reference driver.
+fn sequential_metrics(makespan: f64) -> ScheduleMetrics {
+    ScheduleMetrics {
+        makespan,
+        threads: vec![ThreadMetrics {
+            work: makespan,
+            ..Default::default()
+        }],
+    }
+}
+
+/// Discrete-event simulation on a modelled machine (see `calu_sim`).
+#[derive(Debug, Clone)]
+pub struct SimulatedBackend {
+    machine: MachineConfig,
+    column_granular: bool,
+    name: String,
+}
+
+impl SimulatedBackend {
+    /// Simulate on `machine`.
+    pub fn new(machine: MachineConfig) -> Self {
+        let name = format!("simulated({})", machine.name);
+        Self {
+            machine,
+            column_granular: false,
+            name,
+        }
+    }
+
+    /// Use column-granular dynamic tasks (Algorithm 2's `for all I` —
+    /// the paper's fully dynamic implementation, Figure 14).
+    pub fn column_granular(mut self) -> Self {
+        self.column_granular = true;
+        self
+    }
+
+    /// The machine model this backend simulates.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+}
+
+impl Backend for SimulatedBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn preferred_threads(&self) -> Option<usize> {
+        Some(self.machine.cores())
+    }
+
+    fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error> {
+        let cores = self.machine.cores();
+        if plan.threads() != cores {
+            return Err(Error::Config(format!(
+                "thread count {} does not match the simulated machine's {} \
+                 cores ({}); drop .threads() to use the machine size, or pick \
+                 a machine model with {} cores",
+                plan.threads(),
+                cores,
+                self.machine.name,
+                plan.threads()
+            )));
+        }
+        let cfg = SimConfig {
+            machine: self.machine.clone(),
+            layout: plan.layout(),
+            sched: plan.scheduler,
+            grid: plan.grid,
+            group_max: plan.group(),
+            column_granular: self.column_granular,
+            record_trace: plan.record_trace,
+        };
+        let g = plan.build_graph();
+        let r = calu_sim::run(&g, &cfg);
+        let (m, n) = plan.source.dims();
+        Ok(sim_report(self.name(), plan, (m, n), r))
+    }
+}
+
+/// Map a `SimResult` into the unified report shape.
+fn sim_report(backend: &str, plan: &Plan<'_>, dims: (usize, usize), r: SimResult) -> Report {
+    let threads = r
+        .cores
+        .iter()
+        .map(|c| {
+            let busy = c.work + c.overhead + c.memory + c.noise;
+            ThreadMetrics {
+                work: c.work,
+                idle: (r.makespan - busy).max(0.0),
+                overhead: c.overhead,
+                memory: c.memory,
+                noise: c.noise,
+                tasks: c.tasks,
+                local_pops: c.local_pops,
+                global_pops: c.global_pops,
+                stolen_pops: c.stolen_pops,
+                remote_bytes: c.remote_bytes,
+                local_bytes: c.local_bytes,
+                cache_hits: c.cache_hits,
+                cache_misses: c.cache_misses,
+            }
+        })
+        .collect();
+    Report {
+        backend: backend.into(),
+        algorithm: plan.algorithm,
+        scheduler: plan.scheduler,
+        layout: plan.layout(),
+        dims,
+        b: plan.b(),
+        threads: plan.threads(),
+        tasks: r.tasks,
+        makespan: r.makespan,
+        nominal_flops: r.nominal_flops,
+        factorization: None,
+        residual: None,
+        growth_factor: None,
+        schedule: ScheduleMetrics {
+            makespan: r.makespan,
+            threads,
+        },
+        timeline: r.timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{MatrixSource, Solver};
+    use calu_sched::SchedulerKind;
+    use calu_sim::NoiseConfig;
+
+    #[test]
+    fn threaded_rejects_shape_only_sources() {
+        let err = Solver::new(MatrixSource::shape(64, 64))
+            .tile(16)
+            .backend(ThreadedBackend)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Config(ref m) if m.contains("DenseMatrix")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn threaded_rejects_work_stealing() {
+        let err = Solver::new(MatrixSource::uniform(32, 1))
+            .tile(8)
+            .scheduler(SchedulerKind::WorkStealing { seed: 1 })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn threaded_rejects_explicit_grouping() {
+        let err = Solver::new(MatrixSource::uniform(32, 1))
+            .tile(8)
+            .grouping(2)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn simulated_rejects_mismatched_threads() {
+        let be = SimulatedBackend::new(MachineConfig::intel_xeon_16(NoiseConfig::off()));
+        let err = Solver::new(MatrixSource::shape(400, 400))
+            .threads(4)
+            .backend(be)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Config(ref m) if m.contains("16")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn threaded_honors_tslu_leaves() {
+        let run = |stride| {
+            Solver::new(MatrixSource::uniform(64, 7))
+                .tile(16)
+                .threads(4)
+                .tslu_leaves(stride)
+                .run()
+                .unwrap()
+        };
+        let (one, two) = (run(1), run(2));
+        assert!(one.residual.unwrap() < 1e-12);
+        assert!(two.residual.unwrap() < 1e-12);
+        assert!(
+            two.tasks > one.tasks,
+            "more leaves per panel must mean more tasks ({} vs {})",
+            two.tasks,
+            one.tasks
+        );
+    }
+
+    #[test]
+    fn verify_off_skips_numerical_checks() {
+        let r = Solver::new(MatrixSource::uniform(64, 7))
+            .tile(16)
+            .threads(2)
+            .verify(false)
+            .run()
+            .unwrap();
+        assert!(r.residual.is_none());
+        assert!(r.growth_factor.is_none());
+        assert!(r.factorization.is_some(), "factors are still returned");
+    }
+
+    #[test]
+    fn backends_share_the_report_shape() {
+        let threaded = Solver::new(MatrixSource::uniform(64, 7))
+            .tile(16)
+            .threads(4)
+            .run()
+            .unwrap();
+        assert_eq!(threaded.backend, "threaded");
+        assert!(threaded.factorization.is_some());
+        assert!(threaded.residual.unwrap() < 1e-12);
+        assert_eq!(threaded.schedule.threads.len(), 4);
+        assert!(threaded.schedule.total_tasks() > 0);
+
+        let sim = Solver::new(MatrixSource::shape(1000, 1000))
+            .backend(SimulatedBackend::new(MachineConfig::intel_xeon_16(
+                NoiseConfig::off(),
+            )))
+            .run()
+            .unwrap();
+        assert!(sim.factorization.is_none());
+        assert_eq!(sim.schedule.threads.len(), 16);
+        assert!(sim.gflops() > 0.0);
+        assert!(sim.utilization() <= 1.0 + 1e-9);
+        let q = sim.schedule.queue_sources();
+        assert_eq!(q.local + q.global + q.stolen, sim.tasks as u64);
+    }
+}

@@ -1,0 +1,99 @@
+//! The unified error type of the `calu` facade.
+//!
+//! Every failure mode of the workspace funnels into [`Error`]: builder
+//! validation, the matrix substrate, the factorization drivers, and
+//! backend-specific limitations. Downstream code matches one enum
+//! instead of juggling `CaluError`, `MatrixError` and ad-hoc panics.
+
+use std::fmt;
+
+use calu_core::CaluError;
+use calu_matrix::MatrixError;
+
+/// Unified error of the [`crate::Solver`] API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Invalid configuration: bad tile size, zero threads, `dratio`
+    /// outside `[0, 1]`, grouping/layout conflicts, thread/machine
+    /// mismatches. The message says what to change.
+    Config(String),
+    /// The factorization driver failed (e.g. empty matrix).
+    Factor(CaluError),
+    /// The matrix substrate rejected an operation (grids, layouts).
+    /// `Solver::run` itself maps grid/layout problems to [`Error::Config`];
+    /// this variant exists so user code assembling matrices and grids by
+    /// hand can `?`-convert into the unified error.
+    Matrix(MatrixError),
+    /// The selected backend cannot run this plan (e.g. work stealing on
+    /// the real threaded executor). The message names an alternative.
+    Unsupported {
+        /// Backend that rejected the plan.
+        backend: String,
+        /// What was requested and what to use instead.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(msg) => write!(f, "invalid solver configuration: {msg}"),
+            Error::Factor(e) => write!(f, "factorization failed: {e}"),
+            Error::Matrix(e) => write!(f, "matrix error: {e}"),
+            Error::Unsupported { backend, what } => {
+                write!(f, "backend `{backend}` cannot run this plan: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Factor(e) => Some(e),
+            Error::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CaluError> for Error {
+    fn from(e: CaluError) -> Self {
+        match e {
+            // configuration problems keep their actionable message and
+            // surface uniformly as Error::Config
+            CaluError::InvalidConfig(msg) => Error::Config(msg),
+            other => Error::Factor(other),
+        }
+    }
+}
+
+impl From<MatrixError> for Error {
+    fn from(e: MatrixError) -> Self {
+        Error::Matrix(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_config_flattens_to_config() {
+        let e: Error = CaluError::InvalidConfig("need at least one thread".into()).into();
+        assert!(matches!(&e, Error::Config(msg) if msg.contains("thread")));
+        assert!(e.to_string().contains("invalid solver configuration"));
+    }
+
+    #[test]
+    fn other_calu_errors_stay_factor() {
+        let e: Error = CaluError::EmptyMatrix.into();
+        assert!(matches!(e, Error::Factor(CaluError::EmptyMatrix)));
+    }
+
+    #[test]
+    fn matrix_errors_wrap() {
+        let e: Error = MatrixError::InvalidBlockSize(0).into();
+        assert!(e.to_string().contains("block size"));
+    }
+}

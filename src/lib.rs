@@ -1,10 +1,72 @@
 //! # calu — hybrid static/dynamic scheduling for dense LU factorization
 //!
-//! Facade crate re-exporting the full reproduction of
+//! Facade crate for the full reproduction of
 //! *Donfack, Grigori, Gropp, Kale — "Hybrid static/dynamic scheduling for
 //! already optimized dense matrix factorization"* (IPDPS 2012).
 //!
-//! The pieces:
+//! ## The Solver API
+//!
+//! One builder owns every knob of the paper's design space; pluggable
+//! [`Backend`]s execute the same plan for real ([`ThreadedBackend`]) or
+//! on a modelled machine ([`SimulatedBackend`]); both return the same
+//! structured [`Report`].
+//!
+//! ```
+//! use calu::{Solver, ThreadedBackend};
+//! use calu::matrix::{gen, Layout};
+//! use calu::sched::SchedulerKind;
+//!
+//! let a = gen::uniform(128, 128, 42);
+//! let report = Solver::new(a)
+//!     .tile(32)
+//!     .threads(4)
+//!     .layout(Layout::BlockCyclic)
+//!     .scheduler(SchedulerKind::Hybrid { dratio: 0.1 })
+//!     .backend(ThreadedBackend)
+//!     .run()
+//!     .unwrap();
+//! assert!(report.residual.unwrap() < 1e-12);
+//! assert!(report.factorization.is_some());
+//! println!("makespan {:.3} ms, {} tasks, idle {:?}",
+//!     report.makespan * 1e3, report.tasks, report.schedule.per_thread_idle());
+//! ```
+//!
+//! Swapping the execution substrate — or sweeping the whole design
+//! space — is a loop over values, not a different API:
+//!
+//! ```
+//! use calu::{MatrixSource, SimulatedBackend, Solver};
+//! use calu::sched::SchedulerKind;
+//! use calu::sim::{MachineConfig, NoiseConfig};
+//!
+//! for machine in [
+//!     MachineConfig::intel_xeon_16(NoiseConfig::off()),
+//!     MachineConfig::amd_opteron_48(NoiseConfig::off()),
+//! ] {
+//!     for sched in SchedulerKind::paper_sweep() {
+//!         let r = Solver::new(MatrixSource::shape(2000, 2000))
+//!             .scheduler(sched)
+//!             .backend(SimulatedBackend::new(machine.clone()))
+//!             .run()
+//!             .unwrap();
+//!         println!("{} {}: {:.1} Gflop/s", r.backend, r.scheduler, r.gflops());
+//!     }
+//! }
+//! ```
+//!
+//! ## Migration from the 0.1 entry points
+//!
+//! | 0.1 call | 0.2 replacement |
+//! |---|---|
+//! | `calu_factor(&a, &CaluConfig::new(b).with_threads(t))` | `Solver::new(a).tile(b).threads(t).run()` |
+//! | `calu_factor_traced(..)` | `Solver::new(a)...trace(true).run()` (timeline in the report) |
+//! | `sim::run(&g, &SimConfig::new(mach, layout, sched))` | `Solver::new(MatrixSource::shape(m, n)).layout(layout).scheduler(sched).backend(SimulatedBackend::new(mach)).run()` |
+//!
+//! The old entry points still exist under [`core`] and [`sim`] and as
+//! deprecated top-level re-exports; they will be removed one release
+//! after 0.2.
+//!
+//! ## The pieces
 //!
 //! * [`matrix`] — storage layouts (CM / BCL / 2l-BL), grids, generators;
 //! * [`kernels`] — pure-Rust BLAS-3 style kernels;
@@ -15,20 +77,16 @@
 //! * [`model`] — the paper's §6 performance model (Theorem 1);
 //! * [`core`] — CALU with tournament pivoting, the threaded hybrid
 //!   executor, and the GEPP / incremental-pivoting baselines.
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use calu::core::{calu_factor, CaluConfig};
-//! use calu::matrix::{gen, Layout};
-//!
-//! let a = gen::uniform(256, 256, 42);
-//! let cfg = CaluConfig::new(32).with_threads(4).with_dratio(0.1);
-//! let f = calu_factor(&a, &cfg).unwrap();
-//! let resid = f.residual(&a);
-//! assert!(resid < 1e-12, "residual {resid}");
-//! assert_eq!(cfg.layout, Layout::BlockCyclic);
-//! ```
+
+pub mod backend;
+pub mod error;
+pub mod report;
+pub mod solver;
+
+pub use backend::{Backend, SimulatedBackend, ThreadedBackend};
+pub use error::Error;
+pub use report::{QueueBreakdown, Report, ScheduleMetrics, ThreadMetrics};
+pub use solver::{Algorithm, MatrixSource, Plan, Solver};
 
 pub use calu_core as core;
 pub use calu_dag as dag;
@@ -38,3 +96,55 @@ pub use calu_model as model;
 pub use calu_sched as sched;
 pub use calu_sim as sim;
 pub use calu_trace as trace;
+
+/// Boxed-backend support so heterogeneous backend collections work in
+/// sweep loops (`Vec<Box<dyn Backend>>`).
+impl Backend for Box<dyn Backend> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+    fn preferred_threads(&self) -> Option<usize> {
+        self.as_ref().preferred_threads()
+    }
+    fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error> {
+        self.as_ref().execute(plan)
+    }
+}
+
+// --- deprecated 0.1 shims (one release) --------------------------------
+// Wrappers/aliases rather than `pub use` re-exports: rustc does not
+// propagate deprecation through re-exports, so these are the forms that
+// actually warn at consumer call sites.
+
+/// 0.1 entry point. Deprecated: use [`Solver`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `calu::Solver::new(a).tile(b).threads(t).run()`; the report \
+            carries the Factorization plus schedule metrics"
+)]
+pub fn calu_factor(
+    a: &calu_matrix::DenseMatrix,
+    cfg: &calu_core::CaluConfig,
+) -> Result<calu_core::Factorization, calu_core::CaluError> {
+    calu_core::calu_factor(a, cfg)
+}
+
+/// 0.1 configuration type. Deprecated at the facade top level: configure
+/// through [`Solver`]; the type remains at `calu::core::CaluConfig` for
+/// the low-level driver.
+#[deprecated(
+    since = "0.2.0",
+    note = "configure through `calu::Solver`; CaluConfig remains available \
+            as `calu::core::CaluConfig` for the low-level driver"
+)]
+pub type CaluConfig = calu_core::CaluConfig;
+
+/// 0.1 simulation configuration. Deprecated at the facade top level: use
+/// [`SimulatedBackend`], which builds the `SimConfig` from the validated
+/// plan; the type remains at `calu::sim::SimConfig`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `calu::Solver` with `calu::SimulatedBackend`, which builds \
+            the SimConfig from the validated plan"
+)]
+pub type SimConfig = calu_sim::SimConfig;

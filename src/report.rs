@@ -1,0 +1,278 @@
+//! The structured result of one [`crate::Solver`] run.
+//!
+//! Both execution backends fill the same [`Report`]: the real threaded
+//! executor attaches the [`Factorization`] and numerical checks, the
+//! discrete-event simulator attaches modelled memory/noise accounting —
+//! and both produce identical *schedule* metrics (makespan, per-thread
+//! idle time, queue-source breakdown), so a benchmark loop can compare
+//! "same workload, N backends × M schedulers × K layouts" field by
+//! field.
+
+use calu_core::Factorization;
+use calu_matrix::Layout;
+use calu_sched::SchedulerKind;
+use calu_trace::Timeline;
+
+use crate::solver::Algorithm;
+
+/// Per-thread (or per simulated core) schedule accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThreadMetrics {
+    /// Seconds of useful kernel work.
+    pub work: f64,
+    /// Seconds idle (no ready task).
+    pub idle: f64,
+    /// Seconds of scheduler overhead (dequeues, steals) — simulated
+    /// backends only; the real executor folds this into `work`.
+    pub overhead: f64,
+    /// Seconds of memory stalls — simulated backends only.
+    pub memory: f64,
+    /// Seconds of injected OS noise — simulated backends only.
+    pub noise: f64,
+    /// Tasks executed by this thread.
+    pub tasks: u64,
+    /// Tasks popped from the thread's own static queue.
+    pub local_pops: u64,
+    /// Tasks popped from the shared dynamic queue.
+    pub global_pops: u64,
+    /// Tasks stolen from another thread (work-stealing policy only).
+    pub stolen_pops: u64,
+    /// Bytes pulled from a remote NUMA socket (simulated only).
+    pub remote_bytes: f64,
+    /// Bytes refilled locally (simulated only).
+    pub local_bytes: f64,
+    /// Tile-cache hits (simulated only).
+    pub cache_hits: u64,
+    /// Tile-cache misses (simulated only).
+    pub cache_misses: u64,
+}
+
+/// Where executed tasks were dequeued from, summed over all threads —
+/// the static/dynamic split of Algorithm 1 made observable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueBreakdown {
+    /// Tasks served from per-thread static queues.
+    pub local: u64,
+    /// Tasks served from the shared dynamic queue.
+    pub global: u64,
+    /// Tasks obtained by stealing.
+    pub stolen: u64,
+}
+
+impl QueueBreakdown {
+    /// Fraction of tasks that went through the dynamic/stolen paths.
+    pub fn dynamic_fraction(&self) -> f64 {
+        let total = self.local + self.global + self.stolen;
+        if total == 0 {
+            0.0
+        } else {
+            (self.global + self.stolen) as f64 / total as f64
+        }
+    }
+}
+
+/// Unified schedule metrics, identical in shape for every backend.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScheduleMetrics {
+    /// End-to-end schedule length in seconds (wall clock for the
+    /// threaded backend, simulated time for the simulator).
+    pub makespan: f64,
+    /// One entry per thread/core.
+    pub threads: Vec<ThreadMetrics>,
+}
+
+impl ScheduleMetrics {
+    /// Mean busy fraction of the `makespan × threads` rectangle.
+    ///
+    /// Deliberately unclamped: a value above 1 means the backend's
+    /// accounting double-counted busy seconds, and the invariant tests
+    /// rely on seeing that rather than a silently capped 100%.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.threads.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .threads
+            .iter()
+            .map(|t| t.work + t.overhead + t.memory + t.noise)
+            .sum();
+        busy / (self.makespan * self.threads.len() as f64)
+    }
+
+    /// Total idle core-seconds.
+    pub fn total_idle(&self) -> f64 {
+        self.threads.iter().map(|t| t.idle).sum()
+    }
+
+    /// Per-thread idle seconds, indexed by thread id.
+    pub fn per_thread_idle(&self) -> Vec<f64> {
+        self.threads.iter().map(|t| t.idle).collect()
+    }
+
+    /// Total injected-noise core-seconds (zero for real execution).
+    pub fn total_noise(&self) -> f64 {
+        self.threads.iter().map(|t| t.noise).sum()
+    }
+
+    /// Queue-source breakdown summed over threads.
+    pub fn queue_sources(&self) -> QueueBreakdown {
+        let mut q = QueueBreakdown::default();
+        for t in &self.threads {
+            q.local += t.local_pops;
+            q.global += t.global_pops;
+            q.stolen += t.stolen_pops;
+        }
+        q
+    }
+
+    /// Total tasks executed across threads.
+    pub fn total_tasks(&self) -> u64 {
+        self.threads.iter().map(|t| t.tasks).sum()
+    }
+}
+
+/// The structured report returned by [`crate::Solver::run`].
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Name of the backend that produced this report.
+    pub backend: String,
+    /// Algorithm that was run.
+    pub algorithm: Algorithm,
+    /// Scheduling strategy.
+    pub scheduler: SchedulerKind,
+    /// Data layout.
+    pub layout: Layout,
+    /// Problem dimensions `(m, n)`.
+    pub dims: (usize, usize),
+    /// Tile size `b`.
+    pub b: usize,
+    /// Worker threads / simulated cores.
+    pub threads: usize,
+    /// DAG tasks executed (0 for drivers without a task graph).
+    pub tasks: usize,
+    /// Schedule length in seconds.
+    pub makespan: f64,
+    /// Nominal flop count — the numerator of every Gflop/s figure in
+    /// the paper. See [`nominal_flops`] for the exact convention
+    /// (`mn² − n³/3` for LU with `m ≥ n`, generalized for wide
+    /// matrices; `n³/3` for Cholesky).
+    pub nominal_flops: f64,
+    /// The factors, when the backend computed them for real.
+    pub factorization: Option<Factorization>,
+    /// Relative factorization residual `‖PA − LU‖/‖A‖` (real backends
+    /// with data). Exception: [`Algorithm::IncPiv`] keeps per-tile
+    /// factors, so it reports a solve-based backward error
+    /// `‖Ax − b‖/(‖A‖‖x‖)` for a seeded random rhs instead — the two
+    /// metrics are close in magnitude but not the same quantity.
+    pub residual: Option<f64>,
+    /// Element growth factor `max|U|/max|A|` (real backends with data).
+    pub growth_factor: Option<f64>,
+    /// Unified schedule metrics.
+    pub schedule: ScheduleMetrics,
+    /// Full per-task timeline when tracing was requested.
+    pub timeline: Option<Timeline>,
+}
+
+impl Report {
+    /// Gflop/s by the paper's convention: nominal flops over makespan.
+    pub fn gflops(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.nominal_flops / self.makespan / 1e9
+    }
+
+    /// Machine utilization (busy fraction; see
+    /// [`ScheduleMetrics::utilization`]).
+    pub fn utilization(&self) -> f64 {
+        self.schedule.utilization()
+    }
+
+    /// Total bytes moved across NUMA sockets (simulated backends).
+    pub fn remote_bytes(&self) -> f64 {
+        self.schedule.threads.iter().map(|t| t.remote_bytes).sum()
+    }
+
+    /// Overall tile-cache hit rate (simulated backends; 0 when unknown).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.schedule.threads.iter().map(|t| t.cache_hits).sum();
+        let misses: u64 = self.schedule.threads.iter().map(|t| t.cache_misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+}
+
+/// Nominal flop count of one factorization — the paper's plotting
+/// convention, delegated to `calu_sim::cost` so both backends share the
+/// exact same Gflop/s denominator.
+pub fn nominal_flops(algorithm: Algorithm, m: usize, n: usize) -> f64 {
+    match algorithm {
+        Algorithm::Calu | Algorithm::Gepp | Algorithm::IncPiv => {
+            calu_sim::cost::lu_nominal_flops(m, n)
+        }
+        Algorithm::Cholesky => calu_sim::cost::cholesky_nominal_flops(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> ScheduleMetrics {
+        ScheduleMetrics {
+            makespan: 2.0,
+            threads: vec![
+                ThreadMetrics {
+                    work: 1.5,
+                    idle: 0.5,
+                    tasks: 6,
+                    local_pops: 5,
+                    global_pops: 1,
+                    ..Default::default()
+                },
+                ThreadMetrics {
+                    work: 1.0,
+                    idle: 1.0,
+                    noise: 0.5,
+                    tasks: 4,
+                    local_pops: 2,
+                    global_pops: 1,
+                    stolen_pops: 1,
+                    ..Default::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregates_add_up() {
+        let m = metrics();
+        assert!((m.utilization() - 3.0 / 4.0).abs() < 1e-12);
+        assert_eq!(m.total_idle(), 1.5);
+        assert_eq!(m.per_thread_idle(), vec![0.5, 1.0]);
+        assert_eq!(m.total_tasks(), 10);
+        let q = m.queue_sources();
+        assert_eq!((q.local, q.global, q.stolen), (7, 2, 1));
+        assert!((q.dynamic_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_flop_conventions() {
+        let n = 100.0f64;
+        assert!((nominal_flops(Algorithm::Calu, 100, 100) - (n * n * n * 2.0 / 3.0)).abs() < 1e-6);
+        assert!((nominal_flops(Algorithm::Cholesky, 100, 100) - n * n * n / 3.0).abs() < 1e-6);
+        assert!(
+            nominal_flops(Algorithm::Calu, 32, 128) > 0.0,
+            "wide matrices must not report negative flops"
+        );
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        assert_eq!(QueueBreakdown::default().dynamic_fraction(), 0.0);
+        assert_eq!(ScheduleMetrics::default().utilization(), 0.0);
+    }
+}

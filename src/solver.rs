@@ -1,0 +1,439 @@
+//! The unified `Solver` builder — one front door for every knob in the
+//! paper's design space (Table 1), executed by any [`Backend`].
+//!
+//! The builder owns the *problem* (matrix source, tile size) and the
+//! *strategy* (threads/grid, layout, scheduler, grouping, TSLU leaves,
+//! tracing); the backend owns only the *execution substrate* (real
+//! threads vs. a simulated machine). Validation happens exactly once,
+//! in [`Solver::plan`], through [`CaluConfig::validate`] — the same
+//! check the low-level drivers use — so an invalid configuration fails
+//! identically no matter which entry point built it.
+
+use std::borrow::Cow;
+
+use calu_core::CaluConfig;
+use calu_dag::TaskGraph;
+use calu_matrix::{DenseMatrix, Layout, ProcessGrid};
+use calu_sched::SchedulerKind;
+
+use crate::backend::{Backend, ThreadedBackend};
+use crate::error::Error;
+use crate::report::Report;
+
+/// Which factorization to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Communication-avoiding LU with tournament pivoting (the paper).
+    Calu,
+    /// Blocked GEPP with a sequential panel (the MKL stand-in).
+    Gepp,
+    /// Tiled LU with incremental pivoting (the PLASMA stand-in).
+    IncPiv,
+    /// Tiled Cholesky (§9 extension; simulated backend only).
+    Cholesky,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Calu => write!(f, "CALU"),
+            Algorithm::Gepp => write!(f, "GEPP"),
+            Algorithm::IncPiv => write!(f, "incpiv"),
+            Algorithm::Cholesky => write!(f, "Cholesky"),
+        }
+    }
+}
+
+/// Where the input matrix comes from.
+///
+/// Real backends need element data ([`MatrixSource::Dense`] or a seeded
+/// generator); the discrete-event simulator only needs the shape, so
+/// [`MatrixSource::Shape`] lets sweeps over n = 10⁴-class problems skip
+/// materialization entirely.
+#[derive(Debug, Clone)]
+pub enum MatrixSource {
+    /// Explicit element data.
+    Dense(DenseMatrix),
+    /// Seeded uniform `[-1, 1]` entries, generated on demand.
+    Uniform {
+        /// Rows.
+        m: usize,
+        /// Columns.
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Shape only — enough for simulation, rejected by real backends.
+    Shape {
+        /// Rows.
+        m: usize,
+        /// Columns.
+        n: usize,
+    },
+}
+
+impl MatrixSource {
+    /// Square seeded uniform matrix.
+    pub fn uniform(n: usize, seed: u64) -> Self {
+        MatrixSource::Uniform { m: n, n, seed }
+    }
+
+    /// Rectangular seeded uniform matrix.
+    pub fn uniform_rect(m: usize, n: usize, seed: u64) -> Self {
+        MatrixSource::Uniform { m, n, seed }
+    }
+
+    /// Shape-only source for simulated sweeps.
+    pub fn shape(m: usize, n: usize) -> Self {
+        MatrixSource::Shape { m, n }
+    }
+
+    /// Problem dimensions `(m, n)`.
+    pub fn dims(&self) -> (usize, usize) {
+        match self {
+            MatrixSource::Dense(a) => (a.rows(), a.cols()),
+            MatrixSource::Uniform { m, n, .. } | MatrixSource::Shape { m, n } => (*m, *n),
+        }
+    }
+
+    /// Materialize element data, if this source has any. Dense sources
+    /// are borrowed, not copied, so repeated `Solver::run` calls on one
+    /// matrix pay no per-run memcpy.
+    pub fn materialize(&self) -> Option<Cow<'_, DenseMatrix>> {
+        match self {
+            MatrixSource::Dense(a) => Some(Cow::Borrowed(a)),
+            MatrixSource::Uniform { m, n, seed } => {
+                Some(Cow::Owned(calu_matrix::gen::uniform(*m, *n, *seed)))
+            }
+            MatrixSource::Shape { .. } => None,
+        }
+    }
+}
+
+impl From<DenseMatrix> for MatrixSource {
+    fn from(a: DenseMatrix) -> Self {
+        MatrixSource::Dense(a)
+    }
+}
+
+/// A fully validated execution plan, handed to [`Backend::execute`].
+///
+/// Backends never re-derive knobs: everything here has already passed
+/// the single shared validation path.
+#[derive(Debug, Clone)]
+pub struct Plan<'a> {
+    /// The input matrix source.
+    pub source: &'a MatrixSource,
+    /// 2D block-cyclic thread grid derived from the thread count.
+    pub grid: ProcessGrid,
+    /// Scheduling strategy.
+    pub scheduler: SchedulerKind,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Record a full per-task timeline.
+    pub record_trace: bool,
+    /// Compute residual/growth-factor checks on real backends.
+    pub verify: bool,
+    /// The validated driver config — the single source of truth for the
+    /// knobs it owns (`b`, threads, dratio, layout, group, leaves),
+    /// exposed read-only through the accessors below so the public plan
+    /// can never disagree with what the executor runs.
+    cfg: CaluConfig,
+    /// Whether the caller set `.grouping()` explicitly (backends that
+    /// cannot group reject explicit requests, not the default).
+    explicit_group: bool,
+}
+
+impl Plan<'_> {
+    /// Tile size `b`.
+    pub fn b(&self) -> usize {
+        self.cfg.b
+    }
+
+    /// Resolved worker-thread / core count.
+    pub fn threads(&self) -> usize {
+        self.cfg.threads
+    }
+
+    /// Data layout.
+    pub fn layout(&self) -> Layout {
+        self.cfg.layout
+    }
+
+    /// Fraction of panels scheduled dynamically, resolved from the
+    /// scheduler (`Static` → 0, `Dynamic`/`WorkStealing` → 1).
+    pub fn dratio(&self) -> f64 {
+        self.cfg.dratio
+    }
+
+    /// Effective BLAS-3 grouping width (1 when the layout cannot group).
+    pub fn group(&self) -> usize {
+        self.cfg.group
+    }
+
+    /// TSLU leaves per panel (defaults to the grid's row count).
+    pub fn leaf_stride(&self) -> usize {
+        self.cfg.leaf_stride.unwrap_or_else(|| self.grid.pr())
+    }
+
+    /// Whether `.grouping()` was set explicitly rather than defaulted.
+    pub fn grouping_requested(&self) -> bool {
+        self.explicit_group
+    }
+
+    /// Build the task DAG for this plan's algorithm and shape.
+    pub fn build_graph(&self) -> TaskGraph {
+        let (m, n) = self.source.dims();
+        match self.algorithm {
+            Algorithm::Calu => TaskGraph::build_calu(m, n, self.b(), self.leaf_stride()),
+            Algorithm::Gepp => TaskGraph::build_gepp(m, n, self.b()),
+            Algorithm::IncPiv => TaskGraph::build_incpiv(m, n, self.b()),
+            Algorithm::Cholesky => TaskGraph::build_cholesky(n, self.b()),
+        }
+    }
+
+    /// The `CaluConfig` equivalent of this plan (for the real executor).
+    pub fn calu_config(&self) -> CaluConfig {
+        self.cfg.clone()
+    }
+}
+
+/// The unified solver builder. See the crate docs for a quickstart.
+pub struct Solver {
+    source: MatrixSource,
+    b: usize,
+    threads: Option<usize>,
+    layout: Layout,
+    scheduler: SchedulerKind,
+    group: Option<usize>,
+    leaf_stride: Option<usize>,
+    algorithm: Algorithm,
+    trace: bool,
+    verify: bool,
+    backend: Box<dyn Backend>,
+}
+
+impl Solver {
+    /// Start a solver for `source` with the paper's defaults: tile size
+    /// 100, BCL layout, hybrid scheduling with a 10% dynamic share, the
+    /// real threaded backend.
+    pub fn new(source: impl Into<MatrixSource>) -> Self {
+        Self {
+            source: source.into(),
+            b: 100,
+            threads: None,
+            layout: Layout::BlockCyclic,
+            scheduler: SchedulerKind::Hybrid { dratio: 0.1 },
+            group: None,
+            leaf_stride: None,
+            algorithm: Algorithm::Calu,
+            trace: false,
+            verify: true,
+            backend: Box::new(ThreadedBackend),
+        }
+    }
+
+    /// Set the tile size `b`.
+    pub fn tile(mut self, b: usize) -> Self {
+        self.b = b;
+        self
+    }
+
+    /// Set the worker-thread / simulated-core count. Unset, the backend
+    /// chooses (threaded: 1; simulated: the machine's core count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Set the data layout.
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Set the scheduling strategy.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Shorthand for `scheduler(SchedulerKind::Hybrid { dratio })`.
+    pub fn dratio(self, dratio: f64) -> Self {
+        self.scheduler(SchedulerKind::Hybrid { dratio })
+    }
+
+    /// Explicitly set the BLAS-3 grouping width `k`. Conflicts with
+    /// layouts that cannot group (checked at [`Solver::run`]), and with
+    /// [`ThreadedBackend`](crate::ThreadedBackend), which does not
+    /// implement grouped updates (explicit `k > 1` is rejected there;
+    /// grouping is a simulator knob).
+    pub fn grouping(mut self, k: usize) -> Self {
+        self.group = Some(k);
+        self
+    }
+
+    /// Override the TSLU leaf stride (leaves per panel). Defaults to
+    /// the thread grid's row count, as in the paper.
+    pub fn tslu_leaves(mut self, stride: usize) -> Self {
+        self.leaf_stride = Some(stride);
+        self
+    }
+
+    /// Select the algorithm (default [`Algorithm::Calu`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Record a full per-task timeline in the report.
+    pub fn trace(mut self, record: bool) -> Self {
+        self.trace = record;
+        self
+    }
+
+    /// Compute residual and growth-factor checks after a real run
+    /// (default on). The checks cost a sequential O(n³) reconstruction —
+    /// turn them off in timing loops where only the schedule matters.
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Select the execution backend (default [`ThreadedBackend`]).
+    pub fn backend(mut self, backend: impl Backend + 'static) -> Self {
+        self.backend = Box::new(backend);
+        self
+    }
+
+    /// Validate every knob once and produce the execution [`Plan`].
+    ///
+    /// All configuration errors of the workspace funnel through here:
+    /// the checks are [`CaluConfig::validate`]'s, plus facade-level
+    /// conflicts (explicit grouping on a non-grouping layout;
+    /// shape/backend mismatches are left to the backend).
+    pub fn plan(&self) -> Result<Plan<'_>, Error> {
+        let (m, n) = self.source.dims();
+        if self.algorithm == Algorithm::Cholesky && m != n {
+            return Err(Error::Config(format!(
+                "Cholesky factors a square symmetric matrix, got {m}×{n}; \
+                 use a square source or an LU algorithm"
+            )));
+        }
+        let threads = self
+            .threads
+            .or_else(|| self.backend.preferred_threads())
+            .unwrap_or(1);
+        let dratio = match self.scheduler {
+            SchedulerKind::Static => 0.0,
+            SchedulerKind::Dynamic | SchedulerKind::WorkStealing { .. } => 1.0,
+            SchedulerKind::Hybrid { dratio } => dratio,
+        };
+        // the one shared validation path (b, threads, dratio, group,
+        // leaves, grid)
+        let mut cfg = CaluConfig::new(self.b)
+            .with_threads(threads)
+            .with_dratio(dratio)
+            .with_layout(self.layout);
+        cfg.leaf_stride = self.leaf_stride;
+        if let Some(g) = self.group {
+            cfg.group = g;
+        }
+        let grid = cfg.validate()?;
+        if let Some(g) = self.group {
+            if g > 1 && !self.layout.supports_grouping() {
+                return Err(Error::Config(format!(
+                    "grouping k = {g} requires a layout with thread-contiguous \
+                     columns, but {} stores tiles separately; use \
+                     Layout::BlockCyclic or drop .grouping()",
+                    self.layout
+                )));
+            }
+        }
+        // resolve the derived knobs in place: the stored config is the
+        // single source of truth the accessors and executor read
+        cfg.group = cfg.effective_group();
+        cfg.leaf_stride = Some(self.leaf_stride.unwrap_or_else(|| grid.pr()));
+        Ok(Plan {
+            source: &self.source,
+            grid,
+            scheduler: self.scheduler,
+            algorithm: self.algorithm,
+            record_trace: self.trace,
+            verify: self.verify,
+            cfg,
+            explicit_group: self.group.is_some(),
+        })
+    }
+
+    /// Validate, execute on the selected backend, and return the
+    /// structured [`Report`].
+    pub fn run(&self) -> Result<Report, Error> {
+        let plan = self.plan()?;
+        self.backend.execute(&plan)
+    }
+}
+
+impl std::fmt::Debug for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solver")
+            .field("source_dims", &self.source.dims())
+            .field("b", &self.b)
+            .field("threads", &self.threads)
+            .field("layout", &self.layout)
+            .field("scheduler", &self.scheduler)
+            .field("algorithm", &self.algorithm)
+            .field("backend", &self.backend.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_resolves_paper_defaults() {
+        let s = Solver::new(MatrixSource::uniform(400, 1)).threads(4);
+        let p = s.plan().unwrap();
+        assert_eq!(p.b(), 100);
+        assert_eq!(p.threads(), 4);
+        assert_eq!(p.grid.size(), 4);
+        assert_eq!(p.layout(), Layout::BlockCyclic);
+        assert_eq!(p.group(), 3, "BCL groups by default");
+        assert_eq!(p.leaf_stride(), p.grid.pr());
+        assert!((p.dratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scheduler_resolves_dratio() {
+        let s = |k| {
+            Solver::new(MatrixSource::shape(200, 200))
+                .scheduler(k)
+                .plan()
+                .map(|p| p.dratio())
+        };
+        assert_eq!(s(SchedulerKind::Static).unwrap(), 0.0);
+        assert_eq!(s(SchedulerKind::Dynamic).unwrap(), 1.0);
+        assert_eq!(s(SchedulerKind::Hybrid { dratio: 0.3 }).unwrap(), 0.3);
+    }
+
+    #[test]
+    fn cholesky_requires_square_source() {
+        let err = Solver::new(MatrixSource::shape(4000, 2000))
+            .algorithm(Algorithm::Cholesky)
+            .plan()
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::Error::Config(ref m) if m.contains("square")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn non_grouping_layout_gets_group_one() {
+        let s = Solver::new(MatrixSource::shape(200, 200)).layout(Layout::TwoLevelBlock);
+        let p = s.plan().unwrap();
+        assert_eq!(p.group(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Backend parity: the two execution backends are interchangeable
+//! behind the `Backend` trait and agree with the numerical oracle.
+//!
+//! * `ThreadedBackend` must reproduce `calu_simple`'s solutions (same
+//!   algorithm, different executor) with tiny residuals across
+//!   (n, b, dratio, layout) combinations;
+//! * `SimulatedBackend` must execute every DAG task exactly once under
+//!   every scheduler kind — same totals the threaded executor reports.
+
+use calu::core::calu_simple;
+use calu::dag::TaskGraph;
+use calu::matrix::{gen, ops, Layout, ProcessGrid};
+use calu::sched::SchedulerKind;
+use calu::sim::{MachineConfig, NoiseConfig};
+use calu::{Backend, MatrixSource, SimulatedBackend, Solver, ThreadedBackend};
+
+#[test]
+fn threaded_matches_the_simple_oracle() {
+    for (n, b, dratio, layout) in [
+        (48usize, 8usize, 0.0f64, Layout::BlockCyclic),
+        (64, 16, 0.1, Layout::TwoLevelBlock),
+        (72, 12, 0.5, Layout::ColumnMajor),
+        (60, 10, 1.0, Layout::BlockCyclic),
+    ] {
+        let a = gen::uniform(n, n, 7 + n as u64);
+        let rhs = gen::uniform(n, 1, 99);
+        let report = Solver::new(a.clone())
+            .tile(b)
+            .threads(2)
+            .dratio(dratio)
+            .layout(layout)
+            .backend(ThreadedBackend)
+            .run()
+            .unwrap();
+        assert!(
+            report.residual.unwrap() < 1e-10,
+            "residual {} for n={n} b={b} dratio={dratio} {layout}",
+            report.residual.unwrap()
+        );
+        // the oracle and the threaded executor solve the same system
+        let x_solver = report.factorization.unwrap().solve(&rhs);
+        let x_oracle = calu_simple(&a, b, 2).solve(&rhs);
+        let e1 = calu::core::verify::backward_error(&a, &x_solver, &rhs);
+        let e2 = calu::core::verify::backward_error(&a, &x_oracle, &rhs);
+        assert!(e1 < 1e-10 && e2 < 1e-10, "backward errors {e1} / {e2}");
+    }
+}
+
+#[test]
+fn simulated_executes_every_task_exactly_once_per_scheduler() {
+    let mach = MachineConfig::intel_xeon_16(NoiseConfig::off());
+    let (n, b) = (1000usize, 100usize);
+    let grid = ProcessGrid::square_for(mach.cores()).unwrap();
+    let expected = TaskGraph::build_calu(n, n, b, grid.pr()).len();
+    for sched in [
+        SchedulerKind::Static,
+        SchedulerKind::Dynamic,
+        SchedulerKind::Hybrid { dratio: 0.2 },
+        SchedulerKind::WorkStealing { seed: 1 },
+    ] {
+        let r = Solver::new(MatrixSource::shape(n, n))
+            .tile(b)
+            .scheduler(sched)
+            .backend(SimulatedBackend::new(mach.clone()))
+            .run()
+            .unwrap();
+        assert_eq!(r.tasks, expected, "{sched}: task total");
+        assert_eq!(
+            r.schedule.total_tasks() as usize,
+            expected,
+            "{sched}: per-core tasks must sum to the DAG size"
+        );
+        let q = r.schedule.queue_sources();
+        assert_eq!(
+            (q.local + q.global + q.stolen) as usize,
+            expected,
+            "{sched}: every task is attributed to exactly one queue source"
+        );
+    }
+}
+
+#[test]
+fn backends_swap_behind_the_trait_in_one_loop() {
+    // the acceptance one-liner: same workload, N backends × M schedulers,
+    // one loop, one API
+    let a = gen::uniform(64, 64, 11);
+    type Factory = Box<dyn Fn() -> Box<dyn Backend>>;
+    let backends: Vec<Factory> = vec![
+        Box::new(|| Box::new(ThreadedBackend)),
+        Box::new(|| {
+            Box::new(SimulatedBackend::new(MachineConfig::intel_xeon_16(
+                NoiseConfig::off(),
+            )))
+        }),
+    ];
+    for make in &backends {
+        for sched in [SchedulerKind::Static, SchedulerKind::Hybrid { dratio: 0.1 }] {
+            let r = Solver::new(a.clone())
+                .tile(16)
+                .scheduler(sched)
+                .backend(make())
+                .run()
+                .unwrap();
+            assert!(r.makespan > 0.0, "{} {sched}", r.backend);
+            assert!(r.schedule.total_tasks() > 0, "{} {sched}", r.backend);
+            if r.backend == "threaded" {
+                assert!(r.residual.unwrap() < 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn report_fields_are_backend_consistent() {
+    let a = gen::uniform(64, 64, 13);
+    let threaded = Solver::new(a.clone()).tile(16).threads(4).run().unwrap();
+    let simulated = Solver::new(MatrixSource::shape(64, 64))
+        .tile(16)
+        .backend(SimulatedBackend::new(MachineConfig::intel_xeon_16(
+            NoiseConfig::off(),
+        )))
+        .run()
+        .unwrap();
+    for r in [&threaded, &simulated] {
+        assert_eq!(r.dims, (64, 64));
+        assert_eq!(r.b, 16);
+        assert!(r.makespan > 0.0);
+        assert!(r.gflops() > 0.0);
+        assert_eq!(r.schedule.threads.len(), r.threads);
+        assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
+    }
+    // solution checks only exist where real numbers were produced
+    assert!(threaded.residual.is_some() && threaded.factorization.is_some());
+    assert!(simulated.residual.is_none() && simulated.factorization.is_none());
+}
+
+#[test]
+fn rhs_solve_matches_across_dratio_sweep() {
+    // schedule must not change the math: identical solutions for every
+    // dynamic share, threaded backend
+    let n = 60;
+    let a = gen::uniform(n, n, 3);
+    let x_true = gen::uniform(n, 1, 4);
+    let rhs = ops::matmul(&a, &x_true);
+    for dratio in [0.0, 0.25, 0.75, 1.0] {
+        let x = Solver::new(a.clone())
+            .tile(10)
+            .threads(3)
+            .dratio(dratio)
+            .run()
+            .unwrap()
+            .factorization
+            .unwrap()
+            .solve(&rhs);
+        assert!(x.approx_eq(&x_true, 1e-7), "dratio {dratio} diverged");
+    }
+}

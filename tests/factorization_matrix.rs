@@ -1,27 +1,53 @@
 //! Cross-crate integration: factorization correctness over the full
 //! design space (layout × scheduler × threads), verified against dense
-//! references.
+//! references — all through the unified `Solver` facade.
 
-use calu::core::{calu_factor, calu_simple, gepp_factor, incpiv_factor, CaluConfig};
+use calu::core::{calu_simple, gepp_factor, incpiv_factor};
 use calu::matrix::{gen, ops, Layout};
+use calu::Solver;
+
+/// Factor through the facade and return the report.
+fn factor(
+    a: &calu::matrix::DenseMatrix,
+    b: usize,
+    threads: usize,
+    dratio: f64,
+    layout: Layout,
+) -> calu::Report {
+    Solver::new(a.clone())
+        .tile(b)
+        .threads(threads)
+        .dratio(dratio)
+        .layout(layout)
+        .run()
+        .expect("factor")
+}
 
 #[test]
 fn design_space_cross_product() {
     let n = 72;
     let a = gen::uniform(n, n, 100);
-    for layout in [Layout::BlockCyclic, Layout::TwoLevelBlock, Layout::ColumnMajor] {
+    for layout in [
+        Layout::BlockCyclic,
+        Layout::TwoLevelBlock,
+        Layout::ColumnMajor,
+    ] {
         for threads in [1usize, 2, 4] {
             for dratio in [0.0, 0.1, 1.0] {
-                let cfg = CaluConfig::new(16)
-                    .with_threads(threads)
-                    .with_dratio(dratio)
-                    .with_layout(layout);
-                let f = calu_factor(&a, &cfg).expect("factor");
-                let r = f.residual(&a);
+                let r = factor(&a, 16, threads, dratio, layout);
+                let resid = r.residual.unwrap();
                 assert!(
-                    r < 1e-12,
-                    "residual {r} for layout {layout} threads {threads} dratio {dratio}"
+                    resid < 1e-12,
+                    "residual {resid} for layout {layout} threads {threads} dratio {dratio}"
                 );
+                // the queue split must follow the dratio extremes
+                let q = r.schedule.queue_sources();
+                if dratio == 0.0 {
+                    assert_eq!(q.global, 0, "fully static run used the dynamic queue");
+                }
+                if dratio == 1.0 {
+                    assert_eq!(q.local, 0, "fully dynamic run used static queues");
+                }
             }
         }
     }
@@ -34,7 +60,8 @@ fn all_drivers_agree_on_the_solution() {
     let x_true = gen::uniform(n, 1, 102);
     let rhs = ops::matmul(&a, &x_true);
 
-    let x_calu = calu_factor(&a, &CaluConfig::new(16).with_threads(3))
+    let x_calu = factor(&a, 16, 3, 0.1, Layout::BlockCyclic)
+        .factorization
         .unwrap()
         .solve(&rhs);
     let x_simple = calu_simple(&a, 16, 2).solve(&rhs);
@@ -55,9 +82,11 @@ fn all_drivers_agree_on_the_solution() {
 fn tournament_pivoting_matches_gepp_stability_on_random() {
     for seed in [1u64, 2, 3] {
         let a = gen::uniform(96, 96, seed);
-        let calu = calu_factor(&a, &CaluConfig::new(16).with_threads(4)).unwrap();
+        let calu_growth = factor(&a, 16, 4, 0.1, Layout::BlockCyclic)
+            .growth_factor
+            .unwrap();
         let gepp = gepp_factor(&a, 16);
-        let ratio = calu.growth_factor(&a) / gepp.growth_factor(&a);
+        let ratio = calu_growth / gepp.growth_factor(&a);
         assert!(
             ratio < 10.0,
             "tournament growth must stay near GEPP's (ratio {ratio}, seed {seed})"
@@ -68,10 +97,13 @@ fn tournament_pivoting_matches_gepp_stability_on_random() {
 #[test]
 fn tall_matrices_through_every_layout() {
     let a = gen::tall_skinny(120, 40, 103);
-    for layout in [Layout::BlockCyclic, Layout::TwoLevelBlock, Layout::ColumnMajor] {
-        let cfg = CaluConfig::new(20).with_threads(2).with_layout(layout);
-        let f = calu_factor(&a, &cfg).unwrap();
-        assert!(f.residual(&a) < 1e-12, "layout {layout}");
+    for layout in [
+        Layout::BlockCyclic,
+        Layout::TwoLevelBlock,
+        Layout::ColumnMajor,
+    ] {
+        let r = factor(&a, 20, 2, 0.1, layout);
+        assert!(r.residual.unwrap() < 1e-12, "layout {layout}");
     }
 }
 
@@ -79,32 +111,40 @@ fn tall_matrices_through_every_layout() {
 fn pathological_inputs() {
     // Wilkinson growth matrix: factors fine, growth is large but finite
     let w = gen::wilkinson(48);
-    let f = calu_factor(&w, &CaluConfig::new(8).with_threads(2)).unwrap();
+    let r = factor(&w, 8, 2, 0.1, Layout::BlockCyclic);
+    let f = r.factorization.as_ref().unwrap();
     assert!(calu::core::verify::all_finite(&f.lu));
-    assert!(f.residual(&w) < 1e-6, "roundoff amplified by growth is fine");
+    assert!(
+        r.residual.unwrap() < 1e-6,
+        "roundoff amplified by growth is fine"
+    );
 
     // identity: nothing to do
     let i = calu::matrix::DenseMatrix::identity(32);
-    let f = calu_factor(&i, &CaluConfig::new(8).with_threads(2)).unwrap();
-    assert!(f.residual(&i) < 1e-15);
+    let r = factor(&i, 8, 2, 0.1, Layout::BlockCyclic);
+    assert!(r.residual.unwrap() < 1e-15);
 
     // zero matrix: flagged singular, no panic
     let z = calu::matrix::DenseMatrix::zeros(24, 24);
-    let f = calu_factor(&z, &CaluConfig::new(8).with_threads(2)).unwrap();
-    assert!(!f.is_nonsingular());
+    let r = factor(&z, 8, 2, 0.1, Layout::BlockCyclic);
+    assert!(!r.factorization.unwrap().is_nonsingular());
 }
 
 #[test]
 fn determinism_across_repeats_and_thread_counts() {
     let a = gen::uniform(80, 80, 104);
-    let f2 = calu_factor(&a, &CaluConfig::new(16).with_threads(2)).unwrap();
-    let f4 = calu_factor(&a, &CaluConfig::new(16).with_threads(4)).unwrap();
+    let f2 = factor(&a, 16, 2, 0.1, Layout::BlockCyclic);
+    let f4 = factor(&a, 16, 4, 0.1, Layout::BlockCyclic);
     // same grid rows (2x1 vs 2x2) may differ in TSLU chunking; identical
     // thread counts must be bitwise identical
-    let f4b = calu_factor(&a, &CaluConfig::new(16).with_threads(4)).unwrap();
-    assert!(f4.lu.approx_eq(&f4b.lu, 0.0));
-    assert_eq!(f4.perm.pivots(), f4b.perm.pivots());
+    let f4b = factor(&a, 16, 4, 0.1, Layout::BlockCyclic);
+    let (lu4, lu4b) = (
+        f4.factorization.as_ref().unwrap(),
+        f4b.factorization.as_ref().unwrap(),
+    );
+    assert!(lu4.lu.approx_eq(&lu4b.lu, 0.0));
+    assert_eq!(lu4.perm.pivots(), lu4b.perm.pivots());
     // different thread counts still factor correctly
-    assert!(f2.residual(&a) < 1e-12);
-    assert!(f4.residual(&a) < 1e-12);
+    assert!(f2.residual.unwrap() < 1e-12);
+    assert!(f4.residual.unwrap() < 1e-12);
 }

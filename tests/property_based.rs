@@ -1,79 +1,96 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Randomized-sweep tests (formerly proptest) of the core invariants,
+//! driven through the unified `Solver` facade.
 
-use calu::core::{calu_factor, calu_simple, CaluConfig};
-use calu::dag::TaskGraph;
-use calu::matrix::{gen, Layout, ProcessGrid};
+use calu::matrix::{gen, ProcessGrid};
 use calu::sched::{make_policy, nstatic_for, SchedulerKind};
-use proptest::prelude::*;
+use calu::sim::{MachineConfig, NoiseConfig};
+use calu::{MatrixSource, SimulatedBackend, Solver};
+use calu_rand::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// PA = LU holds for random sizes, block sizes and thread counts.
-    #[test]
-    fn calu_residual_small(
-        n in 8usize..80,
-        b in 4usize..24,
-        threads in 1usize..5,
-        dratio in 0.0f64..=1.0,
-        seed in 0u64..1000,
-    ) {
+/// PA = LU holds for random sizes, block sizes and thread counts.
+#[test]
+fn calu_residual_small() {
+    let mut rng = Rng::seed_from_u64(30);
+    for _ in 0..24 {
+        let n = rng.gen_range(8..80);
+        let b = rng.gen_range(4..24);
+        let threads = rng.gen_range(1..5);
+        let dratio = rng.gen_range(0.0..=1.0);
+        let seed = rng.next_u64() % 1000;
         let a = gen::uniform(n, n, seed);
-        let cfg = CaluConfig::new(b).with_threads(threads).with_dratio(dratio);
-        let f = calu_factor(&a, &cfg).unwrap();
-        prop_assert!(f.residual(&a) < 1e-11, "residual {}", f.residual(&a));
+        let report = Solver::new(a)
+            .tile(b)
+            .threads(threads)
+            .dratio(dratio)
+            .run()
+            .unwrap();
+        let resid = report.residual.unwrap();
+        assert!(resid < 1e-11, "residual {resid}");
         // permutation must be a valid swap sequence over n rows
+        let f = report.factorization.as_ref().unwrap();
         let explicit = f.perm.explicit(n);
         let mut sorted = explicit.clone();
         sorted.sort();
-        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
     }
+}
 
-    /// The simple reference agrees with the tiled executor on solves.
-    #[test]
-    fn simple_and_threaded_agree(
-        n in 12usize..64,
-        seed in 0u64..500,
-    ) {
+/// The simple reference agrees with the tiled executor on solves.
+#[test]
+fn simple_and_threaded_agree() {
+    let mut rng = Rng::seed_from_u64(31);
+    for _ in 0..16 {
+        let n = rng.gen_range(12..64);
+        let seed = rng.next_u64() % 500;
         let a = gen::uniform(n, n, seed);
         let rhs = gen::uniform(n, 1, seed + 1);
-        let x1 = calu_simple(&a, 8, 2).solve(&rhs);
-        let x2 = calu_factor(&a, &CaluConfig::new(8).with_threads(2)).unwrap().solve(&rhs);
+        let x1 = calu::core::calu_simple(&a, 8, 2).solve(&rhs);
+        let report = Solver::new(a.clone()).tile(8).threads(2).run().unwrap();
+        let x2 = report.factorization.unwrap().solve(&rhs);
         // both must solve the system; compare against each other loosely
         let e1 = calu::core::verify::backward_error(&a, &x1, &rhs);
         let e2 = calu::core::verify::backward_error(&a, &x2, &rhs);
-        prop_assert!(e1 < 1e-9, "simple backward error {e1}");
-        prop_assert!(e2 < 1e-9, "threaded backward error {e2}");
+        assert!(e1 < 1e-9, "simple backward error {e1}");
+        assert!(e2 < 1e-9, "threaded backward error {e2}");
     }
+}
 
-    /// Layout conversions round-trip exactly.
-    #[test]
-    fn layout_roundtrip(
-        m in 1usize..40,
-        n in 1usize..40,
-        b in 1usize..12,
-        pr in 1usize..4,
-        pc in 1usize..4,
-        seed in 0u64..100,
-    ) {
-        use calu::matrix::{BclMatrix, CmTiles, TileStorage, TlbMatrix};
+/// Layout conversions round-trip exactly.
+#[test]
+fn layout_roundtrip() {
+    use calu::matrix::{BclMatrix, CmTiles, TileStorage, TlbMatrix};
+    let mut rng = Rng::seed_from_u64(32);
+    for _ in 0..48 {
+        let m = rng.gen_range(1..40);
+        let n = rng.gen_range(1..40);
+        let b = rng.gen_range(1..12);
+        let pr = rng.gen_range(1..4);
+        let pc = rng.gen_range(1..4);
+        let seed = rng.next_u64() % 100;
         let a = gen::uniform(m, n, seed);
         let grid = ProcessGrid::new(pr, pc).unwrap();
-        prop_assert!(CmTiles::from_dense(&a, b).to_dense().approx_eq(&a, 0.0));
-        prop_assert!(BclMatrix::from_dense(&a, b, grid).to_dense().approx_eq(&a, 0.0));
-        prop_assert!(TlbMatrix::from_dense(&a, b, grid).to_dense().approx_eq(&a, 0.0));
+        assert!(CmTiles::from_dense(&a, b).to_dense().approx_eq(&a, 0.0));
+        assert!(BclMatrix::from_dense(&a, b, grid)
+            .to_dense()
+            .approx_eq(&a, 0.0));
+        assert!(TlbMatrix::from_dense(&a, b, grid)
+            .to_dense()
+            .approx_eq(&a, 0.0));
     }
+}
 
-    /// Every policy executes every task exactly once, regardless of the
-    /// matrix shape and grid.
-    #[test]
-    fn policies_complete_without_loss(
-        mt in 1usize..8,
-        nt in 1usize..8,
-        pr in 1usize..3,
-        pc in 1usize..3,
-        dratio in 0.0f64..=1.0,
-    ) {
+/// Every policy executes every task exactly once, regardless of the
+/// matrix shape and grid.
+#[test]
+fn policies_complete_without_loss() {
+    use calu::dag::TaskGraph;
+    let mut rng = Rng::seed_from_u64(33);
+    for _ in 0..12 {
+        let mt = rng.gen_range(1..8);
+        let nt = rng.gen_range(1..8);
+        let pr = rng.gen_range(1..3);
+        let pc = rng.gen_range(1..3);
+        let dratio = rng.gen_range(0.0..=1.0);
         let g = TaskGraph::build_calu(mt * 50, nt * 50, 50, pr);
         let grid = ProcessGrid::new(pr, pc).unwrap();
         for kind in [
@@ -94,7 +111,7 @@ proptest! {
                 let mut progressed = false;
                 for core in 0..grid.size() {
                     if let Some(popped) = p.pop(core) {
-                        prop_assert!(!seen[popped.task.idx()], "task executed twice");
+                        assert!(!seen[popped.task.idx()], "task executed twice");
                         seen[popped.task.idx()] = true;
                         done += 1;
                         progressed = true;
@@ -107,39 +124,41 @@ proptest! {
                     }
                 }
                 stuck = if progressed { 0 } else { stuck + 1 };
-                prop_assert!(stuck < 2, "policy starved");
+                assert!(stuck < 2, "policy starved");
             }
         }
     }
+}
 
-    /// Simulator invariants: makespan ≥ both lower bounds (work/p and
-    /// weighted critical path is costly to compute, so check work bound
-    /// and positivity), determinism across reruns.
-    #[test]
-    fn simulator_bounds(
-        n in 500usize..1500,
-        dratio in 0.0f64..=1.0,
-    ) {
-        use calu::sim::{run, MachineConfig, NoiseConfig, SimConfig};
-        let mach = MachineConfig::intel_xeon_16(NoiseConfig::off());
-        let grid = ProcessGrid::square_for(16).unwrap();
-        let g = TaskGraph::build_calu(n, n, 100, grid.pr());
-        let cfg = SimConfig::new(mach.clone(), Layout::BlockCyclic, SchedulerKind::Hybrid { dratio });
-        let r1 = run(&g, &cfg);
-        let r2 = run(&g, &cfg);
-        prop_assert_eq!(r1.makespan, r2.makespan, "simulation must be deterministic");
-        let ideal = r1.executed_flops / mach.peak_flops();
-        prop_assert!(r1.makespan >= ideal, "makespan below the work bound");
-        prop_assert!(r1.utilization() <= 1.0 + 1e-9);
+/// Simulator invariants through the facade: determinism across reruns
+/// and the work lower bound.
+#[test]
+fn simulator_bounds() {
+    let mach = MachineConfig::intel_xeon_16(NoiseConfig::off());
+    let mut rng = Rng::seed_from_u64(34);
+    for _ in 0..8 {
+        let n = rng.gen_range(500..1500);
+        let dratio = rng.gen_range(0.0..=1.0);
+        let solver = Solver::new(MatrixSource::shape(n, n))
+            .dratio(dratio)
+            .backend(SimulatedBackend::new(mach.clone()));
+        let r1 = solver.run().unwrap();
+        let r2 = solver.run().unwrap();
+        assert_eq!(r1.makespan, r2.makespan, "simulation must be deterministic");
+        // nominal flops never exceed executed flops, so this bound holds
+        let ideal = r1.nominal_flops / mach.peak_flops();
+        assert!(r1.makespan >= ideal, "makespan below the work bound");
+        assert!(r1.utilization() <= 1.0 + 1e-9);
     }
+}
 
-    /// Hybrid extremes: dratio 0/1 split the DAG exactly like the pure
-    /// policies split it.
-    #[test]
-    fn nstatic_extremes(npanels in 1usize..200) {
-        prop_assert_eq!(nstatic_for(0.0, npanels), npanels);
-        prop_assert_eq!(nstatic_for(1.0, npanels), 0);
-        let mid = nstatic_for(0.5, npanels);
-        prop_assert!(mid <= npanels);
+/// Hybrid extremes: dratio 0/1 split the DAG exactly like the pure
+/// policies split it.
+#[test]
+fn nstatic_extremes() {
+    for npanels in 1..200 {
+        assert_eq!(nstatic_for(0.0, npanels), npanels);
+        assert_eq!(nstatic_for(1.0, npanels), 0);
+        assert!(nstatic_for(0.5, npanels) <= npanels);
     }
 }

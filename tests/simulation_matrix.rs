@@ -1,16 +1,23 @@
 //! Cross-crate integration: the simulator × scheduler × machine matrix,
 //! checking the paper's qualitative claims hold wherever the paper makes
-//! them.
+//! them — all through the `Solver` facade with `SimulatedBackend`.
 
-use calu::dag::TaskGraph;
-use calu::matrix::{Layout, ProcessGrid};
+use calu::matrix::Layout;
 use calu::sched::SchedulerKind;
-use calu::sim::{run, MachineConfig, NoiseConfig, SimConfig};
+use calu::sim::{MachineConfig, NoiseConfig};
+use calu::{Algorithm, MatrixSource, Report, SimulatedBackend, Solver};
+
+fn simulate(n: usize, mach: &MachineConfig, layout: Layout, sched: SchedulerKind) -> Report {
+    Solver::new(MatrixSource::shape(n, n))
+        .layout(layout)
+        .scheduler(sched)
+        .backend(SimulatedBackend::new(mach.clone()))
+        .run()
+        .expect("simulated run")
+}
 
 fn gflops(n: usize, mach: &MachineConfig, layout: Layout, sched: SchedulerKind) -> f64 {
-    let grid = ProcessGrid::square_for(mach.cores()).unwrap();
-    let g = TaskGraph::build_calu(n, n, 100, grid.pr());
-    run(&g, &SimConfig::new(mach.clone(), layout, sched)).gflops()
+    simulate(n, mach, layout, sched).gflops()
 }
 
 #[test]
@@ -19,10 +26,21 @@ fn intel_ordering_static_worst_hybrid_best() {
     // hybrid with a small dynamic share beats fully dynamic
     let mach = MachineConfig::intel_xeon_16(NoiseConfig::os_daemons(42));
     let stat = gflops(4000, &mach, Layout::BlockCyclic, SchedulerKind::Static);
-    let h10 = gflops(4000, &mach, Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.1 });
+    let h10 = gflops(
+        4000,
+        &mach,
+        Layout::BlockCyclic,
+        SchedulerKind::Hybrid { dratio: 0.1 },
+    );
     let dynamic = gflops(4000, &mach, Layout::BlockCyclic, SchedulerKind::Dynamic);
-    assert!(stat < dynamic, "static {stat} must trail dynamic {dynamic} on Intel");
-    assert!(h10 > dynamic, "hybrid(10%) {h10} must beat dynamic {dynamic}");
+    assert!(
+        stat < dynamic,
+        "static {stat} must trail dynamic {dynamic} on Intel"
+    );
+    assert!(
+        h10 > dynamic,
+        "hybrid(10%) {h10} must beat dynamic {dynamic}"
+    );
     assert!(h10 > stat * 1.02, "hybrid must beat static clearly");
 }
 
@@ -34,7 +52,10 @@ fn amd_ordering_dynamic_worst() {
         let stat = gflops(5000, &mach, layout, SchedulerKind::Static);
         let h10 = gflops(5000, &mach, layout, SchedulerKind::Hybrid { dratio: 0.1 });
         let dynamic = gflops(5000, &mach, layout, SchedulerKind::Dynamic);
-        assert!(dynamic < stat, "{layout}: dynamic {dynamic} must trail static {stat}");
+        assert!(
+            dynamic < stat,
+            "{layout}: dynamic {dynamic} must trail static {stat}"
+        );
         assert!(h10 > stat, "{layout}: hybrid {h10} must beat static {stat}");
     }
 }
@@ -61,27 +82,40 @@ fn calu_beats_both_library_models() {
         MachineConfig::intel_xeon_16(NoiseConfig::os_daemons(42)),
         MachineConfig::amd_opteron_48(NoiseConfig::os_daemons(42)),
     ] {
-        let grid = ProcessGrid::square_for(mach.cores()).unwrap();
         let n = 5000;
-        let calu_g = TaskGraph::build_calu(n, n, 100, grid.pr());
-        let calu = run(
-            &calu_g,
-            &SimConfig::new(mach.clone(), Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.1 }),
-        )
-        .gflops();
-        let mkl = run(
-            &TaskGraph::build_gepp(n, n, 100),
-            &SimConfig::new(mach.clone(), Layout::ColumnMajor, SchedulerKind::Dynamic),
-        )
-        .gflops();
-        let plasma = run(
-            &TaskGraph::build_incpiv(n, n, 100),
-            &SimConfig::new(mach.clone(), Layout::TwoLevelBlock, SchedulerKind::Static),
-        )
-        .gflops();
+        let calu = gflops(
+            n,
+            &mach,
+            Layout::BlockCyclic,
+            SchedulerKind::Hybrid { dratio: 0.1 },
+        );
+        let mkl = Solver::new(MatrixSource::shape(n, n))
+            .algorithm(Algorithm::Gepp)
+            .layout(Layout::ColumnMajor)
+            .scheduler(SchedulerKind::Dynamic)
+            .backend(SimulatedBackend::new(mach.clone()))
+            .run()
+            .unwrap()
+            .gflops();
+        let plasma = Solver::new(MatrixSource::shape(n, n))
+            .algorithm(Algorithm::IncPiv)
+            .layout(Layout::TwoLevelBlock)
+            .scheduler(SchedulerKind::Static)
+            .backend(SimulatedBackend::new(mach.clone()))
+            .run()
+            .unwrap()
+            .gflops();
         assert!(calu > mkl * 1.2, "{}: CALU {calu} vs MKL {mkl}", mach.name);
-        assert!(calu > plasma * 1.1, "{}: CALU {calu} vs PLASMA {plasma}", mach.name);
-        assert!(plasma > mkl, "{}: PLASMA should beat MKL's serial panel", mach.name);
+        assert!(
+            calu > plasma * 1.1,
+            "{}: CALU {calu} vs PLASMA {plasma}",
+            mach.name
+        );
+        assert!(
+            plasma > mkl,
+            "{}: PLASMA should beat MKL's serial panel",
+            mach.name
+        );
     }
 }
 
@@ -90,12 +124,13 @@ fn dynamic_cm_profile_drains_early() {
     // Fig 14: under column-granular dynamic+CM (the paper's fully
     // dynamic implementation) the tail starves most cores
     let mach = MachineConfig::amd_opteron_with_cores(18, NoiseConfig::os_daemons(42));
-    let grid = ProcessGrid::square_for(18).unwrap();
-    let g = TaskGraph::build_calu(2500, 2500, 100, grid.pr());
-    let cfg = SimConfig::new(mach.clone(), Layout::ColumnMajor, SchedulerKind::Dynamic)
-        .with_column_granularity()
-        .with_trace();
-    let r = run(&g, &cfg);
+    let r = Solver::new(MatrixSource::shape(2500, 2500))
+        .layout(Layout::ColumnMajor)
+        .scheduler(SchedulerKind::Dynamic)
+        .trace(true)
+        .backend(SimulatedBackend::new(mach.clone()).column_granular())
+        .run()
+        .unwrap();
     let gf = r.gflops();
     let tl = r.timeline.unwrap();
     let early = tl.busy_fraction_in_window(0.0, 0.6);
@@ -105,24 +140,27 @@ fn dynamic_cm_profile_drains_early() {
         "tail busy fraction {tail:.2} must collapse vs early {early:.2}"
     );
     // and it is the slowest configuration overall (Fig 12/13 summary)
-    let hybrid = run(
-        &g,
-        &SimConfig::new(mach, Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.1 }),
+    let hybrid = simulate(
+        2500,
+        &mach,
+        Layout::BlockCyclic,
+        SchedulerKind::Hybrid { dratio: 0.1 },
     );
     assert!(gf < hybrid.gflops());
 }
 
 #[test]
 fn hybrid_timeline_has_less_idle_than_static() {
-    // Figs 1 vs 15
+    // Figs 1 vs 15 — the unified report carries per-thread idle directly
     let mach = MachineConfig::amd_opteron_with_cores(18, NoiseConfig::os_daemons(42));
-    let grid = ProcessGrid::square_for(18).unwrap();
-    let g = TaskGraph::build_calu(2500, 2500, 100, grid.pr());
     let idle = |sched| {
-        let cfg = SimConfig::new(mach.clone(), Layout::TwoLevelBlock, sched).with_trace();
-        let r = run(&g, &cfg);
-        let tl = r.timeline.unwrap();
-        calu::trace::TimelineMetrics::of(&tl).idle_fraction()
+        let r = Solver::new(MatrixSource::shape(2500, 2500))
+            .layout(Layout::TwoLevelBlock)
+            .scheduler(sched)
+            .backend(SimulatedBackend::new(mach.clone()))
+            .run()
+            .unwrap();
+        r.schedule.total_idle() / (r.makespan * r.threads as f64)
     };
     let static_idle = idle(SchedulerKind::Static);
     let hybrid_idle = idle(SchedulerKind::Hybrid { dratio: 0.1 });
@@ -136,7 +174,25 @@ fn hybrid_timeline_has_less_idle_than_static() {
 fn work_stealing_trails_hybrid() {
     // §8: random stealing ignores the left-to-right critical path
     let mach = MachineConfig::amd_opteron_48(NoiseConfig::os_daemons(42));
-    let h10 = gflops(5000, &mach, Layout::BlockCyclic, SchedulerKind::Hybrid { dratio: 0.1 });
-    let ws = gflops(5000, &mach, Layout::BlockCyclic, SchedulerKind::WorkStealing { seed: 9 });
-    assert!(h10 > ws, "hybrid {h10} must beat work stealing {ws}");
+    let h10 = gflops(
+        5000,
+        &mach,
+        Layout::BlockCyclic,
+        SchedulerKind::Hybrid { dratio: 0.1 },
+    );
+    let ws_report = simulate(
+        5000,
+        &mach,
+        Layout::BlockCyclic,
+        SchedulerKind::WorkStealing { seed: 9 },
+    );
+    assert!(
+        h10 > ws_report.gflops(),
+        "hybrid {h10} must beat work stealing"
+    );
+    // and the report must attribute pops to steals
+    assert!(
+        ws_report.schedule.queue_sources().stolen > 0,
+        "steals recorded"
+    );
 }
