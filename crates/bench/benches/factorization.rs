@@ -4,7 +4,7 @@
 
 use calu::core::{calu_simple, gepp_factor, incpiv_factor};
 use calu::matrix::gen;
-use calu::Solver;
+use calu::{QueueDiscipline, Solver};
 use calu_bench::timing::bench;
 
 fn main() {
@@ -28,8 +28,23 @@ fn main() {
     bench("calu_threaded_1", 10, || {
         s1.run().unwrap();
     });
-    let s4 = Solver::new(a).tile(b).threads(4).dratio(0.1).verify(false);
+    let s4 = Solver::new(a.clone())
+        .tile(b)
+        .threads(4)
+        .dratio(0.1)
+        .verify(false);
     bench("calu_threaded_4_h10", 10, || {
         s4.run().unwrap();
+    });
+    // queue-discipline axis: same hybrid run with the dynamic section
+    // sharded per worker (randomized stealing) instead of one lock
+    let s4s = Solver::new(a)
+        .tile(b)
+        .threads(4)
+        .dratio(0.1)
+        .queue_discipline(QueueDiscipline::sharded())
+        .verify(false);
+    bench("calu_threaded_4_h10_sharded", 10, || {
+        s4s.run().unwrap();
     });
 }

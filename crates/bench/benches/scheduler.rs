@@ -3,12 +3,12 @@
 
 use calu::dag::TaskGraph;
 use calu::matrix::ProcessGrid;
-use calu::sched::{make_policy, SchedulerKind};
+use calu::sched::{make_policy_with, QueueDiscipline, SchedulerKind};
 use calu_bench::timing::bench_throughput;
 
-fn drive(g: &TaskGraph, kind: SchedulerKind, cores: usize) -> usize {
+fn drive(g: &TaskGraph, kind: SchedulerKind, queue: QueueDiscipline, cores: usize) -> usize {
     let grid = ProcessGrid::square_for(cores).unwrap();
-    let mut p = make_policy(kind, g, grid);
+    let mut p = make_policy_with(kind, queue, g, grid);
     let mut deps: Vec<u32> = g.ids().map(|t| g.dep_count(t)).collect();
     for t in g.initial_ready() {
         p.on_ready(t, None);
@@ -40,7 +40,27 @@ fn main() {
         SchedulerKind::WorkStealing { seed: 1 },
     ] {
         bench_throughput(&format!("{kind}"), 10, g.len() as u64, "task", || {
-            drive(&g, kind, 16);
+            drive(&g, kind, QueueDiscipline::Global, 16);
         });
+    }
+    // the queue-discipline axis: same hybrid split, global queue vs
+    // per-core shards with stealing (and fully dynamic for contrast)
+    println!("policy_drain, queue-discipline axis:");
+    for (kind, label) in [
+        (SchedulerKind::Hybrid { dratio: 0.1 }, "hybrid h10"),
+        (SchedulerKind::Hybrid { dratio: 0.5 }, "hybrid h50"),
+        (SchedulerKind::Dynamic, "dynamic"),
+    ] {
+        for queue in [QueueDiscipline::Global, QueueDiscipline::sharded()] {
+            bench_throughput(
+                &format!("{label} / {queue}"),
+                10,
+                g.len() as u64,
+                "task",
+                || {
+                    drive(&g, kind, queue, 16);
+                },
+            );
+        }
     }
 }

@@ -4,15 +4,18 @@
 //! 2. per-thread TSLU leaves vs per-tile leaves (reduction-tree depth),
 //! 3. OS noise on/off — what the dynamic section actually absorbs,
 //! 4. work stealing vs the paper's DFS-ordered dynamic queue,
-//! 5. one slow core (persistent δ_i) under each scheduler.
+//! 5. one slow core (persistent δ_i) under each scheduler,
+//! 6. queue discipline — one shared dynamic queue vs per-worker shards
+//!    with randomized stealing, on the model *and* on real threads.
 //!
 //! Every variant is one knob on the same `Solver`, which is the point
 //! of the facade: the ablation is a loop over configurations, not five
 //! hand-wired experiments.
 
-use calu::matrix::ProcessGrid;
+use calu::matrix::{gen, ProcessGrid};
 use calu::sched::SchedulerKind;
 use calu::sim::{MachineConfig, NoiseConfig};
+use calu::{QueueDiscipline, Solver};
 use calu_bench::{default_noise, gf, print_table, run_calu, sim_solver};
 
 fn main() {
@@ -133,6 +136,65 @@ fn main() {
             "healthy".into(),
             "one slow core".into(),
             "delta".into(),
+        ],
+        &rows,
+    );
+
+    // 6a. queue discipline on the modelled 48-core machine
+    let mut rows = Vec::new();
+    for sched in [
+        h10,
+        SchedulerKind::Hybrid { dratio: 0.5 },
+        SchedulerKind::Dynamic,
+    ] {
+        for queue in [QueueDiscipline::Global, QueueDiscipline::sharded()] {
+            let r = sim_solver(n, &amd)
+                .scheduler(sched)
+                .queue_discipline(queue)
+                .run()
+                .expect("discipline ablation");
+            let c = r.schedule.queue_sources();
+            rows.push(vec![
+                format!("{sched} / {queue}"),
+                gf(r.gflops()),
+                c.stolen.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation 6a — dynamic-queue discipline (model), AMD 48c, BCL, n=5000",
+        &["variant".to_string(), "Gflop/s".into(), "steals".into()],
+        &rows,
+    );
+
+    // 6b. same axis on the real threaded executor (small problem: this
+    // one actually computes)
+    let a = gen::uniform(768, 768, 7);
+    let mut rows = Vec::new();
+    for queue in [QueueDiscipline::Global, QueueDiscipline::sharded()] {
+        let r = Solver::new(a.clone())
+            .tile(64)
+            .threads(4)
+            .dratio(0.5)
+            .queue_discipline(queue)
+            .verify(false)
+            .run()
+            .expect("threaded discipline ablation");
+        let c = r.schedule.contention();
+        rows.push(vec![
+            queue.to_string(),
+            gf(r.gflops()),
+            c.steals.to_string(),
+            format!("{:.2}", c.failure_rate()),
+        ]);
+    }
+    print_table(
+        "Ablation 6b — dynamic-queue discipline (real threads), n=768, b=64, 4t, h50",
+        &[
+            "discipline".to_string(),
+            "Gflop/s".into(),
+            "steals".into(),
+            "steal-failure rate".into(),
         ],
         &rows,
     );

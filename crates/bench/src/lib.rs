@@ -2,8 +2,8 @@
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper (see DESIGN.md §5 for the index). They all go through the
-//! unified [`Solver`](calu::Solver) facade with a
-//! [`SimulatedBackend`](calu::SimulatedBackend), so the experimental
+//! unified [`Solver`] facade with a
+//! [`SimulatedBackend`], so the experimental
 //! setup is identical across figures: same seeds, same block-size rule,
 //! same machine presets — and the exact same entry point a user of the
 //! library would call.
@@ -13,6 +13,7 @@ use calu::sched::SchedulerKind;
 use calu::sim::{MachineConfig, NoiseConfig};
 use calu::{Algorithm, MatrixSource, Report, SimulatedBackend, Solver};
 
+pub mod perf;
 pub mod timing;
 
 /// The seed every figure uses for OS noise (determinism across runs).

@@ -2,7 +2,7 @@
 //!
 //! The workspace builds hermetically (no criterion), so the benches are
 //! plain `harness = false` binaries that loop workloads under
-//! [`bench`] and print aligned ns/op lines. Invoke them with
+//! [`bench()`] and print aligned ns/op lines. Invoke them with
 //! `cargo bench` (or `cargo build --benches` just to type-check).
 
 use std::time::Instant;

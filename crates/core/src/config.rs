@@ -4,6 +4,7 @@
 
 use crate::error::CaluError;
 use calu_matrix::{Layout, ProcessGrid};
+use calu_sched::QueueDiscipline;
 
 /// Configuration for [`crate::calu_factor`].
 #[derive(Debug, Clone)]
@@ -23,6 +24,10 @@ pub struct CaluConfig {
     /// TSLU leaves per panel. `None` uses the thread grid's row count,
     /// as in the paper.
     pub leaf_stride: Option<usize>,
+    /// How the dynamic-section ready queue is organized: the paper's
+    /// single shared queue, or per-worker shards with randomized
+    /// stealing ([`QueueDiscipline::Sharded`]).
+    pub queue: QueueDiscipline,
 }
 
 impl CaluConfig {
@@ -36,6 +41,7 @@ impl CaluConfig {
             layout: Layout::BlockCyclic,
             group: 3,
             leaf_stride: None,
+            queue: QueueDiscipline::Global,
         }
     }
 
@@ -63,6 +69,13 @@ impl CaluConfig {
         self
     }
 
+    /// Set the dynamic-section queue discipline (default
+    /// [`QueueDiscipline::Global`]).
+    pub fn with_queue(mut self, queue: QueueDiscipline) -> Self {
+        self.queue = queue;
+        self
+    }
+
     /// Validate and derive the thread grid.
     pub fn validate(&self) -> Result<ProcessGrid, CaluError> {
         if self.b == 0 {
@@ -86,6 +99,14 @@ impl CaluConfig {
             return Err(CaluError::InvalidConfig(
                 "tslu_leaves(0) is meaningless: each panel needs at least one \
                  TSLU leaf; use 1 for a sequential panel"
+                    .into(),
+            ));
+        }
+        if self.queue.is_sharded() && self.dratio == 0.0 {
+            return Err(CaluError::InvalidConfig(
+                "the sharded queue discipline organizes the dynamic section, \
+                 but dratio is 0 (fully static) so there is nothing to shard \
+                 or steal; raise dratio or use QueueDiscipline::Global"
                     .into(),
             ));
         }
@@ -138,5 +159,24 @@ mod tests {
         c.group = 0;
         assert!(c.validate().is_err());
         assert!(CaluConfig::new(8).with_tslu_leaves(0).validate().is_err());
+    }
+
+    #[test]
+    fn sharded_queue_needs_a_dynamic_section() {
+        let sharded = CaluConfig::new(8)
+            .with_dratio(0.0)
+            .with_queue(QueueDiscipline::sharded());
+        let err = sharded.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("dynamic"),
+            "actionable message, got: {err}"
+        );
+        // any non-zero dynamic share is fine, and Global never conflicts
+        assert!(CaluConfig::new(8)
+            .with_dratio(0.1)
+            .with_queue(QueueDiscipline::sharded())
+            .validate()
+            .is_ok());
+        assert!(CaluConfig::new(8).with_dratio(0.0).validate().is_ok());
     }
 }

@@ -5,15 +5,23 @@
 //! * per-thread **static queues** holding ready tasks whose output tiles
 //!   they own under the 2D block-cyclic distribution, ordered by the
 //!   static priority (P ≻ L ≻ U ≻ S, look-ahead on early panels);
-//! * one **global dynamic queue** holding ready tasks of the last
-//!   `N − Nstatic` panels, ordered by Algorithm 2's left-to-right DFS.
+//! * a **dynamic section** holding ready tasks of the last
+//!   `N − Nstatic` panels, ordered by Algorithm 2's left-to-right DFS —
+//!   either one shared queue ([`QueueDiscipline::Global`], the paper's
+//!   implementation) or per-worker shards with randomized stealing
+//!   ([`QueueDiscipline::Sharded`], which removes the single lock the
+//!   global queue serializes every dequeue through).
 //!
 //! A worker always serves its own queue first ("each thread executes in
 //! priority tasks from the static part"); when it has nothing it pulls
-//! from the dynamic queue instead of idling — the load-balancing reservoir
-//! that removes Figure 1's idle pockets. Dependence tracking is a single
-//! atomic counter per task; tile data flows through [`SharedTiles`] under
-//! the DAG's exclusive-writer discipline.
+//! from the dynamic section instead of idling — the load-balancing
+//! reservoir that removes Figure 1's idle pockets. Under the sharded
+//! discipline a worker pops its own shard, and only when that is empty
+//! sweeps the other shards in the seeded-random victim order of
+//! [`calu_sched::steal_order`] — the same policy the simulator's
+//! sharded hybrid runs. Dependence tracking is a single atomic counter
+//! per task; tile data flows through [`SharedTiles`] under the DAG's
+//! exclusive-writer discipline.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -26,20 +34,30 @@ use calu_kernels::{gemm, lu_nopiv_unblocked, trsm};
 use calu_matrix::{
     BclMatrix, CmTiles, DenseMatrix, Layout, ProcessGrid, RowPerm, TileStorage, TlbMatrix,
 };
-use calu_sched::{nstatic_for, priority, OwnerMap, QueueSource};
+use calu_rand::Rng;
+use calu_sched::{nstatic_for, priority, steal_order, OwnerMap, QueueDiscipline, QueueSource};
 use calu_trace::{SpanKind, TaskSpan, Timeline};
 
 use crate::sync::Mutex;
 
 /// Per-worker queue accounting from one threaded run: where this
-/// worker's tasks came from (its own static queue vs. the shared dynamic
-/// queue). The real executor never steals, so there is no third bucket.
+/// worker's tasks came from, plus steal/contention counters for the
+/// sharded discipline.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ThreadStats {
     /// Tasks popped from the worker's own static queue.
     pub local_pops: u64,
-    /// Tasks popped from the shared dynamic queue.
+    /// Tasks popped from the dynamic section without stealing (the
+    /// shared queue, or the worker's own shard).
     pub global_pops: u64,
+    /// Tasks stolen from another worker's shard (sharded discipline
+    /// only; always zero under [`QueueDiscipline::Global`]).
+    pub steal_pops: u64,
+    /// Steal probes that found the victim's shard empty (sharded
+    /// discipline only) — the executor's queue-contention signal: a high
+    /// ratio of failed probes to steals means workers are sweeping
+    /// drained shards instead of computing.
+    pub failed_steals: u64,
 }
 
 use crate::config::CaluConfig;
@@ -50,6 +68,15 @@ use crate::shared::SharedTiles;
 use crate::tslu::{Candidate, TreePlan};
 
 type ReadyQueue = Mutex<BinaryHeap<Reverse<(u64, u32)>>>;
+
+/// The dynamic section's queues under each [`QueueDiscipline`].
+enum DynQueues {
+    /// One shared lock-protected queue (the paper's Algorithm 2).
+    Global(ReadyQueue),
+    /// One shard per worker; workers push/pop their own and steal from
+    /// the rest when empty.
+    Sharded(Vec<ReadyQueue>),
+}
 
 struct PanelState {
     plan: TreePlan,
@@ -66,7 +93,13 @@ struct Shared<'g, S: TileStorage> {
     static_keys: Vec<u64>,
     dynamic_keys: Vec<u64>,
     local: Vec<ReadyQueue>,
-    global: ReadyQueue,
+    dynamic: DynQueues,
+    /// Dynamic-section tasks currently queued (sharded discipline only:
+    /// incremented before push, decremented after pop), so idle workers
+    /// can tell "nothing to steal anywhere" from "a victim shard I
+    /// probed was empty" — only the latter is contention. Stays zero
+    /// under the global discipline, which never reads it.
+    dyn_queued: AtomicUsize,
     done: AtomicUsize,
     singular: AtomicUsize,
     panels: Vec<PanelState>,
@@ -77,39 +110,83 @@ struct Shared<'g, S: TileStorage> {
 const NOT_SINGULAR: usize = usize::MAX;
 
 impl<S: TileStorage + Send> Shared<'_, S> {
-    fn push_ready(&self, t: TaskId) {
+    /// Queue a ready task. `home` is the worker that enabled it (or a
+    /// round-robin index for initially ready tasks): under the sharded
+    /// discipline, dynamic tasks land on the enabler's shard so they
+    /// tend to run where their inputs are warm.
+    fn push_ready(&self, t: TaskId, home: usize) {
         if self.is_static[t.idx()] {
             let owner = self.owners.owner(t);
             self.local[owner]
                 .lock()
                 .push(Reverse((self.static_keys[t.idx()], t.0)));
         } else {
-            self.global
-                .lock()
-                .push(Reverse((self.dynamic_keys[t.idx()], t.0)));
+            let entry = Reverse((self.dynamic_keys[t.idx()], t.0));
+            match &self.dynamic {
+                DynQueues::Global(q) => q.lock().push(entry),
+                DynQueues::Sharded(shards) => {
+                    // counter first, push second: the count
+                    // over-approximates, so a successful pop's decrement
+                    // can never underflow. Sharded-only — the global
+                    // discipline never reads it, so the paper-verbatim
+                    // path pays no extra shared-line RMWs.
+                    self.dyn_queued.fetch_add(1, Ordering::AcqRel);
+                    shards[home % shards.len()].lock().push(entry);
+                }
+            }
         }
     }
 
-    /// Algorithm 1's pop order: own static queue first, then the shared
-    /// dynamic queue (Algorithm 2's DFS order is baked into its keys).
-    fn pop(&self, me: usize) -> Option<(TaskId, QueueSource)> {
+    /// Algorithm 1's pop order: own static queue first, then the dynamic
+    /// section (Algorithm 2's DFS order is baked into its keys). Under
+    /// the sharded discipline the dynamic section is the worker's own
+    /// shard first, then a seeded-random steal sweep — attempted (and
+    /// its empty-victim probes counted into `stats.failed_steals`) only
+    /// while dynamic tasks are actually queued somewhere, so idle spins
+    /// on a drained DAG don't read as contention.
+    fn pop(
+        &self,
+        me: usize,
+        rng: &mut Option<Rng>,
+        stats: &mut ThreadStats,
+    ) -> Option<(TaskId, QueueSource)> {
         if let Some(Reverse((_, t))) = self.local[me].lock().pop() {
             return Some((TaskId(t), QueueSource::Local));
         }
-        self.global
-            .lock()
-            .pop()
-            .map(|Reverse((_, t))| (TaskId(t), QueueSource::Global))
+        match &self.dynamic {
+            DynQueues::Global(q) => q
+                .lock()
+                .pop()
+                .map(|Reverse((_, t))| (TaskId(t), QueueSource::Global)),
+            DynQueues::Sharded(shards) => {
+                if let Some(Reverse((_, t))) = shards[me].lock().pop() {
+                    self.dyn_queued.fetch_sub(1, Ordering::AcqRel);
+                    return Some((TaskId(t), QueueSource::Shard));
+                }
+                if self.dyn_queued.load(Ordering::Acquire) == 0 {
+                    return None; // nothing queued anywhere: idle, not contention
+                }
+                let rng = rng.as_mut().expect("sharded workers carry an RNG");
+                for victim in steal_order(rng, me, shards.len()) {
+                    if let Some(Reverse((_, t))) = shards[victim].lock().pop() {
+                        self.dyn_queued.fetch_sub(1, Ordering::AcqRel);
+                        return Some((TaskId(t), QueueSource::Stolen));
+                    }
+                    stats.failed_steals += 1;
+                }
+                None
+            }
+        }
     }
 
     fn flag_singular(&self, col: usize) {
         self.singular.fetch_min(col, Ordering::AcqRel);
     }
 
-    fn complete(&self, t: TaskId) {
+    fn complete(&self, t: TaskId, me: usize) {
         for &s in self.g.successors(t) {
             if self.deps[s.idx()].fetch_sub(1, Ordering::AcqRel) == 1 {
-                self.push_ready(s);
+                self.push_ready(s, me);
             }
         }
         self.done.fetch_add(1, Ordering::AcqRel);
@@ -270,6 +347,7 @@ fn factor_tiled<S: TileStorage + Send>(
     g: &TaskGraph,
     grid: ProcessGrid,
     dratio: f64,
+    queue: QueueDiscipline,
 ) -> (S, RowPerm, Option<usize>, Timeline, Vec<ThreadStats>) {
     let threads = grid.size();
     let nstatic = nstatic_for(dratio, g.num_panels());
@@ -286,7 +364,15 @@ fn factor_tiled<S: TileStorage + Send>(
         local: (0..threads)
             .map(|_| Mutex::new(BinaryHeap::new()))
             .collect(),
-        global: Mutex::new(BinaryHeap::new()),
+        dynamic: match queue {
+            QueueDiscipline::Global => DynQueues::Global(Mutex::new(BinaryHeap::new())),
+            QueueDiscipline::Sharded { .. } => DynQueues::Sharded(
+                (0..threads)
+                    .map(|_| Mutex::new(BinaryHeap::new()))
+                    .collect(),
+            ),
+        },
+        dyn_queued: AtomicUsize::new(0),
         done: AtomicUsize::new(0),
         singular: AtomicUsize::new(NOT_SINGULAR),
         panels: (0..g.num_panels())
@@ -307,8 +393,10 @@ fn factor_tiled<S: TileStorage + Send>(
     };
     let _ = shared.m;
 
-    for t in g.initial_ready() {
-        shared.push_ready(t);
+    // scatter initially ready tasks round-robin over the shards (no
+    // worker has "enabled" them yet); the Global queue ignores `home`
+    for (i, t) in g.initial_ready().into_iter().enumerate() {
+        shared.push_ready(t, i);
     }
 
     let total = g.len();
@@ -323,13 +411,23 @@ fn factor_tiled<S: TileStorage + Send>(
             handles.push(scope.spawn(move || {
                 let mut spans: Vec<TaskSpan> = Vec::new();
                 let mut stats = ThreadStats::default();
+                // per-worker victim-selection stream: SplitMix64 seeding
+                // decorrelates the nearby seeds, so workers sweep
+                // victims in unrelated orders
+                let mut rng = match queue {
+                    QueueDiscipline::Sharded { seed } => {
+                        Some(Rng::seed_from_u64(seed.wrapping_add(me as u64)))
+                    }
+                    QueueDiscipline::Global => None,
+                };
                 let mut idle_spins = 0u32;
                 while shared.done.load(Ordering::Acquire) < total {
-                    match shared.pop(me) {
+                    match shared.pop(me, &mut rng, &mut stats) {
                         Some((t, source)) => {
                             idle_spins = 0;
                             match source {
                                 QueueSource::Local => stats.local_pops += 1,
+                                QueueSource::Stolen => stats.steal_pops += 1,
                                 _ => stats.global_pops += 1,
                             }
                             let start = t0.elapsed().as_secs_f64();
@@ -347,7 +445,7 @@ fn factor_tiled<S: TileStorage + Send>(
                                 end,
                                 kind,
                             });
-                            shared.complete(t);
+                            shared.complete(t, me);
                         }
                         None => {
                             idle_spins += 1;
@@ -425,17 +523,17 @@ pub fn calu_factor_report(
     let (mut lu, perm, singular_at, timeline, stats) = match cfg.layout {
         Layout::ColumnMajor => {
             let s = CmTiles::from_dense(a, cfg.b);
-            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio);
+            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio, cfg.queue);
             (s.to_dense(), p, sing, tl, st)
         }
         Layout::BlockCyclic => {
             let s = BclMatrix::from_dense(a, cfg.b, grid);
-            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio);
+            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio, cfg.queue);
             (s.to_dense(), p, sing, tl, st)
         }
         Layout::TwoLevelBlock => {
             let s = TlbMatrix::from_dense(a, cfg.b, grid);
-            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio);
+            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio, cfg.queue);
             (s.to_dense(), p, sing, tl, st)
         }
     };
@@ -579,5 +677,78 @@ mod tests {
         let a = gen::uniform(8, 8, 11);
         assert!(calu_factor(&a, &CaluConfig::new(0)).is_err());
         assert!(calu_factor(&a, &CaluConfig::new(4).with_threads(0)).is_err());
+        assert!(
+            calu_factor(
+                &a,
+                &CaluConfig::new(4)
+                    .with_dratio(0.0)
+                    .with_queue(QueueDiscipline::sharded())
+            )
+            .is_err(),
+            "sharded discipline without a dynamic section is a config error"
+        );
+    }
+
+    #[test]
+    fn sharded_queue_all_layouts() {
+        let a = gen::uniform(64, 64, 12);
+        for layout in [
+            Layout::BlockCyclic,
+            Layout::TwoLevelBlock,
+            Layout::ColumnMajor,
+        ] {
+            let cfg = CaluConfig::new(16)
+                .with_threads(4)
+                .with_dratio(0.5)
+                .with_layout(layout)
+                .with_queue(QueueDiscipline::sharded());
+            check(&a, &cfg, 1e-12);
+        }
+    }
+
+    #[test]
+    fn queue_discipline_does_not_change_the_math() {
+        // the schedule (and who steals what) must not affect a single
+        // bit of the factors: writes to each tile are totally ordered by
+        // the DAG's exclusive-writer discipline
+        let a = gen::uniform(80, 80, 13);
+        let base = CaluConfig::new(16).with_threads(4).with_dratio(0.5);
+        let sharded = base.clone().with_queue(QueueDiscipline::sharded());
+        let f1 = calu_factor(&a, &base).unwrap();
+        let f2 = calu_factor(&a, &sharded).unwrap();
+        assert_eq!(f1.perm.pivots(), f2.perm.pivots());
+        assert!(f1.lu.approx_eq(&f2.lu, 0.0), "bitwise identical factors");
+    }
+
+    #[test]
+    fn global_discipline_never_steals() {
+        let a = gen::uniform(64, 64, 14);
+        let cfg = CaluConfig::new(16).with_threads(4).with_dratio(0.5);
+        let (_, _, stats) = calu_factor_report(&a, &cfg).unwrap();
+        for s in &stats {
+            assert_eq!(s.steal_pops, 0, "no steal path under Global");
+            assert_eq!(s.failed_steals, 0, "no steal probes under Global");
+        }
+    }
+
+    #[test]
+    fn sharded_stats_attribute_every_task_once() {
+        let a = gen::uniform(96, 96, 15);
+        let cfg = CaluConfig::new(16)
+            .with_threads(4)
+            .with_dratio(1.0)
+            .with_queue(QueueDiscipline::Sharded { seed: 9 });
+        let (f, tl, stats) = calu_factor_report(&a, &cfg).unwrap();
+        assert!(f.residual(&a) < 1e-12);
+        let total: u64 = stats
+            .iter()
+            .map(|s| s.local_pops + s.global_pops + s.steal_pops)
+            .sum();
+        assert_eq!(total as usize, tl.spans().len(), "one pop per span");
+        assert_eq!(
+            stats.iter().map(|s| s.local_pops).sum::<u64>(),
+            0,
+            "dratio 1.0 leaves nothing in the static queues"
+        );
     }
 }

@@ -1,23 +1,49 @@
 //! The paper's hybrid static/dynamic policy (Algorithms 1 and 2).
 //!
 //! Tasks writing tile columns `< Nstatic` are distributed statically to
-//! their block-cyclic owners; the rest feed one shared queue in DFS
+//! their block-cyclic owners; the rest form the dynamic section in DFS
 //! column order. A core always prefers its own static queue ("each
 //! thread executes in priority tasks from the static part, to ensure
-//! progress in the critical path"); only when that is empty does it pull
-//! from the dynamic queue — so the dynamic section is exactly the
+//! progress in the critical path"); only when that is empty does it turn
+//! to the dynamic section — so the dynamic section is exactly the
 //! load-balancing reservoir that fills the static section's idle pockets.
+//!
+//! The dynamic section itself is organized by a [`QueueDiscipline`]:
+//!
+//! * [`QueueDiscipline::Global`] — one shared queue, the paper's
+//!   Algorithm 2 verbatim;
+//! * [`QueueDiscipline::Sharded`] — per-core priority shards with
+//!   randomized stealing; each shard keeps the DFS order, so even a
+//!   steal takes the victim's most critical task.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use calu_dag::{TaskGraph, TaskId, TaskKind};
 use calu_matrix::ProcessGrid;
+use calu_rand::Rng;
 
 use crate::config::nstatic_for;
+use crate::discipline::{steal_order, QueueDiscipline};
 use crate::owner::OwnerMap;
 use crate::policy::{Policy, Popped, QueueSource};
 use crate::priority::{dynamic_key, static_key};
+
+type Heap = BinaryHeap<Reverse<(u64, u32)>>;
+
+/// The dynamic section's queue organization (see module docs).
+enum DynSection {
+    /// One shared DFS-ordered queue.
+    Global(Heap),
+    /// Per-core DFS-ordered shards; `rr` scatters initially ready tasks,
+    /// `rng` drives victim selection for steals.
+    Sharded {
+        shards: Vec<Heap>,
+        rng: Rng,
+        rr: usize,
+        seed: u64,
+    },
+}
 
 /// See module docs.
 pub struct HybridPolicy {
@@ -26,30 +52,59 @@ pub struct HybridPolicy {
     static_keys: Vec<u64>,
     dynamic_keys: Vec<u64>,
     is_static: Vec<bool>,
-    local: Vec<BinaryHeap<Reverse<(u64, u32)>>>,
-    global: BinaryHeap<Reverse<(u64, u32)>>,
+    local: Vec<Heap>,
+    dynamic: DynSection,
     nstatic: usize,
     queued: usize,
 }
 
 impl HybridPolicy {
     /// Build for graph `g` over `grid`, scheduling a `dratio` fraction of
-    /// the panels dynamically.
+    /// the panels dynamically through one shared global queue.
     pub fn new(g: &TaskGraph, grid: ProcessGrid, dratio: f64) -> Self {
+        Self::with_discipline(g, grid, dratio, QueueDiscipline::Global)
+    }
+
+    /// Build with an explicit dynamic-section queue discipline.
+    pub fn with_discipline(
+        g: &TaskGraph,
+        grid: ProcessGrid,
+        dratio: f64,
+        queue: QueueDiscipline,
+    ) -> Self {
         let nstatic = nstatic_for(dratio, g.num_panels());
-        Self::with_nstatic(g, grid, nstatic)
+        Self::with_nstatic_discipline(g, grid, nstatic, queue)
     }
 
     /// Build with an explicit static panel count.
     pub fn with_nstatic(g: &TaskGraph, grid: ProcessGrid, nstatic: usize) -> Self {
+        Self::with_nstatic_discipline(g, grid, nstatic, QueueDiscipline::Global)
+    }
+
+    /// Build with an explicit static panel count and queue discipline.
+    pub fn with_nstatic_discipline(
+        g: &TaskGraph,
+        grid: ProcessGrid,
+        nstatic: usize,
+        queue: QueueDiscipline,
+    ) -> Self {
         let owners = OwnerMap::new(g, grid);
         let kinds: Vec<TaskKind> = g.ids().map(|t| g.kind(t)).collect();
         let is_static = kinds.iter().map(|k| k.writes_col() < nstatic).collect();
+        let dynamic = match queue {
+            QueueDiscipline::Global => DynSection::Global(BinaryHeap::new()),
+            QueueDiscipline::Sharded { seed } => DynSection::Sharded {
+                shards: (0..grid.size()).map(|_| BinaryHeap::new()).collect(),
+                rng: Rng::seed_from_u64(seed),
+                rr: 0,
+                seed,
+            },
+        };
         Self {
             static_keys: kinds.iter().map(static_key).collect(),
             dynamic_keys: kinds.iter().map(dynamic_key).collect(),
             local: (0..grid.size()).map(|_| BinaryHeap::new()).collect(),
-            global: BinaryHeap::new(),
+            dynamic,
             owners,
             kinds,
             is_static,
@@ -63,6 +118,14 @@ impl HybridPolicy {
         self.nstatic
     }
 
+    /// The dynamic-section queue discipline this policy runs.
+    pub fn discipline(&self) -> QueueDiscipline {
+        match &self.dynamic {
+            DynSection::Global(_) => QueueDiscipline::Global,
+            DynSection::Sharded { seed, .. } => QueueDiscipline::Sharded { seed: *seed },
+        }
+    }
+
     fn pop_local(&mut self, core: usize) -> Option<TaskId> {
         self.local[core].pop().map(|Reverse((_, t))| {
             self.queued -= 1;
@@ -70,22 +133,65 @@ impl HybridPolicy {
         })
     }
 
-    fn pop_global(&mut self) -> Option<TaskId> {
-        self.global.pop().map(|Reverse((_, t))| {
+    /// Serve the dynamic section: the global queue, or (sharded) the
+    /// core's own shard first and a seeded-random victim sweep after.
+    fn pop_dynamic(&mut self, core: usize) -> Option<Popped> {
+        let popped = match &mut self.dynamic {
+            DynSection::Global(q) => q.pop().map(|Reverse((_, t))| Popped {
+                task: TaskId(t),
+                source: QueueSource::Global,
+            }),
+            DynSection::Sharded { shards, rng, .. } => {
+                if let Some(Reverse((_, t))) = shards[core].pop() {
+                    Some(Popped {
+                        task: TaskId(t),
+                        source: QueueSource::Shard,
+                    })
+                } else if shards.len() > 1 {
+                    let mut found = None;
+                    for victim in steal_order(rng, core, shards.len()) {
+                        if let Some(Reverse((_, t))) = shards[victim].pop() {
+                            found = Some(Popped {
+                                task: TaskId(t),
+                                source: QueueSource::Stolen,
+                            });
+                            break;
+                        }
+                    }
+                    found
+                } else {
+                    None
+                }
+            }
+        };
+        if popped.is_some() {
             self.queued -= 1;
-            TaskId(t)
-        })
+        }
+        popped
     }
 }
 
 impl Policy for HybridPolicy {
-    fn on_ready(&mut self, t: TaskId, _completer: Option<usize>) {
+    fn on_ready(&mut self, t: TaskId, completer: Option<usize>) {
         self.queued += 1;
         if self.is_static[t.idx()] {
             let owner = self.owners.owner(t);
             self.local[owner].push(Reverse((self.static_keys[t.idx()], t.0)));
         } else {
-            self.global.push(Reverse((self.dynamic_keys[t.idx()], t.0)));
+            let entry = Reverse((self.dynamic_keys[t.idx()], t.0));
+            match &mut self.dynamic {
+                DynSection::Global(q) => q.push(entry),
+                DynSection::Sharded { shards, rr, .. } => {
+                    // push to the enabling core's shard (locality);
+                    // scatter initially ready tasks round-robin
+                    let home = completer.unwrap_or_else(|| {
+                        let c = *rr;
+                        *rr = (*rr + 1) % shards.len();
+                        c
+                    });
+                    shards[home].push(entry);
+                }
+            }
         }
     }
 
@@ -96,10 +202,7 @@ impl Policy for HybridPolicy {
                 source: QueueSource::Local,
             });
         }
-        self.pop_global().map(|task| Popped {
-            task,
-            source: QueueSource::Global,
-        })
+        self.pop_dynamic(core)
     }
 
     fn pop_batch(&mut self, core: usize, max: usize) -> Vec<Popped> {
@@ -107,60 +210,51 @@ impl Policy for HybridPolicy {
             return vec![];
         };
         let mut batch = vec![first];
-        match first.source {
-            // local queue: group the thread's own updates of one column
-            // step, like the paper's grouped BLAS-3 calls on owned blocks
-            QueueSource::Local => {
-                if let TaskKind::Update { k, j, .. } = self.kinds[first.task.idx()] {
-                    while batch.len() < max {
-                        let same_step = self.local[core]
-                            .peek()
-                            .map(|Reverse((_, t))| {
-                                matches!(self.kinds[*t as usize],
-                                    TaskKind::Update { k: hk, j: hj, .. } if hk == k && hj == j)
-                            })
-                            .unwrap_or(false);
-                        if !same_step {
-                            break;
-                        }
-                        let t = self.pop_local(core).expect("peeked");
-                        batch.push(Popped {
-                            task: t,
-                            source: QueueSource::Local,
-                        });
-                    }
-                }
+        // a thief takes exactly one task — the rest of the victim's
+        // shard keeps its locality
+        if first.source == QueueSource::Stolen {
+            return batch;
+        }
+        // group the head run of updates of one (k, j) column step, like
+        // the paper's grouped BLAS-3 calls — always from the same queue
+        // the first task came from
+        let TaskKind::Update { k, j, .. } = self.kinds[first.task.idx()] else {
+            return batch;
+        };
+        while batch.len() < max {
+            let heap = match first.source {
+                QueueSource::Local => &mut self.local[core],
+                _ => match &mut self.dynamic {
+                    DynSection::Global(q) => q,
+                    DynSection::Sharded { shards, .. } => &mut shards[core],
+                },
+            };
+            let kinds = &self.kinds;
+            let same = heap
+                .peek()
+                .map(|Reverse((_, t))| {
+                    matches!(kinds[*t as usize],
+                        TaskKind::Update { k: hk, j: hj, .. } if hk == k && hj == j)
+                })
+                .unwrap_or(false);
+            if !same {
+                break;
             }
-            // global queue: group the head run of updates of one column
-            // step (k, j) — adjacent under the DFS order
-            _ => {
-                if let TaskKind::Update { k, j, .. } = self.kinds[first.task.idx()] {
-                    while batch.len() < max {
-                        let same = self
-                            .global
-                            .peek()
-                            .map(|Reverse((_, t))| {
-                                matches!(self.kinds[*t as usize],
-                                    TaskKind::Update { k: hk, j: hj, .. } if hk == k && hj == j)
-                            })
-                            .unwrap_or(false);
-                        if !same {
-                            break;
-                        }
-                        let t = self.pop_global().expect("peeked");
-                        batch.push(Popped {
-                            task: t,
-                            source: QueueSource::Global,
-                        });
-                    }
-                }
-            }
+            let Reverse((_, t)) = heap.pop().expect("peeked");
+            self.queued -= 1;
+            batch.push(Popped {
+                task: TaskId(t),
+                source: first.source,
+            });
         }
         batch
     }
 
     fn name(&self) -> &'static str {
-        "hybrid"
+        match self.dynamic {
+            DynSection::Global(_) => "hybrid",
+            DynSection::Sharded { .. } => "hybrid (sharded)",
+        }
     }
 
     fn queued(&self) -> usize {
@@ -315,5 +409,125 @@ mod tests {
         let batch = p.pop_batch(0, 4);
         assert_eq!(batch.len(), 1, "local batch must not absorb global tasks");
         assert_eq!(batch[0].source, QueueSource::Local);
+    }
+
+    // ----- sharded discipline -----------------------------------------
+
+    fn sharded(g: &TaskGraph, grid: ProcessGrid, dratio: f64) -> HybridPolicy {
+        HybridPolicy::with_discipline(g, grid, dratio, QueueDiscipline::Sharded { seed: 42 })
+    }
+
+    #[test]
+    fn sharded_pushes_to_the_enabling_core() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = sharded(&g, grid, 1.0); // everything dynamic
+        let t = g.initial_ready()[0];
+        p.on_ready(t, Some(2));
+        // core 2 gets it from its own shard, tagged as a dynamic pop
+        let popped = p.pop(2).unwrap();
+        assert_eq!(popped.task, t);
+        assert_eq!(popped.source, QueueSource::Shard, "own shard, no steal");
+    }
+
+    #[test]
+    fn empty_shards_steal_and_tag() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = sharded(&g, grid, 1.0);
+        let t = g.initial_ready()[0];
+        p.on_ready(t, Some(0));
+        let stolen = p.pop(3).unwrap();
+        assert_eq!(stolen.task, t);
+        assert_eq!(stolen.source, QueueSource::Stolen);
+        assert_eq!(p.queued(), 0);
+    }
+
+    #[test]
+    fn steals_take_the_victims_most_critical_task() {
+        // unlike Cilk FIFO deques, the shard is a priority heap: a thief
+        // gets the victim's *best* (DFS-first) task
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = sharded(&g, grid, 1.0);
+        let late = g
+            .ids()
+            .find(|&t| matches!(g.kind(t), TaskKind::Update { k: 0, i: 1, j: 7 }))
+            .unwrap();
+        let early = g
+            .ids()
+            .find(|&t| matches!(g.kind(t), TaskKind::Update { k: 0, i: 1, j: 1 }))
+            .unwrap();
+        p.on_ready(late, Some(0));
+        p.on_ready(early, Some(0));
+        let stolen = p.pop(1).unwrap();
+        assert_eq!(stolen.task, early, "steal follows the DFS column order");
+    }
+
+    #[test]
+    fn sharded_drains_completely_and_deterministically() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let run = |seed: u64| {
+            let mut p =
+                HybridPolicy::with_discipline(&g, grid, 0.3, QueueDiscipline::Sharded { seed });
+            let mut deps: Vec<u32> = g.ids().map(|t| g.dep_count(t)).collect();
+            for t in g.initial_ready() {
+                p.on_ready(t, None);
+            }
+            let mut order = Vec::new();
+            let mut done = 0;
+            while done < g.len() {
+                let mut progressed = false;
+                for core in 0..4 {
+                    if let Some(popped) = p.pop(core) {
+                        progressed = true;
+                        done += 1;
+                        order.push(popped.task);
+                        for &s in g.successors(popped.task) {
+                            deps[s.idx()] -= 1;
+                            if deps[s.idx()] == 0 {
+                                p.on_ready(s, Some(core));
+                            }
+                        }
+                    }
+                }
+                assert!(progressed, "sharded hybrid starved");
+            }
+            assert_eq!(p.queued(), 0);
+            order
+        };
+        assert_eq!(run(7), run(7), "fixed seed, fixed schedule");
+    }
+
+    #[test]
+    fn stolen_tasks_never_batch() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = sharded(&g, grid, 1.0);
+        let pick = |i: u32| {
+            g.ids()
+                .find(|&t| g.kind(t) == TaskKind::Update { k: 0, i, j: 5 })
+                .unwrap()
+        };
+        // two batchable updates on core 0's shard
+        p.on_ready(pick(1), Some(0));
+        p.on_ready(pick(2), Some(0));
+        let batch = p.pop_batch(3, 4);
+        assert_eq!(batch.len(), 1, "a thief takes exactly one task");
+        assert_eq!(batch[0].source, QueueSource::Stolen);
+        // the owner still batches its own shard
+        let own = p.pop_batch(0, 4);
+        assert_eq!(own.len(), 1);
+        assert_eq!(own[0].source, QueueSource::Shard);
+    }
+
+    #[test]
+    fn names_distinguish_disciplines() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        assert_eq!(HybridPolicy::new(&g, grid, 0.1).name(), "hybrid");
+        assert_eq!(sharded(&g, grid, 0.1).name(), "hybrid (sharded)");
+        assert!(sharded(&g, grid, 0.1).discipline().is_sharded());
     }
 }

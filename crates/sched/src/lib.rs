@@ -24,6 +24,7 @@
 //! priority orders ([`priority`]).
 
 pub mod config;
+pub mod discipline;
 pub mod owner;
 pub mod policy;
 pub mod priority;
@@ -34,6 +35,7 @@ mod static_policy;
 mod work_stealing;
 
 pub use config::{nstatic_for, SchedulerKind};
+pub use discipline::{steal_order, QueueDiscipline, DEFAULT_STEAL_SEED};
 pub use dynamic_policy::DynamicPolicy;
 pub use hybrid::HybridPolicy;
 pub use owner::OwnerMap;
@@ -44,13 +46,37 @@ pub use work_stealing::WorkStealingPolicy;
 use calu_dag::TaskGraph;
 use calu_matrix::ProcessGrid;
 
-/// Build the policy described by `kind` for graph `g` over `p` cores.
+/// Build the policy described by `kind` for graph `g` over `p` cores,
+/// with the default [`QueueDiscipline::Global`] dynamic section.
 pub fn make_policy(kind: SchedulerKind, g: &TaskGraph, grid: ProcessGrid) -> Box<dyn Policy> {
-    match kind {
-        SchedulerKind::Static => Box::new(StaticPolicy::new(g, grid)),
-        SchedulerKind::Dynamic => Box::new(DynamicPolicy::new(g, grid.size())),
-        SchedulerKind::Hybrid { dratio } => Box::new(HybridPolicy::new(g, grid, dratio)),
-        SchedulerKind::WorkStealing { seed } => {
+    make_policy_with(kind, QueueDiscipline::Global, g, grid)
+}
+
+/// Build the policy described by `kind` with an explicit dynamic-section
+/// [`QueueDiscipline`]. The discipline applies wherever a dynamic
+/// section exists: the hybrid policy's reservoir, or the whole queue
+/// under fully dynamic scheduling (`Dynamic` + `Sharded` is the hybrid
+/// machinery with `Nstatic = 0`). `Static` has no dynamic section and
+/// `WorkStealing` is already sharded by construction, so the discipline
+/// is a no-op there.
+pub fn make_policy_with(
+    kind: SchedulerKind,
+    queue: QueueDiscipline,
+    g: &TaskGraph,
+    grid: ProcessGrid,
+) -> Box<dyn Policy> {
+    match (kind, queue) {
+        (SchedulerKind::Static, _) => Box::new(StaticPolicy::new(g, grid)),
+        (SchedulerKind::Dynamic, QueueDiscipline::Global) => {
+            Box::new(DynamicPolicy::new(g, grid.size()))
+        }
+        (SchedulerKind::Dynamic, q @ QueueDiscipline::Sharded { .. }) => {
+            Box::new(HybridPolicy::with_nstatic_discipline(g, grid, 0, q))
+        }
+        (SchedulerKind::Hybrid { dratio }, q) => {
+            Box::new(HybridPolicy::with_discipline(g, grid, dratio, q))
+        }
+        (SchedulerKind::WorkStealing { seed }, _) => {
             Box::new(WorkStealingPolicy::new(g, grid.size(), seed))
         }
     }
@@ -108,14 +134,48 @@ mod tests {
             SchedulerKind::Hybrid { dratio: 0.3 },
             SchedulerKind::WorkStealing { seed: 7 },
         ] {
-            let mut p = make_policy(kind, &g, grid);
-            let order = drain(&g, p.as_mut(), grid.size());
-            assert_eq!(order.len(), g.len(), "{kind:?}");
-            let mut seen = vec![false; g.len()];
-            for t in &order {
-                assert!(!seen[t.idx()], "{kind:?} ran {t:?} twice");
-                seen[t.idx()] = true;
+            for queue in [QueueDiscipline::Global, QueueDiscipline::sharded()] {
+                let mut p = make_policy_with(kind, queue, &g, grid);
+                let order = drain(&g, p.as_mut(), grid.size());
+                assert_eq!(order.len(), g.len(), "{kind:?} / {queue}");
+                let mut seen = vec![false; g.len()];
+                for t in &order {
+                    assert!(!seen[t.idx()], "{kind:?} / {queue} ran {t:?} twice");
+                    seen[t.idx()] = true;
+                }
             }
         }
+    }
+
+    #[test]
+    fn discipline_selects_the_sharded_dynamic_section() {
+        let g = TaskGraph::build(500, 500, 100);
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let kind = SchedulerKind::Hybrid { dratio: 0.5 };
+        assert_eq!(make_policy(kind, &g, grid).name(), "hybrid");
+        assert_eq!(
+            make_policy_with(kind, QueueDiscipline::sharded(), &g, grid).name(),
+            "hybrid (sharded)"
+        );
+        // fully dynamic + sharded is the hybrid machinery with Nstatic = 0
+        assert_eq!(
+            make_policy_with(SchedulerKind::Dynamic, QueueDiscipline::sharded(), &g, grid).name(),
+            "hybrid (sharded)"
+        );
+        // no dynamic section / already-sharded policies are unaffected
+        assert_eq!(
+            make_policy_with(SchedulerKind::Static, QueueDiscipline::sharded(), &g, grid).name(),
+            "static"
+        );
+        assert_eq!(
+            make_policy_with(
+                SchedulerKind::WorkStealing { seed: 1 },
+                QueueDiscipline::sharded(),
+                &g,
+                grid
+            )
+            .name(),
+            "work-stealing"
+        );
     }
 }

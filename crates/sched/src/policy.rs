@@ -11,6 +11,11 @@ pub enum QueueSource {
     Local,
     /// The shared global queue: pays contention with every other core.
     Global,
+    /// The core's own dynamic shard (sharded discipline): a per-worker
+    /// lock touched only by this core and the occasional thief, so it
+    /// pays the dequeue cost without the global queue's all-core
+    /// contention — the point of sharding.
+    Shard,
     /// Stolen from another core's deque (work stealing only).
     Stolen,
 }

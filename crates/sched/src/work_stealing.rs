@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use calu_dag::{TaskGraph, TaskId};
 use calu_rand::Rng;
 
+use crate::discipline::steal_order;
 use crate::policy::{Policy, Popped, QueueSource};
 
 /// See module docs.
@@ -65,12 +66,7 @@ impl Policy for WorkStealingPolicy {
         if p == 1 {
             return None;
         }
-        let start = self.rng.gen_range(0..p);
-        for off in 0..p {
-            let victim = (start + off) % p;
-            if victim == core {
-                continue;
-            }
+        for victim in steal_order(&mut self.rng, core, p) {
             if let Some(task) = self.deques[victim].pop_front() {
                 self.queued -= 1;
                 return Some(Popped {

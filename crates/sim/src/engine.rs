@@ -6,7 +6,7 @@ use std::collections::BinaryHeap;
 
 use calu_dag::{PaperKind, TaskGraph, TaskId};
 use calu_matrix::{Layout, ProcessGrid};
-use calu_sched::{make_policy, Policy, QueueSource, SchedulerKind};
+use calu_sched::{make_policy_with, Policy, QueueDiscipline, QueueSource, SchedulerKind};
 use calu_trace::{SpanKind, TaskSpan, Timeline};
 
 use crate::cache::{tile_key, TileCache};
@@ -36,6 +36,10 @@ pub struct SimConfig {
     pub layout: Layout,
     /// Scheduling policy.
     pub sched: SchedulerKind,
+    /// Dynamic-section queue discipline (one shared queue vs. per-core
+    /// shards with stealing); ignored by policies without a dynamic
+    /// section.
+    pub queue: QueueDiscipline,
     /// Thread grid for the block-cyclic distribution; its size must equal
     /// the machine's core count.
     pub grid: ProcessGrid,
@@ -60,11 +64,18 @@ impl SimConfig {
             machine,
             layout,
             sched,
+            queue: QueueDiscipline::Global,
             grid,
             group_max,
             column_granular: false,
             record_trace: false,
         }
+    }
+
+    /// Set the dynamic-section queue discipline.
+    pub fn with_queue(mut self, queue: QueueDiscipline) -> Self {
+        self.queue = queue;
+        self
     }
 
     /// Enable timeline recording.
@@ -134,7 +145,7 @@ impl<'a> Engine<'a> {
         } else {
             cfg.machine.cache_tiles
         };
-        let policy = make_policy(cfg.sched, g, cfg.grid);
+        let policy = make_policy_with(cfg.sched, cfg.queue, g, cfg.grid);
         Self {
             g,
             cfg,
@@ -190,12 +201,17 @@ impl<'a> Engine<'a> {
         let dq = match batch[0].source {
             QueueSource::Local => m.dequeue_local,
             QueueSource::Global => m.dequeue_global + m.dequeue_contention * (p - 1.0),
+            // own shard: the dequeue itself, but the lock is per-worker
+            // (touched only by this core and the occasional thief), so
+            // no all-core contention term — the point of sharding
+            QueueSource::Shard => m.dequeue_global,
             QueueSource::Stolen => m.dequeue_global + m.steal_cost * (p / 2.0),
         };
         for popped in &batch {
             match popped.source {
                 QueueSource::Local => self.stats[core].local_pops += 1,
-                QueueSource::Global => self.stats[core].global_pops += 1,
+                // shard pops are dynamic-section pops, same as global
+                QueueSource::Global | QueueSource::Shard => self.stats[core].global_pops += 1,
                 QueueSource::Stolen => self.stats[core].stolen_pops += 1,
             }
         }
@@ -430,6 +446,21 @@ mod tests {
         let b = run(&g, &cfg);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.cores, b.cores);
+    }
+
+    #[test]
+    fn sharded_discipline_executes_all_tasks_and_steals() {
+        let g = TaskGraph::build(1500, 1500, 100);
+        let cfg = intel(SchedulerKind::Hybrid { dratio: 0.5 })
+            .with_queue(QueueDiscipline::Sharded { seed: 3 });
+        let r = run(&g, &cfg);
+        let total: u64 = r.cores.iter().map(|c| c.tasks).sum();
+        assert_eq!(total as usize, g.len());
+        let stolen: u64 = r.cores.iter().map(|c| c.stolen_pops).sum();
+        assert!(stolen > 0, "a 16-core sharded run must steal at least once");
+        // same DAG under the Global discipline never steals
+        let rg = run(&g, &intel(SchedulerKind::Hybrid { dratio: 0.5 }));
+        assert_eq!(rg.cores.iter().map(|c| c.stolen_pops).sum::<u64>(), 0);
     }
 
     #[test]

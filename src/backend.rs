@@ -54,8 +54,10 @@ impl Backend for ThreadedBackend {
             return Err(Error::Unsupported {
                 backend: self.name().into(),
                 what: "the real executor implements the paper's static/dynamic \
-                       queues, not work stealing; use SimulatedBackend or a \
-                       Static/Dynamic/Hybrid scheduler"
+                       queues, not the Cilk-deque baseline; use SimulatedBackend, \
+                       or a Dynamic/Hybrid scheduler with \
+                       .queue_discipline(QueueDiscipline::sharded()) for real \
+                       randomized stealing in DFS priority order"
                     .into(),
             });
         }
@@ -80,6 +82,7 @@ impl Backend for ThreadedBackend {
             backend: self.name().into(),
             algorithm: plan.algorithm,
             scheduler: plan.scheduler,
+            queue_discipline: plan.queue(),
             layout: plan.layout(),
             dims: (m, n),
             b: plan.b(),
@@ -124,6 +127,8 @@ impl Backend for ThreadedBackend {
                             tasks: count[c],
                             local_pops: stats[c].local_pops,
                             global_pops: stats[c].global_pops,
+                            stolen_pops: stats[c].steal_pops,
+                            failed_steals: stats[c].failed_steals,
                             ..Default::default()
                         })
                         .collect(),
@@ -242,6 +247,7 @@ impl Backend for SimulatedBackend {
             machine: self.machine.clone(),
             layout: plan.layout(),
             sched: plan.scheduler,
+            queue: plan.queue(),
             grid: plan.grid,
             group_max: plan.group(),
             column_granular: self.column_granular,
@@ -271,6 +277,7 @@ fn sim_report(backend: &str, plan: &Plan<'_>, dims: (usize, usize), r: SimResult
                 local_pops: c.local_pops,
                 global_pops: c.global_pops,
                 stolen_pops: c.stolen_pops,
+                failed_steals: 0,
                 remote_bytes: c.remote_bytes,
                 local_bytes: c.local_bytes,
                 cache_hits: c.cache_hits,
@@ -282,6 +289,7 @@ fn sim_report(backend: &str, plan: &Plan<'_>, dims: (usize, usize), r: SimResult
         backend: backend.into(),
         algorithm: plan.algorithm,
         scheduler: plan.scheduler,
+        queue_discipline: plan.queue(),
         layout: plan.layout(),
         dims,
         b: plan.b(),

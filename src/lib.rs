@@ -84,8 +84,9 @@ pub mod report;
 pub mod solver;
 
 pub use backend::{Backend, SimulatedBackend, ThreadedBackend};
+pub use calu_sched::QueueDiscipline;
 pub use error::Error;
-pub use report::{QueueBreakdown, Report, ScheduleMetrics, ThreadMetrics};
+pub use report::{ContentionStats, QueueBreakdown, Report, ScheduleMetrics, ThreadMetrics};
 pub use solver::{Algorithm, MatrixSource, Plan, Solver};
 
 pub use calu_core as core;

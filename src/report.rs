@@ -7,10 +7,31 @@
 //! idle time, queue-source breakdown), so a benchmark loop can compare
 //! "same workload, N backends × M schedulers × K layouts" field by
 //! field.
+//!
+//! ## Schedule metrics at a glance
+//!
+//! Per-thread ([`ThreadMetrics`]) and aggregate accessors on
+//! [`ScheduleMetrics`]:
+//!
+//! | Metric | Per thread | Aggregate | Filled by |
+//! |---|---|---|---|
+//! | kernel work seconds | `work` | `utilization()` | both backends |
+//! | idle seconds | `idle` | `total_idle()`, `per_thread_idle()` | both |
+//! | scheduler overhead / memory / noise seconds | `overhead`, `memory`, `noise` | `utilization()`, `total_noise()` | simulated only |
+//! | tasks executed | `tasks` | `total_tasks()` | both |
+//! | static-queue pops | `local_pops` | `queue_sources().local` | both |
+//! | dynamic pops (shared queue or own shard) | `global_pops` | `queue_sources().global` | both |
+//! | **steals** (tasks taken from another worker's shard) | `stolen_pops` | `queue_sources().stolen`, `contention().steals` | both, sharded/work-stealing only |
+//! | **failed steal probes** (victim shard was empty) | `failed_steals` | `contention().failed_steals`, `contention().failure_rate()` | threaded backend, sharded only |
+//! | NUMA / cache traffic | `remote_bytes`, `local_bytes`, `cache_*` | `Report::remote_bytes()`, `Report::cache_hit_rate()` | simulated only |
+//!
+//! Steal counters are identically zero under
+//! [`QueueDiscipline::Global`](calu_sched::QueueDiscipline) — the
+//! backend-parity tests rely on that.
 
 use calu_core::Factorization;
 use calu_matrix::Layout;
-use calu_sched::SchedulerKind;
+use calu_sched::{QueueDiscipline, SchedulerKind};
 use calu_trace::Timeline;
 
 use crate::solver::Algorithm;
@@ -33,10 +54,19 @@ pub struct ThreadMetrics {
     pub tasks: u64,
     /// Tasks popped from the thread's own static queue.
     pub local_pops: u64,
-    /// Tasks popped from the shared dynamic queue.
+    /// Tasks popped from the dynamic section without stealing: the
+    /// shared queue under [`QueueDiscipline::Global`], the worker's own
+    /// shard under [`QueueDiscipline::Sharded`]
+    /// (both of [`calu_sched::QueueDiscipline`]).
     pub global_pops: u64,
-    /// Tasks stolen from another thread (work-stealing policy only).
+    /// Tasks stolen from another thread (sharded queue discipline or
+    /// the work-stealing policy).
     pub stolen_pops: u64,
+    /// Steal probes that found the victim's shard empty (threaded
+    /// backend under the sharded discipline) — the queue-contention
+    /// signal: a high [`ContentionStats::failure_rate`] means workers
+    /// sweep drained shards instead of computing.
+    pub failed_steals: u64,
     /// Bytes pulled from a remote NUMA socket (simulated only).
     pub remote_bytes: f64,
     /// Bytes refilled locally (simulated only).
@@ -67,6 +97,31 @@ impl QueueBreakdown {
             0.0
         } else {
             (self.global + self.stolen) as f64 / total as f64
+        }
+    }
+}
+
+/// Steal-path contention accounting, summed over threads (sharded queue
+/// discipline only; all zero under the global discipline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContentionStats {
+    /// Successful steals: tasks taken from another worker's shard.
+    pub steals: u64,
+    /// Probes of a victim shard that came up empty.
+    pub failed_steals: u64,
+}
+
+impl ContentionStats {
+    /// Fraction of steal probes that failed (0 when no probes happened).
+    /// This is the executor's contention thermometer: near 0 means
+    /// steals usually succeed on the first probe, near 1 means workers
+    /// burn their idle time sweeping drained shards.
+    pub fn failure_rate(&self) -> f64 {
+        let probes = self.steals + self.failed_steals;
+        if probes == 0 {
+            0.0
+        } else {
+            self.failed_steals as f64 / probes as f64
         }
     }
 }
@@ -129,6 +184,16 @@ impl ScheduleMetrics {
     pub fn total_tasks(&self) -> u64 {
         self.threads.iter().map(|t| t.tasks).sum()
     }
+
+    /// Steal-path contention summed over threads (sharded discipline).
+    pub fn contention(&self) -> ContentionStats {
+        let mut c = ContentionStats::default();
+        for t in &self.threads {
+            c.steals += t.stolen_pops;
+            c.failed_steals += t.failed_steals;
+        }
+        c
+    }
 }
 
 /// The structured report returned by [`crate::Solver::run`].
@@ -140,6 +205,8 @@ pub struct Report {
     pub algorithm: Algorithm,
     /// Scheduling strategy.
     pub scheduler: SchedulerKind,
+    /// Dynamic-section queue discipline the run used.
+    pub queue_discipline: QueueDiscipline,
     /// Data layout.
     pub layout: Layout,
     /// Problem dimensions `(m, n)`.
@@ -241,6 +308,7 @@ mod tests {
                     local_pops: 2,
                     global_pops: 1,
                     stolen_pops: 1,
+                    failed_steals: 3,
                     ..Default::default()
                 },
             ],
@@ -257,6 +325,9 @@ mod tests {
         let q = m.queue_sources();
         assert_eq!((q.local, q.global, q.stolen), (7, 2, 1));
         assert!((q.dynamic_fraction() - 0.3).abs() < 1e-12);
+        let c = m.contention();
+        assert_eq!((c.steals, c.failed_steals), (1, 3));
+        assert!((c.failure_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
@@ -274,5 +345,6 @@ mod tests {
     fn empty_breakdown_is_zero() {
         assert_eq!(QueueBreakdown::default().dynamic_fraction(), 0.0);
         assert_eq!(ScheduleMetrics::default().utilization(), 0.0);
+        assert_eq!(ContentionStats::default().failure_rate(), 0.0);
     }
 }

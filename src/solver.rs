@@ -14,7 +14,7 @@ use std::borrow::Cow;
 use calu_core::CaluConfig;
 use calu_dag::TaskGraph;
 use calu_matrix::{DenseMatrix, Layout, ProcessGrid};
-use calu_sched::SchedulerKind;
+use calu_sched::{QueueDiscipline, SchedulerKind};
 
 use crate::backend::{Backend, ThreadedBackend};
 use crate::error::Error;
@@ -171,6 +171,11 @@ impl Plan<'_> {
         self.cfg.group
     }
 
+    /// Dynamic-section queue discipline.
+    pub fn queue(&self) -> QueueDiscipline {
+        self.cfg.queue
+    }
+
     /// TSLU leaves per panel (defaults to the grid's row count).
     pub fn leaf_stride(&self) -> usize {
         self.cfg.leaf_stride.unwrap_or_else(|| self.grid.pr())
@@ -205,6 +210,7 @@ pub struct Solver {
     threads: Option<usize>,
     layout: Layout,
     scheduler: SchedulerKind,
+    queue: QueueDiscipline,
     group: Option<usize>,
     leaf_stride: Option<usize>,
     algorithm: Algorithm,
@@ -224,6 +230,7 @@ impl Solver {
             threads: None,
             layout: Layout::BlockCyclic,
             scheduler: SchedulerKind::Hybrid { dratio: 0.1 },
+            queue: QueueDiscipline::Global,
             group: None,
             leaf_stride: None,
             algorithm: Algorithm::Calu,
@@ -263,9 +270,21 @@ impl Solver {
         self.scheduler(SchedulerKind::Hybrid { dratio })
     }
 
+    /// Set the dynamic-section queue discipline (default
+    /// [`QueueDiscipline::Global`], the paper's single shared queue).
+    /// [`QueueDiscipline::Sharded`] gives each worker its own priority
+    /// shard plus randomized stealing — same task order, no single
+    /// dequeue lock — on both the threaded and simulated backends.
+    /// Requires a scheduler with a dynamic section (rejected with
+    /// `Static`, where there is nothing to shard).
+    pub fn queue_discipline(mut self, queue: QueueDiscipline) -> Self {
+        self.queue = queue;
+        self
+    }
+
     /// Explicitly set the BLAS-3 grouping width `k`. Conflicts with
     /// layouts that cannot group (checked at [`Solver::run`]), and with
-    /// [`ThreadedBackend`](crate::ThreadedBackend), which does not
+    /// [`ThreadedBackend`], which does not
     /// implement grouped updates (explicit `k > 1` is rejected there;
     /// grouping is a simulator knob).
     pub fn grouping(mut self, k: usize) -> Self {
@@ -334,7 +353,8 @@ impl Solver {
         let mut cfg = CaluConfig::new(self.b)
             .with_threads(threads)
             .with_dratio(dratio)
-            .with_layout(self.layout);
+            .with_layout(self.layout)
+            .with_queue(self.queue);
         cfg.leaf_stride = self.leaf_stride;
         if let Some(g) = self.group {
             cfg.group = g;
@@ -382,6 +402,7 @@ impl std::fmt::Debug for Solver {
             .field("threads", &self.threads)
             .field("layout", &self.layout)
             .field("scheduler", &self.scheduler)
+            .field("queue", &self.queue)
             .field("algorithm", &self.algorithm)
             .field("backend", &self.backend.name())
             .finish()
@@ -435,5 +456,29 @@ mod tests {
         let s = Solver::new(MatrixSource::shape(200, 200)).layout(Layout::TwoLevelBlock);
         let p = s.plan().unwrap();
         assert_eq!(p.group(), 1);
+    }
+
+    #[test]
+    fn queue_discipline_defaults_to_global_and_plumbs_through() {
+        let s = Solver::new(MatrixSource::shape(200, 200));
+        assert_eq!(s.plan().unwrap().queue(), QueueDiscipline::Global);
+        let sharded =
+            Solver::new(MatrixSource::shape(200, 200)).queue_discipline(QueueDiscipline::sharded());
+        let p = sharded.plan().unwrap();
+        assert!(p.queue().is_sharded());
+        assert!(p.calu_config().queue.is_sharded(), "executor sees the knob");
+    }
+
+    #[test]
+    fn sharded_discipline_rejects_static_scheduler() {
+        let err = Solver::new(MatrixSource::shape(200, 200))
+            .scheduler(SchedulerKind::Static)
+            .queue_discipline(QueueDiscipline::sharded())
+            .plan()
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::Error::Config(ref m) if m.contains("dynamic")),
+            "{err}"
+        );
     }
 }

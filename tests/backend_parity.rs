@@ -7,12 +7,19 @@
 //! * `SimulatedBackend` must execute every DAG task exactly once under
 //!   every scheduler kind — same totals the threaded executor reports.
 
+// Deprecated 0.1 shims must not creep back into tests/examples;
+// the intentional shim coverage lives in tests/deprecated_shims.rs.
+#![deny(deprecated)]
+
 use calu::core::calu_simple;
 use calu::dag::TaskGraph;
 use calu::matrix::{gen, ops, Layout, ProcessGrid};
 use calu::sched::SchedulerKind;
 use calu::sim::{MachineConfig, NoiseConfig};
-use calu::{Backend, MatrixSource, SimulatedBackend, Solver, ThreadedBackend};
+use calu::{
+    Backend, ContentionStats, MatrixSource, QueueDiscipline, SimulatedBackend, Solver,
+    ThreadedBackend,
+};
 
 #[test]
 fn threaded_matches_the_simple_oracle() {
@@ -75,6 +82,67 @@ fn simulated_executes_every_task_exactly_once_per_scheduler() {
             (q.local + q.global + q.stolen) as usize,
             expected,
             "{sched}: every task is attributed to exactly one queue source"
+        );
+    }
+}
+
+#[test]
+fn global_and_sharded_disciplines_factor_bitwise_identically() {
+    // The queue discipline reorders *when* dynamic tasks run, never
+    // *what* they compute: every kernel's inputs are fixed by the DAG,
+    // so Global and Sharded must agree to the last bit — packed LU,
+    // pivot sequence, and residual alike.
+    for (n, b, threads, dratio) in [
+        (64usize, 8usize, 4usize, 0.5f64),
+        (72, 12, 3, 1.0),
+        (60, 10, 2, 0.25),
+    ] {
+        let a = gen::uniform(n, n, 21 + n as u64);
+        let run = |queue: QueueDiscipline| {
+            Solver::new(a.clone())
+                .tile(b)
+                .threads(threads)
+                .dratio(dratio)
+                .queue_discipline(queue)
+                .backend(ThreadedBackend)
+                .run()
+                .unwrap()
+        };
+        let g = run(QueueDiscipline::Global);
+        let s = run(QueueDiscipline::sharded());
+        let ctx = format!("n={n} b={b} threads={threads} dratio={dratio}");
+
+        let (fg, fs) = (
+            g.factorization.as_ref().unwrap(),
+            s.factorization.as_ref().unwrap(),
+        );
+        assert_eq!(fg.lu.as_slice(), fs.lu.as_slice(), "packed LU bits, {ctx}");
+        assert_eq!(fg.perm.pivots(), fs.perm.pivots(), "pivot rows, {ctx}");
+        assert_eq!(
+            g.residual.unwrap().to_bits(),
+            s.residual.unwrap().to_bits(),
+            "residual bits, {ctx}"
+        );
+
+        // Steal accounting: the global discipline never touches the
+        // steal path, so its counters stay exactly zero …
+        assert_eq!(g.schedule.contention(), ContentionStats::default(), "{ctx}");
+        for (tid, t) in g.schedule.threads.iter().enumerate() {
+            assert_eq!(
+                (t.stolen_pops, t.failed_steals),
+                (0, 0),
+                "thread {tid} stole under Global, {ctx}"
+            );
+        }
+        let (qg, qs) = (g.schedule.queue_sources(), s.schedule.queue_sources());
+        assert_eq!(qg.stolen, 0, "{ctx}");
+        // … and under either discipline every task is attributed to
+        // exactly one dequeue source.
+        assert_eq!(qg.local + qg.global, g.tasks as u64, "{ctx}");
+        assert_eq!(
+            qs.local + qs.global + qs.stolen,
+            s.tasks as u64,
+            "sharded attribution, {ctx}"
         );
     }
 }

@@ -1,0 +1,37 @@
+//! The 0.1 entry points (`calu::calu_factor`, top-level `CaluConfig` /
+//! `SimConfig` aliases) are `#[deprecated]` shims kept for exactly one
+//! release. This file is the *only* place outside the facade allowed to
+//! call them: it proves they still compile and still compute, while
+//! every other test/example carries `#![deny(deprecated)]` so new code
+//! cannot creep back onto them.
+//!
+//! REMOVAL TRACKING: delete this file together with the shims one
+//! release after 0.2 (see the deprecation notes in `src/lib.rs` and the
+//! ROADMAP "Open items" entry).
+
+#![allow(deprecated)]
+
+use calu::matrix::gen;
+use calu::sched::SchedulerKind;
+use calu::sim::MachineConfig;
+use calu::sim::NoiseConfig;
+
+#[test]
+fn calu_factor_shim_still_factors() {
+    let a = gen::uniform(48, 48, 5);
+    let cfg = calu::CaluConfig::new(8).with_threads(2);
+    let f = calu::calu_factor(&a, &cfg).expect("shim factors");
+    assert!(f.residual(&a) < 1e-12);
+}
+
+#[test]
+fn sim_config_alias_still_names_the_real_type() {
+    let cfg: calu::SimConfig = calu::sim::SimConfig::new(
+        MachineConfig::intel_xeon_16(NoiseConfig::off()),
+        calu::matrix::Layout::BlockCyclic,
+        SchedulerKind::Hybrid { dratio: 0.1 },
+    );
+    let g = calu::dag::TaskGraph::build(400, 400, 100);
+    let r = calu::sim::run(&g, &cfg);
+    assert!(r.makespan > 0.0);
+}
