@@ -19,14 +19,21 @@
 //! `threaded_*_secs` makespans without touching the calibration — so
 //! those metrics gate at the looser `--threaded-tolerance` while the
 //! deterministic single-threaded `drain_*_secs` gate at `--tolerance`.
+//! `gemm_256_secs` is the packed-kernel Gflop/s floor: normalized by the
+//! naive-matmul calibration it gates the BLIS-style kernel's speedup
+//! over naive code, so a kernel regression fails CI like a scheduler
+//! regression would.
 
 use std::process::ExitCode;
 
 use calu::dag::TaskGraph;
-use calu::matrix::{gen, ops, ProcessGrid};
+use calu::kernels::{dgemm_packed, GemmScratch};
+use calu::matrix::{gen, ProcessGrid};
 use calu::sched::{make_policy_with, QueueDiscipline, SchedulerKind};
 use calu::{Report, Solver};
-use calu_bench::perf::{compare_with, parse_flat_json, write_flat_json, CALIBRATION_KEY};
+use calu_bench::perf::{
+    calibration_secs, compare_with, min_of, parse_flat_json, write_flat_json, CALIBRATION_KEY,
+};
 
 /// Fixed smoke problem: small enough for a CI runner, large enough that
 /// the dynamic section actually exercises both queue disciplines.
@@ -37,19 +44,38 @@ const DRATIO: f64 = 0.8;
 const SEED: u64 = 1234;
 const ITERS: usize = 7;
 
-fn min_of<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
-    (0..iters).map(|_| f()).fold(f64::INFINITY, f64::min)
-}
-
-/// Fixed single-threaded kernel workload that calibrates the host's raw
-/// speed: repeated dense 128×128 matmuls, minimum over several draws.
-fn calibration() -> f64 {
-    let a = gen::uniform(128, 128, 1);
-    let b = gen::uniform(128, 128, 2);
+/// The packed-kernel GEMM floor: repeated 256³ `dgemm` calls, minimum
+/// over several draws. Gated (like every `*_secs` metric) after
+/// normalization by `calibration_secs` — a *naive* matmul — so the
+/// ratio is exactly the packed kernel's speedup over naive code on the
+/// same host, and a kernel regression (lost vectorization, broken
+/// blocking) fails CI the way scheduler regressions already do, with
+/// host speed cancelled.
+fn gemm_secs() -> f64 {
+    const N: usize = 256;
+    let a = gen::uniform(N, N, 3);
+    let b = gen::uniform(N, N, 4);
+    let mut c = gen::uniform(N, N, 5);
+    let (lda, ldb, ldc) = (a.ld(), b.ld(), c.ld());
+    let mut scratch = GemmScratch::sized_for(N, N, N);
     min_of(5, || {
         let t0 = std::time::Instant::now();
         for _ in 0..4 {
-            std::hint::black_box(ops::matmul(&a, &b));
+            dgemm_packed(
+                N,
+                N,
+                N,
+                -1.0,
+                a.as_slice(),
+                lda,
+                b.as_slice(),
+                ldb,
+                1.0,
+                c.as_mut_slice(),
+                ldc,
+                &mut scratch,
+            );
+            std::hint::black_box(&c);
         }
         t0.elapsed().as_secs_f64()
     })
@@ -165,7 +191,7 @@ fn main() -> ExitCode {
     }
 
     println!("perf-smoke: n={N} b={B} threads={THREADS} dratio={DRATIO}, {ITERS} iters");
-    let cal = calibration();
+    let cal = calibration_secs();
     let (global_secs, _) = threaded(QueueDiscipline::Global);
     let (sharded_secs, sharded_report) = threaded(QueueDiscipline::Sharded { seed: SEED });
     let contention = sharded_report.schedule.contention();
@@ -174,6 +200,7 @@ fn main() -> ExitCode {
 
     let metrics: Vec<(String, f64)> = [
         (CALIBRATION_KEY, cal),
+        ("gemm_256_secs", gemm_secs()),
         ("threaded_global_makespan_secs", global_secs),
         ("threaded_sharded_makespan_secs", sharded_secs),
         ("threaded_sharded_steals", contention.steals as f64),

@@ -32,6 +32,30 @@ use std::fmt::Write as _;
 /// The calibration metric every perf-smoke file must carry.
 pub const CALIBRATION_KEY: &str = "calibration_secs";
 
+/// Minimum of `iters` timed draws of `f` — the estimator every metric
+/// bin uses (the minimum filters scheduler noise on shared runners).
+pub fn min_of<F: FnMut() -> f64>(iters: usize, mut f: F) -> f64 {
+    (0..iters).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+/// The fixed single-threaded workload behind [`CALIBRATION_KEY`]:
+/// repeated *naive* 128×128 matmuls, minimum over several draws. One
+/// definition shared by every metric bin (`perf_smoke`, `kernels`), so
+/// their `_secs` values are normalized by the same workload and stay
+/// comparable across files and hosts.
+pub fn calibration_secs() -> f64 {
+    use calu::matrix::{gen, ops};
+    let a = gen::uniform(128, 128, 1);
+    let b = gen::uniform(128, 128, 2);
+    min_of(5, || {
+        let t0 = std::time::Instant::now();
+        for _ in 0..4 {
+            std::hint::black_box(ops::matmul(&a, &b));
+        }
+        t0.elapsed().as_secs_f64()
+    })
+}
+
 /// Suffix marking a metric as a gated timing (normalized comparison).
 pub const TIMING_SUFFIX: &str = "_secs";
 

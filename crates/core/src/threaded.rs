@@ -22,6 +22,11 @@
 //! sharded hybrid runs. Dependence tracking is a single atomic counter
 //! per task; tile data flows through [`SharedTiles`] under the DAG's
 //! exclusive-writer discipline.
+//!
+//! Each worker owns a [`GemmScratch`] packing arena sized from the
+//! configured tile dimension and reused across tasks, so the packed
+//! BLAS-3 kernels (trailing updates and triangular solves) run without
+//! per-task heap allocation.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -30,7 +35,7 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 use calu_dag::{PaperKind, TaskGraph, TaskId, TaskKind};
-use calu_kernels::{gemm, lu_nopiv_unblocked, trsm};
+use calu_kernels::{gemm, lu_nopiv_unblocked, trsm, GemmScratch};
 use calu_matrix::{
     BclMatrix, CmTiles, DenseMatrix, Layout, ProcessGrid, RowPerm, TileStorage, TlbMatrix,
 };
@@ -292,17 +297,17 @@ impl<S: TileStorage + Send> Shared<'_, S> {
             .expect("panel finish runs once");
     }
 
-    fn run_compute_l(&self, k: usize, i: usize) {
+    fn run_compute_l(&self, k: usize, i: usize, scratch: &mut GemmScratch) {
         // SAFETY: reads diag tile (written by finish, ordered), writes
         // tile (i, k) exclusively.
         unsafe {
             let d = self.tiles.tile_ptr(k, k);
             let t = self.tiles.tile_ptr(i, k);
-            trsm::dtrsm_right_upper_raw(t.rows, t.cols, d.ptr, d.ld, t.ptr, t.ld);
+            trsm::dtrsm_right_upper_raw_packed(t.rows, t.cols, d.ptr, d.ld, t.ptr, t.ld, scratch);
         }
     }
 
-    fn run_compute_u(&self, k: usize, j: usize) {
+    fn run_compute_u(&self, k: usize, j: usize, scratch: &mut GemmScratch) {
         let perm = self.panels[k].perm.get().expect("finish ordered before U");
         // SAFETY: exclusive access to column j's tiles rows k.. per DAG.
         unsafe {
@@ -311,31 +316,38 @@ impl<S: TileStorage + Send> Shared<'_, S> {
             }
             let d = self.tiles.tile_ptr(k, k);
             let t = self.tiles.tile_ptr(k, j);
-            trsm::dtrsm_left_lower_unit_raw(t.rows, t.cols, d.ptr, d.ld, t.ptr, t.ld);
+            trsm::dtrsm_left_lower_unit_raw_packed(
+                t.rows, t.cols, d.ptr, d.ld, t.ptr, t.ld, scratch,
+            );
         }
     }
 
-    fn run_update(&self, k: usize, i: usize, j: usize) {
+    fn run_update(&self, k: usize, i: usize, j: usize, scratch: &mut GemmScratch) {
         // SAFETY: reads L(i,k), U(k,j) (ordered by deps), writes (i,j)
         // exclusively.
         unsafe {
             let l = self.tiles.tile_ptr(i, k);
             let u = self.tiles.tile_ptr(k, j);
             let c = self.tiles.tile_ptr(i, j);
-            gemm::dgemm_raw(
-                c.rows, c.cols, l.cols, -1.0, l.ptr, l.ld, u.ptr, u.ld, 1.0, c.ptr, c.ld,
+            gemm::dgemm_raw_packed(
+                c.rows, c.cols, l.cols, -1.0, l.ptr, l.ld, u.ptr, u.ld, 1.0, c.ptr, c.ld, scratch,
             );
         }
     }
 
-    fn execute(&self, t: TaskId) {
+    /// Run one task's kernel. `scratch` is the calling worker's packing
+    /// arena — pre-sized for tile-dimension GEMMs, so the BLAS-3 tasks
+    /// (L, U, S) never touch the allocator.
+    fn execute(&self, t: TaskId, scratch: &mut GemmScratch) {
         match self.g.kind(t) {
             TaskKind::PanelLeaf { k, i } => self.run_leaf(k as usize, i as usize),
             TaskKind::PanelCombine { k, level, idx } => self.run_combine(k as usize, level, idx),
             TaskKind::PanelFinish { k } => self.run_finish(k as usize),
-            TaskKind::ComputeL { k, i } => self.run_compute_l(k as usize, i as usize),
-            TaskKind::ComputeU { k, j } => self.run_compute_u(k as usize, j as usize),
-            TaskKind::Update { k, i, j } => self.run_update(k as usize, i as usize, j as usize),
+            TaskKind::ComputeL { k, i } => self.run_compute_l(k as usize, i as usize, scratch),
+            TaskKind::ComputeU { k, j } => self.run_compute_u(k as usize, j as usize, scratch),
+            TaskKind::Update { k, i, j } => {
+                self.run_update(k as usize, i as usize, j as usize, scratch)
+            }
         }
     }
 }
@@ -411,6 +423,10 @@ fn factor_tiled<S: TileStorage + Send>(
             handles.push(scope.spawn(move || {
                 let mut spans: Vec<TaskSpan> = Vec::new();
                 let mut stats = ThreadStats::default();
+                // per-worker packing arena, sized once from the config's
+                // tile dimension and reused by every kernel this worker
+                // runs — the task loop performs no GEMM-path allocation
+                let mut scratch = GemmScratch::sized_for(shared.b, shared.b, shared.b);
                 // per-worker victim-selection stream: SplitMix64 seeding
                 // decorrelates the nearby seeds, so workers sweep
                 // victims in unrelated orders
@@ -431,7 +447,7 @@ fn factor_tiled<S: TileStorage + Send>(
                                 _ => stats.global_pops += 1,
                             }
                             let start = t0.elapsed().as_secs_f64();
-                            shared.execute(t);
+                            shared.execute(t, &mut scratch);
                             let end = t0.elapsed().as_secs_f64();
                             let kind = match shared.g.kind(t).paper_kind() {
                                 PaperKind::P => SpanKind::Panel,

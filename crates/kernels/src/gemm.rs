@@ -1,25 +1,286 @@
 //! General matrix multiply `C ← α·A·B + β·C` on column-major sub-blocks.
 //!
 //! This is the kernel behind task **S** (trailing-matrix update), which
-//! dominates the flops of the factorization (§2). The implementation is a
-//! cache-blocked `j-k-i` loop: the innermost loop is a contiguous AXPY
-//! over a column of `A` and a column of `C`, which the compiler
-//! auto-vectorizes, and the `k` dimension is blocked so the active panel
-//! of `A` stays in cache.
+//! dominates the flops of the factorization (§2). The implementation is
+//! the GotoBLAS/BLIS three-level blocked algorithm: `A` and `B` are
+//! copied into contiguous packed panels once per cache block
+//! ([`crate::pack`]) and multiplied by an `MR × NR` register-tiled
+//! micro-kernel ([`crate::microkernel`]), with the caller's `β` folded
+//! into the first `KC` block of the `k` loop instead of a separate
+//! scaling pass over `C`.
+//!
+//! ## Blocking parameters
+//!
+//! | Constant | Value | Role |
+//! |----------|-------|------|
+//! | [`MR`]   | 8     | rows of the register tile: one packed-A panel feeds `MR` accumulator rows |
+//! | [`NR`]   | 4     | columns of the register tile: one packed-B panel feeds `NR` accumulator columns |
+//! | [`MC`]   | 128   | rows of the packed A block (`MC × KC` ≈ 256 KiB, sized for L2) |
+//! | [`KC`]   | 256   | depth of one pack-and-multiply pass (`KC × NR` B panel ≈ 8 KiB, hot in L1) |
+//! | [`NC`]   | 2048  | columns of the packed B block (`KC × NC` ≈ 4 MiB, sized for L3) |
+//!
+//! The simulator's kernel-efficiency table
+//! (`calu_sim::cost::kernel_eff`) is calibrated against these kernels;
+//! re-tune it if the constants change materially.
+//!
+//! The seed `j-k-i` AXPY kernel is kept as [`dgemm_jki`] — the parity
+//! oracle for tests and the speedup baseline for the `kernels` bench.
 
+use crate::microkernel::{micro_tile, store_tile};
+use crate::pack::{pack_a, pack_b, with_thread_scratch, GemmScratch};
 use crate::small::daxpy;
 
-/// Panel width of the k-blocking (columns of A kept hot in cache).
-const KC: usize = 128;
+/// Rows of the register tile (micro-kernel height).
+pub const MR: usize = 8;
+/// Columns of the register tile (micro-kernel width).
+pub const NR: usize = 4;
+/// Rows of one packed `A` cache block; a multiple of [`MR`].
+pub const MC: usize = 128;
+/// Depth of one packed block pair (the `k`-blocking).
+pub const KC: usize = 256;
+/// Columns of one packed `B` cache block; a multiple of [`NR`].
+pub const NC: usize = 2048;
+
+const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
+const _: () = assert!(NC.is_multiple_of(NR), "NC must be a multiple of NR");
 
 /// `C ← α·A·B + β·C` with `A: m×k`, `B: k×n`, `C: m×n`, all column-major
 /// with leading dimensions `lda/ldb/ldc` (slices start at each block's
-/// `(0,0)` element).
+/// `(0,0)` element). Packing buffers come from `scratch`, so a caller
+/// that reuses one arena across calls (the threaded executor's
+/// per-worker scratch) performs no heap allocation here.
 ///
 /// Panics if a leading dimension is smaller than the block height or if a
 /// slice is too short for the addressed span.
 #[allow(clippy::too_many_arguments)]
+pub fn dgemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+    scratch: &mut GemmScratch,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(
+        lda >= m && ldc >= m,
+        "leading dimension too small for block height"
+    );
+    assert!(k == 0 || ldb >= k, "ldb too small");
+    assert!(a.len() >= span(m, k, lda), "a slice too short");
+    assert!(b.len() >= span(k, n, ldb), "b slice too short");
+    assert!(c.len() >= span(m, n, ldc), "c slice too short");
+    // SAFETY: dimensions checked against the slice lengths above; the
+    // borrow rules guarantee c is exclusive and disjoint from a and b.
+    unsafe {
+        dgemm_core(
+            m,
+            n,
+            k,
+            alpha,
+            a.as_ptr(),
+            lda,
+            b.as_ptr(),
+            ldb,
+            beta,
+            c.as_mut_ptr(),
+            ldc,
+            scratch,
+        );
+    }
+}
+
+/// [`dgemm_packed`] with a per-thread scratch arena — the convenience
+/// entry point for callers without a hot loop (tests, examples, the
+/// sequential baselines). The arena is allocated once per thread and
+/// reused, so even this path does not hit the allocator steady-state.
+#[allow(clippy::too_many_arguments)]
 pub fn dgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    with_thread_scratch(|s| dgemm_packed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, s));
+}
+
+/// Raw-pointer variant of [`dgemm_packed`] for callers (the parallel
+/// executor, the in-place factorizations) whose blocks alias a single
+/// shared buffer. Never forms slices over the operands, so
+/// element-disjoint but span-overlapping blocks are fine.
+///
+/// # Safety
+///
+/// The three blocks must be valid for the spans they address
+/// (`(cols−1)·ld + rows` elements each), `c` must not overlap `a` or `b`
+/// element-wise, and the caller must guarantee exclusive access to `c`
+/// for the duration of the call.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn dgemm_raw_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    beta: f64,
+    c: *mut f64,
+    ldc: usize,
+    scratch: &mut GemmScratch,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(
+        lda >= m && ldc >= m,
+        "leading dimension too small for block height"
+    );
+    assert!(k == 0 || ldb >= k, "ldb too small");
+    dgemm_core(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, scratch);
+}
+
+/// Raw-pointer variant of [`dgemm`] (per-thread scratch arena).
+///
+/// # Safety
+///
+/// Same contract as [`dgemm_raw_packed`].
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn dgemm_raw(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    beta: f64,
+    c: *mut f64,
+    ldc: usize,
+) {
+    with_thread_scratch(|s| dgemm_raw_packed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, s));
+}
+
+/// The five-loop blocked driver. Dimensions are pre-validated.
+///
+/// # Safety
+///
+/// See [`dgemm_raw_packed`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn dgemm_core(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    beta: f64,
+    c: *mut f64,
+    ldc: usize,
+    scratch: &mut GemmScratch,
+) {
+    if k == 0 || alpha == 0.0 {
+        scale_c(beta, c, ldc, m, n);
+        return;
+    }
+    scratch.reserve(m, n, k);
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            // β is applied on each tile's first visit (pc == 0) and the
+            // later k blocks accumulate — the old standalone β pass
+            // folded into the first real traversal of C
+            let beta_eff = if pc == 0 { beta } else { 1.0 };
+            pack_b(kc, nc, b.add(jc * ldb + pc), ldb, &mut scratch.b_pack);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(mc, kc, a.add(pc * lda + ic), lda, &mut scratch.a_pack);
+                let mut jr = 0;
+                while jr < nc {
+                    let nr = NR.min(nc - jr);
+                    let bp = &scratch.b_pack[jr * kc..jr * kc + kc * NR];
+                    let mut ir = 0;
+                    while ir < mc {
+                        let mr = MR.min(mc - ir);
+                        let ap = &scratch.a_pack[ir * kc..ir * kc + kc * MR];
+                        let acc = micro_tile(kc, ap, bp);
+                        store_tile(
+                            &acc,
+                            alpha,
+                            beta_eff,
+                            c.add((jc + jr) * ldc + ic + ir),
+                            ldc,
+                            mr,
+                            nr,
+                        );
+                        ir += MR;
+                    }
+                    jr += NR;
+                }
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// `C ← β·C` for the degenerate `k = 0` / `α = 0` cases (β = 0
+/// overwrites without reading).
+///
+/// # Safety
+///
+/// `c` must be valid for the `m × n` span with leading dimension `ldc`.
+unsafe fn scale_c(beta: f64, c: *mut f64, ldc: usize, m: usize, n: usize) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..n {
+        let cj = c.add(j * ldc);
+        if beta == 0.0 {
+            for i in 0..m {
+                *cj.add(i) = 0.0;
+            }
+        } else {
+            for i in 0..m {
+                *cj.add(i) *= beta;
+            }
+        }
+    }
+}
+
+/// Panel width of the k-blocking in [`dgemm_jki`].
+const JKI_KC: usize = 128;
+
+/// The seed kernel: a cache-blocked `j-k-i` loop whose inner loop is a
+/// contiguous AXPY over a column of `A` and a column of `C`. Kept as the
+/// parity oracle for the packed kernel's tests and the speedup baseline
+/// reported by the `kernels` bench; not used by the factorizations.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_jki(
     m: usize,
     n: usize,
     k: usize,
@@ -44,7 +305,6 @@ pub fn dgemm(
     assert!(b.len() >= span(k, n, ldb), "b slice too short");
     assert!(c.len() >= span(m, n, ldc), "c slice too short");
 
-    // β-scaling of C.
     if beta != 1.0 {
         for j in 0..n {
             let col = &mut c[j * ldc..j * ldc + m];
@@ -60,14 +320,11 @@ pub fn dgemm(
     if k == 0 || alpha == 0.0 {
         return;
     }
-
-    // k-blocked jki loop.
     let mut l0 = 0;
     while l0 < k {
-        let lb = KC.min(k - l0);
+        let lb = JKI_KC.min(k - l0);
         for j in 0..n {
             let (c_lo, c_hi) = (j * ldc, j * ldc + m);
-            // Split borrows: B column entries are read scalar-wise.
             for l in l0..l0 + lb {
                 let blj = alpha * b[l + j * ldb];
                 if blj == 0.0 {
@@ -80,38 +337,6 @@ pub fn dgemm(
         }
         l0 += lb;
     }
-}
-
-/// Raw-pointer variant of [`dgemm`] for callers (the parallel executor)
-/// whose tiles alias a single shared buffer.
-///
-/// # Safety
-///
-/// The three blocks must be valid for the spans they address
-/// (`(cols−1)·ld + rows` elements each), `c` must not overlap `a` or `b`,
-/// and the caller must guarantee exclusive access to `c` for the duration
-/// of the call.
-#[allow(clippy::too_many_arguments)]
-pub unsafe fn dgemm_raw(
-    m: usize,
-    n: usize,
-    k: usize,
-    alpha: f64,
-    a: *const f64,
-    lda: usize,
-    b: *const f64,
-    ldb: usize,
-    beta: f64,
-    c: *mut f64,
-    ldc: usize,
-) {
-    if m == 0 || n == 0 {
-        return;
-    }
-    let a = std::slice::from_raw_parts(a, span(m, k, lda));
-    let b = std::slice::from_raw_parts(b, span(k, n, ldb));
-    let c = std::slice::from_raw_parts_mut(c, span(m, n, ldc));
-    dgemm(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
 /// Elements spanned by an `r × c` block with leading dimension `ld`.
@@ -169,6 +394,101 @@ mod tests {
             let want = ops::add(&ops::matmul(&a, &b), &c);
             assert!(got.approx_eq(&want, 1e-11), "shape ({m},{n},{k})");
         }
+    }
+
+    #[test]
+    fn matches_jki_kernel_on_awkward_shapes() {
+        // every register-tile edge case: below/at/above MR and NR, plus
+        // k straddling the KC boundary so the β-folding path runs
+        for (m, n, k, seed) in [
+            (MR - 1, NR - 1, 7, 1),
+            (MR, NR, 1, 2),
+            (MR + 1, NR + 1, KC, 3),
+            (3 * MR + 5, 2 * NR + 3, KC + 9, 4),
+            (MC + MR + 2, NR, 33, 5),
+            (1, 1, KC + 1, 6),
+            (2 * MC + 3, 3 * NR + 1, 2 * KC + 5, 7),
+        ] {
+            let a = gen::uniform(m, k, seed);
+            let b = gen::uniform(k, n, seed + 10);
+            let c = gen::uniform(m, n, seed + 20);
+            for (alpha, beta) in [(1.0, 1.0), (-1.0, 1.0), (2.0, 0.0), (0.5, -0.5)] {
+                let got = dgemm_dense(alpha, &a, &b, beta, &c);
+                let mut want = c.clone();
+                dgemm_jki(
+                    m,
+                    n,
+                    k,
+                    alpha,
+                    a.as_slice(),
+                    a.ld(),
+                    b.as_slice(),
+                    b.ld(),
+                    beta,
+                    want.as_mut_slice(),
+                    c.ld(),
+                );
+                let tol = 1e-11 * (k as f64).max(1.0);
+                assert!(
+                    got.approx_eq(&want, tol),
+                    "shape ({m},{n},{k}) alpha {alpha} beta {beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_output() {
+        // β = 0 must never read C: a fresh buffer full of NaN comes out
+        // clean, including with k > KC (only the first k block applies β)
+        let (m, n, k) = (MR + 3, NR + 2, KC + 17);
+        let a = gen::uniform(m, k, 8);
+        let b = gen::uniform(k, n, 9);
+        let mut c = DenseMatrix::from_fn(m, n, |_, _| f64::NAN);
+        let ld = c.ld();
+        dgemm(
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
+            0.0,
+            c.as_mut_slice(),
+            ld,
+        );
+        let want = ops::matmul(&a, &b);
+        assert!(c.approx_eq(&want, 1e-10));
+    }
+
+    #[test]
+    fn packed_scratch_is_reused_without_allocation() {
+        let b = 96;
+        let mut scratch = GemmScratch::sized_for(b, b, b);
+        let pa = scratch.a_pack.as_ptr();
+        let x = gen::uniform(b, b, 10);
+        let y = gen::uniform(b, b, 11);
+        let mut c = DenseMatrix::zeros(b, b);
+        let ld = c.ld();
+        for (m, n, k) in [(b, b, b), (17, 5, 29), (b, 1, b)] {
+            dgemm_packed(
+                m,
+                n,
+                k,
+                -1.0,
+                x.as_slice(),
+                x.ld(),
+                y.as_slice(),
+                y.ld(),
+                1.0,
+                c.as_mut_slice(),
+                ld,
+                &mut scratch,
+            );
+        }
+        assert_eq!(scratch.a_pack.as_ptr(), pa, "arena must not reallocate");
     }
 
     #[test]

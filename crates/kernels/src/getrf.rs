@@ -7,8 +7,9 @@
 //! sequential panel algorithm.
 
 use crate::laswp::dlaswp;
+use crate::pack::{with_thread_scratch, GemmScratch};
 use crate::small::idamax;
-use crate::trsm::dtrsm_left_lower_unit;
+use crate::trsm::dtrsm_left_lower_unit_packed;
 
 /// Outcome of a panel factorization with partial pivoting.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,8 +88,16 @@ const RECURSION_BASE: usize = 8;
 
 /// Toledo's recursive LU with partial pivoting of an `m × n` panel
 /// (`m >= n` recommended). Same storage contract and result semantics as
-/// [`dgetf2`], but asymptotically all work happens inside `dgemm`.
-pub fn dgetrf_recursive(m: usize, n: usize, a: &mut [f64], lda: usize) -> PanelPivots {
+/// [`dgetf2`], but asymptotically all work happens inside the packed
+/// `dgemm` (via `scratch`, so a caller reusing one arena allocates
+/// nothing here beyond the pivot vector).
+pub fn dgetrf_recursive_packed(
+    m: usize,
+    n: usize,
+    a: &mut [f64],
+    lda: usize,
+    scratch: &mut GemmScratch,
+) -> PanelPivots {
     let kmax = m.min(n);
     if kmax == 0 {
         return PanelPivots {
@@ -106,7 +115,7 @@ pub fn dgetrf_recursive(m: usize, n: usize, a: &mut [f64], lda: usize) -> PanelP
     let n2 = n - n1;
 
     // Factor the left half: A[0..m, 0..n1]
-    let left = dgetrf_recursive(m, n1, a, lda);
+    let left = dgetrf_recursive_packed(m, n1, a, lda, scratch);
 
     // Apply its pivots to the right half A[0..m, n1..n]
     dlaswp(n2, &mut a[n1 * lda..], lda, 0, &left.piv);
@@ -114,7 +123,7 @@ pub fn dgetrf_recursive(m: usize, n: usize, a: &mut [f64], lda: usize) -> PanelP
     // A12 ← L11⁻¹ · A12   (n1 × n2 block at rows 0..n1 of the right half)
     {
         let (l_part, r_part) = a.split_at_mut(n1 * lda);
-        dtrsm_left_lower_unit(n1, n2, l_part, lda, r_part, lda);
+        dtrsm_left_lower_unit_packed(n1, n2, l_part, lda, r_part, lda, scratch);
     }
 
     // A22 ← A22 − A21 · A12
@@ -125,10 +134,11 @@ pub fn dgetrf_recursive(m: usize, n: usize, a: &mut [f64], lda: usize) -> PanelP
             // split_at_mut separated columns; rows within each part do not
             // overlap between reads (l_part, upper rows of r_part) and the
             // written block (lower rows of r_part), but they share the
-            // r_part slice, so go through raw pointers.
+            // r_part slice, so go through the raw-pointer GEMM (which
+            // never forms slices over the operands).
             let a12 = r_part.as_ptr();
             let a22 = r_part.as_mut_ptr().add(n1);
-            crate::gemm::dgemm_raw(
+            crate::gemm::dgemm_raw_packed(
                 m - n1,
                 n2,
                 n1,
@@ -140,6 +150,7 @@ pub fn dgetrf_recursive(m: usize, n: usize, a: &mut [f64], lda: usize) -> PanelP
                 1.0,
                 a22,
                 lda,
+                scratch,
             );
         }
     }
@@ -147,7 +158,7 @@ pub fn dgetrf_recursive(m: usize, n: usize, a: &mut [f64], lda: usize) -> PanelP
     // Factor A22 recursively
     let right = if m > n1 {
         let sub = &mut a[n1 * lda + n1..];
-        dgetrf_recursive(m - n1, n2, sub, lda)
+        dgetrf_recursive_packed(m - n1, n2, sub, lda, scratch)
     } else {
         PanelPivots {
             piv: vec![],
@@ -163,6 +174,11 @@ pub fn dgetrf_recursive(m: usize, n: usize, a: &mut [f64], lda: usize) -> PanelP
     piv.extend(shifted);
     let singular_at = left.singular_at.or(right.singular_at.map(|c| c + n1));
     PanelPivots { piv, singular_at }
+}
+
+/// [`dgetrf_recursive_packed`] with the per-thread scratch arena.
+pub fn dgetrf_recursive(m: usize, n: usize, a: &mut [f64], lda: usize) -> PanelPivots {
+    with_thread_scratch(|s| dgetrf_recursive_packed(m, n, a, lda, s))
 }
 
 #[cfg(test)]
@@ -225,6 +241,26 @@ mod tests {
             DenseMatrix::from_rows(3, 3, &[1.0, 2.0, 3.0, 10.0, 5.0, 6.0, 2.0, 8.0, 9.0]).unwrap();
         let (_, p) = run_getf2(&a);
         assert_eq!(p.piv[0], 1, "row 1 holds the largest first-column entry");
+    }
+
+    #[test]
+    fn nan_in_pivot_column_is_selected() {
+        // regression for idamax's NaN handling: a NaN in the pivot
+        // column must win the search (LAPACK-consistent) and poison the
+        // factorization visibly, not lose every `>` comparison and let a
+        // garbage finite pivot through silently
+        let mut a = gen::uniform(5, 3, 99);
+        a.set(3, 0, f64::NAN);
+        let (f, p) = run_getf2(&a);
+        assert_eq!(p.piv[0], 3, "NaN row wins the pivot search");
+        assert!(f.get(0, 0).is_nan(), "NaN pivot lands on the diagonal");
+        assert!(
+            (1..5).all(|i| f.get(i, 0).is_nan()),
+            "multipliers scaled by 1/NaN are NaN, not garbage"
+        );
+        // the recursive formulation goes through the same search
+        let (_, pr) = run_recursive(&a);
+        assert_eq!(pr.piv[0], 3);
     }
 
     #[test]

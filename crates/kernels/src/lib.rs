@@ -4,8 +4,11 @@
 //! bindings are thin, so this crate implements the handful of kernels the
 //! factorizations need, from scratch:
 //!
-//! * [`gemm::dgemm`] — `C ← α·A·B + β·C` (cache-blocked, column-major),
-//! * [`trsm`] — the two triangular solves LU needs,
+//! * [`gemm::dgemm`] — `C ← α·A·B + β·C`, a GotoBLAS/BLIS-style packed,
+//!   register-tiled kernel ([`pack`] + [`microkernel`]; see the
+//!   [`gemm`] module docs for the MR/NR/MC/KC/NC blocking table),
+//! * [`trsm`] — the two triangular solves LU needs, blocked so their
+//!   trailing work runs through the packed GEMM,
 //! * [`getrf::dgetf2`] — unblocked Gaussian elimination with partial
 //!   pivoting,
 //! * [`getrf::dgetrf_recursive`] — Toledo's recursive LU, the paper's
@@ -18,6 +21,11 @@
 //! `(slice, ld)` — the same addressing [`calu_matrix::storage::TileRef`]
 //! exposes — so kernels run identically on all three data layouts.
 //!
+//! Hot loops pass a reusable [`GemmScratch`] packing arena into the
+//! `*_packed` kernel variants (the threaded executor keeps one per
+//! worker); the plain entry points fall back to a per-thread arena, so
+//! no path allocates steady-state.
+//!
 //! Numerical contracts are tested against the textbook oracles in
 //! [`calu_matrix::ops`].
 
@@ -25,14 +33,20 @@ pub mod gemm;
 pub mod getrf;
 pub mod laswp;
 pub mod lu_nopiv;
+pub mod microkernel;
+pub mod pack;
 pub mod small;
 pub mod trsm;
 
-pub use gemm::{dgemm, dgemm_raw};
-pub use getrf::{dgetf2, dgetrf_recursive};
+pub use gemm::{dgemm, dgemm_jki, dgemm_packed, dgemm_raw, dgemm_raw_packed};
+pub use getrf::{dgetf2, dgetrf_recursive, dgetrf_recursive_packed};
 pub use laswp::dlaswp;
 pub use lu_nopiv::{lu_nopiv_blocked, lu_nopiv_unblocked};
-pub use trsm::{dtrsm_left_lower_unit, dtrsm_right_upper};
+pub use pack::GemmScratch;
+pub use trsm::{
+    dtrsm_left_lower_unit, dtrsm_left_lower_unit_packed, dtrsm_right_upper,
+    dtrsm_right_upper_packed,
+};
 
 /// Floating-point operation counts for the kernels, used by the simulator
 /// cost model and the Gflop/s reporting in the benches.

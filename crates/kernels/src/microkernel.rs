@@ -1,0 +1,151 @@
+//! The `MR × NR` register-tiled micro-kernel at the bottom of the
+//! blocked GEMM.
+//!
+//! [`micro_tile`] multiplies one packed A row panel by one packed B
+//! column panel, accumulating into an `MR × NR` tile held in a local
+//! array. The loops over the tile are fully unrolled at compile time
+//! (`MR`/`NR` are constants), so the accumulator lives in vector
+//! registers and the `k` loop auto-vectorizes into multiply–add chains —
+//! no intrinsics, no `unsafe`.
+//!
+//! [`store_tile`] then merges the accumulator into `C` with the
+//! `α·acc + β·C` policy. The GEMM driver passes the caller's `β` only
+//! for the **first** `KC` block of the `k` loop and `1.0` afterwards,
+//! which folds the old separate β-scaling pass over `C` into the first
+//! real visit of each tile.
+
+use crate::gemm::{MR, NR};
+
+/// `acc[j·MR + i] += Σ_l a[l·MR + i] · b[l·NR + j]` over `kc` steps of
+/// packed panels (see [`crate::pack`] for the layouts). The panels must
+/// hold at least `kc·MR` / `kc·NR` elements.
+///
+/// On x86-64 the same body is compiled twice: once at the build's
+/// baseline ISA, and once under `#[target_feature(enable = "avx2,fma")]`
+/// selected by runtime detection — the auto-vectorizer then emits 4-wide
+/// FMA chains without a single intrinsic, and the binary still runs on
+/// baseline hardware.
+#[inline]
+pub fn micro_tile(kc: usize, a: &[f64], b: &[f64]) -> [f64; MR * NR] {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: the required CPU features were just detected.
+        return unsafe { micro_tile_avx2fma(kc, a, b) };
+    }
+    micro_tile_body(kc, a, b)
+}
+
+/// [`micro_tile_body`] recompiled with AVX2 + FMA enabled.
+///
+/// # Safety
+///
+/// The CPU must support the `avx2` and `fma` target features.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn micro_tile_avx2fma(kc: usize, a: &[f64], b: &[f64]) -> [f64; MR * NR] {
+    micro_tile_body(kc, a, b)
+}
+
+#[inline(always)]
+fn micro_tile_body(kc: usize, a: &[f64], b: &[f64]) -> [f64; MR * NR] {
+    // the accumulator is a by-value local, so the optimizer needs no
+    // aliasing proof to keep the whole tile in vector registers
+    let mut acc = [0.0; MR * NR];
+    // chunks_exact pushes the bounds checks out of the k loop
+    for (ap, bp) in a.chunks_exact(MR).zip(b.chunks_exact(NR)).take(kc) {
+        for j in 0..NR {
+            let blj = bp[j];
+            for i in 0..MR {
+                acc[j * MR + i] += ap[i] * blj;
+            }
+        }
+    }
+    acc
+}
+
+/// Merge the `mr × nr` live corner of an accumulator tile into `C`:
+/// `C ← α·acc + β·C` (β = 0 overwrites without reading `C`, so garbage
+/// or NaN in fresh output buffers never propagates).
+///
+/// # Safety
+///
+/// `c` must be valid for reads and writes over the `mr × nr` block with
+/// leading dimension `ldc`, and the caller must have exclusive access
+/// to it.
+#[inline]
+pub unsafe fn store_tile(
+    acc: &[f64; MR * NR],
+    alpha: f64,
+    beta: f64,
+    c: *mut f64,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    debug_assert!(mr <= MR && nr <= NR);
+    for j in 0..nr {
+        let cj = c.add(j * ldc);
+        if beta == 0.0 {
+            for i in 0..mr {
+                *cj.add(i) = alpha * acc[j * MR + i];
+            }
+        } else if beta == 1.0 {
+            for i in 0..mr {
+                *cj.add(i) += alpha * acc[j * MR + i];
+            }
+        } else {
+            for i in 0..mr {
+                *cj.add(i) = beta * *cj.add(i) + alpha * acc[j * MR + i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_tile_matches_scalar_reference() {
+        let kc = 5;
+        let a: Vec<f64> = (0..kc * MR).map(|x| (x as f64).sin()).collect();
+        let b: Vec<f64> = (0..kc * NR).map(|x| (x as f64).cos()).collect();
+        let acc = micro_tile(kc, &a, &b);
+        for j in 0..NR {
+            for i in 0..MR {
+                let want: f64 = (0..kc).map(|l| a[l * MR + i] * b[l * NR + j]).sum();
+                assert!((acc[j * MR + i] - want).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn store_tile_beta_policies() {
+        let acc = {
+            let mut t = [0.0; MR * NR];
+            for (x, v) in t.iter_mut().enumerate() {
+                *v = x as f64;
+            }
+            t
+        };
+        let ldc = MR + 2;
+        // beta = 0 overwrites even NaN
+        let mut c = vec![f64::NAN; ldc * NR];
+        unsafe { store_tile(&acc, 2.0, 0.0, c.as_mut_ptr(), ldc, MR, NR) };
+        assert_eq!(c[0], 0.0);
+        assert_eq!(c[ldc], 2.0 * acc[MR]);
+        // beta = 1 accumulates
+        let mut c = vec![1.0; ldc * NR];
+        unsafe { store_tile(&acc, 1.0, 1.0, c.as_mut_ptr(), ldc, MR, NR) };
+        assert_eq!(c[1], 1.0 + acc[1]);
+        // general beta scales
+        let mut c = vec![2.0; ldc * NR];
+        unsafe { store_tile(&acc, 1.0, 0.5, c.as_mut_ptr(), ldc, MR, NR) };
+        assert_eq!(c[0], 1.0 + acc[0]);
+        // partial corner leaves the rest untouched
+        let mut c = vec![7.0; ldc * NR];
+        unsafe { store_tile(&acc, 1.0, 0.0, c.as_mut_ptr(), ldc, 2, 1) };
+        assert_eq!(c[2], 7.0, "row beyond mr untouched");
+        assert_eq!(c[ldc], 7.0, "column beyond nr untouched");
+    }
+}

@@ -1,14 +1,24 @@
 //! BLAS-1 helpers shared by the larger kernels.
 
-/// Index of the element with largest absolute value in `x` (first on ties).
-/// Panics on an empty slice.
+/// Index of the element with largest absolute value in `x` (first on
+/// ties). NaN is treated as larger than everything — the first NaN wins
+/// — matching LAPACK's pivot-search convention, so a NaN in a pivot
+/// column surfaces as the pivot (and poisons the factorization visibly)
+/// instead of silently losing every `>` comparison and letting a garbage
+/// pivot through. Panics on an empty slice.
 #[inline]
 pub fn idamax(x: &[f64]) -> usize {
     assert!(!x.is_empty(), "idamax of empty vector");
     let mut best = 0;
     let mut bv = x[0].abs();
+    if bv.is_nan() {
+        return 0;
+    }
     for (i, &v) in x.iter().enumerate().skip(1) {
         let a = v.abs();
+        if a.is_nan() {
+            return i;
+        }
         if a > bv {
             bv = a;
             best = i;
@@ -50,6 +60,17 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn idamax_empty_panics() {
         idamax(&[]);
+    }
+
+    #[test]
+    fn idamax_treats_nan_as_largest() {
+        // regression: NaN never wins `a > bv`, so the old code silently
+        // selected a garbage pivot; LAPACK-consistent behavior is that
+        // the first NaN wins the search
+        assert_eq!(idamax(&[1.0, f64::NAN, 5.0]), 1);
+        assert_eq!(idamax(&[f64::NAN, 9.0]), 0);
+        assert_eq!(idamax(&[2.0, f64::NAN, f64::NAN]), 1, "first NaN wins");
+        assert_eq!(idamax(&[-3.0, f64::NEG_INFINITY]), 1, "inf is just large");
     }
 
     #[test]

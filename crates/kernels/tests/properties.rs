@@ -2,8 +2,10 @@
 //! the textbook oracles in `calu_matrix::ops`, across seeded random
 //! shapes (formerly proptest).
 
+use calu_kernels::trsm::{dtrsm_left_lower_unit_unblocked, dtrsm_right_upper_unblocked, TRSM_NB};
 use calu_kernels::{
-    dgemm, dgetf2, dgetrf_recursive, dtrsm_left_lower_unit, dtrsm_right_upper, lu_nopiv_unblocked,
+    dgemm, dgemm_jki, dgetf2, dgetrf_recursive, dtrsm_left_lower_unit, dtrsm_right_upper,
+    lu_nopiv_unblocked,
 };
 use calu_matrix::{gen, ops, DenseMatrix, RowPerm};
 use calu_rand::Rng;
@@ -48,6 +50,101 @@ fn gemm_matches_reference() {
             )
         };
         assert!(got.approx_eq(&want, 1e-10));
+    }
+}
+
+#[test]
+fn packed_gemm_matches_seed_jki_kernel() {
+    // the packed register-tiled kernel vs the seed jki kernel across
+    // random shapes straddling the MR/NR register-tile and KC cache-block
+    // boundaries (two different summation orders, so compare loosely)
+    let mut rng = Rng::seed_from_u64(25);
+    for _ in 0..24 {
+        let m = rng.gen_range(1..200);
+        let n = rng.gen_range(1..80);
+        let k = rng.gen_range(1..300);
+        let seed = rng.next_u64() % 1000;
+        let a = gen::uniform(m, k, seed);
+        let b = gen::uniform(k, n, seed + 1);
+        let c = gen::uniform(m, n, seed + 2);
+        let mut packed = c.clone();
+        let mut jki = c.clone();
+        let ld = c.ld();
+        dgemm(
+            m,
+            n,
+            k,
+            -1.0,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
+            1.0,
+            packed.as_mut_slice(),
+            ld,
+        );
+        dgemm_jki(
+            m,
+            n,
+            k,
+            -1.0,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
+            1.0,
+            jki.as_mut_slice(),
+            ld,
+        );
+        assert!(packed.approx_eq(&jki, 1e-10 * k as f64), "({m},{n},{k})");
+    }
+}
+
+#[test]
+fn blocked_trsm_equals_unblocked() {
+    // blocked (diag solve + GEMM) vs pure substitution on sizes around
+    // multiples of TRSM_NB — the blocked path's only approximation is
+    // reassociation, so the factors agree tightly
+    let mut rng = Rng::seed_from_u64(26);
+    for _ in 0..16 {
+        let m = rng.gen_range(1..3 * TRSM_NB + 10);
+        let n = rng.gen_range(1..24);
+        let seed = rng.next_u64() % 1000;
+        let r = gen::uniform(m, m, seed);
+        let l = DenseMatrix::from_fn(m, m, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                0.4 * r.get(i, j)
+            } else {
+                0.0
+            }
+        });
+        let b0 = gen::uniform(m, n, seed + 1);
+        let mut blocked = b0.clone();
+        let mut unblocked = b0.clone();
+        let ld = b0.ld();
+        dtrsm_left_lower_unit(m, n, l.as_slice(), l.ld(), blocked.as_mut_slice(), ld);
+        dtrsm_left_lower_unit_unblocked(m, n, l.as_slice(), l.ld(), unblocked.as_mut_slice(), ld);
+        assert!(blocked.approx_eq(&unblocked, 1e-9), "left m={m} n={n}");
+
+        let r = gen::uniform(m, m, seed + 2);
+        let u = DenseMatrix::from_fn(m, m, |i, j| {
+            if i == j {
+                1.5 + r.get(i, j).abs()
+            } else if i < j {
+                r.get(i, j)
+            } else {
+                0.0
+            }
+        });
+        let b0 = gen::uniform(n, m, seed + 3);
+        let mut blocked = b0.clone();
+        let mut unblocked = b0.clone();
+        let ld = b0.ld();
+        dtrsm_right_upper(n, m, u.as_slice(), u.ld(), blocked.as_mut_slice(), ld);
+        dtrsm_right_upper_unblocked(n, m, u.as_slice(), u.ld(), unblocked.as_mut_slice(), ld);
+        assert!(blocked.approx_eq(&unblocked, 1e-9), "right m={m} n={n}");
     }
 }
 

@@ -97,6 +97,15 @@ pub fn task_flops(g: &TaskGraph, t: TaskId) -> f64 {
 /// gemm efficiency grows with operand size — which is exactly why the BCL
 /// layout's grouped updates (§4.1) pay off, and why the 2l-BL layout's
 /// cache-resident tiles beat plain column-major.
+///
+/// Calibration note: `calu-kernels` moved from the seed jki AXPY loop to
+/// BLIS-style packed, register-tiled kernels (MR/NR/MC/KC/NC blocking —
+/// see the `calu_kernels::gemm` module docs), which roughly tripled
+/// sustained GEMM Gflop/s and raised TRSM/GETRF accordingly (measure
+/// with the `kernels` bench bin). The *relative* efficiencies encoded
+/// here (panel < trsm < gemm, and the layout/grouping ordering) still
+/// match that kernel family; only the absolute peak fraction each row
+/// represents shifted with the faster kernels.
 pub fn kernel_eff(g: &TaskGraph, kind: &TaskKind, layout: Layout, batch: usize) -> f64 {
     let incpiv = g.variant() == DagVariant::TileIncPiv;
     match kind {
