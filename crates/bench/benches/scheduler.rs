@@ -51,7 +51,11 @@ fn main() {
         (SchedulerKind::Hybrid { dratio: 0.5 }, "hybrid h50"),
         (SchedulerKind::Dynamic, "dynamic"),
     ] {
-        for queue in [QueueDiscipline::Global, QueueDiscipline::sharded()] {
+        for queue in [
+            QueueDiscipline::Global,
+            QueueDiscipline::sharded(),
+            QueueDiscipline::lock_free(),
+        ] {
             bench_throughput(
                 &format!("{label} / {queue}"),
                 10,

@@ -147,7 +147,11 @@ fn main() {
         SchedulerKind::Hybrid { dratio: 0.5 },
         SchedulerKind::Dynamic,
     ] {
-        for queue in [QueueDiscipline::Global, QueueDiscipline::sharded()] {
+        for queue in [
+            QueueDiscipline::Global,
+            QueueDiscipline::sharded(),
+            QueueDiscipline::lock_free(),
+        ] {
             let r = sim_solver(n, &amd)
                 .scheduler(sched)
                 .queue_discipline(queue)
@@ -171,7 +175,11 @@ fn main() {
     // one actually computes)
     let a = gen::uniform(768, 768, 7);
     let mut rows = Vec::new();
-    for queue in [QueueDiscipline::Global, QueueDiscipline::sharded()] {
+    for queue in [
+        QueueDiscipline::Global,
+        QueueDiscipline::sharded(),
+        QueueDiscipline::lock_free(),
+    ] {
         let r = Solver::new(a.clone())
             .tile(64)
             .threads(4)

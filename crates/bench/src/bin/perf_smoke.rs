@@ -11,6 +11,12 @@
 //!            [--threaded-tolerance F]  # for threaded_* metrics (default 0.60)
 //! ```
 //!
+//! The threaded section times all three queue disciplines on the same
+//! 4-thread workload (`threaded_{global,sharded,lockfree}_makespan_secs`)
+//! and records the lock-free run's steal-locality split
+//! (`threaded_lockfree_steal_locality` = fraction of steals that stayed
+//! on the thief's socket under the tiered sweep; counts beside it).
+//!
 //! Timing metrics are normalized by a fixed single-threaded calibration
 //! kernel before comparison (see `calu_bench::perf`), so a baseline
 //! recorded on one machine still gates a run on a different one.
@@ -194,19 +200,38 @@ fn main() -> ExitCode {
     let cal = calibration_secs();
     let (global_secs, _) = threaded(QueueDiscipline::Global);
     let (sharded_secs, sharded_report) = threaded(QueueDiscipline::Sharded { seed: SEED });
+    let (lockfree_secs, lockfree_report) = threaded(QueueDiscipline::LockFree { seed: SEED });
     let contention = sharded_report.schedule.contention();
+    let lf_contention = lockfree_report.schedule.contention();
+    let locality = lockfree_report.schedule.steal_locality();
     let (drain_global, drain_tasks) = drain_secs(QueueDiscipline::Global);
     let (drain_sharded, _) = drain_secs(QueueDiscipline::sharded());
+    let (drain_lockfree, _) = drain_secs(QueueDiscipline::lock_free());
 
     let metrics: Vec<(String, f64)> = [
         (CALIBRATION_KEY, cal),
         ("gemm_256_secs", gemm_secs()),
         ("threaded_global_makespan_secs", global_secs),
         ("threaded_sharded_makespan_secs", sharded_secs),
+        ("threaded_lockfree_makespan_secs", lockfree_secs),
         ("threaded_sharded_steals", contention.steals as f64),
         (
             "threaded_sharded_failed_steals",
             contention.failed_steals as f64,
+        ),
+        ("threaded_lockfree_steals", lf_contention.steals as f64),
+        (
+            "threaded_lockfree_failed_steals",
+            lf_contention.failed_steals as f64,
+        ),
+        // the steal-locality split of the tiered lock-free sweep: how
+        // many steals stayed on the thief's socket vs. crossed it
+        // (counts and a ratio — recorded for inspection, never gated)
+        ("threaded_lockfree_local_steals", locality.local as f64),
+        ("threaded_lockfree_remote_steals", locality.remote as f64),
+        (
+            "threaded_lockfree_steal_locality",
+            1.0 - locality.remote_fraction(),
         ),
         (
             "threaded_tasks",
@@ -215,6 +240,7 @@ fn main() -> ExitCode {
         ("drain_calibration_secs", drain_calibration()),
         ("drain_global_secs", drain_global),
         ("drain_sharded_secs", drain_sharded),
+        ("drain_lockfree_secs", drain_lockfree),
         ("drain_tasks", drain_tasks as f64),
     ]
     .into_iter()

@@ -25,9 +25,17 @@ pub struct CaluConfig {
     /// as in the paper.
     pub leaf_stride: Option<usize>,
     /// How the dynamic-section ready queue is organized: the paper's
-    /// single shared queue, or per-worker shards with randomized
-    /// stealing ([`QueueDiscipline::Sharded`]).
+    /// single shared queue, per-worker mutex shards with randomized
+    /// stealing ([`QueueDiscipline::Sharded`]), or per-worker lock-free
+    /// Chase-Lev deques with locality-tiered stealing
+    /// ([`QueueDiscipline::LockFree`]).
     pub queue: QueueDiscipline,
+    /// Pin worker `w` to the logical CPU the detected topology maps it
+    /// to (`CpuTopology::cpu_for_worker`). Off by default: pinning is a
+    /// throughput optimization for dedicated machines and can hurt on
+    /// oversubscribed ones. Best effort — an unpinnable CPU (sandbox,
+    /// cgroup) leaves the worker floating.
+    pub pin_workers: bool,
 }
 
 impl CaluConfig {
@@ -42,6 +50,7 @@ impl CaluConfig {
             group: 3,
             leaf_stride: None,
             queue: QueueDiscipline::Global,
+            pin_workers: false,
         }
     }
 
@@ -76,6 +85,12 @@ impl CaluConfig {
         self
     }
 
+    /// Pin workers to CPUs by the detected topology (default off).
+    pub fn with_pinning(mut self, pin: bool) -> Self {
+        self.pin_workers = pin;
+        self
+    }
+
     /// Validate and derive the thread grid.
     pub fn validate(&self) -> Result<ProcessGrid, CaluError> {
         if self.b == 0 {
@@ -102,13 +117,13 @@ impl CaluConfig {
                     .into(),
             ));
         }
-        if self.queue.is_sharded() && self.dratio == 0.0 {
-            return Err(CaluError::InvalidConfig(
-                "the sharded queue discipline organizes the dynamic section, \
+        if self.queue.steals() && self.dratio == 0.0 {
+            return Err(CaluError::InvalidConfig(format!(
+                "the {} queue discipline organizes the dynamic section, \
                  but dratio is 0 (fully static) so there is nothing to shard \
-                 or steal; raise dratio or use QueueDiscipline::Global"
-                    .into(),
-            ));
+                 or steal; raise dratio or use QueueDiscipline::Global",
+                self.queue
+            )));
         }
         ProcessGrid::square_for(self.threads).map_err(|e| CaluError::InvalidConfig(e.to_string()))
     }
@@ -163,20 +178,29 @@ mod tests {
 
     #[test]
     fn sharded_queue_needs_a_dynamic_section() {
-        let sharded = CaluConfig::new(8)
-            .with_dratio(0.0)
-            .with_queue(QueueDiscipline::sharded());
-        let err = sharded.validate().unwrap_err();
-        assert!(
-            err.to_string().contains("dynamic"),
-            "actionable message, got: {err}"
-        );
-        // any non-zero dynamic share is fine, and Global never conflicts
-        assert!(CaluConfig::new(8)
-            .with_dratio(0.1)
-            .with_queue(QueueDiscipline::sharded())
-            .validate()
-            .is_ok());
+        for queue in [QueueDiscipline::sharded(), QueueDiscipline::lock_free()] {
+            let cfg = CaluConfig::new(8).with_dratio(0.0).with_queue(queue);
+            let err = cfg.validate().unwrap_err();
+            assert!(
+                err.to_string().contains("dynamic") && err.to_string().contains(&queue.to_string()),
+                "actionable message naming {queue}, got: {err}"
+            );
+            // any non-zero dynamic share is fine
+            assert!(CaluConfig::new(8)
+                .with_dratio(0.1)
+                .with_queue(queue)
+                .validate()
+                .is_ok());
+        }
+        // and Global never conflicts
         assert!(CaluConfig::new(8).with_dratio(0.0).validate().is_ok());
+    }
+
+    #[test]
+    fn pinning_is_a_free_knob() {
+        let c = CaluConfig::new(8).with_pinning(true);
+        assert!(c.pin_workers);
+        assert!(c.validate().is_ok());
+        assert!(!CaluConfig::new(8).pin_workers, "off by default");
     }
 }

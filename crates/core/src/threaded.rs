@@ -19,9 +19,19 @@
 //! discipline a worker pops its own shard, and only when that is empty
 //! sweeps the other shards in the seeded-random victim order of
 //! [`calu_sched::steal_order`] — the same policy the simulator's
-//! sharded hybrid runs. Dependence tracking is a single atomic counter
-//! per task; tile data flows through [`SharedTiles`] under the DAG's
-//! exclusive-writer discipline.
+//! sharded hybrid runs. Under the lock-free discipline
+//! ([`QueueDiscipline::LockFree`]) the shards are Chase-Lev deques
+//! ([`calu_sched::Deque`]): the owner pushes each completion's newly
+//! ready successors in descending DAG-priority order and pops LIFO
+//! (most critical of the cache-hottest batch first), thieves steal FIFO
+//! from the cold end, sweeping victims in the locality-tiered order of
+//! [`calu_sched::StealTiers`] (SMT sibling → same socket → remote) over
+//! the detected host topology. With [`CaluConfig::pin_workers`] set,
+//! each worker is additionally pinned to the CPU that topology maps it
+//! to, so "same socket" in the sweep means the same socket in silicon.
+//! Dependence tracking is a single atomic counter per task; tile data
+//! flows through [`SharedTiles`] under the DAG's exclusive-writer
+//! discipline.
 //!
 //! Each worker owns a [`GemmScratch`] packing arena sized from the
 //! configured tile dimension and reused across tasks, so the packed
@@ -40,10 +50,13 @@ use calu_matrix::{
     BclMatrix, CmTiles, DenseMatrix, Layout, ProcessGrid, RowPerm, TileStorage, TlbMatrix,
 };
 use calu_rand::Rng;
-use calu_sched::{nstatic_for, priority, steal_order, OwnerMap, QueueDiscipline, QueueSource};
+use calu_sched::{
+    nstatic_for, priority, steal_order, CpuTopology, Deque, OwnerMap, QueueDiscipline, QueueSource,
+    Steal, StealTier, StealTiers,
+};
 use calu_trace::{SpanKind, TaskSpan, Timeline};
 
-use crate::sync::Mutex;
+use crate::sync::{pin_current_thread, Mutex};
 
 /// Per-worker queue accounting from one threaded run: where this
 /// worker's tasks came from, plus steal/contention counters for the
@@ -55,13 +68,19 @@ pub struct ThreadStats {
     /// Tasks popped from the dynamic section without stealing (the
     /// shared queue, or the worker's own shard).
     pub global_pops: u64,
-    /// Tasks stolen from another worker's shard (sharded discipline
-    /// only; always zero under [`QueueDiscipline::Global`]).
+    /// Tasks stolen from another worker's shard or deque (stealing
+    /// disciplines only; always zero under [`QueueDiscipline::Global`]).
     pub steal_pops: u64,
-    /// Steal probes that found the victim's shard empty (sharded
-    /// discipline only) — the executor's queue-contention signal: a high
-    /// ratio of failed probes to steals means workers are sweeping
-    /// drained shards instead of computing.
+    /// The subset of `steal_pops` whose victim sat on a *different
+    /// socket* (lock-free discipline's tiered sweep only; the flat
+    /// sharded sweep does not classify victims, so it stays zero there).
+    pub remote_steal_pops: u64,
+    /// Steal *sweeps* that probed every victim and found all of them
+    /// empty — the executor's queue-contention signal: a high ratio of
+    /// failed sweeps to steals means workers are sweeping drained
+    /// shards instead of computing. Counted per whole sweep, not per
+    /// probed victim, so the reading is comparable between the flat
+    /// (p − 1 probes) and locality-tiered victim orders.
     pub failed_steals: u64,
 }
 
@@ -81,6 +100,29 @@ enum DynQueues {
     /// One shard per worker; workers push/pop their own and steal from
     /// the rest when empty.
     Sharded(Vec<ReadyQueue>),
+    /// One Chase-Lev deque per worker, each sized for the whole graph
+    /// so a push can never fail: owners push/pop the bottom, thieves
+    /// steal the top in the locality-tiered sweep order.
+    LockFree(Vec<Deque>),
+}
+
+/// One steal sweep over `victims`, probing each with `probe` until one
+/// yields a task. A *wholly empty* sweep counts as exactly one
+/// contention failure — not one per probed victim — so
+/// `ContentionStats::failure_rate` reads the same whether the sweep
+/// visits p − 1 flat victims or the tiered order's fewer-per-tier ones.
+fn steal_sweep<V>(
+    victims: impl Iterator<Item = V>,
+    mut probe: impl FnMut(&V) -> Option<TaskId>,
+    failed_sweeps: &mut u64,
+) -> Option<(TaskId, V)> {
+    for v in victims {
+        if let Some(t) = probe(&v) {
+            return Some((t, v));
+        }
+    }
+    *failed_sweeps += 1;
+    None
 }
 
 struct PanelState {
@@ -99,6 +141,9 @@ struct Shared<'g, S: TileStorage> {
     dynamic_keys: Vec<u64>,
     local: Vec<ReadyQueue>,
     dynamic: DynQueues,
+    /// Per-worker locality-tiered victim orders (lock-free discipline
+    /// only; empty otherwise).
+    tiers: Vec<StealTiers>,
     /// Dynamic-section tasks currently queued (sharded discipline only:
     /// incremented before push, decremented after pop), so idle workers
     /// can tell "nothing to steal anywhere" from "a victim shard I
@@ -126,17 +171,27 @@ impl<S: TileStorage + Send> Shared<'_, S> {
                 .lock()
                 .push(Reverse((self.static_keys[t.idx()], t.0)));
         } else {
-            let entry = Reverse((self.dynamic_keys[t.idx()], t.0));
             match &self.dynamic {
-                DynQueues::Global(q) => q.lock().push(entry),
+                DynQueues::Global(q) => q.lock().push(Reverse((self.dynamic_keys[t.idx()], t.0))),
                 DynQueues::Sharded(shards) => {
                     // counter first, push second: the count
                     // over-approximates, so a successful pop's decrement
-                    // can never underflow. Sharded-only — the global
-                    // discipline never reads it, so the paper-verbatim
-                    // path pays no extra shared-line RMWs.
+                    // can never underflow. Stealing disciplines only —
+                    // the global discipline never reads it, so the
+                    // paper-verbatim path pays no extra shared-line RMWs.
                     self.dyn_queued.fetch_add(1, Ordering::AcqRel);
-                    shards[home % shards.len()].lock().push(entry);
+                    shards[home % shards.len()]
+                        .lock()
+                        .push(Reverse((self.dynamic_keys[t.idx()], t.0)));
+                }
+                DynQueues::LockFree(deques) => {
+                    self.dyn_queued.fetch_add(1, Ordering::AcqRel);
+                    // only the owner pushes its own deque at runtime
+                    // (`complete` passes home = the completing worker);
+                    // the pre-spawn initial scatter is single-threaded
+                    deques[home % deques.len()]
+                        .push(t.0 as u64)
+                        .expect("deque sized for the whole graph");
                 }
             }
         }
@@ -144,11 +199,13 @@ impl<S: TileStorage + Send> Shared<'_, S> {
 
     /// Algorithm 1's pop order: own static queue first, then the dynamic
     /// section (Algorithm 2's DFS order is baked into its keys). Under
-    /// the sharded discipline the dynamic section is the worker's own
-    /// shard first, then a seeded-random steal sweep — attempted (and
-    /// its empty-victim probes counted into `stats.failed_steals`) only
-    /// while dynamic tasks are actually queued somewhere, so idle spins
-    /// on a drained DAG don't read as contention.
+    /// the stealing disciplines the dynamic section is the worker's own
+    /// shard/deque first, then a steal sweep (seeded-random victims for
+    /// the sharded discipline, the locality-tiered order for the
+    /// lock-free one) — attempted, and counted into
+    /// `stats.failed_steals` when wholly empty, only while dynamic tasks
+    /// are actually queued somewhere, so idle spins on a drained DAG
+    /// don't read as contention.
     fn pop(
         &self,
         me: usize,
@@ -171,15 +228,47 @@ impl<S: TileStorage + Send> Shared<'_, S> {
                 if self.dyn_queued.load(Ordering::Acquire) == 0 {
                     return None; // nothing queued anywhere: idle, not contention
                 }
-                let rng = rng.as_mut().expect("sharded workers carry an RNG");
-                for victim in steal_order(rng, me, shards.len()) {
-                    if let Some(Reverse((_, t))) = shards[victim].lock().pop() {
-                        self.dyn_queued.fetch_sub(1, Ordering::AcqRel);
-                        return Some((TaskId(t), QueueSource::Stolen));
-                    }
-                    stats.failed_steals += 1;
+                let rng = rng.as_mut().expect("stealing workers carry an RNG");
+                let stolen = steal_sweep(
+                    steal_order(rng, me, shards.len()),
+                    |&victim| shards[victim].lock().pop().map(|Reverse((_, t))| TaskId(t)),
+                    &mut stats.failed_steals,
+                );
+                stolen.map(|(t, _)| {
+                    self.dyn_queued.fetch_sub(1, Ordering::AcqRel);
+                    (t, QueueSource::Stolen)
+                })
+            }
+            DynQueues::LockFree(deques) => {
+                if let Some(v) = deques[me].pop() {
+                    self.dyn_queued.fetch_sub(1, Ordering::AcqRel);
+                    return Some((TaskId(v as u32), QueueSource::Shard));
                 }
-                None
+                if self.dyn_queued.load(Ordering::Acquire) == 0 {
+                    return None;
+                }
+                let rng = rng.as_mut().expect("stealing workers carry an RNG");
+                let stolen = steal_sweep(
+                    self.tiers[me].sweep(rng),
+                    |&(victim, _)| loop {
+                        match deques[victim].steal() {
+                            Steal::Taken(v) => break Some(TaskId(v as u32)),
+                            Steal::Empty => break None,
+                            // a lost race means someone else made
+                            // progress; re-probe the same victim
+                            Steal::Retry => std::hint::spin_loop(),
+                        }
+                    },
+                    &mut stats.failed_steals,
+                );
+                stolen.map(|(t, (_, tier))| {
+                    self.dyn_queued.fetch_sub(1, Ordering::AcqRel);
+                    let source = match tier {
+                        StealTier::Remote => QueueSource::StolenRemote,
+                        _ => QueueSource::Stolen,
+                    };
+                    (t, source)
+                })
             }
         }
     }
@@ -188,11 +277,24 @@ impl<S: TileStorage + Send> Shared<'_, S> {
         self.singular.fetch_min(col, Ordering::AcqRel);
     }
 
-    fn complete(&self, t: TaskId, me: usize) {
+    /// Mark `t` done and queue its newly enabled successors.
+    /// `ready_buf` is the worker's reusable scratch: under the lock-free
+    /// discipline the batch is pushed in *descending* key order (least
+    /// critical first), so the owner's LIFO pop serves the batch
+    /// most-critical first while a FIFO thief takes its *least*
+    /// critical leftover — the victim keeps its critical-path work.
+    fn complete(&self, t: TaskId, me: usize, ready_buf: &mut Vec<TaskId>) {
+        ready_buf.clear();
         for &s in self.g.successors(t) {
             if self.deps[s.idx()].fetch_sub(1, Ordering::AcqRel) == 1 {
-                self.push_ready(s, me);
+                ready_buf.push(s);
             }
+        }
+        if matches!(self.dynamic, DynQueues::LockFree(_)) && ready_buf.len() > 1 {
+            ready_buf.sort_unstable_by_key(|s| Reverse(self.dynamic_keys[s.idx()]));
+        }
+        for &s in ready_buf.iter() {
+            self.push_ready(s, me);
         }
         self.done.fetch_add(1, Ordering::AcqRel);
     }
@@ -352,6 +454,13 @@ impl<S: TileStorage + Send> Shared<'_, S> {
     }
 }
 
+/// The host's CPU topology, detected once per process: sysfs parse on
+/// Linux, flat fallback elsewhere (see [`CpuTopology::detect`]).
+fn host_topology() -> &'static CpuTopology {
+    static TOPO: OnceLock<CpuTopology> = OnceLock::new();
+    TOPO.get_or_init(CpuTopology::detect)
+}
+
 /// Factor a tiled storage in place with `threads` workers; returns the
 /// combined permutation, the singular flag and the execution trace.
 fn factor_tiled<S: TileStorage + Send>(
@@ -360,12 +469,14 @@ fn factor_tiled<S: TileStorage + Send>(
     grid: ProcessGrid,
     dratio: f64,
     queue: QueueDiscipline,
+    pin: bool,
 ) -> (S, RowPerm, Option<usize>, Timeline, Vec<ThreadStats>) {
     let threads = grid.size();
     let nstatic = nstatic_for(dratio, g.num_panels());
     let owners = OwnerMap::new(g, grid);
     let kinds: Vec<TaskKind> = g.ids().map(|t| g.kind(t)).collect();
     let mt = g.tile_rows();
+    let topo = host_topology();
 
     let shared = Shared {
         tiles: SharedTiles::new(storage),
@@ -383,6 +494,19 @@ fn factor_tiled<S: TileStorage + Send>(
                     .map(|_| Mutex::new(BinaryHeap::new()))
                     .collect(),
             ),
+            QueueDiscipline::LockFree { .. } => DynQueues::LockFree(
+                // each deque sized for the whole graph: a worker can at
+                // most hold every task, so pushes never see "full"
+                (0..threads)
+                    .map(|_| Deque::with_capacity(g.len()))
+                    .collect(),
+            ),
+        },
+        tiers: match queue {
+            QueueDiscipline::LockFree { .. } => (0..threads)
+                .map(|me| StealTiers::for_worker(topo, me, threads))
+                .collect(),
+            _ => Vec::new(),
         },
         dyn_queued: AtomicUsize::new(0),
         done: AtomicUsize::new(0),
@@ -406,8 +530,14 @@ fn factor_tiled<S: TileStorage + Send>(
     let _ = shared.m;
 
     // scatter initially ready tasks round-robin over the shards (no
-    // worker has "enabled" them yet); the Global queue ignores `home`
-    for (i, t) in g.initial_ready().into_iter().enumerate() {
+    // worker has "enabled" them yet); the Global queue ignores `home`.
+    // For the lock-free deques, scatter in descending priority so each
+    // deque's LIFO owner pops its share most-critical first.
+    let mut initial = g.initial_ready();
+    if matches!(queue, QueueDiscipline::LockFree { .. }) {
+        initial.sort_unstable_by_key(|t| Reverse(shared.dynamic_keys[t.idx()]));
+    }
+    for (i, t) in initial.into_iter().enumerate() {
         shared.push_ready(t, i);
     }
 
@@ -421,6 +551,12 @@ fn factor_tiled<S: TileStorage + Send>(
         for me in 0..threads {
             let shared = &shared;
             handles.push(scope.spawn(move || {
+                // topology-aware pinning: worker `me` onto the CPU the
+                // detected topology maps it to — best effort, a refusal
+                // (sandbox, cgroup) leaves the worker floating
+                if pin {
+                    pin_current_thread(topo.cpu_for_worker(me));
+                }
                 let mut spans: Vec<TaskSpan> = Vec::new();
                 let mut stats = ThreadStats::default();
                 // per-worker packing arena, sized once from the config's
@@ -430,12 +566,10 @@ fn factor_tiled<S: TileStorage + Send>(
                 // per-worker victim-selection stream: SplitMix64 seeding
                 // decorrelates the nearby seeds, so workers sweep
                 // victims in unrelated orders
-                let mut rng = match queue {
-                    QueueDiscipline::Sharded { seed } => {
-                        Some(Rng::seed_from_u64(seed.wrapping_add(me as u64)))
-                    }
-                    QueueDiscipline::Global => None,
-                };
+                let mut rng = queue
+                    .seed()
+                    .map(|seed| Rng::seed_from_u64(seed.wrapping_add(me as u64)));
+                let mut ready_buf: Vec<TaskId> = Vec::new();
                 let mut idle_spins = 0u32;
                 while shared.done.load(Ordering::Acquire) < total {
                     match shared.pop(me, &mut rng, &mut stats) {
@@ -444,6 +578,10 @@ fn factor_tiled<S: TileStorage + Send>(
                             match source {
                                 QueueSource::Local => stats.local_pops += 1,
                                 QueueSource::Stolen => stats.steal_pops += 1,
+                                QueueSource::StolenRemote => {
+                                    stats.steal_pops += 1;
+                                    stats.remote_steal_pops += 1;
+                                }
                                 _ => stats.global_pops += 1,
                             }
                             let start = t0.elapsed().as_secs_f64();
@@ -461,7 +599,7 @@ fn factor_tiled<S: TileStorage + Send>(
                                 end,
                                 kind,
                             });
-                            shared.complete(t, me);
+                            shared.complete(t, me, &mut ready_buf);
                         }
                         None => {
                             idle_spins += 1;
@@ -539,17 +677,20 @@ pub fn calu_factor_report(
     let (mut lu, perm, singular_at, timeline, stats) = match cfg.layout {
         Layout::ColumnMajor => {
             let s = CmTiles::from_dense(a, cfg.b);
-            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio, cfg.queue);
+            let (s, p, sing, tl, st) =
+                factor_tiled(s, &g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
             (s.to_dense(), p, sing, tl, st)
         }
         Layout::BlockCyclic => {
             let s = BclMatrix::from_dense(a, cfg.b, grid);
-            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio, cfg.queue);
+            let (s, p, sing, tl, st) =
+                factor_tiled(s, &g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
             (s.to_dense(), p, sing, tl, st)
         }
         Layout::TwoLevelBlock => {
             let s = TlbMatrix::from_dense(a, cfg.b, grid);
-            let (s, p, sing, tl, st) = factor_tiled(s, &g, grid, cfg.dratio, cfg.queue);
+            let (s, p, sing, tl, st) =
+                factor_tiled(s, &g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
             (s.to_dense(), p, sing, tl, st)
         }
     };
@@ -693,16 +834,12 @@ mod tests {
         let a = gen::uniform(8, 8, 11);
         assert!(calu_factor(&a, &CaluConfig::new(0)).is_err());
         assert!(calu_factor(&a, &CaluConfig::new(4).with_threads(0)).is_err());
-        assert!(
-            calu_factor(
-                &a,
-                &CaluConfig::new(4)
-                    .with_dratio(0.0)
-                    .with_queue(QueueDiscipline::sharded())
-            )
-            .is_err(),
-            "sharded discipline without a dynamic section is a config error"
-        );
+        for queue in [QueueDiscipline::sharded(), QueueDiscipline::lock_free()] {
+            assert!(
+                calu_factor(&a, &CaluConfig::new(4).with_dratio(0.0).with_queue(queue)).is_err(),
+                "{queue} discipline without a dynamic section is a config error"
+            );
+        }
     }
 
     #[test]
@@ -745,6 +882,100 @@ mod tests {
             assert_eq!(s.steal_pops, 0, "no steal path under Global");
             assert_eq!(s.failed_steals, 0, "no steal probes under Global");
         }
+    }
+
+    #[test]
+    fn lockfree_queue_all_layouts() {
+        let a = gen::uniform(64, 64, 16);
+        for layout in [
+            Layout::BlockCyclic,
+            Layout::TwoLevelBlock,
+            Layout::ColumnMajor,
+        ] {
+            let cfg = CaluConfig::new(16)
+                .with_threads(4)
+                .with_dratio(0.5)
+                .with_layout(layout)
+                .with_queue(QueueDiscipline::lock_free());
+            check(&a, &cfg, 1e-12);
+        }
+    }
+
+    #[test]
+    fn lockfree_discipline_does_not_change_the_math() {
+        let a = gen::uniform(80, 80, 13);
+        let base = CaluConfig::new(16).with_threads(4).with_dratio(0.5);
+        let lockfree = base.clone().with_queue(QueueDiscipline::lock_free());
+        let f1 = calu_factor(&a, &base).unwrap();
+        let f2 = calu_factor(&a, &lockfree).unwrap();
+        assert_eq!(f1.perm.pivots(), f2.perm.pivots());
+        assert!(f1.lu.approx_eq(&f2.lu, 0.0), "bitwise identical factors");
+    }
+
+    #[test]
+    fn lockfree_stats_attribute_every_task_once() {
+        let a = gen::uniform(96, 96, 17);
+        let cfg = CaluConfig::new(16)
+            .with_threads(4)
+            .with_dratio(1.0)
+            .with_queue(QueueDiscipline::LockFree { seed: 11 });
+        let (f, tl, stats) = calu_factor_report(&a, &cfg).unwrap();
+        assert!(f.residual(&a) < 1e-12);
+        let total: u64 = stats
+            .iter()
+            .map(|s| s.local_pops + s.global_pops + s.steal_pops)
+            .sum();
+        assert_eq!(total as usize, tl.spans().len(), "one pop per span");
+        for s in &stats {
+            assert!(
+                s.remote_steal_pops <= s.steal_pops,
+                "remote steals are a subset of steals"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_workers_factor_identically() {
+        // pinning moves threads, never data: same bits with and without
+        let a = gen::uniform(64, 64, 18);
+        let base = CaluConfig::new(16)
+            .with_threads(4)
+            .with_dratio(0.5)
+            .with_queue(QueueDiscipline::lock_free());
+        let pinned = base.clone().with_pinning(true);
+        let f1 = calu_factor(&a, &base).unwrap();
+        let f2 = calu_factor(&a, &pinned).unwrap();
+        assert!(f1.residual(&a) < 1e-12 && f2.residual(&a) < 1e-12);
+        assert_eq!(f1.perm.pivots(), f2.perm.pivots());
+        assert!(f1.lu.approx_eq(&f2.lu, 0.0));
+    }
+
+    #[test]
+    fn steal_sweep_counts_whole_sweeps_not_victims() {
+        // the contention-thermometer regression: an empty sweep over
+        // many victims is ONE failure, so failure_rate stays comparable
+        // between the flat (p − 1 probes) and tiered victim orders
+        let mut failed = 0u64;
+        let all_empty = steal_sweep([0usize, 1, 2].into_iter(), |_| None, &mut failed);
+        assert!(all_empty.is_none());
+        assert_eq!(failed, 1, "three empty victims, one failed sweep");
+
+        // a sweep that succeeds late counts no failure at all
+        let hit = steal_sweep(
+            [0usize, 1, 2].into_iter(),
+            |&v| (v == 2).then_some(TaskId(7)),
+            &mut failed,
+        );
+        assert_eq!(hit, Some((TaskId(7), 2)));
+        assert_eq!(failed, 1, "successful sweep adds no failure");
+
+        // pinned ratio: 1 steal + 1 failed sweep = 50% failure rate,
+        // identical whether the sweep visited 3 victims or 30
+        let mut failed_wide = 0u64;
+        steal_sweep(0..30usize, |_| None, &mut failed_wide);
+        assert_eq!(failed_wide, 1);
+        let rate = failed as f64 / (1 + failed) as f64;
+        assert!((rate - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -45,6 +45,19 @@ pub enum QueueDiscipline {
         /// derived from it, so runs stay reproducible).
         seed: u64,
     },
+    /// Per-worker lock-free Chase-Lev deques
+    /// ([`crate::deque::Deque`]) with locality-tiered stealing: the
+    /// owner pushes newly enabled successors in DAG-priority order and
+    /// pops LIFO (cache-hot), thieves steal FIFO from the cold end,
+    /// sweeping victims SMT sibling → same socket → remote sockets
+    /// ([`crate::topology::StealTiers`]) instead of the flat randomized
+    /// order. Removes even the per-shard mutex of
+    /// [`QueueDiscipline::Sharded`], which stays as the parity oracle.
+    LockFree {
+        /// Seed for the victim-selection RNG (per-worker streams are
+        /// derived from it, so runs stay reproducible).
+        seed: u64,
+    },
 }
 
 impl QueueDiscipline {
@@ -55,16 +68,38 @@ impl QueueDiscipline {
         }
     }
 
-    /// Whether this discipline shards the dynamic queue.
+    /// Lock-free with the default seed.
+    pub fn lock_free() -> Self {
+        QueueDiscipline::LockFree {
+            seed: DEFAULT_STEAL_SEED,
+        }
+    }
+
+    /// Whether this discipline uses the mutex-sharded dynamic queue.
     pub fn is_sharded(&self) -> bool {
         matches!(self, QueueDiscipline::Sharded { .. })
     }
 
-    /// The steal seed, if sharded.
+    /// Whether this discipline uses the lock-free Chase-Lev deques.
+    pub fn is_lock_free(&self) -> bool {
+        matches!(self, QueueDiscipline::LockFree { .. })
+    }
+
+    /// Whether the dynamic section is split into per-worker shards that
+    /// workers steal from (true for both [`Sharded`] and [`LockFree`];
+    /// both need a non-empty dynamic section to shard).
+    ///
+    /// [`Sharded`]: QueueDiscipline::Sharded
+    /// [`LockFree`]: QueueDiscipline::LockFree
+    pub fn steals(&self) -> bool {
+        !matches!(self, QueueDiscipline::Global)
+    }
+
+    /// The steal seed, if this discipline steals.
     pub fn seed(&self) -> Option<u64> {
         match self {
             QueueDiscipline::Global => None,
-            QueueDiscipline::Sharded { seed } => Some(*seed),
+            QueueDiscipline::Sharded { seed } | QueueDiscipline::LockFree { seed } => Some(*seed),
         }
     }
 }
@@ -74,6 +109,7 @@ impl fmt::Display for QueueDiscipline {
         match self {
             QueueDiscipline::Global => write!(f, "global"),
             QueueDiscipline::Sharded { .. } => write!(f, "sharded"),
+            QueueDiscipline::LockFree { .. } => write!(f, "lockfree"),
         }
     }
 }
@@ -113,6 +149,16 @@ mod tests {
     fn display_names() {
         assert_eq!(QueueDiscipline::Global.to_string(), "global");
         assert_eq!(QueueDiscipline::sharded().to_string(), "sharded");
+        assert_eq!(QueueDiscipline::lock_free().to_string(), "lockfree");
+    }
+
+    #[test]
+    fn lock_free_is_a_stealing_non_sharded_discipline() {
+        let lf = QueueDiscipline::lock_free();
+        assert!(lf.is_lock_free() && !lf.is_sharded());
+        assert!(lf.steals() && QueueDiscipline::sharded().steals());
+        assert!(!QueueDiscipline::Global.steals());
+        assert_eq!(lf.seed(), Some(DEFAULT_STEAL_SEED));
     }
 
     #[test]

@@ -15,9 +15,14 @@
 //! * [`QueueDiscipline::Sharded`] — per-core priority shards with
 //!   randomized stealing; each shard keeps the DFS order, so even a
 //!   steal takes the victim's most critical task.
+//! * [`QueueDiscipline::LockFree`] — per-core Chase-Lev-style deques
+//!   (owner LIFO, thieves FIFO) with the locality-tiered victim sweep
+//!   of [`StealTiers`]; this is the decision-procedure model of the
+//!   real executor's lock-free deques, priced by the simulator with
+//!   locality-dependent steal costs.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use calu_dag::{TaskGraph, TaskId, TaskKind};
 use calu_matrix::ProcessGrid;
@@ -28,6 +33,7 @@ use crate::discipline::{steal_order, QueueDiscipline};
 use crate::owner::OwnerMap;
 use crate::policy::{Policy, Popped, QueueSource};
 use crate::priority::{dynamic_key, static_key};
+use crate::topology::{CpuTopology, StealTier, StealTiers};
 
 type Heap = BinaryHeap<Reverse<(u64, u32)>>;
 
@@ -39,6 +45,22 @@ enum DynSection {
     /// `rng` drives victim selection for steals.
     Sharded {
         shards: Vec<Heap>,
+        rng: Rng,
+        rr: usize,
+        seed: u64,
+    },
+    /// Per-core deques modelling the executor's Chase-Lev deques: the
+    /// owner pops the back, thieves take the front in the
+    /// locality-tiered sweep order. A push sinks toward the front past
+    /// any more critical (smaller-key) back entries, so each deque
+    /// stays priority-sorted with its most critical entry at the
+    /// owner's end and its least critical at the thieves' end — the
+    /// decision-procedure idealization of the executor's rule (the real
+    /// deque sorts only within one completion's successor batch and is
+    /// LIFO across batches).
+    LockFree {
+        deques: Vec<VecDeque<(u64, u32)>>,
+        tiers: Vec<StealTiers>,
         rng: Rng,
         rr: usize,
         seed: u64,
@@ -81,20 +103,44 @@ impl HybridPolicy {
         Self::with_nstatic_discipline(g, grid, nstatic, QueueDiscipline::Global)
     }
 
-    /// Build with an explicit static panel count and queue discipline.
+    /// Build with an explicit static panel count and queue discipline,
+    /// with a flat (single-socket) topology for the lock-free tiers.
     pub fn with_nstatic_discipline(
         g: &TaskGraph,
         grid: ProcessGrid,
         nstatic: usize,
         queue: QueueDiscipline,
     ) -> Self {
+        Self::with_nstatic_discipline_on(g, grid, nstatic, queue, &CpuTopology::flat(grid.size()))
+    }
+
+    /// Build with an explicit static panel count, queue discipline, and
+    /// CPU topology (the topology shapes the lock-free discipline's
+    /// tiered victim sweeps; the other disciplines ignore it).
+    pub fn with_nstatic_discipline_on(
+        g: &TaskGraph,
+        grid: ProcessGrid,
+        nstatic: usize,
+        queue: QueueDiscipline,
+        topo: &CpuTopology,
+    ) -> Self {
         let owners = OwnerMap::new(g, grid);
         let kinds: Vec<TaskKind> = g.ids().map(|t| g.kind(t)).collect();
         let is_static = kinds.iter().map(|k| k.writes_col() < nstatic).collect();
+        let cores = grid.size();
         let dynamic = match queue {
             QueueDiscipline::Global => DynSection::Global(BinaryHeap::new()),
             QueueDiscipline::Sharded { seed } => DynSection::Sharded {
-                shards: (0..grid.size()).map(|_| BinaryHeap::new()).collect(),
+                shards: (0..cores).map(|_| BinaryHeap::new()).collect(),
+                rng: Rng::seed_from_u64(seed),
+                rr: 0,
+                seed,
+            },
+            QueueDiscipline::LockFree { seed } => DynSection::LockFree {
+                deques: (0..cores).map(|_| VecDeque::new()).collect(),
+                tiers: (0..cores)
+                    .map(|me| StealTiers::for_worker(topo, me, cores))
+                    .collect(),
                 rng: Rng::seed_from_u64(seed),
                 rr: 0,
                 seed,
@@ -123,6 +169,7 @@ impl HybridPolicy {
         match &self.dynamic {
             DynSection::Global(_) => QueueDiscipline::Global,
             DynSection::Sharded { seed, .. } => QueueDiscipline::Sharded { seed: *seed },
+            DynSection::LockFree { seed, .. } => QueueDiscipline::LockFree { seed: *seed },
         }
     }
 
@@ -163,6 +210,31 @@ impl HybridPolicy {
                     None
                 }
             }
+            DynSection::LockFree {
+                deques, tiers, rng, ..
+            } => {
+                if let Some((_, t)) = deques[core].pop_back() {
+                    Some(Popped {
+                        task: TaskId(t),
+                        source: QueueSource::Shard,
+                    })
+                } else {
+                    let mut found = None;
+                    for (victim, tier) in tiers[core].sweep(rng) {
+                        if let Some((_, t)) = deques[victim].pop_front() {
+                            found = Some(Popped {
+                                task: TaskId(t),
+                                source: match tier {
+                                    StealTier::Remote => QueueSource::StolenRemote,
+                                    _ => QueueSource::Stolen,
+                                },
+                            });
+                            break;
+                        }
+                    }
+                    found
+                }
+            }
         };
         if popped.is_some() {
             self.queued -= 1;
@@ -178,9 +250,9 @@ impl Policy for HybridPolicy {
             let owner = self.owners.owner(t);
             self.local[owner].push(Reverse((self.static_keys[t.idx()], t.0)));
         } else {
-            let entry = Reverse((self.dynamic_keys[t.idx()], t.0));
+            let key = self.dynamic_keys[t.idx()];
             match &mut self.dynamic {
-                DynSection::Global(q) => q.push(entry),
+                DynSection::Global(q) => q.push(Reverse((key, t.0))),
                 DynSection::Sharded { shards, rr, .. } => {
                     // push to the enabling core's shard (locality);
                     // scatter initially ready tasks round-robin
@@ -189,7 +261,23 @@ impl Policy for HybridPolicy {
                         *rr = (*rr + 1) % shards.len();
                         c
                     });
-                    shards[home].push(entry);
+                    shards[home].push(Reverse((key, t.0)));
+                }
+                DynSection::LockFree { deques, rr, .. } => {
+                    let home = completer.unwrap_or_else(|| {
+                        let c = *rr;
+                        *rr = (*rr + 1) % deques.len();
+                        c
+                    });
+                    // sink toward the front past more critical
+                    // (smaller-key) back entries so the owner's end
+                    // stays the most critical (DynSection::LockFree docs)
+                    let dq = &mut deques[home];
+                    let mut at = dq.len();
+                    while at > 0 && dq[at - 1].0 < key {
+                        at -= 1;
+                    }
+                    dq.insert(at, (key, t.0));
                 }
             }
         }
@@ -212,7 +300,7 @@ impl Policy for HybridPolicy {
         let mut batch = vec![first];
         // a thief takes exactly one task — the rest of the victim's
         // shard keeps its locality
-        if first.source == QueueSource::Stolen {
+        if first.source.is_stolen() {
             return batch;
         }
         // group the head run of updates of one (k, j) column step, like
@@ -221,21 +309,42 @@ impl Policy for HybridPolicy {
         let TaskKind::Update { k, j, .. } = self.kinds[first.task.idx()] else {
             return batch;
         };
+        let same_step = |kinds: &[TaskKind], t: u32| {
+            matches!(kinds[t as usize],
+                TaskKind::Update { k: hk, j: hj, .. } if hk == k && hj == j)
+        };
         while batch.len() < max {
+            let kinds = &self.kinds;
+            // the lock-free deque continues from the owner's (back) end;
+            // every heap-backed queue continues from its head
+            if let (QueueSource::Shard, DynSection::LockFree { deques, .. }) =
+                (first.source, &mut self.dynamic)
+            {
+                let same = deques[core]
+                    .back()
+                    .is_some_and(|&(_, t)| same_step(kinds, t));
+                if !same {
+                    break;
+                }
+                let (_, t) = deques[core].pop_back().expect("peeked");
+                self.queued -= 1;
+                batch.push(Popped {
+                    task: TaskId(t),
+                    source: first.source,
+                });
+                continue;
+            }
             let heap = match first.source {
                 QueueSource::Local => &mut self.local[core],
                 _ => match &mut self.dynamic {
                     DynSection::Global(q) => q,
                     DynSection::Sharded { shards, .. } => &mut shards[core],
+                    DynSection::LockFree { .. } => unreachable!("handled above"),
                 },
             };
-            let kinds = &self.kinds;
             let same = heap
                 .peek()
-                .map(|Reverse((_, t))| {
-                    matches!(kinds[*t as usize],
-                        TaskKind::Update { k: hk, j: hj, .. } if hk == k && hj == j)
-                })
+                .map(|Reverse((_, t))| same_step(kinds, *t))
                 .unwrap_or(false);
             if !same {
                 break;
@@ -254,6 +363,7 @@ impl Policy for HybridPolicy {
         match self.dynamic {
             DynSection::Global(_) => "hybrid",
             DynSection::Sharded { .. } => "hybrid (sharded)",
+            DynSection::LockFree { .. } => "hybrid (lockfree)",
         }
     }
 
@@ -529,5 +639,150 @@ mod tests {
         assert_eq!(HybridPolicy::new(&g, grid, 0.1).name(), "hybrid");
         assert_eq!(sharded(&g, grid, 0.1).name(), "hybrid (sharded)");
         assert!(sharded(&g, grid, 0.1).discipline().is_sharded());
+        assert_eq!(lockfree(&g, grid, 0.1).name(), "hybrid (lockfree)");
+        assert!(lockfree(&g, grid, 0.1).discipline().is_lock_free());
+    }
+
+    // ----- lock-free discipline ---------------------------------------
+
+    fn lockfree(g: &TaskGraph, grid: ProcessGrid, dratio: f64) -> HybridPolicy {
+        HybridPolicy::with_discipline(g, grid, dratio, QueueDiscipline::LockFree { seed: 42 })
+    }
+
+    #[test]
+    fn lockfree_owner_pops_its_own_deque_in_priority_order() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = lockfree(&g, grid, 1.0);
+        let late = g
+            .ids()
+            .find(|&t| matches!(g.kind(t), TaskKind::Update { k: 0, i: 1, j: 7 }))
+            .unwrap();
+        let early = g
+            .ids()
+            .find(|&t| matches!(g.kind(t), TaskKind::Update { k: 0, i: 1, j: 1 }))
+            .unwrap();
+        // pushed least critical first: the sink keeps the owner's end
+        // most critical either way
+        p.on_ready(late, Some(2));
+        p.on_ready(early, Some(2));
+        let first = p.pop(2).unwrap();
+        assert_eq!(first.task, early, "own pop serves the DFS order");
+        assert_eq!(first.source, QueueSource::Shard);
+        assert_eq!(p.pop(2).unwrap().task, late);
+    }
+
+    #[test]
+    fn lockfree_steals_take_the_cold_end_and_tag_locality() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        // 2 sockets × 2 cores: cores {0,1} on socket 0, {2,3} on socket 1
+        let topo = CpuTopology::uniform(2, 2);
+        let nstatic = 0;
+        let mut p = HybridPolicy::with_nstatic_discipline_on(
+            &g,
+            grid,
+            nstatic,
+            QueueDiscipline::LockFree { seed: 7 },
+            &topo,
+        );
+        let late = g
+            .ids()
+            .find(|&t| matches!(g.kind(t), TaskKind::Update { k: 0, i: 1, j: 7 }))
+            .unwrap();
+        let early = g
+            .ids()
+            .find(|&t| matches!(g.kind(t), TaskKind::Update { k: 0, i: 1, j: 1 }))
+            .unwrap();
+        p.on_ready(early, Some(0));
+        p.on_ready(late, Some(0));
+        // same-socket thief: core 1 steals core 0's cold (least
+        // critical) end, tagged as a near steal
+        let near = p.pop(1).unwrap();
+        assert_eq!(near.task, late, "steal takes the cold end");
+        assert_eq!(near.source, QueueSource::Stolen);
+        // remote thief: core 3 sits on the other socket
+        let far = p.pop(3).unwrap();
+        assert_eq!(far.task, early);
+        assert_eq!(far.source, QueueSource::StolenRemote);
+        assert_eq!(p.queued(), 0);
+    }
+
+    #[test]
+    fn lockfree_drains_completely_and_deterministically() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let run = |seed: u64| {
+            let mut p =
+                HybridPolicy::with_discipline(&g, grid, 0.3, QueueDiscipline::LockFree { seed });
+            let mut deps: Vec<u32> = g.ids().map(|t| g.dep_count(t)).collect();
+            for t in g.initial_ready() {
+                p.on_ready(t, None);
+            }
+            let mut order = Vec::new();
+            let mut done = 0;
+            while done < g.len() {
+                let mut progressed = false;
+                for core in 0..4 {
+                    if let Some(popped) = p.pop(core) {
+                        progressed = true;
+                        done += 1;
+                        order.push(popped.task);
+                        for &s in g.successors(popped.task) {
+                            deps[s.idx()] -= 1;
+                            if deps[s.idx()] == 0 {
+                                p.on_ready(s, Some(core));
+                            }
+                        }
+                    }
+                }
+                assert!(progressed, "lock-free hybrid starved");
+            }
+            assert_eq!(p.queued(), 0);
+            order
+        };
+        assert_eq!(run(7), run(7), "fixed seed, fixed schedule");
+    }
+
+    #[test]
+    fn lockfree_stolen_tasks_never_batch() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = lockfree(&g, grid, 1.0);
+        let pick = |i: u32| {
+            g.ids()
+                .find(|&t| g.kind(t) == TaskKind::Update { k: 0, i, j: 5 })
+                .unwrap()
+        };
+        p.on_ready(pick(1), Some(0));
+        p.on_ready(pick(2), Some(0));
+        let batch = p.pop_batch(3, 4);
+        assert_eq!(batch.len(), 1, "a thief takes exactly one task");
+        assert!(batch[0].source.is_stolen());
+        // the owner still batches the same-column run from its own end
+        let own = p.pop_batch(0, 4);
+        assert_eq!(own.len(), 1);
+        assert_eq!(own[0].source, QueueSource::Shard);
+    }
+
+    #[test]
+    fn lockfree_owner_batches_same_column_updates() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = lockfree(&g, grid, 1.0);
+        let pick = |i: u32, j: u32| {
+            g.ids()
+                .find(|&t| g.kind(t) == TaskKind::Update { k: 0, i, j })
+                .unwrap()
+        };
+        for t in [pick(1, 5), pick(2, 5), pick(1, 6)] {
+            p.on_ready(t, Some(0));
+        }
+        let batch = p.pop_batch(0, 4);
+        assert_eq!(batch.len(), 2, "column-5 updates group, column 6 does not");
+        assert!(batch
+            .iter()
+            .all(|pp| matches!(g.kind(pp.task), TaskKind::Update { j: 5, .. })));
+        assert_eq!(p.pop_batch(0, 4).len(), 1);
     }
 }

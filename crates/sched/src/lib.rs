@@ -24,10 +24,12 @@
 //! priority orders ([`priority`]).
 
 pub mod config;
+pub mod deque;
 pub mod discipline;
 pub mod owner;
 pub mod policy;
 pub mod priority;
+pub mod topology;
 
 mod dynamic_policy;
 mod hybrid;
@@ -35,12 +37,14 @@ mod static_policy;
 mod work_stealing;
 
 pub use config::{nstatic_for, SchedulerKind};
+pub use deque::{Deque, Steal};
 pub use discipline::{steal_order, QueueDiscipline, DEFAULT_STEAL_SEED};
 pub use dynamic_policy::DynamicPolicy;
 pub use hybrid::HybridPolicy;
 pub use owner::OwnerMap;
 pub use policy::{Policy, Popped, QueueSource};
 pub use static_policy::StaticPolicy;
+pub use topology::{CpuTopology, StealTier, StealTiers};
 pub use work_stealing::WorkStealingPolicy;
 
 use calu_dag::TaskGraph;
@@ -65,17 +69,33 @@ pub fn make_policy_with(
     g: &TaskGraph,
     grid: ProcessGrid,
 ) -> Box<dyn Policy> {
+    make_policy_on(kind, queue, &CpuTopology::flat(grid.size()), g, grid)
+}
+
+/// [`make_policy_with`] with an explicit CPU topology: the lock-free
+/// discipline's tiered victim sweeps (SMT sibling → same socket →
+/// remote) are computed from `topo`, so the simulator can pass its
+/// machine model's socket layout and the real executor the detected
+/// host topology — both then sweep victims in the same order.
+pub fn make_policy_on(
+    kind: SchedulerKind,
+    queue: QueueDiscipline,
+    topo: &CpuTopology,
+    g: &TaskGraph,
+    grid: ProcessGrid,
+) -> Box<dyn Policy> {
+    let nstatic = |dratio| nstatic_for(dratio, g.num_panels());
     match (kind, queue) {
         (SchedulerKind::Static, _) => Box::new(StaticPolicy::new(g, grid)),
         (SchedulerKind::Dynamic, QueueDiscipline::Global) => {
             Box::new(DynamicPolicy::new(g, grid.size()))
         }
-        (SchedulerKind::Dynamic, q @ QueueDiscipline::Sharded { .. }) => {
-            Box::new(HybridPolicy::with_nstatic_discipline(g, grid, 0, q))
-        }
-        (SchedulerKind::Hybrid { dratio }, q) => {
-            Box::new(HybridPolicy::with_discipline(g, grid, dratio, q))
-        }
+        (SchedulerKind::Dynamic, q) => Box::new(HybridPolicy::with_nstatic_discipline_on(
+            g, grid, 0, q, topo,
+        )),
+        (SchedulerKind::Hybrid { dratio }, q) => Box::new(
+            HybridPolicy::with_nstatic_discipline_on(g, grid, nstatic(dratio), q, topo),
+        ),
         (SchedulerKind::WorkStealing { seed }, _) => {
             Box::new(WorkStealingPolicy::new(g, grid.size(), seed))
         }
@@ -134,7 +154,11 @@ mod tests {
             SchedulerKind::Hybrid { dratio: 0.3 },
             SchedulerKind::WorkStealing { seed: 7 },
         ] {
-            for queue in [QueueDiscipline::Global, QueueDiscipline::sharded()] {
+            for queue in [
+                QueueDiscipline::Global,
+                QueueDiscipline::sharded(),
+                QueueDiscipline::lock_free(),
+            ] {
                 let mut p = make_policy_with(kind, queue, &g, grid);
                 let order = drain(&g, p.as_mut(), grid.size());
                 assert_eq!(order.len(), g.len(), "{kind:?} / {queue}");
@@ -161,6 +185,21 @@ mod tests {
         assert_eq!(
             make_policy_with(SchedulerKind::Dynamic, QueueDiscipline::sharded(), &g, grid).name(),
             "hybrid (sharded)"
+        );
+        assert_eq!(
+            make_policy_with(kind, QueueDiscipline::lock_free(), &g, grid).name(),
+            "hybrid (lockfree)"
+        );
+        assert_eq!(
+            make_policy_on(
+                SchedulerKind::Dynamic,
+                QueueDiscipline::lock_free(),
+                &CpuTopology::uniform(2, 2),
+                &g,
+                grid
+            )
+            .name(),
+            "hybrid (lockfree)"
         );
         // no dynamic section / already-sharded policies are unaffected
         assert_eq!(

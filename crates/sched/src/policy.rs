@@ -16,8 +16,21 @@ pub enum QueueSource {
     /// pays the dequeue cost without the global queue's all-core
     /// contention — the point of sharding.
     Shard,
-    /// Stolen from another core's deque (work stealing only).
+    /// Stolen from another core's deque on the *same socket* (or an SMT
+    /// sibling): the migrated inputs cross at most the shared L3.
     Stolen,
+    /// Stolen from a core on a *different socket*: the inputs cross the
+    /// NUMA interconnect, the expensive migration of §1. Only the
+    /// locality-tiered lock-free discipline distinguishes this; flat
+    /// stealing reports every steal as [`QueueSource::Stolen`].
+    StolenRemote,
+}
+
+impl QueueSource {
+    /// Whether the task was obtained by stealing (either locality).
+    pub fn is_stolen(&self) -> bool {
+        matches!(self, QueueSource::Stolen | QueueSource::StolenRemote)
+    }
 }
 
 /// A task handed to a core, tagged with its queue of origin.

@@ -1,7 +1,11 @@
-//! The task cost model: flops, kernel efficiencies, and touched tiles.
+//! The task cost model: flops, kernel efficiencies, dequeue/steal
+//! pricing, and touched tiles.
 
 use calu_dag::{DagVariant, TaskGraph, TaskId, TaskKind};
 use calu_matrix::Layout;
+use calu_sched::QueueSource;
+
+use crate::machine::MachineConfig;
 
 /// Extra-work multiplier of incremental pivoting's stacked panel
 /// factorizations (TSTRF) relative to a plain trsm — the price PLASMA
@@ -141,6 +145,42 @@ pub fn kernel_eff(g: &TaskGraph, kind: &TaskKind, layout: Layout, batch: usize) 
             } else {
                 single
             }
+        }
+    }
+}
+
+/// Seconds of scheduler overhead for one dequeue of a task obtained
+/// from `source` on machine `m` — §1's "dequeue overhead to pull a task
+/// from a work queue", priced by where the task came from:
+///
+/// * [`QueueSource::Local`] — the core's own static queue: cheapest.
+/// * [`QueueSource::Global`] — the shared dynamic queue: the base pop
+///   plus a lock-contention term that grows with every other core.
+/// * [`QueueSource::Shard`] — the core's own dynamic shard under the
+///   mutex-sharded discipline: the base pop, but the lock is per-worker
+///   so no all-core contention term — the point of sharding. Under the
+///   lock-free discipline the own-deque pop has no lock at all and is
+///   priced like a local pop.
+/// * [`QueueSource::Stolen`] — a near steal (same socket): the base pop
+///   plus half a sweep of per-victim probes.
+/// * [`QueueSource::StolenRemote`] — a cross-socket steal: the same
+///   sweep, with the per-victim cost scaled by
+///   [`MachineConfig::remote_steal_factor`] — the migrated working set
+///   crosses the NUMA interconnect ("dynamic migration of data has a
+///   significant cost", §1). Only the locality-tiered lock-free
+///   discipline reports this source.
+///
+/// `lock_free` selects the cheaper own-shard pricing described above.
+pub fn dequeue_cost(m: &MachineConfig, source: QueueSource, lock_free: bool) -> f64 {
+    let p = m.cores() as f64;
+    match source {
+        QueueSource::Local => m.dequeue_local,
+        QueueSource::Global => m.dequeue_global + m.dequeue_contention * (p - 1.0),
+        QueueSource::Shard if lock_free => m.dequeue_local,
+        QueueSource::Shard => m.dequeue_global,
+        QueueSource::Stolen => m.dequeue_global + m.steal_cost * (p / 2.0),
+        QueueSource::StolenRemote => {
+            m.dequeue_global + m.steal_cost * m.remote_steal_factor * (p / 2.0)
         }
     }
 }
@@ -315,6 +355,26 @@ mod tests {
         let g = TaskGraph::build(250, 250, 100);
         assert_eq!(tile_bytes(&g, 0, 0), 100.0 * 100.0 * 8.0);
         assert_eq!(tile_bytes(&g, 2, 2), 50.0 * 50.0 * 8.0);
+    }
+
+    #[test]
+    fn dequeue_pricing_orders_the_sources() {
+        use crate::machine::NoiseConfig;
+        let m = MachineConfig::amd_opteron_48(NoiseConfig::off());
+        let local = dequeue_cost(&m, QueueSource::Local, false);
+        let shard = dequeue_cost(&m, QueueSource::Shard, false);
+        let shard_lf = dequeue_cost(&m, QueueSource::Shard, true);
+        let global = dequeue_cost(&m, QueueSource::Global, false);
+        let near = dequeue_cost(&m, QueueSource::Stolen, true);
+        let remote = dequeue_cost(&m, QueueSource::StolenRemote, true);
+        assert!(local < shard, "own shard still pays its (uncontended) lock");
+        assert_eq!(shard_lf, local, "lock-free own pop loses the lock");
+        assert!(shard < global, "the global queue pays all-core contention");
+        assert!(near < remote, "remote steals cross the interconnect");
+        assert!(
+            (remote - m.dequeue_global) > (near - m.dequeue_global) * m.remote_steal_factor * 0.99,
+            "remote scaling applies to the sweep term"
+        );
     }
 
     #[test]

@@ -6,13 +6,15 @@ use std::collections::BinaryHeap;
 
 use calu_dag::{PaperKind, TaskGraph, TaskId};
 use calu_matrix::{Layout, ProcessGrid};
-use calu_sched::{make_policy_with, Policy, QueueDiscipline, QueueSource, SchedulerKind};
+use calu_sched::{
+    make_policy_on, CpuTopology, Policy, QueueDiscipline, QueueSource, SchedulerKind,
+};
 use calu_trace::{SpanKind, TaskSpan, Timeline};
 
 use crate::cache::{tile_key, TileCache};
 use crate::cost::{
-    kernel_eff, lu_nominal_flops, task_flops, task_tiles, task_written_tile, tile_bytes,
-    total_flops,
+    dequeue_cost, kernel_eff, lu_nominal_flops, task_flops, task_tiles, task_written_tile,
+    tile_bytes, total_flops,
 };
 use crate::machine::MachineConfig;
 use crate::noise::NoiseProcess;
@@ -145,7 +147,11 @@ impl<'a> Engine<'a> {
         } else {
             cfg.machine.cache_tiles
         };
-        let policy = make_policy_with(cfg.sched, cfg.queue, g, cfg.grid);
+        // the simulated machine's socket layout feeds the lock-free
+        // discipline's tiered victim sweeps, so a simulated steal probes
+        // same-socket victims before remote ones exactly like a real one
+        let topo = CpuTopology::uniform(cfg.machine.sockets, cfg.machine.cores_per_socket);
+        let policy = make_policy_on(cfg.sched, cfg.queue, &topo, g, cfg.grid);
         Self {
             g,
             cfg,
@@ -195,24 +201,20 @@ impl<'a> Engine<'a> {
         }
         self.idle[core] = false;
         let m = &self.cfg.machine;
-        let p = m.cores() as f64;
 
-        // scheduler overhead: one dequeue per batch
-        let dq = match batch[0].source {
-            QueueSource::Local => m.dequeue_local,
-            QueueSource::Global => m.dequeue_global + m.dequeue_contention * (p - 1.0),
-            // own shard: the dequeue itself, but the lock is per-worker
-            // (touched only by this core and the occasional thief), so
-            // no all-core contention term — the point of sharding
-            QueueSource::Shard => m.dequeue_global,
-            QueueSource::Stolen => m.dequeue_global + m.steal_cost * (p / 2.0),
-        };
+        // scheduler overhead: one dequeue per batch, priced per source
+        // (and per steal locality) by the shared cost model
+        let dq = dequeue_cost(m, batch[0].source, self.cfg.queue.is_lock_free());
         for popped in &batch {
             match popped.source {
                 QueueSource::Local => self.stats[core].local_pops += 1,
                 // shard pops are dynamic-section pops, same as global
                 QueueSource::Global | QueueSource::Shard => self.stats[core].global_pops += 1,
                 QueueSource::Stolen => self.stats[core].stolen_pops += 1,
+                QueueSource::StolenRemote => {
+                    self.stats[core].stolen_pops += 1;
+                    self.stats[core].remote_stolen_pops += 1;
+                }
             }
         }
 
@@ -461,6 +463,53 @@ mod tests {
         // same DAG under the Global discipline never steals
         let rg = run(&g, &intel(SchedulerKind::Hybrid { dratio: 0.5 }));
         assert_eq!(rg.cores.iter().map(|c| c.stolen_pops).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn lockfree_discipline_executes_all_tasks_and_classifies_steals() {
+        let g = TaskGraph::build(1500, 1500, 100);
+        let cfg = intel(SchedulerKind::Hybrid { dratio: 0.5 })
+            .with_queue(QueueDiscipline::LockFree { seed: 3 });
+        let r = run(&g, &cfg);
+        let total: u64 = r.cores.iter().map(|c| c.tasks).sum();
+        assert_eq!(total as usize, g.len());
+        let stolen: u64 = r.cores.iter().map(|c| c.stolen_pops).sum();
+        let remote: u64 = r.cores.iter().map(|c| c.remote_stolen_pops).sum();
+        assert!(stolen > 0, "a 16-core lock-free run must steal");
+        assert!(remote <= stolen, "remote steals are a subset");
+        // determinism: same seed, same schedule
+        let r2 = run(&g, &cfg);
+        assert_eq!(r.makespan, r2.makespan);
+        assert_eq!(r.cores, r2.cores);
+        // the flat sharded sweep never classifies a steal as remote
+        let sh = run(
+            &g,
+            &intel(SchedulerKind::Hybrid { dratio: 0.5 })
+                .with_queue(QueueDiscipline::Sharded { seed: 3 }),
+        );
+        assert_eq!(
+            sh.cores.iter().map(|c| c.remote_stolen_pops).sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn remote_steals_cost_more_on_numa_heavy_machines() {
+        use crate::cost::dequeue_cost;
+        let amd = MachineConfig::amd_opteron_48(NoiseConfig::off());
+        let intel = MachineConfig::intel_xeon_16(NoiseConfig::off());
+        for m in [&amd, &intel] {
+            assert!(
+                dequeue_cost(m, QueueSource::StolenRemote, true)
+                    > dequeue_cost(m, QueueSource::Stolen, true)
+            );
+        }
+        // the AMD interconnect premium dwarfs the Intel one in absolute terms
+        let premium = |m: &MachineConfig| {
+            dequeue_cost(m, QueueSource::StolenRemote, true)
+                - dequeue_cost(m, QueueSource::Stolen, true)
+        };
+        assert!(premium(&amd) > premium(&intel));
     }
 
     #[test]

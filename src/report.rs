@@ -20,14 +20,17 @@
 //! | scheduler overhead / memory / noise seconds | `overhead`, `memory`, `noise` | `utilization()`, `total_noise()` | simulated only |
 //! | tasks executed | `tasks` | `total_tasks()` | both |
 //! | static-queue pops | `local_pops` | `queue_sources().local` | both |
-//! | dynamic pops (shared queue or own shard) | `global_pops` | `queue_sources().global` | both |
-//! | **steals** (tasks taken from another worker's shard) | `stolen_pops` | `queue_sources().stolen`, `contention().steals` | both, sharded/work-stealing only |
-//! | **failed steal probes** (victim shard was empty) | `failed_steals` | `contention().failed_steals`, `contention().failure_rate()` | threaded backend, sharded only |
+//! | dynamic pops (shared queue or own shard/deque) | `global_pops` | `queue_sources().global` | both |
+//! | **steals** (tasks taken from another worker's shard or deque) | `stolen_pops` | `queue_sources().stolen`, `contention().steals`, `steal_locality().local` + `.remote` | both, stealing disciplines only |
+//! | **remote steals** (the victim sat on another socket) | `remote_steal_pops` | `steal_locality().remote`, `steal_locality().remote_fraction()` | both, lock-free discipline's tiered sweep only |
+//! | **failed steal sweeps** (every probed victim was empty) | `failed_steals` | `contention().failed_steals`, `contention().failure_rate()` | threaded backend, stealing disciplines only |
 //! | NUMA / cache traffic | `remote_bytes`, `local_bytes`, `cache_*` | `Report::remote_bytes()`, `Report::cache_hit_rate()` | simulated only |
 //!
 //! Steal counters are identically zero under
-//! [`QueueDiscipline::Global`](calu_sched::QueueDiscipline) — the
-//! backend-parity tests rely on that.
+//! [`QueueDiscipline::Global`](calu_sched::QueueDiscipline), and
+//! `remote_steal_pops` additionally under
+//! `QueueDiscipline::Sharded`, whose flat sweep does not classify
+//! victims — the backend-parity tests rely on both.
 
 use calu_core::Factorization;
 use calu_matrix::Layout;
@@ -59,13 +62,20 @@ pub struct ThreadMetrics {
     /// shard under [`QueueDiscipline::Sharded`]
     /// (both of [`calu_sched::QueueDiscipline`]).
     pub global_pops: u64,
-    /// Tasks stolen from another thread (sharded queue discipline or
+    /// Tasks stolen from another thread (stealing queue disciplines or
     /// the work-stealing policy).
     pub stolen_pops: u64,
-    /// Steal probes that found the victim's shard empty (threaded
-    /// backend under the sharded discipline) — the queue-contention
+    /// The subset of `stolen_pops` whose victim sat on a different
+    /// socket — reported only by the lock-free discipline's
+    /// locality-tiered sweep; the flat sharded sweep does not classify
+    /// victims, so it stays zero there.
+    pub remote_steal_pops: u64,
+    /// Steal *sweeps* in which every probed victim was empty (threaded
+    /// backend under the stealing disciplines) — the queue-contention
     /// signal: a high [`ContentionStats::failure_rate`] means workers
-    /// sweep drained shards instead of computing.
+    /// sweep drained shards instead of computing. Counted per whole
+    /// sweep, not per probed victim, so flat and tiered victim orders
+    /// read on the same scale.
     pub failed_steals: u64,
     /// Bytes pulled from a remote NUMA socket (simulated only).
     pub remote_bytes: f64,
@@ -101,27 +111,58 @@ impl QueueBreakdown {
     }
 }
 
-/// Steal-path contention accounting, summed over threads (sharded queue
-/// discipline only; all zero under the global discipline).
+/// Steal-path contention accounting, summed over threads (stealing
+/// queue disciplines only; all zero under the global discipline).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ContentionStats {
     /// Successful steals: tasks taken from another worker's shard.
     pub steals: u64,
-    /// Probes of a victim shard that came up empty.
+    /// Steal sweeps in which *every* probed victim was empty. One
+    /// wholly-empty sweep counts once, regardless of how many victims
+    /// it visited, so the flat randomized order and the locality-tiered
+    /// one produce comparable readings.
     pub failed_steals: u64,
 }
 
 impl ContentionStats {
-    /// Fraction of steal probes that failed (0 when no probes happened).
+    /// Fraction of steal sweeps that came up empty (0 when none ran).
     /// This is the executor's contention thermometer: near 0 means
-    /// steals usually succeed on the first probe, near 1 means workers
-    /// burn their idle time sweeping drained shards.
+    /// sweeps usually find work, near 1 means workers burn their idle
+    /// time sweeping drained shards.
     pub fn failure_rate(&self) -> f64 {
-        let probes = self.steals + self.failed_steals;
-        if probes == 0 {
+        let sweeps = self.steals + self.failed_steals;
+        if sweeps == 0 {
             0.0
         } else {
-            self.failed_steals as f64 / probes as f64
+            self.failed_steals as f64 / sweeps as f64
+        }
+    }
+}
+
+/// Where stolen tasks came from, summed over threads: the locality
+/// split of the lock-free discipline's tiered steal sweep. Under the
+/// flat sharded sweep every steal counts as `local` (victims are not
+/// classified); under the global discipline both are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealLocality {
+    /// Steals whose victim shared the thief's socket (or SMT core).
+    pub local: u64,
+    /// Steals whose victim sat on a different socket — each one dragged
+    /// the task's working set across the NUMA interconnect.
+    pub remote: u64,
+}
+
+impl StealLocality {
+    /// Fraction of steals that crossed a socket boundary (0 when no
+    /// steals happened). The tiered sweep exists to keep this low:
+    /// rising values mean same-socket victims are usually drained and
+    /// the work distribution, not the sweep order, is the problem.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local + self.remote;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote as f64 / total as f64
         }
     }
 }
@@ -185,7 +226,7 @@ impl ScheduleMetrics {
         self.threads.iter().map(|t| t.tasks).sum()
     }
 
-    /// Steal-path contention summed over threads (sharded discipline).
+    /// Steal-path contention summed over threads (stealing disciplines).
     pub fn contention(&self) -> ContentionStats {
         let mut c = ContentionStats::default();
         for t in &self.threads {
@@ -193,6 +234,18 @@ impl ScheduleMetrics {
             c.failed_steals += t.failed_steals;
         }
         c
+    }
+
+    /// Steal-locality split summed over threads: how many steals stayed
+    /// on the thief's socket vs. crossed the interconnect (lock-free
+    /// discipline's tiered sweep; see [`StealLocality`]).
+    pub fn steal_locality(&self) -> StealLocality {
+        let mut s = StealLocality::default();
+        for t in &self.threads {
+            s.local += t.stolen_pops - t.remote_steal_pops;
+            s.remote += t.remote_steal_pops;
+        }
+        s
     }
 }
 
@@ -305,9 +358,10 @@ mod tests {
                     idle: 1.0,
                     noise: 0.5,
                     tasks: 4,
-                    local_pops: 2,
+                    local_pops: 1,
                     global_pops: 1,
-                    stolen_pops: 1,
+                    stolen_pops: 2,
+                    remote_steal_pops: 1,
                     failed_steals: 3,
                     ..Default::default()
                 },
@@ -323,11 +377,15 @@ mod tests {
         assert_eq!(m.per_thread_idle(), vec![0.5, 1.0]);
         assert_eq!(m.total_tasks(), 10);
         let q = m.queue_sources();
-        assert_eq!((q.local, q.global, q.stolen), (7, 2, 1));
-        assert!((q.dynamic_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!((q.local, q.global, q.stolen), (6, 2, 2));
+        assert!((q.dynamic_fraction() - 0.4).abs() < 1e-12);
         let c = m.contention();
-        assert_eq!((c.steals, c.failed_steals), (1, 3));
-        assert!((c.failure_rate() - 0.75).abs() < 1e-12);
+        assert_eq!((c.steals, c.failed_steals), (2, 3));
+        assert!((c.failure_rate() - 0.6).abs() < 1e-12);
+        let s = m.steal_locality();
+        assert_eq!((s.local, s.remote), (1, 1));
+        assert!((s.remote_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(StealLocality::default().remote_fraction(), 0.0);
     }
 
     #[test]

@@ -210,12 +210,13 @@ pub struct Solver {
     threads: Option<usize>,
     layout: Layout,
     scheduler: SchedulerKind,
-    queue: QueueDiscipline,
+    queue: Option<QueueDiscipline>,
     group: Option<usize>,
     leaf_stride: Option<usize>,
     algorithm: Algorithm,
     trace: bool,
     verify: bool,
+    pin_workers: bool,
     backend: Box<dyn Backend>,
 }
 
@@ -230,12 +231,13 @@ impl Solver {
             threads: None,
             layout: Layout::BlockCyclic,
             scheduler: SchedulerKind::Hybrid { dratio: 0.1 },
-            queue: QueueDiscipline::Global,
+            queue: None,
             group: None,
             leaf_stride: None,
             algorithm: Algorithm::Calu,
             trace: false,
             verify: true,
+            pin_workers: false,
             backend: Box::new(ThreadedBackend),
         }
     }
@@ -270,15 +272,29 @@ impl Solver {
         self.scheduler(SchedulerKind::Hybrid { dratio })
     }
 
-    /// Set the dynamic-section queue discipline (default
-    /// [`QueueDiscipline::Global`], the paper's single shared queue).
-    /// [`QueueDiscipline::Sharded`] gives each worker its own priority
-    /// shard plus randomized stealing — same task order, no single
-    /// dequeue lock — on both the threaded and simulated backends.
-    /// Requires a scheduler with a dynamic section (rejected with
-    /// `Static`, where there is nothing to shard).
+    /// Set the dynamic-section queue discipline explicitly. Unset, the
+    /// backend chooses: the threaded backend defaults to
+    /// [`QueueDiscipline::LockFree`] (per-worker Chase-Lev deques with
+    /// locality-tiered stealing — it won the perf-smoke gate), the
+    /// simulated backend to [`QueueDiscipline::Global`] (the paper's
+    /// single shared queue, keeping the reproduced figures faithful);
+    /// schedulers without a dynamic section always get `Global`.
+    /// [`QueueDiscipline::Sharded`] (per-worker mutex'd priority shards)
+    /// remains available as the parity oracle. An *explicit* stealing
+    /// discipline requires a scheduler with a dynamic section (rejected
+    /// with `Static`, where there is nothing to shard or steal).
     pub fn queue_discipline(mut self, queue: QueueDiscipline) -> Self {
-        self.queue = queue;
+        self.queue = Some(queue);
+        self
+    }
+
+    /// Pin worker threads to CPUs by the detected host topology
+    /// (threaded backend; default off). Pinning makes the lock-free
+    /// discipline's "same socket" steal tier mean the same socket in
+    /// silicon, at the price of fairness on oversubscribed machines —
+    /// turn it on for dedicated-machine benchmark runs.
+    pub fn pin_workers(mut self, pin: bool) -> Self {
+        self.pin_workers = pin;
         self
     }
 
@@ -348,13 +364,27 @@ impl Solver {
             SchedulerKind::Dynamic | SchedulerKind::WorkStealing { .. } => 1.0,
             SchedulerKind::Hybrid { dratio } => dratio,
         };
+        // resolve the queue discipline: an explicit choice always wins
+        // (and is validated as given); otherwise the backend's
+        // preference applies wherever a dynamic section exists, with
+        // the paper's global queue as the universal fallback
+        let queue = self.queue.unwrap_or_else(|| {
+            if dratio > 0.0 {
+                self.backend
+                    .preferred_queue()
+                    .unwrap_or(QueueDiscipline::Global)
+            } else {
+                QueueDiscipline::Global
+            }
+        });
         // the one shared validation path (b, threads, dratio, group,
         // leaves, grid)
         let mut cfg = CaluConfig::new(self.b)
             .with_threads(threads)
             .with_dratio(dratio)
             .with_layout(self.layout)
-            .with_queue(self.queue);
+            .with_queue(queue)
+            .with_pinning(self.pin_workers);
         cfg.leaf_stride = self.leaf_stride;
         if let Some(g) = self.group {
             cfg.group = g;
@@ -459,14 +489,32 @@ mod tests {
     }
 
     #[test]
-    fn queue_discipline_defaults_to_global_and_plumbs_through() {
+    fn queue_discipline_defaults_to_the_backend_preference() {
+        // threaded backend (the default): lock-free deques whenever a
+        // dynamic section exists …
         let s = Solver::new(MatrixSource::shape(200, 200));
-        assert_eq!(s.plan().unwrap().queue(), QueueDiscipline::Global);
+        assert!(s.plan().unwrap().queue().is_lock_free());
+        // … and the paper's global queue when there is nothing to steal
+        let all_static =
+            Solver::new(MatrixSource::shape(200, 200)).scheduler(SchedulerKind::Static);
+        assert_eq!(all_static.plan().unwrap().queue(), QueueDiscipline::Global);
+        // explicit choices always win over the preference
         let sharded =
             Solver::new(MatrixSource::shape(200, 200)).queue_discipline(QueueDiscipline::sharded());
         let p = sharded.plan().unwrap();
         assert!(p.queue().is_sharded());
         assert!(p.calu_config().queue.is_sharded(), "executor sees the knob");
+        let global =
+            Solver::new(MatrixSource::shape(200, 200)).queue_discipline(QueueDiscipline::Global);
+        assert_eq!(global.plan().unwrap().queue(), QueueDiscipline::Global);
+    }
+
+    #[test]
+    fn pin_workers_plumbs_through_to_the_executor_config() {
+        let s = Solver::new(MatrixSource::shape(200, 200)).pin_workers(true);
+        assert!(s.plan().unwrap().calu_config().pin_workers);
+        let off = Solver::new(MatrixSource::shape(200, 200));
+        assert!(!off.plan().unwrap().calu_config().pin_workers);
     }
 
     #[test]

