@@ -17,6 +17,13 @@
 //! (`threaded_lockfree_steal_locality` = fraction of steals that stayed
 //! on the thief's socket under the tiered sweep; counts beside it).
 //!
+//! The batch section runs the `Solver::batch` acceptance workload —
+//! 16 seeded n=256 matrices on the persistent pool vs. the
+//! loop-over-`run` fallback. `batch_16x256_items_per_sec` gates as a
+//! *rate* (regression = normalized throughput dropping past the
+//! threaded tolerance), and the binary fails outright if the pool does
+//! not beat the fallback on the current host, baseline or no baseline.
+//!
 //! Timing metrics are normalized by a fixed single-threaded calibration
 //! kernel before comparison (see `calu_bench::perf`), so a baseline
 //! recorded on one machine still gates a run on a different one.
@@ -36,7 +43,7 @@ use calu::dag::TaskGraph;
 use calu::kernels::{dgemm_packed, GemmScratch};
 use calu::matrix::{gen, ProcessGrid};
 use calu::sched::{make_policy_with, QueueDiscipline, SchedulerKind};
-use calu::{Report, Solver};
+use calu::{MatrixSource, Report, Solver};
 use calu_bench::perf::{
     calibration_secs, compare_with, min_of, parse_flat_json, write_flat_json, CALIBRATION_KEY,
 };
@@ -85,6 +92,61 @@ fn gemm_secs() -> f64 {
         }
         t0.elapsed().as_secs_f64()
     })
+}
+
+/// The batched-sweep acceptance workload: 16 seeded n=256 matrices
+/// through `Solver::batch` (persistent pool, co-scheduled items) versus
+/// the loop-over-`run` fallback (fresh thread pool per item). Both
+/// paths skip verification and share seeds, so they factor the exact
+/// same matrices; the minimum over several draws filters runner noise.
+/// Returns `(batch items/s, loop items/s)`.
+const BATCH_ITEMS: usize = 16;
+const BATCH_N: usize = 256;
+
+fn batch_throughput() -> (f64, f64) {
+    // pre-materialized dense sources, shared by both paths: the gate
+    // measures the scheduling/throughput difference (pool reuse vs
+    // per-item spawn), not matrix generation or first-touch page faults
+    let sources: Vec<MatrixSource> = (0..BATCH_ITEMS as u64)
+        .map(|i| MatrixSource::Dense(gen::uniform(BATCH_N, BATCH_N, SEED + i)))
+        .collect();
+    let solver = Solver::new(MatrixSource::shape(BATCH_N, BATCH_N))
+        .tile(B)
+        .threads(THREADS)
+        .verify(false);
+    // the loop path's solvers are built once, outside the timed region:
+    // Solver::new clones its source, and timing a 512 KB memcpy per
+    // item would bias the gate toward the batch path (which borrows)
+    let solo: Vec<Solver> = sources
+        .iter()
+        .map(|src| {
+            Solver::new(src.clone())
+                .tile(B)
+                .threads(THREADS)
+                .verify(false)
+        })
+        .collect();
+    // interleave the two measurements so host drift (frequency ramps,
+    // noisy neighbours on a shared runner) hits both paths equally;
+    // the per-path minimum then compares like against like
+    let mut batch_secs = f64::INFINITY;
+    let mut loop_secs = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        let r = solver.batch(&sources).expect("batch sweep");
+        assert_eq!(r.len(), BATCH_ITEMS);
+        batch_secs = batch_secs.min(t0.elapsed().as_secs_f64());
+
+        let t0 = std::time::Instant::now();
+        for s in &solo {
+            s.run().expect("solo run");
+        }
+        loop_secs = loop_secs.min(t0.elapsed().as_secs_f64());
+    }
+    (
+        BATCH_ITEMS as f64 / batch_secs,
+        BATCH_ITEMS as f64 / loop_secs,
+    )
 }
 
 fn threaded(queue: QueueDiscipline) -> (f64, Report) {
@@ -198,6 +260,11 @@ fn main() -> ExitCode {
 
     println!("perf-smoke: n={N} b={B} threads={THREADS} dratio={DRATIO}, {ITERS} iters");
     let cal = calibration_secs();
+    // measure the batch acceptance pair before the drain benches churn
+    // the allocator with their 22k-task graphs and 200k-entry heaps —
+    // the pooled path allocates its whole working set up front and is
+    // more sensitive to a fragmented arena than the one-at-a-time loop
+    let (batch_ips, loop_ips) = batch_throughput();
     let (global_secs, _) = threaded(QueueDiscipline::Global);
     let (sharded_secs, sharded_report) = threaded(QueueDiscipline::Sharded { seed: SEED });
     let (lockfree_secs, lockfree_report) = threaded(QueueDiscipline::LockFree { seed: SEED });
@@ -242,6 +309,16 @@ fn main() -> ExitCode {
         ("drain_sharded_secs", drain_sharded),
         ("drain_lockfree_secs", drain_lockfree),
         ("drain_tasks", drain_tasks as f64),
+        // the batched-sweep acceptance pair: the pooled Solver::batch
+        // throughput (gated as a rate at the threaded tolerance) and
+        // the loop-over-run fallback it must beat. The fallback and
+        // the ratio deliberately avoid the `_per_sec` suffix so they
+        // are recorded without gating — only the product path gates
+        // against the baseline; the fallback feeds the in-binary
+        // speedup check below
+        ("batch_16x256_items_per_sec", batch_ips),
+        ("batch_loop_16x256_rate", loop_ips),
+        ("batch_16x256_speedup", batch_ips / loop_ips),
     ]
     .into_iter()
     .map(|(k, v)| (k.to_string(), v))
@@ -251,6 +328,8 @@ fn main() -> ExitCode {
         println!("  {k:<36} {v}");
     }
 
+    // publish the metrics file before any gate can fail, so every
+    // failure mode still ships the full artifact to CI
     let json = write_flat_json(&metrics);
     std::fs::write(&out, &json).expect("write metrics file");
     println!("wrote {out}");
@@ -259,12 +338,30 @@ fn main() -> ExitCode {
         println!("wrote baseline {path}");
     }
 
+    // the batch acceptance criterion is absolute, not baseline-relative:
+    // the persistent pool must beat spawning a fresh pool per item on
+    // this very host, whatever its speed
+    if batch_ips <= loop_ips {
+        eprintln!(
+            "perf-smoke FAILED: Solver::batch ({batch_ips:.1} items/s) does not \
+             beat the loop-over-run fallback ({loop_ips:.1} items/s) on \
+             {BATCH_ITEMS}×(n={BATCH_N})"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "batch speedup vs loop-over-run: {:.2}x ({batch_ips:.1} vs {loop_ips:.1} items/s)",
+        batch_ips / loop_ips
+    );
+
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         let baseline = parse_flat_json(&text).expect("baseline must be flat JSON");
+        // batch_* rates are 4-thread wall-clock figures like threaded_*,
+        // so they share the looser parallel-efficiency tolerance
         let tol_for = |key: &str| {
-            if key.starts_with("threaded_") {
+            if key.starts_with("threaded_") || key.starts_with("batch_") {
                 threaded_tolerance
             } else {
                 tolerance

@@ -16,8 +16,11 @@
 //! in `_secs`) is normalized by its run's calibration before
 //! comparison, which cancels the host's raw speed; a metric regresses
 //! when its normalized value exceeds the baseline's by more than the
-//! tolerance. Non-timing metrics (counts) are recorded for inspection
-//! but never gate.
+//! tolerance. Throughput metrics (key ending in `_per_sec`) gate the
+//! opposite direction: they are normalized by *multiplying* with the
+//! calibration and regress when the normalized rate *drops* past the
+//! tolerance. Anything else (counts, ratios) is recorded for
+//! inspection but never gates.
 //!
 //! One calibration cannot represent every workload profile: a host's
 //! FLOP throughput and its branchy/pointer-chasing speed don't move in
@@ -58,6 +61,13 @@ pub fn calibration_secs() -> f64 {
 
 /// Suffix marking a metric as a gated timing (normalized comparison).
 pub const TIMING_SUFFIX: &str = "_secs";
+
+/// Suffix marking a metric as a gated *throughput* (higher is better):
+/// normalized by *multiplying* with the calibration (rate × host-speed
+/// proxy cancels raw core speed, mirroring the `_secs` division), and a
+/// regression is the normalized rate *dropping* more than the tolerance
+/// below the baseline.
+pub const RATE_SUFFIX: &str = "_per_sec";
 
 /// Suffix marking a per-class calibration (see module docs): normalizes
 /// its class's metrics, is never gated itself.
@@ -176,10 +186,11 @@ pub fn compare_with(
     }
     let mut regressions = Vec::new();
     for (key, cur) in current {
-        if !key.ends_with(TIMING_SUFFIX)
-            || key == CALIBRATION_KEY
-            || key.ends_with(CLASS_CALIBRATION_SUFFIX)
-        {
+        let is_timing = key.ends_with(TIMING_SUFFIX)
+            && key != CALIBRATION_KEY
+            && !key.ends_with(CLASS_CALIBRATION_SUFFIX);
+        let is_rate = key.ends_with(RATE_SUFFIX);
+        if !is_timing && !is_rate {
             continue;
         }
         let Some(base) = lookup(baseline, key) else {
@@ -198,22 +209,39 @@ pub fn compare_with(
                 _ => (cal_cur, cal_base),
             };
         let tolerance = tolerance_for(key);
-        let (cur_n, base_n) = (cur / ccal_cur, base / ccal_base);
-        if base_n > 0.0 && cur_n > base_n * (1.0 + tolerance) {
-            regressions.push(format!(
-                "{key}: {:.1}% over baseline (normalized {cur_n:.3} vs {base_n:.3}, \
-                 tolerance {:.0}%)",
-                (cur_n / base_n - 1.0) * 100.0,
-                tolerance * 100.0
-            ));
+        if is_timing {
+            let (cur_n, base_n) = (cur / ccal_cur, base / ccal_base);
+            if base_n > 0.0 && cur_n > base_n * (1.0 + tolerance) {
+                regressions.push(format!(
+                    "{key}: {:.1}% over baseline (normalized {cur_n:.3} vs {base_n:.3}, \
+                     tolerance {:.0}%)",
+                    (cur_n / base_n - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        } else {
+            // throughput: multiply by the calibration so a slow host's
+            // lower rate cancels, and fail when the normalized rate
+            // *drops* past the tolerance
+            let (cur_n, base_n) = (cur * ccal_cur, base * ccal_base);
+            if base_n > 0.0 && cur_n < base_n / (1.0 + tolerance) {
+                regressions.push(format!(
+                    "{key}: {:.1}% under baseline (normalized {cur_n:.3} vs {base_n:.3}, \
+                     tolerance {:.0}%)",
+                    (1.0 - cur_n / base_n) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
         }
     }
-    // a gated metric must not silently vanish: a baseline timing with no
-    // current counterpart means the metric was dropped or renamed
-    // without refreshing the baseline, shrinking coverage unnoticed
+    // a gated metric must not silently vanish: a baseline timing or rate
+    // with no current counterpart means the metric was dropped or
+    // renamed without refreshing the baseline, shrinking coverage
+    // unnoticed
     for (key, _) in baseline {
-        if key.ends_with(TIMING_SUFFIX) && key != CALIBRATION_KEY && lookup(current, key).is_none()
-        {
+        let gated =
+            (key.ends_with(TIMING_SUFFIX) && key != CALIBRATION_KEY) || key.ends_with(RATE_SUFFIX);
+        if gated && lookup(current, key).is_none() {
             regressions.push(format!(
                 "{key}: in the baseline but missing from the current run — \
                  renamed or dropped? refresh the baseline"
@@ -308,6 +336,41 @@ mod tests {
             ("brand_new_secs", 99.0), // no baseline: never gates
         ]);
         assert!(compare(&cur, &base, 0.2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rate_metrics_gate_on_drops_not_rises() {
+        let base = pairs(&[("calibration_secs", 1.0), ("batch_items_per_sec", 100.0)]);
+        // a faster rate never regresses
+        let faster = pairs(&[("calibration_secs", 1.0), ("batch_items_per_sec", 140.0)]);
+        assert!(compare(&faster, &base, 0.2).unwrap().is_empty());
+        // a 15% drop passes a 20% gate, a 40% drop fails it (the rule
+        // is multiplicative: fail below base / 1.2 ≈ 83.3)
+        let ok = pairs(&[("calibration_secs", 1.0), ("batch_items_per_sec", 85.0)]);
+        assert!(compare(&ok, &base, 0.2).unwrap().is_empty());
+        let slow = pairs(&[("calibration_secs", 1.0), ("batch_items_per_sec", 60.0)]);
+        let msgs = compare(&slow, &base, 0.2).unwrap();
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("batch_items_per_sec"), "{msgs:?}");
+        assert!(msgs[0].contains("under baseline"), "{msgs:?}");
+    }
+
+    #[test]
+    fn rate_normalization_cancels_host_speed() {
+        // current host is 2x slower: its calibration doubles and its
+        // rates halve — the normalized product is unchanged
+        let base = pairs(&[("calibration_secs", 1.0), ("batch_items_per_sec", 100.0)]);
+        let slow_host = pairs(&[("calibration_secs", 2.0), ("batch_items_per_sec", 50.0)]);
+        assert!(compare(&slow_host, &base, 0.2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_rate_metric_is_flagged() {
+        let base = pairs(&[("calibration_secs", 1.0), ("gone_per_sec", 10.0)]);
+        let cur = pairs(&[("calibration_secs", 1.0)]);
+        let msgs = compare(&cur, &base, 0.2).unwrap();
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("gone_per_sec"), "{msgs:?}");
     }
 
     #[test]

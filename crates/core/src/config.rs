@@ -7,7 +7,7 @@ use calu_matrix::{Layout, ProcessGrid};
 use calu_sched::QueueDiscipline;
 
 /// Configuration for [`crate::calu_factor`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CaluConfig {
     /// Tile size `b`.
     pub b: usize,
@@ -36,7 +36,29 @@ pub struct CaluConfig {
     /// oversubscribed ones. Best effort — an unpinnable CPU (sandbox,
     /// cgroup) leaves the worker floating.
     pub pin_workers: bool,
+    /// Batched sweeps only ([`crate::calu_factor_batch`]): the
+    /// co-scheduling switch and modelled group width. Any value `<`
+    /// `threads` enables co-scheduling; `threads` disables it (every
+    /// item runs the full hybrid static/dynamic schedule on the whole
+    /// pool). **The threaded pool always runs a co-scheduled item on
+    /// exactly one worker** — whole items in parallel, zero intra-item
+    /// synchronization — regardless of the value; the simulated
+    /// backend additionally uses it as the core-group width its batch
+    /// model assigns each small item to (`k`-wide groups per item is
+    /// planned, not implemented, on the real executor). Must lie in
+    /// `1..=threads`.
+    pub batch_threads_per_item: usize,
+    /// Batched sweeps only: items whose larger dimension is at most
+    /// this cutoff count as *small* and are co-scheduled; larger items
+    /// are executed co-operatively by the whole pool under the full
+    /// hybrid static/dynamic schedule. `0` co-schedules nothing.
+    pub batch_small_cutoff: usize,
 }
+
+/// Default [`CaluConfig::batch_small_cutoff`]: matrices up to 384×384
+/// (a handful of tiles at the paper's `b = 100`) are cheaper to factor
+/// whole-item-per-worker than to synchronize across the pool.
+pub const DEFAULT_BATCH_SMALL_CUTOFF: usize = 384;
 
 impl CaluConfig {
     /// Defaults from the paper's best configuration: BCL layout, 10%
@@ -51,6 +73,8 @@ impl CaluConfig {
             leaf_stride: None,
             queue: QueueDiscipline::Global,
             pin_workers: false,
+            batch_threads_per_item: 1,
+            batch_small_cutoff: DEFAULT_BATCH_SMALL_CUTOFF,
         }
     }
 
@@ -91,6 +115,19 @@ impl CaluConfig {
         self
     }
 
+    /// Set the workers per co-scheduled batch item (default 1).
+    pub fn with_batch_threads_per_item(mut self, k: usize) -> Self {
+        self.batch_threads_per_item = k;
+        self
+    }
+
+    /// Set the small-item cutoff for batched sweeps (default
+    /// [`DEFAULT_BATCH_SMALL_CUTOFF`]).
+    pub fn with_batch_small_cutoff(mut self, cutoff: usize) -> Self {
+        self.batch_small_cutoff = cutoff;
+        self
+    }
+
     /// Validate and derive the thread grid.
     pub fn validate(&self) -> Result<ProcessGrid, CaluError> {
         if self.b == 0 {
@@ -116,6 +153,20 @@ impl CaluConfig {
                  TSLU leaf; use 1 for a sequential panel"
                     .into(),
             ));
+        }
+        if self.batch_threads_per_item == 0 {
+            return Err(CaluError::InvalidConfig(
+                "batch_threads_per_item must be at least 1 (one worker per \
+                 co-scheduled item)"
+                    .into(),
+            ));
+        }
+        if self.batch_threads_per_item > self.threads {
+            return Err(CaluError::InvalidConfig(format!(
+                "batch_threads_per_item {} exceeds the thread count {}; a \
+                 co-scheduled item cannot use more workers than the pool has",
+                self.batch_threads_per_item, self.threads
+            )));
         }
         if self.queue.steals() && self.dratio == 0.0 {
             return Err(CaluError::InvalidConfig(format!(
@@ -194,6 +245,37 @@ mod tests {
         }
         // and Global never conflicts
         assert!(CaluConfig::new(8).with_dratio(0.0).validate().is_ok());
+    }
+
+    #[test]
+    fn batch_knobs_validate() {
+        let c = CaluConfig::new(8);
+        assert_eq!(c.batch_threads_per_item, 1);
+        assert_eq!(c.batch_small_cutoff, DEFAULT_BATCH_SMALL_CUTOFF);
+        assert!(c.validate().is_ok());
+        assert!(
+            CaluConfig::new(8)
+                .with_batch_threads_per_item(0)
+                .validate()
+                .is_err(),
+            "zero workers per item is meaningless"
+        );
+        let err = CaluConfig::new(8)
+            .with_threads(4)
+            .with_batch_threads_per_item(8)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        // k == threads is the "no co-scheduling" edge, not an error
+        assert!(CaluConfig::new(8)
+            .with_threads(4)
+            .with_batch_threads_per_item(4)
+            .validate()
+            .is_ok());
+        assert!(CaluConfig::new(8)
+            .with_batch_small_cutoff(0)
+            .validate()
+            .is_ok());
     }
 
     #[test]

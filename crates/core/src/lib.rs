@@ -9,16 +9,36 @@
 //!   (the numerical oracle for everything else);
 //! * [`threaded`] — the multithreaded tiled executor implementing
 //!   Algorithm 1/2: the first `Nstatic` panels are scheduled statically
-//!   by block-cyclic ownership, the rest through a shared dynamic queue,
+//!   by block-cyclic ownership, the rest through the dynamic section,
 //!   and idle threads pull dynamic tasks while waiting on the panel;
+//! * [`batch`] — batched many-matrix sweeps on one persistent worker
+//!   pool ([`calu_factor_batch`]): spawned once, per-worker scratch and
+//!   deques alive across items, small items co-scheduled
+//!   whole-per-worker, large ones on the full hybrid schedule;
 //! * [`gepp`] — blocked Gaussian elimination with partial pivoting (the
 //!   MKL `dgetrf` stand-in);
 //! * [`incpiv`] — tiled LU with incremental (block pairwise) pivoting
 //!   (the PLASMA `dgetrf_incpiv` stand-in);
 //! * [`verify`] — residuals, growth factors, triangular solves.
 //!
-//! Entry point: [`calu_factor`] (see [`CaluConfig`]).
+//! Entry points: [`calu_factor`] for one matrix, [`calu_factor_batch`]
+//! for a sweep (see [`CaluConfig`]).
+//!
+//! ## How the dynamic section is queued
+//!
+//! [`CaluConfig::queue`] selects the dynamic section's
+//! [`QueueDiscipline`](calu_sched::QueueDiscipline) — the paper's
+//! shared global queue, per-worker mutex shards with randomized
+//! stealing, or per-worker lock-free Chase-Lev deques with
+//! locality-tiered stealing. The full matrix (structures, defaults,
+//! steal counters, when to pick which) lives in the `calu-sched` crate
+//! docs; the one guarantee to remember here is that **the discipline
+//! never changes the math**: writes to every tile are totally ordered
+//! by the DAG's exclusive-writer rule, so all three disciplines — and
+//! the batch executor's co-scheduled and co-operative paths — produce
+//! bitwise-identical factors for the same input and config.
 
+pub mod batch;
 pub mod config;
 pub mod error;
 pub mod factorization;
@@ -32,7 +52,8 @@ pub mod threaded;
 pub mod tslu;
 pub mod verify;
 
-pub use config::CaluConfig;
+pub use batch::{calu_factor_batch, BatchItemOutcome, BatchOutcome};
+pub use config::{CaluConfig, DEFAULT_BATCH_SMALL_CUTOFF};
 pub use error::CaluError;
 pub use factorization::Factorization;
 pub use gepp::gepp_factor;

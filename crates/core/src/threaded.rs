@@ -94,7 +94,7 @@ use crate::tslu::{Candidate, TreePlan};
 type ReadyQueue = Mutex<BinaryHeap<Reverse<(u64, u32)>>>;
 
 /// The dynamic section's queues under each [`QueueDiscipline`].
-enum DynQueues {
+pub(crate) enum DynQueues {
     /// One shared lock-protected queue (the paper's Algorithm 2).
     Global(ReadyQueue),
     /// One shard per worker; workers push/pop their own and steal from
@@ -111,11 +111,11 @@ enum DynQueues {
 /// contention failure — not one per probed victim — so
 /// `ContentionStats::failure_rate` reads the same whether the sweep
 /// visits p − 1 flat victims or the tiered order's fewer-per-tier ones.
-fn steal_sweep<V>(
+pub(crate) fn steal_sweep<V, T>(
     victims: impl Iterator<Item = V>,
-    mut probe: impl FnMut(&V) -> Option<TaskId>,
+    mut probe: impl FnMut(&V) -> Option<T>,
     failed_sweeps: &mut u64,
-) -> Option<(TaskId, V)> {
+) -> Option<(T, V)> {
     for v in victims {
         if let Some(t) = probe(&v) {
             return Some((t, v));
@@ -131,14 +131,91 @@ struct PanelState {
     perm: OnceLock<RowPerm>,
 }
 
-struct Shared<'g, S: TileStorage> {
-    g: &'g TaskGraph,
+const NOT_SINGULAR: usize = usize::MAX;
+
+/// Per-item execution state: everything one factorization's task bodies
+/// touch — tiled storage, dependence counters, tournament panels,
+/// priority keys — with *no queues attached*. The solo executor
+/// ([`factor_tiled`]) wraps exactly one `ItemState` in its queue set;
+/// the batch executor (`crate::batch`) drives many of them through one
+/// persistent worker pool and one batch-level queue set.
+pub(crate) struct ItemState<'g, S: TileStorage> {
+    pub(crate) g: &'g TaskGraph,
     tiles: SharedTiles<S>,
     deps: Vec<AtomicU32>,
-    owners: OwnerMap,
-    is_static: Vec<bool>,
-    static_keys: Vec<u64>,
-    dynamic_keys: Vec<u64>,
+    pub(crate) owners: OwnerMap,
+    pub(crate) is_static: Vec<bool>,
+    pub(crate) static_keys: Vec<u64>,
+    pub(crate) dynamic_keys: Vec<u64>,
+    pub(crate) done: AtomicUsize,
+    singular: AtomicUsize,
+    panels: Vec<PanelState>,
+    b: usize,
+}
+
+impl<'g, S: TileStorage + Send> ItemState<'g, S> {
+    /// Build the execution state for one factorization: `nstatic` is the
+    /// number of leading tile columns scheduled statically (the `dratio`
+    /// split already resolved against this item's panel count).
+    pub(crate) fn new(storage: S, g: &'g TaskGraph, grid: ProcessGrid, nstatic: usize) -> Self {
+        let kinds: Vec<TaskKind> = g.ids().map(|t| g.kind(t)).collect();
+        let mt = g.tile_rows();
+        Self {
+            tiles: SharedTiles::new(storage),
+            deps: g.ids().map(|t| AtomicU32::new(g.dep_count(t))).collect(),
+            owners: OwnerMap::new(g, grid),
+            is_static: kinds.iter().map(|k| k.writes_col() < nstatic).collect(),
+            static_keys: kinds.iter().map(priority::static_key).collect(),
+            dynamic_keys: kinds.iter().map(priority::dynamic_key).collect(),
+            done: AtomicUsize::new(0),
+            singular: AtomicUsize::new(NOT_SINGULAR),
+            panels: (0..g.num_panels())
+                .map(|k| {
+                    let nleaves = g.leaf_stride().min(mt - k);
+                    let plan = TreePlan::new(nleaves);
+                    PanelState {
+                        slots: (0..plan.slots).map(|_| Mutex::new(None)).collect(),
+                        plan,
+                        perm: OnceLock::new(),
+                    }
+                })
+                .collect(),
+            b: g.block(),
+            g,
+        }
+    }
+
+    /// Mark `t` done and collect its newly enabled successors into
+    /// `ready_buf` (cleared first). Queueing the successors is the
+    /// caller's business — the solo executor pushes them into its own
+    /// queue set, the batch executor into the batch-level one.
+    pub(crate) fn complete_into(&self, t: TaskId, ready_buf: &mut Vec<TaskId>) {
+        ready_buf.clear();
+        for &s in self.g.successors(t) {
+            if self.deps[s.idx()].fetch_sub(1, Ordering::AcqRel) == 1 {
+                ready_buf.push(s);
+            }
+        }
+        self.done.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Consume the state once every task ran: the tiled storage, the
+    /// combined permutation (in panel order) and the singular flag.
+    pub(crate) fn finish(self) -> (S, RowPerm, Option<usize>) {
+        let mut perm = RowPerm::identity();
+        for k in 0..self.g.num_panels() {
+            perm.extend(self.panels[k].perm.get().expect("all panels finished"));
+        }
+        let singular = match self.singular.load(Ordering::Acquire) {
+            NOT_SINGULAR => None,
+            c => Some(c),
+        };
+        (self.tiles.into_inner(), perm, singular)
+    }
+}
+
+struct Shared<'g, S: TileStorage> {
+    item: ItemState<'g, S>,
     local: Vec<ReadyQueue>,
     dynamic: DynQueues,
     /// Per-worker locality-tiered victim orders (lock-free discipline
@@ -150,14 +227,7 @@ struct Shared<'g, S: TileStorage> {
     /// probed was empty" — only the latter is contention. Stays zero
     /// under the global discipline, which never reads it.
     dyn_queued: AtomicUsize,
-    done: AtomicUsize,
-    singular: AtomicUsize,
-    panels: Vec<PanelState>,
-    b: usize,
-    m: usize,
 }
-
-const NOT_SINGULAR: usize = usize::MAX;
 
 impl<S: TileStorage + Send> Shared<'_, S> {
     /// Queue a ready task. `home` is the worker that enabled it (or a
@@ -165,14 +235,15 @@ impl<S: TileStorage + Send> Shared<'_, S> {
     /// discipline, dynamic tasks land on the enabler's shard so they
     /// tend to run where their inputs are warm.
     fn push_ready(&self, t: TaskId, home: usize) {
-        if self.is_static[t.idx()] {
-            let owner = self.owners.owner(t);
+        let item = &self.item;
+        if item.is_static[t.idx()] {
+            let owner = item.owners.owner(t);
             self.local[owner]
                 .lock()
-                .push(Reverse((self.static_keys[t.idx()], t.0)));
+                .push(Reverse((item.static_keys[t.idx()], t.0)));
         } else {
             match &self.dynamic {
-                DynQueues::Global(q) => q.lock().push(Reverse((self.dynamic_keys[t.idx()], t.0))),
+                DynQueues::Global(q) => q.lock().push(Reverse((item.dynamic_keys[t.idx()], t.0))),
                 DynQueues::Sharded(shards) => {
                     // counter first, push second: the count
                     // over-approximates, so a successful pop's decrement
@@ -182,7 +253,7 @@ impl<S: TileStorage + Send> Shared<'_, S> {
                     self.dyn_queued.fetch_add(1, Ordering::AcqRel);
                     shards[home % shards.len()]
                         .lock()
-                        .push(Reverse((self.dynamic_keys[t.idx()], t.0)));
+                        .push(Reverse((item.dynamic_keys[t.idx()], t.0)));
                 }
                 DynQueues::LockFree(deques) => {
                     self.dyn_queued.fetch_add(1, Ordering::AcqRel);
@@ -273,10 +344,6 @@ impl<S: TileStorage + Send> Shared<'_, S> {
         }
     }
 
-    fn flag_singular(&self, col: usize) {
-        self.singular.fetch_min(col, Ordering::AcqRel);
-    }
-
     /// Mark `t` done and queue its newly enabled successors.
     /// `ready_buf` is the worker's reusable scratch: under the lock-free
     /// discipline the batch is pushed in *descending* key order (least
@@ -284,19 +351,19 @@ impl<S: TileStorage + Send> Shared<'_, S> {
     /// most-critical first while a FIFO thief takes its *least*
     /// critical leftover — the victim keeps its critical-path work.
     fn complete(&self, t: TaskId, me: usize, ready_buf: &mut Vec<TaskId>) {
-        ready_buf.clear();
-        for &s in self.g.successors(t) {
-            if self.deps[s.idx()].fetch_sub(1, Ordering::AcqRel) == 1 {
-                ready_buf.push(s);
-            }
-        }
+        self.item.complete_into(t, ready_buf);
         if matches!(self.dynamic, DynQueues::LockFree(_)) && ready_buf.len() > 1 {
-            ready_buf.sort_unstable_by_key(|s| Reverse(self.dynamic_keys[s.idx()]));
+            ready_buf.sort_unstable_by_key(|s| Reverse(self.item.dynamic_keys[s.idx()]));
         }
         for &s in ready_buf.iter() {
             self.push_ready(s, me);
         }
-        self.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+impl<S: TileStorage + Send> ItemState<'_, S> {
+    fn flag_singular(&self, col: usize) {
+        self.singular.fetch_min(col, Ordering::AcqRel);
     }
 
     // ----- task bodies -------------------------------------------------
@@ -440,7 +507,7 @@ impl<S: TileStorage + Send> Shared<'_, S> {
     /// Run one task's kernel. `scratch` is the calling worker's packing
     /// arena — pre-sized for tile-dimension GEMMs, so the BLAS-3 tasks
     /// (L, U, S) never touch the allocator.
-    fn execute(&self, t: TaskId, scratch: &mut GemmScratch) {
+    pub(crate) fn execute(&self, t: TaskId, scratch: &mut GemmScratch) {
         match self.g.kind(t) {
             TaskKind::PanelLeaf { k, i } => self.run_leaf(k as usize, i as usize),
             TaskKind::PanelCombine { k, level, idx } => self.run_combine(k as usize, level, idx),
@@ -456,7 +523,7 @@ impl<S: TileStorage + Send> Shared<'_, S> {
 
 /// The host's CPU topology, detected once per process: sysfs parse on
 /// Linux, flat fallback elsewhere (see [`CpuTopology::detect`]).
-fn host_topology() -> &'static CpuTopology {
+pub(crate) fn host_topology() -> &'static CpuTopology {
     static TOPO: OnceLock<CpuTopology> = OnceLock::new();
     TOPO.get_or_init(CpuTopology::detect)
 }
@@ -473,17 +540,10 @@ fn factor_tiled<S: TileStorage + Send>(
 ) -> (S, RowPerm, Option<usize>, Timeline, Vec<ThreadStats>) {
     let threads = grid.size();
     let nstatic = nstatic_for(dratio, g.num_panels());
-    let owners = OwnerMap::new(g, grid);
-    let kinds: Vec<TaskKind> = g.ids().map(|t| g.kind(t)).collect();
-    let mt = g.tile_rows();
     let topo = host_topology();
 
     let shared = Shared {
-        tiles: SharedTiles::new(storage),
-        deps: g.ids().map(|t| AtomicU32::new(g.dep_count(t))).collect(),
-        is_static: kinds.iter().map(|k| k.writes_col() < nstatic).collect(),
-        static_keys: kinds.iter().map(priority::static_key).collect(),
-        dynamic_keys: kinds.iter().map(priority::dynamic_key).collect(),
+        item: ItemState::new(storage, g, grid, nstatic),
         local: (0..threads)
             .map(|_| Mutex::new(BinaryHeap::new()))
             .collect(),
@@ -509,25 +569,7 @@ fn factor_tiled<S: TileStorage + Send>(
             _ => Vec::new(),
         },
         dyn_queued: AtomicUsize::new(0),
-        done: AtomicUsize::new(0),
-        singular: AtomicUsize::new(NOT_SINGULAR),
-        panels: (0..g.num_panels())
-            .map(|k| {
-                let nleaves = g.leaf_stride().min(mt - k);
-                let plan = TreePlan::new(nleaves);
-                PanelState {
-                    slots: (0..plan.slots).map(|_| Mutex::new(None)).collect(),
-                    plan,
-                    perm: OnceLock::new(),
-                }
-            })
-            .collect(),
-        owners,
-        g,
-        b: g.block(),
-        m: g.rows(),
     };
-    let _ = shared.m;
 
     // scatter initially ready tasks round-robin over the shards (no
     // worker has "enabled" them yet); the Global queue ignores `home`.
@@ -535,7 +577,7 @@ fn factor_tiled<S: TileStorage + Send>(
     // deque's LIFO owner pops its share most-critical first.
     let mut initial = g.initial_ready();
     if matches!(queue, QueueDiscipline::LockFree { .. }) {
-        initial.sort_unstable_by_key(|t| Reverse(shared.dynamic_keys[t.idx()]));
+        initial.sort_unstable_by_key(|t| Reverse(shared.item.dynamic_keys[t.idx()]));
     }
     for (i, t) in initial.into_iter().enumerate() {
         shared.push_ready(t, i);
@@ -562,7 +604,8 @@ fn factor_tiled<S: TileStorage + Send>(
                 // per-worker packing arena, sized once from the config's
                 // tile dimension and reused by every kernel this worker
                 // runs — the task loop performs no GEMM-path allocation
-                let mut scratch = GemmScratch::sized_for(shared.b, shared.b, shared.b);
+                let mut scratch =
+                    GemmScratch::sized_for(shared.item.b, shared.item.b, shared.item.b);
                 // per-worker victim-selection stream: SplitMix64 seeding
                 // decorrelates the nearby seeds, so workers sweep
                 // victims in unrelated orders
@@ -571,7 +614,7 @@ fn factor_tiled<S: TileStorage + Send>(
                     .map(|seed| Rng::seed_from_u64(seed.wrapping_add(me as u64)));
                 let mut ready_buf: Vec<TaskId> = Vec::new();
                 let mut idle_spins = 0u32;
-                while shared.done.load(Ordering::Acquire) < total {
+                while shared.item.done.load(Ordering::Acquire) < total {
                     match shared.pop(me, &mut rng, &mut stats) {
                         Some((t, source)) => {
                             idle_spins = 0;
@@ -585,9 +628,9 @@ fn factor_tiled<S: TileStorage + Send>(
                                 _ => stats.global_pops += 1,
                             }
                             let start = t0.elapsed().as_secs_f64();
-                            shared.execute(t, &mut scratch);
+                            shared.item.execute(t, &mut scratch);
                             let end = t0.elapsed().as_secs_f64();
-                            let kind = match shared.g.kind(t).paper_kind() {
+                            let kind = match shared.item.g.kind(t).paper_kind() {
                                 PaperKind::P => SpanKind::Panel,
                                 PaperKind::L => SpanKind::LFactor,
                                 PaperKind::U => SpanKind::UFactor,
@@ -623,27 +666,13 @@ fn factor_tiled<S: TileStorage + Send>(
         }
     });
 
-    // combined permutation, in panel order
-    let mut perm = RowPerm::identity();
-    for k in 0..g.num_panels() {
-        perm.extend(shared.panels[k].perm.get().expect("all panels finished"));
-    }
-    let singular = match shared.singular.load(Ordering::Acquire) {
-        NOT_SINGULAR => None,
-        c => Some(c),
-    };
-    (
-        shared.tiles.into_inner(),
-        perm,
-        singular,
-        timeline,
-        thread_stats,
-    )
+    let (storage, perm, singular) = shared.item.finish();
+    (storage, perm, singular, timeline, thread_stats)
 }
 
 /// Apply the deferred "left swaps" (Algorithm 1, line 43): each panel's
 /// permutation is applied to the L columns strictly left of it.
-fn apply_left_swaps(lu: &mut DenseMatrix, g: &TaskGraph, perms: &RowPerm, b: usize) {
+pub(crate) fn apply_left_swaps(lu: &mut DenseMatrix, g: &TaskGraph, perms: &RowPerm, b: usize) {
     // perms is the concatenation of panel perms; walk it panel by panel
     let piv = perms.pivots();
     for k in 0..g.num_panels() {
@@ -956,7 +985,7 @@ mod tests {
         // many victims is ONE failure, so failure_rate stays comparable
         // between the flat (p − 1 probes) and tiered victim orders
         let mut failed = 0u64;
-        let all_empty = steal_sweep([0usize, 1, 2].into_iter(), |_| None, &mut failed);
+        let all_empty = steal_sweep([0usize, 1, 2].into_iter(), |_| None::<TaskId>, &mut failed);
         assert!(all_empty.is_none());
         assert_eq!(failed, 1, "three empty victims, one failed sweep");
 
@@ -972,7 +1001,7 @@ mod tests {
         // pinned ratio: 1 steal + 1 failed sweep = 50% failure rate,
         // identical whether the sweep visited 3 victims or 30
         let mut failed_wide = 0u64;
-        steal_sweep(0..30usize, |_| None, &mut failed_wide);
+        steal_sweep(0..30usize, |_| None::<TaskId>, &mut failed_wide);
         assert_eq!(failed_wide, 1);
         let rate = failed as f64 / (1 + failed) as f64;
         assert!((rate - 0.5).abs() < 1e-12);

@@ -22,6 +22,30 @@
 //! discrete-event simulator (`calu-sim`) and the real threaded executor
 //! (`calu-core`) consult the same ownership map ([`OwnerMap`]) and
 //! priority orders ([`priority`]).
+//!
+//! ## The `QueueDiscipline` matrix
+//!
+//! Orthogonal to the policy: the scheduler decides *which* tasks are
+//! dynamic (the `dratio` split), the [`QueueDiscipline`] decides *how*
+//! the dynamic ones are queued, dequeued and stolen. Three disciplines
+//! ship; all three factor **bitwise-identically** (the DAG's
+//! exclusive-writer rule totally orders every tile's writes, so queue
+//! order changes only *when* tasks run, never what they compute — the
+//! facade's backend-parity suite asserts it):
+//!
+//! | Discipline | Structure | Default for | Steal counters | Pick it when |
+//! |---|---|---|---|---|
+//! | [`QueueDiscipline::Global`] | one shared mutex'd priority heap in Algorithm 2's DFS order | the **simulator** (paper-verbatim, keeps the reproduced figures faithful) and any plan without a dynamic section | none (never steals) | reproducing the paper's numbers; low thread counts where one lock never contends |
+//! | [`QueueDiscipline::Sharded`] | per-worker mutex'd priority shards; seeded randomized victim sweep ([`steal_order`]) | opt-in | `stolen_pops`, `failed_steals` | the **parity oracle**: simple invariants (each shard keeps DFS priority, steals take the victim's most critical task) for debugging the lock-free path against |
+//! | [`QueueDiscipline::LockFree`] | per-worker Chase-Lev deques ([`Deque`], owner-LIFO / thief-FIFO) swept in the locality-tiered order of [`StealTiers`] (SMT sibling → same socket → remote) | the **threaded backend** whenever a dynamic section exists (it won the perf-smoke gate) | `stolen_pops`, `failed_steals`, plus `remote_steal_pops` — the only discipline that classifies steal locality | production throughput, NUMA machines, high thread counts |
+//!
+//! Guarantees shared by the stealing disciplines: a steal sweep visits
+//! every victim once, so work is found whenever any shard is non-empty;
+//! a *wholly empty* sweep counts once into the contention statistics
+//! regardless of victim count, so flat and tiered orders read on one
+//! scale; and an explicit stealing discipline on a plan without a
+//! dynamic section (`dratio = 0`) is a configuration error — there is
+//! nothing to shard or steal.
 
 pub mod config;
 pub mod deque;

@@ -16,11 +16,12 @@
 
 use std::time::Instant;
 
-use calu_core::{calu_factor_report, gepp_factor, incpiv_factor};
+use calu_core::{calu_factor_batch, calu_factor_report, gepp_factor, incpiv_factor, ThreadStats};
 use calu_sim::{MachineConfig, SimConfig, SimResult};
+use calu_trace::Timeline;
 
 use crate::error::Error;
-use crate::report::{nominal_flops, Report, ScheduleMetrics, ThreadMetrics};
+use crate::report::{nominal_flops, BatchReport, Report, ScheduleMetrics, ThreadMetrics};
 use crate::solver::{Algorithm, Plan};
 
 /// An execution substrate for a validated [`Plan`].
@@ -45,6 +46,109 @@ pub trait Backend {
 
     /// Execute the plan.
     fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error>;
+
+    /// Execute a batched sweep: all `plans` share one configuration
+    /// (they come from a single [`crate::Solver::batch`] call) and
+    /// differ only in their matrix source. The default simply loops
+    /// over [`Backend::execute`] — correct for every backend, with no
+    /// amortization. [`ThreadedBackend`] overrides it with a persistent
+    /// worker pool (spawned once, per-worker scratch and deques kept
+    /// alive across items); [`SimulatedBackend`] models the same batch
+    /// semantics on its machine model.
+    fn run_batch(&self, plans: &[Plan<'_>]) -> Result<BatchReport, Error> {
+        run_batch_loop(self, plans)
+    }
+}
+
+/// The loop-over-`run` batch fallback: execute each plan on its own
+/// (fresh thread pool per item on the threaded backend). This is both
+/// the default [`Backend::run_batch`] and the baseline the pooled path
+/// is gated against in `perf_smoke`.
+pub(crate) fn run_batch_loop<B: Backend + ?Sized>(
+    backend: &B,
+    plans: &[Plan<'_>],
+) -> Result<BatchReport, Error> {
+    if plans.is_empty() {
+        return Err(Error::Config(
+            "a batch needs at least one matrix source".into(),
+        ));
+    }
+    let t0 = Instant::now();
+    let items = plans
+        .iter()
+        .map(|p| backend.execute(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BatchReport {
+        backend: backend.name().into(),
+        threads: plans[0].threads(),
+        items,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        pool_spawn_secs: 0.0,
+        cold_spawn_secs: 0.0,
+        co_scheduled: 0,
+    })
+}
+
+/// Check that every plan of a batch carries the same validated config
+/// (the `Solver::batch` contract) and hand back that one config.
+/// `Backend::run_batch` is public, so hand-assembled heterogeneous
+/// plans must fail loudly here — the pooled executor and the
+/// simulator's group model both run the *whole* batch under one
+/// config, and silently using `plans[0]`'s knobs would misattribute
+/// every other item's report.
+fn batch_shared_config(plans: &[Plan<'_>]) -> Result<calu_core::CaluConfig, Error> {
+    let cfg = plans[0].calu_config();
+    if plans.iter().any(|p| {
+        let c = p.calu_config();
+        // leaf_stride legitimately differs only through the grid, which
+        // is identical when threads are; everything else must match
+        c != cfg
+    }) {
+        return Err(Error::Config(
+            "batched plans must share one configuration (same tile size, \
+             threads, layout, scheduler, queue discipline, batch knobs); \
+             build them from a single Solver via Solver::batch"
+                .into(),
+        ));
+    }
+    Ok(cfg)
+}
+
+/// Fold a span timeline plus per-worker queue stats into the unified
+/// schedule metrics — one pass over the span list (it can hold tens of
+/// thousands of entries on large runs).
+fn threaded_schedule_metrics(
+    threads: usize,
+    makespan: f64,
+    tl: &Timeline,
+    stats: &[ThreadStats],
+) -> ScheduleMetrics {
+    let mut work = vec![0.0f64; threads];
+    let mut busy = vec![0.0f64; threads];
+    let mut count = vec![0u64; threads];
+    for s in tl.spans() {
+        busy[s.core] += s.duration();
+        if s.kind.is_work() {
+            work[s.core] += s.duration();
+        }
+        count[s.core] += 1;
+    }
+    ScheduleMetrics {
+        makespan,
+        threads: (0..threads)
+            .map(|c| ThreadMetrics {
+                work: work[c],
+                idle: (makespan - busy[c]).max(0.0),
+                tasks: count[c],
+                local_pops: stats[c].local_pops,
+                global_pops: stats[c].global_pops,
+                stolen_pops: stats[c].steal_pops,
+                remote_steal_pops: stats[c].remote_steal_pops,
+                failed_steals: stats[c].failed_steals,
+                ..Default::default()
+            })
+            .collect(),
+    }
 }
 
 /// Real multithreaded execution (Algorithms 1 and 2 of the paper).
@@ -58,6 +162,27 @@ impl Backend for ThreadedBackend {
 
     fn preferred_queue(&self) -> Option<calu_sched::QueueDiscipline> {
         Some(calu_sched::QueueDiscipline::lock_free())
+    }
+
+    /// Persistent-pool batching for CALU plans; anything the pool does
+    /// not cover (reference drivers, the rejected Cilk baseline) falls
+    /// back to the loop-over-`run` default, which reports the same
+    /// per-item errors a solo run would.
+    fn run_batch(&self, plans: &[Plan<'_>]) -> Result<BatchReport, Error> {
+        if plans.is_empty() {
+            return Err(Error::Config(
+                "a batch needs at least one matrix source".into(),
+            ));
+        }
+        let pooled = plans.iter().all(|p| {
+            p.algorithm == Algorithm::Calu
+                && !matches!(p.scheduler, calu_sched::SchedulerKind::WorkStealing { .. })
+        });
+        if pooled {
+            self.run_batch_pooled(plans)
+        } else {
+            run_batch_loop(self, plans)
+        }
     }
 
     fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error> {
@@ -120,34 +245,8 @@ impl Backend for ThreadedBackend {
                 }
                 report.makespan = tl.makespan();
                 report.tasks = tl.spans().len();
-                // one pass over the span list (it can hold tens of
-                // thousands of entries on large runs)
-                let mut work = vec![0.0f64; plan.threads()];
-                let mut busy = vec![0.0f64; plan.threads()];
-                let mut count = vec![0u64; plan.threads()];
-                for s in tl.spans() {
-                    busy[s.core] += s.duration();
-                    if s.kind.is_work() {
-                        work[s.core] += s.duration();
-                    }
-                    count[s.core] += 1;
-                }
-                report.schedule = ScheduleMetrics {
-                    makespan: tl.makespan(),
-                    threads: (0..plan.threads())
-                        .map(|c| ThreadMetrics {
-                            work: work[c],
-                            idle: (tl.makespan() - busy[c]).max(0.0),
-                            tasks: count[c],
-                            local_pops: stats[c].local_pops,
-                            global_pops: stats[c].global_pops,
-                            stolen_pops: stats[c].steal_pops,
-                            remote_steal_pops: stats[c].remote_steal_pops,
-                            failed_steals: stats[c].failed_steals,
-                            ..Default::default()
-                        })
-                        .collect(),
-                };
+                report.schedule =
+                    threaded_schedule_metrics(plan.threads(), tl.makespan(), &tl, &stats);
                 report.timeline = plan.record_trace.then_some(tl);
                 report.factorization = Some(f);
             }
@@ -191,6 +290,125 @@ impl Backend for ThreadedBackend {
         }
         Ok(report)
     }
+}
+
+impl ThreadedBackend {
+    /// Batched CALU on one persistent worker pool
+    /// (`calu_core::calu_factor_batch`): spawned once, per-worker
+    /// scratch arenas and deques alive across items, small items
+    /// co-scheduled whole-per-worker, large ones on the full hybrid
+    /// schedule. See the `calu_core::batch` module docs for the
+    /// scheduling model.
+    fn run_batch_pooled(&self, plans: &[Plan<'_>]) -> Result<BatchReport, Error> {
+        for plan in plans {
+            if plan.grouping_requested() && plan.group() > 1 {
+                return Err(Error::Unsupported {
+                    backend: self.name().into(),
+                    what: "the real executor does not implement grouped BLAS-3 \
+                           updates; grouping is a simulator knob — use \
+                           SimulatedBackend or drop .grouping()"
+                        .into(),
+                });
+            }
+        }
+        let cfg = batch_shared_config(plans)?;
+        // what the loop fallback pays per item — measured once per
+        // process and pool width, *before* the timed window, so the
+        // report field costs the batch path nothing
+        let cold = cold_spawn_secs(cfg.threads);
+        let t0 = Instant::now();
+        let mats = plans
+            .iter()
+            .map(|p| {
+                p.source.materialize().ok_or_else(|| {
+                    Error::Config(
+                        "the threaded backend factors real data: provide a DenseMatrix \
+                         or MatrixSource::Uniform, not MatrixSource::Shape"
+                            .into(),
+                    )
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let refs: Vec<&calu_matrix::DenseMatrix> = mats.iter().map(|c| c.as_ref()).collect();
+        let outcome = calu_factor_batch(&refs, &cfg)?;
+        let co_scheduled = outcome.items.iter().filter(|i| i.co_scheduled).count();
+        let items = plans
+            .iter()
+            .zip(&mats)
+            .zip(outcome.items)
+            .map(|((plan, a), item)| {
+                let (m, n) = plan.source.dims();
+                let mut report = Report {
+                    backend: self.name().into(),
+                    algorithm: plan.algorithm,
+                    scheduler: plan.scheduler,
+                    queue_discipline: plan.queue(),
+                    layout: plan.layout(),
+                    dims: (m, n),
+                    b: plan.b(),
+                    threads: plan.threads(),
+                    tasks: item.timeline.spans().len(),
+                    makespan: item.makespan,
+                    nominal_flops: nominal_flops(plan.algorithm, m, n),
+                    factorization: None,
+                    residual: None,
+                    growth_factor: None,
+                    schedule: threaded_schedule_metrics(
+                        plan.threads(),
+                        item.makespan,
+                        &item.timeline,
+                        &item.stats,
+                    ),
+                    timeline: plan.record_trace.then_some(item.timeline),
+                };
+                if plan.verify {
+                    report.residual = Some(item.factorization.residual(a));
+                    report.growth_factor = Some(item.factorization.growth_factor(a));
+                }
+                report.factorization = Some(item.factorization);
+                report
+            })
+            .collect();
+        Ok(BatchReport {
+            backend: self.name().into(),
+            threads: plans[0].threads(),
+            items,
+            wall_secs: t0.elapsed().as_secs_f64(),
+            pool_spawn_secs: outcome.pool_spawn_secs,
+            cold_spawn_secs: cold,
+            co_scheduled,
+        })
+    }
+}
+
+/// Cost of one cold spawn/join of an idle `threads`-wide pool — the
+/// per-item overhead the loop-over-`run` fallback pays. Measured once
+/// per process and pool width (cached), so repeated `Solver::batch`
+/// calls don't each pay an extra spawn just to fill a report field.
+fn cold_spawn_secs(threads: usize) -> f64 {
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<Vec<(usize, f64)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    if let Some(&(_, secs)) = cache
+        .lock()
+        .expect("cold-spawn cache")
+        .iter()
+        .find(|&&(t, _)| t == threads)
+    {
+        return secs;
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {});
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    cache
+        .lock()
+        .expect("cold-spawn cache")
+        .push((threads, secs));
+    secs
 }
 
 /// Schedule metrics of a sequential reference driver.
@@ -271,13 +489,101 @@ impl Backend for SimulatedBackend {
         let g = plan.build_graph();
         let r = calu_sim::run(&g, &cfg);
         let (m, n) = plan.source.dims();
-        Ok(sim_report(self.name(), plan, (m, n), r))
+        Ok(sim_report(self.name(), plan, (m, n), cores, r))
+    }
+
+    /// Model the batch semantics of the threaded pool on the machine
+    /// model: small items (per the shared batch knobs) are co-scheduled
+    /// on core *groups* of `batch_threads_per_item` cores each — the
+    /// batch wall time is the longest group's item sequence — while
+    /// large items run on the whole machine one after another. The same
+    /// classification the threaded pool applies, so backend-parity
+    /// sweeps cover the batch path too.
+    fn run_batch(&self, plans: &[Plan<'_>]) -> Result<BatchReport, Error> {
+        if plans.is_empty() {
+            return Err(Error::Config(
+                "a batch needs at least one matrix source".into(),
+            ));
+        }
+        let cores = self.machine.cores();
+        let cfg = batch_shared_config(plans)?;
+        let k = cfg.batch_threads_per_item.min(cores);
+        let co_schedule = k < cores;
+        let groups = (cores / k).max(1);
+        let sub_machine = MachineConfig {
+            sockets: 1,
+            cores_per_socket: k,
+            ..self.machine.clone()
+        };
+        let sub_grid =
+            calu_matrix::ProcessGrid::square_for(k).map_err(|e| Error::Config(e.to_string()))?;
+        let mut group_time = vec![0.0f64; groups];
+        let mut next_group = 0usize;
+        let mut wall_large = 0.0f64;
+        let mut co_scheduled = 0usize;
+        let mut items = Vec::with_capacity(plans.len());
+        for plan in plans {
+            if plan.threads() != cores {
+                return Err(Error::Config(format!(
+                    "thread count {} does not match the simulated machine's {} \
+                     cores ({}); drop .threads() to use the machine size",
+                    plan.threads(),
+                    cores,
+                    self.machine.name
+                )));
+            }
+            let (m, n) = plan.source.dims();
+            let small = co_schedule && m.max(n) <= cfg.batch_small_cutoff;
+            let g = plan.build_graph();
+            let (machine, grid, threads) = if small {
+                (sub_machine.clone(), sub_grid, k)
+            } else {
+                (self.machine.clone(), plan.grid, cores)
+            };
+            let scfg = SimConfig {
+                machine,
+                layout: plan.layout(),
+                sched: plan.scheduler,
+                queue: plan.queue(),
+                grid,
+                group_max: plan.group(),
+                column_granular: self.column_granular,
+                record_trace: plan.record_trace,
+            };
+            let r = calu_sim::run(&g, &scfg);
+            if small {
+                co_scheduled += 1;
+                group_time[next_group] += r.makespan;
+                next_group = (next_group + 1) % groups;
+            } else {
+                wall_large += r.makespan;
+            }
+            items.push(sim_report(self.name(), plan, (m, n), threads, r));
+        }
+        let wall = wall_large + group_time.iter().copied().fold(0.0f64, f64::max);
+        Ok(BatchReport {
+            backend: self.name().into(),
+            threads: cores,
+            items,
+            wall_secs: wall,
+            pool_spawn_secs: 0.0,
+            cold_spawn_secs: 0.0,
+            co_scheduled,
+        })
     }
 }
 
-/// Map a `SimResult` into the unified report shape.
-fn sim_report(backend: &str, plan: &Plan<'_>, dims: (usize, usize), r: SimResult) -> Report {
-    let threads = r
+/// Map a `SimResult` into the unified report shape. `threads` is the
+/// core count the run actually used (the whole machine for solo runs,
+/// the co-scheduling group size for small batch items).
+fn sim_report(
+    backend: &str,
+    plan: &Plan<'_>,
+    dims: (usize, usize),
+    threads: usize,
+    r: SimResult,
+) -> Report {
+    let per_core = r
         .cores
         .iter()
         .map(|c| {
@@ -309,7 +615,7 @@ fn sim_report(backend: &str, plan: &Plan<'_>, dims: (usize, usize), r: SimResult
         layout: plan.layout(),
         dims,
         b: plan.b(),
-        threads: plan.threads(),
+        threads,
         tasks: r.tasks,
         makespan: r.makespan,
         nominal_flops: r.nominal_flops,
@@ -318,7 +624,7 @@ fn sim_report(backend: &str, plan: &Plan<'_>, dims: (usize, usize), r: SimResult
         growth_factor: None,
         schedule: ScheduleMetrics {
             makespan: r.makespan,
-            threads,
+            threads: per_core,
         },
         timeline: r.timeline,
     }
@@ -342,6 +648,26 @@ mod tests {
             matches!(err, Error::Config(ref m) if m.contains("DenseMatrix")),
             "{err}"
         );
+    }
+
+    #[test]
+    fn run_batch_rejects_heterogeneous_plans() {
+        // Backend::run_batch is public; hand-assembled plans that don't
+        // share one config must fail loudly instead of silently running
+        // every item under plans[0]'s knobs
+        let a = Solver::new(MatrixSource::uniform(32, 1)).tile(8);
+        let b = Solver::new(MatrixSource::uniform(32, 2)).tile(16);
+        let plans = [a.plan().unwrap(), b.plan().unwrap()];
+        for backend in [
+            &ThreadedBackend as &dyn Backend,
+            &SimulatedBackend::new(MachineConfig::intel_xeon_16(NoiseConfig::off())),
+        ] {
+            let err = backend.run_batch(&plans).unwrap_err();
+            assert!(
+                matches!(err, Error::Config(ref m) if m.contains("share one configuration")),
+                "{err}"
+            );
+        }
     }
 
     #[test]

@@ -54,18 +54,46 @@
 //! }
 //! ```
 //!
-//! ## Migration from the 0.1 entry points
+//! ## Batched sweeps
 //!
-//! | 0.1 call | replacement |
-//! |---|---|
-//! | `calu_factor(&a, &CaluConfig::new(b).with_threads(t))` | `Solver::new(a).tile(b).threads(t).run()` |
-//! | `calu_factor_traced(..)` | `Solver::new(a)...trace(true).run()` (timeline in the report) |
-//! | `sim::run(&g, &SimConfig::new(mach, layout, sched))` | `Solver::new(MatrixSource::shape(m, n)).layout(layout).scheduler(sched).backend(SimulatedBackend::new(mach)).run()` |
+//! Serving-style workloads factor many small matrices, where per-call
+//! planning and thread spawn dominate. [`Solver::batch`] runs a whole
+//! sweep on one persistent worker pool — spawned once, per-worker
+//! scratch arenas and deques alive across items — and returns a
+//! [`BatchReport`] with per-item [`Report`]s plus batch throughput:
 //!
-//! The deprecated top-level shims were removed in 0.3, as announced;
-//! the low-level entry points remain available under [`core`]
-//! (`calu::core::calu_factor`, `calu::core::CaluConfig`) and [`sim`]
-//! (`calu::sim::SimConfig`) for driver-level use.
+//! ```
+//! use calu::{MatrixSource, Solver};
+//! use calu::matrix::gen;
+//!
+//! let items: Vec<MatrixSource> = (0..4)
+//!     .map(|i| MatrixSource::Dense(gen::uniform(64, 64, i)))
+//!     .collect();
+//! let batch = Solver::new(MatrixSource::shape(64, 64)) // knobs only
+//!     .tile(16)
+//!     .threads(2)
+//!     .batch(&items)
+//!     .unwrap();
+//! assert_eq!(batch.len(), 4);
+//! assert!(batch.items_per_sec() > 0.0);
+//! for item in &batch.items {
+//!     assert!(item.residual.unwrap() < 1e-12);
+//! }
+//! ```
+//!
+//! Every item factors bitwise-identically to a solo [`Solver::run`];
+//! small items are co-scheduled whole-per-worker, large ones run the
+//! full hybrid static/dynamic schedule (see
+//! [`Solver::batch_small_cutoff`]).
+//!
+//! ## History
+//!
+//! The 0.1 top-level entry points (`calu_factor`, top-level
+//! `CaluConfig`/`SimConfig`) were deprecated in 0.2 and removed in 0.3;
+//! everything goes through [`Solver`] now. The low-level driver APIs
+//! live on under [`core`] (`calu::core::calu_factor`,
+//! `calu::core::calu_factor_batch`, `calu::core::CaluConfig`) and
+//! [`sim`] (`calu::sim::SimConfig`).
 //!
 //! ## The pieces
 //!
@@ -77,7 +105,8 @@
 //! * [`trace`] — execution timelines and idle-time metrics;
 //! * [`model`] — the paper's §6 performance model (Theorem 1);
 //! * [`core`] — CALU with tournament pivoting, the threaded hybrid
-//!   executor, and the GEPP / incremental-pivoting baselines.
+//!   executor, the persistent-pool batch executor, and the GEPP /
+//!   incremental-pivoting baselines.
 
 pub mod backend;
 pub mod error;
@@ -88,7 +117,8 @@ pub use backend::{Backend, SimulatedBackend, ThreadedBackend};
 pub use calu_sched::QueueDiscipline;
 pub use error::Error;
 pub use report::{
-    ContentionStats, QueueBreakdown, Report, ScheduleMetrics, StealLocality, ThreadMetrics,
+    BatchReport, ContentionStats, QueueBreakdown, Report, ScheduleMetrics, StealLocality,
+    ThreadMetrics,
 };
 pub use solver::{Algorithm, MatrixSource, Plan, Solver};
 
@@ -115,5 +145,8 @@ impl Backend for Box<dyn Backend> {
     }
     fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error> {
         self.as_ref().execute(plan)
+    }
+    fn run_batch(&self, plans: &[Plan<'_>]) -> Result<report::BatchReport, Error> {
+        self.as_ref().run_batch(plans)
     }
 }

@@ -325,6 +325,83 @@ impl Report {
     }
 }
 
+/// The structured result of one [`crate::Solver::batch`] sweep: every
+/// item's full [`Report`] plus batch-level throughput.
+///
+/// Per-item makespans overlap when items are co-scheduled, so
+/// batch-level rates are always computed against [`wall_secs`], the
+/// end-to-end sweep time — never against the sum of item makespans.
+///
+/// [`wall_secs`]: BatchReport::wall_secs
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Name of the backend that ran the sweep.
+    pub backend: String,
+    /// Worker threads / simulated cores in the pool.
+    pub threads: usize,
+    /// Per-item reports, in input order.
+    pub items: Vec<Report>,
+    /// End-to-end sweep seconds (wall clock for the threaded backend,
+    /// modelled batch time for the simulator).
+    pub wall_secs: f64,
+    /// Seconds until the last pool worker entered its work loop — paid
+    /// once per batch instead of once per item (0 where not modelled).
+    pub pool_spawn_secs: f64,
+    /// Measured (threaded) or modelled cost of one cold worker-pool
+    /// spawn — what the loop-over-`run` fallback pays *per item*.
+    pub cold_spawn_secs: f64,
+    /// Items that were co-scheduled (claimed whole by one pool worker)
+    /// rather than run on the full hybrid schedule.
+    pub co_scheduled: usize,
+}
+
+impl BatchReport {
+    /// Number of items in the sweep.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the sweep held no items (never true for a report built
+    /// by [`crate::Solver::batch`], which rejects empty batches).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Batch throughput in items per second.
+    pub fn items_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.items.len() as f64 / self.wall_secs
+        }
+    }
+
+    /// Aggregate Gflop/s: every item's nominal flops over the batch
+    /// wall time (the paper's plotting convention, batch-wide).
+    pub fn aggregate_gflops(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        let flops: f64 = self.items.iter().map(|r| r.nominal_flops).sum();
+        flops / self.wall_secs / 1e9
+    }
+
+    /// Total DAG tasks executed across items.
+    pub fn total_tasks(&self) -> usize {
+        self.items.iter().map(|r| r.tasks).sum()
+    }
+
+    /// Estimated pool-reuse saving versus cold-spawning per item: the
+    /// loop-over-`run` fallback pays [`cold_spawn_secs`] for every item,
+    /// the pool pays [`pool_spawn_secs`] once.
+    ///
+    /// [`cold_spawn_secs`]: BatchReport::cold_spawn_secs
+    /// [`pool_spawn_secs`]: BatchReport::pool_spawn_secs
+    pub fn spawn_savings_secs(&self) -> f64 {
+        (self.cold_spawn_secs * self.items.len() as f64 - self.pool_spawn_secs).max(0.0)
+    }
+}
+
 /// Nominal flop count of one factorization — the paper's plotting
 /// convention, delegated to `calu_sim::cost` so both backends share the
 /// exact same Gflop/s denominator.
@@ -404,5 +481,48 @@ mod tests {
         assert_eq!(QueueBreakdown::default().dynamic_fraction(), 0.0);
         assert_eq!(ScheduleMetrics::default().utilization(), 0.0);
         assert_eq!(ContentionStats::default().failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn batch_report_aggregates() {
+        let item = |flops: f64, tasks: usize| Report {
+            backend: "x".into(),
+            algorithm: Algorithm::Calu,
+            scheduler: SchedulerKind::Hybrid { dratio: 0.1 },
+            queue_discipline: QueueDiscipline::Global,
+            layout: Layout::BlockCyclic,
+            dims: (10, 10),
+            b: 5,
+            threads: 2,
+            tasks,
+            makespan: 1.0,
+            nominal_flops: flops,
+            factorization: None,
+            residual: None,
+            growth_factor: None,
+            schedule: ScheduleMetrics::default(),
+            timeline: None,
+        };
+        let b = BatchReport {
+            backend: "x".into(),
+            threads: 2,
+            items: vec![item(2e9, 3), item(4e9, 5)],
+            wall_secs: 2.0,
+            pool_spawn_secs: 0.5e-3,
+            cold_spawn_secs: 1e-3,
+            co_scheduled: 1,
+        };
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert!((b.items_per_sec() - 1.0).abs() < 1e-12);
+        assert!((b.aggregate_gflops() - 3.0).abs() < 1e-12);
+        assert_eq!(b.total_tasks(), 8);
+        assert!((b.spawn_savings_secs() - 1.5e-3).abs() < 1e-12);
+        let zero = BatchReport {
+            wall_secs: 0.0,
+            ..b.clone()
+        };
+        assert_eq!(zero.items_per_sec(), 0.0);
+        assert_eq!(zero.aggregate_gflops(), 0.0);
     }
 }

@@ -18,7 +18,7 @@ use calu_sched::{QueueDiscipline, SchedulerKind};
 
 use crate::backend::{Backend, ThreadedBackend};
 use crate::error::Error;
-use crate::report::Report;
+use crate::report::{BatchReport, Report};
 
 /// Which factorization to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,6 +217,8 @@ pub struct Solver {
     trace: bool,
     verify: bool,
     pin_workers: bool,
+    batch_threads_per_item: Option<usize>,
+    batch_small_cutoff: Option<usize>,
     backend: Box<dyn Backend>,
 }
 
@@ -238,6 +240,8 @@ impl Solver {
             trace: false,
             verify: true,
             pin_workers: false,
+            batch_threads_per_item: None,
+            batch_small_cutoff: None,
             backend: Box::new(ThreadedBackend),
         }
     }
@@ -315,6 +319,31 @@ impl Solver {
         self
     }
 
+    /// The co-scheduling switch for a [`Solver::batch`] sweep
+    /// (default 1). Any value below the thread count enables
+    /// co-scheduling — on the threaded pool each small matrix is then
+    /// claimed whole by **one** worker, whatever `k` is; setting it
+    /// *to* the thread count disables co-scheduling, running every
+    /// item on the full hybrid schedule. The simulated backend also
+    /// uses `k` as the core-group width of its batch model
+    /// (`k`-worker groups on the real executor are future work).
+    /// Validated in `1..=threads`.
+    pub fn batch_threads_per_item(mut self, k: usize) -> Self {
+        self.batch_threads_per_item = Some(k);
+        self
+    }
+
+    /// Size cutoff below which a [`Solver::batch`] item counts as
+    /// *small* and is co-scheduled (larger dimension, in elements;
+    /// default [`calu_core::DEFAULT_BATCH_SMALL_CUTOFF`]). `0`
+    /// co-schedules nothing.
+    ///
+    /// [`calu_core::DEFAULT_BATCH_SMALL_CUTOFF`]: calu_core::DEFAULT_BATCH_SMALL_CUTOFF
+    pub fn batch_small_cutoff(mut self, cutoff: usize) -> Self {
+        self.batch_small_cutoff = Some(cutoff);
+        self
+    }
+
     /// Select the algorithm (default [`Algorithm::Calu`]).
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
@@ -348,7 +377,13 @@ impl Solver {
     /// conflicts (explicit grouping on a non-grouping layout;
     /// shape/backend mismatches are left to the backend).
     pub fn plan(&self) -> Result<Plan<'_>, Error> {
-        let (m, n) = self.source.dims();
+        self.plan_for(&self.source)
+    }
+
+    /// [`Solver::plan`] against an arbitrary source: the same knobs and
+    /// the same validation, applied to one item of a batched sweep.
+    fn plan_for<'a>(&'a self, source: &'a MatrixSource) -> Result<Plan<'a>, Error> {
+        let (m, n) = source.dims();
         if self.algorithm == Algorithm::Cholesky && m != n {
             return Err(Error::Config(format!(
                 "Cholesky factors a square symmetric matrix, got {m}×{n}; \
@@ -385,6 +420,12 @@ impl Solver {
             .with_layout(self.layout)
             .with_queue(queue)
             .with_pinning(self.pin_workers);
+        if let Some(k) = self.batch_threads_per_item {
+            cfg.batch_threads_per_item = k;
+        }
+        if let Some(cutoff) = self.batch_small_cutoff {
+            cfg.batch_small_cutoff = cutoff;
+        }
         cfg.leaf_stride = self.leaf_stride;
         if let Some(g) = self.group {
             cfg.group = g;
@@ -405,7 +446,7 @@ impl Solver {
         cfg.group = cfg.effective_group();
         cfg.leaf_stride = Some(self.leaf_stride.unwrap_or_else(|| grid.pr()));
         Ok(Plan {
-            source: &self.source,
+            source,
             grid,
             scheduler: self.scheduler,
             algorithm: self.algorithm,
@@ -421,6 +462,36 @@ impl Solver {
     pub fn run(&self) -> Result<Report, Error> {
         let plan = self.plan()?;
         self.backend.execute(&plan)
+    }
+
+    /// Factor every matrix in `sources` as one batched sweep and return
+    /// the aggregate [`BatchReport`].
+    ///
+    /// Every item runs under this builder's knobs (tile size, threads,
+    /// scheduler, queue discipline, …) — the builder's *own* source is
+    /// not part of the batch, only `sources` are. On
+    /// [`ThreadedBackend`] the sweep runs on one persistent worker pool
+    /// (spawned once; per-worker scratch arenas and deques alive across
+    /// items; small items co-scheduled whole-per-worker, large ones on
+    /// the full hybrid static/dynamic schedule — see
+    /// [`Solver::batch_small_cutoff`] and
+    /// [`Solver::batch_threads_per_item`]); each item's factors are
+    /// bitwise-identical to a solo [`Solver::run`] on that source.
+    /// [`crate::SimulatedBackend`] models the same batch semantics;
+    /// other backends fall back to looping over [`Solver::run`].
+    pub fn batch(&self, sources: &[MatrixSource]) -> Result<BatchReport, Error> {
+        if sources.is_empty() {
+            return Err(Error::Config(
+                "a batch needs at least one matrix source; pass a non-empty \
+                 slice to Solver::batch"
+                    .into(),
+            ));
+        }
+        let plans = sources
+            .iter()
+            .map(|s| self.plan_for(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.backend.run_batch(&plans)
     }
 }
 

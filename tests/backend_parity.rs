@@ -274,6 +274,148 @@ fn report_fields_are_backend_consistent() {
 }
 
 #[test]
+fn threaded_batch_items_factor_bitwise_identically_to_solo_runs() {
+    // The acceptance sweep: a mixed batch (co-scheduled small items AND
+    // co-operative large ones) where every item must match the solo
+    // `run` of the same source to the last bit — same pivots, same
+    // packed LU, same residual bits. The pool changes *when* tasks run,
+    // never what they compute.
+    let sources: Vec<MatrixSource> = [(48usize, 101u64), (450, 102), (64, 103), (96, 104)]
+        .iter()
+        .map(|&(n, seed)| MatrixSource::uniform(n, seed))
+        .collect();
+    for queue in [QueueDiscipline::Global, QueueDiscipline::lock_free()] {
+        let solver = |src: MatrixSource| {
+            Solver::new(src)
+                .tile(16)
+                .threads(4)
+                .dratio(0.5)
+                .queue_discipline(queue)
+                .batch_small_cutoff(100)
+        };
+        let batch = solver(MatrixSource::shape(8, 8)).batch(&sources).unwrap();
+        assert_eq!(batch.backend, "threaded");
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.threads, 4);
+        assert_eq!(batch.co_scheduled, 3, "items ≤ 100 are co-scheduled");
+        assert!(batch.wall_secs > 0.0 && batch.items_per_sec() > 0.0);
+        assert!(batch.aggregate_gflops() > 0.0);
+        for (src, item) in sources.iter().zip(&batch.items) {
+            let solo = solver(src.clone()).run().unwrap();
+            let (fb, fs) = (
+                item.factorization.as_ref().unwrap(),
+                solo.factorization.as_ref().unwrap(),
+            );
+            let ctx = format!("n={} queue={queue}", src.dims().0);
+            assert_eq!(fb.lu.as_slice(), fs.lu.as_slice(), "packed LU bits, {ctx}");
+            assert_eq!(fb.perm.pivots(), fs.perm.pivots(), "pivot rows, {ctx}");
+            assert_eq!(
+                item.residual.unwrap().to_bits(),
+                solo.residual.unwrap().to_bits(),
+                "residual bits, {ctx}"
+            );
+            // attribution holds inside the batch too: every task of the
+            // item reaches exactly one queue source
+            let q = item.schedule.queue_sources();
+            assert_eq!(q.local + q.global + q.stolen, item.tasks as u64, "{ctx}");
+            assert_eq!(item.tasks, solo.tasks, "{ctx}");
+        }
+    }
+}
+
+#[test]
+fn one_item_batch_matches_the_solo_run_exactly() {
+    let src = MatrixSource::uniform(72, 7);
+    let solver = Solver::new(src.clone()).tile(12).threads(2).dratio(0.3);
+    let batch = solver.batch(std::slice::from_ref(&src)).unwrap();
+    let solo = solver.run().unwrap();
+    assert_eq!(batch.len(), 1);
+    let (fb, fs) = (
+        batch.items[0].factorization.as_ref().unwrap(),
+        solo.factorization.as_ref().unwrap(),
+    );
+    assert_eq!(fb.lu.as_slice(), fs.lu.as_slice());
+    assert_eq!(fb.perm.pivots(), fs.perm.pivots());
+    assert_eq!(
+        batch.items[0].residual.unwrap().to_bits(),
+        solo.residual.unwrap().to_bits()
+    );
+}
+
+#[test]
+fn batch_rejects_bad_inputs_like_run_does() {
+    let solver = Solver::new(MatrixSource::shape(64, 64)).tile(16).threads(4);
+    // empty batches are a config error, not a zero-item report
+    let err = solver.batch(&[]).unwrap_err();
+    assert!(
+        matches!(err, calu::Error::Config(ref m) if m.contains("at least one")),
+        "{err}"
+    );
+    // shape-only items are rejected by the threaded pool with the same
+    // message as a solo run
+    let err = solver.batch(&[MatrixSource::shape(32, 32)]).unwrap_err();
+    assert!(
+        matches!(err, calu::Error::Config(ref m) if m.contains("DenseMatrix")),
+        "{err}"
+    );
+    // batch knobs are validated through the same single path
+    let err = Solver::new(MatrixSource::shape(64, 64))
+        .threads(2)
+        .batch_threads_per_item(8)
+        .batch(&[MatrixSource::uniform(32, 1)])
+        .unwrap_err();
+    assert!(
+        matches!(err, calu::Error::Config(ref m) if m.contains("exceeds")),
+        "{err}"
+    );
+}
+
+#[test]
+fn simulated_batch_models_the_same_semantics() {
+    let mach = MachineConfig::intel_xeon_16(NoiseConfig::off());
+    let sources: Vec<MatrixSource> = vec![
+        MatrixSource::shape(300, 300),
+        MatrixSource::shape(1000, 1000),
+        MatrixSource::shape(200, 200),
+    ];
+    let solver = Solver::new(MatrixSource::shape(8, 8))
+        .tile(100)
+        .backend(SimulatedBackend::new(mach.clone()));
+    let batch = solver.batch(&sources).unwrap();
+    assert_eq!(batch.co_scheduled, 2, "items ≤ 384 co-schedule");
+    // co-scheduled items ran on a 1-core group (default k = 1), large
+    // ones on the whole machine
+    assert_eq!(batch.items[0].threads, 1);
+    assert_eq!(batch.items[1].threads, 16);
+    assert_eq!(batch.items[2].threads, 1);
+    // with co-scheduling disabled, every item's makespan matches its
+    // solo simulation exactly and the wall is their sum (deterministic
+    // discrete-event model)
+    let no_co = Solver::new(MatrixSource::shape(8, 8))
+        .tile(100)
+        .batch_small_cutoff(0)
+        .backend(SimulatedBackend::new(mach.clone()));
+    let batch = no_co.batch(&sources).unwrap();
+    assert_eq!(batch.co_scheduled, 0);
+    let mut sum = 0.0;
+    for (src, item) in sources.iter().zip(&batch.items) {
+        let solo = Solver::new(src.clone())
+            .tile(100)
+            .backend(SimulatedBackend::new(mach.clone()))
+            .run()
+            .unwrap();
+        assert_eq!(item.threads, 16);
+        assert!(
+            (item.makespan - solo.makespan).abs() < 1e-12,
+            "deterministic model: batch item == solo sim"
+        );
+        sum += item.makespan;
+    }
+    assert!((batch.wall_secs - sum).abs() < 1e-12);
+    assert!(batch.items_per_sec() > 0.0);
+}
+
+#[test]
 fn rhs_solve_matches_across_dratio_sweep() {
     // schedule must not change the math: identical solutions for every
     // dynamic share, threaded backend
