@@ -23,6 +23,11 @@
 //! *rate* (regression = normalized throughput dropping past the
 //! threaded tolerance), and the binary fails outright if the pool does
 //! not beat the fallback on the current host, baseline or no baseline.
+//! The same sources also run through a warm `FactorService`
+//! (`service_batch`) interleaved with the batch draws:
+//! `serve_jobs_per_sec` gates as a rate, and the binary fails outright
+//! if the service path falls more than 10% below `Solver::batch` —
+//! the admission/handle layer must stay thin.
 //!
 //! Timing metrics are normalized by a fixed single-threaded calibration
 //! kernel before comparison (see `calu_bench::perf`), so a baseline
@@ -43,7 +48,7 @@ use calu::dag::TaskGraph;
 use calu::kernels::{dgemm_packed, GemmScratch};
 use calu::matrix::{gen, ProcessGrid};
 use calu::sched::{make_policy_with, QueueDiscipline, SchedulerKind};
-use calu::{MatrixSource, Report, Solver};
+use calu::{service_batch, MatrixSource, Report, Solver};
 use calu_bench::perf::{
     calibration_secs, compare_with, min_of, parse_flat_json, write_flat_json, CALIBRATION_KEY,
 };
@@ -99,11 +104,15 @@ fn gemm_secs() -> f64 {
 /// the loop-over-`run` fallback (fresh thread pool per item). Both
 /// paths skip verification and share seeds, so they factor the exact
 /// same matrices; the minimum over several draws filters runner noise.
-/// Returns `(batch items/s, loop items/s)`.
+/// The same sources additionally run on a warm [`calu::FactorService`]
+/// (spawned once, outside every timed region) via `service_batch`, so
+/// the third figure is steady-state job throughput through the
+/// admission/handle layer. Returns
+/// `(batch items/s, loop items/s, serve jobs/s)`.
 const BATCH_ITEMS: usize = 16;
 const BATCH_N: usize = 256;
 
-fn batch_throughput() -> (f64, f64) {
+fn batch_throughput() -> (f64, f64, f64) {
     // pre-materialized dense sources, shared by both paths: the gate
     // measures the scheduling/throughput difference (pool reuse vs
     // per-item spawn), not matrix generation or first-touch page faults
@@ -126,11 +135,16 @@ fn batch_throughput() -> (f64, f64) {
                 .verify(false)
         })
         .collect();
-    // interleave the two measurements so host drift (frequency ramps,
-    // noisy neighbours on a shared runner) hits both paths equally;
+    // the service spawns once here, outside every timed region: the
+    // serve figure is steady-state throughput of a warm pool, which is
+    // exactly what a long-running job server amortizes toward
+    let service = solver.serve().expect("spawn service");
+    // interleave the measurements so host drift (frequency ramps,
+    // noisy neighbours on a shared runner) hits all paths equally;
     // the per-path minimum then compares like against like
     let mut batch_secs = f64::INFINITY;
     let mut loop_secs = f64::INFINITY;
+    let mut serve_secs = f64::INFINITY;
     for _ in 0..5 {
         let t0 = std::time::Instant::now();
         let r = solver.batch(&sources).expect("batch sweep");
@@ -142,10 +156,18 @@ fn batch_throughput() -> (f64, f64) {
             s.run().expect("solo run");
         }
         loop_secs = loop_secs.min(t0.elapsed().as_secs_f64());
+
+        let t0 = std::time::Instant::now();
+        let r = service_batch(&service, &sources).expect("service sweep");
+        assert_eq!(r.len(), BATCH_ITEMS);
+        assert!(r.pool_reused, "a warm service must report pool reuse");
+        serve_secs = serve_secs.min(t0.elapsed().as_secs_f64());
     }
+    service.drain();
     (
         BATCH_ITEMS as f64 / batch_secs,
         BATCH_ITEMS as f64 / loop_secs,
+        BATCH_ITEMS as f64 / serve_secs,
     )
 }
 
@@ -264,7 +286,7 @@ fn main() -> ExitCode {
     // the allocator with their 22k-task graphs and 200k-entry heaps —
     // the pooled path allocates its whole working set up front and is
     // more sensitive to a fragmented arena than the one-at-a-time loop
-    let (batch_ips, loop_ips) = batch_throughput();
+    let (batch_ips, loop_ips, serve_jps) = batch_throughput();
     let (global_secs, _) = threaded(QueueDiscipline::Global);
     let (sharded_secs, sharded_report) = threaded(QueueDiscipline::Sharded { seed: SEED });
     let (lockfree_secs, lockfree_report) = threaded(QueueDiscipline::LockFree { seed: SEED });
@@ -319,6 +341,12 @@ fn main() -> ExitCode {
         ("batch_16x256_items_per_sec", batch_ips),
         ("batch_loop_16x256_rate", loop_ips),
         ("batch_16x256_speedup", batch_ips / loop_ips),
+        // the warm-service acceptance pair: steady-state FactorService
+        // throughput on the same 16×256 mix (gated as a rate at the
+        // threaded tolerance) and its ratio to Solver::batch (recorded
+        // ungated; the in-binary 0.9× floor below enforces it)
+        ("serve_jobs_per_sec", serve_jps),
+        ("serve_vs_batch_ratio", serve_jps / batch_ips),
     ]
     .into_iter()
     .map(|(k, v)| (k.to_string(), v))
@@ -354,14 +382,34 @@ fn main() -> ExitCode {
         batch_ips / loop_ips
     );
 
+    // the service acceptance criterion is also absolute: admission
+    // control, job handles and the event plumbing must cost the warm
+    // pool at most 10% of Solver::batch's throughput on the same mix
+    if serve_jps < 0.9 * batch_ips {
+        eprintln!(
+            "perf-smoke FAILED: warm FactorService ({serve_jps:.1} jobs/s) is more \
+             than 10% below Solver::batch ({batch_ips:.1} items/s) on \
+             {BATCH_ITEMS}×(n={BATCH_N})"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "serve throughput vs batch: {:.2}x ({serve_jps:.1} vs {batch_ips:.1} per s)",
+        serve_jps / batch_ips
+    );
+
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         let baseline = parse_flat_json(&text).expect("baseline must be flat JSON");
-        // batch_* rates are 4-thread wall-clock figures like threaded_*,
-        // so they share the looser parallel-efficiency tolerance
+        // batch_* and serve_* rates are 4-thread wall-clock figures
+        // like threaded_*, so they share the looser
+        // parallel-efficiency tolerance
         let tol_for = |key: &str| {
-            if key.starts_with("threaded_") || key.starts_with("batch_") {
+            if key.starts_with("threaded_")
+                || key.starts_with("batch_")
+                || key.starts_with("serve_")
+            {
                 threaded_tolerance
             } else {
                 tolerance

@@ -1,0 +1,213 @@
+//! Service-layer throughput sweep: jobs/second through a warm
+//! [`calu::FactorService`] by priority-class mix, plus the submit-latency win
+//! of lazy generator sources, emitted as the same flat-JSON metric
+//! format as `perf_smoke` (rates as `*_per_sec`, record-only figures
+//! without a gated suffix). This file has no checked-in baseline — the
+//! CI gate for the service path lives in `perf_smoke`
+//! (`serve_jobs_per_sec`); this bin is the wider profile behind it.
+//!
+//! ```text
+//! serve [--out PATH]   # metrics file (default SERVE_pr.json)
+//!       [--quick]      # fewer draws and jobs (fast smoke)
+//! ```
+//!
+//! Three class mixes run the same seeded n=192 uniform jobs through one
+//! service: all-`Interactive`, all-`Batch`, and a rotating
+//! interactive/batch/background mix. The pool and its class lanes are
+//! shared state, so the three rates isolate what the lane discipline
+//! itself costs (nothing, within noise, is the expectation — the lanes
+//! only reorder, they never idle a worker).
+//!
+//! The submit-latency section measures what lazy materialization buys
+//! the *submitting* thread: a generator [`calu::JobSpec::uniform`] submits in
+//! the time it takes to move a 24-byte enum through admission, while an
+//! eager design would generate the dense matrix on the submit path.
+//! Both figures are per-job, record-only (`serve_submit_*_latency`),
+//! with the ratio beside them.
+//!
+//! The backlog section records how long an [`calu::JobClass::Interactive`]
+//! job waits when it arrives behind a full `Background` backlog — the
+//! class-lane pass-over in one number (`serve_interactive_latency_under_backlog`,
+//! seconds; compare it to a single n=64 factorization, not to the
+//! backlog's total runtime).
+
+use std::time::Instant;
+
+use calu::matrix::gen;
+use calu::{JobClass, JobSpec, MatrixSource, ReportService, Solver};
+use calu_bench::perf::{calibration_secs, min_of, write_flat_json, CALIBRATION_KEY};
+use calu_bench::timing::fmt_secs;
+
+const THREADS: usize = 4;
+const B: usize = 32;
+const JOB_N: usize = 192;
+const SEED: u64 = 7000;
+
+/// One warm service shared by every measurement: spawned once, outside
+/// all timed regions, exactly how a long-running server amortizes.
+fn service() -> ReportService {
+    Solver::new(MatrixSource::shape(JOB_N, JOB_N))
+        .tile(B)
+        .threads(THREADS)
+        .verify(false)
+        .serve()
+        .expect("spawn service")
+}
+
+/// Submit `jobs` seeded n=192 jobs under `classes` (cycled), wait for
+/// all of them; minimum wall time over `draws`, returned as jobs/s.
+fn mix_jobs_per_sec(
+    service: &ReportService,
+    classes: &[JobClass],
+    jobs: usize,
+    draws: usize,
+) -> f64 {
+    let secs = min_of(draws, || {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..jobs)
+            .map(|i| {
+                let spec = JobSpec::uniform(JOB_N, JOB_N, SEED + i as u64);
+                service
+                    .submit(spec, classes[i % classes.len()])
+                    .expect("submit within quota")
+            })
+            .collect();
+        for h in handles {
+            h.wait().expect("served job");
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    jobs as f64 / secs
+}
+
+/// Per-job submit latency, lazy vs eager: the lazy path times only the
+/// `submit` calls for generator specs (workers materialize); the eager
+/// path times generating each dense matrix *and* submitting it — what
+/// a design without `PoolSource::Uniform` would pay on the caller.
+/// Returns `(lazy_secs_per_job, eager_secs_per_job)`.
+fn submit_latency(service: &ReportService, jobs: usize, draws: usize) -> (f64, f64) {
+    let lazy = min_of(draws, || {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..jobs)
+            .map(|i| {
+                service
+                    .submit(
+                        JobSpec::uniform(JOB_N, JOB_N, SEED + i as u64),
+                        JobClass::Batch,
+                    )
+                    .expect("submit within quota")
+            })
+            .collect();
+        let secs = t0.elapsed().as_secs_f64();
+        for h in handles {
+            h.wait().expect("served job");
+        }
+        secs
+    });
+    let eager = min_of(draws, || {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..jobs)
+            .map(|i| {
+                let a = gen::uniform(JOB_N, JOB_N, SEED + i as u64);
+                service
+                    .submit(JobSpec::dense(a), JobClass::Batch)
+                    .expect("submit within quota")
+            })
+            .collect();
+        let secs = t0.elapsed().as_secs_f64();
+        for h in handles {
+            h.wait().expect("served job");
+        }
+        secs
+    });
+    (lazy / jobs as f64, eager / jobs as f64)
+}
+
+/// Wall time from submitting one `Interactive` n=64 job *behind* a full
+/// `Background` backlog to its completion: the lanes' pass-over rule
+/// should keep this near a single small factorization.
+fn interactive_latency_under_backlog(service: &ReportService, backlog: usize, draws: usize) -> f64 {
+    min_of(draws, || {
+        let bg: Vec<_> = (0..backlog)
+            .map(|i| {
+                service
+                    .submit(
+                        JobSpec::uniform(JOB_N, JOB_N, SEED + 500 + i as u64),
+                        JobClass::Background,
+                    )
+                    .expect("submit within quota")
+            })
+            .collect();
+        let t0 = Instant::now();
+        let h = service
+            .submit(JobSpec::uniform(64, 64, SEED + 999), JobClass::Interactive)
+            .expect("submit within quota");
+        h.wait().expect("interactive job");
+        let secs = t0.elapsed().as_secs_f64();
+        for h in bg {
+            h.wait().expect("background job");
+        }
+        secs
+    })
+}
+
+fn main() {
+    let mut out = "SERVE_pr.json".to_string();
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = args.next().expect("--out needs a value"),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown flag {other}; see the module docs");
+                std::process::exit(1);
+            }
+        }
+    }
+    let (jobs, draws) = if quick { (8, 2) } else { (24, 5) };
+
+    println!("serve: threads={THREADS} b={B} n={JOB_N}, {jobs} jobs x {draws} draws");
+    let mut metrics: Vec<(String, f64)> = vec![(CALIBRATION_KEY.to_string(), calibration_secs())];
+    let service = service();
+
+    println!("class-mix throughput (one warm service, same seeded jobs):");
+    let mixes: &[(&str, &[JobClass])] = &[
+        ("interactive", &[JobClass::Interactive]),
+        ("batch", &[JobClass::Batch]),
+        (
+            "mixed",
+            &[JobClass::Interactive, JobClass::Batch, JobClass::Background],
+        ),
+    ];
+    for (name, classes) in mixes {
+        let jps = mix_jobs_per_sec(&service, classes, jobs, draws);
+        println!("  {name:<12} {jps:.1} jobs/s");
+        metrics.push((format!("serve_{name}_jobs_per_sec"), jps));
+    }
+
+    let (lazy, eager) = submit_latency(&service, jobs, draws);
+    println!(
+        "submit latency per job: lazy {} vs eager {} ({:.1}x win for generator specs)",
+        fmt_secs(lazy),
+        fmt_secs(eager),
+        eager / lazy
+    );
+    metrics.push(("serve_submit_lazy_latency".into(), lazy));
+    metrics.push(("serve_submit_eager_latency".into(), eager));
+    metrics.push(("serve_submit_lazy_speedup".into(), eager / lazy));
+
+    let backlog = if quick { 6 } else { 16 };
+    let lat = interactive_latency_under_backlog(&service, backlog, draws.min(3));
+    println!(
+        "interactive latency behind {backlog}-job background backlog: {}",
+        fmt_secs(lat)
+    );
+    metrics.push(("serve_interactive_latency_under_backlog".into(), lat));
+
+    service.drain();
+
+    let json = write_flat_json(&metrics);
+    std::fs::write(&out, &json).expect("write metrics file");
+    println!("wrote {out}");
+}

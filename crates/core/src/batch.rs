@@ -37,14 +37,18 @@
 //! ordered by the exclusive-writer discipline) — the facade's
 //! backend-parity suite pins this down.
 
+use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use calu_dag::{PaperKind, TaskGraph, TaskId};
 use calu_kernels::GemmScratch;
-use calu_matrix::{BclMatrix, CmTiles, DenseMatrix, Layout, ProcessGrid, TileStorage, TlbMatrix};
+use calu_matrix::{
+    gen, BclMatrix, CmTiles, DenseMatrix, Layout, ProcessGrid, TileStorage, TlbMatrix,
+};
 use calu_rand::Rng;
 use calu_sched::{
     nstatic_for, steal_order, Deque, QueueDiscipline, QueueSource, Steal, StealTier, StealTiers,
@@ -56,6 +60,46 @@ use crate::error::CaluError;
 use crate::factorization::Factorization;
 use crate::sync::{pin_current_thread, Mutex};
 use crate::threaded::{apply_left_swaps, host_topology, steal_sweep, ItemState, ThreadStats};
+
+/// What one batch item factors: either a caller-held dense matrix, or
+/// a *generator* whose tile data is built lazily on the worker that
+/// claims the item. Lazy sources keep submission O(1) per item — the
+/// caller thread never touches element data, and for co-scheduled
+/// items the materialized matrix lives only on the claiming worker.
+#[derive(Debug, Clone)]
+pub enum BatchSource<'a> {
+    /// Borrowed dense data, materialized by the caller.
+    Dense(&'a DenseMatrix),
+    /// A seeded uniform generator matrix (`calu_matrix::gen::uniform`),
+    /// materialized on the worker that claims the item.
+    Uniform {
+        /// Rows.
+        m: usize,
+        /// Columns.
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl BatchSource<'_> {
+    /// `(rows, cols)` without materializing.
+    pub fn dims(&self) -> (usize, usize) {
+        match self {
+            BatchSource::Dense(a) => (a.rows(), a.cols()),
+            BatchSource::Uniform { m, n, .. } => (*m, *n),
+        }
+    }
+
+    /// The element data: borrowed for [`BatchSource::Dense`], generated
+    /// on the calling thread for [`BatchSource::Uniform`].
+    pub fn materialize(&self) -> Cow<'_, DenseMatrix> {
+        match self {
+            BatchSource::Dense(a) => Cow::Borrowed(*a),
+            BatchSource::Uniform { m, n, seed } => Cow::Owned(gen::uniform(*m, *n, *seed)),
+        }
+    }
+}
 
 /// One factored batch item, in input order.
 #[derive(Debug)]
@@ -121,14 +165,14 @@ enum BatchDyn {
     LockFree(Vec<Deque>),
 }
 
-struct BatchShared<'g, S: TileStorage> {
+struct BatchShared<S: TileStorage> {
     /// Per-item execution state — pre-built for co-operative (large)
     /// items only. Co-scheduled items build theirs *inside* the
     /// claiming worker, so their storage is allocated, used and freed
     /// item-locally (the allocator hands consecutive items the same
     /// hot memory, exactly like a loop of solo runs) instead of the
     /// whole batch's working set sitting live at once.
-    items: Vec<Option<ItemState<'g, S>>>,
+    items: Vec<Option<ItemState<S>>>,
     /// Per-worker static queues, batch-keyed (large items only).
     local: Vec<BatchHeap>,
     dynamic: BatchDyn,
@@ -147,7 +191,7 @@ struct BatchShared<'g, S: TileStorage> {
     large_left: AtomicUsize,
 }
 
-impl<S: TileStorage + Send> BatchShared<'_, S> {
+impl<S: TileStorage + Send> BatchShared<S> {
     /// Queue a ready task of large item `it` (mirror of the solo
     /// executor's `push_ready`, with batch-packed entries).
     fn push_ready(&self, it: usize, t: TaskId, home: usize) {
@@ -291,7 +335,7 @@ impl<S: TileStorage + Send> BatchShared<'_, S> {
 }
 
 /// Map a task kind onto its timeline span kind.
-fn span_kind(g: &TaskGraph, t: TaskId) -> SpanKind {
+pub(crate) fn span_kind(g: &TaskGraph, t: TaskId) -> SpanKind {
     match g.kind(t).paper_kind() {
         PaperKind::P => SpanKind::Panel,
         PaperKind::L => SpanKind::LFactor,
@@ -301,15 +345,15 @@ fn span_kind(g: &TaskGraph, t: TaskId) -> SpanKind {
 }
 
 /// What each worker brings home from the pool.
-struct WorkerHaul {
+pub(crate) struct WorkerHaul {
     /// `(item, span)` for every task this worker ran.
-    spans: Vec<(u32, TaskSpan)>,
+    pub(crate) spans: Vec<(u32, TaskSpan)>,
     /// Per-item queue accounting (indexed like the batch).
-    stats: Vec<ThreadStats>,
+    pub(crate) stats: Vec<ThreadStats>,
     /// When this worker entered its work loop (batch clock).
-    start_offset: f64,
+    pub(crate) start_offset: f64,
     /// Wholly empty steal sweeps (batch-level, not per item).
-    failed_sweeps: u64,
+    pub(crate) failed_sweeps: u64,
 }
 
 /// Factor a co-scheduled item sequentially on the calling worker: a
@@ -317,8 +361,8 @@ struct WorkerHaul {
 /// the dynamic priority key. No queues, no cross-worker contention —
 /// the DAG and kernels are identical to the co-operative path, so the
 /// bits are too.
-fn run_item_sequential<S: TileStorage + Send>(
-    item: &ItemState<'_, S>,
+pub(crate) fn run_item_sequential<S: TileStorage + Send>(
+    item: &ItemState<S>,
     idx: usize,
     me: usize,
     scratch: &mut GemmScratch,
@@ -340,7 +384,7 @@ fn run_item_sequential<S: TileStorage + Send>(
                 core: me,
                 start,
                 end,
-                kind: span_kind(item.g, t),
+                kind: span_kind(&item.g, t),
             },
         ));
         item.complete_into(t, &mut buf);
@@ -354,16 +398,17 @@ fn run_item_sequential<S: TileStorage + Send>(
 }
 
 /// Build, drain and finish one co-scheduled item entirely on the
-/// calling worker: storage conversion in, sequential DAG drain,
-/// factors out. Keeping the item's whole lifecycle worker-local means
-/// the allocator hands consecutive items the same hot memory and the
-/// batch's peak footprint stays at "items in flight", not "items in
-/// batch" — and on multicore hosts the conversions themselves run in
-/// parallel instead of serializing on the caller.
+/// calling worker: source materialization and storage conversion in,
+/// sequential DAG drain, factors out. Keeping the item's whole
+/// lifecycle worker-local means the allocator hands consecutive items
+/// the same hot memory and the batch's peak footprint stays at "items
+/// in flight", not "items in batch" — and on multicore hosts both the
+/// generator fills and the conversions run in parallel instead of
+/// serializing on the caller.
 #[allow(clippy::too_many_arguments)]
 fn run_small_item<S: TileStorage + Send>(
-    a: &DenseMatrix,
-    g: &TaskGraph,
+    src: &BatchSource<'_>,
+    g: &Arc<TaskGraph>,
     grid: ProcessGrid,
     cfg: &CaluConfig,
     make: &(impl Fn(&DenseMatrix) -> S + Sync),
@@ -374,7 +419,14 @@ fn run_small_item<S: TileStorage + Send>(
     t0: &Instant,
     haul: &mut WorkerHaul,
 ) -> Factorization {
-    let item = ItemState::new(make(a), g, grid, nstatic_for(cfg.dratio, g.num_panels()));
+    let a = src.materialize();
+    let item = ItemState::new(
+        make(&a),
+        Arc::clone(g),
+        grid,
+        nstatic_for(cfg.dratio, g.num_panels()),
+    );
+    drop(a); // tile data is converted; free the generator fill early
     run_item_sequential(&item, idx, me, scratch, t0, haul);
     let (s, perm, singular_at) = item.finish();
     let mut lu = into_dense(s);
@@ -391,8 +443,8 @@ fn run_small_item<S: TileStorage + Send>(
 /// makespan)` plus the batch-level accounting.
 #[allow(clippy::type_complexity)]
 fn batch_tiled<S: TileStorage + Send>(
-    mats: &[&DenseMatrix],
-    graphs: &[TaskGraph],
+    sources: &[BatchSource<'_>],
+    graphs: &[Arc<TaskGraph>],
     small: &[bool],
     grid: ProcessGrid,
     cfg: &CaluConfig,
@@ -408,14 +460,22 @@ fn batch_tiled<S: TileStorage + Send>(
     let queue = cfg.queue;
     let topo = host_topology();
     // co-operative items are pre-built (their state is shared by every
-    // worker); co-scheduled ones stay None and are built at claim time
-    let items: Vec<Option<ItemState<'_, S>>> = mats
+    // worker); co-scheduled ones stay None — their source is
+    // materialized and their state built at claim time, on the worker
+    let items: Vec<Option<ItemState<S>>> = sources
         .iter()
         .zip(graphs)
         .zip(small)
-        .map(|((a, g), &is_small)| {
-            (!is_small)
-                .then(|| ItemState::new(make(a), g, grid, nstatic_for(cfg.dratio, g.num_panels())))
+        .map(|((src, g), &is_small)| {
+            (!is_small).then(|| {
+                let a = src.materialize();
+                ItemState::new(
+                    make(&a),
+                    Arc::clone(g),
+                    grid,
+                    nstatic_for(cfg.dratio, g.num_panels()),
+                )
+            })
         })
         .collect();
     let smalls: Vec<usize> = (0..items.len()).filter(|&i| small[i]).collect();
@@ -541,7 +601,7 @@ fn batch_tiled<S: TileStorage + Send>(
                                 core: me,
                                 start,
                                 end,
-                                kind: span_kind(item.g, t),
+                                kind: span_kind(&item.g, t),
                             },
                         ));
                         item.complete_into(t, &mut ready_buf);
@@ -556,7 +616,7 @@ fn batch_tiled<S: TileStorage + Send>(
                     } else if let Some(Work::Small(it)) = work {
                         idle_spins = 0;
                         let f = run_small_item(
-                            mats[it],
+                            &sources[it],
                             &graphs[it],
                             grid,
                             cfg,
@@ -656,32 +716,44 @@ pub fn calu_factor_batch(
     mats: &[&DenseMatrix],
     cfg: &CaluConfig,
 ) -> Result<BatchOutcome, CaluError> {
+    let sources: Vec<BatchSource<'_>> = mats.iter().map(|a| BatchSource::Dense(a)).collect();
+    calu_factor_batch_from(&sources, cfg)
+}
+
+/// [`calu_factor_batch`] over [`BatchSource`]s: generator items are
+/// materialized lazily on the worker that claims them, so submitting a
+/// sweep of seeded matrices costs the caller thread nothing per item.
+pub fn calu_factor_batch_from(
+    sources: &[BatchSource<'_>],
+    cfg: &CaluConfig,
+) -> Result<BatchOutcome, CaluError> {
     let grid = cfg.validate()?;
-    if mats.is_empty() {
+    if sources.is_empty() {
         return Err(CaluError::InvalidConfig(
             "a batch needs at least one matrix".into(),
         ));
     }
-    if mats.iter().any(|a| a.rows() == 0 || a.cols() == 0) {
+    let dims: Vec<(usize, usize)> = sources.iter().map(BatchSource::dims).collect();
+    if dims.iter().any(|&(m, n)| m == 0 || n == 0) {
         return Err(CaluError::EmptyMatrix);
     }
     let leaf_stride = cfg.leaf_stride.unwrap_or_else(|| grid.pr());
-    let graphs: Vec<TaskGraph> = mats
+    let graphs: Vec<Arc<TaskGraph>> = dims
         .iter()
-        .map(|a| TaskGraph::build_calu(a.rows(), a.cols(), cfg.b, leaf_stride))
+        .map(|&(m, n)| Arc::new(TaskGraph::build_calu(m, n, cfg.b, leaf_stride)))
         .collect();
     // co-scheduling applies to items at or under the cutoff, and only
     // while co-scheduled items use fewer workers than the pool has
     let co_schedule = cfg.batch_threads_per_item < cfg.threads;
-    let small: Vec<bool> = mats
+    let small: Vec<bool> = dims
         .iter()
-        .map(|a| co_schedule && a.rows().max(a.cols()) <= cfg.batch_small_cutoff)
+        .map(|&(m, n)| co_schedule && m.max(n) <= cfg.batch_small_cutoff)
         .collect();
 
     macro_rules! run_layout {
         ($make:expr, $into:expr) => {{
             let (results, wall, spawn, failed) =
-                batch_tiled(mats, &graphs, &small, grid, cfg, &$make, &$into);
+                batch_tiled(sources, &graphs, &small, grid, cfg, &$make, &$into);
             let items = results
                 .into_iter()
                 .enumerate()
@@ -810,6 +882,35 @@ mod tests {
             calu_factor_batch(&[&z], &cfg4()),
             Err(CaluError::EmptyMatrix)
         ));
+    }
+
+    #[test]
+    fn lazy_sources_match_dense_sources_bitwise() {
+        // a Uniform source materialized on the claiming worker must
+        // factor exactly like the same matrix passed in dense — for
+        // both co-scheduled and co-operative routing
+        let dims_seeds = [(48usize, 21u64), (96, 22), (450, 23)];
+        let mats: Vec<DenseMatrix> = dims_seeds
+            .iter()
+            .map(|&(n, seed)| gen::uniform(n, n, seed))
+            .collect();
+        let refs: Vec<&DenseMatrix> = mats.iter().collect();
+        let lazy: Vec<BatchSource<'_>> = dims_seeds
+            .iter()
+            .map(|&(n, seed)| BatchSource::Uniform { m: n, n, seed })
+            .collect();
+        let cfg = cfg4().with_batch_small_cutoff(100);
+        let dense_out = calu_factor_batch(&refs, &cfg).unwrap();
+        let lazy_out = calu_factor_batch_from(&lazy, &cfg).unwrap();
+        for (i, (d, l)) in dense_out.items.iter().zip(&lazy_out.items).enumerate() {
+            assert_eq!(
+                d.factorization.lu.as_slice(),
+                l.factorization.lu.as_slice(),
+                "item {i}"
+            );
+            assert_eq!(d.factorization.perm.pivots(), l.factorization.perm.pivots());
+            assert_eq!(d.co_scheduled, l.co_scheduled, "item {i}");
+        }
     }
 
     #[test]

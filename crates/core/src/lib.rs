@@ -45,6 +45,7 @@ pub mod factorization;
 pub mod gepp;
 pub mod incpiv;
 pub mod pivot;
+pub mod pool;
 pub mod shared;
 pub mod simple;
 pub mod sync;
@@ -52,11 +53,14 @@ pub mod threaded;
 pub mod tslu;
 pub mod verify;
 
-pub use batch::{calu_factor_batch, BatchItemOutcome, BatchOutcome};
+pub use batch::{
+    calu_factor_batch, calu_factor_batch_from, BatchItemOutcome, BatchOutcome, BatchSource,
+};
 pub use config::{CaluConfig, DEFAULT_BATCH_SMALL_CUTOFF};
 pub use error::CaluError;
 pub use factorization::Factorization;
 pub use gepp::gepp_factor;
 pub use incpiv::{incpiv_factor, IncPivFactors};
+pub use pool::{JobSink, PoolOutcome, PoolSource, ServicePool};
 pub use simple::calu_simple;
 pub use threaded::{calu_factor, calu_factor_report, calu_factor_traced, ThreadStats};

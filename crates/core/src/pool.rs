@@ -1,0 +1,915 @@
+//! The request-persistent worker pool behind the factorization service.
+//!
+//! `crate::batch` spawns its pool per call and joins it when the sweep
+//! drains; this module generalizes that to a [`ServicePool`] whose
+//! workers are spawned **once** and then block on a service queue until
+//! [`ServicePool::drain`] — the substrate `calu-serve`'s `FactorService`
+//! builds its admission, lifecycle and streaming layers on. The
+//! execution modes are the batch executor's two, verbatim:
+//!
+//! * **small** jobs (larger dimension ≤ [`CaluConfig::batch_small_cutoff`]
+//!   with [`CaluConfig::batch_threads_per_item`] `<` threads) are
+//!   *co-scheduled*: the claiming worker materializes the source, builds
+//!   the item state and drains the DAG sequentially, all worker-locally
+//!   (the same `run_item_sequential` the batch path runs, so the bits
+//!   are too);
+//! * **large** jobs run the hybrid static/dynamic schedule
+//!   co-operatively: the claiming worker publishes a shared run every
+//!   pool worker pulls from — static tasks from the per-worker queues by
+//!   block-cyclic ownership, dynamic ones from a *per-run* shared heap
+//!   in Algorithm 2's DFS order (the paper-verbatim
+//!   [`QueueDiscipline::Global`](calu_sched::QueueDiscipline) shape;
+//!   queue discipline never changes the math, so the service runs every
+//!   job's dynamic section on the simplest one).
+//!
+//! Job ordering is delegated to [`ClassLanes`]: workers prefer
+//! higher-priority classes with bounded starvation of lower ones.
+//! Results leave through a caller-supplied [`JobSink`] — the pool knows
+//! nothing about handles, events or admission; that is the service
+//! crate's business.
+//!
+//! Worker wakeup is a condition variable with a 1 ms timed wait, so a
+//! notification lost to a race costs at most one tick, never a hang.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use calu_dag::{TaskGraph, TaskId};
+use calu_kernels::GemmScratch;
+use calu_matrix::{
+    gen, BclMatrix, CmTiles, DenseMatrix, Layout, ProcessGrid, TileStorage, TlbMatrix,
+};
+use calu_sched::{nstatic_for, ClassLanes, JobClass, QueueSource};
+use calu_trace::{TaskSpan, Timeline};
+
+use crate::batch::{run_item_sequential, span_kind, WorkerHaul};
+use crate::config::CaluConfig;
+use crate::error::CaluError;
+use crate::factorization::Factorization;
+use crate::sync::{pin_current_thread, Mutex};
+use crate::threaded::{apply_left_swaps, host_topology, ItemState, ThreadStats};
+
+/// What one service job factors. Owned (`'static`) so a job can outlive
+/// its submitter: either dense data moved in, or a seeded generator
+/// materialized lazily on the worker that claims the job.
+#[derive(Debug, Clone)]
+pub enum PoolSource {
+    /// Dense data, moved into the job.
+    Dense(DenseMatrix),
+    /// A seeded uniform generator matrix, materialized on the claiming
+    /// worker (`calu_matrix::gen::uniform`).
+    Uniform {
+        /// Rows.
+        m: usize,
+        /// Columns.
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl PoolSource {
+    /// `(rows, cols)` without materializing.
+    pub fn dims(&self) -> (usize, usize) {
+        match self {
+            PoolSource::Dense(a) => (a.rows(), a.cols()),
+            PoolSource::Uniform { m, n, .. } => (*m, *n),
+        }
+    }
+
+    /// The element data, generated on the calling thread for
+    /// [`PoolSource::Uniform`].
+    pub fn materialize(self) -> DenseMatrix {
+        match self {
+            PoolSource::Dense(a) => a,
+            PoolSource::Uniform { m, n, seed } => gen::uniform(m, n, seed),
+        }
+    }
+}
+
+/// Everything the pool knows about one completed job — the raw
+/// material the service's report builder shapes into a facade `Report`.
+#[derive(Debug)]
+pub struct PoolOutcome {
+    /// The factors, bitwise-identical to a solo `calu_factor` with the
+    /// same config.
+    pub factorization: Factorization,
+    /// Per-worker spans, time-shifted so the job's first task starts
+    /// at 0.
+    pub timeline: Timeline,
+    /// Per-worker queue accounting for this job's tasks.
+    pub stats: Vec<ThreadStats>,
+    /// First task start → last task end.
+    pub makespan: f64,
+    /// Whether the job was claimed whole by one worker (small route)
+    /// rather than run co-operatively by the pool.
+    pub co_scheduled: bool,
+    /// `(rows, cols)` of the input.
+    pub dims: (usize, usize),
+    /// `‖PA − LU‖ / ‖A‖`, when the pool was spawned with verification.
+    pub residual: Option<f64>,
+    /// Element growth factor, when verification is on.
+    pub growth_factor: Option<f64>,
+}
+
+/// Where a job's result goes. The service layer implements this to
+/// route outcomes into handles and event streams; tests implement it
+/// with a channel. `started` fires when a worker claims the job (the
+/// `Queued → Running` transition), `finished` exactly once with the
+/// terminal result.
+pub trait JobSink: Send + 'static {
+    /// A worker claimed the job.
+    fn started(&self) {}
+    /// The job reached a terminal state.
+    fn finished(self: Box<Self>, res: Result<PoolOutcome, CaluError>);
+}
+
+/// Tile storages the pool can run — the three paper layouts, each
+/// knowing how to build itself from dense data. `to_dense` comes with
+/// [`TileStorage`].
+trait PoolStorage: TileStorage + Send + 'static {
+    fn build(a: &DenseMatrix, b: usize, grid: ProcessGrid) -> Self;
+}
+
+impl PoolStorage for CmTiles {
+    fn build(a: &DenseMatrix, b: usize, _grid: ProcessGrid) -> Self {
+        CmTiles::from_dense(a, b)
+    }
+}
+
+impl PoolStorage for BclMatrix {
+    fn build(a: &DenseMatrix, b: usize, grid: ProcessGrid) -> Self {
+        BclMatrix::from_dense(a, b, grid)
+    }
+}
+
+impl PoolStorage for TlbMatrix {
+    fn build(a: &DenseMatrix, b: usize, grid: ProcessGrid) -> Self {
+        TlbMatrix::from_dense(a, b, grid)
+    }
+}
+
+/// A job waiting in the lanes.
+struct QueuedJob {
+    id: u64,
+    source: PoolSource,
+    sink: Box<dyn JobSink>,
+}
+
+type RunHeap = Mutex<BinaryHeap<Reverse<(u64, u32)>>>;
+
+/// One co-operative (large) job in flight: the item state plus this
+/// run's own queue set. Runs are shared by `Arc` between the `active`
+/// list and whichever workers are mid-task, which is why results are
+/// extracted by reference (`finish_by_ref`/`storage_ref`) instead of
+/// by value.
+struct LargeRun<S: TileStorage> {
+    item: ItemState<S>,
+    total: usize,
+    /// Per-worker static queues (block-cyclic ownership).
+    local: Vec<RunHeap>,
+    /// This run's dynamic section: one shared heap in DFS order.
+    dynamic: RunHeap,
+    spans: Mutex<Vec<TaskSpan>>,
+    stats: Mutex<Vec<ThreadStats>>,
+    sink: Mutex<Option<Box<dyn JobSink>>>,
+    /// The input, kept only when the pool verifies results.
+    a: Option<DenseMatrix>,
+    dims: (usize, usize),
+    /// First finisher wins; everyone else moves on.
+    finishing: AtomicBool,
+    /// Lane index of the job's class — `active` is kept sorted by
+    /// `(class_rank, seq)` so workers serve higher-class runs first.
+    class_rank: usize,
+    seq: u64,
+}
+
+impl<S: TileStorage + Send> LargeRun<S> {
+    /// Queue a ready task: static tasks to their owner's queue, dynamic
+    /// ones to the run's shared heap (the solo executor's
+    /// `Global`-discipline shape).
+    fn push_ready(&self, t: TaskId) {
+        let item = &self.item;
+        if item.is_static[t.idx()] {
+            let owner = item.owners.owner(t);
+            self.local[owner]
+                .lock()
+                .push(Reverse((item.static_keys[t.idx()], t.0)));
+        } else {
+            self.dynamic
+                .lock()
+                .push(Reverse((item.dynamic_keys[t.idx()], t.0)));
+        }
+    }
+}
+
+struct EngineState<S: TileStorage> {
+    lanes: ClassLanes<QueuedJob>,
+    /// In-flight co-operative runs, sorted by `(class_rank, seq)`.
+    active: Vec<Arc<LargeRun<S>>>,
+    /// Claimed-but-unfinished jobs (small and large).
+    in_flight: usize,
+    draining: bool,
+    workers_started: usize,
+    next_seq: u64,
+}
+
+struct Engine<S: TileStorage> {
+    cfg: CaluConfig,
+    grid: ProcessGrid,
+    leaf_stride: usize,
+    verify: bool,
+    epoch: Instant,
+    state: Mutex<EngineState<S>>,
+    /// Signalled when work may be available (submit, new run, task
+    /// completions enabling successors).
+    work: Condvar,
+    /// Signalled when the pool may have gone idle (job finished,
+    /// worker started) — what `drain` and `spawn` wait on.
+    idle: Condvar,
+}
+
+/// How long an idle worker sleeps between wakeup checks: long enough
+/// to cost nothing, short enough that a lost notification is harmless.
+const IDLE_TICK: Duration = Duration::from_millis(1);
+
+impl<S: PoolStorage> Engine<S> {
+    fn threads(&self) -> usize {
+        self.cfg.threads
+    }
+
+    /// Try to pop one co-operative task, serving higher-class runs
+    /// first: worker `me`'s static queue of each run, then the run's
+    /// dynamic heap.
+    fn pop_coop(&self, me: usize) -> Option<(Arc<LargeRun<S>>, TaskId, QueueSource)> {
+        let runs: Vec<Arc<LargeRun<S>>> = self.state.lock().active.clone();
+        for run in runs {
+            let own = run.local[me].lock().pop();
+            if let Some(Reverse((_, t))) = own {
+                return Some((run, TaskId(t), QueueSource::Local));
+            }
+            let dynamic = run.dynamic.lock().pop();
+            if let Some(Reverse((_, t))) = dynamic {
+                return Some((run, TaskId(t), QueueSource::Global));
+            }
+        }
+        None
+    }
+
+    /// Execute one co-operative task and queue its successors; the
+    /// worker whose completion retires the run's last task finishes it.
+    fn run_task(
+        &self,
+        run: &Arc<LargeRun<S>>,
+        t: TaskId,
+        source: QueueSource,
+        me: usize,
+        scratch: &mut GemmScratch,
+        ready_buf: &mut Vec<TaskId>,
+    ) {
+        let start = self.epoch.elapsed().as_secs_f64();
+        run.item.execute(t, scratch);
+        let end = self.epoch.elapsed().as_secs_f64();
+        run.spans.lock().push(TaskSpan {
+            core: me,
+            start,
+            end,
+            kind: span_kind(&run.item.g, t),
+        });
+        {
+            let mut stats = run.stats.lock();
+            match source {
+                QueueSource::Local => stats[me].local_pops += 1,
+                _ => stats[me].global_pops += 1,
+            }
+        }
+        run.item.complete_into(t, ready_buf);
+        for &s in ready_buf.iter() {
+            run.push_ready(s);
+        }
+        if !ready_buf.is_empty() {
+            self.work.notify_all();
+        }
+        if run.item.done.load(Ordering::Acquire) == run.total
+            && !run.finishing.swap(true, Ordering::AcqRel)
+        {
+            self.finish_run(run);
+        }
+    }
+
+    /// Extract a drained run's results and deliver them. Called by
+    /// exactly one worker (the `finishing` flag), with every task done.
+    fn finish_run(&self, run: &Arc<LargeRun<S>>) {
+        {
+            let mut st = self.state.lock();
+            st.active.retain(|r| !Arc::ptr_eq(r, run));
+        }
+        let (perm, singular_at) = run.item.finish_by_ref();
+        // SAFETY: done == total was observed with Acquire ordering, so
+        // every task body's writes are visible and no worker holds a
+        // tile pointer into this run.
+        let mut lu = unsafe { run.item.storage_ref() }.to_dense();
+        apply_left_swaps(&mut lu, &run.item.g, &perm, self.cfg.b);
+        let factorization = Factorization {
+            lu,
+            perm,
+            singular_at,
+        };
+        let (residual, growth_factor) = match &run.a {
+            Some(a) => (
+                Some(factorization.residual(a)),
+                Some(factorization.growth_factor(a)),
+            ),
+            None => (None, None),
+        };
+        let spans = std::mem::take(&mut *run.spans.lock());
+        let t_start = spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let mut timeline = Timeline::new(self.threads());
+        for s in &spans {
+            timeline.push(TaskSpan {
+                start: s.start - t_start,
+                end: s.end - t_start,
+                ..*s
+            });
+        }
+        let stats = std::mem::take(&mut *run.stats.lock());
+        let makespan = timeline.makespan();
+        let sink = run.sink.lock().take().expect("run finishes once");
+        // deliver with no pool lock held: sinks may take service locks
+        sink.finished(Ok(PoolOutcome {
+            factorization,
+            timeline,
+            stats,
+            makespan,
+            co_scheduled: false,
+            dims: run.dims,
+            residual,
+            growth_factor,
+        }));
+        let mut st = self.state.lock();
+        st.in_flight -= 1;
+        drop(st);
+        self.idle.notify_all();
+        self.work.notify_all();
+    }
+
+    /// Run one claimed job. Small jobs complete entirely on this
+    /// worker; large ones are published as a [`LargeRun`] for the pool
+    /// to drain co-operatively.
+    fn start_job(
+        &self,
+        class: JobClass,
+        seq: u64,
+        job: QueuedJob,
+        me: usize,
+        scratch: &mut GemmScratch,
+    ) {
+        let QueuedJob { source, sink, .. } = job;
+        sink.started();
+        let dims = source.dims();
+        let (m, n) = dims;
+        let co_schedule = self.cfg.batch_threads_per_item < self.cfg.threads;
+        let small = co_schedule && m.max(n) <= self.cfg.batch_small_cutoff;
+        let a = source.materialize();
+        let g = Arc::new(TaskGraph::build_calu(m, n, self.cfg.b, self.leaf_stride));
+        let nstatic = nstatic_for(self.cfg.dratio, g.num_panels());
+        let item = ItemState::new(
+            S::build(&a, self.cfg.b, self.grid),
+            Arc::clone(&g),
+            self.grid,
+            nstatic,
+        );
+
+        if small {
+            let mut haul = WorkerHaul {
+                spans: Vec::new(),
+                stats: vec![ThreadStats::default()],
+                start_offset: 0.0,
+                failed_sweeps: 0,
+            };
+            run_item_sequential(&item, 0, me, scratch, &self.epoch, &mut haul);
+            let (s, perm, singular_at) = item.finish();
+            let mut lu = s.to_dense();
+            apply_left_swaps(&mut lu, &g, &perm, self.cfg.b);
+            let factorization = Factorization {
+                lu,
+                perm,
+                singular_at,
+            };
+            let (residual, growth_factor) = if self.verify {
+                (
+                    Some(factorization.residual(&a)),
+                    Some(factorization.growth_factor(&a)),
+                )
+            } else {
+                (None, None)
+            };
+            drop(a);
+            let t_start = haul
+                .spans
+                .iter()
+                .map(|(_, s)| s.start)
+                .fold(f64::INFINITY, f64::min);
+            let mut timeline = Timeline::new(self.threads());
+            for (_, s) in &haul.spans {
+                timeline.push(TaskSpan {
+                    start: s.start - t_start,
+                    end: s.end - t_start,
+                    ..*s
+                });
+            }
+            let mut stats = vec![ThreadStats::default(); self.threads()];
+            stats[me] = haul.stats[0];
+            let makespan = timeline.makespan();
+            sink.finished(Ok(PoolOutcome {
+                factorization,
+                timeline,
+                stats,
+                makespan,
+                co_scheduled: true,
+                dims,
+                residual,
+                growth_factor,
+            }));
+            let mut st = self.state.lock();
+            st.in_flight -= 1;
+            drop(st);
+            self.idle.notify_all();
+        } else {
+            let total = g.len();
+            let run = Arc::new(LargeRun {
+                total,
+                local: (0..self.threads())
+                    .map(|_| Mutex::new(BinaryHeap::new()))
+                    .collect(),
+                dynamic: Mutex::new(BinaryHeap::new()),
+                spans: Mutex::new(Vec::new()),
+                stats: Mutex::new(vec![ThreadStats::default(); self.threads()]),
+                sink: Mutex::new(Some(sink)),
+                a: self.verify.then_some(a),
+                dims,
+                finishing: AtomicBool::new(false),
+                class_rank: class.lane(),
+                seq,
+                item,
+            });
+            for t in run.item.g.initial_ready() {
+                run.push_ready(t);
+            }
+            {
+                let mut st = self.state.lock();
+                let key = (run.class_rank, run.seq);
+                let pos = st
+                    .active
+                    .partition_point(|r| (r.class_rank, r.seq) <= key);
+                st.active.insert(pos, Arc::clone(&run));
+            }
+            self.work.notify_all();
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>, me: usize) {
+        if self.cfg.pin_workers {
+            pin_current_thread(host_topology().cpu_for_worker(me));
+        }
+        let mut scratch = GemmScratch::sized_for(self.cfg.b, self.cfg.b, self.cfg.b);
+        let mut ready_buf: Vec<TaskId> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            st.workers_started += 1;
+            drop(st);
+            self.idle.notify_all();
+        }
+        loop {
+            if let Some((run, t, src)) = self.pop_coop(me) {
+                self.run_task(&run, t, src, me, &mut scratch, &mut ready_buf);
+                continue;
+            }
+            let mut st = self.state.lock();
+            if let Some((class, job)) = st.lanes.pop() {
+                st.in_flight += 1;
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                drop(st);
+                self.start_job(class, seq, job, me, &mut scratch);
+                continue;
+            }
+            if st.draining && st.active.is_empty() {
+                // no queued jobs, no co-operative work: any still
+                // in-flight small job finishes on its claimant, so this
+                // worker can leave
+                return;
+            }
+            let _ = self
+                .work
+                .wait_timeout(st, IDLE_TICK)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Pool state shared by the public handle, generic over storage.
+struct PoolCore<S: PoolStorage> {
+    engine: Arc<Engine<S>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<S: PoolStorage> PoolCore<S> {
+    fn spawn(cfg: CaluConfig, grid: ProcessGrid, verify: bool, limit: usize) -> (Self, f64) {
+        let leaf_stride = cfg.leaf_stride.unwrap_or_else(|| grid.pr());
+        let threads = cfg.threads;
+        let engine = Arc::new(Engine {
+            cfg,
+            grid,
+            leaf_stride,
+            verify,
+            epoch: Instant::now(),
+            state: Mutex::new(EngineState {
+                lanes: ClassLanes::new(limit),
+                active: Vec::new(),
+                in_flight: 0,
+                draining: false,
+                workers_started: 0,
+                next_seq: 0,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let handles: Vec<JoinHandle<()>> = (0..threads)
+            .map(|me| {
+                let eng = Arc::clone(&engine);
+                std::thread::spawn(move || eng.worker_loop(me))
+            })
+            .collect();
+        // spawn cost = time until the last worker enters its loop
+        let mut st = engine.state.lock();
+        while st.workers_started < threads {
+            st = engine
+                .idle
+                .wait_timeout(st, IDLE_TICK)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        drop(st);
+        let spawn_secs = engine.epoch.elapsed().as_secs_f64();
+        (
+            PoolCore {
+                engine,
+                handles: Mutex::new(handles),
+            },
+            spawn_secs,
+        )
+    }
+
+    fn submit(&self, id: u64, class: JobClass, source: PoolSource, sink: Box<dyn JobSink>) {
+        let mut st = self.engine.state.lock();
+        if st.draining {
+            drop(st);
+            // the service layer rejects at admission; this is the
+            // pool's own belt-and-braces answer for direct users
+            sink.finished(Err(CaluError::InvalidConfig(
+                "pool is shutting down".into(),
+            )));
+            return;
+        }
+        st.lanes.push(class, QueuedJob { id, source, sink });
+        drop(st);
+        self.engine.work.notify_all();
+    }
+
+    fn cancel(&self, id: u64) -> Option<Box<dyn JobSink>> {
+        let mut st = self.engine.state.lock();
+        st.lanes
+            .remove_where(|j| j.id == id)
+            .map(|(_, job)| job.sink)
+    }
+
+    fn drain(&self) {
+        {
+            let mut st = self.engine.state.lock();
+            st.draining = true;
+        }
+        self.engine.work.notify_all();
+        let mut st = self.engine.state.lock();
+        while !(st.lanes.is_empty() && st.in_flight == 0) {
+            st = self
+                .engine
+                .idle
+                .wait_timeout(st, IDLE_TICK)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        drop(st);
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            h.join().expect("pool worker panicked");
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.engine.state.lock().lanes.len()
+    }
+
+    fn queued_in(&self, class: JobClass) -> usize {
+        self.engine.state.lock().lanes.len_in(class)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.engine.state.lock().in_flight
+    }
+
+    fn co_schedules(&self, dims: (usize, usize)) -> bool {
+        let cfg = &self.engine.cfg;
+        cfg.batch_threads_per_item < cfg.threads && dims.0.max(dims.1) <= cfg.batch_small_cutoff
+    }
+}
+
+enum PoolInner {
+    Cm(PoolCore<CmTiles>),
+    Bcl(PoolCore<BclMatrix>),
+    Tlb(PoolCore<TlbMatrix>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $core:ident => $body:expr) => {
+        match &$self.inner {
+            PoolInner::Cm($core) => $body,
+            PoolInner::Bcl($core) => $body,
+            PoolInner::Tlb($core) => $body,
+        }
+    };
+}
+
+/// A spawn-once worker pool serving factorization jobs until drained.
+///
+/// All jobs share one [`CaluConfig`] (the per-job knobs are the
+/// service's `JobSpec` dims and seed); the config's layout picks the
+/// tile storage once, at spawn. Dropping the pool drains it.
+pub struct ServicePool {
+    inner: PoolInner,
+    threads: usize,
+    spawn_secs: f64,
+}
+
+impl ServicePool {
+    /// Validate `cfg` and spawn its worker pool. `verify` makes every
+    /// job compute a residual and growth factor against its input;
+    /// `starvation_limit` bounds how many higher-class pops may pass
+    /// over a waiting lower-class job (see [`ClassLanes`]).
+    pub fn spawn(
+        cfg: &CaluConfig,
+        verify: bool,
+        starvation_limit: usize,
+    ) -> Result<ServicePool, CaluError> {
+        let grid = cfg.validate()?;
+        let threads = cfg.threads;
+        let (inner, spawn_secs) = match cfg.layout {
+            Layout::ColumnMajor => {
+                let (c, s) = PoolCore::spawn(cfg.clone(), grid, verify, starvation_limit);
+                (PoolInner::Cm(c), s)
+            }
+            Layout::BlockCyclic => {
+                let (c, s) = PoolCore::spawn(cfg.clone(), grid, verify, starvation_limit);
+                (PoolInner::Bcl(c), s)
+            }
+            Layout::TwoLevelBlock => {
+                let (c, s) = PoolCore::spawn(cfg.clone(), grid, verify, starvation_limit);
+                (PoolInner::Tlb(c), s)
+            }
+        };
+        Ok(ServicePool {
+            inner,
+            threads,
+            spawn_secs,
+        })
+    }
+
+    /// Enqueue a job. `id` is the caller's correlation key (used by
+    /// [`cancel`](Self::cancel)); results leave through `sink`. After
+    /// [`drain`](Self::drain) the sink is immediately failed.
+    pub fn submit(&self, id: u64, class: JobClass, source: PoolSource, sink: Box<dyn JobSink>) {
+        dispatch!(self, c => c.submit(id, class, source, sink))
+    }
+
+    /// Remove a still-queued job. Returns its sink (uncalled) when the
+    /// job was found; `None` means the job already started or finished
+    /// — the race resolves to normal completion.
+    pub fn cancel(&self, id: u64) -> Option<Box<dyn JobSink>> {
+        dispatch!(self, c => c.cancel(id))
+    }
+
+    /// Stop admitting, finish everything queued and in flight, join the
+    /// workers. Idempotent; also runs on drop.
+    pub fn drain(&self) {
+        dispatch!(self, c => c.drain())
+    }
+
+    /// Jobs waiting in the lanes.
+    pub fn queued(&self) -> usize {
+        dispatch!(self, c => c.queued())
+    }
+
+    /// Jobs waiting in `class`'s lane.
+    pub fn queued_in(&self, class: JobClass) -> usize {
+        dispatch!(self, c => c.queued_in(class))
+    }
+
+    /// Claimed-but-unfinished jobs.
+    pub fn in_flight(&self) -> usize {
+        dispatch!(self, c => c.in_flight())
+    }
+
+    /// Whether a job of `dims` would take the co-scheduled (small)
+    /// route: claimed whole by one worker instead of running the
+    /// co-operative hybrid schedule. The exact predicate the workers
+    /// apply — callers can pre-classify a sweep without running it.
+    pub fn co_schedules(&self, dims: (usize, usize)) -> bool {
+        dispatch!(self, c => c.co_schedules(dims))
+    }
+
+    /// Pool width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Seconds until the last worker entered its loop — paid once at
+    /// spawn, amortized over every job the pool ever serves.
+    pub fn spawn_secs(&self) -> f64 {
+        self.spawn_secs
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::calu_factor;
+    use std::sync::mpsc;
+
+    struct ChanSink(mpsc::Sender<Result<PoolOutcome, CaluError>>);
+
+    impl JobSink for ChanSink {
+        fn finished(self: Box<Self>, res: Result<PoolOutcome, CaluError>) {
+            let _ = self.0.send(res);
+        }
+    }
+
+    fn cfg4() -> CaluConfig {
+        CaluConfig::new(16).with_threads(4).with_dratio(0.5)
+    }
+
+    #[test]
+    fn small_jobs_match_solo_runs_bitwise() {
+        let cfg = cfg4().with_batch_small_cutoff(100);
+        let pool = ServicePool::spawn(&cfg, false, 4).unwrap();
+        let (tx, rx) = mpsc::channel();
+        for seed in 0..4u64 {
+            pool.submit(
+                seed,
+                JobClass::Batch,
+                PoolSource::Uniform {
+                    m: 64,
+                    n: 64,
+                    seed,
+                },
+                Box::new(ChanSink(tx.clone())),
+            );
+        }
+        let mut outcomes: Vec<PoolOutcome> = (0..4).map(|_| rx.recv().unwrap().unwrap()).collect();
+        pool.drain();
+        outcomes.sort_by_key(|o| o.factorization.lu.as_slice().len()); // all same; stable no-op
+        for o in &outcomes {
+            assert!(o.co_scheduled);
+        }
+        // parity: match each outcome to its seed by re-factoring
+        for seed in 0..4u64 {
+            let a = gen::uniform(64, 64, seed);
+            let solo = calu_factor(&a, &cfg).unwrap();
+            assert!(
+                outcomes
+                    .iter()
+                    .any(|o| o.factorization.lu.as_slice() == solo.lu.as_slice()
+                        && o.factorization.perm.pivots() == solo.perm.pivots()),
+                "seed {seed} missing from pool outcomes"
+            );
+        }
+    }
+
+    #[test]
+    fn large_jobs_match_solo_runs_bitwise() {
+        // cutoff 0 forces the co-operative route
+        let cfg = cfg4().with_batch_small_cutoff(0);
+        let pool = ServicePool::spawn(&cfg, true, 4).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let a = gen::uniform(192, 192, 7);
+        pool.submit(
+            1,
+            JobClass::Interactive,
+            PoolSource::Dense(a.clone()),
+            Box::new(ChanSink(tx)),
+        );
+        let out = rx.recv().unwrap().unwrap();
+        pool.drain();
+        assert!(!out.co_scheduled);
+        let solo = calu_factor(&a, &cfg).unwrap();
+        assert_eq!(out.factorization.lu.as_slice(), solo.lu.as_slice());
+        assert_eq!(out.factorization.perm.pivots(), solo.perm.pivots());
+        assert!(out.residual.unwrap() < 1e-12);
+        let tasks: u64 = out
+            .stats
+            .iter()
+            .map(|s| s.local_pops + s.global_pops)
+            .sum();
+        assert_eq!(tasks as usize, out.timeline.spans().len());
+    }
+
+    #[test]
+    fn drain_finishes_jobs_queued_in_every_class() {
+        let cfg = cfg4().with_batch_small_cutoff(100).with_threads(2);
+        let pool = ServicePool::spawn(&cfg, false, 4).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let n_jobs = 9;
+        for i in 0..n_jobs {
+            let class = JobClass::ALL[i % 3];
+            pool.submit(
+                i as u64,
+                class,
+                PoolSource::Uniform {
+                    m: 48,
+                    n: 48,
+                    seed: i as u64,
+                },
+                Box::new(ChanSink(tx.clone())),
+            );
+        }
+        pool.drain();
+        // every job completed before drain returned
+        let done: Vec<_> = rx.try_iter().collect();
+        assert_eq!(done.len(), n_jobs);
+        assert!(done.iter().all(|r| r.is_ok()));
+        assert_eq!(pool.queued(), 0);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn cancel_removes_a_queued_job() {
+        // single worker + a job in front keeps the victim queued long
+        // enough to cancel deterministically… unless the first job wins
+        // the race, which the assertion tolerates by checking either
+        // outcome is consistent
+        let cfg = cfg4().with_threads(1).with_batch_small_cutoff(0);
+        let pool = ServicePool::spawn(&cfg, false, 4).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(
+            1,
+            JobClass::Batch,
+            PoolSource::Uniform {
+                m: 256,
+                n: 256,
+                seed: 1,
+            },
+            Box::new(ChanSink(tx.clone())),
+        );
+        pool.submit(
+            2,
+            JobClass::Batch,
+            PoolSource::Uniform {
+                m: 64,
+                n: 64,
+                seed: 2,
+            },
+            Box::new(ChanSink(tx.clone())),
+        );
+        let cancelled = pool.cancel(2).is_some();
+        pool.drain();
+        let done = rx.try_iter().count();
+        assert_eq!(done, if cancelled { 1 } else { 2 });
+    }
+
+    #[test]
+    fn submit_after_drain_fails_the_sink() {
+        let pool = ServicePool::spawn(&cfg4(), false, 4).unwrap();
+        pool.drain();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(
+            1,
+            JobClass::Interactive,
+            PoolSource::Uniform { m: 8, n: 8, seed: 0 },
+            Box::new(ChanSink(tx)),
+        );
+        assert!(matches!(
+            rx.recv().unwrap(),
+            Err(CaluError::InvalidConfig(_))
+        ));
+        pool.drain(); // idempotent
+    }
+}

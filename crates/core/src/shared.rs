@@ -74,6 +74,17 @@ impl<S: TileStorage> SharedTiles<S> {
         self.inner.into_inner()
     }
 
+    /// Shared view of the storage without consuming the wrapper — for
+    /// callers that hold the wrapper behind an `Arc` (the service pool)
+    /// and extract results once the DAG has drained.
+    ///
+    /// # Safety
+    /// All tasks must have completed: no thread may hold (or later
+    /// create) a writable tile view while the returned borrow lives.
+    pub unsafe fn inner(&self) -> &S {
+        &*self.inner.get()
+    }
+
     /// Tile location metadata (no data access).
     pub fn loc(&self, ti: usize, tj: usize) -> TileLoc {
         // SAFETY: tile_loc reads immutable geometry only.

@@ -41,7 +41,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use calu_dag::{PaperKind, TaskGraph, TaskId, TaskKind};
@@ -138,9 +138,12 @@ const NOT_SINGULAR: usize = usize::MAX;
 /// priority keys — with *no queues attached*. The solo executor
 /// ([`factor_tiled`]) wraps exactly one `ItemState` in its queue set;
 /// the batch executor (`crate::batch`) drives many of them through one
-/// persistent worker pool and one batch-level queue set.
-pub(crate) struct ItemState<'g, S: TileStorage> {
-    pub(crate) g: &'g TaskGraph,
+/// persistent worker pool and one batch-level queue set; the service
+/// pool (`crate::pool`) keeps them alive across requests, which is why
+/// the graph is held by [`Arc`] rather than borrowed — service workers
+/// are `'static` threads with no scope to borrow from.
+pub(crate) struct ItemState<S: TileStorage> {
+    pub(crate) g: Arc<TaskGraph>,
     tiles: SharedTiles<S>,
     deps: Vec<AtomicU32>,
     pub(crate) owners: OwnerMap,
@@ -153,17 +156,17 @@ pub(crate) struct ItemState<'g, S: TileStorage> {
     b: usize,
 }
 
-impl<'g, S: TileStorage + Send> ItemState<'g, S> {
+impl<S: TileStorage + Send> ItemState<S> {
     /// Build the execution state for one factorization: `nstatic` is the
     /// number of leading tile columns scheduled statically (the `dratio`
     /// split already resolved against this item's panel count).
-    pub(crate) fn new(storage: S, g: &'g TaskGraph, grid: ProcessGrid, nstatic: usize) -> Self {
+    pub(crate) fn new(storage: S, g: Arc<TaskGraph>, grid: ProcessGrid, nstatic: usize) -> Self {
         let kinds: Vec<TaskKind> = g.ids().map(|t| g.kind(t)).collect();
         let mt = g.tile_rows();
         Self {
             tiles: SharedTiles::new(storage),
             deps: g.ids().map(|t| AtomicU32::new(g.dep_count(t))).collect(),
-            owners: OwnerMap::new(g, grid),
+            owners: OwnerMap::new(&g, grid),
             is_static: kinds.iter().map(|k| k.writes_col() < nstatic).collect(),
             static_keys: kinds.iter().map(priority::static_key).collect(),
             dynamic_keys: kinds.iter().map(priority::dynamic_key).collect(),
@@ -202,6 +205,17 @@ impl<'g, S: TileStorage + Send> ItemState<'g, S> {
     /// Consume the state once every task ran: the tiled storage, the
     /// combined permutation (in panel order) and the singular flag.
     pub(crate) fn finish(self) -> (S, RowPerm, Option<usize>) {
+        let (perm, singular) = self.finish_by_ref();
+        (self.tiles.into_inner(), perm, singular)
+    }
+
+    /// [`finish`](Self::finish) without consuming the state: the
+    /// permutation and singular flag by value, the storage via
+    /// [`storage_ref`](Self::storage_ref). The service pool needs this
+    /// split because its items live in `Arc`s shared with in-flight
+    /// workers — the finishing worker extracts results by reference and
+    /// the `Arc` drops whenever the last clone does.
+    pub(crate) fn finish_by_ref(&self) -> (RowPerm, Option<usize>) {
         let mut perm = RowPerm::identity();
         for k in 0..self.g.num_panels() {
             perm.extend(self.panels[k].perm.get().expect("all panels finished"));
@@ -210,12 +224,21 @@ impl<'g, S: TileStorage + Send> ItemState<'g, S> {
             NOT_SINGULAR => None,
             c => Some(c),
         };
-        (self.tiles.into_inner(), perm, singular)
+        (perm, singular)
+    }
+
+    /// Shared view of the tiled storage.
+    ///
+    /// # Safety
+    /// Caller must ensure every task has completed (`done == g.len()`),
+    /// so no worker holds a mutable tile pointer.
+    pub(crate) unsafe fn storage_ref(&self) -> &S {
+        self.tiles.inner()
     }
 }
 
-struct Shared<'g, S: TileStorage> {
-    item: ItemState<'g, S>,
+struct Shared<S: TileStorage> {
+    item: ItemState<S>,
     local: Vec<ReadyQueue>,
     dynamic: DynQueues,
     /// Per-worker locality-tiered victim orders (lock-free discipline
@@ -229,7 +252,7 @@ struct Shared<'g, S: TileStorage> {
     dyn_queued: AtomicUsize,
 }
 
-impl<S: TileStorage + Send> Shared<'_, S> {
+impl<S: TileStorage + Send> Shared<S> {
     /// Queue a ready task. `home` is the worker that enabled it (or a
     /// round-robin index for initially ready tasks): under the sharded
     /// discipline, dynamic tasks land on the enabler's shard so they
@@ -361,7 +384,7 @@ impl<S: TileStorage + Send> Shared<'_, S> {
     }
 }
 
-impl<S: TileStorage + Send> ItemState<'_, S> {
+impl<S: TileStorage + Send> ItemState<S> {
     fn flag_singular(&self, col: usize) {
         self.singular.fetch_min(col, Ordering::AcqRel);
     }
@@ -532,7 +555,7 @@ pub(crate) fn host_topology() -> &'static CpuTopology {
 /// combined permutation, the singular flag and the execution trace.
 fn factor_tiled<S: TileStorage + Send>(
     storage: S,
-    g: &TaskGraph,
+    g: &Arc<TaskGraph>,
     grid: ProcessGrid,
     dratio: f64,
     queue: QueueDiscipline,
@@ -543,7 +566,7 @@ fn factor_tiled<S: TileStorage + Send>(
     let topo = host_topology();
 
     let shared = Shared {
-        item: ItemState::new(storage, g, grid, nstatic),
+        item: ItemState::new(storage, Arc::clone(g), grid, nstatic),
         local: (0..threads)
             .map(|_| Mutex::new(BinaryHeap::new()))
             .collect(),
@@ -701,7 +724,7 @@ pub fn calu_factor_report(
         return Err(CaluError::EmptyMatrix);
     }
     let leaf_stride = cfg.leaf_stride.unwrap_or_else(|| grid.pr());
-    let g = TaskGraph::build_calu(a.rows(), a.cols(), cfg.b, leaf_stride);
+    let g = Arc::new(TaskGraph::build_calu(a.rows(), a.cols(), cfg.b, leaf_stride));
 
     let (mut lu, perm, singular_at, timeline, stats) = match cfg.layout {
         Layout::ColumnMajor => {

@@ -1,0 +1,227 @@
+//! Priority-class lanes for the factorization job service.
+//!
+//! The service layer (`calu-serve`) classifies incoming jobs into three
+//! [`JobClass`]es; the pool's workers pull from a [`ClassLanes`] queue
+//! that prefers higher classes *without starving lower ones*. The
+//! anti-starvation rule is a bounded-debt scheme: every time a
+//! non-empty lane is passed over in favour of a higher class it accrues
+//! one unit of debt, and once a lane's debt reaches the configured
+//! limit it is served next regardless of what sits above it. With a
+//! limit of `k`, a queued `Background` job waits behind at most `k`
+//! higher-class pops — Beaumont & Marchal's observation that bursty
+//! heterogeneous load needs an up-front classification layer, reduced
+//! to its simplest deterministic form.
+//!
+//! Within one lane the order is plain FIFO: jobs of equal class
+//! complete in submission order, which is what `JobHandle::wait`
+//! callers expect.
+
+use std::collections::VecDeque;
+
+/// Priority class of a service job. Lower `lane()` index = served first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// Latency-sensitive: served before everything else.
+    Interactive,
+    /// The default class for bulk sweeps.
+    Batch,
+    /// Best-effort: only runs when nothing above it is waiting (up to
+    /// the starvation bound).
+    Background,
+}
+
+impl JobClass {
+    /// All classes in priority order (highest first).
+    pub const ALL: [JobClass; 3] = [JobClass::Interactive, JobClass::Batch, JobClass::Background];
+
+    /// Lane index: 0 = `Interactive`, 1 = `Batch`, 2 = `Background`.
+    pub fn lane(self) -> usize {
+        match self {
+            JobClass::Interactive => 0,
+            JobClass::Batch => 1,
+            JobClass::Background => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for JobClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            JobClass::Interactive => "interactive",
+            JobClass::Batch => "batch",
+            JobClass::Background => "background",
+        })
+    }
+}
+
+/// Three FIFO lanes with debt-based anti-starvation, one per
+/// [`JobClass`]. Not synchronized — callers wrap it in their own lock
+/// (the service pool holds it inside its state mutex).
+#[derive(Debug)]
+pub struct ClassLanes<T> {
+    lanes: [VecDeque<T>; 3],
+    /// Times each non-empty lane has been passed over since it was last
+    /// served.
+    debt: [usize; 3],
+    /// Debt at which a lane preempts everything above it. A limit of 0
+    /// is treated as 1 (serve-after-one-pass); `usize::MAX` disables
+    /// the bound entirely.
+    limit: usize,
+}
+
+impl<T> ClassLanes<T> {
+    /// New lane set serving any passed-over lane after `limit`
+    /// higher-class pops.
+    pub fn new(limit: usize) -> Self {
+        ClassLanes {
+            lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            debt: [0; 3],
+            limit: limit.max(1),
+        }
+    }
+
+    /// Enqueue at the tail of `class`'s lane.
+    pub fn push(&mut self, class: JobClass, item: T) {
+        self.lanes[class.lane()].push_back(item);
+    }
+
+    /// Dequeue the next item under the class-priority + bounded-debt
+    /// rule; `None` when all lanes are empty.
+    pub fn pop(&mut self) -> Option<(JobClass, T)> {
+        // A lane whose debt hit the limit is served first (highest
+        // priority among the starving, so the bound composes: Batch
+        // starving beats Background starving).
+        let starving = (0..3).find(|&l| self.debt[l] >= self.limit && !self.lanes[l].is_empty());
+        let lane = starving.or_else(|| (0..3).find(|&l| !self.lanes[l].is_empty()))?;
+        let item = self.lanes[lane].pop_front().expect("lane checked non-empty");
+        self.debt[lane] = 0;
+        for l in 0..3 {
+            if l != lane && !self.lanes[l].is_empty() {
+                self.debt[l] = self.debt[l].saturating_add(1);
+            }
+        }
+        Some((JobClass::ALL[lane], item))
+    }
+
+    /// Remove and return the first item (any lane, highest class first)
+    /// matching `pred` — the cancellation path for queued jobs.
+    pub fn remove_where(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<(JobClass, T)> {
+        for lane in 0..3 {
+            if let Some(pos) = self.lanes[lane].iter().position(&mut pred) {
+                let item = self.lanes[lane].remove(pos).expect("position just found");
+                return Some((JobClass::ALL[lane], item));
+            }
+        }
+        None
+    }
+
+    /// Total queued items across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Queued items in `class`'s lane.
+    pub fn len_in(&self, class: JobClass) -> usize {
+        self.lanes[class.lane()].len()
+    }
+
+    /// True when every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(VecDeque::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_classes_pop_first() {
+        let mut q = ClassLanes::new(100);
+        q.push(JobClass::Background, "bg");
+        q.push(JobClass::Batch, "batch");
+        q.push(JobClass::Interactive, "int");
+        assert_eq!(q.pop(), Some((JobClass::Interactive, "int")));
+        assert_eq!(q.pop(), Some((JobClass::Batch, "batch")));
+        assert_eq!(q.pop(), Some((JobClass::Background, "bg")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn lanes_are_fifo_within_a_class() {
+        let mut q = ClassLanes::new(4);
+        for i in 0..5 {
+            q.push(JobClass::Batch, i);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some((JobClass::Batch, i)));
+        }
+    }
+
+    #[test]
+    fn starvation_is_bounded_by_the_debt_limit() {
+        // A steady interactive stream must not starve one queued
+        // background job past the limit.
+        let limit = 3;
+        let mut q = ClassLanes::new(limit);
+        q.push(JobClass::Background, usize::MAX);
+        for i in 0..limit {
+            q.push(JobClass::Interactive, i);
+        }
+        // The first `limit` pops serve interactive while background
+        // accrues debt…
+        for i in 0..limit {
+            q.push(JobClass::Interactive, 100 + i); // keep the stream coming
+            let (class, _) = q.pop().unwrap();
+            assert_eq!(class, JobClass::Interactive, "pop {i}");
+        }
+        // …then background preempts even though interactive is non-empty.
+        assert_eq!(q.pop(), Some((JobClass::Background, usize::MAX)));
+    }
+
+    #[test]
+    fn starving_higher_class_beats_starving_lower_class() {
+        let limit = 2;
+        let mut q = ClassLanes::new(limit);
+        q.push(JobClass::Batch, "batch");
+        q.push(JobClass::Background, "bg");
+        // Two interactive pops put both lower lanes at the limit.
+        for _ in 0..limit {
+            q.push(JobClass::Interactive, "int");
+            assert_eq!(q.pop().unwrap().0, JobClass::Interactive);
+        }
+        q.push(JobClass::Interactive, "int");
+        // Batch (higher of the two starving lanes) goes first.
+        assert_eq!(q.pop(), Some((JobClass::Batch, "batch")));
+        // Background's debt kept accruing, so it still preempts.
+        assert_eq!(q.pop(), Some((JobClass::Background, "bg")));
+        assert_eq!(q.pop(), Some((JobClass::Interactive, "int")));
+    }
+
+    #[test]
+    fn interactive_never_accrues_wait_when_no_debt_exists() {
+        let mut q = ClassLanes::new(4);
+        for i in 0..10 {
+            q.push(JobClass::Background, i);
+        }
+        // Fresh backlog, no debt: an interactive arrival is served
+        // immediately.
+        q.push(JobClass::Interactive, 999);
+        assert_eq!(q.pop(), Some((JobClass::Interactive, 999)));
+    }
+
+    #[test]
+    fn remove_where_cancels_a_queued_item() {
+        let mut q = ClassLanes::new(4);
+        q.push(JobClass::Batch, 1);
+        q.push(JobClass::Batch, 2);
+        q.push(JobClass::Background, 3);
+        assert_eq!(q.remove_where(|&x| x == 2), Some((JobClass::Batch, 2)));
+        assert_eq!(q.remove_where(|&x| x == 2), None);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.len_in(JobClass::Batch), 1);
+        assert_eq!(q.pop(), Some((JobClass::Batch, 1)));
+        assert_eq!(q.pop(), Some((JobClass::Background, 3)));
+    }
+}

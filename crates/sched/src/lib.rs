@@ -50,6 +50,7 @@
 pub mod config;
 pub mod deque;
 pub mod discipline;
+pub mod lanes;
 pub mod owner;
 pub mod policy;
 pub mod priority;
@@ -65,6 +66,7 @@ pub use deque::{Deque, Steal};
 pub use discipline::{steal_order, QueueDiscipline, DEFAULT_STEAL_SEED};
 pub use dynamic_policy::DynamicPolicy;
 pub use hybrid::HybridPolicy;
+pub use lanes::{ClassLanes, JobClass};
 pub use owner::OwnerMap;
 pub use policy::{Policy, Popped, QueueSource};
 pub use static_policy::StaticPolicy;

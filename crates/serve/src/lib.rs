@@ -1,0 +1,684 @@
+//! `calu-serve` — a long-running factorization job service.
+//!
+//! The paper's hybrid schedule optimizes one factorization; this crate
+//! serves *streams* of them. A [`FactorService`] owns one
+//! request-persistent worker pool ([`calu_core::pool::ServicePool`])
+//! and layers on top of it, in the server/queue/worker split of
+//! rust-lang/crater's server:
+//!
+//! * **admission control** — a bounded total queue depth plus per-class
+//!   quotas ([`ServiceConfig`]); over-quota submissions are rejected
+//!   with a typed [`ServeError::Busy`] instead of queueing unboundedly;
+//! * **priority classes** — [`JobClass::Interactive`] /
+//!   [`JobClass::Batch`] / [`JobClass::Background`], served
+//!   highest-first with bounded starvation
+//!   ([`calu_sched::ClassLanes`]);
+//! * **job lifecycle** — `submit → Queued → Running → Done | Failed |
+//!   Cancelled`, observable per job through a [`JobHandle`]
+//!   ([`JobHandle::wait`] / [`JobHandle::try_status`]) and service-wide
+//!   through the completion-order [`FactorService::events`] stream;
+//! * **cancellation** of still-queued jobs ([`FactorService::cancel`]);
+//! * **graceful drain** — [`FactorService::drain`] stops admission,
+//!   finishes everything queued and in flight, and joins the workers;
+//!   no job is ever stranded.
+//!
+//! Everything is `std` — mutexes, condvars and one mpsc channel; no
+//! async runtime. The facade crate (`calu`) wraps this API as
+//! `Solver::serve()`, mapping [`PoolOutcome`]s into its `Report` type
+//! via the [`FactorService::with_report`] hook.
+
+use std::fmt;
+use std::sync::{mpsc, Arc, Condvar};
+
+use calu_core::pool::{JobSink, PoolOutcome, PoolSource, ServicePool};
+use calu_core::sync::Mutex;
+use calu_core::{CaluConfig, CaluError};
+use calu_matrix::DenseMatrix;
+pub use calu_sched::JobClass;
+
+/// Service-assigned job identifier, unique within one service.
+pub type JobId = u64;
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting in its class lane.
+    Queued,
+    /// Claimed by a pool worker.
+    Running,
+    /// Finished; the result is (or was) available on the handle.
+    Done,
+    /// The factorization failed.
+    Failed,
+    /// Removed from the queue before any worker claimed it.
+    Cancelled,
+}
+
+/// Typed service errors.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission refused: the queue (or the class's quota) is full.
+    /// Back off and resubmit, or wait on an outstanding handle.
+    Busy {
+        /// The class that was refused.
+        class: JobClass,
+        /// Jobs currently admitted against the exceeded limit.
+        pending: usize,
+        /// The exceeded limit itself.
+        quota: usize,
+    },
+    /// The service is draining; no new jobs are admitted.
+    ShuttingDown,
+    /// The spec failed validation and never reached the pool.
+    Invalid(CaluError),
+    /// The factorization itself failed.
+    Failed(CaluError),
+    /// The job was cancelled while queued.
+    Cancelled,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy {
+                class,
+                pending,
+                quota,
+            } => write!(f, "busy: {pending}/{quota} {class} jobs pending"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Invalid(e) => write!(f, "invalid job spec: {e}"),
+            ServeError::Failed(e) => write!(f, "factorization failed: {e}"),
+            ServeError::Cancelled => write!(f, "job was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Admission and verification knobs for one [`FactorService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Total jobs admitted but not yet terminal, across all classes.
+    pub max_pending: usize,
+    /// Per-class pending quotas, indexed by [`JobClass::lane`]
+    /// (`[interactive, batch, background]`).
+    pub class_quota: [usize; 3],
+    /// How many higher-class pops may pass over a waiting lower-class
+    /// job before it is served regardless (see
+    /// [`calu_sched::ClassLanes`]).
+    pub starvation_limit: usize,
+    /// Compute a residual and growth factor for every job.
+    pub verify: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_pending: 256,
+            class_quota: [64, 192, 192],
+            starvation_limit: 4,
+            verify: false,
+        }
+    }
+}
+
+/// What one job factors: dense data moved in, or a seeded generator
+/// materialized lazily on the worker that claims the job. Per-job
+/// validation is dimensional (non-empty); the shared solver knobs are
+/// validated once, when the service is built.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    source: PoolSource,
+}
+
+impl JobSpec {
+    /// A job over dense data.
+    pub fn dense(a: DenseMatrix) -> Self {
+        JobSpec {
+            source: PoolSource::Dense(a),
+        }
+    }
+
+    /// A job over a seeded uniform generator matrix, materialized on
+    /// the worker that claims it.
+    pub fn uniform(m: usize, n: usize, seed: u64) -> Self {
+        JobSpec {
+            source: PoolSource::Uniform { m, n, seed },
+        }
+    }
+
+    /// A job over any [`PoolSource`].
+    pub fn from_source(source: PoolSource) -> Self {
+        JobSpec { source }
+    }
+
+    /// `(rows, cols)` of the job's matrix.
+    pub fn dims(&self) -> (usize, usize) {
+        self.source.dims()
+    }
+}
+
+/// Identity of one admitted job, handed to the report hook.
+#[derive(Debug, Clone, Copy)]
+pub struct JobInfo {
+    /// Service-assigned id.
+    pub id: JobId,
+    /// Priority class.
+    pub class: JobClass,
+    /// `(rows, cols)`.
+    pub dims: (usize, usize),
+}
+
+/// One entry of the completion-order event stream.
+#[derive(Debug, Clone, Copy)]
+pub struct JobEvent {
+    /// Which job.
+    pub id: JobId,
+    /// Its class.
+    pub class: JobClass,
+    /// The terminal status it reached.
+    pub status: JobStatus,
+}
+
+enum CellState<R> {
+    Queued,
+    Running,
+    Done(R),
+    Failed(CaluError),
+    Cancelled,
+    /// The result was consumed by `wait`.
+    Taken,
+}
+
+struct JobCell<R> {
+    state: Mutex<CellState<R>>,
+    cv: Condvar,
+}
+
+/// A claim on one submitted job: poll it with
+/// [`try_status`](Self::try_status), block on it with
+/// [`wait`](Self::wait).
+pub struct JobHandle<R = PoolOutcome> {
+    id: JobId,
+    class: JobClass,
+    dims: (usize, usize),
+    cell: Arc<JobCell<R>>,
+}
+
+impl<R> fmt::Debug for JobHandle<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("class", &self.class)
+            .field("dims", &self.dims)
+            .field("status", &self.try_status())
+            .finish()
+    }
+}
+
+impl<R> JobHandle<R> {
+    /// The service-assigned job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The class the job was admitted under.
+    pub fn class(&self) -> JobClass {
+        self.class
+    }
+
+    /// `(rows, cols)` of the job's matrix.
+    pub fn dims(&self) -> (usize, usize) {
+        self.dims
+    }
+
+    /// Current lifecycle position, without blocking.
+    pub fn try_status(&self) -> JobStatus {
+        match &*self.cell.state.lock() {
+            CellState::Queued => JobStatus::Queued,
+            CellState::Running => JobStatus::Running,
+            CellState::Done(_) | CellState::Taken => JobStatus::Done,
+            CellState::Failed(_) => JobStatus::Failed,
+            CellState::Cancelled => JobStatus::Cancelled,
+        }
+    }
+
+    /// Block until the job reaches a terminal state and take its
+    /// result.
+    pub fn wait(self) -> Result<R, ServeError> {
+        let mut st = self.cell.state.lock();
+        while let CellState::Queued | CellState::Running = &*st {
+            st = self
+                .cell
+                .cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        match std::mem::replace(&mut *st, CellState::Taken) {
+            CellState::Done(r) => Ok(r),
+            CellState::Failed(e) => Err(ServeError::Failed(e)),
+            CellState::Cancelled => Err(ServeError::Cancelled),
+            _ => unreachable!("wait consumes the handle"),
+        }
+    }
+}
+
+struct Admission {
+    /// Admitted-but-not-terminal, total and per lane.
+    pending_total: usize,
+    pending: [usize; 3],
+    draining: bool,
+    next_id: JobId,
+}
+
+/// The result constructor a service applies to every finished job's
+/// pool outcome (see [`FactorService::with_report`]).
+type MakeResult<R> = Box<dyn Fn(&JobInfo, PoolOutcome) -> R + Send + Sync>;
+
+/// State shared between the service, its sinks and its handles.
+struct Inner<R> {
+    admission: Mutex<Admission>,
+    make: MakeResult<R>,
+    tx: Mutex<Option<mpsc::Sender<JobEvent>>>,
+    rx: Mutex<Option<mpsc::Receiver<JobEvent>>>,
+}
+
+impl<R> Inner<R> {
+    /// One job left the pending set (terminal state reached).
+    fn job_ended(&self, info: &JobInfo, status: JobStatus) {
+        {
+            let mut adm = self.admission.lock();
+            adm.pending_total -= 1;
+            adm.pending[info.class.lane()] -= 1;
+        }
+        if let Some(tx) = &*self.tx.lock() {
+            let _ = tx.send(JobEvent {
+                id: info.id,
+                class: info.class,
+                status,
+            });
+        }
+    }
+}
+
+/// Routes one job's pool outcome into its handle and the event stream.
+struct ServeSink<R> {
+    info: JobInfo,
+    cell: Arc<JobCell<R>>,
+    shared: Arc<Inner<R>>,
+}
+
+impl<R: Send + 'static> JobSink for ServeSink<R> {
+    fn started(&self) {
+        let mut st = self.cell.state.lock();
+        if matches!(*st, CellState::Queued) {
+            *st = CellState::Running;
+        }
+    }
+
+    fn finished(self: Box<Self>, res: Result<PoolOutcome, CaluError>) {
+        let (state, status) = match res {
+            Ok(out) => (
+                CellState::Done((self.shared.make)(&self.info, out)),
+                JobStatus::Done,
+            ),
+            Err(e) => (CellState::Failed(e), JobStatus::Failed),
+        };
+        *self.cell.state.lock() = state;
+        self.cell.cv.notify_all();
+        self.shared.job_ended(&self.info, status);
+    }
+}
+
+/// Completion-order event stream; ends when the service drains. Blocks
+/// on [`Iterator::next`] until the next job reaches a terminal state.
+pub struct Events {
+    rx: mpsc::Receiver<JobEvent>,
+}
+
+impl Iterator for Events {
+    type Item = JobEvent;
+    fn next(&mut self) -> Option<JobEvent> {
+        self.rx.recv().ok()
+    }
+}
+
+/// A long-running factorization job service over one persistent worker
+/// pool. Generic over the per-job report type `R`: the identity
+/// service ([`FactorService::new`]) returns raw [`PoolOutcome`]s, the
+/// `calu` facade injects a `Report` builder via
+/// [`FactorService::with_report`].
+pub struct FactorService<R = PoolOutcome> {
+    pool: ServicePool,
+    cfg: ServiceConfig,
+    shared: Arc<Inner<R>>,
+}
+
+impl FactorService<PoolOutcome> {
+    /// Spawn a service whose jobs resolve to raw [`PoolOutcome`]s.
+    /// `cfg` carries the solver knobs every job shares (tile size,
+    /// threads, layout, dratio, small cutoff); it is validated here,
+    /// once — jobs only vary in dims and data.
+    pub fn new(cfg: &CaluConfig, svc: ServiceConfig) -> Result<Self, CaluError> {
+        FactorService::with_report(cfg, svc, |_, out| out)
+    }
+}
+
+impl<R: Send + 'static> FactorService<R> {
+    /// [`new`](FactorService::new) with a report hook: every completed
+    /// job's [`PoolOutcome`] is mapped through `make` (on the worker
+    /// that finished it) before landing in the handle.
+    pub fn with_report(
+        cfg: &CaluConfig,
+        svc: ServiceConfig,
+        make: impl Fn(&JobInfo, PoolOutcome) -> R + Send + Sync + 'static,
+    ) -> Result<Self, CaluError> {
+        let pool = ServicePool::spawn(cfg, svc.verify, svc.starvation_limit)?;
+        let (tx, rx) = mpsc::channel();
+        Ok(FactorService {
+            pool,
+            cfg: svc,
+            shared: Arc::new(Inner {
+                admission: Mutex::new(Admission {
+                    pending_total: 0,
+                    pending: [0; 3],
+                    draining: false,
+                    next_id: 1,
+                }),
+                make: Box::new(make),
+                tx: Mutex::new(Some(tx)),
+                rx: Mutex::new(Some(rx)),
+            }),
+        })
+    }
+
+    /// Admit one job. Fails fast — [`ServeError::Invalid`] for an
+    /// empty-dimension spec (which never reaches the pool),
+    /// [`ServeError::Busy`] when a quota is full,
+    /// [`ServeError::ShuttingDown`] after [`drain`](Self::drain) began.
+    pub fn submit(&self, spec: JobSpec, class: JobClass) -> Result<JobHandle<R>, ServeError> {
+        let dims = spec.dims();
+        if dims.0 == 0 || dims.1 == 0 {
+            return Err(ServeError::Invalid(CaluError::EmptyMatrix));
+        }
+        let mut adm = self.shared.admission.lock();
+        if adm.draining {
+            return Err(ServeError::ShuttingDown);
+        }
+        if adm.pending_total >= self.cfg.max_pending {
+            return Err(ServeError::Busy {
+                class,
+                pending: adm.pending_total,
+                quota: self.cfg.max_pending,
+            });
+        }
+        let lane = class.lane();
+        if adm.pending[lane] >= self.cfg.class_quota[lane] {
+            return Err(ServeError::Busy {
+                class,
+                pending: adm.pending[lane],
+                quota: self.cfg.class_quota[lane],
+            });
+        }
+        let id = adm.next_id;
+        adm.next_id += 1;
+        adm.pending_total += 1;
+        adm.pending[lane] += 1;
+        let info = JobInfo { id, class, dims };
+        let cell = Arc::new(JobCell {
+            state: Mutex::new(CellState::Queued),
+            cv: Condvar::new(),
+        });
+        let sink = ServeSink {
+            info,
+            cell: Arc::clone(&cell),
+            shared: Arc::clone(&self.shared),
+        };
+        // submitted while holding the admission lock: a drain cannot
+        // slip between the draining check above and the pool seeing the
+        // job, so every admitted job is finished (never stranded) —
+        // `drain` takes this lock to set `draining` before it touches
+        // the pool
+        self.pool.submit(id, class, spec.source, Box::new(sink));
+        drop(adm);
+        Ok(JobHandle {
+            id,
+            class,
+            dims,
+            cell,
+        })
+    }
+
+    /// Cancel a still-queued job. `true` means the job was removed and
+    /// its handle resolves to [`ServeError::Cancelled`]; `false` means
+    /// a worker already claimed it (or it already finished) and the
+    /// race resolves to normal completion.
+    pub fn cancel(&self, handle: &JobHandle<R>) -> bool {
+        match self.pool.cancel(handle.id) {
+            Some(_uncalled_sink) => {
+                *handle.cell.state.lock() = CellState::Cancelled;
+                handle.cell.cv.notify_all();
+                let info = JobInfo {
+                    id: handle.id,
+                    class: handle.class,
+                    dims: handle.dims,
+                };
+                self.shared.job_ended(&info, JobStatus::Cancelled);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Take the completion-order event stream. May be taken once; the
+    /// stream yields one terminal event per job and ends when the
+    /// service drains.
+    ///
+    /// # Panics
+    /// If called a second time.
+    pub fn events(&self) -> Events {
+        Events {
+            rx: self
+                .shared
+                .rx
+                .lock()
+                .take()
+                .expect("the event stream may be taken only once"),
+        }
+    }
+
+    /// Stop admitting, finish every queued and in-flight job, join the
+    /// workers and close the event stream. Idempotent; also runs on
+    /// drop. On return, zero jobs are pending.
+    pub fn drain(&self) {
+        {
+            let mut adm = self.shared.admission.lock();
+            adm.draining = true;
+        }
+        self.pool.drain();
+        // every job is terminal; dropping the only sender ends `events`
+        self.shared.tx.lock().take();
+    }
+
+    /// Whether [`drain`](Self::drain) has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.admission.lock().draining
+    }
+
+    /// Jobs admitted but not yet terminal (queued + running).
+    pub fn pending(&self) -> usize {
+        self.shared.admission.lock().pending_total
+    }
+
+    /// [`pending`](Self::pending), one class.
+    pub fn pending_in(&self, class: JobClass) -> usize {
+        self.shared.admission.lock().pending[class.lane()]
+    }
+
+    /// Jobs waiting in the pool's lanes (admitted, not yet claimed).
+    pub fn queued(&self) -> usize {
+        self.pool.queued()
+    }
+
+    /// [`queued`](Self::queued), one class.
+    pub fn queued_in(&self, class: JobClass) -> usize {
+        self.pool.queued_in(class)
+    }
+
+    /// Pool width.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Whether a job of `dims` would be co-scheduled (claimed whole by
+    /// one worker) rather than run on the co-operative hybrid schedule
+    /// — the exact predicate the pool workers apply.
+    pub fn co_schedules(&self, dims: (usize, usize)) -> bool {
+        self.pool.co_schedules(dims)
+    }
+
+    /// One-off worker spawn cost, paid when the service was built.
+    pub fn spawn_secs(&self) -> f64 {
+        self.pool.spawn_secs()
+    }
+
+    /// The admission configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+}
+
+impl<R> Drop for FactorService<R> {
+    fn drop(&mut self) {
+        {
+            let mut adm = self.shared.admission.lock();
+            adm.draining = true;
+        }
+        self.pool.drain();
+        self.shared.tx.lock().take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CaluConfig {
+        CaluConfig::new(16).with_threads(2).with_dratio(0.5)
+    }
+
+    fn svc() -> ServiceConfig {
+        ServiceConfig {
+            verify: false,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let service = FactorService::new(&cfg(), svc()).unwrap();
+        let h = service
+            .submit(JobSpec::uniform(64, 64, 1), JobClass::Interactive)
+            .unwrap();
+        let out = h.wait().unwrap();
+        assert_eq!(out.dims, (64, 64));
+        assert!(out.factorization.is_nonsingular());
+        service.drain();
+        assert_eq!(service.pending(), 0);
+    }
+
+    #[test]
+    fn total_quota_rejects_with_busy() {
+        let service = FactorService::new(
+            &cfg(),
+            ServiceConfig {
+                max_pending: 1,
+                ..svc()
+            },
+        )
+        .unwrap();
+        // two submits racing one slot: at least one Busy unless the
+        // first finished first — force determinism with a big first job
+        let h = service
+            .submit(JobSpec::uniform(512, 512, 1), JobClass::Batch)
+            .unwrap();
+        let res = service.submit(JobSpec::uniform(8, 8, 2), JobClass::Batch);
+        assert!(matches!(res, Err(ServeError::Busy { .. })));
+        h.wait().unwrap();
+        service.drain();
+    }
+
+    #[test]
+    fn class_quota_is_independent_of_total() {
+        let service = FactorService::new(
+            &cfg(),
+            ServiceConfig {
+                max_pending: 100,
+                class_quota: [1, 100, 100],
+                ..svc()
+            },
+        )
+        .unwrap();
+        let h = service
+            .submit(JobSpec::uniform(512, 512, 1), JobClass::Interactive)
+            .unwrap();
+        let res = service.submit(JobSpec::uniform(8, 8, 2), JobClass::Interactive);
+        assert!(matches!(
+            res,
+            Err(ServeError::Busy { quota: 1, .. })
+        ));
+        // other classes still admit
+        let ok = service.submit(JobSpec::uniform(8, 8, 3), JobClass::Batch);
+        assert!(ok.is_ok());
+        h.wait().unwrap();
+        ok.unwrap().wait().unwrap();
+        service.drain();
+    }
+
+    #[test]
+    fn invalid_spec_never_reaches_the_pool() {
+        let service = FactorService::new(&cfg(), svc()).unwrap();
+        let res = service.submit(JobSpec::uniform(0, 8, 1), JobClass::Batch);
+        assert!(matches!(res, Err(ServeError::Invalid(_))));
+        assert_eq!(service.pending(), 0);
+        assert_eq!(service.queued(), 0);
+        service.drain();
+    }
+
+    #[test]
+    fn submit_after_drain_is_rejected() {
+        let service = FactorService::new(&cfg(), svc()).unwrap();
+        service.drain();
+        let res = service.submit(JobSpec::uniform(8, 8, 1), JobClass::Interactive);
+        assert!(matches!(res, Err(ServeError::ShuttingDown)));
+        service.drain(); // idempotent
+    }
+
+    #[test]
+    fn events_stream_yields_one_terminal_event_per_job_and_ends() {
+        let service = FactorService::new(&cfg(), svc()).unwrap();
+        let events = service.events();
+        let n = 5;
+        for seed in 0..n {
+            service
+                .submit(JobSpec::uniform(48, 48, seed), JobClass::ALL[seed as usize % 3])
+                .unwrap();
+        }
+        service.drain();
+        let seen: Vec<JobEvent> = events.collect(); // ends: sender dropped
+        assert_eq!(seen.len(), n as usize);
+        assert!(seen.iter().all(|e| e.status == JobStatus::Done));
+    }
+
+    #[test]
+    fn try_status_tracks_the_lifecycle() {
+        let service = FactorService::new(&cfg(), svc()).unwrap();
+        let h = service
+            .submit(JobSpec::uniform(64, 64, 1), JobClass::Batch)
+            .unwrap();
+        // any pre-terminal or terminal status is legal here; wait, then
+        // the status must be terminal
+        h.wait().unwrap();
+        service.drain();
+    }
+}

@@ -16,13 +16,16 @@
 
 use std::time::Instant;
 
-use calu_core::{calu_factor_batch, calu_factor_report, gepp_factor, incpiv_factor, ThreadStats};
+use calu_core::{
+    calu_factor_batch_from, calu_factor_report, gepp_factor, incpiv_factor, BatchSource,
+    ThreadStats,
+};
 use calu_sim::{MachineConfig, SimConfig, SimResult};
 use calu_trace::Timeline;
 
 use crate::error::Error;
 use crate::report::{nominal_flops, BatchReport, Report, ScheduleMetrics, ThreadMetrics};
-use crate::solver::{Algorithm, Plan};
+use crate::solver::{Algorithm, MatrixSource, Plan};
 
 /// An execution substrate for a validated [`Plan`].
 pub trait Backend {
@@ -85,6 +88,7 @@ pub(crate) fn run_batch_loop<B: Backend + ?Sized>(
         wall_secs: t0.elapsed().as_secs_f64(),
         pool_spawn_secs: 0.0,
         cold_spawn_secs: 0.0,
+        pool_reused: false,
         co_scheduled: 0,
     })
 }
@@ -117,7 +121,7 @@ fn batch_shared_config(plans: &[Plan<'_>]) -> Result<calu_core::CaluConfig, Erro
 /// Fold a span timeline plus per-worker queue stats into the unified
 /// schedule metrics — one pass over the span list (it can hold tens of
 /// thousands of entries on large runs).
-fn threaded_schedule_metrics(
+pub(crate) fn threaded_schedule_metrics(
     threads: usize,
     makespan: f64,
     tl: &Timeline,
@@ -317,26 +321,32 @@ impl ThreadedBackend {
         // report field costs the batch path nothing
         let cold = cold_spawn_secs(cfg.threads);
         let t0 = Instant::now();
-        let mats = plans
+        // lazy sources: dense data is borrowed as-is, seeded generators
+        // are materialized by the pool worker that claims each item —
+        // submission stays O(1) per generator item instead of paying
+        // every memset/PRNG fill up front on the calling thread
+        let sources = plans
             .iter()
-            .map(|p| {
-                p.source.materialize().ok_or_else(|| {
-                    Error::Config(
-                        "the threaded backend factors real data: provide a DenseMatrix \
-                         or MatrixSource::Uniform, not MatrixSource::Shape"
-                            .into(),
-                    )
-                })
+            .map(|p| match p.source {
+                MatrixSource::Dense(a) => Ok(BatchSource::Dense(a)),
+                MatrixSource::Uniform { m, n, seed } => Ok(BatchSource::Uniform {
+                    m: *m,
+                    n: *n,
+                    seed: *seed,
+                }),
+                MatrixSource::Shape { .. } => Err(Error::Config(
+                    "the threaded backend factors real data: provide a DenseMatrix \
+                     or MatrixSource::Uniform, not MatrixSource::Shape"
+                        .into(),
+                )),
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let refs: Vec<&calu_matrix::DenseMatrix> = mats.iter().map(|c| c.as_ref()).collect();
-        let outcome = calu_factor_batch(&refs, &cfg)?;
+        let outcome = calu_factor_batch_from(&sources, &cfg)?;
         let co_scheduled = outcome.items.iter().filter(|i| i.co_scheduled).count();
         let items = plans
             .iter()
-            .zip(&mats)
             .zip(outcome.items)
-            .map(|((plan, a), item)| {
+            .map(|(plan, item)| {
                 let (m, n) = plan.source.dims();
                 let mut report = Report {
                     backend: self.name().into(),
@@ -362,8 +372,14 @@ impl ThreadedBackend {
                     timeline: plan.record_trace.then_some(item.timeline),
                 };
                 if plan.verify {
-                    report.residual = Some(item.factorization.residual(a));
-                    report.growth_factor = Some(item.factorization.growth_factor(a));
+                    // generator items re-materialize here, on demand —
+                    // only verifying sweeps pay for reference copies
+                    let a = plan
+                        .source
+                        .materialize()
+                        .expect("shape-only sources were rejected above");
+                    report.residual = Some(item.factorization.residual(&a));
+                    report.growth_factor = Some(item.factorization.growth_factor(&a));
                 }
                 report.factorization = Some(item.factorization);
                 report
@@ -376,6 +392,7 @@ impl ThreadedBackend {
             wall_secs: t0.elapsed().as_secs_f64(),
             pool_spawn_secs: outcome.pool_spawn_secs,
             cold_spawn_secs: cold,
+            pool_reused: false,
             co_scheduled,
         })
     }
@@ -385,7 +402,7 @@ impl ThreadedBackend {
 /// per-item overhead the loop-over-`run` fallback pays. Measured once
 /// per process and pool width (cached), so repeated `Solver::batch`
 /// calls don't each pay an extra spawn just to fill a report field.
-fn cold_spawn_secs(threads: usize) -> f64 {
+pub(crate) fn cold_spawn_secs(threads: usize) -> f64 {
     use std::sync::{Mutex, OnceLock};
     static CACHE: OnceLock<Mutex<Vec<(usize, f64)>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
@@ -568,6 +585,7 @@ impl Backend for SimulatedBackend {
             wall_secs: wall,
             pool_spawn_secs: 0.0,
             cold_spawn_secs: 0.0,
+            pool_reused: false,
             co_scheduled,
         })
     }

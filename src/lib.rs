@@ -86,6 +86,39 @@
 //! full hybrid static/dynamic schedule (see
 //! [`Solver::batch_small_cutoff`]).
 //!
+//! ## The service layer
+//!
+//! Where [`Solver::batch`] amortizes pool spawn across one sweep,
+//! [`Solver::serve`] keeps the pool alive *between* calls: a
+//! [`FactorService`] is a long-running job server with priority
+//! classes, admission control, cancellation and graceful drain — see
+//! the [`serve`] module docs for the full lifecycle.
+//!
+//! ```
+//! use calu::{JobClass, JobSpec, MatrixSource, Solver};
+//!
+//! let service = Solver::new(MatrixSource::shape(64, 64)) // knobs only
+//!     .tile(16)
+//!     .threads(2)
+//!     .verify(false)
+//!     .serve()
+//!     .unwrap();
+//! let interactive = service
+//!     .submit(JobSpec::uniform(64, 64, 1), JobClass::Interactive)
+//!     .unwrap();
+//! let background = service
+//!     .submit(JobSpec::uniform(64, 64, 2), JobClass::Background)
+//!     .unwrap();
+//! assert!(interactive.wait().unwrap().factorization.is_some());
+//! assert!(background.wait().unwrap().factorization.is_some());
+//! service.drain();
+//! ```
+//!
+//! [`Solver::batch_iter`] streams an arbitrarily long sweep through a
+//! service with a bounded in-flight window, and [`service_batch`] runs
+//! [`Solver::batch`]-style sweeps on an already-warm service (reported
+//! honestly: [`BatchReport::pool_reused`] with zero spawn cost).
+//!
 //! ## History
 //!
 //! The 0.1 top-level entry points (`calu_factor`, top-level
@@ -111,6 +144,7 @@
 pub mod backend;
 pub mod error;
 pub mod report;
+pub mod serve;
 pub mod solver;
 
 pub use backend::{Backend, SimulatedBackend, ThreadedBackend};
@@ -119,6 +153,10 @@ pub use error::Error;
 pub use report::{
     BatchReport, ContentionStats, QueueBreakdown, Report, ScheduleMetrics, StealLocality,
     ThreadMetrics,
+};
+pub use serve::{
+    service_batch, FactorService, JobClass, JobEvent, JobHandle, JobSpec, JobStatus, ReportService,
+    ServeError, ServiceConfig,
 };
 pub use solver::{Algorithm, MatrixSource, Plan, Solver};
 

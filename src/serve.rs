@@ -1,0 +1,255 @@
+//! The service layer of the facade: [`Solver::serve`] and friends.
+//!
+//! A [`FactorService`] is a long-running job server over one persistent
+//! worker pool — where [`Solver::batch`] amortizes pool spawn across
+//! one sweep, a service amortizes it across *every factorization a
+//! process ever runs*: submit jobs from any thread, in priority classes
+//! ([`JobClass::Interactive`] / [`JobClass::Batch`] /
+//! [`JobClass::Background`]), get each result back through a
+//! [`JobHandle`] as the structured [`Report`] a solo [`Solver::run`]
+//! would have produced — bitwise-identical factors included.
+//!
+//! ```
+//! use calu::{JobClass, JobSpec, MatrixSource, Solver};
+//!
+//! let service = Solver::new(MatrixSource::shape(64, 64)) // knobs only
+//!     .tile(16)
+//!     .threads(2)
+//!     .verify(false)
+//!     .serve()
+//!     .unwrap();
+//! let handle = service
+//!     .submit(JobSpec::uniform(64, 64, 7), JobClass::Interactive)
+//!     .unwrap();
+//! let report = handle.wait().unwrap();
+//! assert!(report.factorization.is_some());
+//! service.drain(); // finishes everything, joins the workers
+//! ```
+//!
+//! The solver builder is the service's *plan*: tile size, threads,
+//! layout, scheduler and verification all validate once through
+//! [`Solver::plan`], exactly like a solo run; jobs then only vary in
+//! their matrix ([`JobSpec`]). Inside the pool each job's dynamic
+//! section runs on the paper's shared global queue — the exclusive-
+//! writer discipline of the task DAG makes the factors independent of
+//! execution order, which is what lets a served job reproduce a solo
+//! run bit for bit.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use calu_core::pool::PoolOutcome;
+use calu_sched::{QueueDiscipline, SchedulerKind};
+
+pub use calu_serve::{
+    Events, FactorService, JobClass, JobEvent, JobHandle, JobId, JobInfo, JobSpec, JobStatus,
+    ServeError, ServiceConfig,
+};
+
+use crate::backend::{cold_spawn_secs, threaded_schedule_metrics};
+use crate::error::Error;
+use crate::report::{nominal_flops, BatchReport, Report};
+use crate::solver::{Algorithm, MatrixSource, Solver};
+
+/// A [`FactorService`] whose jobs resolve to the facade's [`Report`] —
+/// what [`Solver::serve`] returns.
+pub type ReportService = FactorService<Report>;
+
+/// Map service-layer errors into the facade's unified [`Error`].
+fn serve_err(e: ServeError) -> Error {
+    match e {
+        ServeError::Invalid(e) | ServeError::Failed(e) => Error::from(e),
+        other => Error::Config(other.to_string()),
+    }
+}
+
+/// Build a [`JobSpec`] from a facade source (rejecting shape-only
+/// sources, which carry no data to factor).
+fn spec_for(source: MatrixSource) -> Result<JobSpec, Error> {
+    match source {
+        MatrixSource::Dense(a) => Ok(JobSpec::dense(a)),
+        MatrixSource::Uniform { m, n, seed } => Ok(JobSpec::uniform(m, n, seed)),
+        MatrixSource::Shape { .. } => Err(Error::Config(
+            "the factorization service factors real data: provide a DenseMatrix \
+             or MatrixSource::Uniform, not MatrixSource::Shape"
+                .into(),
+        )),
+    }
+}
+
+impl Solver {
+    /// Spawn a long-running [`FactorService`] from this builder's knobs
+    /// with default admission control ([`ServiceConfig::default`]).
+    /// See [`Solver::serve_with`].
+    pub fn serve(&self) -> Result<ReportService, Error> {
+        self.serve_with(ServiceConfig::default())
+    }
+
+    /// Spawn a long-running [`FactorService`]: one persistent worker
+    /// pool serving factorization jobs until drained.
+    ///
+    /// The builder's knobs validate once, through the same
+    /// [`Solver::plan`] path a solo run uses, and then govern every job
+    /// — including `.verify()`, which overrides `svc.verify`. The
+    /// builder's own matrix source supplies only its shape for
+    /// validation; jobs bring their own data as [`JobSpec`]s.
+    ///
+    /// Restrictions mirror the threaded backend's: CALU only, no
+    /// work-stealing baseline, no explicit BLAS-3 grouping. Inside the
+    /// pool each job's dynamic section uses the paper's shared global
+    /// queue (reported as [`QueueDiscipline::Global`]); the factors are
+    /// bitwise-independent of that choice.
+    pub fn serve_with(&self, mut svc: ServiceConfig) -> Result<ReportService, Error> {
+        let plan = self.plan()?;
+        if plan.algorithm != Algorithm::Calu {
+            return Err(Error::Unsupported {
+                backend: "serve".into(),
+                what: format!(
+                    "the factorization service runs CALU jobs on its persistent \
+                     pool; {} has no pooled executor — use Solver::run",
+                    plan.algorithm
+                ),
+            });
+        }
+        if matches!(plan.scheduler, SchedulerKind::WorkStealing { .. }) {
+            return Err(Error::Unsupported {
+                backend: "serve".into(),
+                what: "the service pool implements the paper's static/dynamic \
+                       queues, not the Cilk-deque baseline; use a Dynamic or \
+                       Hybrid scheduler"
+                    .into(),
+            });
+        }
+        if plan.grouping_requested() && plan.group() > 1 {
+            return Err(Error::Unsupported {
+                backend: "serve".into(),
+                what: "the real executor does not implement grouped BLAS-3 \
+                       updates; grouping is a simulator knob — drop .grouping()"
+                    .into(),
+            });
+        }
+        svc.verify = plan.verify;
+        let cfg = plan.calu_config();
+        let scheduler = plan.scheduler;
+        let record_trace = plan.record_trace;
+        let make_cfg = cfg.clone();
+        let make = move |_info: &JobInfo, out: PoolOutcome| -> Report {
+            let schedule = threaded_schedule_metrics(
+                make_cfg.threads,
+                out.makespan,
+                &out.timeline,
+                &out.stats,
+            );
+            Report {
+                backend: "serve".into(),
+                algorithm: Algorithm::Calu,
+                scheduler,
+                queue_discipline: QueueDiscipline::Global,
+                layout: make_cfg.layout,
+                dims: out.dims,
+                b: make_cfg.b,
+                threads: make_cfg.threads,
+                tasks: out.timeline.spans().len(),
+                makespan: out.makespan,
+                nominal_flops: nominal_flops(Algorithm::Calu, out.dims.0, out.dims.1),
+                factorization: Some(out.factorization),
+                residual: out.residual,
+                growth_factor: out.growth_factor,
+                schedule,
+                timeline: record_trace.then_some(out.timeline),
+            }
+        };
+        FactorService::with_report(&cfg, svc, make).map_err(Error::from)
+    }
+
+    /// Stream a sweep through a fresh service: like [`Solver::batch`],
+    /// but `sources` is any iterator, consumed lazily with a bounded
+    /// in-flight window (`2 × threads`, at least 4) — at no point are
+    /// all matrices resident at once, so a sweep can be far larger than
+    /// memory. Results come back in input order in the returned
+    /// [`BatchReport`]; the service is drained before returning.
+    pub fn batch_iter<I>(&self, sources: I) -> Result<BatchReport, Error>
+    where
+        I: IntoIterator<Item = MatrixSource>,
+    {
+        let service = self.serve()?;
+        let report = pump(&service, sources, false);
+        service.drain();
+        report
+    }
+}
+
+/// Run a sweep on an *already-warm* service — [`Solver::batch`]
+/// semantics without paying (or billing) a pool spawn: the returned
+/// [`BatchReport`] has [`BatchReport::pool_reused`] set and
+/// `pool_spawn_secs = 0`. Jobs are submitted under [`JobClass::Batch`]
+/// with a bounded in-flight window; results return in input order. The
+/// service stays up afterwards.
+pub fn service_batch(service: &ReportService, sources: &[MatrixSource]) -> Result<BatchReport, Error> {
+    pump(service, sources.iter().cloned(), true)
+}
+
+/// The shared submit/wait pump behind [`Solver::batch_iter`] and
+/// [`service_batch`]: keep at most `2 × threads` jobs in flight,
+/// collect results in submission order.
+fn pump<I>(service: &ReportService, sources: I, warm: bool) -> Result<BatchReport, Error>
+where
+    I: IntoIterator<Item = MatrixSource>,
+{
+    let threads = service.threads();
+    // what the loop-over-`run` fallback would pay per item; cached per
+    // process and width, so warm sweeps don't re-measure
+    let cold = cold_spawn_secs(threads);
+    let window = (2 * threads).max(4);
+    let t0 = Instant::now();
+    let mut pending: VecDeque<JobHandle<Report>> = VecDeque::new();
+    let mut items: Vec<Report> = Vec::new();
+    let mut co_scheduled = 0usize;
+    for source in sources {
+        let spec = spec_for(source)?;
+        if service.co_schedules(spec.dims()) {
+            co_scheduled += 1;
+        }
+        while pending.len() >= window {
+            let done = pending.pop_front().expect("window > 0");
+            items.push(done.wait().map_err(serve_err)?);
+        }
+        loop {
+            // the clone is cheap for generator specs and rare for dense
+            // ones (only a Busy admission forces a retry)
+            match service.submit(spec.clone(), JobClass::Batch) {
+                Ok(h) => {
+                    pending.push_back(h);
+                    break;
+                }
+                Err(ServeError::Busy { .. }) => {
+                    // admission full (other submitters share the warm
+                    // service): retire our oldest job and retry
+                    match pending.pop_front() {
+                        Some(done) => items.push(done.wait().map_err(serve_err)?),
+                        None => std::thread::yield_now(),
+                    }
+                }
+                Err(e) => return Err(serve_err(e)),
+            }
+        }
+    }
+    for done in pending {
+        items.push(done.wait().map_err(serve_err)?);
+    }
+    if items.is_empty() {
+        return Err(Error::Config(
+            "a batch needs at least one matrix source".into(),
+        ));
+    }
+    Ok(BatchReport {
+        backend: "serve".into(),
+        threads,
+        items,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        pool_spawn_secs: if warm { 0.0 } else { service.spawn_secs() },
+        cold_spawn_secs: cold,
+        pool_reused: warm,
+        co_scheduled,
+    })
+}

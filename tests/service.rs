@@ -1,0 +1,347 @@
+//! End-to-end tests of the service layer: `Solver::serve` and the
+//! `FactorService` lifecycle — concurrent mixed-class submission,
+//! bitwise parity with solo runs, class ordering under backlog,
+//! cancellation races, graceful drain, and the streaming/warm batch
+//! entry points built on top.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use calu::{
+    service_batch, JobClass, JobSpec, JobStatus, MatrixSource, ServeError, ServiceConfig, Solver,
+};
+
+/// The shared knobs every test's solver uses (small tiles so even tiny
+/// jobs produce a few tasks).
+fn solver(src: MatrixSource) -> Solver {
+    Solver::new(src).tile(16).threads(3).dratio(0.5)
+}
+
+#[test]
+fn concurrent_mixed_class_jobs_factor_bitwise_identically_to_solo_runs() {
+    // the acceptance run: 3 submitter threads × mixed classes on one
+    // service, every job's factors bitwise-equal to a solo Solver::run
+    // of the same source
+    let service = solver(MatrixSource::shape(8, 8)).serve().unwrap();
+    let classes = [JobClass::Interactive, JobClass::Batch, JobClass::Background];
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let service = &service;
+            let done = &done;
+            s.spawn(move || {
+                for j in 0..4u64 {
+                    let n = [48usize, 64, 96][((t + j) % 3) as usize];
+                    let seed = 1000 + t * 10 + j;
+                    let class = classes[((t + j) % 3) as usize];
+                    let handle = service
+                        .submit(JobSpec::uniform(n, n, seed), class)
+                        .expect("quota is far above 12 jobs");
+                    let report = handle.wait().unwrap();
+                    assert_eq!(report.backend, "serve");
+                    assert_eq!(report.dims, (n, n));
+
+                    let solo = solver(MatrixSource::uniform(n, seed)).run().unwrap();
+                    let (fj, fs) = (
+                        report.factorization.as_ref().unwrap(),
+                        solo.factorization.as_ref().unwrap(),
+                    );
+                    let ctx = format!("n={n} seed={seed} class={class}");
+                    assert_eq!(fj.lu.as_slice(), fs.lu.as_slice(), "packed LU bits, {ctx}");
+                    assert_eq!(fj.perm.pivots(), fs.perm.pivots(), "pivot rows, {ctx}");
+                    assert_eq!(
+                        report.residual.unwrap().to_bits(),
+                        solo.residual.unwrap().to_bits(),
+                        "residual bits, {ctx}"
+                    );
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(done.load(Ordering::Relaxed), 12);
+    service.drain();
+    assert_eq!(service.pending(), 0);
+    assert_eq!(service.queued(), 0);
+}
+
+#[test]
+fn interactive_jobs_jump_a_full_background_backlog() {
+    // class ordering: with the lanes stuffed with Background work, an
+    // Interactive job is served as soon as a worker frees up — it must
+    // complete while Background jobs are still waiting in the queue
+    let service = Solver::new(MatrixSource::shape(8, 8))
+        .tile(32)
+        .threads(2)
+        .verify(false)
+        .serve()
+        .unwrap();
+    let backlog: Vec<_> = (0..24)
+        .map(|i| {
+            service
+                .submit(JobSpec::uniform(256, 256, 7000 + i), JobClass::Background)
+                .unwrap()
+        })
+        .collect();
+    let interactive = service
+        .submit(JobSpec::uniform(48, 48, 9999), JobClass::Interactive)
+        .unwrap();
+    let report = interactive.wait().unwrap();
+    assert!(report.factorization.is_some());
+    assert!(
+        service.queued_in(JobClass::Background) > 0,
+        "the interactive job completed only after the whole background \
+         backlog — class priority was not honored"
+    );
+    for h in backlog {
+        h.wait().unwrap();
+    }
+    service.drain();
+}
+
+#[test]
+fn drain_finishes_jobs_queued_in_every_class_with_none_stranded() {
+    let service = Solver::new(MatrixSource::shape(8, 8))
+        .tile(16)
+        .threads(2)
+        .verify(false)
+        .serve()
+        .unwrap();
+    let classes = [JobClass::Interactive, JobClass::Batch, JobClass::Background];
+    let handles: Vec<_> = (0..9)
+        .map(|i| {
+            service
+                .submit(
+                    JobSpec::uniform(64, 64, 300 + i as u64),
+                    classes[i % classes.len()],
+                )
+                .unwrap()
+        })
+        .collect();
+    service.drain();
+    assert!(service.is_draining());
+    assert_eq!(service.pending(), 0, "drain left jobs pending");
+    assert_eq!(service.queued(), 0, "drain left jobs queued");
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h.wait();
+        assert!(r.is_ok(), "job {i} was stranded by drain: {:?}", r.err());
+    }
+    // drain is idempotent
+    service.drain();
+}
+
+#[test]
+fn cancel_wins_on_queued_jobs_and_loses_races_to_completion() {
+    // one worker: the first (large) job occupies it, so the second is
+    // deterministically still queued when we cancel it
+    let service = Solver::new(MatrixSource::shape(8, 8))
+        .tile(16)
+        .threads(1)
+        .verify(false)
+        .serve()
+        .unwrap();
+    let blocker = service
+        .submit(JobSpec::uniform(256, 256, 1), JobClass::Batch)
+        .unwrap();
+    let victim = service
+        .submit(JobSpec::uniform(64, 64, 2), JobClass::Batch)
+        .unwrap();
+    assert!(service.cancel(&victim), "queued job must be cancellable");
+    assert_eq!(victim.try_status(), JobStatus::Cancelled);
+    assert!(matches!(victim.wait(), Err(ServeError::Cancelled)));
+    // double-cancel (already removed) reports false
+    blocker.wait().unwrap();
+
+    // racing completion: a job that already finished cannot be cancelled
+    let finished = service
+        .submit(JobSpec::uniform(48, 48, 3), JobClass::Interactive)
+        .unwrap();
+    while finished.try_status() == JobStatus::Queued
+        || finished.try_status() == JobStatus::Running
+    {
+        std::thread::yield_now();
+    }
+    assert!(
+        !service.cancel(&finished),
+        "a completed job must not report a successful cancel"
+    );
+    assert!(finished.wait().is_ok(), "the race resolves to completion");
+    service.drain();
+}
+
+#[test]
+fn submit_after_drain_is_rejected() {
+    let service = solver(MatrixSource::shape(8, 8)).serve().unwrap();
+    service.drain();
+    let err = service
+        .submit(JobSpec::uniform(32, 32, 1), JobClass::Interactive)
+        .unwrap_err();
+    assert!(matches!(err, ServeError::ShuttingDown), "{err}");
+}
+
+#[test]
+fn invalid_specs_never_reach_the_pool() {
+    let service = solver(MatrixSource::shape(8, 8)).serve().unwrap();
+    let err = service
+        .submit(JobSpec::uniform(0, 64, 1), JobClass::Batch)
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Invalid(_)), "{err}");
+    assert_eq!(service.pending(), 0, "rejected job counted as pending");
+    assert_eq!(service.queued(), 0, "rejected job reached the pool queue");
+    service.drain();
+}
+
+#[test]
+fn admission_control_rejects_over_quota_submissions_with_busy() {
+    let service = Solver::new(MatrixSource::shape(8, 8))
+        .tile(16)
+        .threads(1)
+        .verify(false)
+        .serve_with(ServiceConfig {
+            max_pending: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+    // 1 worker: a large blocker plus one queued job fill the quota
+    let h1 = service
+        .submit(JobSpec::uniform(256, 256, 1), JobClass::Batch)
+        .unwrap();
+    let h2 = service
+        .submit(JobSpec::uniform(64, 64, 2), JobClass::Batch)
+        .unwrap();
+    let err = service
+        .submit(JobSpec::uniform(64, 64, 3), JobClass::Batch)
+        .unwrap_err();
+    assert!(
+        matches!(err, ServeError::Busy { quota: 2, .. }),
+        "third job over max_pending=2 must be refused: {err}"
+    );
+    h1.wait().unwrap();
+    h2.wait().unwrap();
+    // quota freed: admission works again
+    service
+        .submit(JobSpec::uniform(64, 64, 4), JobClass::Batch)
+        .unwrap()
+        .wait()
+        .unwrap();
+    service.drain();
+}
+
+#[test]
+fn events_stream_reports_each_terminal_state_once_and_ends_on_drain() {
+    let service = Solver::new(MatrixSource::shape(8, 8))
+        .tile(16)
+        .threads(1)
+        .verify(false)
+        .serve()
+        .unwrap();
+    let events = service.events();
+    let blocker = service
+        .submit(JobSpec::uniform(256, 256, 1), JobClass::Batch)
+        .unwrap();
+    let doomed = service
+        .submit(JobSpec::uniform(64, 64, 2), JobClass::Background)
+        .unwrap();
+    let ok = service
+        .submit(JobSpec::uniform(64, 64, 3), JobClass::Interactive)
+        .unwrap();
+    assert!(service.cancel(&doomed));
+    service.drain();
+    let seen: Vec<_> = events.collect(); // ends: the drain closed the stream
+    assert_eq!(seen.len(), 3, "one terminal event per job");
+    let status_of = |id| seen.iter().find(|e| e.id == id).unwrap().status;
+    assert_eq!(status_of(blocker.id()), JobStatus::Done);
+    assert_eq!(status_of(doomed.id()), JobStatus::Cancelled);
+    assert_eq!(status_of(ok.id()), JobStatus::Done);
+    let mut ids: Vec<_> = seen.iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 3, "no id reported twice");
+}
+
+#[test]
+fn batch_iter_streams_and_matches_solo_runs_bitwise() {
+    // a mixed sweep (co-scheduled small items and a co-operative large
+    // one) through the streaming entry point, sources consumed lazily
+    let dims_seeds = [(48usize, 501u64), (450, 502), (64, 503), (96, 504), (72, 505)];
+    let make = || {
+        Solver::new(MatrixSource::shape(8, 8))
+            .tile(16)
+            .threads(3)
+            .dratio(0.5)
+            .batch_small_cutoff(100)
+    };
+    let batch = make()
+        .batch_iter(
+            dims_seeds
+                .iter()
+                .map(|&(n, seed)| MatrixSource::uniform(n, seed)),
+        )
+        .unwrap();
+    assert_eq!(batch.backend, "serve");
+    assert_eq!(batch.len(), 5);
+    assert!(!batch.pool_reused, "batch_iter spawns its own pool");
+    assert_eq!(batch.co_scheduled, 4, "items ≤ 100 are co-scheduled");
+    assert!(batch.wall_secs > 0.0 && batch.items_per_sec() > 0.0);
+    for (&(n, seed), item) in dims_seeds.iter().zip(&batch.items) {
+        assert_eq!(item.dims, (n, n), "results come back in input order");
+        let solo = Solver::new(MatrixSource::uniform(n, seed))
+            .tile(16)
+            .threads(3)
+            .dratio(0.5)
+            .run()
+            .unwrap();
+        let (fb, fs) = (
+            item.factorization.as_ref().unwrap(),
+            solo.factorization.as_ref().unwrap(),
+        );
+        assert_eq!(fb.lu.as_slice(), fs.lu.as_slice(), "n={n}");
+        assert_eq!(fb.perm.pivots(), fs.perm.pivots(), "n={n}");
+        assert_eq!(
+            item.residual.unwrap().to_bits(),
+            solo.residual.unwrap().to_bits(),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn service_batch_reports_warm_pool_reuse_honestly() {
+    let sources: Vec<MatrixSource> = (0..6)
+        .map(|i| MatrixSource::uniform(64, 600 + i))
+        .collect();
+    let s = Solver::new(MatrixSource::shape(8, 8))
+        .tile(16)
+        .threads(2)
+        .dratio(0.5);
+    let service = s.serve().unwrap();
+    // warm the pool with one sweep, then measure the second
+    let first = service_batch(&service, &sources).unwrap();
+    let warm = service_batch(&service, &sources).unwrap();
+    for b in [&first, &warm] {
+        assert_eq!(b.backend, "serve");
+        assert!(b.pool_reused, "service sweeps run on the warm pool");
+        assert_eq!(
+            b.pool_spawn_secs, 0.0,
+            "a warm sweep must not be billed a pool spawn"
+        );
+        assert_eq!(b.len(), 6);
+    }
+    // honest savings: the whole cold-spawn bill is saved, none deducted
+    assert!(
+        (warm.spawn_savings_secs() - warm.cold_spawn_secs * 6.0).abs() < 1e-15,
+        "warm savings must equal cold_spawn × items"
+    );
+    // and the factors match the one-shot batch path bitwise
+    let batch = s.batch(&sources).unwrap();
+    for (w, b) in warm.items.iter().zip(&batch.items) {
+        assert_eq!(
+            w.factorization.as_ref().unwrap().lu.as_slice(),
+            b.factorization.as_ref().unwrap().lu.as_slice()
+        );
+        assert_eq!(
+            w.residual.unwrap().to_bits(),
+            b.residual.unwrap().to_bits()
+        );
+    }
+    service.drain();
+}
