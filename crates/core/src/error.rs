@@ -10,6 +10,9 @@ pub enum CaluError {
     InvalidConfig(String),
     /// The matrix is empty.
     EmptyMatrix,
+    /// A worker panicked while executing the job (kernel assert, index
+    /// bug). The job fails; the pool survives and keeps serving.
+    TaskPanic(String),
 }
 
 impl fmt::Display for CaluError {
@@ -17,6 +20,7 @@ impl fmt::Display for CaluError {
         match self {
             CaluError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
             CaluError::EmptyMatrix => write!(f, "matrix is empty"),
+            CaluError::TaskPanic(s) => write!(f, "worker panicked while executing the job: {s}"),
         }
     }
 }
@@ -33,5 +37,8 @@ mod tests {
             .to_string()
             .contains("b = 0"));
         assert!(CaluError::EmptyMatrix.to_string().contains("empty"));
+        assert!(CaluError::TaskPanic("index 9 out of bounds".into())
+            .to_string()
+            .contains("panicked"));
     }
 }

@@ -33,6 +33,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
@@ -153,6 +154,17 @@ impl PoolStorage for TlbMatrix {
     }
 }
 
+/// Best-effort panic payload → job error. `panic!` carries a `&str` or
+/// a formatted `String`; anything else keeps only the fact.
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> CaluError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    CaluError::TaskPanic(msg)
+}
+
 /// A job waiting in the lanes.
 struct QueuedJob {
     id: u64,
@@ -214,6 +226,10 @@ struct EngineState<S: TileStorage> {
     /// Claimed-but-unfinished jobs (small and large).
     in_flight: usize,
     draining: bool,
+    /// A panic escaped a worker's catch-unwind perimeter (e.g. inside a
+    /// sink callback): the pool is dead; `drain` fails fast instead of
+    /// waiting for jobs that will never finish.
+    poisoned: bool,
     workers_started: usize,
     next_seq: u64,
 }
@@ -272,7 +288,13 @@ impl<S: PoolStorage> Engine<S> {
         ready_buf: &mut Vec<TaskId>,
     ) {
         let start = self.epoch.elapsed().as_secs_f64();
-        run.item.execute(t, scratch);
+        // contain kernel panics to the job: fail its sink and keep the
+        // pool alive (an uncontained panic drops this worker with
+        // in_flight still counted, hanging drain and the job's waiter)
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| run.item.execute(t, scratch))) {
+            self.fail_run(run, panic_error(p));
+            return;
+        }
         let end = self.epoch.elapsed().as_secs_f64();
         run.spans.lock().push(TaskSpan {
             core: me,
@@ -299,6 +321,28 @@ impl<S: PoolStorage> Engine<S> {
         {
             self.finish_run(run);
         }
+    }
+
+    /// A task body panicked: fail the whole run, once (`finishing`
+    /// arbitrates against a concurrent normal finish). Removing the run
+    /// from `active` stops workers popping its remaining tasks; peers
+    /// already executing one may finish or panic harmlessly — the sink
+    /// is gone and `done` can no longer trigger `finish_run`.
+    fn fail_run(&self, run: &Arc<LargeRun<S>>, err: CaluError) {
+        if run.finishing.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        {
+            let mut st = self.state.lock();
+            st.active.retain(|r| !Arc::ptr_eq(r, run));
+        }
+        let sink = run.sink.lock().take().expect("run finishes once");
+        sink.finished(Err(err));
+        let mut st = self.state.lock();
+        st.in_flight -= 1;
+        drop(st);
+        self.idle.notify_all();
+        self.work.notify_all();
     }
 
     /// Extract a drained run's results and deliver them. Called by
@@ -357,9 +401,22 @@ impl<S: PoolStorage> Engine<S> {
         self.work.notify_all();
     }
 
+    /// One claimed job reached a terminal state without ever running a
+    /// task: deliver, release its in-flight slot, wake `drain`.
+    fn end_job(&self, sink: Box<dyn JobSink>, res: Result<PoolOutcome, CaluError>) {
+        sink.finished(res);
+        let mut st = self.state.lock();
+        st.in_flight -= 1;
+        drop(st);
+        self.idle.notify_all();
+    }
+
     /// Run one claimed job. Small jobs complete entirely on this
     /// worker; large ones are published as a [`LargeRun`] for the pool
-    /// to drain co-operatively.
+    /// to drain co-operatively. Source materialization, tile builds and
+    /// kernels all run under `catch_unwind`: a panicking job fails its
+    /// own sink instead of killing the worker (which would strand the
+    /// in-flight count and hang `drain` and the job's waiter).
     fn start_job(
         &self,
         class: JobClass,
@@ -374,6 +431,69 @@ impl<S: PoolStorage> Engine<S> {
         let (m, n) = dims;
         let co_schedule = self.cfg.batch_threads_per_item < self.cfg.threads;
         let small = co_schedule && m.max(n) <= self.cfg.batch_small_cutoff;
+
+        if small {
+            let res = catch_unwind(AssertUnwindSafe(|| self.run_small(source, dims, me, scratch)));
+            self.end_job(sink, res.map_err(panic_error));
+            return;
+        }
+
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            let a = source.materialize();
+            let g = Arc::new(TaskGraph::build_calu(m, n, self.cfg.b, self.leaf_stride));
+            let nstatic = nstatic_for(self.cfg.dratio, g.num_panels());
+            let item = ItemState::new(S::build(&a, self.cfg.b, self.grid), g, self.grid, nstatic);
+            (a, item)
+        }));
+        let (a, item) = match built {
+            Ok(parts) => parts,
+            Err(p) => {
+                self.end_job(sink, Err(panic_error(p)));
+                return;
+            }
+        };
+        let total = item.g.len();
+        let run = Arc::new(LargeRun {
+            total,
+            local: (0..self.threads())
+                .map(|_| Mutex::new(BinaryHeap::new()))
+                .collect(),
+            dynamic: Mutex::new(BinaryHeap::new()),
+            spans: Mutex::new(Vec::new()),
+            stats: Mutex::new(vec![ThreadStats::default(); self.threads()]),
+            sink: Mutex::new(Some(sink)),
+            a: self.verify.then_some(a),
+            dims,
+            finishing: AtomicBool::new(false),
+            class_rank: class.lane(),
+            seq,
+            item,
+        });
+        for t in run.item.g.initial_ready() {
+            run.push_ready(t);
+        }
+        {
+            let mut st = self.state.lock();
+            let key = (run.class_rank, run.seq);
+            let pos = st
+                .active
+                .partition_point(|r| (r.class_rank, r.seq) <= key);
+            st.active.insert(pos, Arc::clone(&run));
+        }
+        self.work.notify_all();
+    }
+
+    /// The co-scheduled (small) route: materialize, build and drain the
+    /// whole DAG worker-locally — the batch path's
+    /// `run_item_sequential`, so the bits match a solo run.
+    fn run_small(
+        &self,
+        source: PoolSource,
+        dims: (usize, usize),
+        me: usize,
+        scratch: &mut GemmScratch,
+    ) -> PoolOutcome {
+        let (m, n) = dims;
         let a = source.materialize();
         let g = Arc::new(TaskGraph::build_calu(m, n, self.cfg.b, self.leaf_stride));
         let nstatic = nstatic_for(self.cfg.dratio, g.num_panels());
@@ -383,92 +503,55 @@ impl<S: PoolStorage> Engine<S> {
             self.grid,
             nstatic,
         );
-
-        if small {
-            let mut haul = WorkerHaul {
-                spans: Vec::new(),
-                stats: vec![ThreadStats::default()],
-                start_offset: 0.0,
-                failed_sweeps: 0,
-            };
-            run_item_sequential(&item, 0, me, scratch, &self.epoch, &mut haul);
-            let (s, perm, singular_at) = item.finish();
-            let mut lu = s.to_dense();
-            apply_left_swaps(&mut lu, &g, &perm, self.cfg.b);
-            let factorization = Factorization {
-                lu,
-                perm,
-                singular_at,
-            };
-            let (residual, growth_factor) = if self.verify {
-                (
-                    Some(factorization.residual(&a)),
-                    Some(factorization.growth_factor(&a)),
-                )
-            } else {
-                (None, None)
-            };
-            drop(a);
-            let t_start = haul
-                .spans
-                .iter()
-                .map(|(_, s)| s.start)
-                .fold(f64::INFINITY, f64::min);
-            let mut timeline = Timeline::new(self.threads());
-            for (_, s) in &haul.spans {
-                timeline.push(TaskSpan {
-                    start: s.start - t_start,
-                    end: s.end - t_start,
-                    ..*s
-                });
-            }
-            let mut stats = vec![ThreadStats::default(); self.threads()];
-            stats[me] = haul.stats[0];
-            let makespan = timeline.makespan();
-            sink.finished(Ok(PoolOutcome {
-                factorization,
-                timeline,
-                stats,
-                makespan,
-                co_scheduled: true,
-                dims,
-                residual,
-                growth_factor,
-            }));
-            let mut st = self.state.lock();
-            st.in_flight -= 1;
-            drop(st);
-            self.idle.notify_all();
+        let mut haul = WorkerHaul {
+            spans: Vec::new(),
+            stats: vec![ThreadStats::default()],
+            start_offset: 0.0,
+            failed_sweeps: 0,
+        };
+        run_item_sequential(&item, 0, me, scratch, &self.epoch, &mut haul);
+        let (s, perm, singular_at) = item.finish();
+        let mut lu = s.to_dense();
+        apply_left_swaps(&mut lu, &g, &perm, self.cfg.b);
+        let factorization = Factorization {
+            lu,
+            perm,
+            singular_at,
+        };
+        let (residual, growth_factor) = if self.verify {
+            (
+                Some(factorization.residual(&a)),
+                Some(factorization.growth_factor(&a)),
+            )
         } else {
-            let total = g.len();
-            let run = Arc::new(LargeRun {
-                total,
-                local: (0..self.threads())
-                    .map(|_| Mutex::new(BinaryHeap::new()))
-                    .collect(),
-                dynamic: Mutex::new(BinaryHeap::new()),
-                spans: Mutex::new(Vec::new()),
-                stats: Mutex::new(vec![ThreadStats::default(); self.threads()]),
-                sink: Mutex::new(Some(sink)),
-                a: self.verify.then_some(a),
-                dims,
-                finishing: AtomicBool::new(false),
-                class_rank: class.lane(),
-                seq,
-                item,
+            (None, None)
+        };
+        drop(a);
+        let t_start = haul
+            .spans
+            .iter()
+            .map(|(_, s)| s.start)
+            .fold(f64::INFINITY, f64::min);
+        let mut timeline = Timeline::new(self.threads());
+        for (_, s) in &haul.spans {
+            timeline.push(TaskSpan {
+                start: s.start - t_start,
+                end: s.end - t_start,
+                ..*s
             });
-            for t in run.item.g.initial_ready() {
-                run.push_ready(t);
-            }
-            {
-                let mut st = self.state.lock();
-                let key = (run.class_rank, run.seq);
-                let pos = st
-                    .active
-                    .partition_point(|r| (r.class_rank, r.seq) <= key);
-                st.active.insert(pos, Arc::clone(&run));
-            }
-            self.work.notify_all();
+        }
+        let mut stats = vec![ThreadStats::default(); self.threads()];
+        stats[me] = haul.stats[0];
+        let makespan = timeline.makespan();
+        PoolOutcome {
+            factorization,
+            timeline,
+            stats,
+            makespan,
+            co_scheduled: true,
+            dims,
+            residual,
+            growth_factor,
         }
     }
 
@@ -476,6 +559,7 @@ impl<S: PoolStorage> Engine<S> {
         if self.cfg.pin_workers {
             pin_current_thread(host_topology().cpu_for_worker(me));
         }
+        let _guard = PanicGuard(&**self);
         let mut scratch = GemmScratch::sized_for(self.cfg.b, self.cfg.b, self.cfg.b);
         let mut ready_buf: Vec<TaskId> = Vec::new();
         {
@@ -498,16 +582,44 @@ impl<S: PoolStorage> Engine<S> {
                 self.start_job(class, seq, job, me, &mut scratch);
                 continue;
             }
-            if st.draining && st.active.is_empty() {
-                // no queued jobs, no co-operative work: any still
-                // in-flight small job finishes on its claimant, so this
-                // worker can leave
+            if st.draining && st.lanes.is_empty() && st.in_flight == 0 {
+                // truly nothing left: no queued jobs and no claimed
+                // ones. Gating on in_flight (not `active`) matters — a
+                // peer that popped a large job but has not yet published
+                // its run still holds an in-flight slot, and that run
+                // will assign static tasks to *this* worker's queue by
+                // block-cyclic ownership; leaving early would strand
+                // them (pop_coop has no stealing) and hang the drain
+                return;
+            }
+            if st.draining && st.poisoned {
+                // a peer died with a job claimed; that job can never
+                // finish, so leave and let drain fail fast at the join
                 return;
             }
             let _ = self
                 .work
                 .wait_timeout(st, IDLE_TICK)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Belt-and-braces behind `start_job`'s catch-unwind perimeter: if a
+/// panic still escapes a worker (a sink callback, the report-shaping
+/// code), mark the engine poisoned on the way down so `drain` stops
+/// waiting for progress that will never come and fails fast at the
+/// join instead of hanging.
+struct PanicGuard<'a, S: TileStorage>(&'a Engine<S>);
+
+impl<S: TileStorage> Drop for PanicGuard<'_, S> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let mut st = self.0.state.lock();
+            st.poisoned = true;
+            drop(st);
+            self.0.idle.notify_all();
+            self.0.work.notify_all();
         }
     }
 }
@@ -533,6 +645,7 @@ impl<S: PoolStorage> PoolCore<S> {
                 active: Vec::new(),
                 in_flight: 0,
                 draining: false,
+                poisoned: false,
                 workers_started: 0,
                 next_seq: 0,
             }),
@@ -565,20 +678,27 @@ impl<S: PoolStorage> PoolCore<S> {
         )
     }
 
-    fn submit(&self, id: u64, class: JobClass, source: PoolSource, sink: Box<dyn JobSink>) {
+    fn submit(
+        &self,
+        id: u64,
+        class: JobClass,
+        source: PoolSource,
+        sink: Box<dyn JobSink>,
+    ) -> Result<(), Box<dyn JobSink>> {
         let mut st = self.engine.state.lock();
         if st.draining {
             drop(st);
-            // the service layer rejects at admission; this is the
-            // pool's own belt-and-braces answer for direct users
-            sink.finished(Err(CaluError::InvalidConfig(
-                "pool is shutting down".into(),
-            )));
-            return;
+            // refuse by handing the sink back *uncalled*: callers may
+            // hold their own locks across submit (the service holds its
+            // admission lock so drain cannot slip between its check and
+            // ours), and a synchronous sink callback here could
+            // re-enter them — the caller decides how to fail the job
+            return Err(sink);
         }
         st.lanes.push(class, QueuedJob { id, source, sink });
         drop(st);
         self.engine.work.notify_all();
+        Ok(())
     }
 
     fn cancel(&self, id: u64) -> Option<Box<dyn JobSink>> {
@@ -595,7 +715,9 @@ impl<S: PoolStorage> PoolCore<S> {
         }
         self.engine.work.notify_all();
         let mut st = self.engine.state.lock();
-        while !(st.lanes.is_empty() && st.in_flight == 0) {
+        // a poisoned engine never makes progress again: stop waiting
+        // and let the join below propagate the worker's panic
+        while !(st.poisoned || st.lanes.is_empty() && st.in_flight == 0) {
             st = self
                 .engine
                 .idle
@@ -690,8 +812,18 @@ impl ServicePool {
 
     /// Enqueue a job. `id` is the caller's correlation key (used by
     /// [`cancel`](Self::cancel)); results leave through `sink`. After
-    /// [`drain`](Self::drain) the sink is immediately failed.
-    pub fn submit(&self, id: u64, class: JobClass, source: PoolSource, sink: Box<dyn JobSink>) {
+    /// [`drain`](Self::drain) began the job is refused and the sink is
+    /// handed back **uncalled** — never invoked synchronously, so
+    /// callers may hold their own locks across `submit` without risking
+    /// re-entrancy. The caller fails the returned sink however it sees
+    /// fit.
+    pub fn submit(
+        &self,
+        id: u64,
+        class: JobClass,
+        source: PoolSource,
+        sink: Box<dyn JobSink>,
+    ) -> Result<(), Box<dyn JobSink>> {
         dispatch!(self, c => c.submit(id, class, source, sink))
     }
 
@@ -767,13 +899,19 @@ mod tests {
         CaluConfig::new(16).with_threads(4).with_dratio(0.5)
     }
 
+    /// Assert a submit was admitted (the rejection arm returns the sink,
+    /// which has no `Debug` for a plain `unwrap`).
+    fn accept(r: Result<(), Box<dyn JobSink>>) {
+        assert!(r.is_ok(), "pool rejected a submit while not draining");
+    }
+
     #[test]
     fn small_jobs_match_solo_runs_bitwise() {
         let cfg = cfg4().with_batch_small_cutoff(100);
         let pool = ServicePool::spawn(&cfg, false, 4).unwrap();
         let (tx, rx) = mpsc::channel();
         for seed in 0..4u64 {
-            pool.submit(
+            accept(pool.submit(
                 seed,
                 JobClass::Batch,
                 PoolSource::Uniform {
@@ -782,7 +920,7 @@ mod tests {
                     seed,
                 },
                 Box::new(ChanSink(tx.clone())),
-            );
+            ));
         }
         let mut outcomes: Vec<PoolOutcome> = (0..4).map(|_| rx.recv().unwrap().unwrap()).collect();
         pool.drain();
@@ -811,12 +949,12 @@ mod tests {
         let pool = ServicePool::spawn(&cfg, true, 4).unwrap();
         let (tx, rx) = mpsc::channel();
         let a = gen::uniform(192, 192, 7);
-        pool.submit(
+        accept(pool.submit(
             1,
             JobClass::Interactive,
             PoolSource::Dense(a.clone()),
             Box::new(ChanSink(tx)),
-        );
+        ));
         let out = rx.recv().unwrap().unwrap();
         pool.drain();
         assert!(!out.co_scheduled);
@@ -840,7 +978,7 @@ mod tests {
         let n_jobs = 9;
         for i in 0..n_jobs {
             let class = JobClass::ALL[i % 3];
-            pool.submit(
+            accept(pool.submit(
                 i as u64,
                 class,
                 PoolSource::Uniform {
@@ -849,7 +987,7 @@ mod tests {
                     seed: i as u64,
                 },
                 Box::new(ChanSink(tx.clone())),
-            );
+            ));
         }
         pool.drain();
         // every job completed before drain returned
@@ -869,7 +1007,7 @@ mod tests {
         let cfg = cfg4().with_threads(1).with_batch_small_cutoff(0);
         let pool = ServicePool::spawn(&cfg, false, 4).unwrap();
         let (tx, rx) = mpsc::channel();
-        pool.submit(
+        accept(pool.submit(
             1,
             JobClass::Batch,
             PoolSource::Uniform {
@@ -878,8 +1016,8 @@ mod tests {
                 seed: 1,
             },
             Box::new(ChanSink(tx.clone())),
-        );
-        pool.submit(
+        ));
+        accept(pool.submit(
             2,
             JobClass::Batch,
             PoolSource::Uniform {
@@ -888,7 +1026,7 @@ mod tests {
                 seed: 2,
             },
             Box::new(ChanSink(tx.clone())),
-        );
+        ));
         let cancelled = pool.cancel(2).is_some();
         pool.drain();
         let done = rx.try_iter().count();
@@ -896,20 +1034,108 @@ mod tests {
     }
 
     #[test]
-    fn submit_after_drain_fails_the_sink() {
+    fn submit_after_drain_returns_the_sink_uncalled() {
         let pool = ServicePool::spawn(&cfg4(), false, 4).unwrap();
         pool.drain();
         let (tx, rx) = mpsc::channel();
-        pool.submit(
+        let rejected = pool.submit(
             1,
             JobClass::Interactive,
             PoolSource::Uniform { m: 8, n: 8, seed: 0 },
             Box::new(ChanSink(tx)),
         );
+        let sink = match rejected {
+            Ok(()) => panic!("a draining pool must refuse submits"),
+            Err(sink) => sink,
+        };
+        // the pool never invoked the sink — re-entrancy-safe for
+        // callers submitting under their own locks
+        assert!(rx.try_recv().is_err());
+        sink.finished(Err(CaluError::InvalidConfig("pool is shutting down".into())));
         assert!(matches!(
             rx.recv().unwrap(),
             Err(CaluError::InvalidConfig(_))
         ));
         pool.drain(); // idempotent
+    }
+
+    #[test]
+    fn drain_racing_a_large_job_claim_never_strands_it() {
+        // regression: drain() used to let idle workers exit on
+        // `draining && active.is_empty()`, which is observable while a
+        // peer has *claimed* a large job (in_flight counted) but not
+        // yet published its run — the run's static tasks then belonged
+        // to exited workers and the job never finished. Iterate to give
+        // the race room; the exit gate on in_flight must keep every
+        // worker around until the claimed job is done.
+        let cfg = cfg4().with_batch_small_cutoff(0); // every job co-operative
+        for round in 0..10u64 {
+            let pool = ServicePool::spawn(&cfg, false, 4).unwrap();
+            let (tx, rx) = mpsc::channel();
+            accept(pool.submit(
+                round,
+                JobClass::Batch,
+                PoolSource::Uniform {
+                    m: 128,
+                    n: 128,
+                    seed: round,
+                },
+                Box::new(ChanSink(tx)),
+            ));
+            // drain immediately: workers observe `draining` while the
+            // claimant is still materializing/building the run
+            pool.drain();
+            let out = rx.recv().expect("job stranded by drain").unwrap();
+            assert!(!out.co_scheduled);
+            assert!(out.factorization.is_nonsingular());
+        }
+    }
+
+    #[test]
+    fn panicking_job_fails_its_sink_and_the_pool_survives() {
+        // a 0×0 source trips `TaskGraph::build_calu`'s non-empty assert
+        // on the claiming worker; the panic must be contained to the
+        // job (sink failed with TaskPanic), not kill the worker
+        let cfg = cfg4().with_batch_small_cutoff(100);
+        let pool = ServicePool::spawn(&cfg, false, 4).unwrap();
+        let (tx, rx) = mpsc::channel();
+        accept(pool.submit(
+            1,
+            JobClass::Batch,
+            PoolSource::Uniform { m: 0, n: 0, seed: 0 },
+            Box::new(ChanSink(tx.clone())),
+        ));
+        assert!(matches!(
+            rx.recv().unwrap(),
+            Err(CaluError::TaskPanic(_))
+        ));
+        // same through the co-operative route: cutoff 0 with one
+        // non-zero dimension routes large, and the build still asserts
+        let large = ServicePool::spawn(&cfg4().with_batch_small_cutoff(0), false, 4).unwrap();
+        let (ltx, lrx) = mpsc::channel();
+        accept(large.submit(
+            2,
+            JobClass::Batch,
+            PoolSource::Uniform { m: 0, n: 5, seed: 0 },
+            Box::new(ChanSink(ltx)),
+        ));
+        assert!(matches!(
+            lrx.recv().unwrap(),
+            Err(CaluError::TaskPanic(_))
+        ));
+        // both pools keep serving after the panic
+        accept(pool.submit(
+            3,
+            JobClass::Batch,
+            PoolSource::Uniform {
+                m: 48,
+                n: 48,
+                seed: 3,
+            },
+            Box::new(ChanSink(tx)),
+        ));
+        assert!(rx.recv().unwrap().is_ok());
+        pool.drain();
+        large.drain();
     }
 }

@@ -438,8 +438,21 @@ impl<R: Send + 'static> FactorService<R> {
         // slip between the draining check above and the pool seeing the
         // job, so every admitted job is finished (never stranded) —
         // `drain` takes this lock to set `draining` before it touches
-        // the pool
-        self.pool.submit(id, class, spec.source, Box::new(sink));
+        // the pool. Holding the lock across `pool.submit` is safe
+        // because a pool rejection hands the sink back *uncalled*; a
+        // synchronous `finished` callback here would re-enter this
+        // same admission lock via `job_ended` and self-deadlock.
+        if let Err(sink) = self.pool.submit(id, class, spec.source, Box::new(sink)) {
+            // unreachable while the invariant above holds (pool
+            // draining implies we would have seen `adm.draining`), but
+            // handled without relying on it: roll back the admission
+            // and refuse
+            adm.pending_total -= 1;
+            adm.pending[lane] -= 1;
+            drop(adm);
+            drop(sink);
+            return Err(ServeError::ShuttingDown);
+        }
         drop(adm);
         Ok(JobHandle {
             id,

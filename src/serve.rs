@@ -36,7 +36,7 @@
 //! run bit for bit.
 
 use std::collections::VecDeque;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use calu_core::pool::PoolOutcome;
 use calu_sched::{QueueDiscipline, SchedulerKind};
@@ -224,10 +224,13 @@ where
                 }
                 Err(ServeError::Busy { .. }) => {
                     // admission full (other submitters share the warm
-                    // service): retire our oldest job and retry
+                    // service): retire our oldest job and retry; with
+                    // nothing of ours in flight, sleep a pool tick —
+                    // admission frees on *other* submitters' completions,
+                    // and yield-spinning on that would burn a core
                     match pending.pop_front() {
                         Some(done) => items.push(done.wait().map_err(serve_err)?),
-                        None => std::thread::yield_now(),
+                        None => std::thread::sleep(Duration::from_millis(1)),
                     }
                 }
                 Err(e) => return Err(serve_err(e)),
