@@ -3,9 +3,37 @@
 //! CALU, the same techniques can be applied to other dense
 //! factorizations as Cholesky, QR, …" — here is Cholesky, same
 //! scheduler, same machine models, same Solver facade.
+//!
+//! Two sections: the machine-model sweep (large n on the simulated
+//! Intel/AMD boxes), and the **real** algorithm axis — CALU and tiled
+//! Cholesky executed side by side on the threaded backend via the
+//! kernel-set dispatch, Gflop/s on each algorithm's own nominal flops.
 
+use calu::matrix::gen;
 use calu::sim::MachineConfig;
+use calu::{Algorithm, MatrixSource, Solver};
 use calu_bench::{default_noise, gf, print_table, run_cholesky, sched_sweep};
+
+/// One real threaded run; Gflop/s on the algorithm's own nominal
+/// count, best of a few draws to smooth warm-up noise.
+fn real_gflops(algorithm: Algorithm, n: usize, threads: usize) -> f64 {
+    let run = || {
+        let source = match algorithm {
+            Algorithm::Cholesky => MatrixSource::Dense(gen::spd_uniform(n, 7)),
+            _ => MatrixSource::Dense(gen::uniform(n, n, 7)),
+        };
+        Solver::new(source)
+            .algorithm(algorithm)
+            .tile(calu_bench::block_for(n).min(64))
+            .threads(threads)
+            .dratio(0.1)
+            .verify(false)
+            .run()
+            .expect("real algorithm-axis run")
+            .gflops()
+    };
+    (0..3).map(|_| run()).fold(0.0, f64::max)
+}
 
 fn main() {
     for (name, mach) in [
@@ -35,6 +63,31 @@ fn main() {
             &rows,
         );
     }
+    // the real algorithm axis: both factorizations through the same
+    // threaded executor, kernel-set dispatch picking the tile bodies
+    let threads = 4;
+    let mut rows = Vec::new();
+    for n in [512usize, 1024, 1536] {
+        let lu = real_gflops(Algorithm::Calu, n, threads);
+        let ch = real_gflops(Algorithm::Cholesky, n, threads);
+        rows.push(vec![
+            n.to_string(),
+            gf(lu),
+            gf(ch),
+            format!("{:.2}", ch / lu),
+        ]);
+    }
+    print_table(
+        &format!("Real threaded execution, {threads} threads (Gflop/s on own nominal flops)"),
+        &[
+            "n".to_string(),
+            "CALU".into(),
+            "Cholesky".into(),
+            "Chol/CALU".into(),
+        ],
+        &rows,
+    );
+
     println!("\nThe same hybrid shape transfers: small dynamic share best, fully");
     println!("dynamic pays NUMA/dequeue costs — no pivoting barrier, so the gaps");
     println!("are smaller than CALU's, exactly as the theory predicts.");

@@ -29,6 +29,11 @@
 //! if the service path falls more than 10% below `Solver::batch` —
 //! the admission/handle layer must stay thin.
 //!
+//! The algorithm axis runs tiled Cholesky and CALU at equal n = 1024 on
+//! the real executor (`cholesky_1024_secs` / `cholesky_lu_1024_secs`,
+//! both gated at the threaded tolerance) and fails outright if Cholesky
+//! — half LU's flops — takes more than 0.65× LU's makespan.
+//!
 //! Timing metrics are normalized by a fixed single-threaded calibration
 //! kernel before comparison (see `calu_bench::perf`), so a baseline
 //! recorded on one machine still gates a run on a different one.
@@ -48,7 +53,7 @@ use calu::dag::TaskGraph;
 use calu::kernels::{dgemm_packed, GemmScratch};
 use calu::matrix::{gen, ProcessGrid};
 use calu::sched::{make_policy_with, QueueDiscipline, SchedulerKind};
-use calu::{service_batch, MatrixSource, Report, Solver};
+use calu::{service_batch, Algorithm, MatrixSource, Report, Solver};
 use calu_bench::perf::{
     calibration_secs, compare_with, min_of, parse_flat_json, write_flat_json, CALIBRATION_KEY,
 };
@@ -171,6 +176,36 @@ fn batch_throughput() -> (f64, f64, f64) {
     )
 }
 
+/// The algorithm axis of the threaded gate: tiled Cholesky vs CALU at
+/// equal n = 1024 on the same 4-thread executor. Cholesky bills `n³/3`
+/// flops to LU's `2n³/3`, so its makespan must land well under LU's —
+/// the in-binary check below holds it to ≤ 0.65× (half the flops, minus
+/// some slack for the thinner DAG's lower parallelism). Returns
+/// `(cholesky_secs, lu_secs)`, makespan minima over interleaved draws.
+const ALGO_N: usize = 1024;
+const ALGO_ITERS: usize = 3;
+
+fn algorithm_axis() -> (f64, f64) {
+    let cholesky = Solver::new(MatrixSource::spd_uniform(ALGO_N, SEED))
+        .algorithm(Algorithm::Cholesky)
+        .tile(B)
+        .threads(THREADS)
+        .dratio(DRATIO)
+        .verify(false);
+    let lu = Solver::new(MatrixSource::uniform(ALGO_N, SEED))
+        .tile(B)
+        .threads(THREADS)
+        .dratio(DRATIO)
+        .verify(false);
+    let mut ch_secs = f64::INFINITY;
+    let mut lu_secs = f64::INFINITY;
+    for _ in 0..ALGO_ITERS {
+        ch_secs = ch_secs.min(cholesky.run().expect("cholesky smoke").makespan);
+        lu_secs = lu_secs.min(lu.run().expect("lu smoke").makespan);
+    }
+    (ch_secs, lu_secs)
+}
+
 fn threaded(queue: QueueDiscipline) -> (f64, Report) {
     let a = gen::uniform(N, N, SEED);
     let solver = Solver::new(a)
@@ -287,6 +322,7 @@ fn main() -> ExitCode {
     // the pooled path allocates its whole working set up front and is
     // more sensitive to a fragmented arena than the one-at-a-time loop
     let (batch_ips, loop_ips, serve_jps) = batch_throughput();
+    let (cholesky_secs, cholesky_lu_secs) = algorithm_axis();
     let (global_secs, _) = threaded(QueueDiscipline::Global);
     let (sharded_secs, sharded_report) = threaded(QueueDiscipline::Sharded { seed: SEED });
     let (lockfree_secs, lockfree_report) = threaded(QueueDiscipline::LockFree { seed: SEED });
@@ -347,6 +383,13 @@ fn main() -> ExitCode {
         // ungated; the in-binary 0.9× floor below enforces it)
         ("serve_jobs_per_sec", serve_jps),
         ("serve_vs_batch_ratio", serve_jps / batch_ips),
+        // the algorithm axis: tiled Cholesky and CALU at equal n=1024
+        // on the real executor, both gated at the threaded tolerance
+        // (4-thread wall clock); the ratio is recorded ungated — the
+        // in-binary 0.65× ceiling below enforces it absolutely
+        ("cholesky_1024_secs", cholesky_secs),
+        ("cholesky_lu_1024_secs", cholesky_lu_secs),
+        ("cholesky_vs_lu_ratio", cholesky_secs / cholesky_lu_secs),
     ]
     .into_iter()
     .map(|(k, v)| (k.to_string(), v))
@@ -398,6 +441,23 @@ fn main() -> ExitCode {
         serve_jps / batch_ips
     );
 
+    // the algorithm-axis criterion is absolute too: Cholesky runs half
+    // LU's flops at equal n, so on this very host it must finish in at
+    // most 0.65× LU's makespan — a Cholesky kernel or DAG regression
+    // fails here even when both absolute timings still clear their
+    // baseline gates
+    if cholesky_secs > 0.65 * cholesky_lu_secs {
+        eprintln!(
+            "perf-smoke FAILED: tiled Cholesky ({cholesky_secs:.3}s) is over 0.65x \
+             CALU ({cholesky_lu_secs:.3}s) at n={ALGO_N}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "cholesky vs lu at n={ALGO_N}: {:.2}x ({cholesky_secs:.3}s vs {cholesky_lu_secs:.3}s)",
+        cholesky_secs / cholesky_lu_secs
+    );
+
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -405,10 +465,12 @@ fn main() -> ExitCode {
         // batch_* and serve_* rates are 4-thread wall-clock figures
         // like threaded_*, so they share the looser
         // parallel-efficiency tolerance
+        // cholesky_* timings are 4-thread wall-clock figures too
         let tol_for = |key: &str| {
             if key.starts_with("threaded_")
                 || key.starts_with("batch_")
                 || key.starts_with("serve_")
+                || key.starts_with("cholesky_")
             {
                 threaded_tolerance
             } else {

@@ -59,7 +59,9 @@ use crate::config::CaluConfig;
 use crate::error::CaluError;
 use crate::factorization::Factorization;
 use crate::sync::{pin_current_thread, Mutex};
-use crate::threaded::{apply_left_swaps, host_topology, steal_sweep, ItemState, ThreadStats};
+use crate::threaded::{
+    apply_left_swaps, host_topology, steal_sweep, ItemState, KernelSet, ThreadStats,
+};
 
 /// What one batch item factors: either a caller-held dense matrix, or
 /// a *generator* whose tile data is built lazily on the worker that
@@ -80,6 +82,16 @@ pub enum BatchSource<'a> {
         /// Generator seed.
         seed: u64,
     },
+    /// A seeded symmetric positive-definite generator matrix
+    /// (`calu_matrix::gen::spd_uniform`) — the natural source for
+    /// [`KernelSet::Cholesky`] items, materialized on the worker that
+    /// claims the item.
+    SpdUniform {
+        /// Order (the matrix is `n×n`).
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
 }
 
 impl BatchSource<'_> {
@@ -88,15 +100,47 @@ impl BatchSource<'_> {
         match self {
             BatchSource::Dense(a) => (a.rows(), a.cols()),
             BatchSource::Uniform { m, n, .. } => (*m, *n),
+            BatchSource::SpdUniform { n, .. } => (*n, *n),
         }
     }
 
     /// The element data: borrowed for [`BatchSource::Dense`], generated
-    /// on the calling thread for [`BatchSource::Uniform`].
+    /// on the calling thread for the generator variants.
     pub fn materialize(&self) -> Cow<'_, DenseMatrix> {
         match self {
             BatchSource::Dense(a) => Cow::Borrowed(*a),
             BatchSource::Uniform { m, n, seed } => Cow::Owned(gen::uniform(*m, *n, *seed)),
+            BatchSource::SpdUniform { n, seed } => Cow::Owned(gen::spd_uniform(*n, *seed)),
+        }
+    }
+}
+
+/// One item of a mixed-algorithm batch: the matrix source plus the
+/// [`KernelSet`] that factors it. [`factor_batch`] accepts any mix —
+/// CALU and Cholesky items share the pool, the queues and the per-worker
+/// scratch arenas; only the per-task kernels differ.
+#[derive(Debug, Clone)]
+pub struct BatchItem<'a> {
+    /// What to factor.
+    pub source: BatchSource<'a>,
+    /// Which algorithm's tile kernels factor it.
+    pub kernels: KernelSet,
+}
+
+impl<'a> BatchItem<'a> {
+    /// A CALU (LU) item.
+    pub fn lu(source: BatchSource<'a>) -> Self {
+        BatchItem {
+            source,
+            kernels: KernelSet::CaluLu,
+        }
+    }
+
+    /// A tiled-Cholesky item (its source must be square).
+    pub fn cholesky(source: BatchSource<'a>) -> Self {
+        BatchItem {
+            source,
+            kernels: KernelSet::Cholesky,
         }
     }
 }
@@ -727,21 +771,38 @@ pub fn calu_factor_batch_from(
     sources: &[BatchSource<'_>],
     cfg: &CaluConfig,
 ) -> Result<BatchOutcome, CaluError> {
+    let items: Vec<BatchItem<'_>> = sources.iter().cloned().map(BatchItem::lu).collect();
+    factor_batch(&items, cfg)
+}
+
+/// Factor a mixed-algorithm batch: each [`BatchItem`] names its own
+/// [`KernelSet`], so one sweep — one pool spawn, one batch-level queue
+/// set, one scratch arena per worker — can interleave CALU and tiled
+/// Cholesky factorizations. Per item the result is bitwise-identical to
+/// the matching solo call ([`crate::calu_factor`] /
+/// [`crate::cholesky_factor`]) with the same config.
+pub fn factor_batch(items: &[BatchItem<'_>], cfg: &CaluConfig) -> Result<BatchOutcome, CaluError> {
     let grid = cfg.validate()?;
-    if sources.is_empty() {
+    if items.is_empty() {
         return Err(CaluError::InvalidConfig(
             "a batch needs at least one matrix".into(),
         ));
     }
+    let sources: Vec<BatchSource<'_>> = items.iter().map(|it| it.source.clone()).collect();
     let dims: Vec<(usize, usize)> = sources.iter().map(BatchSource::dims).collect();
     if dims.iter().any(|&(m, n)| m == 0 || n == 0) {
         return Err(CaluError::EmptyMatrix);
     }
     let leaf_stride = cfg.leaf_stride.unwrap_or_else(|| grid.pr());
-    let graphs: Vec<Arc<TaskGraph>> = dims
+    let graphs: Vec<Arc<TaskGraph>> = items
         .iter()
-        .map(|&(m, n)| Arc::new(TaskGraph::build_calu(m, n, cfg.b, leaf_stride)))
-        .collect();
+        .zip(&dims)
+        .map(|(it, &(m, n))| {
+            it.kernels
+                .build_graph(m, n, cfg.b, leaf_stride)
+                .map(Arc::new)
+        })
+        .collect::<Result<_, _>>()?;
     // co-scheduling applies to items at or under the cutoff, and only
     // while co-scheduled items use fewer workers than the pool has
     let co_schedule = cfg.batch_threads_per_item < cfg.threads;
@@ -753,7 +814,7 @@ pub fn calu_factor_batch_from(
     macro_rules! run_layout {
         ($make:expr, $into:expr) => {{
             let (results, wall, spawn, failed) =
-                batch_tiled(sources, &graphs, &small, grid, cfg, &$make, &$into);
+                batch_tiled(&sources, &graphs, &small, grid, cfg, &$make, &$into);
             let items = results
                 .into_iter()
                 .enumerate()
@@ -910,6 +971,91 @@ mod tests {
             );
             assert_eq!(d.factorization.perm.pivots(), l.factorization.perm.pivots());
             assert_eq!(d.co_scheduled, l.co_scheduled, "item {i}");
+        }
+    }
+
+    #[test]
+    fn mixed_lu_and_cholesky_batch_matches_solo_bitwise() {
+        // small (co-scheduled) and large (co-operative) items of both
+        // kernel sets through one pool; each must match its solo driver
+        let lu_mats: Vec<DenseMatrix> = [(48usize, 31u64), (450, 32)]
+            .iter()
+            .map(|&(n, seed)| gen::uniform(n, n, seed))
+            .collect();
+        let spd_mats: Vec<DenseMatrix> = [(64usize, 33u64), (300, 34)]
+            .iter()
+            .map(|&(n, seed)| gen::spd_uniform(n, seed))
+            .collect();
+        let items: Vec<BatchItem<'_>> = vec![
+            BatchItem::lu(BatchSource::Dense(&lu_mats[0])),
+            BatchItem::cholesky(BatchSource::Dense(&spd_mats[0])),
+            BatchItem::lu(BatchSource::Dense(&lu_mats[1])),
+            BatchItem::cholesky(BatchSource::Dense(&spd_mats[1])),
+        ];
+        let cfg = cfg4().with_batch_small_cutoff(100);
+        let out = factor_batch(&items, &cfg).unwrap();
+        assert_eq!(out.items.len(), 4);
+
+        let solo_lu0 = calu_factor(&lu_mats[0], &cfg).unwrap();
+        let solo_lu1 = calu_factor(&lu_mats[1], &cfg).unwrap();
+        let solo_ch0 = crate::threaded::cholesky_factor(&spd_mats[0], &cfg).unwrap();
+        let solo_ch1 = crate::threaded::cholesky_factor(&spd_mats[1], &cfg).unwrap();
+        for (i, solo) in [solo_lu0, solo_ch0, solo_lu1, solo_ch1].iter().enumerate() {
+            assert_eq!(
+                out.items[i].factorization.lu.as_slice(),
+                solo.lu.as_slice(),
+                "item {i}: mixed batch must match solo bitwise"
+            );
+        }
+        // Cholesky items: identity perm, tight reconstruction residual
+        for (item, a) in [(&out.items[1], &spd_mats[0]), (&out.items[3], &spd_mats[1])] {
+            assert!(item.factorization.perm.pivots().is_empty());
+            let r = item.factorization.cholesky_residual(a);
+            assert!(r < 1e-13, "cholesky residual {r}");
+        }
+        assert!(out.items[0].co_scheduled && out.items[1].co_scheduled);
+        assert!(!out.items[2].co_scheduled && !out.items[3].co_scheduled);
+    }
+
+    #[test]
+    fn spd_generator_items_match_dense_sources_bitwise() {
+        let dims_seeds = [(64usize, 41u64), (300, 42)];
+        let mats: Vec<DenseMatrix> = dims_seeds
+            .iter()
+            .map(|&(n, seed)| gen::spd_uniform(n, seed))
+            .collect();
+        let dense: Vec<BatchItem<'_>> = mats
+            .iter()
+            .map(|a| BatchItem::cholesky(BatchSource::Dense(a)))
+            .collect();
+        let lazy: Vec<BatchItem<'_>> = dims_seeds
+            .iter()
+            .map(|&(n, seed)| BatchItem::cholesky(BatchSource::SpdUniform { n, seed }))
+            .collect();
+        let cfg = cfg4().with_batch_small_cutoff(100);
+        let d = factor_batch(&dense, &cfg).unwrap();
+        let l = factor_batch(&lazy, &cfg).unwrap();
+        for (i, (a, b)) in d.items.iter().zip(&l.items).enumerate() {
+            assert_eq!(
+                a.factorization.lu.as_slice(),
+                b.factorization.lu.as_slice(),
+                "item {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn cholesky_batch_item_rejects_rectangular_source() {
+        let items = [BatchItem::cholesky(BatchSource::Uniform {
+            m: 40,
+            n: 32,
+            seed: 1,
+        })];
+        match factor_batch(&items, &cfg4()) {
+            Err(CaluError::InvalidConfig(msg)) => {
+                assert!(msg.contains("square"), "msg: {msg}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
         }
     }
 

@@ -35,6 +35,25 @@ impl Factorization {
         norms::frobenius(&diff) / norms::frobenius(a).max(f64::MIN_POSITIVE)
     }
 
+    /// Lower-triangular Cholesky factor `L` (non-unit diagonal) read
+    /// from the packed storage — meaningful only for factorizations
+    /// produced by the Cholesky kernel set, whose `lu` holds `L` on and
+    /// below the diagonal and the untouched input above it.
+    pub fn cholesky_l(&self) -> DenseMatrix {
+        let n = self.lu.rows();
+        DenseMatrix::from_fn(n, n, |i, j| if i >= j { self.lu.get(i, j) } else { 0.0 })
+    }
+
+    /// Relative residual `‖A − L·Lᵀ‖_F / ‖A‖_F` of a Cholesky
+    /// factorization (the permutation is the identity — Cholesky does
+    /// not pivot).
+    pub fn cholesky_residual(&self, a: &DenseMatrix) -> f64 {
+        let l = self.cholesky_l();
+        let lt = DenseMatrix::from_fn(l.rows(), l.rows(), |i, j| l.get(j, i));
+        let diff = ops::sub(&ops::matmul(&l, &lt), a);
+        norms::frobenius(&diff) / norms::frobenius(a).max(f64::MIN_POSITIVE)
+    }
+
     /// Element growth factor `max|U| / max|A|` — the pivoting-stability
     /// figure the paper cites for tournament vs. partial pivoting.
     pub fn growth_factor(&self, a: &DenseMatrix) -> f64 {

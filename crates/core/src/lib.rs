@@ -54,7 +54,8 @@ pub mod tslu;
 pub mod verify;
 
 pub use batch::{
-    calu_factor_batch, calu_factor_batch_from, BatchItemOutcome, BatchOutcome, BatchSource,
+    calu_factor_batch, calu_factor_batch_from, factor_batch, BatchItem, BatchItemOutcome,
+    BatchOutcome, BatchSource,
 };
 pub use config::{CaluConfig, DEFAULT_BATCH_SMALL_CUTOFF};
 pub use error::CaluError;
@@ -63,4 +64,7 @@ pub use gepp::gepp_factor;
 pub use incpiv::{incpiv_factor, IncPivFactors};
 pub use pool::{JobSink, PoolOutcome, PoolSource, ServicePool};
 pub use simple::calu_simple;
-pub use threaded::{calu_factor, calu_factor_report, calu_factor_traced, ThreadStats};
+pub use threaded::{
+    calu_factor, calu_factor_report, calu_factor_traced, cholesky_factor, cholesky_factor_report,
+    KernelSet, ThreadStats,
+};

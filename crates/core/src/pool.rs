@@ -39,7 +39,7 @@ use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use calu_dag::{TaskGraph, TaskId};
+use calu_dag::TaskId;
 use calu_kernels::GemmScratch;
 use calu_matrix::{
     gen, BclMatrix, CmTiles, DenseMatrix, Layout, ProcessGrid, TileStorage, TlbMatrix,
@@ -52,7 +52,7 @@ use crate::config::CaluConfig;
 use crate::error::CaluError;
 use crate::factorization::Factorization;
 use crate::sync::{pin_current_thread, Mutex};
-use crate::threaded::{apply_left_swaps, host_topology, ItemState, ThreadStats};
+use crate::threaded::{apply_left_swaps, host_topology, ItemState, KernelSet, ThreadStats};
 
 /// What one service job factors. Owned (`'static`) so a job can outlive
 /// its submitter: either dense data moved in, or a seeded generator
@@ -71,6 +71,16 @@ pub enum PoolSource {
         /// Generator seed.
         seed: u64,
     },
+    /// A seeded symmetric positive-definite generator matrix,
+    /// materialized on the claiming worker
+    /// (`calu_matrix::gen::spd_uniform`) — the natural source for
+    /// [`KernelSet::Cholesky`] jobs.
+    SpdUniform {
+        /// Order (the matrix is `n×n`).
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
 }
 
 impl PoolSource {
@@ -79,15 +89,17 @@ impl PoolSource {
         match self {
             PoolSource::Dense(a) => (a.rows(), a.cols()),
             PoolSource::Uniform { m, n, .. } => (*m, *n),
+            PoolSource::SpdUniform { n, .. } => (*n, *n),
         }
     }
 
-    /// The element data, generated on the calling thread for
-    /// [`PoolSource::Uniform`].
+    /// The element data, generated on the calling thread for the
+    /// generator variants.
     pub fn materialize(self) -> DenseMatrix {
         match self {
             PoolSource::Dense(a) => a,
             PoolSource::Uniform { m, n, seed } => gen::uniform(m, n, seed),
+            PoolSource::SpdUniform { n, seed } => gen::spd_uniform(n, seed),
         }
     }
 }
@@ -96,9 +108,12 @@ impl PoolSource {
 /// material the service's report builder shapes into a facade `Report`.
 #[derive(Debug)]
 pub struct PoolOutcome {
-    /// The factors, bitwise-identical to a solo `calu_factor` with the
-    /// same config.
+    /// The factors, bitwise-identical to a solo `calu_factor` /
+    /// `cholesky_factor` with the same config.
     pub factorization: Factorization,
+    /// Which algorithm's kernels factored the job — the service's
+    /// report builder keys its residual/flops shaping on this.
+    pub kernels: KernelSet,
     /// Per-worker spans, time-shifted so the job's first task starts
     /// at 0.
     pub timeline: Timeline,
@@ -111,9 +126,11 @@ pub struct PoolOutcome {
     pub co_scheduled: bool,
     /// `(rows, cols)` of the input.
     pub dims: (usize, usize),
-    /// `‖PA − LU‖ / ‖A‖`, when the pool was spawned with verification.
+    /// `‖PA − LU‖ / ‖A‖` (LU jobs) or `‖A − LLᵀ‖ / ‖A‖` (Cholesky
+    /// jobs), when the pool was spawned with verification.
     pub residual: Option<f64>,
-    /// Element growth factor, when verification is on.
+    /// Element growth factor, when verification is on — LU jobs only
+    /// (Cholesky does not pivot, so the figure is meaningless there).
     pub growth_factor: Option<f64>,
 }
 
@@ -154,6 +171,20 @@ impl PoolStorage for TlbMatrix {
     }
 }
 
+/// The verification figures a `verify` pool reports per job: each
+/// kernel set's own residual, plus element growth for pivoted LU only
+/// (Cholesky does not pivot, so the figure is meaningless there).
+fn verify_figures(
+    kernels: KernelSet,
+    f: &Factorization,
+    a: &DenseMatrix,
+) -> (Option<f64>, Option<f64>) {
+    match kernels {
+        KernelSet::CaluLu => (Some(f.residual(a)), Some(f.growth_factor(a))),
+        KernelSet::Cholesky => (Some(f.cholesky_residual(a)), None),
+    }
+}
+
 /// Best-effort panic payload → job error. `panic!` carries a `&str` or
 /// a formatted `String`; anything else keeps only the fact.
 fn panic_error(payload: Box<dyn std::any::Any + Send>) -> CaluError {
@@ -168,6 +199,7 @@ fn panic_error(payload: Box<dyn std::any::Any + Send>) -> CaluError {
 /// A job waiting in the lanes.
 struct QueuedJob {
     id: u64,
+    kernels: KernelSet,
     source: PoolSource,
     sink: Box<dyn JobSink>,
 }
@@ -363,11 +395,9 @@ impl<S: PoolStorage> Engine<S> {
             perm,
             singular_at,
         };
+        let kernels = KernelSet::for_graph(&run.item.g);
         let (residual, growth_factor) = match &run.a {
-            Some(a) => (
-                Some(factorization.residual(a)),
-                Some(factorization.growth_factor(a)),
-            ),
+            Some(a) => verify_figures(kernels, &factorization, a),
             None => (None, None),
         };
         let spans = std::mem::take(&mut *run.spans.lock());
@@ -386,6 +416,7 @@ impl<S: PoolStorage> Engine<S> {
         // deliver with no pool lock held: sinks may take service locks
         sink.finished(Ok(PoolOutcome {
             factorization,
+            kernels,
             timeline,
             stats,
             makespan,
@@ -425,7 +456,12 @@ impl<S: PoolStorage> Engine<S> {
         me: usize,
         scratch: &mut GemmScratch,
     ) {
-        let QueuedJob { source, sink, .. } = job;
+        let QueuedJob {
+            kernels,
+            source,
+            sink,
+            ..
+        } = job;
         sink.started();
         let dims = source.dims();
         let (m, n) = dims;
@@ -433,20 +469,26 @@ impl<S: PoolStorage> Engine<S> {
         let small = co_schedule && m.max(n) <= self.cfg.batch_small_cutoff;
 
         if small {
-            let res = catch_unwind(AssertUnwindSafe(|| self.run_small(source, dims, me, scratch)));
-            self.end_job(sink, res.map_err(panic_error));
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                self.run_small(kernels, source, dims, me, scratch)
+            }));
+            self.end_job(sink, res.map_err(panic_error).and_then(|r| r));
             return;
         }
 
-        let built = catch_unwind(AssertUnwindSafe(|| {
+        let built = catch_unwind(AssertUnwindSafe(|| -> Result<_, CaluError> {
             let a = source.materialize();
-            let g = Arc::new(TaskGraph::build_calu(m, n, self.cfg.b, self.leaf_stride));
+            let g = Arc::new(kernels.build_graph(m, n, self.cfg.b, self.leaf_stride)?);
             let nstatic = nstatic_for(self.cfg.dratio, g.num_panels());
             let item = ItemState::new(S::build(&a, self.cfg.b, self.grid), g, self.grid, nstatic);
-            (a, item)
+            Ok((a, item))
         }));
         let (a, item) = match built {
-            Ok(parts) => parts,
+            Ok(Ok(parts)) => parts,
+            Ok(Err(e)) => {
+                self.end_job(sink, Err(e));
+                return;
+            }
             Err(p) => {
                 self.end_job(sink, Err(panic_error(p)));
                 return;
@@ -488,14 +530,15 @@ impl<S: PoolStorage> Engine<S> {
     /// `run_item_sequential`, so the bits match a solo run.
     fn run_small(
         &self,
+        kernels: KernelSet,
         source: PoolSource,
         dims: (usize, usize),
         me: usize,
         scratch: &mut GemmScratch,
-    ) -> PoolOutcome {
+    ) -> Result<PoolOutcome, CaluError> {
         let (m, n) = dims;
         let a = source.materialize();
-        let g = Arc::new(TaskGraph::build_calu(m, n, self.cfg.b, self.leaf_stride));
+        let g = Arc::new(kernels.build_graph(m, n, self.cfg.b, self.leaf_stride)?);
         let nstatic = nstatic_for(self.cfg.dratio, g.num_panels());
         let item = ItemState::new(
             S::build(&a, self.cfg.b, self.grid),
@@ -519,10 +562,7 @@ impl<S: PoolStorage> Engine<S> {
             singular_at,
         };
         let (residual, growth_factor) = if self.verify {
-            (
-                Some(factorization.residual(&a)),
-                Some(factorization.growth_factor(&a)),
-            )
+            verify_figures(kernels, &factorization, &a)
         } else {
             (None, None)
         };
@@ -543,8 +583,9 @@ impl<S: PoolStorage> Engine<S> {
         let mut stats = vec![ThreadStats::default(); self.threads()];
         stats[me] = haul.stats[0];
         let makespan = timeline.makespan();
-        PoolOutcome {
+        Ok(PoolOutcome {
             factorization,
+            kernels,
             timeline,
             stats,
             makespan,
@@ -552,7 +593,7 @@ impl<S: PoolStorage> Engine<S> {
             dims,
             residual,
             growth_factor,
-        }
+        })
     }
 
     fn worker_loop(self: &Arc<Self>, me: usize) {
@@ -682,6 +723,7 @@ impl<S: PoolStorage> PoolCore<S> {
         &self,
         id: u64,
         class: JobClass,
+        kernels: KernelSet,
         source: PoolSource,
         sink: Box<dyn JobSink>,
     ) -> Result<(), Box<dyn JobSink>> {
@@ -695,7 +737,15 @@ impl<S: PoolStorage> PoolCore<S> {
             // re-enter them — the caller decides how to fail the job
             return Err(sink);
         }
-        st.lanes.push(class, QueuedJob { id, source, sink });
+        st.lanes.push(
+            class,
+            QueuedJob {
+                id,
+                kernels,
+                source,
+                sink,
+            },
+        );
         drop(st);
         self.engine.work.notify_all();
         Ok(())
@@ -811,20 +861,23 @@ impl ServicePool {
     }
 
     /// Enqueue a job. `id` is the caller's correlation key (used by
-    /// [`cancel`](Self::cancel)); results leave through `sink`. After
-    /// [`drain`](Self::drain) began the job is refused and the sink is
-    /// handed back **uncalled** — never invoked synchronously, so
-    /// callers may hold their own locks across `submit` without risking
-    /// re-entrancy. The caller fails the returned sink however it sees
-    /// fit.
+    /// [`cancel`](Self::cancel)); `kernels` names the algorithm's tile
+    /// kernels — one pool freely interleaves [`KernelSet::CaluLu`] and
+    /// [`KernelSet::Cholesky`] jobs; results leave through `sink`.
+    /// After [`drain`](Self::drain) began the job is refused and the
+    /// sink is handed back **uncalled** — never invoked synchronously,
+    /// so callers may hold their own locks across `submit` without
+    /// risking re-entrancy. The caller fails the returned sink however
+    /// it sees fit.
     pub fn submit(
         &self,
         id: u64,
         class: JobClass,
+        kernels: KernelSet,
         source: PoolSource,
         sink: Box<dyn JobSink>,
     ) -> Result<(), Box<dyn JobSink>> {
-        dispatch!(self, c => c.submit(id, class, source, sink))
+        dispatch!(self, c => c.submit(id, class, kernels, source, sink))
     }
 
     /// Remove a still-queued job. Returns its sink (uncalled) when the
@@ -914,6 +967,7 @@ mod tests {
             accept(pool.submit(
                 seed,
                 JobClass::Batch,
+                KernelSet::CaluLu,
                 PoolSource::Uniform {
                     m: 64,
                     n: 64,
@@ -952,6 +1006,7 @@ mod tests {
         accept(pool.submit(
             1,
             JobClass::Interactive,
+            KernelSet::CaluLu,
             PoolSource::Dense(a.clone()),
             Box::new(ChanSink(tx)),
         ));
@@ -971,6 +1026,75 @@ mod tests {
     }
 
     #[test]
+    fn mixed_lu_and_cholesky_jobs_share_one_pool() {
+        // one pool, both kernel sets, both routes (small + large)
+        let cfg = cfg4().with_batch_small_cutoff(100);
+        let pool = ServicePool::spawn(&cfg, true, 4).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let jobs: [(u64, KernelSet, PoolSource); 4] = [
+            (1, KernelSet::CaluLu, PoolSource::Uniform { m: 64, n: 64, seed: 1 }),
+            (2, KernelSet::Cholesky, PoolSource::SpdUniform { n: 64, seed: 2 }),
+            (3, KernelSet::CaluLu, PoolSource::Uniform { m: 192, n: 192, seed: 3 }),
+            (4, KernelSet::Cholesky, PoolSource::SpdUniform { n: 192, seed: 4 }),
+        ];
+        for (id, kernels, source) in jobs {
+            accept(pool.submit(
+                id,
+                JobClass::Batch,
+                kernels,
+                source,
+                Box::new(ChanSink(tx.clone())),
+            ));
+        }
+        let outcomes: Vec<PoolOutcome> = (0..4).map(|_| rx.recv().unwrap().unwrap()).collect();
+        pool.drain();
+        for n in [64usize, 192] {
+            let lu_in = gen::uniform(n, n, if n == 64 { 1 } else { 3 });
+            let spd_in = gen::spd_uniform(n, if n == 64 { 2 } else { 4 });
+            let solo_lu = calu_factor(&lu_in, &cfg).unwrap();
+            let solo_ch = crate::threaded::cholesky_factor(&spd_in, &cfg).unwrap();
+            let lu_out = outcomes
+                .iter()
+                .find(|o| o.dims == (n, n) && o.kernels == KernelSet::CaluLu)
+                .unwrap();
+            let ch_out = outcomes
+                .iter()
+                .find(|o| o.dims == (n, n) && o.kernels == KernelSet::Cholesky)
+                .unwrap();
+            assert_eq!(lu_out.factorization.lu.as_slice(), solo_lu.lu.as_slice());
+            assert_eq!(ch_out.factorization.lu.as_slice(), solo_ch.lu.as_slice());
+            assert!(lu_out.residual.unwrap() < 1e-12);
+            assert!(lu_out.growth_factor.is_some());
+            assert!(ch_out.residual.unwrap() < 1e-13);
+            assert!(ch_out.growth_factor.is_none(), "Cholesky has no growth");
+        }
+    }
+
+    #[test]
+    fn cholesky_job_with_rectangular_source_fails_typed() {
+        for cutoff in [100usize, 0] {
+            // both routes must refuse with InvalidConfig, not a panic
+            let pool =
+                ServicePool::spawn(&cfg4().with_batch_small_cutoff(cutoff), false, 4).unwrap();
+            let (tx, rx) = mpsc::channel();
+            accept(pool.submit(
+                1,
+                JobClass::Batch,
+                KernelSet::Cholesky,
+                PoolSource::Uniform { m: 96, n: 64, seed: 1 },
+                Box::new(ChanSink(tx)),
+            ));
+            match rx.recv().unwrap() {
+                Err(CaluError::InvalidConfig(msg)) => {
+                    assert!(msg.contains("square"), "msg: {msg}")
+                }
+                other => panic!("cutoff {cutoff}: expected InvalidConfig, got {other:?}"),
+            }
+            pool.drain();
+        }
+    }
+
+    #[test]
     fn drain_finishes_jobs_queued_in_every_class() {
         let cfg = cfg4().with_batch_small_cutoff(100).with_threads(2);
         let pool = ServicePool::spawn(&cfg, false, 4).unwrap();
@@ -981,6 +1105,7 @@ mod tests {
             accept(pool.submit(
                 i as u64,
                 class,
+                KernelSet::CaluLu,
                 PoolSource::Uniform {
                     m: 48,
                     n: 48,
@@ -1010,6 +1135,7 @@ mod tests {
         accept(pool.submit(
             1,
             JobClass::Batch,
+            KernelSet::CaluLu,
             PoolSource::Uniform {
                 m: 256,
                 n: 256,
@@ -1020,6 +1146,7 @@ mod tests {
         accept(pool.submit(
             2,
             JobClass::Batch,
+            KernelSet::CaluLu,
             PoolSource::Uniform {
                 m: 64,
                 n: 64,
@@ -1041,6 +1168,7 @@ mod tests {
         let rejected = pool.submit(
             1,
             JobClass::Interactive,
+            KernelSet::CaluLu,
             PoolSource::Uniform { m: 8, n: 8, seed: 0 },
             Box::new(ChanSink(tx)),
         );
@@ -1075,6 +1203,7 @@ mod tests {
             accept(pool.submit(
                 round,
                 JobClass::Batch,
+                KernelSet::CaluLu,
                 PoolSource::Uniform {
                     m: 128,
                     n: 128,
@@ -1102,6 +1231,7 @@ mod tests {
         accept(pool.submit(
             1,
             JobClass::Batch,
+            KernelSet::CaluLu,
             PoolSource::Uniform { m: 0, n: 0, seed: 0 },
             Box::new(ChanSink(tx.clone())),
         ));
@@ -1116,6 +1246,7 @@ mod tests {
         accept(large.submit(
             2,
             JobClass::Batch,
+            KernelSet::CaluLu,
             PoolSource::Uniform { m: 0, n: 5, seed: 0 },
             Box::new(ChanSink(ltx)),
         ));
@@ -1127,6 +1258,7 @@ mod tests {
         accept(pool.submit(
             3,
             JobClass::Batch,
+            KernelSet::CaluLu,
             PoolSource::Uniform {
                 m: 48,
                 n: 48,

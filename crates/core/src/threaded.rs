@@ -37,6 +37,22 @@
 //! configured tile dimension and reused across tasks, so the packed
 //! BLAS-3 kernels (trailing updates and triangular solves) run without
 //! per-task heap allocation.
+//!
+//! ## The kernel-set layer
+//!
+//! Everything above — the static/dynamic split, the queues, the steal
+//! tiers, the scratch arenas, the dependence counters — is
+//! **algorithm-blind**: it schedules opaque task IDs. What a task
+//! *does* is decided by the [`KernelSet`] the item derives from its
+//! graph's [`DagVariant`]: the CALU set runs tournament-pivoted panels,
+//! `A·U⁻¹` / `L⁻¹·A` solves and GEMM updates, while the tiled-Cholesky
+//! set ([`TaskGraph::build_cholesky`]) runs `dpotrf` panels,
+//! `A·L⁻ᵀ` solves and SYRK / `A·Bᵀ` GEMM updates over the lower
+//! triangle — no pivoting at all. Because the graph carries both the
+//! dependency shape and the kernel identity, the solo, batch and
+//! service-pool executors all pick the right kernels by simply building
+//! the right graph; [`cholesky_factor_report`] is `calu_factor_report`
+//! with a different graph constructor.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -44,8 +60,8 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use calu_dag::{PaperKind, TaskGraph, TaskId, TaskKind};
-use calu_kernels::{gemm, lu_nopiv_unblocked, trsm, GemmScratch};
+use calu_dag::{DagVariant, PaperKind, TaskGraph, TaskId, TaskKind};
+use calu_kernels::{gemm, lu_nopiv_unblocked, potrf, syrk, trsm, GemmScratch};
 use calu_matrix::{
     BclMatrix, CmTiles, DenseMatrix, Layout, ProcessGrid, RowPerm, TileStorage, TlbMatrix,
 };
@@ -131,6 +147,61 @@ struct PanelState {
     perm: OnceLock<RowPerm>,
 }
 
+/// The algorithm-indexed kernel set: which tile-task bodies an item's
+/// tasks run. Everything the scheduler does — queues, priorities, steal
+/// tiers, dependence counters — is shared across kernel sets; only the
+/// per-task math differs. Internally it is derived from the graph's
+/// [`DagVariant`], so the dependency shape and the kernels can never
+/// disagree; batched ([`crate::batch`]) and pooled ([`crate::pool`])
+/// submissions name the kernel set per item and the executor builds the
+/// matching graph via the crate-internal `KernelSet::build_graph`, the
+/// single validated constructor (Cholesky rejects non-square there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelSet {
+    /// CALU: tournament-pivoted panel (leaf/combine/finish), `A·U⁻¹`
+    /// and `P·L⁻¹·A` triangular solves, `C − A·B` trailing updates.
+    CaluLu,
+    /// Tiled Cholesky: `dpotrf` panel, `A·L⁻ᵀ` triangular solve,
+    /// lower-triangle SYRK (diagonal tiles) / `C − A·Bᵀ` GEMM
+    /// (off-diagonal tiles) trailing updates. No pivoting: the item's
+    /// permutation is the identity and the tournament-panel machinery
+    /// is never built.
+    Cholesky,
+}
+
+impl KernelSet {
+    pub(crate) fn for_graph(g: &TaskGraph) -> Self {
+        match g.variant() {
+            DagVariant::TileCholesky => KernelSet::Cholesky,
+            _ => KernelSet::CaluLu,
+        }
+    }
+
+    /// Build the task graph whose [`DagVariant`] selects this kernel
+    /// set, for an `m×n` matrix tiled at `b`. Cholesky graphs require a
+    /// square matrix (and ignore `leaf_stride` — there is no tournament
+    /// reduction tree to shape).
+    pub(crate) fn build_graph(
+        self,
+        m: usize,
+        n: usize,
+        b: usize,
+        leaf_stride: usize,
+    ) -> Result<TaskGraph, CaluError> {
+        match self {
+            KernelSet::CaluLu => Ok(TaskGraph::build_calu(m, n, b, leaf_stride)),
+            KernelSet::Cholesky => {
+                if m != n {
+                    return Err(CaluError::InvalidConfig(format!(
+                        "tiled Cholesky factors a square SPD matrix, got {m}×{n}"
+                    )));
+                }
+                Ok(TaskGraph::build_cholesky(n, b))
+            }
+        }
+    }
+}
+
 const NOT_SINGULAR: usize = usize::MAX;
 
 /// Per-item execution state: everything one factorization's task bodies
@@ -153,6 +224,7 @@ pub(crate) struct ItemState<S: TileStorage> {
     pub(crate) done: AtomicUsize,
     singular: AtomicUsize,
     panels: Vec<PanelState>,
+    kernels: KernelSet,
     b: usize,
 }
 
@@ -163,6 +235,7 @@ impl<S: TileStorage + Send> ItemState<S> {
     pub(crate) fn new(storage: S, g: Arc<TaskGraph>, grid: ProcessGrid, nstatic: usize) -> Self {
         let kinds: Vec<TaskKind> = g.ids().map(|t| g.kind(t)).collect();
         let mt = g.tile_rows();
+        let kernels = KernelSet::for_graph(&g);
         Self {
             tiles: SharedTiles::new(storage),
             deps: g.ids().map(|t| AtomicU32::new(g.dep_count(t))).collect(),
@@ -172,17 +245,24 @@ impl<S: TileStorage + Send> ItemState<S> {
             dynamic_keys: kinds.iter().map(priority::dynamic_key).collect(),
             done: AtomicUsize::new(0),
             singular: AtomicUsize::new(NOT_SINGULAR),
-            panels: (0..g.num_panels())
-                .map(|k| {
-                    let nleaves = g.leaf_stride().min(mt - k);
-                    let plan = TreePlan::new(nleaves);
-                    PanelState {
-                        slots: (0..plan.slots).map(|_| Mutex::new(None)).collect(),
-                        plan,
-                        perm: OnceLock::new(),
-                    }
-                })
-                .collect(),
+            // tournament-panel state exists only for pivoted kernel sets;
+            // Cholesky panels are a single in-tile dpotrf with no
+            // candidates to merge and no permutation to record
+            panels: match kernels {
+                KernelSet::Cholesky => Vec::new(),
+                KernelSet::CaluLu => (0..g.num_panels())
+                    .map(|k| {
+                        let nleaves = g.leaf_stride().min(mt - k);
+                        let plan = TreePlan::new(nleaves);
+                        PanelState {
+                            slots: (0..plan.slots).map(|_| Mutex::new(None)).collect(),
+                            plan,
+                            perm: OnceLock::new(),
+                        }
+                    })
+                    .collect(),
+            },
+            kernels,
             b: g.block(),
             g,
         }
@@ -217,7 +297,9 @@ impl<S: TileStorage + Send> ItemState<S> {
     /// the `Arc` drops whenever the last clone does.
     pub(crate) fn finish_by_ref(&self) -> (RowPerm, Option<usize>) {
         let mut perm = RowPerm::identity();
-        for k in 0..self.g.num_panels() {
+        // unpivoted kernel sets (Cholesky) build no panel state: the
+        // permutation is the identity
+        for k in 0..self.panels.len() {
             perm.extend(self.panels[k].perm.get().expect("all panels finished"));
         }
         let singular = match self.singular.load(Ordering::Acquire) {
@@ -527,18 +609,93 @@ impl<S: TileStorage + Send> ItemState<S> {
         }
     }
 
-    /// Run one task's kernel. `scratch` is the calling worker's packing
-    /// arena — pre-sized for tile-dimension GEMMs, so the BLAS-3 tasks
-    /// (L, U, S) never touch the allocator.
+    // ----- Cholesky task bodies ---------------------------------------
+
+    /// Cholesky panel: `dpotrf` on the diagonal tile `(k,k)` in place
+    /// (lower triangle only). A non-positive pivot — the input is not
+    /// numerically SPD — flags the item singular at its global column.
+    fn run_potrf(&self, k: usize) {
+        // SAFETY: exclusive write access to tile (k,k) per the DAG; the
+        // slice spans only this tile's own storage, same as run_finish.
+        unsafe {
+            let d = self.tiles.tile_ptr(k, k);
+            let span = (d.cols - 1) * d.ld + d.rows;
+            let slice = std::slice::from_raw_parts_mut(d.ptr, span);
+            if let Some(c) = potrf::dpotrf_blocked(d.rows, slice, d.ld, trsm::TRSM_NB) {
+                self.flag_singular(k * self.b + c);
+            }
+        }
+    }
+
+    /// Cholesky triangular solve: `L_ik ← A_ik · L_kk⁻ᵀ`.
+    fn run_cholesky_l(&self, k: usize, i: usize, scratch: &mut GemmScratch) {
+        // SAFETY: reads diag tile (written by the panel, ordered by
+        // deps), writes tile (i, k) exclusively.
+        unsafe {
+            let d = self.tiles.tile_ptr(k, k);
+            let t = self.tiles.tile_ptr(i, k);
+            trsm::dtrsm_right_lower_trans_raw_packed(
+                t.rows, t.cols, d.ptr, d.ld, t.ptr, t.ld, scratch,
+            );
+        }
+    }
+
+    /// Cholesky trailing update: `A_ij ← A_ij − L_ik·L_jkᵀ` (`j ≤ i`,
+    /// lower triangle only). Diagonal tiles (`i == j`) use the
+    /// lower-triangle SYRK so their strictly-upper part is never touched;
+    /// off-diagonal tiles are a full `A·Bᵀ` GEMM.
+    fn run_cholesky_update(&self, k: usize, i: usize, j: usize, scratch: &mut GemmScratch) {
+        // SAFETY: reads L(i,k), L(j,k) (ordered by deps), writes (i,j)
+        // exclusively.
+        unsafe {
+            let li = self.tiles.tile_ptr(i, k);
+            let c = self.tiles.tile_ptr(i, j);
+            if i == j {
+                syrk::dsyrk_ln_raw_packed(
+                    c.rows, li.cols, -1.0, li.ptr, li.ld, 1.0, c.ptr, c.ld, scratch,
+                );
+            } else {
+                let lj = self.tiles.tile_ptr(j, k);
+                gemm::dgemm_nt_raw_packed(
+                    c.rows, c.cols, li.cols, -1.0, li.ptr, li.ld, lj.ptr, lj.ld, 1.0, c.ptr,
+                    c.ld, scratch,
+                );
+            }
+        }
+    }
+
+    /// Run one task's kernel through the item's [`KernelSet`]. `scratch`
+    /// is the calling worker's packing arena — pre-sized for
+    /// tile-dimension GEMMs, so the BLAS-3 tasks (L, U, S) never touch
+    /// the allocator. The task *kinds* are shared across kernel sets
+    /// (they encode the dependency shape); the bodies are not.
     pub(crate) fn execute(&self, t: TaskId, scratch: &mut GemmScratch) {
-        match self.g.kind(t) {
-            TaskKind::PanelLeaf { k, i } => self.run_leaf(k as usize, i as usize),
-            TaskKind::PanelCombine { k, level, idx } => self.run_combine(k as usize, level, idx),
-            TaskKind::PanelFinish { k } => self.run_finish(k as usize),
-            TaskKind::ComputeL { k, i } => self.run_compute_l(k as usize, i as usize, scratch),
-            TaskKind::ComputeU { k, j } => self.run_compute_u(k as usize, j as usize, scratch),
-            TaskKind::Update { k, i, j } => {
+        match (self.kernels, self.g.kind(t)) {
+            (KernelSet::CaluLu, TaskKind::PanelLeaf { k, i }) => {
+                self.run_leaf(k as usize, i as usize)
+            }
+            (KernelSet::CaluLu, TaskKind::PanelCombine { k, level, idx }) => {
+                self.run_combine(k as usize, level, idx)
+            }
+            (KernelSet::CaluLu, TaskKind::PanelFinish { k }) => self.run_finish(k as usize),
+            (KernelSet::CaluLu, TaskKind::ComputeL { k, i }) => {
+                self.run_compute_l(k as usize, i as usize, scratch)
+            }
+            (KernelSet::CaluLu, TaskKind::ComputeU { k, j }) => {
+                self.run_compute_u(k as usize, j as usize, scratch)
+            }
+            (KernelSet::CaluLu, TaskKind::Update { k, i, j }) => {
                 self.run_update(k as usize, i as usize, j as usize, scratch)
+            }
+            (KernelSet::Cholesky, TaskKind::PanelFinish { k }) => self.run_potrf(k as usize),
+            (KernelSet::Cholesky, TaskKind::ComputeL { k, i }) => {
+                self.run_cholesky_l(k as usize, i as usize, scratch)
+            }
+            (KernelSet::Cholesky, TaskKind::Update { k, i, j }) => {
+                self.run_cholesky_update(k as usize, i as usize, j as usize, scratch)
+            }
+            (KernelSet::Cholesky, kind) => {
+                unreachable!("tiled Cholesky graphs never emit {kind:?}")
             }
         }
     }
@@ -712,6 +869,37 @@ pub(crate) fn apply_left_swaps(lu: &mut DenseMatrix, g: &TaskGraph, perms: &RowP
     }
 }
 
+/// Run `factor_tiled` on `a` under the config's layout, returning the
+/// factored matrix densified — the layout dispatch shared by every
+/// kernel set's solo entry point.
+fn factor_report_for_graph(
+    a: &DenseMatrix,
+    cfg: &CaluConfig,
+    g: &Arc<TaskGraph>,
+    grid: ProcessGrid,
+) -> (DenseMatrix, RowPerm, Option<usize>, Timeline, Vec<ThreadStats>) {
+    match cfg.layout {
+        Layout::ColumnMajor => {
+            let s = CmTiles::from_dense(a, cfg.b);
+            let (s, p, sing, tl, st) =
+                factor_tiled(s, g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
+            (s.to_dense(), p, sing, tl, st)
+        }
+        Layout::BlockCyclic => {
+            let s = BclMatrix::from_dense(a, cfg.b, grid);
+            let (s, p, sing, tl, st) =
+                factor_tiled(s, g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
+            (s.to_dense(), p, sing, tl, st)
+        }
+        Layout::TwoLevelBlock => {
+            let s = TlbMatrix::from_dense(a, cfg.b, grid);
+            let (s, p, sing, tl, st) =
+                factor_tiled(s, g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
+            (s.to_dense(), p, sing, tl, st)
+        }
+    }
+}
+
 /// Factor `a` with CALU and return the factorization, the per-thread
 /// execution trace, and the per-thread queue-source accounting — the
 /// full report the `calu` facade's `ThreadedBackend` builds on.
@@ -725,27 +913,7 @@ pub fn calu_factor_report(
     }
     let leaf_stride = cfg.leaf_stride.unwrap_or_else(|| grid.pr());
     let g = Arc::new(TaskGraph::build_calu(a.rows(), a.cols(), cfg.b, leaf_stride));
-
-    let (mut lu, perm, singular_at, timeline, stats) = match cfg.layout {
-        Layout::ColumnMajor => {
-            let s = CmTiles::from_dense(a, cfg.b);
-            let (s, p, sing, tl, st) =
-                factor_tiled(s, &g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
-            (s.to_dense(), p, sing, tl, st)
-        }
-        Layout::BlockCyclic => {
-            let s = BclMatrix::from_dense(a, cfg.b, grid);
-            let (s, p, sing, tl, st) =
-                factor_tiled(s, &g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
-            (s.to_dense(), p, sing, tl, st)
-        }
-        Layout::TwoLevelBlock => {
-            let s = TlbMatrix::from_dense(a, cfg.b, grid);
-            let (s, p, sing, tl, st) =
-                factor_tiled(s, &g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
-            (s.to_dense(), p, sing, tl, st)
-        }
-    };
+    let (mut lu, perm, singular_at, timeline, stats) = factor_report_for_graph(a, cfg, &g, grid);
     apply_left_swaps(&mut lu, &g, &perm, cfg.b);
     Ok((
         Factorization {
@@ -756,6 +924,42 @@ pub fn calu_factor_report(
         timeline,
         stats,
     ))
+}
+
+/// Factor the symmetric positive-definite `a` as `A = L·Lᵀ` with the
+/// tiled Cholesky kernel set on the same hybrid static/dynamic executor
+/// as CALU — identical queues, steal tiers and scratch arenas, different
+/// task bodies ([`KernelSet::Cholesky`]). Only the lower triangle of `a`
+/// is read; on return the factorization's `lu` holds `L` in its lower
+/// triangle (non-unit diagonal) with `a`'s untouched strictly-upper part
+/// above it, the permutation is the identity, and `singular_at` flags
+/// the first column whose pivot was not positive (the input was not
+/// numerically SPD). Use [`Factorization::cholesky_residual`] to verify.
+pub fn cholesky_factor_report(
+    a: &DenseMatrix,
+    cfg: &CaluConfig,
+) -> Result<(Factorization, Timeline, Vec<ThreadStats>), CaluError> {
+    let grid = cfg.validate()?;
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(CaluError::EmptyMatrix);
+    }
+    let g = Arc::new(KernelSet::Cholesky.build_graph(a.rows(), a.cols(), cfg.b, 1)?);
+    let (lu, perm, singular_at, timeline, stats) = factor_report_for_graph(a, cfg, &g, grid);
+    // no pivoting: perm is the identity and there are no left swaps
+    Ok((
+        Factorization {
+            lu,
+            perm,
+            singular_at,
+        },
+        timeline,
+        stats,
+    ))
+}
+
+/// [`cholesky_factor_report`] returning only the factorization.
+pub fn cholesky_factor(a: &DenseMatrix, cfg: &CaluConfig) -> Result<Factorization, CaluError> {
+    cholesky_factor_report(a, cfg).map(|(f, _, _)| f)
 }
 
 /// Factor `a` with CALU and return the factorization plus the per-thread
@@ -1028,6 +1232,82 @@ mod tests {
         assert_eq!(failed_wide, 1);
         let rate = failed as f64 / (1 + failed) as f64;
         assert!((rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_factors_spd_on_all_layouts() {
+        let a = gen::spd_uniform(64, 21);
+        for layout in [
+            Layout::ColumnMajor,
+            Layout::BlockCyclic,
+            Layout::TwoLevelBlock,
+        ] {
+            let cfg = CaluConfig::new(16).with_threads(4).with_layout(layout);
+            let f = cholesky_factor(&a, &cfg).expect("factor");
+            assert!(f.is_nonsingular(), "{layout:?}");
+            assert!(f.perm.pivots().is_empty(), "Cholesky never pivots");
+            let r = f.cholesky_residual(&a);
+            assert!(r < 1e-13, "residual {r} on {layout:?}");
+        }
+    }
+
+    #[test]
+    fn cholesky_matches_sequential_dpotrf() {
+        // the tiled factor agrees with the dense reference kernel (to
+        // roundoff: summation orders differ between tilings)
+        let a = gen::spd_uniform(48, 22);
+        let mut reference = a.clone();
+        let ld = reference.ld();
+        assert!(
+            calu_kernels::dpotrf_unblocked(48, reference.as_mut_slice(), ld).is_none()
+        );
+        let f = cholesky_factor(&a, &CaluConfig::new(16).with_threads(3)).unwrap();
+        for i in 0..48 {
+            for j in 0..=i {
+                let (x, y) = (f.lu.get(i, j), reference.get(i, j));
+                assert!((x - y).abs() < 1e-11, "({i},{j}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_bitwise_identical_across_disciplines_and_threads() {
+        let a = gen::spd_uniform(80, 23);
+        let base = CaluConfig::new(16).with_threads(4).with_dratio(0.5);
+        let f0 = cholesky_factor(&a, &base).unwrap();
+        for queue in [QueueDiscipline::sharded(), QueueDiscipline::lock_free()] {
+            let f = cholesky_factor(&a, &base.clone().with_queue(queue)).unwrap();
+            assert!(f.lu.approx_eq(&f0.lu, 0.0), "bitwise across disciplines");
+        }
+        for threads in [1, 2, 3] {
+            let f = cholesky_factor(&a, &base.clone().with_threads(threads)).unwrap();
+            assert!(f.lu.approx_eq(&f0.lu, 0.0), "bitwise across {threads} threads");
+        }
+    }
+
+    #[test]
+    fn cholesky_flags_non_spd_input() {
+        // an indefinite symmetric matrix must come back flagged, not
+        // panic or hang
+        let mut a = gen::spd_uniform(32, 24);
+        a.set(10, 10, -5.0);
+        let f = cholesky_factor(&a, &CaluConfig::new(8).with_threads(2)).unwrap();
+        assert!(!f.is_nonsingular());
+        assert!(f.singular_at.unwrap() <= 10, "flag at or before the bad pivot");
+    }
+
+    #[test]
+    fn cholesky_rejects_rectangular_input() {
+        let a = gen::uniform(32, 16, 25);
+        let err = cholesky_factor(&a, &CaluConfig::new(8).with_threads(2)).unwrap_err();
+        assert!(err.to_string().contains("square"), "{err}");
+    }
+
+    #[test]
+    fn cholesky_ragged_tiles() {
+        let a = gen::spd_uniform(50, 26);
+        let f = cholesky_factor(&a, &CaluConfig::new(16).with_threads(2)).unwrap();
+        assert!(f.cholesky_residual(&a) < 1e-13);
     }
 
     #[test]

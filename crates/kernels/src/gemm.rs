@@ -27,7 +27,7 @@
 //! oracle for tests and the speedup baseline for the `kernels` bench.
 
 use crate::microkernel::{micro_tile, store_tile};
-use crate::pack::{pack_a, pack_b, with_thread_scratch, GemmScratch};
+use crate::pack::{pack_a, pack_b, pack_b_trans, with_thread_scratch, GemmScratch};
 use crate::small::daxpy;
 
 /// Rows of the register tile (micro-kernel height).
@@ -214,6 +214,184 @@ unsafe fn dgemm_core(
             // folded into the first real traversal of C
             let beta_eff = if pc == 0 { beta } else { 1.0 };
             pack_b(kc, nc, b.add(jc * ldb + pc), ldb, &mut scratch.b_pack);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(mc, kc, a.add(pc * lda + ic), lda, &mut scratch.a_pack);
+                let mut jr = 0;
+                while jr < nc {
+                    let nr = NR.min(nc - jr);
+                    let bp = &scratch.b_pack[jr * kc..jr * kc + kc * NR];
+                    let mut ir = 0;
+                    while ir < mc {
+                        let mr = MR.min(mc - ir);
+                        let ap = &scratch.a_pack[ir * kc..ir * kc + kc * MR];
+                        let acc = micro_tile(kc, ap, bp);
+                        store_tile(
+                            &acc,
+                            alpha,
+                            beta_eff,
+                            c.add((jc + jr) * ldc + ic + ir),
+                            ldc,
+                            mr,
+                            nr,
+                        );
+                        ir += MR;
+                    }
+                    jr += NR;
+                }
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// `C ← α·A·Bᵀ + β·C` with `A: m×k`, `B` **stored** `n×k` (so `Bᵀ` is
+/// `k×n`), `C: m×n`, all column-major with leading dimensions
+/// `lda/ldb/ldc`. The transpose is absorbed in the packing stage
+/// ([`pack_b_trans`]); blocking and the micro-kernel are identical to
+/// [`dgemm_packed`]. This is the kernel behind the Cholesky trailing
+/// update `A_ij ← A_ij − L_ik·L_jkᵀ` and the rectangle of SYRK.
+///
+/// Panics if a leading dimension is smaller than its block height
+/// (`lda ≥ m`, `ldb ≥ n`, `ldc ≥ m`) or a slice is too short for the
+/// addressed span.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_nt_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+    scratch: &mut GemmScratch,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(
+        lda >= m && ldc >= m,
+        "leading dimension too small for block height"
+    );
+    assert!(ldb >= n, "ldb too small");
+    assert!(a.len() >= span(m, k, lda), "a slice too short");
+    assert!(b.len() >= span(n, k, ldb), "b slice too short");
+    assert!(c.len() >= span(m, n, ldc), "c slice too short");
+    // SAFETY: dimensions checked against the slice lengths above; the
+    // borrow rules guarantee c is exclusive and disjoint from a and b.
+    unsafe {
+        dgemm_nt_core(
+            m,
+            n,
+            k,
+            alpha,
+            a.as_ptr(),
+            lda,
+            b.as_ptr(),
+            ldb,
+            beta,
+            c.as_mut_ptr(),
+            ldc,
+            scratch,
+        );
+    }
+}
+
+/// [`dgemm_nt_packed`] with the per-thread scratch arena.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_nt(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    with_thread_scratch(|s| dgemm_nt_packed(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, s));
+}
+
+/// Raw-pointer variant of [`dgemm_nt_packed`] for callers whose blocks
+/// alias a single shared buffer (the parallel executor's tiles). Never
+/// forms slices over the operands.
+///
+/// # Safety
+///
+/// `a` must be valid for the `m×k` span, `b` for the *stored* `n×k`
+/// span, `c` for the `m×n` span; `c` must not overlap `a` or `b`
+/// element-wise, and the caller must have exclusive access to `c`.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn dgemm_nt_raw_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    beta: f64,
+    c: *mut f64,
+    ldc: usize,
+    scratch: &mut GemmScratch,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(
+        lda >= m && ldc >= m,
+        "leading dimension too small for block height"
+    );
+    assert!(ldb >= n, "ldb too small");
+    dgemm_nt_core(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, scratch);
+}
+
+/// The five-loop blocked driver of the NT product. Identical to
+/// [`dgemm_core`] except the `(pc, jc)` block of `Bᵀ` is located in the
+/// stored `B` at `b + pc·ldb + jc` and packed through [`pack_b_trans`].
+///
+/// # Safety
+///
+/// See [`dgemm_nt_raw_packed`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn dgemm_nt_core(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: *const f64,
+    lda: usize,
+    b: *const f64,
+    ldb: usize,
+    beta: f64,
+    c: *mut f64,
+    ldc: usize,
+    scratch: &mut GemmScratch,
+) {
+    if k == 0 || alpha == 0.0 {
+        scale_c(beta, c, ldc, m, n);
+        return;
+    }
+    scratch.reserve(m, n, k);
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            let beta_eff = if pc == 0 { beta } else { 1.0 };
+            pack_b_trans(kc, nc, b.add(pc * ldb + jc), ldb, &mut scratch.b_pack);
             let mut ic = 0;
             while ic < m {
                 let mc = MC.min(m - ic);
@@ -613,6 +791,98 @@ mod tests {
     fn rejects_bad_ld() {
         let mut c = vec![0.0; 16];
         dgemm(4, 4, 4, 1.0, &[0.0; 16], 3, &[0.0; 16], 4, 0.0, &mut c, 4);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        // C ← α·A·Bᵀ + β·C must match dgemm against a transposed copy,
+        // across register-tile edges and the KC boundary
+        for (m, n, k, seed) in [
+            (5, 7, 3, 1),
+            (MR - 1, NR - 1, 7, 2),
+            (MR + 1, NR + 1, KC, 3),
+            (3 * MR + 5, 2 * NR + 3, KC + 9, 4),
+            (1, 9, 4, 5),
+            (MC + 3, NR, 33, 6),
+        ] {
+            let a = gen::uniform(m, k, seed);
+            let b = gen::uniform(n, k, seed + 10); // stored n×k
+            let bt = DenseMatrix::from_fn(k, n, |i, j| b.get(j, i));
+            let c = gen::uniform(m, n, seed + 20);
+            for (alpha, beta) in [(1.0, 1.0), (-1.0, 1.0), (2.0, 0.0)] {
+                let mut got = c.clone();
+                let ld = got.ld();
+                dgemm_nt(
+                    m,
+                    n,
+                    k,
+                    alpha,
+                    a.as_slice(),
+                    a.ld(),
+                    b.as_slice(),
+                    b.ld(),
+                    beta,
+                    got.as_mut_slice(),
+                    ld,
+                );
+                let want = dgemm_dense(alpha, &a, &bt, beta, &c);
+                let tol = 1e-11 * (k as f64).max(1.0);
+                assert!(
+                    got.approx_eq(&want, tol),
+                    "shape ({m},{n},{k}) alpha {alpha} beta {beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nt_raw_variant_matches_safe() {
+        let (m, n, k) = (6, 5, 4);
+        let a = gen::uniform(m, k, 60);
+        let b = gen::uniform(n, k, 61);
+        let c = gen::uniform(m, n, 62);
+        let mut c1 = c.clone();
+        let mut c2 = c.clone();
+        let ld = c.ld();
+        dgemm_nt(
+            m,
+            n,
+            k,
+            -1.0,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
+            1.0,
+            c1.as_mut_slice(),
+            ld,
+        );
+        let mut s = GemmScratch::new();
+        unsafe {
+            dgemm_nt_raw_packed(
+                m,
+                n,
+                k,
+                -1.0,
+                a.as_slice().as_ptr(),
+                a.ld(),
+                b.as_slice().as_ptr(),
+                b.ld(),
+                1.0,
+                c2.as_mut_slice().as_mut_ptr(),
+                ld,
+                &mut s,
+            );
+        }
+        assert!(c1.approx_eq(&c2, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ldb too small")]
+    fn nt_rejects_bad_ldb() {
+        // for the NT product B is stored n×k, so ldb must cover n
+        let mut c = vec![0.0; 16];
+        dgemm_nt(4, 4, 4, 1.0, &[0.0; 16], 4, &[0.0; 16], 3, 0.0, &mut c, 4);
     }
 
     #[test]

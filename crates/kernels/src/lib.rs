@@ -15,7 +15,10 @@
 //!   choice of reduction operator inside TSLU (\[23\] in the paper),
 //! * [`lu_nopiv`] — LU without pivoting (used after tournament pivoting
 //!   has already placed good pivots on the diagonal),
-//! * [`laswp::dlaswp`] — row interchanges.
+//! * [`laswp::dlaswp`] — row interchanges,
+//! * [`potrf`] / [`syrk`] — the Cholesky kernel set (`A = L·Lᵀ` panel
+//!   factor and the lower-triangle rank-k update), layered on the same
+//!   packed GEMM via its `A·Bᵀ` variant ([`gemm::dgemm_nt`]).
 //!
 //! Every kernel works on a column-major sub-block described by
 //! `(slice, ld)` — the same addressing [`calu_matrix::storage::TileRef`]
@@ -35,16 +38,23 @@ pub mod laswp;
 pub mod lu_nopiv;
 pub mod microkernel;
 pub mod pack;
+pub mod potrf;
 pub mod small;
+pub mod syrk;
 pub mod trsm;
 
-pub use gemm::{dgemm, dgemm_jki, dgemm_packed, dgemm_raw, dgemm_raw_packed};
+pub use gemm::{
+    dgemm, dgemm_jki, dgemm_nt, dgemm_nt_packed, dgemm_packed, dgemm_raw, dgemm_raw_packed,
+};
 pub use getrf::{dgetf2, dgetrf_recursive, dgetrf_recursive_packed};
 pub use laswp::dlaswp;
 pub use lu_nopiv::{lu_nopiv_blocked, lu_nopiv_unblocked};
 pub use pack::GemmScratch;
+pub use potrf::{dpotrf_blocked, dpotrf_unblocked};
+pub use syrk::{dsyrk_ln, dsyrk_ln_packed};
 pub use trsm::{
-    dtrsm_left_lower_unit, dtrsm_left_lower_unit_packed, dtrsm_right_upper,
+    dtrsm_left_lower_unit, dtrsm_left_lower_unit_packed, dtrsm_right_lower_trans,
+    dtrsm_right_lower_trans_packed, dtrsm_right_lower_trans_unblocked, dtrsm_right_upper,
     dtrsm_right_upper_packed,
 };
 
@@ -74,6 +84,14 @@ pub mod flops {
     pub fn lu(n: usize) -> f64 {
         let n = n as f64;
         2.0 * n * n * n / 3.0
+    }
+
+    /// Flops of a complete Cholesky of an `n×n` SPD matrix: `n^3/3` to
+    /// leading order — half the LU count, the basis of the bench's
+    /// "Cholesky ≤ 0.6× LU" gate.
+    pub fn cholesky(n: usize) -> f64 {
+        let n = n as f64;
+        n * n * n / 3.0
     }
 }
 

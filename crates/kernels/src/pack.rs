@@ -148,6 +148,40 @@ pub unsafe fn pack_b(kc: usize, nc: usize, b: *const f64, ldb: usize, buf: &mut 
     }
 }
 
+/// Pack the `kc × nc` block of `Bᵀ` into `buf` as NR-column panels,
+/// reading `B` as stored (column-major, leading dimension `ldb`): element
+/// `(l, j0+c)` of `Bᵀ` is `B[j0+c, l]`, i.e. `b[l·ldb + j0 + c]`. The
+/// packed layout is identical to [`pack_b`]'s, so the micro-kernel is
+/// oblivious to the transpose. Panics if `buf` holds fewer than
+/// `kc * round_up(nc, NR)` elements.
+///
+/// # Safety
+///
+/// `b` must be valid for reads over the addressed span of the *stored*
+/// block (`(kc-1)·ldb + nc` elements).
+pub unsafe fn pack_b_trans(kc: usize, nc: usize, b: *const f64, ldb: usize, buf: &mut [f64]) {
+    // hard assert: the unchecked writes below are bounded by it
+    assert!(
+        buf.len() >= kc * round_up(nc, NR),
+        "pack_b_trans buffer too small"
+    );
+    let mut dst = 0;
+    let mut j0 = 0;
+    while j0 < nc {
+        let nr = NR.min(nc - j0);
+        for l in 0..kc {
+            for c in 0..nr {
+                *buf.get_unchecked_mut(dst + c) = *b.add(l * ldb + (j0 + c));
+            }
+            for c in nr..NR {
+                *buf.get_unchecked_mut(dst + c) = 0.0;
+            }
+            dst += NR;
+        }
+        j0 += NR;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +239,29 @@ mod tests {
                 assert_eq!(buf[kc * NR + l * NR + c], 0.0);
             }
         }
+    }
+
+    #[test]
+    fn pack_b_trans_matches_pack_b_of_explicit_transpose() {
+        // packing Bᵀ from stored B must equal packing an explicitly
+        // transposed copy with pack_b
+        let (kc, nc, ldb) = (5usize, NR + 3, 9usize);
+        // stored B is nc × kc with leading dimension ldb
+        let b: Vec<f64> = (0..ldb * kc).map(|x| (x * 7 % 23) as f64).collect();
+        // explicit transpose: kc × nc, ld = kc
+        let mut bt = vec![0.0f64; kc * nc];
+        for l in 0..kc {
+            for j in 0..nc {
+                bt[j * kc + l] = b[l * ldb + j];
+            }
+        }
+        let mut buf1 = vec![f64::NAN; kc * round_up(nc, NR)];
+        let mut buf2 = vec![f64::NAN; kc * round_up(nc, NR)];
+        unsafe {
+            pack_b_trans(kc, nc, b.as_ptr(), ldb, &mut buf1);
+            pack_b(kc, nc, bt.as_ptr(), kc, &mut buf2);
+        }
+        assert_eq!(buf1, buf2);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! register-tiled GEMM. The unblocked solvers are exported for parity
 //! tests and tiny blocks.
 
-use crate::gemm::dgemm_raw_packed;
+use crate::gemm::{dgemm_nt_raw_packed, dgemm_raw_packed};
 use crate::pack::{with_thread_scratch, GemmScratch};
 use crate::small::daxpy;
 
@@ -278,6 +278,168 @@ unsafe fn trsm_ru_core(
     }
 }
 
+/// Solve `X · Lᵀ = B` in place (`B ← B·L⁻ᵀ`) where `L` is `n×n` lower
+/// triangular with a **non-unit** diagonal and `B` is `m×n`. Column-major
+/// with leading dimensions `ldl`, `ldb`. This is the Cholesky task **L**
+/// kernel (`L_ik = A_ik·L_kk⁻ᵀ`). Blocked like the other solves:
+/// unblocked substitution per [`TRSM_NB`]-wide diagonal block, then one
+/// packed NT GEMM ([`crate::gemm::dgemm_nt_packed`]) for the trailing
+/// columns.
+///
+/// A zero diagonal entry of `L` produces `inf`/`NaN`, like the BLAS;
+/// non-positive-definiteness is detected by the factorization drivers.
+pub fn dtrsm_right_lower_trans_packed(
+    m: usize,
+    n: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+    scratch: &mut GemmScratch,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(ldl >= n && ldb >= m, "leading dimension too small");
+    assert!(l.len() >= (n - 1) * ldl + n, "l slice too short");
+    assert!(b.len() >= (n - 1) * ldb + m, "b slice too short");
+    // SAFETY: spans validated above; l and b are distinct borrows.
+    unsafe { trsm_rlt_core(m, n, l.as_ptr(), ldl, b.as_mut_ptr(), ldb, scratch) }
+}
+
+/// [`dtrsm_right_lower_trans_packed`] with the per-thread scratch arena.
+pub fn dtrsm_right_lower_trans(
+    m: usize,
+    n: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    with_thread_scratch(|s| dtrsm_right_lower_trans_packed(m, n, l, ldl, b, ldb, s));
+}
+
+/// Unblocked column-by-column substitution — the reference the blocked
+/// solve is tested against, and its diagonal-block base case.
+pub fn dtrsm_right_lower_trans_unblocked(
+    m: usize,
+    n: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(ldl >= n && ldb >= m, "leading dimension too small");
+    assert!(l.len() >= (n - 1) * ldl + n, "l slice too short");
+    assert!(b.len() >= (n - 1) * ldb + m, "b slice too short");
+    // SAFETY: spans validated above; l and b are distinct borrows.
+    unsafe { rlt_unblocked_core(m, n, l.as_ptr(), ldl, b.as_mut_ptr(), ldb) }
+}
+
+/// Unblocked right-lower-transpose substitution on raw pointers. `Lᵀ` is
+/// upper triangular with `(Lᵀ)[k,j] = L[j,k]`, so this is
+/// [`ru_unblocked_core`] reading the triangle transposed. Like the other
+/// unblocked cores, only ever forms slices over single column segments
+/// of `b`, so interleaved tiles written by other workers are never
+/// covered by a live slice.
+///
+/// # Safety
+///
+/// Every column segment addressed (`m` elements at `b + j·ldb`) and
+/// every `l` entry read must be valid, `b`'s segments must not overlap
+/// `l`'s, and the caller must have exclusive access to them.
+unsafe fn rlt_unblocked_core(
+    m: usize,
+    n: usize,
+    l: *const f64,
+    ldl: usize,
+    b: *mut f64,
+    ldb: usize,
+) {
+    for j in 0..n {
+        // X[:,j] = (B[:,j] − Σ_{k<j} X[:,k]·L[j,k]) / L[j,j]
+        for k in 0..j {
+            let ljk = *l.add(j + k * ldl);
+            if ljk == 0.0 {
+                continue;
+            }
+            // columns k and j are disjoint segments of b
+            let x_k = std::slice::from_raw_parts(b.add(k * ldb), m);
+            let b_j = std::slice::from_raw_parts_mut(b.add(j * ldb), m);
+            daxpy(-ljk, x_k, b_j);
+        }
+        let d = 1.0 / *l.add(j + j * ldl);
+        for v in std::slice::from_raw_parts_mut(b.add(j * ldb), m) {
+            *v *= d;
+        }
+    }
+}
+
+/// Blocked right-lower-transpose solve on raw pointers (spans
+/// pre-validated).
+///
+/// # Safety
+///
+/// `l` and `b` must be valid for their `n×n` / `m×n` spans, be
+/// element-disjoint, and the caller must have exclusive access to `b`.
+unsafe fn trsm_rlt_core(
+    m: usize,
+    n: usize,
+    l: *const f64,
+    ldl: usize,
+    b: *mut f64,
+    ldb: usize,
+    scratch: &mut GemmScratch,
+) {
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = TRSM_NB.min(n - j0);
+        rlt_unblocked_core(m, jb, l.add(j0 * ldl + j0), ldl, b.add(j0 * ldb), ldb);
+        // B[:, j0+jb..] −= X[:, j0..j0+jb] · L[j0+jb.., j0..j0+jb]ᵀ
+        // (reads and writes disjoint column ranges of B)
+        if j0 + jb < n {
+            dgemm_nt_raw_packed(
+                m,
+                n - j0 - jb,
+                jb,
+                -1.0,
+                b.add(j0 * ldb) as *const f64,
+                ldb,
+                l.add(j0 * ldl + j0 + jb),
+                ldl,
+                1.0,
+                b.add((j0 + jb) * ldb),
+                ldb,
+                scratch,
+            );
+        }
+        j0 += jb;
+    }
+}
+
+/// Raw-pointer variant of [`dtrsm_right_lower_trans_packed`].
+///
+/// # Safety
+/// Blocks must be valid for their spans, `b` must not overlap `l`, and the
+/// caller must have exclusive access to `b`.
+pub unsafe fn dtrsm_right_lower_trans_raw_packed(
+    m: usize,
+    n: usize,
+    l: *const f64,
+    ldl: usize,
+    b: *mut f64,
+    ldb: usize,
+    scratch: &mut GemmScratch,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    trsm_rlt_core(m, n, l, ldl, b, ldb, scratch);
+}
+
 /// Raw-pointer variant of [`dtrsm_left_lower_unit_packed`].
 ///
 /// # Safety
@@ -443,6 +605,106 @@ mod tests {
         let ld = x.ld();
         dtrsm_right_upper(3, n, u.as_slice(), u.ld(), x.as_mut_slice(), ld);
         assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    /// build a well-conditioned lower triangular matrix (non-unit diag)
+    fn lower(n: usize, seed: u64) -> DenseMatrix {
+        let r = gen::uniform(n, n, seed);
+        DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0 + r.get(i, j).abs()
+            } else if i > j {
+                r.get(i, j)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn right_lower_trans_recovers_lhs() {
+        for (m, n) in [(1, 1), (7, 4), (3, 16), (23, 23), (9, 2 * TRSM_NB + 5)] {
+            let l = lower(n, 27);
+            let lt = DenseMatrix::from_fn(n, n, |i, j| l.get(j, i));
+            let x_true = gen::uniform(m, n, 28);
+            let b = ops::matmul(&x_true, &lt);
+            let mut x = b.clone();
+            let ld = x.ld();
+            dtrsm_right_lower_trans(m, n, l.as_slice(), l.ld(), x.as_mut_slice(), ld);
+            assert!(x.approx_eq(&x_true, 1e-9), "shape ({m},{n})");
+        }
+    }
+
+    #[test]
+    fn right_lower_trans_ignores_upper_garbage() {
+        // the strictly-upper part of L must never be read, including by
+        // the blocked path's NT GEMM (strictly-lower blocks only)
+        let n = TRSM_NB + 4;
+        let mut l = lower(n, 33);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                l.set(i, j, f64::NAN);
+            }
+        }
+        let clean = lower(n, 33);
+        let lt = DenseMatrix::from_fn(n, n, |i, j| clean.get(j, i));
+        let x_true = gen::uniform(3, n, 34);
+        let b = ops::matmul(&x_true, &lt);
+        let mut x = b.clone();
+        let ld = x.ld();
+        dtrsm_right_lower_trans(3, n, l.as_slice(), l.ld(), x.as_mut_slice(), ld);
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn right_lower_trans_blocked_matches_unblocked() {
+        for n in [
+            TRSM_NB - 1,
+            TRSM_NB,
+            TRSM_NB + 1,
+            2 * TRSM_NB + 7,
+            3 * TRSM_NB - 1,
+        ] {
+            let m = 11;
+            let l = lower(n, 35);
+            let b0 = gen::uniform(m, n, 36);
+            let mut blocked = b0.clone();
+            let mut unblocked = b0.clone();
+            let ld = b0.ld();
+            dtrsm_right_lower_trans(m, n, l.as_slice(), l.ld(), blocked.as_mut_slice(), ld);
+            dtrsm_right_lower_trans_unblocked(
+                m,
+                n,
+                l.as_slice(),
+                l.ld(),
+                unblocked.as_mut_slice(),
+                ld,
+            );
+            assert!(blocked.approx_eq(&unblocked, 1e-11), "n={n}");
+        }
+    }
+
+    #[test]
+    fn right_lower_trans_raw_matches_safe() {
+        let n = TRSM_NB + 9; // past the block boundary so the NT GEMM runs
+        let l = lower(n, 37);
+        let b0 = gen::uniform(n, n, 38);
+        let mut b1 = b0.clone();
+        let mut b2 = b0.clone();
+        dtrsm_right_lower_trans(n, n, l.as_slice(), n, b1.as_mut_slice(), n);
+        let mut s = GemmScratch::new();
+        unsafe {
+            dtrsm_right_lower_trans_raw_packed(
+                n,
+                n,
+                l.as_slice().as_ptr(),
+                n,
+                b2.as_mut_slice().as_mut_ptr(),
+                n,
+                &mut s,
+            )
+        };
+        assert!(b1.approx_eq(&b2, 0.0));
     }
 
     #[test]

@@ -71,6 +71,22 @@ pub fn tall_skinny(m: usize, n: usize, seed: u64) -> DenseMatrix {
     uniform(m, n, seed)
 }
 
+/// Symmetric positive-definite test matrix: symmetrized uniform noise in
+/// `[-1, 1]` off the diagonal, `n` on the diagonal. Strict diagonal
+/// dominance of a symmetric matrix with a positive diagonal guarantees
+/// positive-definiteness, so Cholesky succeeds on it deterministically —
+/// the standard input for the tiled-Cholesky tests and benches.
+pub fn spd_uniform(n: usize, seed: u64) -> DenseMatrix {
+    let noise = uniform(n, n, seed);
+    DenseMatrix::from_fn(n, n, |i, j| {
+        if i == j {
+            n as f64
+        } else {
+            0.5 * (noise.get(i, j) + noise.get(j, i))
+        }
+    })
+}
+
 /// Identity plus tiny uniform noise: well conditioned, near-trivial
 /// pivoting; handy for debugging schedulers without numerical effects.
 pub fn near_identity(n: usize, eps: f64, seed: u64) -> DenseMatrix {
@@ -159,6 +175,21 @@ mod tests {
             }
         }
         assert_eq!(rank_seen, r);
+    }
+
+    #[test]
+    fn spd_uniform_is_symmetric_and_dominant() {
+        let n = 20;
+        let a = spd_uniform(n, 4);
+        let b = spd_uniform(n, 4);
+        assert!(a.approx_eq(&b, 0.0), "must be deterministic");
+        for i in 0..n {
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
+            assert!(a.get(i, i) > off, "row {i} not dominant");
+            for j in 0..n {
+                assert_eq!(a.get(i, j), a.get(j, i), "({i},{j}) asymmetric");
+            }
+        }
     }
 
     #[test]

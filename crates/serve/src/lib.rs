@@ -32,7 +32,7 @@ use std::sync::{mpsc, Arc, Condvar};
 
 use calu_core::pool::{JobSink, PoolOutcome, PoolSource, ServicePool};
 use calu_core::sync::Mutex;
-use calu_core::{CaluConfig, CaluError};
+use calu_core::{CaluConfig, CaluError, KernelSet};
 use calu_matrix::DenseMatrix;
 pub use calu_sched::JobClass;
 
@@ -123,12 +123,15 @@ impl Default for ServiceConfig {
 }
 
 /// What one job factors: dense data moved in, or a seeded generator
-/// materialized lazily on the worker that claims the job. Per-job
-/// validation is dimensional (non-empty); the shared solver knobs are
-/// validated once, when the service is built.
+/// materialized lazily on the worker that claims the job — plus which
+/// algorithm's kernels factor it (CALU by default; see
+/// [`with_kernels`](Self::with_kernels)). Per-job validation is
+/// dimensional (non-empty, and square for Cholesky); the shared solver
+/// knobs are validated once, when the service is built.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
     source: PoolSource,
+    kernels: KernelSet,
 }
 
 impl JobSpec {
@@ -136,6 +139,7 @@ impl JobSpec {
     pub fn dense(a: DenseMatrix) -> Self {
         JobSpec {
             source: PoolSource::Dense(a),
+            kernels: KernelSet::CaluLu,
         }
     }
 
@@ -144,17 +148,43 @@ impl JobSpec {
     pub fn uniform(m: usize, n: usize, seed: u64) -> Self {
         JobSpec {
             source: PoolSource::Uniform { m, n, seed },
+            kernels: KernelSet::CaluLu,
         }
     }
 
-    /// A job over any [`PoolSource`].
+    /// A tiled-Cholesky job over a seeded SPD generator matrix,
+    /// materialized on the worker that claims it.
+    pub fn spd_uniform(n: usize, seed: u64) -> Self {
+        JobSpec {
+            source: PoolSource::SpdUniform { n, seed },
+            kernels: KernelSet::Cholesky,
+        }
+    }
+
+    /// A job over any [`PoolSource`], factored with CALU.
     pub fn from_source(source: PoolSource) -> Self {
-        JobSpec { source }
+        JobSpec {
+            source,
+            kernels: KernelSet::CaluLu,
+        }
+    }
+
+    /// Select which algorithm's kernels factor this job — one service
+    /// freely interleaves [`KernelSet::CaluLu`] and
+    /// [`KernelSet::Cholesky`] jobs on the same pool.
+    pub fn with_kernels(mut self, kernels: KernelSet) -> Self {
+        self.kernels = kernels;
+        self
     }
 
     /// `(rows, cols)` of the job's matrix.
     pub fn dims(&self) -> (usize, usize) {
         self.source.dims()
+    }
+
+    /// Which algorithm's kernels factor the job.
+    pub fn kernels(&self) -> KernelSet {
+        self.kernels
     }
 }
 
@@ -167,6 +197,8 @@ pub struct JobInfo {
     pub class: JobClass,
     /// `(rows, cols)`.
     pub dims: (usize, usize),
+    /// Which algorithm's kernels factor the job.
+    pub kernels: KernelSet,
 }
 
 /// One entry of the completion-order event stream.
@@ -202,6 +234,7 @@ pub struct JobHandle<R = PoolOutcome> {
     id: JobId,
     class: JobClass,
     dims: (usize, usize),
+    kernels: KernelSet,
     cell: Arc<JobCell<R>>,
 }
 
@@ -230,6 +263,11 @@ impl<R> JobHandle<R> {
     /// `(rows, cols)` of the job's matrix.
     pub fn dims(&self) -> (usize, usize) {
         self.dims
+    }
+
+    /// Which algorithm's kernels factor the job.
+    pub fn kernels(&self) -> KernelSet {
+        self.kernels
     }
 
     /// Current lifecycle position, without blocking.
@@ -401,6 +439,12 @@ impl<R: Send + 'static> FactorService<R> {
         if dims.0 == 0 || dims.1 == 0 {
             return Err(ServeError::Invalid(CaluError::EmptyMatrix));
         }
+        if spec.kernels == KernelSet::Cholesky && dims.0 != dims.1 {
+            return Err(ServeError::Invalid(CaluError::InvalidConfig(format!(
+                "tiled Cholesky factors a square SPD matrix, got {}×{}",
+                dims.0, dims.1
+            ))));
+        }
         let mut adm = self.shared.admission.lock();
         if adm.draining {
             return Err(ServeError::ShuttingDown);
@@ -424,7 +468,12 @@ impl<R: Send + 'static> FactorService<R> {
         adm.next_id += 1;
         adm.pending_total += 1;
         adm.pending[lane] += 1;
-        let info = JobInfo { id, class, dims };
+        let info = JobInfo {
+            id,
+            class,
+            dims,
+            kernels: spec.kernels,
+        };
         let cell = Arc::new(JobCell {
             state: Mutex::new(CellState::Queued),
             cv: Condvar::new(),
@@ -442,7 +491,10 @@ impl<R: Send + 'static> FactorService<R> {
         // because a pool rejection hands the sink back *uncalled*; a
         // synchronous `finished` callback here would re-enter this
         // same admission lock via `job_ended` and self-deadlock.
-        if let Err(sink) = self.pool.submit(id, class, spec.source, Box::new(sink)) {
+        if let Err(sink) = self
+            .pool
+            .submit(id, class, spec.kernels, spec.source, Box::new(sink))
+        {
             // unreachable while the invariant above holds (pool
             // draining implies we would have seen `adm.draining`), but
             // handled without relying on it: roll back the admission
@@ -458,6 +510,7 @@ impl<R: Send + 'static> FactorService<R> {
             id,
             class,
             dims,
+            kernels: info.kernels,
             cell,
         })
     }
@@ -475,6 +528,7 @@ impl<R: Send + 'static> FactorService<R> {
                     id: handle.id,
                     class: handle.class,
                     dims: handle.dims,
+                    kernels: handle.kernels,
                 };
                 self.shared.job_ended(&info, JobStatus::Cancelled);
                 true
@@ -681,6 +735,46 @@ mod tests {
         let seen: Vec<JobEvent> = events.collect(); // ends: sender dropped
         assert_eq!(seen.len(), n as usize);
         assert!(seen.iter().all(|e| e.status == JobStatus::Done));
+    }
+
+    #[test]
+    fn mixed_lu_and_cholesky_jobs_resolve_on_one_service() {
+        let service = FactorService::new(
+            &cfg(),
+            ServiceConfig {
+                verify: true,
+                ..svc()
+            },
+        )
+        .unwrap();
+        let lu = service
+            .submit(JobSpec::uniform(64, 64, 1), JobClass::Batch)
+            .unwrap();
+        let ch = service
+            .submit(JobSpec::spd_uniform(64, 2), JobClass::Batch)
+            .unwrap();
+        assert_eq!(lu.kernels(), KernelSet::CaluLu);
+        assert_eq!(ch.kernels(), KernelSet::Cholesky);
+        let lu_out = lu.wait().unwrap();
+        let ch_out = ch.wait().unwrap();
+        assert_eq!(lu_out.kernels, KernelSet::CaluLu);
+        assert_eq!(ch_out.kernels, KernelSet::Cholesky);
+        assert!(ch_out.factorization.is_nonsingular());
+        assert!(ch_out.residual.unwrap() < 1e-13);
+        assert!(ch_out.growth_factor.is_none());
+        service.drain();
+    }
+
+    #[test]
+    fn rectangular_cholesky_spec_is_rejected_at_submit() {
+        let service = FactorService::new(&cfg(), svc()).unwrap();
+        let res = service.submit(
+            JobSpec::uniform(64, 48, 1).with_kernels(KernelSet::Cholesky),
+            JobClass::Batch,
+        );
+        assert!(matches!(res, Err(ServeError::Invalid(_))));
+        assert_eq!(service.pending(), 0);
+        service.drain();
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Tiled Cholesky through the same `Solver` facade as CALU: one
+//! algorithm knob, shared scheduler, and a service that mixes LU and
+//! Cholesky jobs in one worker pool.
+//!
+//! ```sh
+//! cargo run --release --example cholesky
+//! ```
+
+use calu::matrix::gen;
+use calu::{Algorithm, JobClass, JobSpec, MatrixSource, Solver};
+
+fn main() {
+    // A seeded SPD matrix, factored as A = L·Lᵀ on the threaded
+    // backend — same hybrid static/dynamic schedule as CALU, but the
+    // kernel set is POTRF/TRSM/SYRK and there is no pivoting barrier.
+    let n = 768;
+    let report = Solver::new(MatrixSource::spd_uniform(n, 2024))
+        .algorithm(Algorithm::Cholesky)
+        .tile(64)
+        .threads(4)
+        .dratio(0.1)
+        .run()
+        .expect("cholesky factorization");
+
+    println!("Tiled Cholesky of a {n}x{n} SPD matrix");
+    println!(
+        "  residual  ‖A − LLᵀ‖/‖A‖ = {:.2e}",
+        report.residual.unwrap()
+    );
+    let f = report.factorization.as_ref().unwrap();
+    println!(
+        "  pivoting  none ({} row swaps, growth factor {:?})",
+        f.perm.len(),
+        report.growth_factor
+    );
+    println!(
+        "  schedule  {:.1} ms makespan, {:.0}% utilization, {} tasks ({:.1} Gflop/s on n³/3)",
+        report.makespan * 1e3,
+        report.utilization() * 100.0,
+        report.tasks,
+        report.gflops(),
+    );
+    assert!(report.residual.unwrap() < 1e-13);
+    assert!(report.growth_factor.is_none());
+    assert!(f.perm.is_empty());
+
+    // A non-SPD source is rejected at plan time, not at execution time.
+    let err = Solver::new(MatrixSource::uniform(n, 1))
+        .algorithm(Algorithm::Cholesky)
+        .run()
+        .unwrap_err();
+    println!("  plan gate rejects a general source: {err}");
+
+    // One service, both algorithms: each job carries its own kernel
+    // set, so LU and Cholesky factorizations interleave on one pool.
+    let service = Solver::new(MatrixSource::shape(256, 256))
+        .tile(32)
+        .threads(4)
+        .serve()
+        .expect("service");
+    let lu = service
+        .submit(JobSpec::uniform(256, 256, 7), JobClass::Interactive)
+        .expect("lu job");
+    let ch = service
+        .submit(JobSpec::spd_uniform(256, 9), JobClass::Interactive)
+        .expect("cholesky job");
+    let lu_report = lu.wait().expect("lu done");
+    let ch_report = ch.wait().expect("cholesky done");
+    println!(
+        "  mixed service: {} residual {:.2e} (growth {:.2}), {} residual {:.2e} (no growth)",
+        lu_report.algorithm,
+        lu_report.residual.unwrap(),
+        lu_report.growth_factor.unwrap(),
+        ch_report.algorithm,
+        ch_report.residual.unwrap(),
+    );
+    assert_eq!(lu_report.algorithm, Algorithm::Calu);
+    assert_eq!(ch_report.algorithm, Algorithm::Cholesky);
+    assert!(ch_report.residual.unwrap() < 1e-13);
+    service.drain();
+
+    // The factors really are Cholesky factors: L·Lᵀ reproduces A.
+    let a = gen::spd_uniform(n, 2024);
+    let l = f.cholesky_l();
+    let mut max_err: f64 = 0.0;
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = 0.0;
+            for k in 0..=j {
+                s += l.get(i, k) * l.get(j, k);
+            }
+            max_err = max_err.max((s - a.get(i, j)).abs());
+        }
+    }
+    println!("  reconstruction max|LLᵀ − A| = {max_err:.2e}");
+    assert!(max_err < 1e-10 * n as f64);
+    println!("OK");
+}

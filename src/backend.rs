@@ -17,8 +17,8 @@
 use std::time::Instant;
 
 use calu_core::{
-    calu_factor_batch_from, calu_factor_report, gepp_factor, incpiv_factor, BatchSource,
-    ThreadStats,
+    calu_factor_report, cholesky_factor_report, factor_batch, gepp_factor, incpiv_factor,
+    BatchItem, BatchSource, ThreadStats,
 };
 use calu_sim::{MachineConfig, SimConfig, SimResult};
 use calu_trace::Timeline;
@@ -168,10 +168,12 @@ impl Backend for ThreadedBackend {
         Some(calu_sched::QueueDiscipline::lock_free())
     }
 
-    /// Persistent-pool batching for CALU plans; anything the pool does
-    /// not cover (reference drivers, the rejected Cilk baseline) falls
-    /// back to the loop-over-`run` default, which reports the same
-    /// per-item errors a solo run would.
+    /// Persistent-pool batching for CALU and Cholesky plans (they share
+    /// the pool's kernel-set dispatch, so a batch may mix the two);
+    /// anything the pool does not cover (reference drivers, the
+    /// rejected Cilk baseline) falls back to the loop-over-`run`
+    /// default, which reports the same per-item errors a solo run
+    /// would.
     fn run_batch(&self, plans: &[Plan<'_>]) -> Result<BatchReport, Error> {
         if plans.is_empty() {
             return Err(Error::Config(
@@ -179,7 +181,7 @@ impl Backend for ThreadedBackend {
             ));
         }
         let pooled = plans.iter().all(|p| {
-            p.algorithm == Algorithm::Calu
+            matches!(p.algorithm, Algorithm::Calu | Algorithm::Cholesky)
                 && !matches!(p.scheduler, calu_sched::SchedulerKind::WorkStealing { .. })
         });
         if pooled {
@@ -216,7 +218,7 @@ impl Backend for ThreadedBackend {
         let a = plan.source.materialize().ok_or_else(|| {
             Error::Config(
                 "the threaded backend factors real data: provide a DenseMatrix \
-                 or MatrixSource::Uniform, not MatrixSource::Shape"
+                 or a seeded generator source, not MatrixSource::Shape"
                     .into(),
             )
         })?;
@@ -284,12 +286,19 @@ impl Backend for ThreadedBackend {
                 report.schedule = sequential_metrics(dt);
             }
             Algorithm::Cholesky => {
-                return Err(Error::Unsupported {
-                    backend: self.name().into(),
-                    what: "tiled Cholesky is modelled, not executed; use \
-                           SimulatedBackend"
-                        .into(),
-                });
+                let cfg = plan.calu_config();
+                let (f, tl, stats) = cholesky_factor_report(&a, &cfg)?;
+                if plan.verify {
+                    report.residual = Some(f.cholesky_residual(&a));
+                    // growth factor is an LU pivoting figure; Cholesky
+                    // has no pivoting, so the field stays None
+                }
+                report.makespan = tl.makespan();
+                report.tasks = tl.spans().len();
+                report.schedule =
+                    threaded_schedule_metrics(plan.threads(), tl.makespan(), &tl, &stats);
+                report.timeline = plan.record_trace.then_some(tl);
+                report.factorization = Some(f);
             }
         }
         Ok(report)
@@ -297,11 +306,12 @@ impl Backend for ThreadedBackend {
 }
 
 impl ThreadedBackend {
-    /// Batched CALU on one persistent worker pool
-    /// (`calu_core::calu_factor_batch`): spawned once, per-worker
-    /// scratch arenas and deques alive across items, small items
-    /// co-scheduled whole-per-worker, large ones on the full hybrid
-    /// schedule. See the `calu_core::batch` module docs for the
+    /// Batched factorization on one persistent worker pool
+    /// (`calu_core::factor_batch`): spawned once, per-worker scratch
+    /// arenas and deques alive across items, small items co-scheduled
+    /// whole-per-worker, large ones on the full hybrid schedule. Each
+    /// item carries its own kernel set, so a batch may mix CALU and
+    /// Cholesky plans. See the `calu_core::batch` module docs for the
     /// scheduling model.
     fn run_batch_pooled(&self, plans: &[Plan<'_>]) -> Result<BatchReport, Error> {
         for plan in plans {
@@ -325,23 +335,35 @@ impl ThreadedBackend {
         // are materialized by the pool worker that claims each item —
         // submission stays O(1) per generator item instead of paying
         // every memset/PRNG fill up front on the calling thread
-        let sources = plans
+        let items_in = plans
             .iter()
-            .map(|p| match p.source {
-                MatrixSource::Dense(a) => Ok(BatchSource::Dense(a)),
-                MatrixSource::Uniform { m, n, seed } => Ok(BatchSource::Uniform {
-                    m: *m,
-                    n: *n,
-                    seed: *seed,
-                }),
-                MatrixSource::Shape { .. } => Err(Error::Config(
-                    "the threaded backend factors real data: provide a DenseMatrix \
-                     or MatrixSource::Uniform, not MatrixSource::Shape"
-                        .into(),
-                )),
+            .map(|p| {
+                let source = match p.source {
+                    MatrixSource::Dense(a) => BatchSource::Dense(a),
+                    MatrixSource::Uniform { m, n, seed } => BatchSource::Uniform {
+                        m: *m,
+                        n: *n,
+                        seed: *seed,
+                    },
+                    MatrixSource::SpdUniform { n, seed } => BatchSource::SpdUniform {
+                        n: *n,
+                        seed: *seed,
+                    },
+                    MatrixSource::Shape { .. } => {
+                        return Err(Error::Config(
+                            "the threaded backend factors real data: provide a DenseMatrix \
+                             or a seeded generator source, not MatrixSource::Shape"
+                                .into(),
+                        ))
+                    }
+                };
+                Ok(match p.algorithm {
+                    Algorithm::Cholesky => BatchItem::cholesky(source),
+                    _ => BatchItem::lu(source),
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let outcome = calu_factor_batch_from(&sources, &cfg)?;
+        let outcome = factor_batch(&items_in, &cfg)?;
         let co_scheduled = outcome.items.iter().filter(|i| i.co_scheduled).count();
         let items = plans
             .iter()
@@ -378,8 +400,12 @@ impl ThreadedBackend {
                         .source
                         .materialize()
                         .expect("shape-only sources were rejected above");
-                    report.residual = Some(item.factorization.residual(&a));
-                    report.growth_factor = Some(item.factorization.growth_factor(&a));
+                    if plan.algorithm == Algorithm::Cholesky {
+                        report.residual = Some(item.factorization.cholesky_residual(&a));
+                    } else {
+                        report.residual = Some(item.factorization.residual(&a));
+                        report.growth_factor = Some(item.factorization.growth_factor(&a));
+                    }
                 }
                 report.factorization = Some(item.factorization);
                 report

@@ -148,6 +148,7 @@ pub mod serve;
 pub mod solver;
 
 pub use backend::{Backend, SimulatedBackend, ThreadedBackend};
+pub use calu_core::KernelSet;
 pub use calu_sched::QueueDiscipline;
 pub use error::Error;
 pub use report::{

@@ -279,13 +279,15 @@ pub struct Report {
     pub nominal_flops: f64,
     /// The factors, when the backend computed them for real.
     pub factorization: Option<Factorization>,
-    /// Relative factorization residual `‖PA − LU‖/‖A‖` (real backends
-    /// with data). Exception: [`Algorithm::IncPiv`] keeps per-tile
-    /// factors, so it reports a solve-based backward error
+    /// Relative factorization residual (real backends with data):
+    /// `‖PA − LU‖/‖A‖` for the LU algorithms, `‖A − LLᵀ‖/‖A‖` for
+    /// [`Algorithm::Cholesky`]. Exception: [`Algorithm::IncPiv`] keeps
+    /// per-tile factors, so it reports a solve-based backward error
     /// `‖Ax − b‖/(‖A‖‖x‖)` for a seeded random rhs instead — the two
     /// metrics are close in magnitude but not the same quantity.
     pub residual: Option<f64>,
     /// Element growth factor `max|U|/max|A|` (real backends with data).
+    /// A pivoting figure, so LU only — `None` for Cholesky.
     pub growth_factor: Option<f64>,
     /// Unified schedule metrics.
     pub schedule: ScheduleMetrics,

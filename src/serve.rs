@@ -39,6 +39,7 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use calu_core::pool::PoolOutcome;
+use calu_core::KernelSet;
 use calu_sched::{QueueDiscipline, SchedulerKind};
 
 pub use calu_serve::{
@@ -63,18 +64,45 @@ fn serve_err(e: ServeError) -> Error {
     }
 }
 
-/// Build a [`JobSpec`] from a facade source (rejecting shape-only
-/// sources, which carry no data to factor).
-fn spec_for(source: MatrixSource) -> Result<JobSpec, Error> {
-    match source {
-        MatrixSource::Dense(a) => Ok(JobSpec::dense(a)),
-        MatrixSource::Uniform { m, n, seed } => Ok(JobSpec::uniform(m, n, seed)),
-        MatrixSource::Shape { .. } => Err(Error::Config(
-            "the factorization service factors real data: provide a DenseMatrix \
-             or MatrixSource::Uniform, not MatrixSource::Shape"
-                .into(),
-        )),
+/// The kernel set a facade algorithm runs on the service pool.
+fn kernels_for(algorithm: Algorithm) -> KernelSet {
+    if algorithm == Algorithm::Cholesky {
+        KernelSet::Cholesky
+    } else {
+        KernelSet::CaluLu
     }
+}
+
+/// Build a [`JobSpec`] from a facade source (rejecting shape-only
+/// sources, which carry no data to factor). `kernels` selects the
+/// algorithm for the job: `Some` forces it (the sweep pumps pass the
+/// solver's algorithm), `None` infers it from the source — SPD
+/// generators run tiled Cholesky, everything else CALU.
+fn spec_for(source: MatrixSource, kernels: Option<KernelSet>) -> Result<JobSpec, Error> {
+    if kernels == Some(KernelSet::Cholesky) && matches!(source, MatrixSource::Uniform { .. }) {
+        return Err(Error::Config(
+            "Cholesky requires a symmetric positive-definite input, but \
+             MatrixSource::Uniform generates a general matrix; use \
+             MatrixSource::SpdUniform (or pass SPD data as Dense)"
+                .into(),
+        ));
+    }
+    let spec = match source {
+        MatrixSource::Dense(a) => JobSpec::dense(a),
+        MatrixSource::Uniform { m, n, seed } => JobSpec::uniform(m, n, seed),
+        MatrixSource::SpdUniform { n, seed } => JobSpec::spd_uniform(n, seed),
+        MatrixSource::Shape { .. } => {
+            return Err(Error::Config(
+                "the factorization service factors real data: provide a DenseMatrix \
+                 or a seeded generator source, not MatrixSource::Shape"
+                    .into(),
+            ))
+        }
+    };
+    Ok(match kernels {
+        Some(k) => spec.with_kernels(k),
+        None => spec,
+    })
 }
 
 impl Solver {
@@ -94,19 +122,22 @@ impl Solver {
     /// builder's own matrix source supplies only its shape for
     /// validation; jobs bring their own data as [`JobSpec`]s.
     ///
-    /// Restrictions mirror the threaded backend's: CALU only, no
-    /// work-stealing baseline, no explicit BLAS-3 grouping. Inside the
-    /// pool each job's dynamic section uses the paper's shared global
-    /// queue (reported as [`QueueDiscipline::Global`]); the factors are
-    /// bitwise-independent of that choice.
+    /// Restrictions mirror the threaded backend's: CALU and Cholesky
+    /// only (every job carries its own [`KernelSet`],
+    /// so one service can mix the two), no work-stealing baseline, no
+    /// explicit BLAS-3 grouping. Inside the pool each job's dynamic
+    /// section uses the paper's shared global queue (reported as
+    /// [`QueueDiscipline::Global`]); the factors are bitwise-independent
+    /// of that choice.
     pub fn serve_with(&self, mut svc: ServiceConfig) -> Result<ReportService, Error> {
         let plan = self.plan()?;
-        if plan.algorithm != Algorithm::Calu {
+        if !matches!(plan.algorithm, Algorithm::Calu | Algorithm::Cholesky) {
             return Err(Error::Unsupported {
                 backend: "serve".into(),
                 what: format!(
-                    "the factorization service runs CALU jobs on its persistent \
-                     pool; {} has no pooled executor — use Solver::run",
+                    "the factorization service runs CALU and Cholesky jobs on \
+                     its persistent pool; {} has no pooled executor — use \
+                     Solver::run",
                     plan.algorithm
                 ),
             });
@@ -140,9 +171,15 @@ impl Solver {
                 &out.timeline,
                 &out.stats,
             );
+            // the job's own kernel set, not the builder's algorithm: one
+            // service can serve LU and Cholesky jobs side by side
+            let algorithm = match out.kernels {
+                KernelSet::CaluLu => Algorithm::Calu,
+                KernelSet::Cholesky => Algorithm::Cholesky,
+            };
             Report {
                 backend: "serve".into(),
-                algorithm: Algorithm::Calu,
+                algorithm,
                 scheduler,
                 queue_discipline: QueueDiscipline::Global,
                 layout: make_cfg.layout,
@@ -151,7 +188,7 @@ impl Solver {
                 threads: make_cfg.threads,
                 tasks: out.timeline.spans().len(),
                 makespan: out.makespan,
-                nominal_flops: nominal_flops(Algorithm::Calu, out.dims.0, out.dims.1),
+                nominal_flops: nominal_flops(algorithm, out.dims.0, out.dims.1),
                 factorization: Some(out.factorization),
                 residual: out.residual,
                 growth_factor: out.growth_factor,
@@ -172,8 +209,9 @@ impl Solver {
     where
         I: IntoIterator<Item = MatrixSource>,
     {
+        let kernels = kernels_for(self.plan()?.algorithm);
         let service = self.serve()?;
-        let report = pump(&service, sources, false);
+        let report = pump(&service, sources, Some(kernels), false);
         service.drain();
         report
     }
@@ -184,15 +222,25 @@ impl Solver {
 /// [`BatchReport`] has [`BatchReport::pool_reused`] set and
 /// `pool_spawn_secs = 0`. Jobs are submitted under [`JobClass::Batch`]
 /// with a bounded in-flight window; results return in input order. The
-/// service stays up afterwards.
+/// service stays up afterwards. Each source picks its own kernel set:
+/// [`MatrixSource::SpdUniform`] runs tiled Cholesky, dense and uniform
+/// sources run CALU — so one warm sweep can mix the two (to force
+/// Cholesky on dense SPD data, submit a
+/// [`JobSpec`] with [`JobSpec::with_kernels`] directly).
 pub fn service_batch(service: &ReportService, sources: &[MatrixSource]) -> Result<BatchReport, Error> {
-    pump(service, sources.iter().cloned(), true)
+    pump(service, sources.iter().cloned(), None, true)
 }
 
 /// The shared submit/wait pump behind [`Solver::batch_iter`] and
 /// [`service_batch`]: keep at most `2 × threads` jobs in flight,
-/// collect results in submission order.
-fn pump<I>(service: &ReportService, sources: I, warm: bool) -> Result<BatchReport, Error>
+/// collect results in submission order. `kernels` is `Some` when the
+/// caller's solver fixes the algorithm, `None` to infer per source.
+fn pump<I>(
+    service: &ReportService,
+    sources: I,
+    kernels: Option<KernelSet>,
+    warm: bool,
+) -> Result<BatchReport, Error>
 where
     I: IntoIterator<Item = MatrixSource>,
 {
@@ -206,7 +254,7 @@ where
     let mut items: Vec<Report> = Vec::new();
     let mut co_scheduled = 0usize;
     for source in sources {
-        let spec = spec_for(source)?;
+        let spec = spec_for(source, kernels)?;
         if service.co_schedules(spec.dims()) {
             co_scheduled += 1;
         }

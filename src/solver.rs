@@ -29,7 +29,13 @@ pub enum Algorithm {
     Gepp,
     /// Tiled LU with incremental pivoting (the PLASMA stand-in).
     IncPiv,
-    /// Tiled Cholesky (§9 extension; simulated backend only).
+    /// Tiled Cholesky of a symmetric positive-definite matrix (§9
+    /// extension). Runs for real on [`ThreadedBackend`] — `dpotrf` /
+    /// `A·L⁻ᵀ`-TRSM / SYRK tile kernels on the same hybrid
+    /// static/dynamic executor as CALU — and as a cost model on the
+    /// simulated backend. Requires a square source that is SPD (use
+    /// [`MatrixSource::SpdUniform`] for seeded inputs; a non-SPD dense
+    /// input is flagged at run time via the report's `singular_at`).
     Cholesky,
 }
 
@@ -63,6 +69,15 @@ pub enum MatrixSource {
         /// Generator seed.
         seed: u64,
     },
+    /// Seeded symmetric positive-definite matrix
+    /// (`calu_matrix::gen::spd_uniform`), generated on demand — the
+    /// seeded source [`Algorithm::Cholesky`] requires.
+    SpdUniform {
+        /// Order (the matrix is `n×n`).
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
     /// Shape only — enough for simulation, rejected by real backends.
     Shape {
         /// Rows.
@@ -83,6 +98,11 @@ impl MatrixSource {
         MatrixSource::Uniform { m, n, seed }
     }
 
+    /// Seeded symmetric positive-definite matrix.
+    pub fn spd_uniform(n: usize, seed: u64) -> Self {
+        MatrixSource::SpdUniform { n, seed }
+    }
+
     /// Shape-only source for simulated sweeps.
     pub fn shape(m: usize, n: usize) -> Self {
         MatrixSource::Shape { m, n }
@@ -92,6 +112,7 @@ impl MatrixSource {
     pub fn dims(&self) -> (usize, usize) {
         match self {
             MatrixSource::Dense(a) => (a.rows(), a.cols()),
+            MatrixSource::SpdUniform { n, .. } => (*n, *n),
             MatrixSource::Uniform { m, n, .. } | MatrixSource::Shape { m, n } => (*m, *n),
         }
     }
@@ -104,6 +125,9 @@ impl MatrixSource {
             MatrixSource::Dense(a) => Some(Cow::Borrowed(a)),
             MatrixSource::Uniform { m, n, seed } => {
                 Some(Cow::Owned(calu_matrix::gen::uniform(*m, *n, *seed)))
+            }
+            MatrixSource::SpdUniform { n, seed } => {
+                Some(Cow::Owned(calu_matrix::gen::spd_uniform(*n, *seed)))
             }
             MatrixSource::Shape { .. } => None,
         }
@@ -384,11 +408,21 @@ impl Solver {
     /// the same validation, applied to one item of a batched sweep.
     fn plan_for<'a>(&'a self, source: &'a MatrixSource) -> Result<Plan<'a>, Error> {
         let (m, n) = source.dims();
-        if self.algorithm == Algorithm::Cholesky && m != n {
-            return Err(Error::Config(format!(
-                "Cholesky factors a square symmetric matrix, got {m}×{n}; \
-                 use a square source or an LU algorithm"
-            )));
+        if self.algorithm == Algorithm::Cholesky {
+            if m != n {
+                return Err(Error::Config(format!(
+                    "Cholesky factors a square symmetric matrix, got {m}×{n}; \
+                     use a square source or an LU algorithm"
+                )));
+            }
+            if matches!(source, MatrixSource::Uniform { .. }) {
+                return Err(Error::Config(
+                    "Cholesky requires a symmetric positive-definite input, but \
+                     MatrixSource::Uniform generates a general matrix; use \
+                     MatrixSource::SpdUniform (or pass SPD data as Dense)"
+                        .into(),
+                ));
+            }
         }
         let threads = self
             .threads
@@ -550,6 +584,37 @@ mod tests {
             matches!(err, crate::Error::Config(ref m) if m.contains("square")),
             "{err}"
         );
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd_generator_source() {
+        let err = Solver::new(MatrixSource::uniform(400, 1))
+            .algorithm(Algorithm::Cholesky)
+            .plan()
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::Error::Config(ref m) if m.contains("SpdUniform")),
+            "{err}"
+        );
+        // the SPD generator, dense data and shape-only sources all plan
+        for src in [
+            MatrixSource::spd_uniform(400, 1),
+            MatrixSource::Dense(calu_matrix::gen::spd_uniform(100, 2)),
+            MatrixSource::shape(400, 400),
+        ] {
+            assert!(Solver::new(src)
+                .algorithm(Algorithm::Cholesky)
+                .plan()
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn spd_source_dims_and_materialization() {
+        let s = MatrixSource::spd_uniform(32, 9);
+        assert_eq!(s.dims(), (32, 32));
+        let a = s.materialize().unwrap();
+        assert!(a.approx_eq(&calu_matrix::gen::spd_uniform(32, 9), 0.0));
     }
 
     #[test]

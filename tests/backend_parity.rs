@@ -13,7 +13,7 @@ use calu::matrix::{gen, ops, Layout, ProcessGrid};
 use calu::sched::SchedulerKind;
 use calu::sim::{MachineConfig, NoiseConfig};
 use calu::{
-    Backend, ContentionStats, MatrixSource, QueueDiscipline, SimulatedBackend, Solver,
+    Algorithm, Backend, ContentionStats, MatrixSource, QueueDiscipline, SimulatedBackend, Solver,
     ThreadedBackend,
 };
 
@@ -413,6 +413,195 @@ fn simulated_batch_models_the_same_semantics() {
     }
     assert!((batch.wall_secs - sum).abs() < 1e-12);
     assert!(batch.items_per_sec() > 0.0);
+}
+
+#[test]
+fn threaded_cholesky_is_bitwise_stable_and_matches_the_dpotrf_reference() {
+    // The kernel-set sweep for Cholesky: across queue disciplines and
+    // thread counts the tiled factor must agree to the last bit (the
+    // DAG's exclusive-writer rule fixes every tile's summation order),
+    // carry an identity permutation and no growth factor, pass the
+    // relative residual gate, and agree with the sequential dpotrf
+    // reference to roundoff (different tilings sum in different orders,
+    // so the reference comparison is elementwise, not bitwise).
+    for (n, b, seed) in [(64usize, 16usize, 41u64), (96, 16, 42), (100, 24, 43)] {
+        let mut reference = gen::spd_uniform(n, seed);
+        let ld = reference.ld();
+        assert!(
+            calu::kernels::dpotrf_unblocked(n, reference.as_mut_slice(), ld).is_none(),
+            "spd_uniform must be numerically SPD, n={n}"
+        );
+        let run = |queue: QueueDiscipline, threads: usize| {
+            Solver::new(MatrixSource::spd_uniform(n, seed))
+                .algorithm(Algorithm::Cholesky)
+                .tile(b)
+                .threads(threads)
+                .dratio(0.5)
+                .queue_discipline(queue)
+                .backend(ThreadedBackend)
+                .run()
+                .unwrap()
+        };
+        let base = run(QueueDiscipline::Global, 4);
+        let fb = base.factorization.as_ref().unwrap();
+        let ctx = format!("n={n} b={b} seed={seed}");
+        assert_eq!(base.algorithm, Algorithm::Cholesky, "{ctx}");
+        assert!(fb.perm.pivots().is_empty(), "no pivoting, {ctx}");
+        assert!(
+            base.residual.unwrap() < 1e-13,
+            "relative ‖A − LLᵀ‖ residual {} over the gate, {ctx}",
+            base.residual.unwrap()
+        );
+        assert!(
+            base.growth_factor.is_none(),
+            "growth factor is an LU pivoting figure, {ctx}"
+        );
+        for i in 0..n {
+            for j in 0..=i {
+                let (x, y) = (fb.lu.get(i, j), reference.get(i, j));
+                assert!((x - y).abs() < 1e-11, "vs dpotrf at ({i},{j}), {ctx}: {x} vs {y}");
+            }
+        }
+        for queue in [QueueDiscipline::sharded(), QueueDiscipline::lock_free()] {
+            for threads in [1usize, 2, 4] {
+                let r = run(queue, threads);
+                let f = r.factorization.as_ref().unwrap();
+                assert_eq!(
+                    fb.lu.as_slice(),
+                    f.lu.as_slice(),
+                    "packed L bits vs {queue} × {threads} threads, {ctx}"
+                );
+                assert_eq!(
+                    base.residual.unwrap().to_bits(),
+                    r.residual.unwrap().to_bits(),
+                    "residual bits vs {queue} × {threads} threads, {ctx}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cholesky_residual_gate_holds_across_a_seeded_spd_sweep() {
+    for (n, b, threads, seed) in [
+        (48usize, 8usize, 2usize, 61u64),
+        (64, 16, 3, 62),
+        (80, 16, 4, 63),
+        (100, 24, 3, 64),
+        (128, 32, 4, 65),
+    ] {
+        let r = Solver::new(MatrixSource::spd_uniform(n, seed))
+            .algorithm(Algorithm::Cholesky)
+            .tile(b)
+            .threads(threads)
+            .dratio(0.5)
+            .run()
+            .unwrap();
+        assert!(
+            r.residual.unwrap() < 1e-13,
+            "residual {} for n={n} b={b} threads={threads}",
+            r.residual.unwrap()
+        );
+        assert!(r.growth_factor.is_none(), "n={n}");
+    }
+}
+
+#[test]
+fn cholesky_plans_validate_their_sources() {
+    // squareness and SPD provenance are plan-time errors, not runtime
+    // surprises, and the messages say what to do instead
+    let err = Solver::new(MatrixSource::uniform_rect(64, 48, 1))
+        .algorithm(Algorithm::Cholesky)
+        .tile(16)
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, calu::Error::Config(ref m) if m.contains("square")),
+        "{err}"
+    );
+    let err = Solver::new(MatrixSource::uniform(64, 1))
+        .algorithm(Algorithm::Cholesky)
+        .tile(16)
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, calu::Error::Config(ref m) if m.contains("SpdUniform")),
+        "{err}"
+    );
+}
+
+#[test]
+fn mixed_lu_and_cholesky_batch_routes_both_through_one_pool() {
+    // the pooled batch executor dispatches per item by kernel set; a
+    // sweep can only mix algorithms per-plan through Backend::run_batch
+    // (Solver::batch fixes one algorithm), so build plans by hand
+    let lu_solver = Solver::new(MatrixSource::uniform(64, 71))
+        .tile(16)
+        .threads(3)
+        .dratio(0.5);
+    let ch_solver = Solver::new(MatrixSource::spd_uniform(64, 72))
+        .algorithm(Algorithm::Cholesky)
+        .tile(16)
+        .threads(3)
+        .dratio(0.5);
+    let plans = [lu_solver.plan().unwrap(), ch_solver.plan().unwrap()];
+    let batch = ThreadedBackend.run_batch(&plans).unwrap();
+    assert_eq!(batch.len(), 2);
+    let lu_solo = lu_solver.run().unwrap();
+    let ch_solo = ch_solver.run().unwrap();
+    for (item, solo) in batch.items.iter().zip([&lu_solo, &ch_solo]) {
+        assert_eq!(item.algorithm, solo.algorithm);
+        assert_eq!(
+            item.factorization.as_ref().unwrap().lu.as_slice(),
+            solo.factorization.as_ref().unwrap().lu.as_slice(),
+            "{} batch item matches its solo run bitwise",
+            solo.algorithm
+        );
+        assert_eq!(
+            item.residual.unwrap().to_bits(),
+            solo.residual.unwrap().to_bits()
+        );
+    }
+    assert!(batch.items[0].growth_factor.is_some(), "LU reports growth");
+    assert!(batch.items[1].growth_factor.is_none(), "Cholesky has none");
+}
+
+#[test]
+fn simulated_cholesky_task_counts_match_the_threaded_dag() {
+    // both backends factor Cholesky through the exact same DAG; pin the
+    // per-kind split (POTRF / TRSM / SYRK+GEMM ride the P/L/S kinds, no
+    // U barrier without pivoting) and check the simulator executes it
+    // exactly, task for task, against what the threaded backend reports
+    let (n, b) = (1024usize, 128usize);
+    let nt = n / b;
+    let g = TaskGraph::build_cholesky(n, b);
+    let (potrf, trsm, u, updates) = g.counts_by_kind();
+    assert_eq!(potrf, nt);
+    assert_eq!(trsm, nt * (nt - 1) / 2);
+    assert_eq!(u, 0, "no pivoting means no column fan-in tasks");
+    assert_eq!(updates, (nt - 1) * nt * (nt + 1) / 6);
+    assert_eq!(g.len(), potrf + trsm + updates);
+
+    let mach = MachineConfig::intel_xeon_16(NoiseConfig::off());
+    let sim = Solver::new(MatrixSource::shape(n, n))
+        .algorithm(Algorithm::Cholesky)
+        .tile(b)
+        .backend(SimulatedBackend::new(mach))
+        .run()
+        .unwrap();
+    assert_eq!(sim.tasks, g.len(), "simulator runs every DAG task once");
+    assert_eq!(sim.schedule.total_tasks() as usize, g.len());
+
+    // threaded at a size we can afford to execute for real: the span
+    // timeline covers the same DAG, one span per task
+    let (n2, b2) = (96usize, 16usize);
+    let threaded = Solver::new(MatrixSource::spd_uniform(n2, 73))
+        .algorithm(Algorithm::Cholesky)
+        .tile(b2)
+        .threads(3)
+        .run()
+        .unwrap();
+    assert_eq!(threaded.tasks, TaskGraph::build_cholesky(n2, b2).len());
 }
 
 #[test]

@@ -7,7 +7,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use calu::{
-    service_batch, JobClass, JobSpec, JobStatus, MatrixSource, ServeError, ServiceConfig, Solver,
+    service_batch, Algorithm, JobClass, JobSpec, JobStatus, MatrixSource, ServeError,
+    ServiceConfig, Solver,
 };
 
 /// The shared knobs every test's solver uses (small tiles so even tiny
@@ -302,6 +303,112 @@ fn batch_iter_streams_and_matches_solo_runs_bitwise() {
             "n={n}"
         );
     }
+}
+
+#[test]
+fn one_service_serves_lu_and_cholesky_jobs_side_by_side() {
+    // the kernel-set e2e: concurrent submitters push LU and Cholesky
+    // jobs into one warm pool; every result must carry its own
+    // algorithm's report shape and match the solo run of the same
+    // source bitwise
+    let service = solver(MatrixSource::shape(8, 8)).serve().unwrap();
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let service = &service;
+            let done = &done;
+            s.spawn(move || {
+                for j in 0..4u64 {
+                    let n = [48usize, 64, 96][((t + j) % 3) as usize];
+                    let seed = 2000 + t * 10 + j;
+                    let cholesky = (t + j) % 2 == 0;
+                    let spec = if cholesky {
+                        JobSpec::spd_uniform(n, seed)
+                    } else {
+                        JobSpec::uniform(n, n, seed)
+                    };
+                    let handle = service.submit(spec, JobClass::Batch).unwrap();
+                    let report = handle.wait().unwrap();
+                    let ctx = format!("n={n} seed={seed} cholesky={cholesky}");
+                    let solo_src = if cholesky {
+                        MatrixSource::spd_uniform(n, seed)
+                    } else {
+                        MatrixSource::uniform(n, seed)
+                    };
+                    let solo = if cholesky {
+                        solver(solo_src).algorithm(Algorithm::Cholesky).run()
+                    } else {
+                        solver(solo_src).run()
+                    }
+                    .unwrap();
+                    assert_eq!(report.algorithm, solo.algorithm, "{ctx}");
+                    assert_eq!(
+                        report.factorization.as_ref().unwrap().lu.as_slice(),
+                        solo.factorization.as_ref().unwrap().lu.as_slice(),
+                        "packed factor bits, {ctx}"
+                    );
+                    assert_eq!(
+                        report.residual.unwrap().to_bits(),
+                        solo.residual.unwrap().to_bits(),
+                        "residual bits, {ctx}"
+                    );
+                    if cholesky {
+                        assert!(report.residual.unwrap() < 1e-13, "{ctx}");
+                        assert!(report.growth_factor.is_none(), "{ctx}");
+                        assert!(
+                            report.nominal_flops < solo_lu_flops(n),
+                            "Cholesky bills n³/3, not LU's 2n³/3, {ctx}"
+                        );
+                    } else {
+                        assert!(report.residual.unwrap() < 1e-12, "{ctx}");
+                        assert!(report.growth_factor.is_some(), "{ctx}");
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(done.load(Ordering::Relaxed), 12);
+    service.drain();
+}
+
+/// LU's nominal flop bill for an `n × n` matrix (the mixed-service test
+/// checks Cholesky jobs are billed less than this).
+fn solo_lu_flops(n: usize) -> f64 {
+    let nf = n as f64;
+    2.0 * nf * nf * nf / 3.0
+}
+
+#[test]
+fn cholesky_sweeps_flow_through_batch_iter_and_service_batch() {
+    // the streaming entry points: a Cholesky solver pumps SPD sources
+    // through batch_iter, and a warm service infers Cholesky from
+    // SpdUniform sources in a mixed service_batch sweep
+    let seeds = [801u64, 802, 803];
+    let batch = Solver::new(MatrixSource::shape(8, 8))
+        .algorithm(Algorithm::Cholesky)
+        .tile(16)
+        .threads(2)
+        .dratio(0.5)
+        .batch_iter(seeds.iter().map(|&s| MatrixSource::spd_uniform(64, s)))
+        .unwrap();
+    assert_eq!(batch.len(), 3);
+    for (item, &seed) in batch.items.iter().zip(&seeds) {
+        assert_eq!(item.algorithm, Algorithm::Cholesky, "seed={seed}");
+        assert!(item.residual.unwrap() < 1e-13, "seed={seed}");
+        assert!(item.growth_factor.is_none(), "seed={seed}");
+    }
+
+    let service = solver(MatrixSource::shape(8, 8)).serve().unwrap();
+    let mixed = [
+        MatrixSource::uniform(64, 811),
+        MatrixSource::spd_uniform(64, 812),
+    ];
+    let warm = service_batch(&service, &mixed).unwrap();
+    assert_eq!(warm.items[0].algorithm, Algorithm::Calu);
+    assert_eq!(warm.items[1].algorithm, Algorithm::Cholesky);
+    assert!(warm.items[1].residual.unwrap() < 1e-13);
+    service.drain();
 }
 
 #[test]
