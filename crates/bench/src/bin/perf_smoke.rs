@@ -34,6 +34,12 @@
 //! both gated at the threaded tolerance) and fails outright if Cholesky
 //! — half LU's flops — takes more than 0.65× LU's makespan.
 //!
+//! The degradation axis reruns the n = 1024 LU with worker 0 slowed 2×
+//! by deterministic fault injection (`degraded_makespan_secs`, gated at
+//! the threaded tolerance) and fails outright if the degraded run is
+//! over 1.6× the healthy one — the dynamic section must absorb a slow
+//! core, which is the paper's case for hybrid scheduling.
+//!
 //! Timing metrics are normalized by a fixed single-threaded calibration
 //! kernel before comparison (see `calu_bench::perf`), so a baseline
 //! recorded on one machine still gates a run on a different one.
@@ -53,7 +59,7 @@ use calu::dag::TaskGraph;
 use calu::kernels::{dgemm_packed, GemmScratch};
 use calu::matrix::{gen, ProcessGrid};
 use calu::sched::{make_policy_with, QueueDiscipline, SchedulerKind};
-use calu::{service_batch, Algorithm, MatrixSource, Report, Solver};
+use calu::{service_batch, Algorithm, FaultPlan, MatrixSource, Report, Solver};
 use calu_bench::perf::{
     calibration_secs, compare_with, min_of, parse_flat_json, write_flat_json, CALIBRATION_KEY,
 };
@@ -206,6 +212,28 @@ fn algorithm_axis() -> (f64, f64) {
     (ch_secs, lu_secs)
 }
 
+/// The degradation axis: the same n = 1024 LU with worker 0 injected at
+/// an effective 2× slowdown (`FaultPlan::slow_worker`). The hybrid
+/// scheduler treats the slow worker as degraded and routes its static
+/// share to the dynamic queues, so the healthy workers absorb most of
+/// the lost capacity: a naive static schedule would pay the full 2×,
+/// the in-binary check below holds the real executor to ≤ 1.6× the
+/// healthy LU makespan. Gated against the baseline at the threaded
+/// tolerance like every 4-thread wall-clock figure.
+fn degraded_secs() -> f64 {
+    let solver = Solver::new(MatrixSource::uniform(ALGO_N, SEED))
+        .tile(B)
+        .threads(THREADS)
+        .dratio(DRATIO)
+        .fault_plan(FaultPlan::off().with_seed(SEED).slow_worker(0, 2.0))
+        .verify(false);
+    let mut secs = f64::INFINITY;
+    for _ in 0..ALGO_ITERS {
+        secs = secs.min(solver.run().expect("degraded smoke").makespan);
+    }
+    secs
+}
+
 fn threaded(queue: QueueDiscipline) -> (f64, Report) {
     let a = gen::uniform(N, N, SEED);
     let solver = Solver::new(a)
@@ -323,6 +351,7 @@ fn main() -> ExitCode {
     // more sensitive to a fragmented arena than the one-at-a-time loop
     let (batch_ips, loop_ips, serve_jps) = batch_throughput();
     let (cholesky_secs, cholesky_lu_secs) = algorithm_axis();
+    let degraded = degraded_secs();
     let (global_secs, _) = threaded(QueueDiscipline::Global);
     let (sharded_secs, sharded_report) = threaded(QueueDiscipline::Sharded { seed: SEED });
     let (lockfree_secs, lockfree_report) = threaded(QueueDiscipline::LockFree { seed: SEED });
@@ -390,6 +419,12 @@ fn main() -> ExitCode {
         ("cholesky_1024_secs", cholesky_secs),
         ("cholesky_lu_1024_secs", cholesky_lu_secs),
         ("cholesky_vs_lu_ratio", cholesky_secs / cholesky_lu_secs),
+        // the degradation axis: n=1024 LU with worker 0 slowed 2× by
+        // fault injection, gated at the threaded tolerance; the ratio
+        // to the healthy LU run is recorded ungated — the in-binary
+        // 1.6× ceiling below enforces the absorption absolutely
+        ("degraded_makespan_secs", degraded),
+        ("degraded_vs_healthy_ratio", degraded / cholesky_lu_secs),
     ]
     .into_iter()
     .map(|(k, v)| (k.to_string(), v))
@@ -458,6 +493,25 @@ fn main() -> ExitCode {
         cholesky_secs / cholesky_lu_secs
     );
 
+    // the degradation criterion is absolute as well: with one of four
+    // workers at half speed the dynamic section must absorb the loss —
+    // perfect rebalancing lands near 8/7 ≈ 1.14×, a purely static
+    // schedule pays the full 2×; 1.6× leaves room for runner noise
+    // while still failing any rescue/degradation regression outright
+    if degraded > 1.6 * cholesky_lu_secs {
+        eprintln!(
+            "perf-smoke FAILED: LU with a 2x-slowed worker ({degraded:.3}s) is over \
+             1.6x the healthy run ({cholesky_lu_secs:.3}s) at n={ALGO_N} — the \
+             dynamic section is not absorbing the degradation"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "degraded (1 worker at 2x) vs healthy lu at n={ALGO_N}: {:.2}x \
+         ({degraded:.3}s vs {cholesky_lu_secs:.3}s)",
+        degraded / cholesky_lu_secs
+    );
+
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -471,6 +525,7 @@ fn main() -> ExitCode {
                 || key.starts_with("batch_")
                 || key.starts_with("serve_")
                 || key.starts_with("cholesky_")
+                || key.starts_with("degraded_")
             {
                 threaded_tolerance
             } else {

@@ -405,6 +405,13 @@ pub(crate) struct WorkerHaul {
 /// the dynamic priority key. No queues, no cross-worker contention —
 /// the DAG and kernels are identical to the co-operative path, so the
 /// bits are too.
+///
+/// `interrupt` is polled between tasks (fault injection in the service
+/// pool): returning `true` abandons the drain mid-item, and the
+/// function reports `false` — the item did **not** complete and its
+/// state must be discarded (the pool requeues the whole item; its claim
+/// was atomic, so a fresh claimant rebuilds from the source). Batch
+/// callers pass `None` and always get `true`.
 pub(crate) fn run_item_sequential<S: TileStorage + Send>(
     item: &ItemState<S>,
     idx: usize,
@@ -412,13 +419,19 @@ pub(crate) fn run_item_sequential<S: TileStorage + Send>(
     scratch: &mut GemmScratch,
     t0: &Instant,
     haul: &mut WorkerHaul,
-) {
+    mut interrupt: Option<&mut dyn FnMut() -> bool>,
+) -> bool {
     let mut stack = item.g.initial_ready();
     // descending key order so `pop` serves the smallest (most critical)
     // key first; freshly enabled successors are re-sorted the same way
     stack.sort_unstable_by_key(|t| Reverse(item.dynamic_keys[t.idx()]));
     let mut buf: Vec<TaskId> = Vec::new();
     while let Some(t) = stack.pop() {
+        if let Some(stop) = interrupt.as_deref_mut() {
+            if stop() {
+                return false;
+            }
+        }
         let start = t0.elapsed().as_secs_f64();
         item.execute(t, scratch);
         let end = t0.elapsed().as_secs_f64();
@@ -439,6 +452,7 @@ pub(crate) fn run_item_sequential<S: TileStorage + Send>(
         haul.stats[idx].local_pops += 1;
     }
     debug_assert_eq!(item.done.load(Ordering::Acquire), item.g.len());
+    true
 }
 
 /// Build, drain and finish one co-scheduled item entirely on the
@@ -471,7 +485,7 @@ fn run_small_item<S: TileStorage + Send>(
         nstatic_for(cfg.dratio, g.num_panels()),
     );
     drop(a); // tile data is converted; free the generator fill early
-    run_item_sequential(&item, idx, me, scratch, t0, haul);
+    run_item_sequential(&item, idx, me, scratch, t0, haul, None);
     let (s, perm, singular_at) = item.finish();
     let mut lu = into_dense(s);
     apply_left_swaps(&mut lu, g, &perm, cfg.b);
@@ -783,6 +797,15 @@ pub fn calu_factor_batch_from(
 /// [`crate::cholesky_factor`]) with the same config.
 pub fn factor_batch(items: &[BatchItem<'_>], cfg: &CaluConfig) -> Result<BatchOutcome, CaluError> {
     let grid = cfg.validate()?;
+    if !cfg.fault.is_off() {
+        return Err(CaluError::InvalidConfig(
+            "fault injection is not supported on the scoped batch executor; \
+             inject through a solo run (calu_factor) or a long-running \
+             service pool (ServicePool / FactorService), which carry the \
+             rescue and requeue machinery"
+                .into(),
+        ));
+    }
     if items.is_empty() {
         return Err(CaluError::InvalidConfig(
             "a batch needs at least one matrix".into(),

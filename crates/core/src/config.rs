@@ -3,6 +3,7 @@
 //! percentage of dynamically scheduled panels.
 
 use crate::error::CaluError;
+use crate::fault::FaultPlan;
 use calu_matrix::{Layout, ProcessGrid};
 use calu_sched::QueueDiscipline;
 
@@ -53,6 +54,11 @@ pub struct CaluConfig {
     /// are executed co-operatively by the whole pool under the full
     /// hybrid static/dynamic schedule. `0` co-schedules nothing.
     pub batch_small_cutoff: usize,
+    /// Deterministic fault injection for chaos testing
+    /// ([`FaultPlan::off`] by default — the hot path never consults a
+    /// disarmed plan). See [`crate::fault`] for the fault kinds and the
+    /// static-task rescue guarantees.
+    pub fault: FaultPlan,
 }
 
 /// Default [`CaluConfig::batch_small_cutoff`]: matrices up to 384×384
@@ -75,6 +81,7 @@ impl CaluConfig {
             pin_workers: false,
             batch_threads_per_item: 1,
             batch_small_cutoff: DEFAULT_BATCH_SMALL_CUTOFF,
+            fault: FaultPlan::off(),
         }
     }
 
@@ -128,6 +135,12 @@ impl CaluConfig {
         self
     }
 
+    /// Inject a deterministic [`FaultPlan`] (default [`FaultPlan::off`]).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
     /// Validate and derive the thread grid.
     pub fn validate(&self) -> Result<ProcessGrid, CaluError> {
         if self.b == 0 {
@@ -168,6 +181,7 @@ impl CaluConfig {
                 self.batch_threads_per_item, self.threads
             )));
         }
+        self.fault.validate(self.threads)?;
         if self.queue.steals() && self.dratio == 0.0 {
             return Err(CaluError::InvalidConfig(format!(
                 "the {} queue discipline organizes the dynamic section, \
@@ -276,6 +290,23 @@ mod tests {
             .with_batch_small_cutoff(0)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn fault_plan_validates_through_config() {
+        use crate::fault::FaultPlan;
+        let c = CaluConfig::new(8).with_threads(4);
+        assert!(c.fault.is_off(), "off by default");
+        assert!(c
+            .clone()
+            .with_fault(FaultPlan::off().slow_worker(1, 2.0))
+            .validate()
+            .is_ok());
+        let err = c
+            .with_fault(FaultPlan::off().lose_worker(9, 1))
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("worker 9"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,11 @@ pub enum CaluError {
     /// A worker panicked while executing the job (kernel assert, index
     /// bug). The job fails; the pool survives and keeps serving.
     TaskPanic(String),
+    /// A worker was lost (or stopped making progress) mid-factorization
+    /// and the job could not be completed by the survivors — e.g. the
+    /// service watchdog detected a progress stall. The job fails; the
+    /// pool survives and keeps serving on the remaining workers.
+    WorkerLost(String),
 }
 
 impl fmt::Display for CaluError {
@@ -21,6 +26,7 @@ impl fmt::Display for CaluError {
             CaluError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
             CaluError::EmptyMatrix => write!(f, "matrix is empty"),
             CaluError::TaskPanic(s) => write!(f, "worker panicked while executing the job: {s}"),
+            CaluError::WorkerLost(s) => write!(f, "worker lost while executing the job: {s}"),
         }
     }
 }
@@ -40,5 +46,8 @@ mod tests {
         assert!(CaluError::TaskPanic("index 9 out of bounds".into())
             .to_string()
             .contains("panicked"));
+        assert!(CaluError::WorkerLost("worker 2 died".into())
+            .to_string()
+            .contains("lost"));
     }
 }

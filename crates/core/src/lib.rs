@@ -42,6 +42,7 @@ pub mod batch;
 pub mod config;
 pub mod error;
 pub mod factorization;
+pub mod fault;
 pub mod gepp;
 pub mod incpiv;
 pub mod pivot;
@@ -60,6 +61,7 @@ pub use batch::{
 pub use config::{CaluConfig, DEFAULT_BATCH_SMALL_CUTOFF};
 pub use error::CaluError;
 pub use factorization::Factorization;
+pub use fault::{FaultKind, FaultPlan, WorkerFault};
 pub use gepp::gepp_factor;
 pub use incpiv::{incpiv_factor, IncPivFactors};
 pub use pool::{JobSink, PoolOutcome, PoolSource, ServicePool};

@@ -34,7 +34,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -51,6 +51,7 @@ use crate::batch::{run_item_sequential, span_kind, WorkerHaul};
 use crate::config::CaluConfig;
 use crate::error::CaluError;
 use crate::factorization::Factorization;
+use crate::fault::{FaultAction, FaultClock, FaultKind};
 use crate::sync::{pin_current_thread, Mutex};
 use crate::threaded::{apply_left_swaps, host_topology, ItemState, KernelSet, ThreadStats};
 
@@ -204,6 +205,39 @@ struct QueuedJob {
     sink: Box<dyn JobSink>,
 }
 
+/// Fault bookkeeping shared by the engine's workers — present only when
+/// the pool was spawned with an armed [`crate::fault::FaultPlan`], so
+/// the no-fault hot path pays a single `Option` check.
+struct EngineFault {
+    /// Worker `w` no longer takes static work: dead ([`FaultKind::Lose`])
+    /// or persistently slow ([`FaultKind::Slow`], pre-marked at spawn so
+    /// its block-cyclic share rides the dynamic section from the first
+    /// panel). Consulted inside each run's `local[w]` mutex, so a
+    /// publish-time reroute can never race a retiring worker's drain and
+    /// strand a task.
+    degraded: Vec<AtomicBool>,
+    /// Workers that exited after an injected loss.
+    lost_workers: AtomicUsize,
+    /// Static tasks republished into dynamic heaps, pool-wide.
+    rescued: AtomicU64,
+}
+
+impl EngineFault {
+    fn new(threads: usize, plan: &crate::fault::FaultPlan) -> Self {
+        let f = EngineFault {
+            degraded: (0..threads).map(|_| AtomicBool::new(false)).collect(),
+            lost_workers: AtomicUsize::new(0),
+            rescued: AtomicU64::new(0),
+        };
+        for wf in plan.faults() {
+            if matches!(wf.kind, FaultKind::Slow { .. }) {
+                f.degraded[wf.worker].store(true, Ordering::Release);
+            }
+        }
+        f
+    }
+}
+
 type RunHeap = Mutex<BinaryHeap<Reverse<(u64, u32)>>>;
 
 /// One co-operative (large) job in flight: the item state plus this
@@ -214,6 +248,12 @@ type RunHeap = Mutex<BinaryHeap<Reverse<(u64, u32)>>>;
 struct LargeRun<S: TileStorage> {
     item: ItemState<S>,
     total: usize,
+    /// The service job id — the key `fail_active`/`progress_of` find
+    /// this run by (the watchdog's handle on a running job).
+    id: u64,
+    /// Tasks retired so far: bumped on every completion, read by the
+    /// service watchdog to tell a slow job from a stalled one.
+    heartbeat: AtomicU64,
     /// Per-worker static queues (block-cyclic ownership).
     local: Vec<RunHeap>,
     /// This run's dynamic section: one shared heap in DFS order.
@@ -235,14 +275,30 @@ struct LargeRun<S: TileStorage> {
 impl<S: TileStorage + Send> LargeRun<S> {
     /// Queue a ready task: static tasks to their owner's queue, dynamic
     /// ones to the run's shared heap (the solo executor's
-    /// `Global`-discipline shape).
-    fn push_ready(&self, t: TaskId) {
+    /// `Global`-discipline shape). A static task whose owner is degraded
+    /// (lost or persistently slow under an armed fault plan) is
+    /// *rescued* at publish time: republished into the dynamic heap in
+    /// DFS order, where any surviving worker pops it. The degraded flag
+    /// is read under the owner's queue mutex — the same mutex a retiring
+    /// worker drains under — so a push can never land after the drain
+    /// without seeing the flag.
+    fn push_ready(&self, t: TaskId, fault: Option<&EngineFault>) {
         let item = &self.item;
         if item.is_static[t.idx()] {
             let owner = item.owners.owner(t);
-            self.local[owner]
-                .lock()
-                .push(Reverse((item.static_keys[t.idx()], t.0)));
+            let mut q = self.local[owner].lock();
+            if let Some(f) = fault {
+                if f.degraded[owner].load(Ordering::Acquire) {
+                    drop(q);
+                    f.rescued.fetch_add(1, Ordering::Relaxed);
+                    self.stats.lock()[owner].rescued += 1;
+                    self.dynamic
+                        .lock()
+                        .push(Reverse((item.dynamic_keys[t.idx()], t.0)));
+                    return;
+                }
+            }
+            q.push(Reverse((item.static_keys[t.idx()], t.0)));
         } else {
             self.dynamic
                 .lock()
@@ -272,6 +328,9 @@ struct Engine<S: TileStorage> {
     leaf_stride: usize,
     verify: bool,
     epoch: Instant,
+    /// `Some` only when `cfg.fault` is armed; the no-fault hot path
+    /// never pays more than this `Option` check.
+    fault: Option<EngineFault>,
     state: Mutex<EngineState<S>>,
     /// Signalled when work may be available (submit, new run, task
     /// completions enabling successors).
@@ -310,6 +369,7 @@ impl<S: PoolStorage> Engine<S> {
 
     /// Execute one co-operative task and queue its successors; the
     /// worker whose completion retires the run's last task finishes it.
+    #[allow(clippy::too_many_arguments)]
     fn run_task(
         &self,
         run: &Arc<LargeRun<S>>,
@@ -318,15 +378,22 @@ impl<S: PoolStorage> Engine<S> {
         me: usize,
         scratch: &mut GemmScratch,
         ready_buf: &mut Vec<TaskId>,
+        inject_panic: bool,
     ) {
         let start = self.epoch.elapsed().as_secs_f64();
         // contain kernel panics to the job: fail its sink and keep the
         // pool alive (an uncontained panic drops this worker with
         // in_flight still counted, hanging drain and the job's waiter)
-        if let Err(p) = catch_unwind(AssertUnwindSafe(|| run.item.execute(t, scratch))) {
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected kernel panic on worker {me} (fault plan)");
+            }
+            run.item.execute(t, scratch)
+        })) {
             self.fail_run(run, panic_error(p));
             return;
         }
+        run.heartbeat.fetch_add(1, Ordering::Relaxed);
         let end = self.epoch.elapsed().as_secs_f64();
         run.spans.lock().push(TaskSpan {
             core: me,
@@ -343,7 +410,7 @@ impl<S: PoolStorage> Engine<S> {
         }
         run.item.complete_into(t, ready_buf);
         for &s in ready_buf.iter() {
-            run.push_ready(s);
+            run.push_ready(s, self.fault.as_ref());
         }
         if !ready_buf.is_empty() {
             self.work.notify_all();
@@ -355,14 +422,16 @@ impl<S: PoolStorage> Engine<S> {
         }
     }
 
-    /// A task body panicked: fail the whole run, once (`finishing`
-    /// arbitrates against a concurrent normal finish). Removing the run
-    /// from `active` stops workers popping its remaining tasks; peers
-    /// already executing one may finish or panic harmlessly — the sink
-    /// is gone and `done` can no longer trigger `finish_run`.
-    fn fail_run(&self, run: &Arc<LargeRun<S>>, err: CaluError) {
+    /// A task body panicked (or the watchdog condemned the run): fail
+    /// the whole run, once (`finishing` arbitrates against a concurrent
+    /// normal finish — `false` means that race was lost and the run
+    /// finished normally). Removing the run from `active` stops workers
+    /// popping its remaining tasks; peers already executing one may
+    /// finish or panic harmlessly — the sink is gone and `done` can no
+    /// longer trigger `finish_run`.
+    fn fail_run(&self, run: &Arc<LargeRun<S>>, err: CaluError) -> bool {
         if run.finishing.swap(true, Ordering::AcqRel) {
-            return;
+            return false;
         }
         {
             let mut st = self.state.lock();
@@ -375,6 +444,7 @@ impl<S: PoolStorage> Engine<S> {
         drop(st);
         self.idle.notify_all();
         self.work.notify_all();
+        true
     }
 
     /// Extract a drained run's results and deliver them. Called by
@@ -448,6 +518,12 @@ impl<S: PoolStorage> Engine<S> {
     /// kernels all run under `catch_unwind`: a panicking job fails its
     /// own sink instead of killing the worker (which would strand the
     /// in-flight count and hang `drain` and the job's waiter).
+    ///
+    /// Returns `false` when an injected worker loss fired mid-way
+    /// through a co-scheduled item: the whole item has been requeued
+    /// (its claim was atomic, so redoing it from the source is exact)
+    /// and the calling worker must retire.
+    #[allow(clippy::too_many_arguments)]
     fn start_job(
         &self,
         class: JobClass,
@@ -455,12 +531,14 @@ impl<S: PoolStorage> Engine<S> {
         job: QueuedJob,
         me: usize,
         scratch: &mut GemmScratch,
-    ) {
+        clock: &mut FaultClock,
+        inject_panic: bool,
+    ) -> bool {
         let QueuedJob {
+            id,
             kernels,
             source,
             sink,
-            ..
         } = job;
         sink.started();
         let dims = source.dims();
@@ -469,14 +547,46 @@ impl<S: PoolStorage> Engine<S> {
         let small = co_schedule && m.max(n) <= self.cfg.batch_small_cutoff;
 
         if small {
+            // a mid-item worker loss has no partial-state recovery
+            // path: keep the source so the whole item can be requeued
+            let backup = self.fault.as_ref().map(|_| source.clone());
             let res = catch_unwind(AssertUnwindSafe(|| {
-                self.run_small(kernels, source, dims, me, scratch)
+                if inject_panic {
+                    panic!("injected kernel panic on worker {me} (fault plan)");
+                }
+                self.run_small(kernels, source, dims, me, scratch, clock)
             }));
-            self.end_job(sink, res.map_err(panic_error).and_then(|r| r));
-            return;
+            match res {
+                Ok(Ok(Some(out))) => self.end_job(sink, Ok(out)),
+                Ok(Ok(None)) => {
+                    // worker lost mid-item: discard the partial state
+                    // and put the whole job back in its lane for a
+                    // surviving worker; the sink stays attached (its
+                    // `started` is idempotent on the service side)
+                    let job = QueuedJob {
+                        id,
+                        kernels,
+                        source: backup.expect("interrupts need an armed fault plan"),
+                        sink,
+                    };
+                    let mut st = self.state.lock();
+                    st.lanes.push(class, job);
+                    st.in_flight -= 1;
+                    drop(st);
+                    self.work.notify_all();
+                    self.idle.notify_all();
+                    return false;
+                }
+                Ok(Err(e)) => self.end_job(sink, Err(e)),
+                Err(p) => self.end_job(sink, Err(panic_error(p))),
+            }
+            return true;
         }
 
         let built = catch_unwind(AssertUnwindSafe(|| -> Result<_, CaluError> {
+            if inject_panic {
+                panic!("injected kernel panic on worker {me} (fault plan)");
+            }
             let a = source.materialize();
             let g = Arc::new(kernels.build_graph(m, n, self.cfg.b, self.leaf_stride)?);
             let nstatic = nstatic_for(self.cfg.dratio, g.num_panels());
@@ -487,16 +597,18 @@ impl<S: PoolStorage> Engine<S> {
             Ok(Ok(parts)) => parts,
             Ok(Err(e)) => {
                 self.end_job(sink, Err(e));
-                return;
+                return true;
             }
             Err(p) => {
                 self.end_job(sink, Err(panic_error(p)));
-                return;
+                return true;
             }
         };
         let total = item.g.len();
         let run = Arc::new(LargeRun {
             total,
+            id,
+            heartbeat: AtomicU64::new(0),
             local: (0..self.threads())
                 .map(|_| Mutex::new(BinaryHeap::new()))
                 .collect(),
@@ -511,23 +623,34 @@ impl<S: PoolStorage> Engine<S> {
             seq,
             item,
         });
-        for t in run.item.g.initial_ready() {
-            run.push_ready(t);
-        }
+        // publish the (still-empty) run *before* queueing its initial
+        // tasks: a worker retiring concurrently snapshots `active` with
+        // the degraded flag already set under the same state lock, so
+        // either this run is in its snapshot (drained) or this insert
+        // happened after (every push below sees the flag and reroutes).
+        // Popping from an empty run is harmless.
         {
             let mut st = self.state.lock();
             let key = (run.class_rank, run.seq);
-            let pos = st
-                .active
-                .partition_point(|r| (r.class_rank, r.seq) <= key);
+            let pos = st.active.partition_point(|r| (r.class_rank, r.seq) <= key);
             st.active.insert(pos, Arc::clone(&run));
         }
+        for t in run.item.g.initial_ready() {
+            run.push_ready(t, self.fault.as_ref());
+        }
         self.work.notify_all();
+        true
     }
 
     /// The co-scheduled (small) route: materialize, build and drain the
     /// whole DAG worker-locally — the batch path's
     /// `run_item_sequential`, so the bits match a solo run.
+    ///
+    /// Under an armed fault plan the drain is interruptible: the
+    /// closure ticks this worker's [`FaultClock`] per task (stalls and
+    /// slowdowns sleep in place; an injected panic unwinds into the
+    /// caller's perimeter) and a fired loss abandons the item, returning
+    /// `Ok(None)` so the caller can requeue it whole.
     fn run_small(
         &self,
         kernels: KernelSet,
@@ -535,7 +658,8 @@ impl<S: PoolStorage> Engine<S> {
         dims: (usize, usize),
         me: usize,
         scratch: &mut GemmScratch,
-    ) -> Result<PoolOutcome, CaluError> {
+        clock: &mut FaultClock,
+    ) -> Result<Option<PoolOutcome>, CaluError> {
         let (m, n) = dims;
         let a = source.materialize();
         let g = Arc::new(kernels.build_graph(m, n, self.cfg.b, self.leaf_stride)?);
@@ -552,7 +676,42 @@ impl<S: PoolStorage> Engine<S> {
             start_offset: 0.0,
             failed_sweeps: 0,
         };
-        run_item_sequential(&item, 0, me, scratch, &self.epoch, &mut haul);
+        let completed = if self.fault.is_none() {
+            run_item_sequential(&item, 0, me, scratch, &self.epoch, &mut haul, None)
+        } else {
+            let mut last: Option<Instant> = None;
+            let mut stop = || {
+                if let Some(prev) = last {
+                    if let Some(stall) = clock.after_task(prev.elapsed()) {
+                        std::thread::sleep(stall);
+                    }
+                }
+                last = Some(Instant::now());
+                match clock.before_task() {
+                    FaultAction::None => false,
+                    FaultAction::Stall(d) => {
+                        std::thread::sleep(d);
+                        false
+                    }
+                    FaultAction::Lose => true,
+                    FaultAction::Panic => {
+                        panic!("injected kernel panic on worker {me} (fault plan)")
+                    }
+                }
+            };
+            run_item_sequential(
+                &item,
+                0,
+                me,
+                scratch,
+                &self.epoch,
+                &mut haul,
+                Some(&mut stop),
+            )
+        };
+        if !completed {
+            return Ok(None);
+        }
         let (s, perm, singular_at) = item.finish();
         let mut lu = s.to_dense();
         apply_left_swaps(&mut lu, &g, &perm, self.cfg.b);
@@ -583,7 +742,7 @@ impl<S: PoolStorage> Engine<S> {
         let mut stats = vec![ThreadStats::default(); self.threads()];
         stats[me] = haul.stats[0];
         let makespan = timeline.makespan();
-        Ok(PoolOutcome {
+        Ok(Some(PoolOutcome {
             factorization,
             kernels,
             timeline,
@@ -593,7 +752,51 @@ impl<S: PoolStorage> Engine<S> {
             dims,
             residual,
             growth_factor,
-        })
+        }))
+    }
+
+    /// An injected loss fired on worker `me`: republish every static
+    /// task queued to it across all active runs into those runs'
+    /// dynamic heaps (rescue), mark it degraded so future static
+    /// assignments reroute at publish time, and count the loss. The
+    /// caller returns from the worker loop afterwards — `PanicGuard`
+    /// does not poison a clean exit, so the pool keeps serving with one
+    /// worker fewer and `drain` still joins everything.
+    fn retire_worker(&self, me: usize) {
+        let f = self
+            .fault
+            .as_ref()
+            .expect("losses need an armed fault plan");
+        let runs: Vec<Arc<LargeRun<S>>> = {
+            // flag and snapshot under one state lock: a run published
+            // after this releases observes the flag (all its pushes
+            // reroute); one published before is in the snapshot (its
+            // queue gets drained under the same mutex pushes take)
+            let st = self.state.lock();
+            f.degraded[me].store(true, Ordering::Release);
+            st.active.clone()
+        };
+        f.lost_workers.fetch_add(1, Ordering::Relaxed);
+        for run in runs {
+            let drained: Vec<u32> = {
+                let mut q = run.local[me].lock();
+                std::iter::from_fn(|| q.pop().map(|Reverse((_, t))| t)).collect()
+            };
+            {
+                let mut stats = run.stats.lock();
+                stats[me].lost = true;
+                stats[me].rescued += drained.len() as u64;
+            }
+            f.rescued.fetch_add(drained.len() as u64, Ordering::Relaxed);
+            if !drained.is_empty() {
+                let mut dy = run.dynamic.lock();
+                for t in drained {
+                    dy.push(Reverse((run.item.dynamic_keys[t as usize], t)));
+                }
+            }
+        }
+        self.work.notify_all();
+        self.idle.notify_all();
     }
 
     fn worker_loop(self: &Arc<Self>, me: usize) {
@@ -603,6 +806,15 @@ impl<S: PoolStorage> Engine<S> {
         let _guard = PanicGuard(&**self);
         let mut scratch = GemmScratch::sized_for(self.cfg.b, self.cfg.b, self.cfg.b);
         let mut ready_buf: Vec<TaskId> = Vec::new();
+        let armed = self.fault.is_some();
+        let mut clock = if armed {
+            FaultClock::new(&self.cfg.fault, me)
+        } else {
+            FaultClock::disarmed()
+        };
+        // an injected panic latches until the next piece of work, where
+        // it unwinds inside that job's containment perimeter
+        let mut panic_pending = false;
         {
             let mut st = self.state.lock();
             st.workers_started += 1;
@@ -610,8 +822,33 @@ impl<S: PoolStorage> Engine<S> {
             self.idle.notify_all();
         }
         loop {
+            if armed {
+                match clock.before_task() {
+                    FaultAction::None => {}
+                    FaultAction::Stall(d) => std::thread::sleep(d),
+                    FaultAction::Lose => {
+                        self.retire_worker(me);
+                        return;
+                    }
+                    FaultAction::Panic => panic_pending = true,
+                }
+            }
             if let Some((run, t, src)) = self.pop_coop(me) {
-                self.run_task(&run, t, src, me, &mut scratch, &mut ready_buf);
+                let before = armed.then(Instant::now);
+                self.run_task(
+                    &run,
+                    t,
+                    src,
+                    me,
+                    &mut scratch,
+                    &mut ready_buf,
+                    std::mem::take(&mut panic_pending),
+                );
+                if let Some(b) = before {
+                    if let Some(stall) = clock.after_task(b.elapsed()) {
+                        std::thread::sleep(stall);
+                    }
+                }
                 continue;
             }
             let mut st = self.state.lock();
@@ -620,7 +857,20 @@ impl<S: PoolStorage> Engine<S> {
                 let seq = st.next_seq;
                 st.next_seq += 1;
                 drop(st);
-                self.start_job(class, seq, job, me, &mut scratch);
+                if !self.start_job(
+                    class,
+                    seq,
+                    job,
+                    me,
+                    &mut scratch,
+                    &mut clock,
+                    std::mem::take(&mut panic_pending),
+                ) {
+                    // a loss fired mid-way through a co-scheduled item;
+                    // the item is already back in its lane
+                    self.retire_worker(me);
+                    return;
+                }
                 continue;
             }
             if st.draining && st.lanes.is_empty() && st.in_flight == 0 {
@@ -675,12 +925,14 @@ impl<S: PoolStorage> PoolCore<S> {
     fn spawn(cfg: CaluConfig, grid: ProcessGrid, verify: bool, limit: usize) -> (Self, f64) {
         let leaf_stride = cfg.leaf_stride.unwrap_or_else(|| grid.pr());
         let threads = cfg.threads;
+        let fault = (!cfg.fault.is_off()).then(|| EngineFault::new(threads, &cfg.fault));
         let engine = Arc::new(Engine {
             cfg,
             grid,
             leaf_stride,
             verify,
             epoch: Instant::now(),
+            fault,
             state: Mutex::new(EngineState {
                 lanes: ClassLanes::new(limit),
                 active: Vec::new(),
@@ -797,6 +1049,41 @@ impl<S: PoolStorage> PoolCore<S> {
     fn co_schedules(&self, dims: (usize, usize)) -> bool {
         let cfg = &self.engine.cfg;
         cfg.batch_threads_per_item < cfg.threads && dims.0.max(dims.1) <= cfg.batch_small_cutoff
+    }
+
+    fn fail_active(&self, id: u64, err: CaluError) -> bool {
+        let run = {
+            let st = self.engine.state.lock();
+            st.active.iter().find(|r| r.id == id).cloned()
+        };
+        match run {
+            Some(run) => self.engine.fail_run(&run, err),
+            None => false,
+        }
+    }
+
+    fn progress_of(&self, id: u64) -> Option<u64> {
+        let st = self.engine.state.lock();
+        st.active
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.heartbeat.load(Ordering::Acquire))
+    }
+
+    fn lost_workers(&self) -> usize {
+        self.engine
+            .fault
+            .as_ref()
+            .map(|f| f.lost_workers.load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+
+    fn rescued_tasks(&self) -> u64 {
+        self.engine
+            .fault
+            .as_ref()
+            .map(|f| f.rescued.load(Ordering::Acquire))
+            .unwrap_or(0)
     }
 }
 
@@ -916,6 +1203,39 @@ impl ServicePool {
         dispatch!(self, c => c.co_schedules(dims))
     }
 
+    /// Fail an *active co-operative run* by job id, delivering `err` to
+    /// its sink — the service watchdog's lever for deadline and stall
+    /// enforcement. Workers mid-task on the run finish or abandon their
+    /// task harmlessly; the pool keeps serving. Returns `false` when no
+    /// active run carries `id` (the job is still queued, co-scheduled,
+    /// or already terminal) or a concurrent normal finish won the race
+    /// — either way, nothing was failed.
+    pub fn fail_active(&self, id: u64, err: CaluError) -> bool {
+        dispatch!(self, c => c.fail_active(id, err))
+    }
+
+    /// Tasks retired so far by the active co-operative run with job id
+    /// `id` — a monotone heartbeat the service watchdog compares across
+    /// ticks to tell a slow job from a stalled one. `None` when no
+    /// active run carries `id` (queued, co-scheduled, or terminal).
+    pub fn progress_of(&self, id: u64) -> Option<u64> {
+        dispatch!(self, c => c.progress_of(id))
+    }
+
+    /// Workers lost to an injected fault since spawn (0 on an unfaulted
+    /// pool). The service layer surfaces increases as degradation
+    /// events.
+    pub fn lost_workers(&self) -> usize {
+        dispatch!(self, c => c.lost_workers())
+    }
+
+    /// Static tasks republished into dynamic heaps because their owner
+    /// was lost or persistently slow — the rescue counter backing
+    /// `ThreadStats::rescued`, aggregated pool-wide.
+    pub fn rescued_tasks(&self) -> u64 {
+        dispatch!(self, c => c.rescued_tasks())
+    }
+
     /// Pool width.
     pub fn threads(&self) -> usize {
         self.threads
@@ -968,11 +1288,7 @@ mod tests {
                 seed,
                 JobClass::Batch,
                 KernelSet::CaluLu,
-                PoolSource::Uniform {
-                    m: 64,
-                    n: 64,
-                    seed,
-                },
+                PoolSource::Uniform { m: 64, n: 64, seed },
                 Box::new(ChanSink(tx.clone())),
             ));
         }
@@ -1017,11 +1333,7 @@ mod tests {
         assert_eq!(out.factorization.lu.as_slice(), solo.lu.as_slice());
         assert_eq!(out.factorization.perm.pivots(), solo.perm.pivots());
         assert!(out.residual.unwrap() < 1e-12);
-        let tasks: u64 = out
-            .stats
-            .iter()
-            .map(|s| s.local_pops + s.global_pops)
-            .sum();
+        let tasks: u64 = out.stats.iter().map(|s| s.local_pops + s.global_pops).sum();
         assert_eq!(tasks as usize, out.timeline.spans().len());
     }
 
@@ -1032,10 +1344,34 @@ mod tests {
         let pool = ServicePool::spawn(&cfg, true, 4).unwrap();
         let (tx, rx) = mpsc::channel();
         let jobs: [(u64, KernelSet, PoolSource); 4] = [
-            (1, KernelSet::CaluLu, PoolSource::Uniform { m: 64, n: 64, seed: 1 }),
-            (2, KernelSet::Cholesky, PoolSource::SpdUniform { n: 64, seed: 2 }),
-            (3, KernelSet::CaluLu, PoolSource::Uniform { m: 192, n: 192, seed: 3 }),
-            (4, KernelSet::Cholesky, PoolSource::SpdUniform { n: 192, seed: 4 }),
+            (
+                1,
+                KernelSet::CaluLu,
+                PoolSource::Uniform {
+                    m: 64,
+                    n: 64,
+                    seed: 1,
+                },
+            ),
+            (
+                2,
+                KernelSet::Cholesky,
+                PoolSource::SpdUniform { n: 64, seed: 2 },
+            ),
+            (
+                3,
+                KernelSet::CaluLu,
+                PoolSource::Uniform {
+                    m: 192,
+                    n: 192,
+                    seed: 3,
+                },
+            ),
+            (
+                4,
+                KernelSet::Cholesky,
+                PoolSource::SpdUniform { n: 192, seed: 4 },
+            ),
         ];
         for (id, kernels, source) in jobs {
             accept(pool.submit(
@@ -1081,7 +1417,11 @@ mod tests {
                 1,
                 JobClass::Batch,
                 KernelSet::Cholesky,
-                PoolSource::Uniform { m: 96, n: 64, seed: 1 },
+                PoolSource::Uniform {
+                    m: 96,
+                    n: 64,
+                    seed: 1,
+                },
                 Box::new(ChanSink(tx)),
             ));
             match rx.recv().unwrap() {
@@ -1169,7 +1509,11 @@ mod tests {
             1,
             JobClass::Interactive,
             KernelSet::CaluLu,
-            PoolSource::Uniform { m: 8, n: 8, seed: 0 },
+            PoolSource::Uniform {
+                m: 8,
+                n: 8,
+                seed: 0,
+            },
             Box::new(ChanSink(tx)),
         );
         let sink = match rejected {
@@ -1179,7 +1523,9 @@ mod tests {
         // the pool never invoked the sink — re-entrancy-safe for
         // callers submitting under their own locks
         assert!(rx.try_recv().is_err());
-        sink.finished(Err(CaluError::InvalidConfig("pool is shutting down".into())));
+        sink.finished(Err(CaluError::InvalidConfig(
+            "pool is shutting down".into(),
+        )));
         assert!(matches!(
             rx.recv().unwrap(),
             Err(CaluError::InvalidConfig(_))
@@ -1221,6 +1567,82 @@ mod tests {
     }
 
     #[test]
+    fn lost_worker_mid_small_item_requeues_it_whole() {
+        // regression: an injected worker loss that fires while the
+        // worker is draining a co-scheduled item used to have no
+        // recovery path — the partially-factored item died with the
+        // worker. The fix requeues the whole item (its claim was
+        // atomic, so redoing it from the source is exact) and lets a
+        // survivor redo it. `lose_worker(0, 3)` can only fire after 3
+        // task ticks, which only happen inside an item, so worker 0 is
+        // guaranteed to die mid-item.
+        use crate::fault::FaultPlan;
+        let cfg = cfg4()
+            .with_threads(2)
+            .with_batch_small_cutoff(100)
+            .with_fault(FaultPlan::off().lose_worker(0, 3));
+        let pool = ServicePool::spawn(&cfg, false, 4).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let n_jobs = 6u64;
+        for seed in 0..n_jobs {
+            accept(pool.submit(
+                seed,
+                JobClass::Batch,
+                KernelSet::CaluLu,
+                PoolSource::Uniform { m: 64, n: 64, seed },
+                Box::new(ChanSink(tx.clone())),
+            ));
+        }
+        let outcomes: Vec<PoolOutcome> = (0..n_jobs).map(|_| rx.recv().unwrap().unwrap()).collect();
+        pool.drain();
+        assert_eq!(pool.lost_workers(), 1, "worker 0 must have died");
+        // drain stranded nothing and every item matches an unfaulted
+        // solo run of the same shape (threads drive the TSLU grid)
+        let clean = cfg4().with_threads(2);
+        for seed in 0..n_jobs {
+            let a = gen::uniform(64, 64, seed);
+            let solo = calu_factor(&a, &clean).unwrap();
+            assert!(
+                outcomes
+                    .iter()
+                    .any(|o| o.factorization.lu.as_slice() == solo.lu.as_slice()),
+                "seed {seed} missing or wrong after the mid-item loss"
+            );
+        }
+    }
+
+    #[test]
+    fn lost_worker_during_a_cooperative_run_is_rescued() {
+        // losing a worker mid-run republishes its static backlog into
+        // the run's dynamic heap; the exclusive-writer DAG makes the
+        // rerouted completion bitwise-identical to the unfaulted run
+        use crate::fault::FaultPlan;
+        let cfg = cfg4()
+            .with_batch_small_cutoff(0)
+            .with_fault(FaultPlan::off().lose_worker(1, 4));
+        let pool = ServicePool::spawn(&cfg, false, 4).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let a = gen::uniform(192, 192, 11);
+        accept(pool.submit(
+            1,
+            JobClass::Batch,
+            KernelSet::CaluLu,
+            PoolSource::Dense(a.clone()),
+            Box::new(ChanSink(tx)),
+        ));
+        let out = rx.recv().unwrap().unwrap();
+        pool.drain();
+        assert_eq!(pool.lost_workers(), 1);
+        assert!(out.stats[1].lost, "the dead worker is flagged in stats");
+        let rescued: u64 = out.stats.iter().map(|s| s.rescued).sum();
+        assert!(rescued > 0, "the dead worker's static share was rescued");
+        assert_eq!(rescued, pool.rescued_tasks());
+        let solo = calu_factor(&a, &cfg4()).unwrap();
+        assert_eq!(out.factorization.lu.as_slice(), solo.lu.as_slice());
+        assert_eq!(out.factorization.perm.pivots(), solo.perm.pivots());
+    }
+
+    #[test]
     fn panicking_job_fails_its_sink_and_the_pool_survives() {
         // a 0×0 source trips `TaskGraph::build_calu`'s non-empty assert
         // on the claiming worker; the panic must be contained to the
@@ -1232,13 +1654,14 @@ mod tests {
             1,
             JobClass::Batch,
             KernelSet::CaluLu,
-            PoolSource::Uniform { m: 0, n: 0, seed: 0 },
+            PoolSource::Uniform {
+                m: 0,
+                n: 0,
+                seed: 0,
+            },
             Box::new(ChanSink(tx.clone())),
         ));
-        assert!(matches!(
-            rx.recv().unwrap(),
-            Err(CaluError::TaskPanic(_))
-        ));
+        assert!(matches!(rx.recv().unwrap(), Err(CaluError::TaskPanic(_))));
         // same through the co-operative route: cutoff 0 with one
         // non-zero dimension routes large, and the build still asserts
         let large = ServicePool::spawn(&cfg4().with_batch_small_cutoff(0), false, 4).unwrap();
@@ -1247,13 +1670,14 @@ mod tests {
             2,
             JobClass::Batch,
             KernelSet::CaluLu,
-            PoolSource::Uniform { m: 0, n: 5, seed: 0 },
+            PoolSource::Uniform {
+                m: 0,
+                n: 5,
+                seed: 0,
+            },
             Box::new(ChanSink(ltx)),
         ));
-        assert!(matches!(
-            lrx.recv().unwrap(),
-            Err(CaluError::TaskPanic(_))
-        ));
+        assert!(matches!(lrx.recv().unwrap(), Err(CaluError::TaskPanic(_))));
         // both pools keep serving after the panic
         accept(pool.submit(
             3,

@@ -56,7 +56,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -98,11 +98,24 @@ pub struct ThreadStats {
     /// probed victim, so the reading is comparable between the flat
     /// (p − 1 probes) and locality-tiered victim orders.
     pub failed_steals: u64,
+    /// Static-section tasks this worker *owned* under the block-cyclic
+    /// distribution that were republished into the dynamic queues
+    /// because the worker was lost or flagged persistently slow
+    /// (fault injection's static-task rescue — always zero without a
+    /// [`crate::fault::FaultPlan`]). Rescued tasks execute on whichever
+    /// survivor pops them; the exclusive-writer DAG discipline keeps
+    /// the factors bitwise-identical to the no-fault run.
+    pub rescued: u64,
+    /// This worker died mid-run (an injected [`crate::fault::FaultKind::Lose`]):
+    /// it rescued its static backlog and exited; the survivors finished
+    /// the factorization.
+    pub lost: bool,
 }
 
 use crate::config::CaluConfig;
 use crate::error::CaluError;
 use crate::factorization::Factorization;
+use crate::fault::{FaultAction, FaultClock, FaultKind, FaultPlan};
 use crate::pivot::swaps_for_selection;
 use crate::shared::SharedTiles;
 use crate::tslu::{Candidate, TreePlan};
@@ -319,6 +332,48 @@ impl<S: TileStorage + Send> ItemState<S> {
     }
 }
 
+/// Shared fault-injection state of one run — allocated only when the
+/// config carries an armed [`FaultPlan`], so the no-fault hot path
+/// branches on one `Option` and touches nothing else.
+pub(crate) struct FaultShared {
+    /// Worker `w` no longer executes its static backlog (dead, or
+    /// flagged persistently slow): static tasks owned by `w` are
+    /// rerouted to the dynamic section instead. Read and written under
+    /// the `local[w]` mutex, so a reroute can never race a drain and
+    /// strand a task in a queue nobody serves.
+    pub(crate) degraded: Vec<AtomicBool>,
+    /// Static tasks owned by worker `w` republished into the dynamic
+    /// queues (folded into [`ThreadStats::rescued`] after the join).
+    pub(crate) rescued: Vec<AtomicU64>,
+    /// A worker hit an unrecoverable fault (injected kernel panic):
+    /// everyone stops, the run fails with `fail`'s error.
+    pub(crate) abort: AtomicBool,
+    /// First unrecoverable error, kept by the first worker to fail.
+    pub(crate) fail: Mutex<Option<CaluError>>,
+}
+
+impl FaultShared {
+    pub(crate) fn new(threads: usize) -> Self {
+        Self {
+            degraded: (0..threads).map(|_| AtomicBool::new(false)).collect(),
+            rescued: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            abort: AtomicBool::new(false),
+            fail: Mutex::new(None),
+        }
+    }
+
+    /// Record the run's first unrecoverable error and tell every worker
+    /// to stop.
+    pub(crate) fn fail_with(&self, e: CaluError) {
+        let mut slot = self.fail.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        drop(slot);
+        self.abort.store(true, Ordering::Release);
+    }
+}
+
 struct Shared<S: TileStorage> {
     item: ItemState<S>,
     local: Vec<ReadyQueue>,
@@ -332,6 +387,9 @@ struct Shared<S: TileStorage> {
     /// probed was empty" — only the latter is contention. Stays zero
     /// under the global discipline, which never reads it.
     dyn_queued: AtomicUsize,
+    /// Fault-injection state; `None` (and never consulted) without an
+    /// armed plan.
+    fault: Option<FaultShared>,
 }
 
 impl<S: TileStorage + Send> Shared<S> {
@@ -339,14 +397,37 @@ impl<S: TileStorage + Send> Shared<S> {
     /// round-robin index for initially ready tasks): under the sharded
     /// discipline, dynamic tasks land on the enabler's shard so they
     /// tend to run where their inputs are warm.
+    ///
+    /// With fault injection armed, a static task whose owner is
+    /// *degraded* (dead, or flagged persistently slow) is rescued into
+    /// the dynamic section instead — checked under the owner's local
+    /// lock, the same lock a dying owner holds while draining, so no
+    /// task can slip into a queue nobody will ever serve.
     fn push_ready(&self, t: TaskId, home: usize) {
         let item = &self.item;
         if item.is_static[t.idx()] {
             let owner = item.owners.owner(t);
-            self.local[owner]
-                .lock()
-                .push(Reverse((item.static_keys[t.idx()], t.0)));
+            let mut q = self.local[owner].lock();
+            if let Some(f) = &self.fault {
+                if f.degraded[owner].load(Ordering::Acquire) {
+                    drop(q);
+                    f.rescued[owner].fetch_add(1, Ordering::Relaxed);
+                    self.push_dynamic(t, home);
+                    return;
+                }
+            }
+            q.push(Reverse((item.static_keys[t.idx()], t.0)));
         } else {
+            self.push_dynamic(t, home);
+        }
+    }
+
+    /// Queue a task into the dynamic section (the non-static arm of
+    /// [`push_ready`](Self::push_ready), also the landing strip for
+    /// rescued static tasks).
+    fn push_dynamic(&self, t: TaskId, home: usize) {
+        let item = &self.item;
+        {
             match &self.dynamic {
                 DynQueues::Global(q) => q.lock().push(Reverse((item.dynamic_keys[t.idx()], t.0))),
                 DynQueues::Sharded(shards) => {
@@ -657,8 +738,8 @@ impl<S: TileStorage + Send> ItemState<S> {
             } else {
                 let lj = self.tiles.tile_ptr(j, k);
                 gemm::dgemm_nt_raw_packed(
-                    c.rows, c.cols, li.cols, -1.0, li.ptr, li.ld, lj.ptr, lj.ld, 1.0, c.ptr,
-                    c.ld, scratch,
+                    c.rows, c.cols, li.cols, -1.0, li.ptr, li.ld, lj.ptr, lj.ld, 1.0, c.ptr, c.ld,
+                    scratch,
                 );
             }
         }
@@ -708,8 +789,16 @@ pub(crate) fn host_topology() -> &'static CpuTopology {
     TOPO.get_or_init(CpuTopology::detect)
 }
 
+/// What the tiled executor hands back: the factored storage, the
+/// combined row permutation, the first singular column (if any), the
+/// execution timeline, and per-thread queue/rescue accounting.
+type Factored<S> = (S, RowPerm, Option<usize>, Timeline, Vec<ThreadStats>);
+
 /// Factor a tiled storage in place with `threads` workers; returns the
 /// combined permutation, the singular flag and the execution trace.
+/// `fault` is the run's injection plan ([`FaultPlan::off`] for every
+/// production caller): an armed plan can make the run fail with a typed
+/// error (injected kernel panic), which is the only `Err` this returns.
 fn factor_tiled<S: TileStorage + Send>(
     storage: S,
     g: &Arc<TaskGraph>,
@@ -717,10 +806,24 @@ fn factor_tiled<S: TileStorage + Send>(
     dratio: f64,
     queue: QueueDiscipline,
     pin: bool,
-) -> (S, RowPerm, Option<usize>, Timeline, Vec<ThreadStats>) {
+    fault: &FaultPlan,
+) -> Result<Factored<S>, CaluError> {
     let threads = grid.size();
     let nstatic = nstatic_for(dratio, g.num_panels());
     let topo = host_topology();
+
+    let fault_shared = (!fault.is_off()).then(|| FaultShared::new(threads));
+    if let Some(fs) = &fault_shared {
+        // a persistently slow worker is degraded from the start: its
+        // static backlog routes to the dynamic section, where healthy
+        // workers load-balance it (the worker itself keeps executing
+        // dynamic tasks at its reduced rate)
+        for wf in fault.faults() {
+            if matches!(wf.kind, FaultKind::Slow { .. }) {
+                fs.degraded[wf.worker].store(true, Ordering::Release);
+            }
+        }
+    }
 
     let shared = Shared {
         item: ItemState::new(storage, Arc::clone(g), grid, nstatic),
@@ -749,6 +852,7 @@ fn factor_tiled<S: TileStorage + Send>(
             _ => Vec::new(),
         },
         dyn_queued: AtomicUsize::new(0),
+        fault: fault_shared,
     };
 
     // scatter initially ready tasks round-robin over the shards (no
@@ -792,9 +896,69 @@ fn factor_tiled<S: TileStorage + Send>(
                 let mut rng = queue
                     .seed()
                     .map(|seed| Rng::seed_from_u64(seed.wrapping_add(me as u64)));
+                // fault clock: disarmed (and never ticked) without a plan
+                let mut clock = if shared.fault.is_some() {
+                    FaultClock::new(fault, me)
+                } else {
+                    FaultClock::disarmed()
+                };
                 let mut ready_buf: Vec<TaskId> = Vec::new();
                 let mut idle_spins = 0u32;
                 while shared.item.done.load(Ordering::Acquire) < total {
+                    if let Some(f) = &shared.fault {
+                        if f.abort.load(Ordering::Acquire) {
+                            break;
+                        }
+                        match clock.before_task() {
+                            FaultAction::None => {}
+                            FaultAction::Stall(d) => {
+                                let start = t0.elapsed().as_secs_f64();
+                                std::thread::sleep(d);
+                                spans.push(TaskSpan {
+                                    core: me,
+                                    start,
+                                    end: t0.elapsed().as_secs_f64(),
+                                    kind: SpanKind::Noise,
+                                });
+                            }
+                            FaultAction::Lose => {
+                                // static-task rescue: flag ourselves
+                                // degraded and drain our static backlog
+                                // *under our local lock* (the same lock
+                                // push_ready's reroute checks under), then
+                                // republish it into the dynamic section
+                                // for the survivors. The exclusive-writer
+                                // DAG keeps the factors bitwise-identical
+                                // no matter who ends up running them.
+                                let drained: Vec<u32> = {
+                                    let mut q = shared.local[me].lock();
+                                    f.degraded[me].store(true, Ordering::Release);
+                                    std::iter::from_fn(|| q.pop().map(|Reverse((_, t))| t))
+                                        .collect()
+                                };
+                                f.rescued[me].fetch_add(drained.len() as u64, Ordering::Relaxed);
+                                for t in drained {
+                                    shared.push_dynamic(TaskId(t), me);
+                                }
+                                stats.lost = true;
+                                break;
+                            }
+                            FaultAction::Panic => {
+                                // a real unwind, really contained: the
+                                // injected kernel panic must exercise the
+                                // same containment a genuine kernel bug
+                                // would
+                                let caught = std::panic::catch_unwind(|| {
+                                    panic!("injected kernel panic on worker {me} (fault plan)")
+                                });
+                                debug_assert!(caught.is_err());
+                                f.fail_with(CaluError::TaskPanic(format!(
+                                    "injected kernel panic on worker {me} (fault plan)"
+                                )));
+                                break;
+                            }
+                        }
+                    }
                     match shared.pop(me, &mut rng, &mut stats) {
                         Some((t, source)) => {
                             idle_spins = 0;
@@ -823,6 +987,24 @@ fn factor_tiled<S: TileStorage + Send>(
                                 kind,
                             });
                             shared.complete(t, me, &mut ready_buf);
+                            if shared.fault.is_none() {
+                                continue;
+                            }
+                            if let Some(stall) =
+                                clock.after_task(std::time::Duration::from_secs_f64(end - start))
+                            {
+                                // duty-cycle slowdown: stall in proportion
+                                // to the task just run, like the sim's
+                                // noise model stretches compute
+                                let s0 = t0.elapsed().as_secs_f64();
+                                std::thread::sleep(stall);
+                                spans.push(TaskSpan {
+                                    core: me,
+                                    start: s0,
+                                    end: t0.elapsed().as_secs_f64(),
+                                    kind: SpanKind::Noise,
+                                });
+                            }
                         }
                         None => {
                             idle_spins += 1;
@@ -846,8 +1028,20 @@ fn factor_tiled<S: TileStorage + Send>(
         }
     });
 
+    if let Some(f) = &shared.fault {
+        if let Some(e) = f.fail.lock().take() {
+            return Err(e);
+        }
+        // attribute rescues to the worker whose static backlog was
+        // republished (counted both by its own dying drain and by other
+        // workers' rerouted pushes)
+        for (w, stat) in thread_stats.iter_mut().enumerate() {
+            stat.rescued = f.rescued[w].load(Ordering::Acquire);
+        }
+    }
+
     let (storage, perm, singular) = shared.item.finish();
-    (storage, perm, singular, timeline, thread_stats)
+    Ok((storage, perm, singular, timeline, thread_stats))
 }
 
 /// Apply the deferred "left swaps" (Algorithm 1, line 43): each panel's
@@ -877,25 +1071,46 @@ fn factor_report_for_graph(
     cfg: &CaluConfig,
     g: &Arc<TaskGraph>,
     grid: ProcessGrid,
-) -> (DenseMatrix, RowPerm, Option<usize>, Timeline, Vec<ThreadStats>) {
+) -> Result<Factored<DenseMatrix>, CaluError> {
     match cfg.layout {
         Layout::ColumnMajor => {
             let s = CmTiles::from_dense(a, cfg.b);
-            let (s, p, sing, tl, st) =
-                factor_tiled(s, g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
-            (s.to_dense(), p, sing, tl, st)
+            let (s, p, sing, tl, st) = factor_tiled(
+                s,
+                g,
+                grid,
+                cfg.dratio,
+                cfg.queue,
+                cfg.pin_workers,
+                &cfg.fault,
+            )?;
+            Ok((s.to_dense(), p, sing, tl, st))
         }
         Layout::BlockCyclic => {
             let s = BclMatrix::from_dense(a, cfg.b, grid);
-            let (s, p, sing, tl, st) =
-                factor_tiled(s, g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
-            (s.to_dense(), p, sing, tl, st)
+            let (s, p, sing, tl, st) = factor_tiled(
+                s,
+                g,
+                grid,
+                cfg.dratio,
+                cfg.queue,
+                cfg.pin_workers,
+                &cfg.fault,
+            )?;
+            Ok((s.to_dense(), p, sing, tl, st))
         }
         Layout::TwoLevelBlock => {
             let s = TlbMatrix::from_dense(a, cfg.b, grid);
-            let (s, p, sing, tl, st) =
-                factor_tiled(s, g, grid, cfg.dratio, cfg.queue, cfg.pin_workers);
-            (s.to_dense(), p, sing, tl, st)
+            let (s, p, sing, tl, st) = factor_tiled(
+                s,
+                g,
+                grid,
+                cfg.dratio,
+                cfg.queue,
+                cfg.pin_workers,
+                &cfg.fault,
+            )?;
+            Ok((s.to_dense(), p, sing, tl, st))
         }
     }
 }
@@ -912,8 +1127,13 @@ pub fn calu_factor_report(
         return Err(CaluError::EmptyMatrix);
     }
     let leaf_stride = cfg.leaf_stride.unwrap_or_else(|| grid.pr());
-    let g = Arc::new(TaskGraph::build_calu(a.rows(), a.cols(), cfg.b, leaf_stride));
-    let (mut lu, perm, singular_at, timeline, stats) = factor_report_for_graph(a, cfg, &g, grid);
+    let g = Arc::new(TaskGraph::build_calu(
+        a.rows(),
+        a.cols(),
+        cfg.b,
+        leaf_stride,
+    ));
+    let (mut lu, perm, singular_at, timeline, stats) = factor_report_for_graph(a, cfg, &g, grid)?;
     apply_left_swaps(&mut lu, &g, &perm, cfg.b);
     Ok((
         Factorization {
@@ -944,7 +1164,7 @@ pub fn cholesky_factor_report(
         return Err(CaluError::EmptyMatrix);
     }
     let g = Arc::new(KernelSet::Cholesky.build_graph(a.rows(), a.cols(), cfg.b, 1)?);
-    let (lu, perm, singular_at, timeline, stats) = factor_report_for_graph(a, cfg, &g, grid);
+    let (lu, perm, singular_at, timeline, stats) = factor_report_for_graph(a, cfg, &g, grid)?;
     // no pivoting: perm is the identity and there are no left swaps
     Ok((
         Factorization {
@@ -1258,9 +1478,7 @@ mod tests {
         let a = gen::spd_uniform(48, 22);
         let mut reference = a.clone();
         let ld = reference.ld();
-        assert!(
-            calu_kernels::dpotrf_unblocked(48, reference.as_mut_slice(), ld).is_none()
-        );
+        assert!(calu_kernels::dpotrf_unblocked(48, reference.as_mut_slice(), ld).is_none());
         let f = cholesky_factor(&a, &CaluConfig::new(16).with_threads(3)).unwrap();
         for i in 0..48 {
             for j in 0..=i {
@@ -1281,7 +1499,10 @@ mod tests {
         }
         for threads in [1, 2, 3] {
             let f = cholesky_factor(&a, &base.clone().with_threads(threads)).unwrap();
-            assert!(f.lu.approx_eq(&f0.lu, 0.0), "bitwise across {threads} threads");
+            assert!(
+                f.lu.approx_eq(&f0.lu, 0.0),
+                "bitwise across {threads} threads"
+            );
         }
     }
 
@@ -1293,7 +1514,10 @@ mod tests {
         a.set(10, 10, -5.0);
         let f = cholesky_factor(&a, &CaluConfig::new(8).with_threads(2)).unwrap();
         assert!(!f.is_nonsingular());
-        assert!(f.singular_at.unwrap() <= 10, "flag at or before the bad pivot");
+        assert!(
+            f.singular_at.unwrap() <= 10,
+            "flag at or before the bad pivot"
+        );
     }
 
     #[test]
@@ -1308,6 +1532,68 @@ mod tests {
         let a = gen::spd_uniform(50, 26);
         let f = cholesky_factor(&a, &CaluConfig::new(16).with_threads(2)).unwrap();
         assert!(f.cholesky_residual(&a) < 1e-13);
+    }
+
+    #[test]
+    fn lost_worker_is_rescued_bitwise() {
+        // the headline rescue invariant: kill a worker mid-run and the
+        // survivors produce the exact same bits the healthy pool does
+        let a = gen::uniform(96, 96, 31);
+        let base = CaluConfig::new(16).with_threads(4).with_dratio(0.3);
+        let f0 = calu_factor(&a, &base).unwrap();
+        let plan = FaultPlan::off().with_seed(5).lose_worker(2, 3);
+        let cfg = base.clone().with_fault(plan);
+        let (f, _, stats) = calu_factor_report(&a, &cfg).unwrap();
+        assert_eq!(f0.perm.pivots(), f.perm.pivots());
+        assert!(f0.lu.approx_eq(&f.lu, 0.0), "bitwise despite the loss");
+        assert!(stats[2].lost, "worker 2 recorded as lost");
+        assert!(
+            stats.iter().map(|s| s.rescued).sum::<u64>() > 0,
+            "the dead owner's static backlog was republished"
+        );
+    }
+
+    #[test]
+    fn slow_worker_degrades_but_never_changes_the_bits() {
+        let a = gen::uniform(80, 80, 32);
+        let base = CaluConfig::new(16)
+            .with_threads(4)
+            .with_dratio(0.5)
+            .with_queue(QueueDiscipline::sharded());
+        let f0 = calu_factor(&a, &base).unwrap();
+        let cfg = base
+            .clone()
+            .with_fault(FaultPlan::off().with_seed(9).slow_worker(1, 2.0));
+        let (f, _, stats) = calu_factor_report(&a, &cfg).unwrap();
+        assert_eq!(f0.perm.pivots(), f.perm.pivots());
+        assert!(f0.lu.approx_eq(&f.lu, 0.0));
+        assert!(!stats[1].lost, "slow is degraded, not dead");
+    }
+
+    #[test]
+    fn injected_panic_fails_typed_not_process() {
+        let a = gen::uniform(64, 64, 33);
+        let cfg = CaluConfig::new(16)
+            .with_threads(3)
+            .with_fault(FaultPlan::off().panic_worker(0, 1));
+        match calu_factor(&a, &cfg) {
+            Err(CaluError::TaskPanic(msg)) => {
+                assert!(msg.contains("injected"), "{msg}")
+            }
+            other => panic!("expected TaskPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_worker_recovers_and_matches() {
+        let a = gen::spd_uniform(64, 34);
+        let base = CaluConfig::new(16).with_threads(4).with_dratio(0.5);
+        let f0 = cholesky_factor(&a, &base).unwrap();
+        let cfg = base
+            .clone()
+            .with_fault(FaultPlan::off().stall_worker(3, 2, 20));
+        let f = cholesky_factor(&a, &cfg).unwrap();
+        assert!(f0.lu.approx_eq(&f.lu, 0.0));
     }
 
     #[test]

@@ -41,12 +41,33 @@ pub fn dsyrk_ln_packed(
     assert!(c.len() >= (n - 1) * ldc + n, "c slice too short");
     // SAFETY: spans validated above; c is an exclusive borrow disjoint
     // from a.
-    unsafe { syrk_ln_core(n, k, alpha, a.as_ptr(), lda, beta, c.as_mut_ptr(), ldc, scratch) }
+    unsafe {
+        syrk_ln_core(
+            n,
+            k,
+            alpha,
+            a.as_ptr(),
+            lda,
+            beta,
+            c.as_mut_ptr(),
+            ldc,
+            scratch,
+        )
+    }
 }
 
 /// [`dsyrk_ln_packed`] with the per-thread scratch arena.
 #[allow(clippy::too_many_arguments)]
-pub fn dsyrk_ln(n: usize, k: usize, alpha: f64, a: &[f64], lda: usize, beta: f64, c: &mut [f64], ldc: usize) {
+pub fn dsyrk_ln(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
     with_thread_scratch(|s| dsyrk_ln_packed(n, k, alpha, a, lda, beta, c, ldc, s));
 }
 
@@ -170,7 +191,16 @@ mod tests {
             for (alpha, beta) in [(1.0, 1.0), (-1.0, 1.0), (2.0, 0.0)] {
                 let mut got = c.clone();
                 let ld = got.ld();
-                dsyrk_ln(n, k, alpha, a.as_slice(), a.ld(), beta, got.as_mut_slice(), ld);
+                dsyrk_ln(
+                    n,
+                    k,
+                    alpha,
+                    a.as_slice(),
+                    a.ld(),
+                    beta,
+                    got.as_mut_slice(),
+                    ld,
+                );
                 let want = syrk_ref(alpha, &a, beta, &c);
                 assert!(
                     got.approx_eq(&want, 1e-11 * (k as f64).max(1.0)),
@@ -227,7 +257,11 @@ mod tests {
         dsyrk_ln(n, 0, 1.0, &[], n, 0.5, c.as_mut_slice(), ld);
         for i in 0..n {
             for j in 0..n {
-                let want = if i >= j { 0.5 * c0.get(i, j) } else { c0.get(i, j) };
+                let want = if i >= j {
+                    0.5 * c0.get(i, j)
+                } else {
+                    c0.get(i, j)
+                };
                 assert_eq!(c.get(i, j), want, "({i},{j})");
             }
         }

@@ -78,6 +78,9 @@ pub struct HybridPolicy {
     dynamic: DynSection,
     nstatic: usize,
     queued: usize,
+    /// Cores whose static queues were rescued ([`Policy::rescue`]):
+    /// their future static publishes reroute to the dynamic section.
+    lost: Vec<bool>,
 }
 
 impl HybridPolicy {
@@ -156,6 +159,7 @@ impl HybridPolicy {
             is_static,
             nstatic,
             queued: 0,
+            lost: vec![false; cores],
         }
     }
 
@@ -170,6 +174,40 @@ impl HybridPolicy {
             DynSection::Global(_) => QueueDiscipline::Global,
             DynSection::Sharded { seed, .. } => QueueDiscipline::Sharded { seed: *seed },
             DynSection::LockFree { seed, .. } => QueueDiscipline::LockFree { seed: *seed },
+        }
+    }
+
+    /// Publish a task into the dynamic section under `key` (the shared
+    /// path of `on_ready`'s dynamic arm and `rescue`'s republishing).
+    fn push_dynamic(&mut self, key: u64, t: TaskId, completer: Option<usize>) {
+        match &mut self.dynamic {
+            DynSection::Global(q) => q.push(Reverse((key, t.0))),
+            DynSection::Sharded { shards, rr, .. } => {
+                // push to the enabling core's shard (locality);
+                // scatter initially ready tasks round-robin
+                let home = completer.unwrap_or_else(|| {
+                    let c = *rr;
+                    *rr = (*rr + 1) % shards.len();
+                    c
+                });
+                shards[home].push(Reverse((key, t.0)));
+            }
+            DynSection::LockFree { deques, rr, .. } => {
+                let home = completer.unwrap_or_else(|| {
+                    let c = *rr;
+                    *rr = (*rr + 1) % deques.len();
+                    c
+                });
+                // sink toward the front past more critical
+                // (smaller-key) back entries so the owner's end
+                // stays the most critical (DynSection::LockFree docs)
+                let dq = &mut deques[home];
+                let mut at = dq.len();
+                while at > 0 && dq[at - 1].0 < key {
+                    at -= 1;
+                }
+                dq.insert(at, (key, t.0));
+            }
         }
     }
 
@@ -248,39 +286,27 @@ impl Policy for HybridPolicy {
         self.queued += 1;
         if self.is_static[t.idx()] {
             let owner = self.owners.owner(t);
-            self.local[owner].push(Reverse((self.static_keys[t.idx()], t.0)));
-        } else {
-            let key = self.dynamic_keys[t.idx()];
-            match &mut self.dynamic {
-                DynSection::Global(q) => q.push(Reverse((key, t.0))),
-                DynSection::Sharded { shards, rr, .. } => {
-                    // push to the enabling core's shard (locality);
-                    // scatter initially ready tasks round-robin
-                    let home = completer.unwrap_or_else(|| {
-                        let c = *rr;
-                        *rr = (*rr + 1) % shards.len();
-                        c
-                    });
-                    shards[home].push(Reverse((key, t.0)));
-                }
-                DynSection::LockFree { deques, rr, .. } => {
-                    let home = completer.unwrap_or_else(|| {
-                        let c = *rr;
-                        *rr = (*rr + 1) % deques.len();
-                        c
-                    });
-                    // sink toward the front past more critical
-                    // (smaller-key) back entries so the owner's end
-                    // stays the most critical (DynSection::LockFree docs)
-                    let dq = &mut deques[home];
-                    let mut at = dq.len();
-                    while at > 0 && dq[at - 1].0 < key {
-                        at -= 1;
-                    }
-                    dq.insert(at, (key, t.0));
-                }
+            if !self.lost[owner] {
+                self.local[owner].push(Reverse((self.static_keys[t.idx()], t.0)));
+                return;
             }
+            // the owner was rescued: its static share rides the dynamic
+            // section under the DFS order, like every dynamic task
         }
+        self.push_dynamic(self.dynamic_keys[t.idx()], t, completer);
+    }
+
+    fn rescue(&mut self, core: usize) -> usize {
+        self.lost[core] = true;
+        let drained: Vec<TaskId> = std::mem::take(&mut self.local[core])
+            .into_sorted_vec()
+            .into_iter()
+            .map(|Reverse((_, t))| TaskId(t))
+            .collect();
+        for &t in &drained {
+            self.push_dynamic(self.dynamic_keys[t.idx()], t, None);
+        }
+        drained.len()
     }
 
     fn pop(&mut self, core: usize) -> Option<Popped> {
@@ -519,6 +545,63 @@ mod tests {
         let batch = p.pop_batch(0, 4);
         assert_eq!(batch.len(), 1, "local batch must not absorb global tasks");
         assert_eq!(batch[0].source, QueueSource::Local);
+    }
+
+    #[test]
+    fn rescue_moves_a_lost_cores_static_queue_into_the_dynamic_section() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = HybridPolicy::new(&g, grid, 0.5); // nstatic = 4
+        let owners = OwnerMap::new(&g, grid);
+        let mine: Vec<TaskId> = g
+            .ids()
+            .filter(|&t| g.kind(t).writes_col() < 4 && owners.owner(t) == 0)
+            .take(3)
+            .collect();
+        assert_eq!(mine.len(), 3);
+        for &t in &mine {
+            p.on_ready(t, None);
+        }
+        assert_eq!(p.rescue(0), 3, "every queued static task moves");
+        assert_eq!(p.queued(), 3, "rescue relocates, it does not drop");
+        // another core can now serve them from the dynamic section
+        for _ in 0..3 {
+            let popped = p.pop(3).unwrap();
+            assert!(mine.contains(&popped.task));
+            assert_eq!(popped.source, QueueSource::Global);
+        }
+        // future static publishes for the lost owner reroute too
+        let later = g
+            .ids()
+            .find(|&t| g.kind(t).writes_col() < 4 && owners.owner(t) == 0 && !mine.contains(&t))
+            .unwrap();
+        p.on_ready(later, None);
+        let popped = p.pop(1).unwrap();
+        assert_eq!(popped.task, later);
+        assert_eq!(popped.source, QueueSource::Global, "rerouted, not local");
+    }
+
+    #[test]
+    fn rescue_is_a_noop_on_an_empty_queue_and_default_policies() {
+        let g = graph();
+        let grid = ProcessGrid::new(2, 2).unwrap();
+        let mut p = HybridPolicy::new(&g, grid, 0.5);
+        assert_eq!(p.rescue(2), 0);
+        // the trait default rescues nothing
+        struct Nothing;
+        impl Policy for Nothing {
+            fn on_ready(&mut self, _t: TaskId, _c: Option<usize>) {}
+            fn pop(&mut self, _core: usize) -> Option<Popped> {
+                None
+            }
+            fn name(&self) -> &'static str {
+                "nothing"
+            }
+            fn queued(&self) -> usize {
+                0
+            }
+        }
+        assert_eq!(Nothing.rescue(0), 0);
     }
 
     // ----- sharded discipline -----------------------------------------

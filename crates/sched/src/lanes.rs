@@ -93,7 +93,9 @@ impl<T> ClassLanes<T> {
         // starving beats Background starving).
         let starving = (0..3).find(|&l| self.debt[l] >= self.limit && !self.lanes[l].is_empty());
         let lane = starving.or_else(|| (0..3).find(|&l| !self.lanes[l].is_empty()))?;
-        let item = self.lanes[lane].pop_front().expect("lane checked non-empty");
+        let item = self.lanes[lane]
+            .pop_front()
+            .expect("lane checked non-empty");
         self.debt[lane] = 0;
         for l in 0..3 {
             if l != lane && !self.lanes[l].is_empty() {

@@ -65,6 +65,20 @@ pub trait Policy: Send {
         self.pop(core).into_iter().collect()
     }
 
+    /// Core `core` was lost (or flagged persistently degraded): rescue
+    /// its unexecuted *static* tasks by republishing them into the
+    /// dynamic section, and reroute every future static publish for
+    /// that owner the same way. Returns how many queued tasks moved
+    /// right now. Because the task DAG has exclusive writers, moving a
+    /// task between queues changes only *when* it runs, never what it
+    /// computes — rescue degrades the schedule, not the factors.
+    /// Policies without per-core static queues have nothing to move and
+    /// return 0 (the default).
+    fn rescue(&mut self, core: usize) -> usize {
+        let _ = core;
+        0
+    }
+
     /// Human-readable policy name for reports.
     fn name(&self) -> &'static str;
 

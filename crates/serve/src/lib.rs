@@ -18,9 +18,18 @@
 //!   ([`JobHandle::wait`] / [`JobHandle::try_status`]) and service-wide
 //!   through the completion-order [`FactorService::events`] stream;
 //! * **cancellation** of still-queued jobs ([`FactorService::cancel`]);
+//! * **deadlines and a watchdog** — a [`JobSpec::with_deadline`] job
+//!   that is not terminal when its deadline passes is failed with
+//!   [`ServeError::DeadlineExceeded`]; with
+//!   [`ServiceConfig::stall_timeout`] set, a running co-operative job
+//!   whose task heartbeat stops advancing is failed with a typed
+//!   worker-loss error. Either way the pool keeps serving — the
+//!   watchdog condemns jobs, never workers;
 //! * **graceful drain** — [`FactorService::drain`] stops admission,
 //!   finishes everything queued and in flight, and joins the workers;
-//!   no job is ever stranded.
+//!   no job is ever stranded — under fault injection included (lost
+//!   workers rescue their static backlog, interrupted co-scheduled
+//!   items are requeued whole).
 //!
 //! Everything is `std` — mutexes, condvars and one mpsc channel; no
 //! async runtime. The facade crate (`calu`) wraps this API as
@@ -28,7 +37,10 @@
 //! via the [`FactorService::with_report`] hook.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use calu_core::pool::{JobSink, PoolOutcome, PoolSource, ServicePool};
 use calu_core::sync::Mutex;
@@ -66,6 +78,10 @@ pub enum ServeError {
         pending: usize,
         /// The exceeded limit itself.
         quota: usize,
+        /// How long the service suggests waiting before resubmitting,
+        /// derived from the refused backlog's depth relative to the
+        /// pool width (deeper backlog → longer hint, capped at 50 ms).
+        retry_after_hint: Duration,
     },
     /// The service is draining; no new jobs are admitted.
     ShuttingDown,
@@ -75,6 +91,13 @@ pub enum ServeError {
     Failed(CaluError),
     /// The job was cancelled while queued.
     Cancelled,
+    /// The job's [`JobSpec::with_deadline`] passed before it finished;
+    /// the watchdog condemned it (cancelled if still queued, its run
+    /// failed if in flight). The pool keeps serving other jobs.
+    DeadlineExceeded {
+        /// The deadline the job was admitted with.
+        deadline: Duration,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -84,11 +107,18 @@ impl fmt::Display for ServeError {
                 class,
                 pending,
                 quota,
-            } => write!(f, "busy: {pending}/{quota} {class} jobs pending"),
+                retry_after_hint,
+            } => write!(
+                f,
+                "busy: {pending}/{quota} {class} jobs pending (retry in {retry_after_hint:?})"
+            ),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::Invalid(e) => write!(f, "invalid job spec: {e}"),
             ServeError::Failed(e) => write!(f, "factorization failed: {e}"),
             ServeError::Cancelled => write!(f, "job was cancelled"),
+            ServeError::DeadlineExceeded { deadline } => {
+                write!(f, "job missed its {deadline:?} deadline")
+            }
         }
     }
 }
@@ -109,6 +139,13 @@ pub struct ServiceConfig {
     pub starvation_limit: usize,
     /// Compute a residual and growth factor for every job.
     pub verify: bool,
+    /// Watchdog stall detection: a *running co-operative* job whose
+    /// task heartbeat has not advanced for this long is condemned with
+    /// a typed worker-loss failure ([`ServeError::Failed`] carrying
+    /// `CaluError::WorkerLost`). `None` (the default) disables stall
+    /// detection; per-job deadlines work either way. Co-scheduled
+    /// (small) jobs expose no heartbeat and are exempt.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -118,6 +155,7 @@ impl Default for ServiceConfig {
             class_quota: [64, 192, 192],
             starvation_limit: 4,
             verify: false,
+            stall_timeout: None,
         }
     }
 }
@@ -132,6 +170,7 @@ impl Default for ServiceConfig {
 pub struct JobSpec {
     source: PoolSource,
     kernels: KernelSet,
+    deadline: Option<Duration>,
 }
 
 impl JobSpec {
@@ -140,6 +179,7 @@ impl JobSpec {
         JobSpec {
             source: PoolSource::Dense(a),
             kernels: KernelSet::CaluLu,
+            deadline: None,
         }
     }
 
@@ -149,6 +189,7 @@ impl JobSpec {
         JobSpec {
             source: PoolSource::Uniform { m, n, seed },
             kernels: KernelSet::CaluLu,
+            deadline: None,
         }
     }
 
@@ -158,6 +199,7 @@ impl JobSpec {
         JobSpec {
             source: PoolSource::SpdUniform { n, seed },
             kernels: KernelSet::Cholesky,
+            deadline: None,
         }
     }
 
@@ -166,6 +208,7 @@ impl JobSpec {
         JobSpec {
             source,
             kernels: KernelSet::CaluLu,
+            deadline: None,
         }
     }
 
@@ -175,6 +218,23 @@ impl JobSpec {
     pub fn with_kernels(mut self, kernels: KernelSet) -> Self {
         self.kernels = kernels;
         self
+    }
+
+    /// Give the job a wall-clock deadline, measured from admission. A
+    /// job not terminal when it passes is failed with
+    /// [`ServeError::DeadlineExceeded`] by the service watchdog —
+    /// cancelled outright if still queued, its co-operative run
+    /// condemned if in flight (a co-scheduled job's worker cannot be
+    /// interrupted, but the waiter is unblocked with the typed error
+    /// all the same).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The job's deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// `(rows, cols)` of the job's matrix.
@@ -212,11 +272,26 @@ pub struct JobEvent {
     pub status: JobStatus,
 }
 
+/// What the service-wide event stream carries: one terminal
+/// [`JobEvent`] per job, interleaved with service-health notices.
+#[derive(Debug, Clone, Copy)]
+pub enum ServiceEvent {
+    /// A job reached a terminal state.
+    Job(JobEvent),
+    /// The pool degraded: a worker was lost (its static backlog was
+    /// rescued into dynamic queues; the pool keeps serving on the
+    /// survivors). Emitted once per loss, with the running total.
+    Degraded {
+        /// Workers lost since the service was built.
+        lost_workers: usize,
+    },
+}
+
 enum CellState<R> {
     Queued,
     Running,
     Done(R),
-    Failed(CaluError),
+    Failed(ServeError),
     Cancelled,
     /// The result was consumed by `wait`.
     Taken,
@@ -286,18 +361,43 @@ impl<R> JobHandle<R> {
     pub fn wait(self) -> Result<R, ServeError> {
         let mut st = self.cell.state.lock();
         while let CellState::Queued | CellState::Running = &*st {
-            st = self
-                .cell
-                .cv
-                .wait(st)
-                .unwrap_or_else(|e| e.into_inner());
+            st = self.cell.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         match std::mem::replace(&mut *st, CellState::Taken) {
             CellState::Done(r) => Ok(r),
-            CellState::Failed(e) => Err(ServeError::Failed(e)),
+            CellState::Failed(e) => Err(e),
             CellState::Cancelled => Err(ServeError::Cancelled),
             _ => unreachable!("wait consumes the handle"),
         }
+    }
+
+    /// [`wait`](Self::wait), bounded: blocks at most `timeout`. On
+    /// expiry the handle comes back in `Err` so the caller can keep
+    /// polling, re-wait, or cancel — the job itself is unaffected (use
+    /// [`JobSpec::with_deadline`] to bound the *job*, not just the
+    /// wait).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<R, ServeError>, Self> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.cell.state.lock();
+        while let CellState::Queued | CellState::Running = &*st {
+            let now = Instant::now();
+            if now >= deadline {
+                drop(st);
+                return Err(self);
+            }
+            st = self
+                .cell
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        Ok(match std::mem::replace(&mut *st, CellState::Taken) {
+            CellState::Done(r) => Ok(r),
+            CellState::Failed(e) => Err(e),
+            CellState::Cancelled => Err(ServeError::Cancelled),
+            _ => unreachable!("a terminal wait consumes the handle"),
+        })
     }
 }
 
@@ -313,12 +413,32 @@ struct Admission {
 /// pool outcome (see [`FactorService::with_report`]).
 type MakeResult<R> = Box<dyn Fn(&JobInfo, PoolOutcome) -> R + Send + Sync>;
 
-/// State shared between the service, its sinks and its handles.
+/// One job the watchdog keeps an eye on: a deadline, a heartbeat
+/// history, or both.
+struct WatchEntry<R> {
+    info: JobInfo,
+    cell: Arc<JobCell<R>>,
+    /// Absolute deadline (admission time + the spec's deadline), with
+    /// the spec's relative deadline kept for the error message.
+    deadline: Option<(Instant, Duration)>,
+    /// Last observed `(heartbeat, when)` for stall detection; `None`
+    /// until the job's co-operative run publishes its first sample.
+    last: Option<(u64, Instant)>,
+}
+
+/// State shared between the service, its sinks, its handles and the
+/// watchdog thread.
 struct Inner<R> {
     admission: Mutex<Admission>,
     make: MakeResult<R>,
-    tx: Mutex<Option<mpsc::Sender<JobEvent>>>,
-    rx: Mutex<Option<mpsc::Receiver<JobEvent>>>,
+    tx: Mutex<Option<mpsc::Sender<ServiceEvent>>>,
+    rx: Mutex<Option<mpsc::Receiver<ServiceEvent>>>,
+    /// Jobs under watchdog surveillance. Never held across the
+    /// admission lock by the sink side (ABBA with `submit`'s
+    /// admission → watch order).
+    watch: Mutex<Vec<WatchEntry<R>>>,
+    /// Tells the watchdog thread to exit.
+    shutdown: AtomicBool,
 }
 
 impl<R> Inner<R> {
@@ -330,12 +450,28 @@ impl<R> Inner<R> {
             adm.pending[info.class.lane()] -= 1;
         }
         if let Some(tx) = &*self.tx.lock() {
-            let _ = tx.send(JobEvent {
+            let _ = tx.send(ServiceEvent::Job(JobEvent {
                 id: info.id,
                 class: info.class,
                 status,
-            });
+            }));
         }
+    }
+
+    /// Watchdog-side terminal transition: first writer wins against the
+    /// job's sink. `false` means the job went terminal first and
+    /// nothing was done.
+    fn condemn(&self, info: &JobInfo, cell: &JobCell<R>, err: ServeError) -> bool {
+        {
+            let mut st = cell.state.lock();
+            if !matches!(*st, CellState::Queued | CellState::Running) {
+                return false;
+            }
+            *st = CellState::Failed(err);
+        }
+        cell.cv.notify_all();
+        self.job_ended(info, JobStatus::Failed);
+        true
     }
 }
 
@@ -348,6 +484,8 @@ struct ServeSink<R> {
 
 impl<R: Send + 'static> JobSink for ServeSink<R> {
     fn started(&self) {
+        // idempotent on purpose: a job requeued after a mid-item worker
+        // loss is claimed (and `started`) a second time
         let mut st = self.cell.state.lock();
         if matches!(*st, CellState::Queued) {
             *st = CellState::Running;
@@ -355,29 +493,135 @@ impl<R: Send + 'static> JobSink for ServeSink<R> {
     }
 
     fn finished(self: Box<Self>, res: Result<PoolOutcome, CaluError>) {
+        // leave the watchdog's registry first (lock not held onward)
+        self.shared
+            .watch
+            .lock()
+            .retain(|e| e.info.id != self.info.id);
         let (state, status) = match res {
             Ok(out) => (
                 CellState::Done((self.shared.make)(&self.info, out)),
                 JobStatus::Done,
             ),
-            Err(e) => (CellState::Failed(e), JobStatus::Failed),
+            Err(e) => (CellState::Failed(ServeError::Failed(e)), JobStatus::Failed),
         };
-        *self.cell.state.lock() = state;
+        {
+            let mut st = self.cell.state.lock();
+            if !matches!(*st, CellState::Queued | CellState::Running) {
+                // the watchdog condemned this job first (deadline or
+                // stall) and already accounted for it; the pool-side
+                // result is discarded
+                return;
+            }
+            *st = state;
+        }
         self.cell.cv.notify_all();
         self.shared.job_ended(&self.info, status);
     }
 }
 
-/// Completion-order event stream; ends when the service drains. Blocks
-/// on [`Iterator::next`] until the next job reaches a terminal state.
+/// Service-wide event stream; ends when the service drains. Blocks on
+/// [`Iterator::next`] until the next event: one terminal
+/// [`ServiceEvent::Job`] per job in completion order, interleaved with
+/// [`ServiceEvent::Degraded`] notices when fault injection costs the
+/// pool a worker.
 pub struct Events {
-    rx: mpsc::Receiver<JobEvent>,
+    rx: mpsc::Receiver<ServiceEvent>,
 }
 
 impl Iterator for Events {
-    type Item = JobEvent;
-    fn next(&mut self) -> Option<JobEvent> {
+    type Item = ServiceEvent;
+    fn next(&mut self) -> Option<ServiceEvent> {
         self.rx.recv().ok()
+    }
+}
+
+/// How often the watchdog wakes to check deadlines, heartbeats and
+/// pool degradation.
+const WATCHDOG_TICK: Duration = Duration::from_millis(2);
+
+/// The watchdog loop: every tick, emit [`ServiceEvent::Degraded`] on a
+/// new worker loss, fail jobs past their deadline, and fail running
+/// co-operative jobs whose heartbeat stalled. Jobs are condemned
+/// first-writer-wins against their sink, so a normal finish racing the
+/// watchdog resolves cleanly either way.
+fn watchdog_loop<R: Send + 'static>(
+    pool: Arc<ServicePool>,
+    shared: Arc<Inner<R>>,
+    stall: Option<Duration>,
+) {
+    let mut last_lost = 0usize;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(WATCHDOG_TICK);
+        let lost = pool.lost_workers();
+        if lost > last_lost {
+            last_lost = lost;
+            if let Some(tx) = &*shared.tx.lock() {
+                let _ = tx.send(ServiceEvent::Degraded { lost_workers: lost });
+            }
+        }
+        let now = Instant::now();
+        // decide under the watch lock, act after releasing it: condemn
+        // takes the cell and admission locks, which the sink side takes
+        // without holding `watch`
+        let mut condemned: Vec<(JobInfo, Arc<JobCell<R>>, ServeError)> = Vec::new();
+        {
+            let mut watch = shared.watch.lock();
+            watch.retain_mut(|e| {
+                let running = match &*e.cell.state.lock() {
+                    CellState::Queued => false,
+                    CellState::Running => true,
+                    _ => return false, // terminal: stop watching
+                };
+                if let Some((at, rel)) = e.deadline {
+                    if now >= at {
+                        condemned.push((
+                            e.info,
+                            Arc::clone(&e.cell),
+                            ServeError::DeadlineExceeded { deadline: rel },
+                        ));
+                        return false;
+                    }
+                }
+                if let (true, Some(limit)) = (running, stall) {
+                    // co-scheduled or not yet published jobs have no
+                    // heartbeat to judge by
+                    if let Some(hb) = pool.progress_of(e.info.id) {
+                        match e.last {
+                            Some((prev, since)) if hb == prev => {
+                                if now.duration_since(since) >= limit {
+                                    condemned.push((
+                                        e.info,
+                                        Arc::clone(&e.cell),
+                                        ServeError::Failed(CaluError::WorkerLost(format!(
+                                            "no task progress for {limit:?} \
+                                             (heartbeat stuck at {hb})"
+                                        ))),
+                                    ));
+                                    return false;
+                                }
+                            }
+                            _ => e.last = Some((hb, now)),
+                        }
+                    }
+                }
+                true
+            });
+        }
+        for (info, cell, err) in condemned {
+            // remove a still-queued victim from the lanes (sink comes
+            // back uncalled and is dropped); then the terminal write
+            let _ = pool.cancel(info.id);
+            if shared.condemn(&info, &cell, err) {
+                // stop the pool wasting work on a condemned run; the
+                // error lands in a sink that finds the cell terminal
+                // and discards it
+                pool.fail_active(
+                    info.id,
+                    CaluError::WorkerLost("run condemned by the service watchdog".into()),
+                );
+            }
+        }
     }
 }
 
@@ -387,9 +631,10 @@ impl Iterator for Events {
 /// `calu` facade injects a `Report` builder via
 /// [`FactorService::with_report`].
 pub struct FactorService<R = PoolOutcome> {
-    pool: ServicePool,
+    pool: Arc<ServicePool>,
     cfg: ServiceConfig,
     shared: Arc<Inner<R>>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl FactorService<PoolOutcome> {
@@ -411,22 +656,35 @@ impl<R: Send + 'static> FactorService<R> {
         svc: ServiceConfig,
         make: impl Fn(&JobInfo, PoolOutcome) -> R + Send + Sync + 'static,
     ) -> Result<Self, CaluError> {
-        let pool = ServicePool::spawn(cfg, svc.verify, svc.starvation_limit)?;
+        let pool = Arc::new(ServicePool::spawn(cfg, svc.verify, svc.starvation_limit)?);
         let (tx, rx) = mpsc::channel();
+        let shared = Arc::new(Inner {
+            admission: Mutex::new(Admission {
+                pending_total: 0,
+                pending: [0; 3],
+                draining: false,
+                next_id: 1,
+            }),
+            make: Box::new(make),
+            tx: Mutex::new(Some(tx)),
+            rx: Mutex::new(Some(rx)),
+            watch: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let watchdog = {
+            let pool = Arc::clone(&pool);
+            let shared = Arc::clone(&shared);
+            let stall = svc.stall_timeout;
+            std::thread::Builder::new()
+                .name("calu-serve-watchdog".into())
+                .spawn(move || watchdog_loop(pool, shared, stall))
+                .expect("spawn watchdog thread")
+        };
         Ok(FactorService {
             pool,
             cfg: svc,
-            shared: Arc::new(Inner {
-                admission: Mutex::new(Admission {
-                    pending_total: 0,
-                    pending: [0; 3],
-                    draining: false,
-                    next_id: 1,
-                }),
-                make: Box::new(make),
-                tx: Mutex::new(Some(tx)),
-                rx: Mutex::new(Some(rx)),
-            }),
+            shared,
+            watchdog: Mutex::new(Some(watchdog)),
         })
     }
 
@@ -454,6 +712,7 @@ impl<R: Send + 'static> FactorService<R> {
                 class,
                 pending: adm.pending_total,
                 quota: self.cfg.max_pending,
+                retry_after_hint: retry_hint(adm.pending_total, self.pool.threads()),
             });
         }
         let lane = class.lane();
@@ -462,6 +721,7 @@ impl<R: Send + 'static> FactorService<R> {
                 class,
                 pending: adm.pending[lane],
                 quota: self.cfg.class_quota[lane],
+                retry_after_hint: retry_hint(adm.pending[lane], self.pool.threads()),
             });
         }
         let id = adm.next_id;
@@ -506,6 +766,17 @@ impl<R: Send + 'static> FactorService<R> {
             return Err(ServeError::ShuttingDown);
         }
         drop(adm);
+        // register with the watchdog when there is anything to enforce.
+        // The job may already have finished — then the watchdog drops
+        // the entry at its next tick (the cell is terminal).
+        if spec.deadline.is_some() || self.cfg.stall_timeout.is_some() {
+            self.shared.watch.lock().push(WatchEntry {
+                info,
+                cell: Arc::clone(&cell),
+                deadline: spec.deadline.map(|d| (Instant::now() + d, d)),
+                last: None,
+            });
+        }
         Ok(JobHandle {
             id,
             class,
@@ -522,6 +793,7 @@ impl<R: Send + 'static> FactorService<R> {
     pub fn cancel(&self, handle: &JobHandle<R>) -> bool {
         match self.pool.cancel(handle.id) {
             Some(_uncalled_sink) => {
+                self.shared.watch.lock().retain(|e| e.info.id != handle.id);
                 *handle.cell.state.lock() = CellState::Cancelled;
                 handle.cell.cv.notify_all();
                 let info = JobInfo {
@@ -556,13 +828,19 @@ impl<R: Send + 'static> FactorService<R> {
 
     /// Stop admitting, finish every queued and in-flight job, join the
     /// workers and close the event stream. Idempotent; also runs on
-    /// drop. On return, zero jobs are pending.
+    /// drop. On return, zero jobs are pending. The watchdog stays live
+    /// until the pool is fully drained, so deadlines keep biting while
+    /// the backlog runs down.
     pub fn drain(&self) {
         {
             let mut adm = self.shared.admission.lock();
             adm.draining = true;
         }
         self.pool.drain();
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.watchdog.lock().take() {
+            let _ = h.join();
+        }
         // every job is terminal; dropping the only sender ends `events`
         self.shared.tx.lock().take();
     }
@@ -609,6 +887,20 @@ impl<R: Send + 'static> FactorService<R> {
         self.pool.spawn_secs()
     }
 
+    /// Workers lost to injected faults since the service was built (0
+    /// without fault injection). Mirrors the pool's counter; increases
+    /// are also announced on [`events`](Self::events) as
+    /// [`ServiceEvent::Degraded`].
+    pub fn lost_workers(&self) -> usize {
+        self.pool.lost_workers()
+    }
+
+    /// Static tasks rescued into dynamic queues after worker loss or
+    /// slowdown, pool-wide.
+    pub fn rescued_tasks(&self) -> u64 {
+        self.pool.rescued_tasks()
+    }
+
     /// The admission configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.cfg
@@ -622,8 +914,21 @@ impl<R> Drop for FactorService<R> {
             adm.draining = true;
         }
         self.pool.drain();
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.watchdog.lock().take() {
+            let _ = h.join();
+        }
         self.shared.tx.lock().take();
     }
+}
+
+/// The [`ServeError::Busy`] retry hint: roughly one pool pass per
+/// backlogged job ahead of the caller — 1 ms per `pending / threads`
+/// (at least 1 ms), capped at 50 ms so callers never sleep absurdly
+/// long on a deep backlog.
+fn retry_hint(pending: usize, threads: usize) -> Duration {
+    let per_pass = pending / threads.max(1);
+    Duration::from_millis(per_pass.clamp(1, 50) as u64)
 }
 
 #[cfg(test)]
@@ -690,10 +995,7 @@ mod tests {
             .submit(JobSpec::uniform(512, 512, 1), JobClass::Interactive)
             .unwrap();
         let res = service.submit(JobSpec::uniform(8, 8, 2), JobClass::Interactive);
-        assert!(matches!(
-            res,
-            Err(ServeError::Busy { quota: 1, .. })
-        ));
+        assert!(matches!(res, Err(ServeError::Busy { quota: 1, .. })));
         // other classes still admit
         let ok = service.submit(JobSpec::uniform(8, 8, 3), JobClass::Batch);
         assert!(ok.is_ok());
@@ -728,13 +1030,125 @@ mod tests {
         let n = 5;
         for seed in 0..n {
             service
-                .submit(JobSpec::uniform(48, 48, seed), JobClass::ALL[seed as usize % 3])
+                .submit(
+                    JobSpec::uniform(48, 48, seed),
+                    JobClass::ALL[seed as usize % 3],
+                )
                 .unwrap();
         }
         service.drain();
-        let seen: Vec<JobEvent> = events.collect(); // ends: sender dropped
+        // ends: sender dropped. No degradation without fault injection
+        let seen: Vec<JobEvent> = events
+            .map(|e| match e {
+                ServiceEvent::Job(j) => j,
+                ServiceEvent::Degraded { .. } => panic!("no faults were injected"),
+            })
+            .collect();
         assert_eq!(seen.len(), n as usize);
         assert!(seen.iter().all(|e| e.status == JobStatus::Done));
+    }
+
+    #[test]
+    fn busy_rejections_carry_a_retry_hint() {
+        let service = FactorService::new(
+            &cfg(),
+            ServiceConfig {
+                max_pending: 1,
+                ..svc()
+            },
+        )
+        .unwrap();
+        let h = service
+            .submit(JobSpec::uniform(512, 512, 1), JobClass::Batch)
+            .unwrap();
+        match service.submit(JobSpec::uniform(8, 8, 2), JobClass::Batch) {
+            Err(ServeError::Busy {
+                retry_after_hint, ..
+            }) => {
+                assert!(retry_after_hint >= Duration::from_millis(1));
+                assert!(retry_after_hint <= Duration::from_millis(50));
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        h.wait().unwrap();
+        service.drain();
+        // the hint scales with backlog depth relative to the pool
+        assert_eq!(retry_hint(1, 2), Duration::from_millis(1));
+        assert_eq!(retry_hint(64, 2), Duration::from_millis(32));
+        assert_eq!(retry_hint(10_000, 2), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_handle_on_expiry_and_the_result_later() {
+        let service = FactorService::new(&cfg(), svc()).unwrap();
+        let h = service
+            .submit(JobSpec::uniform(384, 384, 1), JobClass::Batch)
+            .unwrap();
+        // a 384² job does not finish in 1 ms: the handle comes back
+        let h = match h.wait_timeout(Duration::from_millis(1)) {
+            Err(h) => h,
+            Ok(_) => panic!("a 384² factorization finished within 1 ms?"),
+        };
+        // and a generous re-wait resolves it normally
+        match h.wait_timeout(Duration::from_secs(60)) {
+            Ok(Ok(out)) => assert_eq!(out.dims, (384, 384)),
+            other => panic!("expected the result, got {other:?}"),
+        }
+        service.drain();
+    }
+
+    #[test]
+    fn a_queued_job_past_its_deadline_fails_typed() {
+        // one worker, a big job in front: the victim sits queued past
+        // its tiny deadline and the watchdog cancels it
+        let solver = CaluConfig::new(16).with_threads(1).with_dratio(0.5);
+        let service = FactorService::new(&solver, svc()).unwrap();
+        let blocker = service
+            .submit(JobSpec::uniform(512, 512, 1), JobClass::Batch)
+            .unwrap();
+        let victim = service
+            .submit(
+                JobSpec::uniform(256, 256, 2).with_deadline(Duration::from_millis(1)),
+                JobClass::Batch,
+            )
+            .unwrap();
+        match victim.wait() {
+            Err(ServeError::DeadlineExceeded { deadline }) => {
+                assert_eq!(deadline, Duration::from_millis(1));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        blocker.wait().unwrap();
+        service.drain();
+        assert_eq!(service.pending(), 0, "the condemned job was accounted");
+    }
+
+    #[test]
+    fn a_running_job_past_its_deadline_fails_typed_and_the_pool_survives() {
+        // cutoff 0 routes everything co-operative, so the watchdog can
+        // condemn the in-flight run itself
+        let solver = CaluConfig::new(16)
+            .with_threads(2)
+            .with_dratio(0.5)
+            .with_batch_small_cutoff(0);
+        let service = FactorService::new(&solver, svc()).unwrap();
+        let doomed = service
+            .submit(
+                JobSpec::uniform(768, 768, 3).with_deadline(Duration::from_millis(10)),
+                JobClass::Batch,
+            )
+            .unwrap();
+        assert!(matches!(
+            doomed.wait(),
+            Err(ServeError::DeadlineExceeded { .. })
+        ));
+        // the service keeps serving after the condemnation
+        let ok = service
+            .submit(JobSpec::uniform(64, 64, 4), JobClass::Batch)
+            .unwrap();
+        ok.wait().unwrap();
+        service.drain();
+        assert_eq!(service.pending(), 0);
     }
 
     #[test]

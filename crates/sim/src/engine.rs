@@ -127,6 +127,10 @@ struct Engine<'a> {
     /// Last core that wrote each tile (`u32::MAX` = untouched).
     last_writer: Vec<u32>,
     idle: Vec<bool>,
+    /// Cores retired by the injected loss: never dispatched again.
+    dead: Vec<bool>,
+    /// Tasks completed per core — the loss trigger's counter.
+    done_tasks: Vec<u64>,
     heap: BinaryHeap<Reverse<HeapEv>>,
     seq: u64,
     timeline: Option<Timeline>,
@@ -142,6 +146,10 @@ impl<'a> Engine<'a> {
             p,
             "grid size must equal machine core count"
         );
+        if let Some((lc, _)) = cfg.machine.lost_core {
+            assert!(lc < p, "lost core {lc} outside the {p}-core machine");
+            assert!(p > 1, "losing the only core leaves nothing to finish");
+        }
         let cache_cap = if cfg.layout == Layout::ColumnMajor {
             cfg.machine.cache_tiles / 2
         } else {
@@ -165,6 +173,8 @@ impl<'a> Engine<'a> {
             in_flight: vec![Vec::new(); p],
             last_writer: vec![u32::MAX; g.tile_rows() * g.tile_cols()],
             idle: vec![true; p],
+            dead: vec![false; p],
+            done_tasks: vec![0; p],
             heap: BinaryHeap::new(),
             seq: 0,
             timeline: cfg.record_trace.then(|| Timeline::new(p)),
@@ -183,8 +193,26 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Retire `core` after an injected loss: rescue its queued static
+    /// tasks into the dynamic section (priced per task as scheduler
+    /// overhead) and bar it from ever dispatching again. Returns how
+    /// many tasks moved.
+    fn retire(&mut self, core: usize) -> usize {
+        self.dead[core] = true;
+        self.idle[core] = false;
+        let moved = self.policy.rescue(core);
+        let st = &mut self.stats[core];
+        st.lost = true;
+        st.rescued = moved as u64;
+        st.overhead += moved as f64 * self.cfg.machine.rescue_task_cost;
+        moved
+    }
+
     /// Try to hand `core` a batch at time `now`; returns true on success.
     fn dispatch(&mut self, core: usize, now: f64) -> bool {
+        if self.dead[core] {
+            return false;
+        }
         let max = if self.cfg.column_granular {
             usize::MAX
         } else {
@@ -351,6 +379,10 @@ impl<'a> Engine<'a> {
         for t in self.g.initial_ready() {
             self.policy.on_ready(t, None);
         }
+        // a loss "after 0 tasks" fires before the core ever runs
+        if let Some((lc, 0)) = self.cfg.machine.lost_core {
+            self.retire(lc);
+        }
         for core in 0..p {
             self.dispatch(core, 0.0);
         }
@@ -368,6 +400,7 @@ impl<'a> Engine<'a> {
             let core = ev.core as usize;
             let batch = std::mem::take(&mut self.in_flight[core]);
             let mut newly_ready = false;
+            self.done_tasks[core] += batch.len() as u64;
             for t in batch {
                 completed += 1;
                 for &s in self.g.successors(t) {
@@ -376,6 +409,15 @@ impl<'a> Engine<'a> {
                         self.policy.on_ready(s, Some(core));
                         newly_ready = true;
                     }
+                }
+            }
+            // the injected loss fires at this completion boundary, like
+            // the real executor's worker retiring between tasks; rescued
+            // tasks become servable by everyone else, so wake the idle
+            if let Some((lc, after)) = self.cfg.machine.lost_core {
+                if lc == core && !self.dead[core] && self.done_tasks[core] >= after {
+                    self.retire(core);
+                    newly_ready = true;
                 }
             }
             self.dispatch(core, now);
@@ -635,6 +677,72 @@ mod slow_core_tests {
             ),
         );
         assert!(dynamic.makespan < healthy.makespan * 1.35);
+    }
+
+    #[test]
+    fn lost_core_is_rescued_and_every_task_still_executes() {
+        let g = TaskGraph::build_calu(2000, 2000, 100, 4);
+        let mut mach = MachineConfig::intel_xeon_16(NoiseConfig::off());
+        // crawl first so ready static work piles up in the doomed
+        // core's queue, then lose it: the rescue has something to move
+        mach.slow_core = Some((3, 0.05));
+        mach.lost_core = Some((3, 10));
+        let cfg = SimConfig::new(
+            mach,
+            Layout::BlockCyclic,
+            SchedulerKind::Hybrid { dratio: 0.2 },
+        );
+        let r = run(&g, &cfg);
+        let total: u64 = r.cores.iter().map(|c| c.tasks).sum();
+        assert_eq!(total as usize, g.len(), "no task left behind");
+        assert!(r.cores[3].lost, "the lost core is flagged");
+        assert!(
+            r.cores[3].rescued > 0,
+            "a backlogged loss leaves queued static tasks to rescue"
+        );
+        assert!(
+            r.cores[3].overhead >= r.cores[3].rescued as f64 * cfg.machine.rescue_task_cost,
+            "each rescued task is priced as overhead"
+        );
+        assert!(
+            (10..10 + 3).contains(&r.cores[3].tasks),
+            "the core stops at the first completion boundary past its \
+             threshold (its last batch may overshoot by up to group_max), \
+             got {} tasks",
+            r.cores[3].tasks
+        );
+        assert!(r.cores.iter().enumerate().all(|(c, s)| s.lost == (c == 3)));
+        // degraded but correct: slower than the healthy run, and
+        // deterministic for replay
+        let healthy = run(
+            &g,
+            &SimConfig::new(
+                MachineConfig::intel_xeon_16(NoiseConfig::off()),
+                Layout::BlockCyclic,
+                SchedulerKind::Hybrid { dratio: 0.2 },
+            ),
+        );
+        assert!(r.makespan > healthy.makespan, "15 cores cannot beat 16");
+        let again = run(&g, &cfg);
+        assert_eq!(r.makespan, again.makespan);
+        assert_eq!(r.cores, again.cores);
+    }
+
+    #[test]
+    fn a_core_lost_before_its_first_task_never_runs() {
+        let g = TaskGraph::build_calu(1200, 1200, 100, 4);
+        let mut mach = MachineConfig::intel_xeon_16(NoiseConfig::off());
+        mach.lost_core = Some((0, 0));
+        let cfg = SimConfig::new(
+            mach,
+            Layout::BlockCyclic,
+            SchedulerKind::Hybrid { dratio: 0.2 },
+        );
+        let r = run(&g, &cfg);
+        assert_eq!(r.cores[0].tasks, 0);
+        assert!(r.cores[0].lost);
+        let total: u64 = r.cores.iter().map(|c| c.tasks).sum();
+        assert_eq!(total as usize, g.len());
     }
 
     #[test]

@@ -91,6 +91,20 @@ pub struct MachineConfig {
     /// (`(core, speed)` with `0 < speed <= 1`) — §6's persistent `δ_i`
     /// in its purest form.
     pub slow_core: Option<(usize, f64)>,
+    /// Failure injection: lose one core entirely after it has completed
+    /// `n` tasks (`(core, n)`). The engine retires the core at its next
+    /// completion boundary, rescues its queued static tasks into the
+    /// dynamic section ([`calu_sched::Policy::rescue`]) at
+    /// [`rescue_task_cost`](MachineConfig::rescue_task_cost) per task,
+    /// and never dispatches it again — the simulated twin of the real
+    /// executor's worker-loss fault. Requires a policy that can reroute
+    /// the lost core's work (hybrid/dynamic/work-stealing); under a
+    /// purely static policy the dead core's queue is unreachable and
+    /// the engine reports a deadlock.
+    pub lost_core: Option<(usize, u64)>,
+    /// Seconds charged (as scheduler overhead) per static task rescued
+    /// off a lost core — pricing the queue-drain-and-republish walk.
+    pub rescue_task_cost: f64,
 }
 
 impl MachineConfig {
@@ -132,6 +146,8 @@ impl MachineConfig {
             gepp_panel_eff: 0.25,
             noise,
             slow_core: None,
+            lost_core: None,
+            rescue_task_cost: 1.0e-6,
         }
     }
 
@@ -157,6 +173,8 @@ impl MachineConfig {
             gepp_panel_eff: 0.55,
             noise,
             slow_core: None,
+            lost_core: None,
+            rescue_task_cost: 1.5e-6,
         }
     }
 

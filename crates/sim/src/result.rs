@@ -34,6 +34,12 @@ pub struct CoreStats {
     /// The subset of `stolen_pops` whose victim sat on a different
     /// socket (locality-tiered lock-free discipline only).
     pub remote_stolen_pops: u64,
+    /// Static tasks this core owned that were republished into the
+    /// dynamic section after the core was lost
+    /// ([`crate::machine::MachineConfig::lost_core`]).
+    pub rescued: u64,
+    /// Whether this core was lost mid-run by the injected failure.
+    pub lost: bool,
 }
 
 /// Result of one simulated factorization.

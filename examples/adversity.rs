@@ -1,0 +1,102 @@
+//! The adversity layer, end to end: inject seeded faults into a real
+//! threaded run and watch the hybrid schedule absorb them — same bits
+//! out, rescue accounting in the report — then put a deadline on a
+//! service job stuck behind a blocker and let the watchdog condemn it
+//! with a typed error while the pool keeps serving.
+//!
+//! ```bash
+//! cargo run --release --example adversity
+//! ```
+
+use std::time::Duration;
+
+use calu::{FaultPlan, JobClass, JobSpec, MatrixSource, ServeError, ServiceEvent, Solver};
+
+fn main() {
+    // A clean 384² run on 4 threads is the reference: everything below
+    // must reproduce its bits exactly.
+    let base = || {
+        Solver::new(MatrixSource::uniform(384, 2024))
+            .tile(32)
+            .threads(4)
+            .dratio(0.5)
+    };
+    let clean = base().run().expect("clean run");
+    println!(
+        "clean run: makespan {:.2} ms, residual {:.2e}",
+        clean.makespan * 1e3,
+        clean.residual.unwrap()
+    );
+
+    // Now the same run under adversity: worker 1 at half speed the
+    // whole time, worker 3 dies after 5 tasks. The dying worker
+    // republishes its unexecuted static tasks into the dynamic queues
+    // (static-task rescue), and the exclusive-writer DAG makes the
+    // factors schedule-independent — so the bits match anyway.
+    let plan = FaultPlan::off()
+        .with_seed(7)
+        .slow_worker(1, 2.0)
+        .lose_worker(3, 5);
+    let faulted = base().fault_plan(plan).run().expect("faulted run");
+    println!(
+        "faulted run (slow worker 1, lose worker 3): makespan {:.2} ms, \
+         {} worker(s) lost, {} static task(s) rescued",
+        faulted.makespan * 1e3,
+        faulted.schedule.lost_workers(),
+        faulted.schedule.total_rescued(),
+    );
+    let (f, fc) = (
+        faulted.factorization.as_ref().unwrap(),
+        clean.factorization.as_ref().unwrap(),
+    );
+    assert_eq!(f.lu.as_slice(), fc.lu.as_slice());
+    assert_eq!(f.perm.pivots(), fc.perm.pivots());
+    println!("  factors and pivots bitwise-identical to the clean run");
+
+    // The service's time dimension: one worker, a big blocker in
+    // front, and a victim that must finish within 5 ms. It can't — the
+    // watchdog condemns it with a typed error, the blocker and every
+    // later job still complete, and drain strands nothing.
+    let service = Solver::new(MatrixSource::shape(8, 8))
+        .tile(32)
+        .threads(1)
+        .verify(false)
+        .serve()
+        .expect("spawn service");
+    let events = service.events();
+    let blocker = service
+        .submit(JobSpec::uniform(512, 512, 1), JobClass::Batch)
+        .expect("admission");
+    let victim = service
+        .submit(
+            JobSpec::uniform(128, 128, 2).with_deadline(Duration::from_millis(5)),
+            JobClass::Batch,
+        )
+        .expect("admission");
+    match victim.wait() {
+        Err(ServeError::DeadlineExceeded { deadline }) => {
+            println!("victim condemned: missed its {deadline:?} deadline")
+        }
+        other => panic!("expected a deadline condemnation, got {other:?}"),
+    }
+    let blocker = blocker.wait().expect("blocker completes");
+    println!(
+        "blocker unharmed: {:?}, makespan {:.2} ms",
+        blocker.dims,
+        blocker.makespan * 1e3
+    );
+    service
+        .submit(JobSpec::uniform(64, 64, 3), JobClass::Interactive)
+        .expect("admission")
+        .wait()
+        .expect("the condemnation poisoned nothing");
+    service.drain();
+    assert_eq!(service.pending(), 0);
+    let terminal = events
+        .into_iter()
+        .filter(|e| matches!(e, ServiceEvent::Job(_)))
+        .count();
+    println!("pool served on after the condemnation; {terminal} terminal job event(s) streamed");
+    assert_eq!(terminal, 3, "blocker, victim and the follow-up job");
+    println!("OK");
+}

@@ -113,7 +113,12 @@ fn main() {
         .expect("one last job");
     h.wait().expect("last job");
     service.drain();
-    let terminal: Vec<_> = events.collect();
+    let terminal: Vec<_> = events
+        .filter_map(|e| match e {
+            calu::ServiceEvent::Job(j) => Some(j),
+            _ => None,
+        })
+        .collect();
     println!(
         "event stream after drain: {} terminal event(s), last = {:?}",
         terminal.len(),

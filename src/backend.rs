@@ -149,6 +149,8 @@ pub(crate) fn threaded_schedule_metrics(
                 stolen_pops: stats[c].steal_pops,
                 remote_steal_pops: stats[c].remote_steal_pops,
                 failed_steals: stats[c].failed_steals,
+                rescued: stats[c].rescued,
+                lost: stats[c].lost,
                 ..Default::default()
             })
             .collect(),
@@ -213,6 +215,19 @@ impl Backend for ThreadedBackend {
                        updates; grouping is a simulator knob — use \
                        SimulatedBackend or drop .grouping()"
                     .into(),
+            });
+        }
+        if !plan.calu_config().fault.is_off()
+            && !matches!(plan.algorithm, Algorithm::Calu | Algorithm::Cholesky)
+        {
+            return Err(Error::Unsupported {
+                backend: self.name().into(),
+                what: format!(
+                    "fault injection runs on the hybrid executor's worker \
+                     threads; the sequential {:?} reference driver has none to \
+                     inject into — drop .fault_plan() or use CALU/Cholesky",
+                    plan.algorithm
+                ),
             });
         }
         let a = plan.source.materialize().ok_or_else(|| {
@@ -345,10 +360,9 @@ impl ThreadedBackend {
                         n: *n,
                         seed: *seed,
                     },
-                    MatrixSource::SpdUniform { n, seed } => BatchSource::SpdUniform {
-                        n: *n,
-                        seed: *seed,
-                    },
+                    MatrixSource::SpdUniform { n, seed } => {
+                        BatchSource::SpdUniform { n: *n, seed: *seed }
+                    }
                     MatrixSource::Shape { .. } => {
                         return Err(Error::Config(
                             "the threaded backend factors real data: provide a DenseMatrix \
@@ -644,6 +658,8 @@ fn sim_report(
                 stolen_pops: c.stolen_pops,
                 remote_steal_pops: c.remote_stolen_pops,
                 failed_steals: 0,
+                rescued: c.rescued,
+                lost: c.lost,
                 remote_bytes: c.remote_bytes,
                 local_bytes: c.local_bytes,
                 cache_hits: c.cache_hits,

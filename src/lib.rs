@@ -148,7 +148,7 @@ pub mod serve;
 pub mod solver;
 
 pub use backend::{Backend, SimulatedBackend, ThreadedBackend};
-pub use calu_core::KernelSet;
+pub use calu_core::{FaultKind, FaultPlan, KernelSet};
 pub use calu_sched::QueueDiscipline;
 pub use error::Error;
 pub use report::{
@@ -157,7 +157,7 @@ pub use report::{
 };
 pub use serve::{
     service_batch, FactorService, JobClass, JobEvent, JobHandle, JobSpec, JobStatus, ReportService,
-    ServeError, ServiceConfig,
+    ServeError, ServiceConfig, ServiceEvent,
 };
 pub use solver::{Algorithm, MatrixSource, Plan, Solver};
 

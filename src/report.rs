@@ -24,6 +24,8 @@
 //! | **steals** (tasks taken from another worker's shard or deque) | `stolen_pops` | `queue_sources().stolen`, `contention().steals`, `steal_locality().local` + `.remote` | both, stealing disciplines only |
 //! | **remote steals** (the victim sat on another socket) | `remote_steal_pops` | `steal_locality().remote`, `steal_locality().remote_fraction()` | both, lock-free discipline's tiered sweep only |
 //! | **failed steal sweeps** (every probed victim was empty) | `failed_steals` | `contention().failed_steals`, `contention().failure_rate()` | threaded backend, stealing disciplines only |
+//! | **rescued static tasks** (republished into the dynamic queues off a lost/degraded worker) | `rescued` | `total_rescued()` | both, armed fault plans only |
+//! | **lost worker** (retired by an injected fault) | `lost` | `lost_workers()` | both, armed fault plans only |
 //! | NUMA / cache traffic | `remote_bytes`, `local_bytes`, `cache_*` | `Report::remote_bytes()`, `Report::cache_hit_rate()` | simulated only |
 //!
 //! Steal counters are identically zero under
@@ -77,6 +79,17 @@ pub struct ThreadMetrics {
     /// sweep, not per probed victim, so flat and tiered victim orders
     /// read on the same scale.
     pub failed_steals: u64,
+    /// Static tasks this thread *owned* that were republished into the
+    /// dynamic queues because the thread was lost or persistently slow
+    /// (armed [`calu_core::FaultPlan`]s only; identically zero
+    /// otherwise). Rescue preserves the factors bitwise — the DAG's
+    /// exclusive-writer discipline makes them schedule-independent —
+    /// so a nonzero count here marks a run that *degraded*, not one
+    /// that diverged.
+    pub rescued: u64,
+    /// Whether this worker was lost to an injected fault and retired
+    /// mid-run (its remaining static share shows up in `rescued`).
+    pub lost: bool,
     /// Bytes pulled from a remote NUMA socket (simulated only).
     pub remote_bytes: f64,
     /// Bytes refilled locally (simulated only).
@@ -234,6 +247,18 @@ impl ScheduleMetrics {
             c.failed_steals += t.failed_steals;
         }
         c
+    }
+
+    /// Static tasks rescued into the dynamic queues across all threads
+    /// (nonzero only under an armed fault plan that lost or degraded a
+    /// worker).
+    pub fn total_rescued(&self) -> u64 {
+        self.threads.iter().map(|t| t.rescued).sum()
+    }
+
+    /// Workers retired by injected faults during this run.
+    pub fn lost_workers(&self) -> usize {
+        self.threads.iter().filter(|t| t.lost).count()
     }
 
     /// Steal-locality split summed over threads: how many steals stayed
@@ -454,6 +479,8 @@ mod tests {
                     stolen_pops: 2,
                     remote_steal_pops: 1,
                     failed_steals: 3,
+                    rescued: 4,
+                    lost: true,
                     ..Default::default()
                 },
             ],
@@ -477,6 +504,8 @@ mod tests {
         assert_eq!((s.local, s.remote), (1, 1));
         assert!((s.remote_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(StealLocality::default().remote_fraction(), 0.0);
+        assert_eq!(m.total_rescued(), 4);
+        assert_eq!(m.lost_workers(), 1);
     }
 
     #[test]

@@ -40,11 +40,12 @@ use std::time::{Duration, Instant};
 
 use calu_core::pool::PoolOutcome;
 use calu_core::KernelSet;
+use calu_rand::Rng;
 use calu_sched::{QueueDiscipline, SchedulerKind};
 
 pub use calu_serve::{
     Events, FactorService, JobClass, JobEvent, JobHandle, JobId, JobInfo, JobSpec, JobStatus,
-    ServeError, ServiceConfig,
+    ServeError, ServiceConfig, ServiceEvent,
 };
 
 use crate::backend::{cold_spawn_secs, threaded_schedule_metrics};
@@ -227,8 +228,46 @@ impl Solver {
 /// sources run CALU — so one warm sweep can mix the two (to force
 /// Cholesky on dense SPD data, submit a
 /// [`JobSpec`] with [`JobSpec::with_kernels`] directly).
-pub fn service_batch(service: &ReportService, sources: &[MatrixSource]) -> Result<BatchReport, Error> {
+pub fn service_batch(
+    service: &ReportService,
+    sources: &[MatrixSource],
+) -> Result<BatchReport, Error> {
     pump(service, sources.iter().cloned(), None, true)
+}
+
+/// Bounded exponential backoff with seeded jitter for `Busy` retries:
+/// starts at 500 µs, doubles to a 16 ms cap, jitters each delay by
+/// ±25% off a deterministic `calu-rand` stream (so two pumps racing
+/// one service desynchronize, yet any single schedule replays bitwise
+/// for a given seed), and resets to the base on a successful submit.
+struct Backoff {
+    rng: Rng,
+    cur_micros: u64,
+}
+
+impl Backoff {
+    const BASE_MICROS: u64 = 500;
+    const CAP_MICROS: u64 = 16_000;
+
+    fn new(seed: u64) -> Self {
+        Backoff {
+            rng: Rng::seed_from_u64(seed),
+            cur_micros: Self::BASE_MICROS,
+        }
+    }
+
+    /// The next delay in the schedule (advances the doubling).
+    fn next_delay(&mut self) -> Duration {
+        let jitter = 0.75 + 0.5 * self.rng.next_f64();
+        let d = Duration::from_micros((self.cur_micros as f64 * jitter) as u64);
+        self.cur_micros = (self.cur_micros * 2).min(Self::CAP_MICROS);
+        d
+    }
+
+    /// An admission succeeded: the congestion signal is gone.
+    fn reset(&mut self) {
+        self.cur_micros = Self::BASE_MICROS;
+    }
 }
 
 /// The shared submit/wait pump behind [`Solver::batch_iter`] and
@@ -253,6 +292,7 @@ where
     let mut pending: VecDeque<JobHandle<Report>> = VecDeque::new();
     let mut items: Vec<Report> = Vec::new();
     let mut co_scheduled = 0usize;
+    let mut backoff = Backoff::new(0xB0FF ^ threads as u64);
     for source in sources {
         let spec = spec_for(source, kernels)?;
         if service.co_schedules(spec.dims()) {
@@ -268,17 +308,21 @@ where
             match service.submit(spec.clone(), JobClass::Batch) {
                 Ok(h) => {
                     pending.push_back(h);
+                    backoff.reset();
                     break;
                 }
-                Err(ServeError::Busy { .. }) => {
+                Err(ServeError::Busy {
+                    retry_after_hint, ..
+                }) => {
                     // admission full (other submitters share the warm
                     // service): retire our oldest job and retry; with
-                    // nothing of ours in flight, sleep a pool tick —
+                    // nothing of ours in flight, back off exponentially
+                    // (floored at the service's own congestion hint) —
                     // admission frees on *other* submitters' completions,
                     // and yield-spinning on that would burn a core
                     match pending.pop_front() {
                         Some(done) => items.push(done.wait().map_err(serve_err)?),
-                        None => std::thread::sleep(Duration::from_millis(1)),
+                        None => std::thread::sleep(backoff.next_delay().max(retry_after_hint)),
                     }
                 }
                 Err(e) => return Err(serve_err(e)),
@@ -303,4 +347,45 @@ where
         pool_reused: warm,
         co_scheduled,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Backoff;
+
+    /// The Busy-retry backoff is deterministic for a seed, doubles the
+    /// base delay up to the cap with every delay inside the ±25% jitter
+    /// band, and `reset()` restores the base schedule.
+    #[test]
+    fn backoff_schedule_is_seeded_bounded_and_resettable() {
+        let take = |b: &mut Backoff, n: usize| -> Vec<u128> {
+            (0..n).map(|_| b.next_delay().as_micros()).collect()
+        };
+
+        let mut a = Backoff::new(42);
+        let first = take(&mut a, 8);
+        let mut b = Backoff::new(42);
+        assert_eq!(first, take(&mut b, 8), "same seed must replay bitwise");
+        let mut c = Backoff::new(43);
+        assert_ne!(first, take(&mut c, 8), "a different seed must diverge");
+
+        // nominal schedule: 500 µs doubling to the 16 ms cap, then flat
+        let nominal = [500u64, 1_000, 2_000, 4_000, 8_000, 16_000, 16_000, 16_000];
+        for (d, nom) in first.iter().zip(nominal) {
+            let (lo, hi) = ((nom * 3 / 4) as u128, (nom * 5 / 4) as u128);
+            assert!(
+                (lo..=hi).contains(d),
+                "delay {d} µs outside ±25% of nominal {nom} µs"
+            );
+        }
+
+        // a successful submit resets to the base of the band
+        a.reset();
+        let after = a.next_delay().as_micros();
+        let (lo, hi) = (Backoff::BASE_MICROS * 3 / 4, Backoff::BASE_MICROS * 5 / 4);
+        assert!(
+            (lo as u128..=hi as u128).contains(&after),
+            "post-reset delay {after} µs is not a base delay"
+        );
+    }
 }

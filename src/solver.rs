@@ -11,7 +11,7 @@
 
 use std::borrow::Cow;
 
-use calu_core::CaluConfig;
+use calu_core::{CaluConfig, FaultPlan};
 use calu_dag::TaskGraph;
 use calu_matrix::{DenseMatrix, Layout, ProcessGrid};
 use calu_sched::{QueueDiscipline, SchedulerKind};
@@ -243,6 +243,7 @@ pub struct Solver {
     pin_workers: bool,
     batch_threads_per_item: Option<usize>,
     batch_small_cutoff: Option<usize>,
+    fault: Option<FaultPlan>,
     backend: Box<dyn Backend>,
 }
 
@@ -266,6 +267,7 @@ impl Solver {
             pin_workers: false,
             batch_threads_per_item: None,
             batch_small_cutoff: None,
+            fault: None,
             backend: Box::new(ThreadedBackend),
         }
     }
@@ -368,6 +370,22 @@ impl Solver {
         self
     }
 
+    /// Inject a deterministic [`FaultPlan`] into the real executor
+    /// (default off). Per-worker slowdowns, one-shot stalls, worker
+    /// loss and kernel panics fire on the actual worker threads, keyed
+    /// off the plan's seed so a chaos run replays bitwise; the hybrid
+    /// schedule *degrades* rather than fails — a lost or slow worker's
+    /// static tasks are rescued into the dynamic queues and the factors
+    /// stay bitwise-identical to a fault-free run (injected panics
+    /// surface as typed [`calu_core::CaluError::TaskPanic`] instead).
+    /// Validated against the thread count in [`Solver::plan`]; the
+    /// simulated backend prices faults through its own machine knobs,
+    /// and batch sweeps reject armed plans.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Select the algorithm (default [`Algorithm::Calu`]).
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
@@ -459,6 +477,9 @@ impl Solver {
         }
         if let Some(cutoff) = self.batch_small_cutoff {
             cfg.batch_small_cutoff = cutoff;
+        }
+        if let Some(fault) = &self.fault {
+            cfg = cfg.with_fault(fault.clone());
         }
         cfg.leaf_stride = self.leaf_stride;
         if let Some(g) = self.group {
@@ -651,6 +672,30 @@ mod tests {
         assert!(s.plan().unwrap().calu_config().pin_workers);
         let off = Solver::new(MatrixSource::shape(200, 200));
         assert!(!off.plan().unwrap().calu_config().pin_workers);
+    }
+
+    #[test]
+    fn fault_plan_plumbs_through_and_validates_against_threads() {
+        let armed = FaultPlan::off().slow_worker(1, 2.0);
+        let s = Solver::new(MatrixSource::shape(200, 200))
+            .threads(2)
+            .fault_plan(armed.clone());
+        let p = s.plan().unwrap();
+        assert!(!p.calu_config().fault.is_off(), "executor sees the plan");
+        // default: off, no fault machinery armed
+        let plain = Solver::new(MatrixSource::shape(200, 200));
+        assert!(plain.plan().unwrap().calu_config().fault.is_off());
+        // a fault on a worker the thread count doesn't have is a config
+        // error, caught in plan() like every other knob
+        let err = Solver::new(MatrixSource::shape(200, 200))
+            .threads(1)
+            .fault_plan(armed)
+            .plan()
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::Error::Config(ref m) if m.contains("worker")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -459,7 +459,10 @@ fn threaded_cholesky_is_bitwise_stable_and_matches_the_dpotrf_reference() {
         for i in 0..n {
             for j in 0..=i {
                 let (x, y) = (fb.lu.get(i, j), reference.get(i, j));
-                assert!((x - y).abs() < 1e-11, "vs dpotrf at ({i},{j}), {ctx}: {x} vs {y}");
+                assert!(
+                    (x - y).abs() < 1e-11,
+                    "vs dpotrf at ({i},{j}), {ctx}: {x} vs {y}"
+                );
             }
         }
         for queue in [QueueDiscipline::sharded(), QueueDiscipline::lock_free()] {

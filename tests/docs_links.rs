@@ -90,6 +90,7 @@ fn front_door_covers_the_advertised_entry_points() {
         "cargo test",
         "perf_smoke",
         "QueueDiscipline",
+        "FaultPlan",
     ] {
         assert!(
             readme.contains(needle),
@@ -98,7 +99,7 @@ fn front_door_covers_the_advertised_entry_points() {
     }
     let arch = std::fs::read_to_string(repo_root().join("docs/ARCHITECTURE.md"))
         .expect("docs/ARCHITECTURE.md must exist");
-    for needle in ["Backend", "Chase-Lev", "dratio", "steal"] {
+    for needle in ["Backend", "Chase-Lev", "dratio", "steal", "rescue"] {
         assert!(
             arch.contains(needle),
             "docs/ARCHITECTURE.md no longer mentions `{needle}`"
