@@ -27,7 +27,11 @@
 //! (`service_batch`) interleaved with the batch draws:
 //! `serve_jobs_per_sec` gates as a rate, and the binary fails outright
 //! if the service path falls more than 10% below `Solver::batch` —
-//! the admission/handle layer must stay thin.
+//! the admission/handle layer must stay thin. The same mix then goes
+//! through the TCP front door as seeded generator specs
+//! (`net_jobs_per_sec`, gated as a rate) and the binary fails outright
+//! if the wire path falls more than 20% below the in-process service —
+//! the protocol layer must stay thin too.
 //!
 //! The algorithm axis runs tiled Cholesky and CALU at equal n = 1024 on
 //! the real executor (`cholesky_1024_secs` / `cholesky_lu_1024_secs`,
@@ -180,6 +184,75 @@ fn batch_throughput() -> (f64, f64, f64) {
         BATCH_ITEMS as f64 / loop_secs,
         BATCH_ITEMS as f64 / serve_secs,
     )
+}
+
+/// The front-door acceptance workload: the same 16×(n=256) job mix
+/// submitted through the TCP line protocol — one warm listener, one
+/// connection, submit-all then poll-to-done, minimum over draws. The
+/// jobs are seeded generator specs (the wire carries specs, not data),
+/// so the figure is the whole front-door stack: parse, admission,
+/// factorization, status polling. Gated as a rate (`net_jobs_per_sec`)
+/// at the threaded tolerance, and held in-binary to ≥ 0.8× the
+/// in-process `serve_jobs_per_sec` — the protocol layer must stay thin.
+fn net_throughput() -> f64 {
+    use std::io::{BufRead, BufReader, Write};
+    let listener = Solver::new(MatrixSource::shape(BATCH_N, BATCH_N))
+        .tile(B)
+        .threads(THREADS)
+        .verify(false)
+        .listen("127.0.0.1:0")
+        .expect("bind front door");
+    let stream = std::net::TcpStream::connect(listener.local_addr()).expect("connect front door");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut roundtrip = |reader: &mut BufReader<std::net::TcpStream>,
+                         writer: &mut std::net::TcpStream,
+                         req: &str|
+     -> String {
+        writeln!(writer, "{req}").expect("write request");
+        line.clear();
+        reader.read_line(&mut line).expect("read reply");
+        line.trim().to_string()
+    };
+    let secs = min_of(5, || {
+        let t0 = std::time::Instant::now();
+        let ids: Vec<u64> = (0..BATCH_ITEMS as u64)
+            .map(|i| {
+                let reply = roundtrip(
+                    &mut reader,
+                    &mut writer,
+                    &format!("submit batch uniform {BATCH_N} {BATCH_N} {}", SEED + i),
+                );
+                reply
+                    .strip_prefix("ok ")
+                    .unwrap_or_else(|| panic!("expected ok <id>, got {reply:?}"))
+                    .parse()
+                    .expect("job id")
+            })
+            .collect();
+        for id in ids {
+            loop {
+                let status = roundtrip(&mut reader, &mut writer, &format!("status {id}"));
+                if status.ends_with(" done") {
+                    break;
+                }
+                assert!(
+                    status.ends_with(" queued") || status.ends_with(" running"),
+                    "front-door job {id} went {status:?}"
+                );
+                // back off between polls: a busy-poll would steal a
+                // core from the four workers and bill the theft to the
+                // front door
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    listener.service().drain();
+    listener.shutdown();
+    BATCH_ITEMS as f64 / secs
 }
 
 /// The algorithm axis of the threaded gate: tiled Cholesky vs CALU at
@@ -350,6 +423,7 @@ fn main() -> ExitCode {
     // the pooled path allocates its whole working set up front and is
     // more sensitive to a fragmented arena than the one-at-a-time loop
     let (batch_ips, loop_ips, serve_jps) = batch_throughput();
+    let net_jps = net_throughput();
     let (cholesky_secs, cholesky_lu_secs) = algorithm_axis();
     let degraded = degraded_secs();
     let (global_secs, _) = threaded(QueueDiscipline::Global);
@@ -412,6 +486,13 @@ fn main() -> ExitCode {
         // ungated; the in-binary 0.9× floor below enforces it)
         ("serve_jobs_per_sec", serve_jps),
         ("serve_vs_batch_ratio", serve_jps / batch_ips),
+        // the front-door acceptance pair: the same job mix as seeded
+        // generator specs over the TCP line protocol (gated as a rate
+        // at the threaded tolerance) and its ratio to the in-process
+        // service path (recorded ungated; the in-binary 0.8× floor
+        // below enforces it)
+        ("net_jobs_per_sec", net_jps),
+        ("net_vs_serve_ratio", net_jps / serve_jps),
         // the algorithm axis: tiled Cholesky and CALU at equal n=1024
         // on the real executor, both gated at the threaded tolerance
         // (4-thread wall clock); the ratio is recorded ungated — the
@@ -476,6 +557,22 @@ fn main() -> ExitCode {
         serve_jps / batch_ips
     );
 
+    // the front-door criterion is absolute too: parsing, per-request
+    // TCP roundtrips and status polling must cost at most 20% of the
+    // in-process service path's throughput on the same warm mix
+    if net_jps < 0.8 * serve_jps {
+        eprintln!(
+            "perf-smoke FAILED: TCP front door ({net_jps:.1} jobs/s) is more than \
+             20% below the in-process service ({serve_jps:.1} jobs/s) on \
+             {BATCH_ITEMS}×(n={BATCH_N})"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "front-door throughput vs in-process serve: {:.2}x ({net_jps:.1} vs {serve_jps:.1} jobs/s)",
+        net_jps / serve_jps
+    );
+
     // the algorithm-axis criterion is absolute too: Cholesky runs half
     // LU's flops at equal n, so on this very host it must finish in at
     // most 0.65× LU's makespan — a Cholesky kernel or DAG regression
@@ -524,6 +621,7 @@ fn main() -> ExitCode {
             if key.starts_with("threaded_")
                 || key.starts_with("batch_")
                 || key.starts_with("serve_")
+                || key.starts_with("net_")
                 || key.starts_with("cholesky_")
                 || key.starts_with("degraded_")
             {

@@ -30,7 +30,22 @@
 //! class-lane pass-over in one number (`serve_interactive_latency_under_backlog`,
 //! seconds; compare it to a single n=64 factorization, not to the
 //! backlog's total runtime).
+//!
+//! The front-door section drives the same seeded jobs through a local
+//! TCP [`calu::ServeListener`] and records the per-job submit→done wall
+//! time as percentiles (`net_submit_done_p50_latency` /
+//! `net_submit_done_p99_latency`, seconds — parse, admission, the
+//! factorization itself, and status polling at 1 ms granularity).
+//!
+//! The reconfigure section measures the live-handover stall: with a
+//! backlog queued, `Solver::reconfigure` swaps in a successor pool and
+//! carries the queue over, and `serve_reconfigure_stall_secs` is the
+//! wall time of that call — the window during which new submits wait on
+//! the admission lock. The backlog still completes on the new pool; the
+//! bench asserts zero drops before publishing the number.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::time::Instant;
 
 use calu::matrix::gen;
@@ -151,6 +166,94 @@ fn interactive_latency_under_backlog(service: &ReportService, backlog: usize, dr
     })
 }
 
+/// Submit→done wall time per job through the TCP front door, one job in
+/// flight at a time: submit a seeded generator spec over the wire, poll
+/// `status` at 1 ms granularity until `done`. Returns `(p50, p99)` over
+/// `jobs × draws` samples — each sample pays the parse, admission, the
+/// n=192 factorization, and half a polling tick on average.
+fn net_latency_percentiles(jobs: usize, draws: usize) -> (f64, f64) {
+    let listener = Solver::new(MatrixSource::shape(JOB_N, JOB_N))
+        .tile(B)
+        .threads(THREADS)
+        .verify(false)
+        .listen("127.0.0.1:0")
+        .expect("bind front door");
+    let stream = TcpStream::connect(listener.local_addr()).expect("connect front door");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut roundtrip = |reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, req: &str| {
+        writeln!(writer, "{req}").expect("write request");
+        line.clear();
+        reader.read_line(&mut line).expect("read reply");
+        line.trim().to_string()
+    };
+    let mut samples = Vec::with_capacity(jobs * draws);
+    for d in 0..draws {
+        for i in 0..jobs {
+            let seed = SEED + (d * jobs + i) as u64;
+            let t0 = Instant::now();
+            let reply = roundtrip(
+                &mut reader,
+                &mut writer,
+                &format!("submit batch uniform {JOB_N} {JOB_N} {seed}"),
+            );
+            let id: u64 = reply
+                .strip_prefix("ok ")
+                .unwrap_or_else(|| panic!("expected ok <id>, got {reply:?}"))
+                .parse()
+                .expect("job id");
+            loop {
+                let status = roundtrip(&mut reader, &mut writer, &format!("status {id}"));
+                if status.ends_with(" done") {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+    listener.service().drain();
+    listener.shutdown();
+    samples.sort_by(f64::total_cmp);
+    let pick = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    (pick(0.50), pick(0.99))
+}
+
+/// Wall time of one live `Solver::reconfigure` with `backlog` jobs
+/// queued: the handover holds admission while the successor pool spawns
+/// nothing (it was spawned before the lock) but adopts the extracted
+/// queue, so this is the worst-case stall a concurrent submitter can
+/// see. Every queued job must still complete — zero drops — before the
+/// number is published.
+fn reconfigure_stall(service: &ReportService, backlog: usize) -> f64 {
+    let handles: Vec<_> = (0..backlog)
+        .map(|i| {
+            service
+                .submit(
+                    JobSpec::uniform(JOB_N, JOB_N, SEED + 2000 + i as u64),
+                    JobClass::Batch,
+                )
+                .expect("submit within quota")
+        })
+        .collect();
+    let t0 = Instant::now();
+    let generation = Solver::new(MatrixSource::shape(JOB_N, JOB_N))
+        .tile(B)
+        .threads(THREADS)
+        .dratio(0.3)
+        .verify(false)
+        .reconfigure(service)
+        .expect("live reconfigure");
+    let stall = t0.elapsed().as_secs_f64();
+    assert!(generation >= 1, "the handover advanced the generation");
+    for h in handles {
+        h.wait().expect("job carried across the handover");
+    }
+    stall
+}
+
 fn main() {
     let mut out = "SERVE_pr.json".to_string();
     let mut quick = false;
@@ -204,6 +307,22 @@ fn main() {
         fmt_secs(lat)
     );
     metrics.push(("serve_interactive_latency_under_backlog".into(), lat));
+
+    let (p50, p99) = net_latency_percentiles(jobs.min(12), draws.min(3));
+    println!(
+        "front-door submit->done latency: p50 {} p99 {}",
+        fmt_secs(p50),
+        fmt_secs(p99)
+    );
+    metrics.push(("net_submit_done_p50_latency".into(), p50));
+    metrics.push(("net_submit_done_p99_latency".into(), p99));
+
+    let stall = reconfigure_stall(&service, backlog);
+    println!(
+        "reconfigure handover stall under {backlog}-job backlog: {}",
+        fmt_secs(stall)
+    );
+    metrics.push(("serve_reconfigure_stall_secs".into(), stall));
 
     service.drain();
 

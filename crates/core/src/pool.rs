@@ -205,6 +205,23 @@ struct QueuedJob {
     sink: Box<dyn JobSink>,
 }
 
+/// One queued-but-unclaimed job handed back by
+/// [`ServicePool::extract_queued`] — everything the submitter gave the
+/// pool, sink included (uncalled), so a successor pool can re-admit the
+/// job under the same identity during a live-reconfigure handover.
+pub struct ExtractedJob {
+    /// The caller's correlation key, unchanged.
+    pub id: u64,
+    /// The class the job was queued under.
+    pub class: JobClass,
+    /// Which algorithm's kernels factor the job.
+    pub kernels: KernelSet,
+    /// The job's matrix source, unmaterialized.
+    pub source: PoolSource,
+    /// The job's sink, never invoked by the extracting pool.
+    pub sink: Box<dyn JobSink>,
+}
+
 /// Fault bookkeeping shared by the engine's workers — present only when
 /// the pool was spawned with an armed [`crate::fault::FaultPlan`], so
 /// the no-fault hot path pays a single `Option` check.
@@ -1010,6 +1027,31 @@ impl<S: PoolStorage> PoolCore<S> {
             .map(|(_, job)| job.sink)
     }
 
+    fn extract_queued(&self) -> Vec<ExtractedJob> {
+        let jobs = {
+            let mut st = self.engine.state.lock();
+            // stop admission first, under the same lock the pop runs
+            // under: nothing can slip into the lanes after the sweep,
+            // so the handover is exact — every unclaimed job leaves
+            // here, every claimed one finishes on this pool's workers
+            st.draining = true;
+            let mut jobs = Vec::with_capacity(st.lanes.len());
+            while let Some((class, j)) = st.lanes.pop() {
+                jobs.push(ExtractedJob {
+                    id: j.id,
+                    class,
+                    kernels: j.kernels,
+                    source: j.source,
+                    sink: j.sink,
+                });
+            }
+            jobs
+        };
+        self.engine.work.notify_all();
+        self.engine.idle.notify_all();
+        jobs
+    }
+
     fn drain(&self) {
         {
             let mut st = self.engine.state.lock();
@@ -1172,6 +1214,19 @@ impl ServicePool {
     /// — the race resolves to normal completion.
     pub fn cancel(&self, id: u64) -> Option<Box<dyn JobSink>> {
         dispatch!(self, c => c.cancel(id))
+    }
+
+    /// Stop admission and hand back every queued-but-unclaimed job with
+    /// its identity and sink intact — the live-reconfigure handover
+    /// primitive. After this returns the pool refuses new submits (like
+    /// [`drain`](Self::drain) began), jobs already claimed keep running
+    /// to completion on this pool's workers, and the extracted jobs'
+    /// sinks have not been invoked, so the caller can re-admit them into
+    /// a successor pool under the same ids with zero loss. Follow with
+    /// [`drain`](Self::drain) to finish the in-flight tail and join the
+    /// workers.
+    pub fn extract_queued(&self) -> Vec<ExtractedJob> {
+        dispatch!(self, c => c.extract_queued())
     }
 
     /// Stop admitting, finish everything queued and in flight, join the

@@ -29,15 +29,35 @@
 //!   finishes everything queued and in flight, and joins the workers;
 //!   no job is ever stranded — under fault injection included (lost
 //!   workers rescue their static backlog, interrupted co-scheduled
-//!   items are requeued whole).
+//!   items are requeued whole). `drain` is idempotent and returns a
+//!   [`DrainSummary`];
+//! * **live reconfigure** — [`FactorService::reconfigure`] swaps the
+//!   pool's solver knobs (tile, threads, discipline) under load by
+//!   draining into a successor pool: queued jobs carry over with their
+//!   [`JobId`], class and deadline intact, in-flight jobs finish on the
+//!   old pool, and the event stream runs continuously across the
+//!   handover — zero jobs dropped;
+//! * **a crash-safe journal** — with [`ServiceConfig::journal`] set,
+//!   accepted generator-spec jobs are appended (fsync'd) to a
+//!   write-ahead log and marked on completion; a restarted service
+//!   replays the incomplete tail and factors it bitwise-identical to an
+//!   uninterrupted run (see [`journal`]);
+//! * **a TCP front door** — [`net::ServeListener`] speaks a
+//!   line-delimited request/response protocol over `std::net` (submit /
+//!   status / cancel / drain / stats) with per-connection timeouts,
+//!   bounded connection handling with load shedding, and typed error
+//!   replies for malformed requests (see [`net`]).
 //!
 //! Everything is `std` — mutexes, condvars and one mpsc channel; no
-//! async runtime. The facade crate (`calu`) wraps this API as
-//! `Solver::serve()`, mapping [`PoolOutcome`]s into its `Report` type
-//! via the [`FactorService::with_report`] hook.
+//! async runtime, no serde. The facade crate (`calu`) wraps this API as
+//! `Solver::serve()` / `Solver::listen()`, mapping [`PoolOutcome`]s
+//! into its `Report` type via the [`FactorService::with_report`] hook.
+
+pub mod journal;
+pub mod net;
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -47,6 +67,10 @@ use calu_core::sync::Mutex;
 use calu_core::{CaluConfig, CaluError, KernelSet};
 use calu_matrix::DenseMatrix;
 pub use calu_sched::JobClass;
+
+pub use journal::JournalConfig;
+use journal::{Journal, JournalRecord};
+pub use net::{NetConfig, NetStats, ServeListener};
 
 /// Service-assigned job identifier, unique within one service.
 pub type JobId = u64;
@@ -98,6 +122,10 @@ pub enum ServeError {
         /// The deadline the job was admitted with.
         deadline: Duration,
     },
+    /// The service journal could not record the job, so it was not
+    /// admitted — admitting it anyway would silently break the
+    /// crash-safety contract ([`ServiceConfig::journal`]).
+    Journal(std::io::Error),
 }
 
 impl fmt::Display for ServeError {
@@ -119,6 +147,7 @@ impl fmt::Display for ServeError {
             ServeError::DeadlineExceeded { deadline } => {
                 write!(f, "job missed its {deadline:?} deadline")
             }
+            ServeError::Journal(e) => write!(f, "journal write failed: {e}"),
         }
     }
 }
@@ -146,6 +175,13 @@ pub struct ServiceConfig {
     /// detection; per-job deadlines work either way. Co-scheduled
     /// (small) jobs expose no heartbeat and are exempt.
     pub stall_timeout: Option<Duration>,
+    /// Opt-in crash-safe write-ahead log. When set, every accepted
+    /// generator-spec job is appended (and fsync'd) before admission
+    /// returns, marked on completion, and compacted on drain; a service
+    /// rebuilt over the same path replays the incomplete tail (see
+    /// [`journal`]). Dense-data jobs are served normally but not
+    /// journaled — only seeded generator specs replay deterministically.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -156,6 +192,7 @@ impl Default for ServiceConfig {
             starvation_limit: 4,
             verify: false,
             stall_timeout: None,
+            journal: None,
         }
     }
 }
@@ -284,6 +321,20 @@ pub enum ServiceEvent {
     Degraded {
         /// Workers lost since the service was built.
         lost_workers: usize,
+    },
+    /// [`FactorService::reconfigure`] completed a handover: queued jobs
+    /// carried over to a successor pool, in-flight jobs finish on the
+    /// old one. Emitted once per reconfigure.
+    Reconfigured {
+        /// Pool generation after the swap (the initial pool is
+        /// generation 0).
+        generation: u64,
+    },
+    /// The service was built over a journal with an incomplete tail and
+    /// re-admitted those jobs (see [`FactorService::take_replayed`]).
+    JournalReplayed {
+        /// How many jobs were replayed.
+        jobs: usize,
     },
 }
 
@@ -426,10 +477,26 @@ struct WatchEntry<R> {
     last: Option<(u64, Instant)>,
 }
 
+/// The service's pool set: one current pool plus any predecessors
+/// still finishing their in-flight tail after a reconfigure.
+struct Pools {
+    current: Arc<ServicePool>,
+    /// Retiring pools, oldest first; each is removed by its background
+    /// drainer once its tail is done.
+    retiring: Vec<Arc<ServicePool>>,
+    /// Bumped by every successful reconfigure; the initial pool is 0.
+    generation: u64,
+}
+
 /// State shared between the service, its sinks, its handles and the
 /// watchdog thread.
+///
+/// Lock order (outer → inner): `admission → pools → tx/journal`. The
+/// sink side never holds `watch` across `admission` (ABBA with
+/// `submit`'s admission → watch order).
 struct Inner<R> {
     admission: Mutex<Admission>,
+    pools: Mutex<Pools>,
     make: MakeResult<R>,
     tx: Mutex<Option<mpsc::Sender<ServiceEvent>>>,
     rx: Mutex<Option<mpsc::Receiver<ServiceEvent>>>,
@@ -439,15 +506,47 @@ struct Inner<R> {
     watch: Mutex<Vec<WatchEntry<R>>>,
     /// Tells the watchdog thread to exit.
     shutdown: AtomicBool,
+    /// Write-ahead log, when [`ServiceConfig::journal`] is set.
+    journal: Option<Journal>,
+    /// Lifetime terminal-state counters behind [`DrainSummary`].
+    completed: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 impl<R> Inner<R> {
+    /// The pool new submissions go to.
+    fn current_pool(&self) -> Arc<ServicePool> {
+        Arc::clone(&self.pools.lock().current)
+    }
+
+    /// Current pool plus every retiring pool still finishing its tail —
+    /// the set the watchdog and `cancel` must consult, since a job may
+    /// live on any of them across a handover.
+    fn all_pools(&self) -> Vec<Arc<ServicePool>> {
+        let p = self.pools.lock();
+        let mut all = Vec::with_capacity(1 + p.retiring.len());
+        all.push(Arc::clone(&p.current));
+        all.extend(p.retiring.iter().cloned());
+        all
+    }
+
     /// One job left the pending set (terminal state reached).
     fn job_ended(&self, info: &JobInfo, status: JobStatus) {
         {
             let mut adm = self.admission.lock();
             adm.pending_total -= 1;
             adm.pending[info.class.lane()] -= 1;
+        }
+        if status == JobStatus::Cancelled {
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        // best effort: a missed completion marker only means replay
+        // re-runs an already-finished job, which is deterministic and
+        // harmless; failing the *job* over it would not be
+        if let Some(j) = &self.journal {
+            let _ = j.append_end(info.id);
         }
         if let Some(tx) = &*self.tx.lock() {
             let _ = tx.send(ServiceEvent::Job(JobEvent {
@@ -529,11 +628,33 @@ pub struct Events {
     rx: mpsc::Receiver<ServiceEvent>,
 }
 
+impl Events {
+    /// Non-blocking poll: the next event if one is ready, `None` when
+    /// the stream is momentarily empty *or* has ended (distinguish via
+    /// the blocking iterator if it matters). Network pollers use this
+    /// so draining the stream never blocks an accept loop.
+    pub fn try_recv(&self) -> Option<ServiceEvent> {
+        self.rx.try_recv().ok()
+    }
+}
+
 impl Iterator for Events {
     type Item = ServiceEvent;
     fn next(&mut self) -> Option<ServiceEvent> {
         self.rx.recv().ok()
     }
+}
+
+/// What [`FactorService::drain`] accomplished over the service's whole
+/// lifetime. Returned by every `drain` call (idempotent: later calls
+/// return the same summary instead of silently double-draining).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Jobs that ran to a result — [`JobStatus::Done`] or
+    /// [`JobStatus::Failed`] (deadline/stall condemnations included).
+    pub completed: u64,
+    /// Jobs cancelled while still queued.
+    pub cancelled: u64,
 }
 
 /// How often the watchdog wakes to check deadlines, heartbeats and
@@ -545,15 +666,14 @@ const WATCHDOG_TICK: Duration = Duration::from_millis(2);
 /// co-operative jobs whose heartbeat stalled. Jobs are condemned
 /// first-writer-wins against their sink, so a normal finish racing the
 /// watchdog resolves cleanly either way.
-fn watchdog_loop<R: Send + 'static>(
-    pool: Arc<ServicePool>,
-    shared: Arc<Inner<R>>,
-    stall: Option<Duration>,
-) {
+fn watchdog_loop<R: Send + 'static>(shared: Arc<Inner<R>>, stall: Option<Duration>) {
     let mut last_lost = 0usize;
     while !shared.shutdown.load(Ordering::Acquire) {
         std::thread::sleep(WATCHDOG_TICK);
-        let lost = pool.lost_workers();
+        // across a reconfigure a job may live on the current pool or a
+        // retiring one; the watchdog polices all of them
+        let pools = shared.all_pools();
+        let lost: usize = pools.iter().map(|p| p.lost_workers()).sum();
         if lost > last_lost {
             last_lost = lost;
             if let Some(tx) = &*shared.tx.lock() {
@@ -586,7 +706,7 @@ fn watchdog_loop<R: Send + 'static>(
                 if let (true, Some(limit)) = (running, stall) {
                     // co-scheduled or not yet published jobs have no
                     // heartbeat to judge by
-                    if let Some(hb) = pool.progress_of(e.info.id) {
+                    if let Some(hb) = pools.iter().find_map(|p| p.progress_of(e.info.id)) {
                         match e.last {
                             Some((prev, since)) if hb == prev => {
                                 if now.duration_since(since) >= limit {
@@ -611,15 +731,17 @@ fn watchdog_loop<R: Send + 'static>(
         for (info, cell, err) in condemned {
             // remove a still-queued victim from the lanes (sink comes
             // back uncalled and is dropped); then the terminal write
-            let _ = pool.cancel(info.id);
+            let _ = pools.iter().find_map(|p| p.cancel(info.id));
             if shared.condemn(&info, &cell, err) {
                 // stop the pool wasting work on a condemned run; the
                 // error lands in a sink that finds the cell terminal
                 // and discards it
-                pool.fail_active(
-                    info.id,
-                    CaluError::WorkerLost("run condemned by the service watchdog".into()),
-                );
+                for p in &pools {
+                    p.fail_active(
+                        info.id,
+                        CaluError::WorkerLost("run condemned by the service watchdog".into()),
+                    );
+                }
             }
         }
     }
@@ -631,10 +753,16 @@ fn watchdog_loop<R: Send + 'static>(
 /// `calu` facade injects a `Report` builder via
 /// [`FactorService::with_report`].
 pub struct FactorService<R = PoolOutcome> {
-    pool: Arc<ServicePool>,
     cfg: ServiceConfig,
     shared: Arc<Inner<R>>,
     watchdog: Mutex<Option<JoinHandle<()>>>,
+    /// Background drainers for retiring pools, one per reconfigure;
+    /// joined by `drain`.
+    drainers: Mutex<Vec<JoinHandle<()>>>,
+    /// Memoized drain result — the idempotence guard.
+    drained: Mutex<Option<DrainSummary>>,
+    /// Handles of journal-replayed jobs, takeable once.
+    replayed: Mutex<Vec<JobHandle<R>>>,
 }
 
 impl FactorService<PoolOutcome> {
@@ -657,35 +785,94 @@ impl<R: Send + 'static> FactorService<R> {
         make: impl Fn(&JobInfo, PoolOutcome) -> R + Send + Sync + 'static,
     ) -> Result<Self, CaluError> {
         let pool = Arc::new(ServicePool::spawn(cfg, svc.verify, svc.starvation_limit)?);
+        // open the journal (compacting it to its incomplete tail) before
+        // anything can be admitted; replay happens below, after the
+        // watchdog is live, so replayed deadlines are enforced too
+        let (journal, backlog) = match &svc.journal {
+            Some(jc) => {
+                let (j, backlog) = Journal::open(jc).map_err(|e| {
+                    CaluError::InvalidConfig(format!(
+                        "cannot open service journal {}: {e}",
+                        jc.path.display()
+                    ))
+                })?;
+                (Some(j), backlog)
+            }
+            None => (None, Vec::new()),
+        };
         let (tx, rx) = mpsc::channel();
         let shared = Arc::new(Inner {
             admission: Mutex::new(Admission {
                 pending_total: 0,
                 pending: [0; 3],
                 draining: false,
-                next_id: 1,
+                // replayed jobs keep their original ids; fresh ids
+                // continue strictly above everything the journal saw
+                next_id: backlog.iter().map(|r| r.id + 1).max().unwrap_or(1),
+            }),
+            pools: Mutex::new(Pools {
+                current: pool,
+                retiring: Vec::new(),
+                generation: 0,
             }),
             make: Box::new(make),
             tx: Mutex::new(Some(tx)),
             rx: Mutex::new(Some(rx)),
             watch: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
+            journal,
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
         });
         let watchdog = {
-            let pool = Arc::clone(&pool);
             let shared = Arc::clone(&shared);
             let stall = svc.stall_timeout;
             std::thread::Builder::new()
                 .name("calu-serve-watchdog".into())
-                .spawn(move || watchdog_loop(pool, shared, stall))
+                .spawn(move || watchdog_loop(shared, stall))
                 .expect("spawn watchdog thread")
         };
-        Ok(FactorService {
-            pool,
+        let service = FactorService {
             cfg: svc,
             shared,
             watchdog: Mutex::new(Some(watchdog)),
-        })
+            drainers: Mutex::new(Vec::new()),
+            drained: Mutex::new(None),
+            replayed: Mutex::new(Vec::new()),
+        };
+        // replay the journal's incomplete tail: same ids, classes,
+        // kernels, generator specs — quota checks are bypassed (these
+        // jobs were admitted once already) and the records are already
+        // on disk, so they are not re-journaled
+        if !backlog.is_empty() {
+            let mut handles = Vec::with_capacity(backlog.len());
+            for rec in backlog {
+                let (spec, class, id) = rec.into_spec();
+                match service.admit(spec, class, Some(id)) {
+                    Ok(h) => handles.push(h),
+                    // a record that parsed but no longer validates is
+                    // dropped, not fatal: the journal outlived the
+                    // config that accepted it
+                    Err(_) => continue,
+                }
+            }
+            let n = handles.len();
+            *service.replayed.lock() = handles;
+            if n > 0 {
+                if let Some(tx) = &*service.shared.tx.lock() {
+                    let _ = tx.send(ServiceEvent::JournalReplayed { jobs: n });
+                }
+            }
+        }
+        Ok(service)
+    }
+
+    /// Handles for the jobs [`ServiceConfig::journal`] replay
+    /// re-admitted when this service was built, takeable once (empty
+    /// without a journal, on a clean journal, or on a second take).
+    /// They carry the same [`JobId`]s the crashed run assigned.
+    pub fn take_replayed(&self) -> Vec<JobHandle<R>> {
+        std::mem::take(&mut *self.replayed.lock())
     }
 
     /// Admit one job. Fails fast — [`ServeError::Invalid`] for an
@@ -693,6 +880,19 @@ impl<R: Send + 'static> FactorService<R> {
     /// [`ServeError::Busy`] when a quota is full,
     /// [`ServeError::ShuttingDown`] after [`drain`](Self::drain) began.
     pub fn submit(&self, spec: JobSpec, class: JobClass) -> Result<JobHandle<R>, ServeError> {
+        self.admit(spec, class, None)
+    }
+
+    /// The single admission path: `submit` with `replay_id: None`,
+    /// journal replay with the crashed run's id (which bypasses quota
+    /// checks — the job was admitted once already — and skips
+    /// re-journaling, its record being on disk by definition).
+    fn admit(
+        &self,
+        spec: JobSpec,
+        class: JobClass,
+        replay_id: Option<JobId>,
+    ) -> Result<JobHandle<R>, ServeError> {
         let dims = spec.dims();
         if dims.0 == 0 || dims.1 == 0 {
             return Err(ServeError::Invalid(CaluError::EmptyMatrix));
@@ -707,25 +907,47 @@ impl<R: Send + 'static> FactorService<R> {
         if adm.draining {
             return Err(ServeError::ShuttingDown);
         }
-        if adm.pending_total >= self.cfg.max_pending {
-            return Err(ServeError::Busy {
-                class,
-                pending: adm.pending_total,
-                quota: self.cfg.max_pending,
-                retry_after_hint: retry_hint(adm.pending_total, self.pool.threads()),
-            });
-        }
+        let pool = self.shared.current_pool();
         let lane = class.lane();
-        if adm.pending[lane] >= self.cfg.class_quota[lane] {
-            return Err(ServeError::Busy {
-                class,
-                pending: adm.pending[lane],
-                quota: self.cfg.class_quota[lane],
-                retry_after_hint: retry_hint(adm.pending[lane], self.pool.threads()),
-            });
+        if replay_id.is_none() {
+            if adm.pending_total >= self.cfg.max_pending {
+                return Err(ServeError::Busy {
+                    class,
+                    pending: adm.pending_total,
+                    quota: self.cfg.max_pending,
+                    retry_after_hint: retry_hint(adm.pending_total, pool.threads()),
+                });
+            }
+            if adm.pending[lane] >= self.cfg.class_quota[lane] {
+                return Err(ServeError::Busy {
+                    class,
+                    pending: adm.pending[lane],
+                    quota: self.cfg.class_quota[lane],
+                    retry_after_hint: retry_hint(adm.pending[lane], pool.threads()),
+                });
+            }
         }
-        let id = adm.next_id;
-        adm.next_id += 1;
+        let id = match replay_id {
+            Some(id) => id,
+            None => {
+                let id = adm.next_id;
+                adm.next_id += 1;
+                id
+            }
+        };
+        // the accept record must be durable before the job can run:
+        // write-ahead, under the admission lock, before the pool sees
+        // it. Only generator specs are journaled — dense data is not
+        // replayable from a line record.
+        if replay_id.is_none() {
+            if let Some(j) = &self.shared.journal {
+                if let Some(rec) = JournalRecord::from_spec(id, class, &spec) {
+                    if let Err(e) = j.append_job(&rec) {
+                        return Err(ServeError::Journal(e));
+                    }
+                }
+            }
+        }
         adm.pending_total += 1;
         adm.pending[lane] += 1;
         let info = JobInfo {
@@ -743,24 +965,24 @@ impl<R: Send + 'static> FactorService<R> {
             cell: Arc::clone(&cell),
             shared: Arc::clone(&self.shared),
         };
-        // submitted while holding the admission lock: a drain cannot
-        // slip between the draining check above and the pool seeing the
-        // job, so every admitted job is finished (never stranded) —
-        // `drain` takes this lock to set `draining` before it touches
-        // the pool. Holding the lock across `pool.submit` is safe
-        // because a pool rejection hands the sink back *uncalled*; a
-        // synchronous `finished` callback here would re-enter this
-        // same admission lock via `job_ended` and self-deadlock.
-        if let Err(sink) = self
-            .pool
-            .submit(id, class, spec.kernels, spec.source, Box::new(sink))
-        {
+        // submitted while holding the admission lock: neither a drain
+        // nor a reconfigure can slip between the checks above and the
+        // pool seeing the job (both take this lock), so every admitted
+        // job lands on a live pool and is finished — never stranded.
+        // Holding the lock across `pool.submit` is safe because a pool
+        // rejection hands the sink back *uncalled*; a synchronous
+        // `finished` callback here would re-enter this same admission
+        // lock via `job_ended` and self-deadlock.
+        if let Err(sink) = pool.submit(id, class, spec.kernels, spec.source, Box::new(sink)) {
             // unreachable while the invariant above holds (pool
             // draining implies we would have seen `adm.draining`), but
             // handled without relying on it: roll back the admission
             // and refuse
             adm.pending_total -= 1;
             adm.pending[lane] -= 1;
+            if let Some(j) = &self.shared.journal {
+                let _ = j.append_end(id);
+            }
             drop(adm);
             drop(sink);
             return Err(ServeError::ShuttingDown);
@@ -791,7 +1013,15 @@ impl<R: Send + 'static> FactorService<R> {
     /// a worker already claimed it (or it already finished) and the
     /// race resolves to normal completion.
     pub fn cancel(&self, handle: &JobHandle<R>) -> bool {
-        match self.pool.cancel(handle.id) {
+        // a queued job lives on exactly one pool (the current one,
+        // post-handover), but checking the retiring set too makes
+        // cancel correct even mid-reconfigure
+        let cancelled = self
+            .shared
+            .all_pools()
+            .iter()
+            .find_map(|p| p.cancel(handle.id));
+        match cancelled {
             Some(_uncalled_sink) => {
                 self.shared.watch.lock().retain(|e| e.info.id != handle.id);
                 *handle.cell.state.lock() = CellState::Cancelled;
@@ -826,23 +1056,137 @@ impl<R: Send + 'static> FactorService<R> {
         }
     }
 
-    /// Stop admitting, finish every queued and in-flight job, join the
-    /// workers and close the event stream. Idempotent; also runs on
-    /// drop. On return, zero jobs are pending. The watchdog stays live
-    /// until the pool is fully drained, so deadlines keep biting while
-    /// the backlog runs down.
-    pub fn drain(&self) {
+    /// Swap the shared solver knobs under load: spawn a successor
+    /// [`ServicePool`] over `cfg` (validated here, like construction),
+    /// carry every queued job over to it with its [`JobId`], class,
+    /// deadline and spec intact, and retire the old pool — in-flight
+    /// jobs finish where they started, on a background drainer. Zero
+    /// jobs are dropped; the event stream runs continuously across the
+    /// handover and announces it with [`ServiceEvent::Reconfigured`].
+    ///
+    /// Returns the new pool generation (the initial pool is 0). Errors
+    /// if `cfg` is invalid or the service is draining; either way the
+    /// old pool keeps serving untouched.
+    pub fn reconfigure(&self, cfg: &CaluConfig) -> Result<u64, CaluError> {
+        // spawn first, outside every lock: it validates and is slow
+        let successor = Arc::new(ServicePool::spawn(
+            cfg,
+            self.cfg.verify,
+            self.cfg.starvation_limit,
+        )?);
+        let adm = self.shared.admission.lock();
+        if adm.draining {
+            successor.drain();
+            return Err(CaluError::InvalidConfig(
+                "cannot reconfigure a draining service".into(),
+            ));
+        }
+        let old = self.shared.current_pool();
+        // atomically stop the old pool's admission and pop its queue;
+        // holding the admission lock means no submit can race the swap
+        let mut refused: Vec<Box<dyn JobSink>> = Vec::new();
+        for job in old.extract_queued() {
+            if let Err(sink) =
+                successor.submit(job.id, job.class, job.kernels, job.source, job.sink)
+            {
+                // a fresh pool refuses nothing; kept non-fatal anyway —
+                // failed after the locks drop, never silently dropped
+                refused.push(sink);
+            }
+        }
+        let generation = {
+            let mut pools = self.shared.pools.lock();
+            pools.retiring.push(Arc::clone(&old));
+            pools.current = successor;
+            pools.generation += 1;
+            pools.generation
+        };
+        drop(adm);
+        for sink in refused {
+            sink.finished(Err(CaluError::InvalidConfig(
+                "successor pool refused a carried-over job".into(),
+            )));
+        }
+        // the old pool finishes its in-flight tail off-thread, then
+        // leaves the retiring set; `drain` joins this handle
+        let drainer = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("calu-serve-retire".into())
+                .spawn(move || {
+                    old.drain();
+                    shared
+                        .pools
+                        .lock()
+                        .retiring
+                        .retain(|p| !Arc::ptr_eq(p, &old));
+                })
+                .expect("spawn retire thread")
+        };
+        self.drainers.lock().push(drainer);
+        if let Some(tx) = &*self.shared.tx.lock() {
+            let _ = tx.send(ServiceEvent::Reconfigured { generation });
+        }
+        Ok(generation)
+    }
+
+    /// Pool generation: 0 for the initial pool, +1 per successful
+    /// [`reconfigure`](Self::reconfigure).
+    pub fn generation(&self) -> u64 {
+        self.shared.pools.lock().generation
+    }
+
+    /// Stop admitting, finish every queued and in-flight job (on the
+    /// current pool and any pool still retiring from a reconfigure),
+    /// join the workers and close the event stream. Idempotent: the
+    /// first call does the work, every call returns the same
+    /// [`DrainSummary`]. Also runs on drop. On return, zero jobs are
+    /// pending. The watchdog stays live until the pools are fully
+    /// drained, so deadlines keep biting while the backlog runs down.
+    pub fn drain(&self) -> DrainSummary {
+        let mut drained = self.drained.lock();
+        if let Some(summary) = *drained {
+            return summary;
+        }
         {
             let mut adm = self.shared.admission.lock();
             adm.draining = true;
         }
-        self.pool.drain();
+        self.shared.current_pool().drain();
+        // retiring pools each have a background drainer; join them, and
+        // belt-and-braces drain any pool still in the retiring set (a
+        // reconfigure that raced this drain may not have parked its
+        // handle yet — pool drains are idempotent)
+        loop {
+            let handles: Vec<_> = self.drainers.lock().drain(..).collect();
+            let stragglers = self.shared.all_pools();
+            if handles.is_empty() && stragglers.len() == 1 {
+                break;
+            }
+            for p in stragglers {
+                p.drain();
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
         self.shared.shutdown.store(true, Ordering::Release);
         if let Some(h) = self.watchdog.lock().take() {
             let _ = h.join();
         }
+        // everything is terminal: the journal compacts to empty — a
+        // restart replays nothing
+        if let Some(j) = &self.shared.journal {
+            let _ = j.compact(&[]);
+        }
         // every job is terminal; dropping the only sender ends `events`
         self.shared.tx.lock().take();
+        let summary = DrainSummary {
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
+        };
+        *drained = Some(summary);
+        summary
     }
 
     /// Whether [`drain`](Self::drain) has begun.
@@ -860,45 +1204,56 @@ impl<R: Send + 'static> FactorService<R> {
         self.shared.admission.lock().pending[class.lane()]
     }
 
-    /// Jobs waiting in the pool's lanes (admitted, not yet claimed).
+    /// Jobs waiting in the current pool's lanes (admitted, not yet
+    /// claimed).
     pub fn queued(&self) -> usize {
-        self.pool.queued()
+        self.shared.current_pool().queued()
     }
 
     /// [`queued`](Self::queued), one class.
     pub fn queued_in(&self, class: JobClass) -> usize {
-        self.pool.queued_in(class)
+        self.shared.current_pool().queued_in(class)
     }
 
-    /// Pool width.
+    /// Current pool width (a [`reconfigure`](Self::reconfigure) may
+    /// change it).
     pub fn threads(&self) -> usize {
-        self.pool.threads()
+        self.shared.current_pool().threads()
     }
 
     /// Whether a job of `dims` would be co-scheduled (claimed whole by
     /// one worker) rather than run on the co-operative hybrid schedule
-    /// — the exact predicate the pool workers apply.
+    /// — the exact predicate the current pool's workers apply.
     pub fn co_schedules(&self, dims: (usize, usize)) -> bool {
-        self.pool.co_schedules(dims)
+        self.shared.current_pool().co_schedules(dims)
     }
 
-    /// One-off worker spawn cost, paid when the service was built.
+    /// One-off worker spawn cost of the current pool, paid when it was
+    /// built (at construction, or at the last reconfigure).
     pub fn spawn_secs(&self) -> f64 {
-        self.pool.spawn_secs()
+        self.shared.current_pool().spawn_secs()
     }
 
-    /// Workers lost to injected faults since the service was built (0
-    /// without fault injection). Mirrors the pool's counter; increases
-    /// are also announced on [`events`](Self::events) as
-    /// [`ServiceEvent::Degraded`].
+    /// Workers lost to injected faults (0 without fault injection),
+    /// summed over the current pool and any pool still retiring from a
+    /// reconfigure. Increases are also announced on
+    /// [`events`](Self::events) as [`ServiceEvent::Degraded`].
     pub fn lost_workers(&self) -> usize {
-        self.pool.lost_workers()
+        self.shared
+            .all_pools()
+            .iter()
+            .map(|p| p.lost_workers())
+            .sum()
     }
 
     /// Static tasks rescued into dynamic queues after worker loss or
-    /// slowdown, pool-wide.
+    /// slowdown, summed over the live pools.
     pub fn rescued_tasks(&self) -> u64 {
-        self.pool.rescued_tasks()
+        self.shared
+            .all_pools()
+            .iter()
+            .map(|p| p.rescued_tasks())
+            .sum()
     }
 
     /// The admission configuration.
@@ -909,14 +1264,26 @@ impl<R: Send + 'static> FactorService<R> {
 
 impl<R> Drop for FactorService<R> {
     fn drop(&mut self) {
+        if self.drained.lock().is_some() {
+            return;
+        }
         {
             let mut adm = self.shared.admission.lock();
             adm.draining = true;
         }
-        self.pool.drain();
+        self.shared.current_pool().drain();
+        for h in self.drainers.lock().drain(..) {
+            let _ = h.join();
+        }
+        for p in self.shared.all_pools() {
+            p.drain();
+        }
         self.shared.shutdown.store(true, Ordering::Release);
         if let Some(h) = self.watchdog.lock().take() {
             let _ = h.join();
+        }
+        if let Some(j) = &self.shared.journal {
+            let _ = j.compact(&[]);
         }
         self.shared.tx.lock().take();
     }
@@ -926,7 +1293,7 @@ impl<R> Drop for FactorService<R> {
 /// backlogged job ahead of the caller — 1 ms per `pending / threads`
 /// (at least 1 ms), capped at 50 ms so callers never sleep absurdly
 /// long on a deep backlog.
-fn retry_hint(pending: usize, threads: usize) -> Duration {
+pub(crate) fn retry_hint(pending: usize, threads: usize) -> Duration {
     let per_pass = pending / threads.max(1);
     Duration::from_millis(per_pass.clamp(1, 50) as u64)
 }
@@ -1041,7 +1408,7 @@ mod tests {
         let seen: Vec<JobEvent> = events
             .map(|e| match e {
                 ServiceEvent::Job(j) => j,
-                ServiceEvent::Degraded { .. } => panic!("no faults were injected"),
+                other => panic!("expected only job events, got {other:?}"),
             })
             .collect();
         assert_eq!(seen.len(), n as usize);

@@ -1,0 +1,537 @@
+//! The TCP front door: a hermetic (`std::net`-only) line protocol over
+//! a [`FactorService`].
+//!
+//! [`ServeListener`] binds a `TcpListener` and serves a hand-rolled,
+//! line-delimited request/response protocol — no serde, no async
+//! runtime, no crates.io. One request per line, one reply line per
+//! request, ASCII, space-separated:
+//!
+//! ```text
+//! request                                          reply
+//! -------------------------------------------      -------------------------------
+//! submit <class> uniform <m> <n> <seed> [deadline_ms <ms>]
+//!                                                  ok <id>
+//! submit <class> spd <n> <seed> [deadline_ms <ms>] ok <id>
+//! status <id>                                      status <id> <state>
+//! cancel <id>                                      ok cancelled <id> | ok too-late <id>
+//! stats                                            stats pending=<n> queued=<n> ...
+//! ping                                             ok pong
+//! drain                                            ok drained completed=<n> cancelled=<n>
+//! ```
+//!
+//! with `<class>` ∈ `interactive|batch|background` and `<state>` ∈
+//! `queued|running|done|failed|cancelled`. Error replies are typed
+//! lines, never dropped connections:
+//!
+//! ```text
+//! err malformed <detail>     the request line did not parse (the
+//!                            connection stays open and keeps serving)
+//! err invalid <detail>       parsed, but the spec failed validation
+//! err unknown-job <id>       status/cancel for an id this listener
+//!                            does not track
+//! err shutting-down          the service is draining
+//! busy retry_after_ms=<n> pending=<n> quota=<n>
+//!                            admission refused; retry after the hint
+//! ```
+//!
+//! Robustness model:
+//! * **timeouts** — every accepted connection gets
+//!   [`NetConfig::read_timeout`] / [`NetConfig::write_timeout`]; a
+//!   silent peer cannot pin a handler thread forever;
+//! * **bounded handling with load shedding** — at most
+//!   [`NetConfig::max_connections`] handler threads; excess arrivals
+//!   beyond the small accept backlog get a one-line `busy` reply
+//!   (carrying the service's usual retry hint) and are closed, instead
+//!   of queueing unboundedly;
+//! * **malformed input** — unparseable requests, unknown commands and
+//!   over-long lines ([`NetConfig::max_line_bytes`]) are answered with
+//!   `err malformed ...` and the connection keeps serving; nothing a
+//!   peer sends can panic the listener;
+//! * **drain over the wire** — `drain` runs
+//!   [`FactorService::drain`], replies
+//!   with the [`DrainSummary`](crate::DrainSummary), and shuts the
+//!   listener down.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use calu_core::pool::PoolOutcome;
+use calu_core::sync::Mutex;
+
+use crate::{retry_hint, FactorService, JobClass, JobHandle, JobSpec, JobStatus, ServeError};
+
+/// Connection-handling knobs for one [`ServeListener`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Handler threads — connections served concurrently.
+    pub max_connections: usize,
+    /// Accepted connections allowed to wait for a free handler before
+    /// new arrivals are shed with a `busy` reply.
+    pub accept_backlog: usize,
+    /// Per-connection read timeout; a peer idle longer is disconnected.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Longest request line honored; anything longer gets
+    /// `err malformed` and is discarded (the connection survives).
+    pub max_line_bytes: usize,
+    /// Job handles the listener keeps for `status`/`cancel`; when full,
+    /// terminal entries are evicted first.
+    pub max_tracked_jobs: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_connections: 8,
+            accept_backlog: 8,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_line_bytes: 1024,
+            max_tracked_jobs: 4096,
+        }
+    }
+}
+
+/// Listener-lifetime counters (see [`ServeListener::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted (shed ones included).
+    pub accepted: u64,
+    /// Connections shed with a `busy` reply at the accept gate.
+    pub shed: u64,
+    /// Requests answered with `err malformed ...`.
+    pub malformed: u64,
+    /// Request lines processed.
+    pub requests: u64,
+}
+
+struct NetShared<R> {
+    service: Arc<FactorService<R>>,
+    cfg: NetConfig,
+    shutdown: AtomicBool,
+    /// Accepted connections waiting for a handler.
+    backlog: Mutex<VecDeque<TcpStream>>,
+    backlog_cv: Condvar,
+    /// id → handle, for `status`/`cancel` over the wire.
+    jobs: Mutex<HashMap<u64, JobHandle<R>>>,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    malformed: AtomicU64,
+    requests: AtomicU64,
+}
+
+/// The TCP front door over one shared [`FactorService`]; see the
+/// [module docs](self) for the protocol.
+pub struct ServeListener<R = PoolOutcome> {
+    shared: Arc<NetShared<R>>,
+    local_addr: SocketAddr,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<R: Send + 'static> ServeListener<R> {
+    /// Bind `addr` and start serving `service` (shared: the owner may
+    /// keep submitting in-process, reconfigure it, or watch its
+    /// events). Spawns `cfg.max_connections` handler threads plus one
+    /// acceptor.
+    pub fn bind(
+        service: Arc<FactorService<R>>,
+        addr: impl ToSocketAddrs,
+        cfg: NetConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        // nonblocking accept so shutdown is prompt without self-connect
+        // tricks; the acceptor sleeps between empty polls
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let handlers = cfg.max_connections.max(1);
+        let shared = Arc::new(NetShared {
+            service,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            backlog: Mutex::new(VecDeque::new()),
+            backlog_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        });
+        let mut threads = Vec::with_capacity(handlers + 1);
+        for i in 0..handlers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("calu-net-{i}"))
+                    .spawn(move || handler_loop(&shared))
+                    .expect("spawn net handler thread"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("calu-net-accept".into())
+                    .spawn(move || acceptor_loop(listener, &shared))
+                    .expect("spawn net acceptor thread"),
+            );
+        }
+        Ok(ServeListener {
+            shared,
+            local_addr,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service behind the front door.
+    pub fn service(&self) -> &Arc<FactorService<R>> {
+        &self.shared.service
+    }
+
+    /// Whether the listener has begun shutting down (a wire `drain`
+    /// sets this too).
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            malformed: self.shared.malformed.load(Ordering::Relaxed),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, finish in-flight requests, and join every
+    /// listener thread. Idempotent; also runs on drop. Does *not* drain
+    /// the service — that stays with its owner (or a wire `drain`).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.backlog_cv.notify_all();
+        let mut threads = self.threads.lock();
+        for h in threads.drain(..) {
+            let _ = h.join();
+        }
+        // anything still parked in the backlog is closed unreplied-to;
+        // peers see EOF, the standard "try again" signal
+        self.shared.backlog.lock().clear();
+    }
+}
+
+impl<R> Drop for ServeListener<R> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.backlog_cv.notify_all();
+        let mut threads = self.threads.lock();
+        for h in threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// How long the acceptor sleeps between empty nonblocking polls, and
+/// the handlers' condvar wait slice — both short enough that shutdown
+/// is prompt.
+const POLL_TICK: Duration = Duration::from_millis(2);
+
+fn acceptor_loop<R: Send + 'static>(listener: TcpListener, shared: &NetShared<R>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+                let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+                let _ = stream.set_nodelay(true);
+                let mut backlog = shared.backlog.lock();
+                if backlog.len() >= shared.cfg.accept_backlog {
+                    drop(backlog);
+                    shed(stream, shared);
+                } else {
+                    backlog.push_back(stream);
+                    drop(backlog);
+                    shared.backlog_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
+            // transient accept errors (per-connection resets): keep
+            // listening rather than tearing the front door down
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+    shared.backlog_cv.notify_all();
+}
+
+/// Load shedding: one `busy` line with the service's usual retry hint,
+/// then close. The peer never hangs on a silent socket.
+fn shed<R: Send + 'static>(mut stream: TcpStream, shared: &NetShared<R>) {
+    shared.shed.fetch_add(1, Ordering::Relaxed);
+    let hint = retry_hint(shared.service.pending(), shared.service.threads());
+    let _ = writeln!(stream, "busy retry_after_ms={}", hint.as_millis());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn handler_loop<R: Send + 'static>(shared: &NetShared<R>) {
+    loop {
+        let stream = {
+            let mut backlog = shared.backlog.lock();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(s) = backlog.pop_front() {
+                    break s;
+                }
+                backlog = shared
+                    .backlog_cv
+                    .wait_timeout(backlog, POLL_TICK)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        };
+        // connection-level I/O errors (timeout, reset, EOF) just end
+        // this connection; the handler thread moves on to the next
+        let _ = serve_connection(shared, stream);
+    }
+}
+
+fn serve_connection<R: Send + 'static>(shared: &NetShared<R>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let limit = shared.cfg.max_line_bytes as u64;
+    let mut line = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        line.clear();
+        // +1 so a line of exactly max_line_bytes plus its newline fits
+        let n = reader
+            .by_ref()
+            .take(limit + 1)
+            .read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Ok(()); // EOF: peer closed cleanly
+        }
+        if !line.ends_with(b"\n") && n as u64 == limit + 1 {
+            // over-long request: typed error, discard through the next
+            // newline, keep serving this connection
+            shared.malformed.fetch_add(1, Ordering::Relaxed);
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            writeln!(
+                writer,
+                "err malformed line exceeds {} bytes",
+                shared.cfg.max_line_bytes
+            )?;
+            let mut rest = Vec::new();
+            loop {
+                rest.clear();
+                let k = reader.by_ref().take(4096).read_until(b'\n', &mut rest)?;
+                if k == 0 {
+                    return Ok(());
+                }
+                if rest.ends_with(b"\n") {
+                    break;
+                }
+            }
+            continue;
+        }
+        let text = String::from_utf8_lossy(&line);
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (reply, drained) = handle_request(shared, text);
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        if drained {
+            // a wire drain shuts the whole front door down; the reply
+            // above already carried the summary
+            shared.shutdown.store(true, Ordering::Release);
+            shared.backlog_cv.notify_all();
+            return Ok(());
+        }
+    }
+}
+
+/// Parse and execute one request line; returns the reply line and
+/// whether it was a `drain` (which shuts the listener down).
+fn handle_request<R: Send + 'static>(shared: &NetShared<R>, line: &str) -> (String, bool) {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let malformed = |detail: String| {
+        shared.malformed.fetch_add(1, Ordering::Relaxed);
+        (format!("err malformed {detail}"), false)
+    };
+    match tokens.split_first() {
+        Some((&"submit", rest)) => match parse_submit(rest) {
+            Ok((spec, class)) => (submit_reply(shared, spec, class), false),
+            Err(detail) => malformed(detail),
+        },
+        Some((&"status", [id])) => match id.parse::<u64>() {
+            Ok(id) => match shared.jobs.lock().get(&id) {
+                Some(h) => (
+                    format!("status {id} {}", status_token(h.try_status())),
+                    false,
+                ),
+                None => (format!("err unknown-job {id}"), false),
+            },
+            Err(_) => malformed(format!("bad job id {id:?}")),
+        },
+        Some((&"cancel", [id])) => match id.parse::<u64>() {
+            Ok(id) => {
+                // clone-free: cancel needs the handle, so look it up
+                // and act under the map lock (cancel never blocks)
+                let jobs = shared.jobs.lock();
+                match jobs.get(&id) {
+                    Some(h) => {
+                        if shared.service.cancel(h) {
+                            (format!("ok cancelled {id}"), false)
+                        } else {
+                            (format!("ok too-late {id}"), false)
+                        }
+                    }
+                    None => (format!("err unknown-job {id}"), false),
+                }
+            }
+            Err(_) => malformed(format!("bad job id {id:?}")),
+        },
+        Some((&"stats", [])) => {
+            let service = &shared.service;
+            (
+                format!(
+                    "stats pending={} queued={} threads={} generation={} lost_workers={} \
+                     accepted={} shed={} malformed={} requests={}",
+                    service.pending(),
+                    service.queued(),
+                    service.threads(),
+                    service.generation(),
+                    service.lost_workers(),
+                    shared.accepted.load(Ordering::Relaxed),
+                    shared.shed.load(Ordering::Relaxed),
+                    shared.malformed.load(Ordering::Relaxed),
+                    shared.requests.load(Ordering::Relaxed),
+                ),
+                false,
+            )
+        }
+        Some((&"ping", [])) => ("ok pong".into(), false),
+        Some((&"drain", [])) => {
+            let summary = shared.service.drain();
+            (
+                format!(
+                    "ok drained completed={} cancelled={}",
+                    summary.completed, summary.cancelled
+                ),
+                true,
+            )
+        }
+        Some((&cmd, _)) => malformed(format!("unrecognized command {cmd:?}")),
+        None => malformed("empty request".into()),
+    }
+}
+
+fn submit_reply<R: Send + 'static>(
+    shared: &NetShared<R>,
+    spec: JobSpec,
+    class: JobClass,
+) -> String {
+    match shared.service.submit(spec, class) {
+        Ok(handle) => {
+            let id = handle.id();
+            let mut jobs = shared.jobs.lock();
+            if jobs.len() >= shared.cfg.max_tracked_jobs {
+                // keep the map bounded: terminal handles are only
+                // status-query fodder, live ones stay trackable
+                jobs.retain(|_, h| {
+                    matches!(h.try_status(), JobStatus::Queued | JobStatus::Running)
+                });
+            }
+            jobs.insert(id, handle);
+            format!("ok {id}")
+        }
+        Err(ServeError::Busy {
+            pending,
+            quota,
+            retry_after_hint,
+            ..
+        }) => format!(
+            "busy retry_after_ms={} pending={pending} quota={quota}",
+            retry_after_hint.as_millis()
+        ),
+        Err(ServeError::ShuttingDown) => "err shutting-down".into(),
+        Err(ServeError::Invalid(e)) => format!("err invalid {e}"),
+        Err(e) => format!("err failed {e}"),
+    }
+}
+
+/// Parse the tokens after `submit`:
+/// `<class> uniform <m> <n> <seed> [deadline_ms <ms>]` or
+/// `<class> spd <n> <seed> [deadline_ms <ms>]`.
+fn parse_submit(rest: &[&str]) -> Result<(JobSpec, JobClass), String> {
+    let (&class_tok, rest) = rest
+        .split_first()
+        .ok_or_else(|| "submit needs a class".to_string())?;
+    let class = match class_tok {
+        "interactive" => JobClass::Interactive,
+        "batch" => JobClass::Batch,
+        "background" => JobClass::Background,
+        other => return Err(format!("unknown class {other:?}")),
+    };
+    let (&kind, rest) = rest
+        .split_first()
+        .ok_or_else(|| "submit needs a generator spec".to_string())?;
+    let (mut spec, rest) = match kind {
+        "uniform" => {
+            let [m, n, seed, rest @ ..] = rest else {
+                return Err("uniform needs <m> <n> <seed>".into());
+            };
+            let m = parse_num::<usize>(m, "m")?;
+            let n = parse_num::<usize>(n, "n")?;
+            let seed = parse_num::<u64>(seed, "seed")?;
+            (JobSpec::uniform(m, n, seed), rest)
+        }
+        "spd" => {
+            let [n, seed, rest @ ..] = rest else {
+                return Err("spd needs <n> <seed>".into());
+            };
+            let n = parse_num::<usize>(n, "n")?;
+            let seed = parse_num::<u64>(seed, "seed")?;
+            (JobSpec::spd_uniform(n, seed), rest)
+        }
+        other => return Err(format!("unknown generator {other:?}")),
+    };
+    match rest {
+        [] => {}
+        ["deadline_ms", ms] => {
+            spec = spec.with_deadline(Duration::from_millis(parse_num::<u64>(ms, "deadline_ms")?));
+        }
+        extra => return Err(format!("unexpected trailing tokens {extra:?}")),
+    }
+    Ok((spec, class))
+}
+
+fn parse_num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String> {
+    tok.parse().map_err(|_| format!("bad {what} {tok:?}"))
+}
+
+fn status_token(status: JobStatus) -> &'static str {
+    match status {
+        JobStatus::Queued => "queued",
+        JobStatus::Running => "running",
+        JobStatus::Done => "done",
+        JobStatus::Failed => "failed",
+        JobStatus::Cancelled => "cancelled",
+    }
+}

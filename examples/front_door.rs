@@ -1,0 +1,118 @@
+//! The TCP front door, end to end: bind a `ServeListener`, drive the
+//! line protocol from a plain `TcpStream` (exactly what `nc` would
+//! send), reconfigure the pool live under a queued backlog, and drain
+//! over the wire.
+//!
+//! ```bash
+//! cargo run --release --example front_door
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use calu::{MatrixSource, ServiceEvent, Solver};
+
+fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, req: &str) -> String {
+    writeln!(writer, "{req}").expect("write request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    line.trim().to_string()
+}
+
+fn main() {
+    // the solver builder is the service's plan; listen() binds the
+    // front door over it (port 0 = let the OS pick)
+    let listener = Solver::new(MatrixSource::shape(128, 128))
+        .tile(32)
+        .threads(2)
+        .verify(false)
+        .listen("127.0.0.1:0")
+        .expect("bind front door");
+    let addr = listener.local_addr();
+    println!("front door on {addr}");
+    let events = listener.service().events();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    // the wire carries generator specs, never matrix data
+    println!(
+        "> ping                -> {}",
+        roundtrip(&mut reader, &mut writer, "ping")
+    );
+    let reply = roundtrip(&mut reader, &mut writer, "submit batch uniform 128 128 42");
+    println!("> submit uniform      -> {reply}");
+    let id: u64 = reply
+        .strip_prefix("ok ")
+        .expect("ok <id>")
+        .parse()
+        .expect("id");
+    loop {
+        let status = roundtrip(&mut reader, &mut writer, &format!("status {id}"));
+        if status.ends_with(" done") {
+            println!("> status {id}            -> {status}");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // a malformed line gets a typed error, never a closed socket
+    println!(
+        "> gibberish           -> {}",
+        roundtrip(&mut reader, &mut writer, "gibberish")
+    );
+
+    // queue a backlog, then swap the worker pool live: queued jobs
+    // carry over to the new pool with their ids, nothing drops
+    let ids: Vec<u64> = (0..4)
+        .map(|i| {
+            roundtrip(
+                &mut reader,
+                &mut writer,
+                &format!("submit background uniform 128 128 {}", 100 + i),
+            )
+            .strip_prefix("ok ")
+            .expect("ok <id>")
+            .parse()
+            .expect("id")
+        })
+        .collect();
+    let generation = Solver::new(MatrixSource::shape(128, 128))
+        .tile(32)
+        .threads(4)
+        .dratio(0.3)
+        .verify(false)
+        .reconfigure(listener.service())
+        .expect("live reconfigure");
+    println!("reconfigured to 4 threads: generation {generation}");
+    for id in ids {
+        loop {
+            let status = roundtrip(&mut reader, &mut writer, &format!("status {id}"));
+            if status.ends_with(" done") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    println!("backlog of 4 finished on the new pool");
+
+    println!(
+        "> stats               -> {}",
+        roundtrip(&mut reader, &mut writer, "stats")
+    );
+    // drain over the wire: finishes everything accepted, then the
+    // listener shuts down
+    println!(
+        "> drain               -> {}",
+        roundtrip(&mut reader, &mut writer, "drain")
+    );
+    listener.shutdown();
+
+    let reconfigures = events
+        .into_iter()
+        .filter(|e| matches!(e, ServiceEvent::Reconfigured { .. }))
+        .count();
+    println!("event stream saw {reconfigures} Reconfigured notice(s)");
+    println!("OK");
+}

@@ -156,8 +156,9 @@ pub use report::{
     ThreadMetrics,
 };
 pub use serve::{
-    service_batch, FactorService, JobClass, JobEvent, JobHandle, JobSpec, JobStatus, ReportService,
-    ServeError, ServiceConfig, ServiceEvent,
+    service_batch, DrainSummary, Events, FactorService, JobClass, JobEvent, JobHandle, JobSpec,
+    JobStatus, JournalConfig, NetConfig, NetStats, ReportService, ServeError, ServeListener,
+    ServiceConfig, ServiceEvent,
 };
 pub use solver::{Algorithm, MatrixSource, Plan, Solver};
 

@@ -44,8 +44,9 @@ use calu_rand::Rng;
 use calu_sched::{QueueDiscipline, SchedulerKind};
 
 pub use calu_serve::{
-    Events, FactorService, JobClass, JobEvent, JobHandle, JobId, JobInfo, JobSpec, JobStatus,
-    ServeError, ServiceConfig, ServiceEvent,
+    DrainSummary, Events, FactorService, JobClass, JobEvent, JobHandle, JobId, JobInfo, JobSpec,
+    JobStatus, JournalConfig, NetConfig, NetStats, ServeError, ServeListener, ServiceConfig,
+    ServiceEvent,
 };
 
 use crate::backend::{cold_spawn_secs, threaded_schedule_metrics};
@@ -166,12 +167,12 @@ impl Solver {
         let record_trace = plan.record_trace;
         let make_cfg = cfg.clone();
         let make = move |_info: &JobInfo, out: PoolOutcome| -> Report {
-            let schedule = threaded_schedule_metrics(
-                make_cfg.threads,
-                out.makespan,
-                &out.timeline,
-                &out.stats,
-            );
+            // the pool that ran the job reports one ThreadStats per
+            // worker; a live reconfigure may have changed the width
+            // since this closure captured the original config, so the
+            // outcome — not the captured knobs — is authoritative
+            let schedule =
+                threaded_schedule_metrics(out.stats.len(), out.makespan, &out.timeline, &out.stats);
             // the job's own kernel set, not the builder's algorithm: one
             // service can serve LU and Cholesky jobs side by side
             let algorithm = match out.kernels {
@@ -186,7 +187,7 @@ impl Solver {
                 layout: make_cfg.layout,
                 dims: out.dims,
                 b: make_cfg.b,
-                threads: make_cfg.threads,
+                threads: out.stats.len(),
                 tasks: out.timeline.spans().len(),
                 makespan: out.makespan,
                 nominal_flops: nominal_flops(algorithm, out.dims.0, out.dims.1),
@@ -215,6 +216,44 @@ impl Solver {
         let report = pump(&service, sources, Some(kernels), false);
         service.drain();
         report
+    }
+
+    /// [`Solver::serve`] plus a TCP front door: spawn the service and
+    /// bind a [`ServeListener`] on `addr` speaking the line protocol
+    /// (see [`calu_serve::net`]). Bind `"127.0.0.1:0"` to let the OS
+    /// pick a port ([`ServeListener::local_addr`] has the answer), then
+    /// drive it with anything that writes lines — `nc` included.
+    pub fn listen(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> Result<ServeListener<Report>, Error> {
+        self.listen_with(addr, ServiceConfig::default(), NetConfig::default())
+    }
+
+    /// [`listen`](Self::listen) with explicit admission
+    /// ([`ServiceConfig`]) and connection ([`NetConfig`]) knobs.
+    pub fn listen_with(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+        svc: ServiceConfig,
+        net: NetConfig,
+    ) -> Result<ServeListener<Report>, Error> {
+        let service = std::sync::Arc::new(self.serve_with(svc)?);
+        ServeListener::bind(service, addr, net)
+            .map_err(|e| Error::Config(format!("cannot bind the service front door: {e}")))
+    }
+
+    /// Live-reconfigure a running service to *this* builder's knobs:
+    /// validates them through [`Solver::plan`] exactly like
+    /// [`Solver::serve`], then hands `service`'s queued jobs over to a
+    /// fresh pool ([`FactorService::reconfigure`]) — ids, classes and
+    /// deadlines intact, in-flight jobs finishing where they started.
+    /// Returns the new pool generation.
+    pub fn reconfigure(&self, service: &ReportService) -> Result<u64, Error> {
+        let plan = self.plan()?;
+        service
+            .reconfigure(&plan.calu_config())
+            .map_err(Error::from)
     }
 }
 

@@ -223,6 +223,7 @@ fn drain_under_worker_loss_strands_nothing_and_reports_degradation() {
                 assert_eq!(lost_workers, 1);
                 degraded += 1;
             }
+            other => panic!("no reconfigure or journal in play, got {other:?}"),
         }
     }
     assert_eq!(jobs, 6, "one terminal event per job");

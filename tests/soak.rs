@@ -1,0 +1,160 @@
+//! Front-door soak: sustained mixed-class TCP traffic with a mid-run
+//! reconfigure and a malformed-request storm, ending in a clean drain.
+//!
+//! Ignored by default (it deliberately runs ~20 s); CI's `soak` job
+//! runs it in release with `-- --ignored`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use calu::{MatrixSource, NetConfig, ServiceConfig, Solver};
+
+const CLIENTS: usize = 4;
+const RUN_SECS: u64 = 20;
+
+fn connect(addr: std::net::SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    (BufReader::new(stream.try_clone().unwrap()), stream)
+}
+
+fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, req: &str) -> String {
+    writeln!(writer, "{req}").expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    line.trim().to_string()
+}
+
+#[test]
+#[ignore = "runs ~20 s of sustained traffic; CI's soak job opts in"]
+fn sustained_mixed_traffic_with_reconfigure_and_storm_drains_clean() {
+    let listener = Solver::new(MatrixSource::shape(64, 64))
+        .tile(16)
+        .threads(4)
+        .dratio(0.5)
+        .verify(false)
+        .listen_with(
+            "127.0.0.1:0",
+            ServiceConfig::default(),
+            NetConfig {
+                max_connections: CLIENTS + 2,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+    let addr = listener.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitted = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicU64::new(0));
+    let shed_or_busy = Arc::new(AtomicU64::new(0));
+
+    // 4 clients, one per class mix slot: submit, poll to terminal,
+    // repeat; admission Busy is backed off, never fatal
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let submitted = Arc::clone(&submitted);
+            let done = Arc::clone(&done);
+            let shed_or_busy = Arc::clone(&shed_or_busy);
+            std::thread::spawn(move || {
+                let (mut reader, mut writer) = connect(addr);
+                let class = ["interactive", "batch", "background", "batch"][c];
+                let mut seed = 10_000 * (c as u64 + 1);
+                while !stop.load(Ordering::Relaxed) {
+                    seed += 1;
+                    let req = if seed.is_multiple_of(5) {
+                        format!("submit {class} spd 64 {seed}")
+                    } else {
+                        format!("submit {class} uniform 96 96 {seed}")
+                    };
+                    let reply = roundtrip(&mut reader, &mut writer, &req);
+                    if reply.starts_with("busy ") {
+                        shed_or_busy.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
+                    }
+                    if reply == "err shutting-down" {
+                        break;
+                    }
+                    let id: u64 = reply
+                        .strip_prefix("ok ")
+                        .unwrap_or_else(|| panic!("client {c}: bad reply {reply:?}"))
+                        .parse()
+                        .unwrap();
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                    loop {
+                        let status = roundtrip(&mut reader, &mut writer, &format!("status {id}"));
+                        match status.rsplit(' ').next() {
+                            Some("done") => {
+                                done.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Some("queued") | Some("running") => {
+                                std::thread::sleep(Duration::from_millis(1))
+                            }
+                            other => panic!("client {c}: job {id} went {other:?}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let half = Duration::from_secs(RUN_SECS / 2);
+    std::thread::sleep(half);
+
+    // mid-run: a live reconfigure under load...
+    let generation = Solver::new(MatrixSource::shape(64, 64))
+        .tile(16)
+        .threads(3)
+        .dratio(0.3)
+        .verify(false)
+        .reconfigure(listener.service())
+        .unwrap();
+    assert_eq!(generation, 1, "one mid-run handover");
+
+    // ...and a malformed-request storm from a fifth connection
+    {
+        let (mut reader, mut writer) = connect(addr);
+        for i in 0..200 {
+            let reply = roundtrip(&mut reader, &mut writer, &format!("garbage request {i}"));
+            assert!(reply.starts_with("err malformed"), "storm reply: {reply:?}");
+        }
+        let reply = roundtrip(&mut reader, &mut writer, "ping");
+        assert_eq!(reply, "ok pong", "the listener serves through the storm");
+    }
+
+    std::thread::sleep(Duration::from_secs(RUN_SECS).saturating_sub(t0.elapsed()));
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // clean drain: every submitted job completed, nothing pending
+    let summary = listener.service().drain();
+    let (submitted, done) = (
+        submitted.load(Ordering::Relaxed),
+        done.load(Ordering::Relaxed),
+    );
+    assert_eq!(submitted, done, "every accepted job reached done");
+    assert!(submitted > 0, "the soak actually submitted work");
+    assert_eq!(
+        summary.completed, submitted,
+        "drain summary matches the traffic"
+    );
+    assert_eq!(listener.service().pending(), 0);
+    assert_eq!(listener.service().generation(), 1);
+    let stats = listener.stats();
+    assert!(stats.malformed >= 200, "the storm was counted: {stats:?}");
+    listener.shutdown();
+    println!(
+        "soak: {submitted} jobs over {RUN_SECS} s, {} busy backoffs, stats {stats:?}",
+        shed_or_busy.load(Ordering::Relaxed)
+    );
+}
