@@ -63,7 +63,7 @@ use calu::dag::TaskGraph;
 use calu::kernels::{dgemm_packed, GemmScratch};
 use calu::matrix::{gen, ProcessGrid};
 use calu::sched::{make_policy_with, QueueDiscipline, SchedulerKind};
-use calu::{service_batch, Algorithm, FaultPlan, MatrixSource, Report, Solver};
+use calu::{service_batch, AdaptivePolicy, Algorithm, FaultPlan, MatrixSource, Report, Solver};
 use calu_bench::perf::{
     calibration_secs, compare_with, min_of, parse_flat_json, write_flat_json, CALIBRATION_KEY,
 };
@@ -286,23 +286,52 @@ fn algorithm_axis() -> (f64, f64) {
 }
 
 /// The degradation axis: the same n = 1024 LU with worker 0 injected at
-/// an effective 2× slowdown (`FaultPlan::slow_worker`). The hybrid
-/// scheduler treats the slow worker as degraded and routes its static
-/// share to the dynamic queues, so the healthy workers absorb most of
-/// the lost capacity: a naive static schedule would pay the full 2×,
-/// the in-binary check below holds the real executor to ≤ 1.6× the
-/// healthy LU makespan. Gated against the baseline at the threaded
-/// tolerance like every 4-thread wall-clock figure.
-fn degraded_secs() -> f64 {
+/// an effective 2× slowdown (`FaultPlan::slow_worker`), parameterized
+/// by the dynamic share. The hybrid scheduler treats the slow worker as
+/// degraded and routes its static share to the dynamic queues, so the
+/// healthy workers absorb most of the lost capacity: a naive static
+/// schedule would pay the full 2×, the in-binary check below holds the
+/// real executor (at the default `DRATIO`) to ≤ 1.6× the healthy LU
+/// makespan. Gated against the baseline at the threaded tolerance like
+/// every 4-thread wall-clock figure.
+const DEGRADED_DRATIOS: [f64; 3] = [0.2, 0.5, DRATIO];
+
+fn degraded_fault() -> FaultPlan {
+    FaultPlan::off().with_seed(SEED).slow_worker(0, 2.0)
+}
+
+fn degraded_secs(dratio: f64) -> f64 {
     let solver = Solver::new(MatrixSource::uniform(ALGO_N, SEED))
         .tile(B)
         .threads(THREADS)
-        .dratio(DRATIO)
-        .fault_plan(FaultPlan::off().with_seed(SEED).slow_worker(0, 2.0))
+        .dratio(dratio)
+        .fault_plan(degraded_fault())
         .verify(false);
     let mut secs = f64::INFINITY;
     for _ in 0..ALGO_ITERS {
         secs = secs.min(solver.run().expect("degraded smoke").makespan);
+    }
+    secs
+}
+
+/// The adaptive leg of the degradation axis: the same slowed-worker
+/// workload with the feedback controller picking the split instead of
+/// a fixed `dratio`. One cross-run solver, twice the fixed sweep's
+/// draws so the controller has observations to converge on; the
+/// minimum is what a steady-state adaptive deployment pays. The
+/// in-binary checks below hold it to ≤ 1.05× the best fixed sweep
+/// point and strictly under the worst one — the controller must find
+/// the good end of the sweep on its own, not just avoid disaster.
+fn adaptive_degraded_secs() -> f64 {
+    let solver = Solver::new(MatrixSource::uniform(ALGO_N, SEED))
+        .tile(B)
+        .threads(THREADS)
+        .adaptive(AdaptivePolicy::new(SEED))
+        .fault_plan(degraded_fault())
+        .verify(false);
+    let mut secs = f64::INFINITY;
+    for _ in 0..2 * ALGO_ITERS {
+        secs = secs.min(solver.run().expect("adaptive degraded smoke").makespan);
     }
     secs
 }
@@ -425,7 +454,17 @@ fn main() -> ExitCode {
     let (batch_ips, loop_ips, serve_jps) = batch_throughput();
     let net_jps = net_throughput();
     let (cholesky_secs, cholesky_lu_secs) = algorithm_axis();
-    let degraded = degraded_secs();
+    let degraded_sweep: Vec<(f64, f64)> = DEGRADED_DRATIOS
+        .iter()
+        .map(|&d| (d, degraded_secs(d)))
+        .collect();
+    let degraded = degraded_sweep.last().expect("non-empty sweep").1;
+    let best_fixed = degraded_sweep
+        .iter()
+        .map(|&(_, s)| s)
+        .fold(f64::INFINITY, f64::min);
+    let worst_fixed = degraded_sweep.iter().map(|&(_, s)| s).fold(0.0, f64::max);
+    let adaptive_degraded = adaptive_degraded_secs();
     let (global_secs, _) = threaded(QueueDiscipline::Global);
     let (sharded_secs, sharded_report) = threaded(QueueDiscipline::Sharded { seed: SEED });
     let (lockfree_secs, lockfree_report) = threaded(QueueDiscipline::LockFree { seed: SEED });
@@ -501,11 +540,25 @@ fn main() -> ExitCode {
         ("cholesky_lu_1024_secs", cholesky_lu_secs),
         ("cholesky_vs_lu_ratio", cholesky_secs / cholesky_lu_secs),
         // the degradation axis: n=1024 LU with worker 0 slowed 2× by
-        // fault injection, gated at the threaded tolerance; the ratio
-        // to the healthy LU run is recorded ungated — the in-binary
-        // 1.6× ceiling below enforces the absorption absolutely
+        // fault injection, swept over fixed dynamic shares and gated at
+        // the threaded tolerance (the historical key stays on the
+        // default DRATIO point); the ratio to the healthy LU run is
+        // recorded ungated — the in-binary 1.6× ceiling below enforces
+        // the absorption absolutely
+        ("degraded_dratio02_makespan_secs", degraded_sweep[0].1),
+        ("degraded_dratio05_makespan_secs", degraded_sweep[1].1),
         ("degraded_makespan_secs", degraded),
         ("degraded_vs_healthy_ratio", degraded / cholesky_lu_secs),
+        // the adaptive leg of the same axis: the feedback controller
+        // picking the split on the identical slowed-worker workload,
+        // gated at the threaded tolerance; the ratio to the best fixed
+        // sweep point is recorded ungated — the in-binary 1.05× ceiling
+        // below enforces the convergence absolutely
+        ("adaptive_degraded_makespan_secs", adaptive_degraded),
+        (
+            "adaptive_vs_best_fixed_ratio",
+            adaptive_degraded / best_fixed,
+        ),
     ]
     .into_iter()
     .map(|(k, v)| (k.to_string(), v))
@@ -609,6 +662,34 @@ fn main() -> ExitCode {
         degraded / cholesky_lu_secs
     );
 
+    // the adaptive criterion is absolute as well, against this very
+    // host's own fixed-dratio sweep: the controller must land within 5%
+    // of the best fixed split it could have picked, and must strictly
+    // beat the worst one — otherwise the feedback loop is not earning
+    // its keep on exactly the degradation it was built for
+    if adaptive_degraded > 1.05 * best_fixed {
+        eprintln!(
+            "perf-smoke FAILED: adaptive degraded run ({adaptive_degraded:.3}s) is \
+             over 1.05x the best fixed-dratio sweep point ({best_fixed:.3}s) at \
+             n={ALGO_N} — the controller did not converge to a good split"
+        );
+        return ExitCode::FAILURE;
+    }
+    if adaptive_degraded >= worst_fixed {
+        eprintln!(
+            "perf-smoke FAILED: adaptive degraded run ({adaptive_degraded:.3}s) does \
+             not beat the worst fixed-dratio sweep point ({worst_fixed:.3}s) at \
+             n={ALGO_N}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "adaptive degraded vs fixed sweep at n={ALGO_N}: {:.2}x best, {:.2}x worst \
+         ({adaptive_degraded:.3}s vs [{best_fixed:.3}s .. {worst_fixed:.3}s])",
+        adaptive_degraded / best_fixed,
+        adaptive_degraded / worst_fixed
+    );
+
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -624,6 +705,7 @@ fn main() -> ExitCode {
                 || key.starts_with("net_")
                 || key.starts_with("cholesky_")
                 || key.starts_with("degraded_")
+                || key.starts_with("adaptive_")
             {
                 threaded_tolerance
             } else {

@@ -51,7 +51,8 @@ use calu_matrix::{
 };
 use calu_rand::Rng;
 use calu_sched::{
-    nstatic_for, steal_order, Deque, QueueDiscipline, QueueSource, Steal, StealTier, StealTiers,
+    nstatic_for, steal_order, Deque, QueueDiscipline, QueueSource, Steal, StealOrder, StealTier,
+    StealTiers,
 };
 use calu_trace::{SpanKind, TaskSpan, Timeline};
 
@@ -221,6 +222,8 @@ struct BatchShared<S: TileStorage> {
     local: Vec<BatchHeap>,
     dynamic: BatchDyn,
     tiers: Vec<StealTiers>,
+    /// Direction of the tiered sweep (the adaptive steal-order knob).
+    steal_dir: StealOrder,
     dyn_queued: AtomicUsize,
     /// Next unclaimed co-scheduled item (index into `smalls`).
     next_small: AtomicUsize,
@@ -336,7 +339,7 @@ impl<S: TileStorage + Send> BatchShared<S> {
                 }
                 let rng = rng.as_mut().expect("stealing workers carry an RNG");
                 let stolen = steal_sweep(
-                    self.tiers[me].sweep(rng),
+                    self.tiers[me].sweep_ordered(self.steal_dir, rng),
                     |&(victim, _)| loop {
                         match deques[victim].steal() {
                             Steal::Taken(v) => break Some(unpack(v)),
@@ -568,6 +571,7 @@ fn batch_tiled<S: TileStorage + Send>(
                 .collect(),
             _ => Vec::new(),
         },
+        steal_dir: cfg.steal_order,
         dyn_queued: AtomicUsize::new(0),
         next_small: AtomicUsize::new(0),
         smalls,

@@ -5,7 +5,7 @@
 use crate::error::CaluError;
 use crate::fault::FaultPlan;
 use calu_matrix::{Layout, ProcessGrid};
-use calu_sched::QueueDiscipline;
+use calu_sched::{AdaptivePolicy, QueueDiscipline, StealOrder};
 
 /// Configuration for [`crate::calu_factor`].
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +59,16 @@ pub struct CaluConfig {
     /// disarmed plan). See [`crate::fault`] for the fault kinds and the
     /// static-task rescue guarantees.
     pub fault: FaultPlan,
+    /// Direction of the lock-free discipline's tiered victim sweep
+    /// (default nearest-first). The adaptive controller flips it to
+    /// farthest-first when most successful steals already cross
+    /// sockets; either direction factors bitwise-identically.
+    pub steal_order: StealOrder,
+    /// Adaptive split policy, when the run's knobs were chosen by the
+    /// feedback controller ([`calu_sched::adaptive`]). Carried for
+    /// validation and reporting — executors run the already-resolved
+    /// `dratio`/cutoffs above; adaptation never happens mid-DAG.
+    pub adaptive: Option<AdaptivePolicy>,
 }
 
 /// Default [`CaluConfig::batch_small_cutoff`]: matrices up to 384×384
@@ -82,6 +92,8 @@ impl CaluConfig {
             batch_threads_per_item: 1,
             batch_small_cutoff: DEFAULT_BATCH_SMALL_CUTOFF,
             fault: FaultPlan::off(),
+            steal_order: StealOrder::default(),
+            adaptive: None,
         }
     }
 
@@ -141,6 +153,18 @@ impl CaluConfig {
         self
     }
 
+    /// Set the lock-free steal-sweep direction (default nearest-first).
+    pub fn with_steal_order(mut self, order: StealOrder) -> Self {
+        self.steal_order = order;
+        self
+    }
+
+    /// Record the adaptive policy that chose this config's split.
+    pub fn with_adaptive(mut self, policy: AdaptivePolicy) -> Self {
+        self.adaptive = Some(policy);
+        self
+    }
+
     /// Validate and derive the thread grid.
     pub fn validate(&self) -> Result<ProcessGrid, CaluError> {
         if self.b == 0 {
@@ -182,6 +206,9 @@ impl CaluConfig {
             )));
         }
         self.fault.validate(self.threads)?;
+        if let Some(policy) = &self.adaptive {
+            policy.validate().map_err(CaluError::InvalidConfig)?;
+        }
         if self.queue.steals() && self.dratio == 0.0 {
             return Err(CaluError::InvalidConfig(format!(
                 "the {} queue discipline organizes the dynamic section, \
@@ -307,6 +334,24 @@ mod tests {
             .validate()
             .unwrap_err();
         assert!(err.to_string().contains("worker 9"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_policy_validates_through_config() {
+        let c = CaluConfig::new(8).with_threads(4);
+        assert!(c.adaptive.is_none(), "off by default");
+        assert_eq!(c.steal_order, StealOrder::NearestFirst);
+        assert!(c
+            .clone()
+            .with_adaptive(AdaptivePolicy::new(7))
+            .with_steal_order(StealOrder::FarthestFirst)
+            .validate()
+            .is_ok());
+        let err = c
+            .with_adaptive(AdaptivePolicy::new(7).with_dratio_bounds(0.0, 0.5))
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("adaptive"), "{err}");
     }
 
     #[test]

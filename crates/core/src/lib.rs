@@ -64,7 +64,7 @@ pub use factorization::Factorization;
 pub use fault::{FaultKind, FaultPlan, WorkerFault};
 pub use gepp::gepp_factor;
 pub use incpiv::{incpiv_factor, IncPivFactors};
-pub use pool::{JobSink, PoolOutcome, PoolSource, ServicePool};
+pub use pool::{JobSink, PoolOutcome, PoolSource, PoolSplit, ServicePool};
 pub use simple::calu_simple;
 pub use threaded::{
     calu_factor, calu_factor_report, calu_factor_traced, cholesky_factor, cholesky_factor_report,

@@ -135,6 +135,42 @@ pub struct PoolOutcome {
     pub growth_factor: Option<f64>,
 }
 
+impl PoolOutcome {
+    /// Distill this job's schedule readings into an
+    /// [`Observation`](calu_sched::adaptive::Observation) — the pool's
+    /// feedback hook for the adaptive split controller. The formulas
+    /// match the facade's `ScheduleMetrics` accessors (failure rate =
+    /// failed sweeps / total sweeps, remote fraction = remote steals /
+    /// total steals), so observations fed from a service job and from a
+    /// solo run's `Report::schedule` read on one scale.
+    pub fn observation(&self) -> calu_sched::adaptive::Observation {
+        let threads = self.stats.len().max(1);
+        let total_idle: f64 = (0..self.timeline.cores())
+            .map(|c| self.timeline.idle_time(c))
+            .sum();
+        let steals: u64 = self.stats.iter().map(|s| s.steal_pops).sum();
+        let remote: u64 = self.stats.iter().map(|s| s.remote_steal_pops).sum();
+        let failed: u64 = self.stats.iter().map(|s| s.failed_steals).sum();
+        let sweeps = steals + failed;
+        let contention = if sweeps == 0 {
+            0.0
+        } else {
+            failed as f64 / sweeps as f64
+        };
+        let remote_fraction = if steals == 0 {
+            0.0
+        } else {
+            remote as f64 / steals as f64
+        };
+        calu_sched::adaptive::Observation::new(threads, self.makespan, total_idle)
+            .with_contention(contention)
+            .with_remote_fraction(remote_fraction)
+            .with_lost(self.stats.iter().filter(|s| s.lost).count())
+            .with_rescued(self.stats.iter().map(|s| s.rescued).sum())
+            .with_dims(self.dims.0, self.dims.1)
+    }
+}
+
 /// Where a job's result goes. The service layer implements this to
 /// route outcomes into handles and event streams; tests implement it
 /// with a channel. `started` fires when a worker claims the job (the
@@ -1154,6 +1190,24 @@ pub struct ServicePool {
     inner: PoolInner,
     threads: usize,
     spawn_secs: f64,
+    split: PoolSplit,
+}
+
+/// The scheduling split one [`ServicePool`] generation runs under,
+/// frozen at spawn — the knobs an adaptive controller moves between
+/// generations. A live reconfigure swaps the whole pool, so reading
+/// this off the *current* pool is always coherent: no generation ever
+/// changes its split mid-life.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolSplit {
+    /// Fraction of panels scheduled dynamically.
+    pub dratio: f64,
+    /// Items at most this large (max dimension) co-schedule whole.
+    pub batch_small_cutoff: usize,
+    /// Workers per co-scheduled item.
+    pub batch_threads_per_item: usize,
+    /// Direction of the lock-free victim sweep.
+    pub steal_order: calu_sched::StealOrder,
 }
 
 impl ServicePool {
@@ -1186,7 +1240,18 @@ impl ServicePool {
             inner,
             threads,
             spawn_secs,
+            split: PoolSplit {
+                dratio: cfg.dratio,
+                batch_small_cutoff: cfg.batch_small_cutoff,
+                batch_threads_per_item: cfg.batch_threads_per_item,
+                steal_order: cfg.steal_order,
+            },
         })
+    }
+
+    /// The scheduling split this pool generation runs under.
+    pub fn split(&self) -> PoolSplit {
+        self.split
     }
 
     /// Enqueue a job. `id` is the caller's correlation key (used by

@@ -68,7 +68,7 @@ use calu_matrix::{
 use calu_rand::Rng;
 use calu_sched::{
     nstatic_for, priority, steal_order, CpuTopology, Deque, OwnerMap, QueueDiscipline, QueueSource,
-    Steal, StealTier, StealTiers,
+    Steal, StealOrder, StealTier, StealTiers,
 };
 use calu_trace::{SpanKind, TaskSpan, Timeline};
 
@@ -381,6 +381,9 @@ struct Shared<S: TileStorage> {
     /// Per-worker locality-tiered victim orders (lock-free discipline
     /// only; empty otherwise).
     tiers: Vec<StealTiers>,
+    /// Direction the tiered sweep probes its tiers in — the adaptive
+    /// controller's steal-order knob (nearest-first by default).
+    steal_dir: StealOrder,
     /// Dynamic-section tasks currently queued (sharded discipline only:
     /// incremented before push, decremented after pop), so idle workers
     /// can tell "nothing to steal anywhere" from "a victim shard I
@@ -506,7 +509,7 @@ impl<S: TileStorage + Send> Shared<S> {
                 }
                 let rng = rng.as_mut().expect("stealing workers carry an RNG");
                 let stolen = steal_sweep(
-                    self.tiers[me].sweep(rng),
+                    self.tiers[me].sweep_ordered(self.steal_dir, rng),
                     |&(victim, _)| loop {
                         match deques[victim].steal() {
                             Steal::Taken(v) => break Some(TaskId(v as u32)),
@@ -799,12 +802,14 @@ type Factored<S> = (S, RowPerm, Option<usize>, Timeline, Vec<ThreadStats>);
 /// `fault` is the run's injection plan ([`FaultPlan::off`] for every
 /// production caller): an armed plan can make the run fail with a typed
 /// error (injected kernel panic), which is the only `Err` this returns.
+#[allow(clippy::too_many_arguments)]
 fn factor_tiled<S: TileStorage + Send>(
     storage: S,
     g: &Arc<TaskGraph>,
     grid: ProcessGrid,
     dratio: f64,
     queue: QueueDiscipline,
+    steal_dir: StealOrder,
     pin: bool,
     fault: &FaultPlan,
 ) -> Result<Factored<S>, CaluError> {
@@ -851,6 +856,7 @@ fn factor_tiled<S: TileStorage + Send>(
                 .collect(),
             _ => Vec::new(),
         },
+        steal_dir,
         dyn_queued: AtomicUsize::new(0),
         fault: fault_shared,
     };
@@ -1081,6 +1087,7 @@ fn factor_report_for_graph(
                 grid,
                 cfg.dratio,
                 cfg.queue,
+                cfg.steal_order,
                 cfg.pin_workers,
                 &cfg.fault,
             )?;
@@ -1094,6 +1101,7 @@ fn factor_report_for_graph(
                 grid,
                 cfg.dratio,
                 cfg.queue,
+                cfg.steal_order,
                 cfg.pin_workers,
                 &cfg.fault,
             )?;
@@ -1107,6 +1115,7 @@ fn factor_report_for_graph(
                 grid,
                 cfg.dratio,
                 cfg.queue,
+                cfg.steal_order,
                 cfg.pin_workers,
                 &cfg.fault,
             )?;

@@ -33,7 +33,7 @@ use crate::discipline::{steal_order, QueueDiscipline};
 use crate::owner::OwnerMap;
 use crate::policy::{Policy, Popped, QueueSource};
 use crate::priority::{dynamic_key, static_key};
-use crate::topology::{CpuTopology, StealTier, StealTiers};
+use crate::topology::{CpuTopology, StealOrder, StealTier, StealTiers};
 
 type Heap = BinaryHeap<Reverse<(u64, u32)>>;
 
@@ -61,6 +61,7 @@ enum DynSection {
     LockFree {
         deques: Vec<VecDeque<(u64, u32)>>,
         tiers: Vec<StealTiers>,
+        order: StealOrder,
         rng: Rng,
         rr: usize,
         seed: u64,
@@ -127,6 +128,21 @@ impl HybridPolicy {
         queue: QueueDiscipline,
         topo: &CpuTopology,
     ) -> Self {
+        Self::with_nstatic_discipline_ordered(g, grid, nstatic, queue, topo, StealOrder::default())
+    }
+
+    /// [`with_nstatic_discipline_on`](Self::with_nstatic_discipline_on)
+    /// with an explicit steal-sweep direction for the lock-free
+    /// discipline's tiered sweeps (the adaptive controller's knob; the
+    /// other disciplines ignore it).
+    pub fn with_nstatic_discipline_ordered(
+        g: &TaskGraph,
+        grid: ProcessGrid,
+        nstatic: usize,
+        queue: QueueDiscipline,
+        topo: &CpuTopology,
+        order: StealOrder,
+    ) -> Self {
         let owners = OwnerMap::new(g, grid);
         let kinds: Vec<TaskKind> = g.ids().map(|t| g.kind(t)).collect();
         let is_static = kinds.iter().map(|k| k.writes_col() < nstatic).collect();
@@ -144,6 +160,7 @@ impl HybridPolicy {
                 tiers: (0..cores)
                     .map(|me| StealTiers::for_worker(topo, me, cores))
                     .collect(),
+                order,
                 rng: Rng::seed_from_u64(seed),
                 rr: 0,
                 seed,
@@ -249,7 +266,11 @@ impl HybridPolicy {
                 }
             }
             DynSection::LockFree {
-                deques, tiers, rng, ..
+                deques,
+                tiers,
+                order,
+                rng,
+                ..
             } => {
                 if let Some((_, t)) = deques[core].pop_back() {
                     Some(Popped {
@@ -258,7 +279,7 @@ impl HybridPolicy {
                     })
                 } else {
                     let mut found = None;
-                    for (victim, tier) in tiers[core].sweep(rng) {
+                    for (victim, tier) in tiers[core].sweep_ordered(*order, rng) {
                         if let Some((_, t)) = deques[victim].pop_front() {
                             found = Some(Popped {
                                 task: TaskId(t),

@@ -47,6 +47,7 @@
 //! dynamic section (`dratio = 0`) is a configuration error — there is
 //! nothing to shard or steal.
 
+pub mod adaptive;
 pub mod config;
 pub mod deque;
 pub mod discipline;
@@ -61,6 +62,9 @@ mod hybrid;
 mod static_policy;
 mod work_stealing;
 
+pub use adaptive::{
+    AdaptationStep, AdaptiveController, AdaptiveMode, AdaptivePolicy, Observation, SplitChoice,
+};
 pub use config::{nstatic_for, SchedulerKind};
 pub use deque::{Deque, Steal};
 pub use discipline::{steal_order, QueueDiscipline, DEFAULT_STEAL_SEED};
@@ -70,7 +74,7 @@ pub use lanes::{ClassLanes, JobClass};
 pub use owner::OwnerMap;
 pub use policy::{Policy, Popped, QueueSource};
 pub use static_policy::StaticPolicy;
-pub use topology::{CpuTopology, StealTier, StealTiers};
+pub use topology::{CpuTopology, StealOrder, StealTier, StealTiers};
 pub use work_stealing::WorkStealingPolicy;
 
 use calu_dag::TaskGraph;
@@ -110,17 +114,32 @@ pub fn make_policy_on(
     g: &TaskGraph,
     grid: ProcessGrid,
 ) -> Box<dyn Policy> {
+    make_policy_ordered(kind, queue, StealOrder::default(), topo, g, grid)
+}
+
+/// [`make_policy_on`] with an explicit steal-sweep direction — the
+/// adaptive controller's steal-tier knob. Only the lock-free
+/// discipline's tiered sweep reads it; every other combination behaves
+/// exactly as [`make_policy_on`].
+pub fn make_policy_ordered(
+    kind: SchedulerKind,
+    queue: QueueDiscipline,
+    order: StealOrder,
+    topo: &CpuTopology,
+    g: &TaskGraph,
+    grid: ProcessGrid,
+) -> Box<dyn Policy> {
     let nstatic = |dratio| nstatic_for(dratio, g.num_panels());
     match (kind, queue) {
         (SchedulerKind::Static, _) => Box::new(StaticPolicy::new(g, grid)),
         (SchedulerKind::Dynamic, QueueDiscipline::Global) => {
             Box::new(DynamicPolicy::new(g, grid.size()))
         }
-        (SchedulerKind::Dynamic, q) => Box::new(HybridPolicy::with_nstatic_discipline_on(
-            g, grid, 0, q, topo,
+        (SchedulerKind::Dynamic, q) => Box::new(HybridPolicy::with_nstatic_discipline_ordered(
+            g, grid, 0, q, topo, order,
         )),
         (SchedulerKind::Hybrid { dratio }, q) => Box::new(
-            HybridPolicy::with_nstatic_discipline_on(g, grid, nstatic(dratio), q, topo),
+            HybridPolicy::with_nstatic_discipline_ordered(g, grid, nstatic(dratio), q, topo, order),
         ),
         (SchedulerKind::WorkStealing { seed }, _) => {
             Box::new(WorkStealingPolicy::new(g, grid.size(), seed))

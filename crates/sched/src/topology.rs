@@ -170,6 +170,34 @@ impl CpuTopology {
     }
 }
 
+/// Direction of the tiered victim sweep. Nearest-first is the locality
+/// default (an SMT sibling's cache is the cheapest to raid); the
+/// adaptive controller flips to farthest-first when the observed
+/// [`remote_fraction`](../../calu/struct.StealLocality.html) says
+/// nearby victims are usually drained — probing them first then only
+/// wastes sweep steps before the inevitable remote steal.
+///
+/// Either order visits every victim exactly once and draws exactly
+/// three RNG values per sweep, so flipping it never perturbs the
+/// contention statistics' scale or the deque RNG streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealOrder {
+    /// SMT sibling → same socket → remote (the PR-4 default).
+    #[default]
+    NearestFirst,
+    /// Remote → same socket → SMT sibling.
+    FarthestFirst,
+}
+
+impl std::fmt::Display for StealOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StealOrder::NearestFirst => "nearest-first",
+            StealOrder::FarthestFirst => "farthest-first",
+        })
+    }
+}
+
 /// One worker's precomputed victim tiers: the static part of the
 /// locality-tiered sweep. Build once per worker, then call
 /// [`sweep`](StealTiers::sweep) per steal attempt; only the in-tier
@@ -199,6 +227,19 @@ impl StealTiers {
     /// tier first, random rotation within each tier. Deterministic for
     /// a fixed RNG state.
     pub fn sweep<'a>(&'a self, rng: &mut Rng) -> impl Iterator<Item = (usize, StealTier)> + 'a {
+        self.sweep_ordered(StealOrder::NearestFirst, rng)
+    }
+
+    /// [`sweep`](Self::sweep) with an explicit tier direction. The
+    /// in-tier rotations are drawn in the fixed Sibling/Socket/Remote
+    /// order *before* the direction applies, so both orders consume the
+    /// identical three RNG draws per sweep — flipping the order mid-fleet
+    /// never desynchronizes a worker's RNG stream.
+    pub fn sweep_ordered<'a>(
+        &'a self,
+        order: StealOrder,
+        rng: &mut Rng,
+    ) -> impl Iterator<Item = (usize, StealTier)> + 'a {
         let kinds = [StealTier::Sibling, StealTier::Socket, StealTier::Remote];
         let rots: [usize; 3] = std::array::from_fn(|i| {
             let len = self.tiers[i].len();
@@ -208,13 +249,14 @@ impl StealTiers {
                 0
             }
         });
-        self.tiers
-            .iter()
-            .zip(kinds)
-            .zip(rots)
-            .flat_map(|((tier, kind), rot)| {
-                (0..tier.len()).map(move |i| (tier[(rot + i) % tier.len()], kind))
-            })
+        let idx: [usize; 3] = match order {
+            StealOrder::NearestFirst => [0, 1, 2],
+            StealOrder::FarthestFirst => [2, 1, 0],
+        };
+        idx.into_iter().flat_map(move |i| {
+            let tier = &self.tiers[i];
+            (0..tier.len()).map(move |j| (tier[(rots[i] + j) % tier.len()], kinds[i]))
+        })
     }
 }
 
@@ -316,6 +358,32 @@ mod tests {
         assert!(order
             .iter()
             .all(|&v| topo.tier_between(2, v) == StealTier::Socket));
+    }
+
+    #[test]
+    fn farthest_first_reverses_tiers_with_identical_rng_cost() {
+        let topo = CpuTopology::uniform_smt(2, 2, 2); // 8 cpus
+        let tiers = StealTiers::for_worker(&topo, 0, 8);
+        let (mut a, mut b) = (Rng::seed_from_u64(11), Rng::seed_from_u64(11));
+        let near: Vec<_> = tiers
+            .sweep_ordered(StealOrder::NearestFirst, &mut a)
+            .collect();
+        let far: Vec<_> = tiers
+            .sweep_ordered(StealOrder::FarthestFirst, &mut b)
+            .collect();
+        assert_eq!(near.len(), 7);
+        assert_eq!(far.len(), 7);
+        // same victims, remote tier now leads
+        assert_eq!(near[0].1, StealTier::Sibling);
+        assert_eq!(far[0].1, StealTier::Remote);
+        assert_eq!(far[6].1, StealTier::Sibling);
+        let mut nv: Vec<usize> = near.iter().map(|&(v, _)| v).collect();
+        let mut fv: Vec<usize> = far.iter().map(|&(v, _)| v).collect();
+        nv.sort_unstable();
+        fv.sort_unstable();
+        assert_eq!(nv, fv);
+        // identical RNG consumption: streams stay in lockstep after a sweep
+        assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
     }
 
     #[test]

@@ -1221,6 +1221,15 @@ impl<R: Send + 'static> FactorService<R> {
         self.shared.current_pool().threads()
     }
 
+    /// The scheduling split the *current* pool generation runs under
+    /// (dratio, batch cutoffs, steal direction). Reconfigure-safe by
+    /// construction: a generation's split is frozen at spawn, so this
+    /// always describes the pool that is admitting jobs right now — an
+    /// adaptive reconfigure shows up here as soon as the swap lands.
+    pub fn current_split(&self) -> calu_core::PoolSplit {
+        self.shared.current_pool().split()
+    }
+
     /// Whether a job of `dims` would be co-scheduled (claimed whole by
     /// one worker) rather than run on the co-operative hybrid schedule
     /// — the exact predicate the current pool's workers apply.

@@ -409,10 +409,15 @@ fn handle_request<R: Send + 'static>(shared: &NetShared<R>, line: &str) -> (Stri
         },
         Some((&"stats", [])) => {
             let service = &shared.service;
+            // the split fields read off the *current* pool generation,
+            // so an adaptive reconfigure is visible over the wire the
+            // moment the pool swap lands
+            let split = service.current_split();
             (
                 format!(
                     "stats pending={} queued={} threads={} generation={} lost_workers={} \
-                     accepted={} shed={} malformed={} requests={}",
+                     accepted={} shed={} malformed={} requests={} dratio={:.4} \
+                     steal_order={} small_cutoff={}",
                     service.pending(),
                     service.queued(),
                     service.threads(),
@@ -422,6 +427,9 @@ fn handle_request<R: Send + 'static>(shared: &NetShared<R>, line: &str) -> (Stri
                     shared.shed.load(Ordering::Relaxed),
                     shared.malformed.load(Ordering::Relaxed),
                     shared.requests.load(Ordering::Relaxed),
+                    split.dratio,
+                    split.steal_order,
+                    split.batch_small_cutoff,
                 ),
                 false,
             )

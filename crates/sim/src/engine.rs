@@ -7,7 +7,8 @@ use std::collections::BinaryHeap;
 use calu_dag::{PaperKind, TaskGraph, TaskId};
 use calu_matrix::{Layout, ProcessGrid};
 use calu_sched::{
-    make_policy_on, CpuTopology, Policy, QueueDiscipline, QueueSource, SchedulerKind,
+    make_policy_ordered, CpuTopology, Policy, QueueDiscipline, QueueSource, SchedulerKind,
+    StealOrder,
 };
 use calu_trace::{SpanKind, TaskSpan, Timeline};
 
@@ -54,6 +55,12 @@ pub struct SimConfig {
     pub column_granular: bool,
     /// Record the full per-task timeline (memory-heavy for big runs).
     pub record_trace: bool,
+    /// Direction of the lock-free discipline's tiered victim sweep —
+    /// the adaptive controller's steal-order knob, modelled so the
+    /// simulator sweeps victims in the same order the real executor
+    /// would (steal *prices* still come from the victim's tier, so the
+    /// order changes who is probed first, never what a steal costs).
+    pub steal_order: StealOrder,
 }
 
 impl SimConfig {
@@ -71,12 +78,19 @@ impl SimConfig {
             group_max,
             column_granular: false,
             record_trace: false,
+            steal_order: StealOrder::default(),
         }
     }
 
     /// Set the dynamic-section queue discipline.
     pub fn with_queue(mut self, queue: QueueDiscipline) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Set the lock-free steal-sweep direction (default nearest-first).
+    pub fn with_steal_order(mut self, order: StealOrder) -> Self {
+        self.steal_order = order;
         self
     }
 
@@ -159,7 +173,7 @@ impl<'a> Engine<'a> {
         // discipline's tiered victim sweeps, so a simulated steal probes
         // same-socket victims before remote ones exactly like a real one
         let topo = CpuTopology::uniform(cfg.machine.sockets, cfg.machine.cores_per_socket);
-        let policy = make_policy_on(cfg.sched, cfg.queue, &topo, g, cfg.grid);
+        let policy = make_policy_ordered(cfg.sched, cfg.queue, cfg.steal_order, &topo, g, cfg.grid);
         Self {
             g,
             cfg,

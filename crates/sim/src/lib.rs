@@ -26,6 +26,7 @@
 //! Everything is seeded and deterministic; the same
 //! [`SimConfig`] always yields the same [`SimResult`].
 
+pub mod adapt;
 pub mod cache;
 pub mod cost;
 pub mod engine;
@@ -33,6 +34,7 @@ pub mod machine;
 pub mod noise;
 pub mod result;
 
+pub use adapt::{machine_topology, observe_result, simulate_adaptation};
 pub use engine::{run, SimConfig};
 pub use machine::{MachineConfig, NoiseConfig};
 pub use result::{CoreStats, SimResult};

@@ -47,6 +47,14 @@ pub trait Backend {
         None
     }
 
+    /// The CPU topology the adaptive controller seeds its split from:
+    /// the detected host sockets by default; the simulator overrides
+    /// this with its machine model so simulated adaptation seeds from
+    /// the modelled machine, not the host running the model.
+    fn topology(&self) -> calu_sched::CpuTopology {
+        calu_sched::CpuTopology::detect()
+    }
+
     /// Execute the plan.
     fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error>;
 
@@ -255,6 +263,7 @@ impl Backend for ThreadedBackend {
             growth_factor: None,
             schedule: ScheduleMetrics::default(),
             timeline: None,
+            adaptation: None,
         };
         match plan.algorithm {
             Algorithm::Calu => {
@@ -406,6 +415,7 @@ impl ThreadedBackend {
                         &item.stats,
                     ),
                     timeline: plan.record_trace.then_some(item.timeline),
+                    adaptation: None,
                 };
                 if plan.verify {
                     // generator items re-materialize here, on demand —
@@ -520,6 +530,12 @@ impl Backend for SimulatedBackend {
         Some(self.machine.cores())
     }
 
+    fn topology(&self) -> calu_sched::CpuTopology {
+        // adaptation on this backend seeds from the *modelled* machine,
+        // so a simulated sweep predicts what the real machine would do
+        calu_sim::machine_topology(&self.machine)
+    }
+
     fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error> {
         let cores = self.machine.cores();
         if plan.threads() != cores {
@@ -538,6 +554,7 @@ impl Backend for SimulatedBackend {
             layout: plan.layout(),
             sched: plan.scheduler,
             queue: plan.queue(),
+            steal_order: plan.steal_order(),
             grid: plan.grid,
             group_max: plan.group(),
             column_granular: self.column_granular,
@@ -602,6 +619,7 @@ impl Backend for SimulatedBackend {
                 layout: plan.layout(),
                 sched: plan.scheduler,
                 queue: plan.queue(),
+                steal_order: plan.steal_order(),
                 grid,
                 group_max: plan.group(),
                 column_granular: self.column_granular,
@@ -687,6 +705,7 @@ fn sim_report(
             threads: per_core,
         },
         timeline: r.timeline,
+        adaptation: None,
     }
 }
 

@@ -149,11 +149,14 @@ pub mod solver;
 
 pub use backend::{Backend, SimulatedBackend, ThreadedBackend};
 pub use calu_core::{FaultKind, FaultPlan, KernelSet};
-pub use calu_sched::QueueDiscipline;
+pub use calu_sched::{
+    AdaptationStep, AdaptiveController, AdaptiveMode, AdaptivePolicy, Observation, QueueDiscipline,
+    SplitChoice, StealOrder,
+};
 pub use error::Error;
 pub use report::{
-    BatchReport, ContentionStats, QueueBreakdown, Report, ScheduleMetrics, StealLocality,
-    ThreadMetrics,
+    AdaptationReport, BatchReport, ContentionStats, QueueBreakdown, Report, ScheduleMetrics,
+    StealLocality, ThreadMetrics,
 };
 pub use serve::{
     service_batch, DrainSummary, Events, FactorService, JobClass, JobEvent, JobHandle, JobSpec,
@@ -182,6 +185,9 @@ impl Backend for Box<dyn Backend> {
     }
     fn preferred_queue(&self) -> Option<calu_sched::QueueDiscipline> {
         self.as_ref().preferred_queue()
+    }
+    fn topology(&self) -> calu_sched::CpuTopology {
+        self.as_ref().topology()
     }
     fn execute(&self, plan: &Plan<'_>) -> Result<Report, Error> {
         self.as_ref().execute(plan)

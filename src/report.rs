@@ -272,6 +272,56 @@ impl ScheduleMetrics {
         }
         s
     }
+
+    /// Distill these metrics into the adaptive controller's input — the
+    /// feedback edge of [`crate::Solver::adaptive`]. Uses exactly the
+    /// aggregate accessors above ([`ContentionStats::failure_rate`],
+    /// [`StealLocality::remote_fraction`], [`total_idle`],
+    /// [`total_rescued`], [`lost_workers`]), so observations built from
+    /// a threaded report, a simulated report and a service
+    /// `PoolOutcome` all read on one scale.
+    ///
+    /// [`total_idle`]: ScheduleMetrics::total_idle
+    /// [`total_rescued`]: ScheduleMetrics::total_rescued
+    /// [`lost_workers`]: ScheduleMetrics::lost_workers
+    pub fn observation(&self, dims: (usize, usize)) -> calu_sched::adaptive::Observation {
+        calu_sched::adaptive::Observation::new(
+            self.threads.len().max(1),
+            self.makespan,
+            self.total_idle(),
+        )
+        .with_contention(self.contention().failure_rate())
+        .with_remote_fraction(self.steal_locality().remote_fraction())
+        .with_lost(self.lost_workers())
+        .with_rescued(self.total_rescued())
+        .with_dims(dims.0, dims.1)
+    }
+}
+
+/// How [`crate::Solver::adaptive`] resolved this run's split: the
+/// topology-seeded starting point, the split the run actually used, and
+/// the observation trace that led there. `chosen` is what the executor
+/// ran — compare it with [`Report::scheduler`]'s configured value to
+/// see the controller at work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationReport {
+    /// The split the controller started from (host/machine topology
+    /// seed, before any observation).
+    pub seed: calu_sched::adaptive::SplitChoice,
+    /// The split this run executed under.
+    pub chosen: calu_sched::adaptive::SplitChoice,
+    /// Observations the controller had consumed when this run was
+    /// planned.
+    pub observations: usize,
+    /// The adaptation trace up to this run: one step per observation.
+    pub steps: Vec<calu_sched::adaptive::AdaptationStep>,
+}
+
+impl AdaptationReport {
+    /// Whether feedback moved the split off its topology seed.
+    pub fn adapted(&self) -> bool {
+        self.chosen != self.seed
+    }
 }
 
 /// The structured report returned by [`crate::Solver::run`].
@@ -318,6 +368,9 @@ pub struct Report {
     pub schedule: ScheduleMetrics,
     /// Full per-task timeline when tracing was requested.
     pub timeline: Option<Timeline>,
+    /// How the adaptive controller resolved this run's split — `None`
+    /// unless the run came from a [`crate::Solver::adaptive`] solver.
+    pub adaptation: Option<AdaptationReport>,
 }
 
 impl Report {
@@ -520,6 +573,18 @@ mod tests {
     }
 
     #[test]
+    fn observation_mirrors_the_aggregate_accessors() {
+        let m = metrics();
+        let obs = m.observation((10, 20));
+        assert!((obs.idle_fraction() - m.total_idle() / (2.0 * m.makespan)).abs() < 1e-12);
+        assert!((obs.contention - m.contention().failure_rate()).abs() < 1e-12);
+        assert!((obs.remote_fraction - m.steal_locality().remote_fraction()).abs() < 1e-12);
+        assert_eq!(obs.lost_workers, 1);
+        assert_eq!(obs.rescued, 4);
+        assert_eq!(obs.dims, (10, 20));
+    }
+
+    #[test]
     fn empty_breakdown_is_zero() {
         assert_eq!(QueueBreakdown::default().dynamic_fraction(), 0.0);
         assert_eq!(ScheduleMetrics::default().utilization(), 0.0);
@@ -545,6 +610,7 @@ mod tests {
             growth_factor: None,
             schedule: ScheduleMetrics::default(),
             timeline: None,
+            adaptation: None,
         };
         let b = BatchReport {
             backend: "x".into(),
@@ -592,6 +658,7 @@ mod tests {
             growth_factor: None,
             schedule: ScheduleMetrics::default(),
             timeline: None,
+            adaptation: None,
         };
         let warm = BatchReport {
             backend: "serve".into(),

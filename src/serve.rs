@@ -166,6 +166,12 @@ impl Solver {
         let scheduler = plan.scheduler;
         let record_trace = plan.record_trace;
         let make_cfg = cfg.clone();
+        // adaptive solvers keep learning while they serve: every
+        // completed job's pool outcome is distilled into an Observation
+        // and fed to the shared controller, so a later
+        // Solver::reconfigure (same builder) re-plans under the adapted
+        // split — a service on a degraded machine converges across jobs
+        let feedback = self.adaptive_controller();
         let make = move |_info: &JobInfo, out: PoolOutcome| -> Report {
             // the pool that ran the job reports one ThreadStats per
             // worker; a live reconfigure may have changed the width
@@ -179,6 +185,11 @@ impl Solver {
                 KernelSet::CaluLu => Algorithm::Calu,
                 KernelSet::Cholesky => Algorithm::Cholesky,
             };
+            if let Some(ctl) = &feedback {
+                if let Some(ctl) = ctl.lock().unwrap().as_mut() {
+                    ctl.observe(&out.observation());
+                }
+            }
             Report {
                 backend: "serve".into(),
                 algorithm,
@@ -196,6 +207,10 @@ impl Solver {
                 growth_factor: out.growth_factor,
                 schedule,
                 timeline: record_trace.then_some(out.timeline),
+                // service jobs run under their pool generation's fixed
+                // split; the controller's evolving state is read through
+                // Solver::adaptive_split and applied by reconfigure
+                adaptation: None,
             }
         };
         FactorService::with_report(&cfg, svc, make).map_err(Error::from)

@@ -10,15 +10,17 @@
 //! identically no matter which entry point built it.
 
 use std::borrow::Cow;
+use std::sync::{Arc, Mutex};
 
 use calu_core::{CaluConfig, FaultPlan};
 use calu_dag::TaskGraph;
 use calu_matrix::{DenseMatrix, Layout, ProcessGrid};
-use calu_sched::{QueueDiscipline, SchedulerKind};
+use calu_sched::adaptive::{AdaptiveController, AdaptivePolicy, SplitChoice};
+use calu_sched::{QueueDiscipline, SchedulerKind, StealOrder};
 
 use crate::backend::{Backend, ThreadedBackend};
 use crate::error::Error;
-use crate::report::{BatchReport, Report};
+use crate::report::{AdaptationReport, BatchReport, Report};
 
 /// Which factorization to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +168,9 @@ pub struct Plan<'a> {
     /// Whether the caller set `.grouping()` explicitly (backends that
     /// cannot group reject explicit requests, not the default).
     explicit_group: bool,
+    /// How the adaptive controller resolved this plan's split, when the
+    /// solver is adaptive (attached to the [`Report`] after execution).
+    adaptation: Option<AdaptationReport>,
 }
 
 impl Plan<'_> {
@@ -198,6 +203,17 @@ impl Plan<'_> {
     /// Dynamic-section queue discipline.
     pub fn queue(&self) -> QueueDiscipline {
         self.cfg.queue
+    }
+
+    /// Direction of the lock-free discipline's tiered steal sweep.
+    pub fn steal_order(&self) -> StealOrder {
+        self.cfg.steal_order
+    }
+
+    /// How the adaptive controller resolved this plan's split (`None`
+    /// for non-adaptive solvers).
+    pub fn adaptation(&self) -> Option<&AdaptationReport> {
+        self.adaptation.as_ref()
     }
 
     /// TSLU leaves per panel (defaults to the grid's row count).
@@ -244,7 +260,36 @@ pub struct Solver {
     batch_threads_per_item: Option<usize>,
     batch_small_cutoff: Option<usize>,
     fault: Option<FaultPlan>,
+    adaptive: Option<AdaptiveState>,
     backend: Box<dyn Backend>,
+}
+
+/// The solver's adaptive-scheduling state: the validated policy plus
+/// the feedback controller, created lazily at the first [`Solver::plan`]
+/// (the thread count and backend topology are only resolved there).
+/// Interior mutability because `plan` takes `&self`; the `Arc` lets a
+/// spawned [`crate::serve::ReportService`] keep feeding the same
+/// controller from its completion path. The mutex is uncontended in
+/// normal use — it exists so a `Solver` shared across threads keeps one
+/// coherent observation history.
+pub(crate) struct AdaptiveState {
+    policy: AdaptivePolicy,
+    controller: Arc<Mutex<Option<AdaptiveController>>>,
+}
+
+impl AdaptiveState {
+    /// Run `f` against the (lazily created) controller.
+    fn with_controller<R>(
+        &self,
+        topo: impl FnOnce() -> calu_sched::CpuTopology,
+        threads: usize,
+        f: impl FnOnce(&mut AdaptiveController) -> R,
+    ) -> R {
+        let mut guard = self.controller.lock().unwrap();
+        let ctl = guard
+            .get_or_insert_with(|| AdaptiveController::new(self.policy.clone(), &topo(), threads));
+        f(ctl)
+    }
 }
 
 impl Solver {
@@ -268,6 +313,7 @@ impl Solver {
             batch_threads_per_item: None,
             batch_small_cutoff: None,
             fault: None,
+            adaptive: None,
             backend: Box::new(ThreadedBackend),
         }
     }
@@ -386,6 +432,51 @@ impl Solver {
         self
     }
 
+    /// Close the scheduling feedback loop: let an
+    /// [`AdaptiveController`] pick the static/dynamic split, the steal
+    /// direction and the batch co-scheduling cutoffs from what the
+    /// system already measures, instead of the fixed knobs above.
+    ///
+    /// The controller seeds its split from the backend's topology
+    /// (detected host sockets for the threaded backend, the machine
+    /// model for the simulator), then moves it after every completed
+    /// [`Solver::run`] / [`Solver::batch`] item using the report's own
+    /// schedule metrics — idle fraction, steal-sweep failure rate,
+    /// remote-steal fraction, lost workers, rescued tasks. See
+    /// [`calu_sched::adaptive`] for the update rules and the two modes
+    /// (per-run cache-seeded vs. cross-run in-memory).
+    ///
+    /// Adaptation replaces the *configured* scheduler: every adaptive
+    /// plan runs `Hybrid { dratio }` at the controller's current choice
+    /// (bounded by the policy, validated through
+    /// [`CaluConfig::validate`]). It never changes a schedule mid-DAG —
+    /// choices move between runs/items only — so the factors stay
+    /// bitwise-identical to a fixed-knob run at the same chosen split.
+    /// Explicit [`Solver::batch_small_cutoff`] /
+    /// [`Solver::batch_threads_per_item`] calls still win over the
+    /// controller's cutoff choices.
+    pub fn adaptive(mut self, policy: AdaptivePolicy) -> Self {
+        self.adaptive = Some(AdaptiveState {
+            policy,
+            controller: Arc::new(Mutex::new(None)),
+        });
+        self
+    }
+
+    /// A shared handle on the adaptive controller, for the service
+    /// layer's completion path (`None` for non-adaptive solvers).
+    pub(crate) fn adaptive_controller(&self) -> Option<Arc<Mutex<Option<AdaptiveController>>>> {
+        self.adaptive.as_ref().map(|s| Arc::clone(&s.controller))
+    }
+
+    /// The adaptive controller's current split — `None` until an
+    /// adaptive solver has planned at least once.
+    pub fn adaptive_split(&self) -> Option<SplitChoice> {
+        let state = self.adaptive.as_ref()?;
+        let guard = state.controller.lock().unwrap();
+        guard.as_ref().map(|c| c.choice())
+    }
+
     /// Select the algorithm (default [`Algorithm::Calu`]).
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
@@ -446,7 +537,29 @@ impl Solver {
             .threads
             .or_else(|| self.backend.preferred_threads())
             .unwrap_or(1);
-        let dratio = match self.scheduler {
+        // an adaptive solver resolves its split through the feedback
+        // controller (seeded lazily from the backend's topology at the
+        // first plan); plan_choice() is idempotent within one batch, so
+        // every item of a sweep gets the identical choice
+        let adaptation = self.adaptive.as_ref().map(|state| {
+            state.with_controller(
+                || self.backend.topology(),
+                threads,
+                |ctl| AdaptationReport {
+                    seed: ctl.seed_choice(),
+                    chosen: ctl.plan_choice(),
+                    observations: ctl.observations(),
+                    steps: ctl.trace().to_vec(),
+                },
+            )
+        });
+        let scheduler = match &adaptation {
+            Some(a) => SchedulerKind::Hybrid {
+                dratio: a.chosen.dratio,
+            },
+            None => self.scheduler,
+        };
+        let dratio = match scheduler {
             SchedulerKind::Static => 0.0,
             SchedulerKind::Dynamic | SchedulerKind::WorkStealing { .. } => 1.0,
             SchedulerKind::Hybrid { dratio } => dratio,
@@ -472,6 +585,12 @@ impl Solver {
             .with_layout(self.layout)
             .with_queue(queue)
             .with_pinning(self.pin_workers);
+        if let Some(a) = &adaptation {
+            cfg.steal_order = a.chosen.steal_order;
+            cfg.batch_small_cutoff = a.chosen.batch_small_cutoff;
+            cfg.batch_threads_per_item = a.chosen.batch_threads_per_item;
+            cfg.adaptive = Some(self.adaptive.as_ref().unwrap().policy.clone());
+        }
         if let Some(k) = self.batch_threads_per_item {
             cfg.batch_threads_per_item = k;
         }
@@ -503,20 +622,41 @@ impl Solver {
         Ok(Plan {
             source,
             grid,
-            scheduler: self.scheduler,
+            scheduler,
             algorithm: self.algorithm,
             record_trace: self.trace,
             verify: self.verify,
             cfg,
             explicit_group: self.group.is_some(),
+            adaptation,
         })
     }
 
     /// Validate, execute on the selected backend, and return the
     /// structured [`Report`].
+    ///
+    /// On an adaptive solver the completed run's schedule metrics are
+    /// fed straight back into the controller, so the *next* `run` (or
+    /// batch item, or service job) plans under an updated split; the
+    /// report carries the [`AdaptationReport`] that produced this one.
     pub fn run(&self) -> Result<Report, Error> {
         let plan = self.plan()?;
-        self.backend.execute(&plan)
+        let mut report = self.backend.execute(&plan)?;
+        report.adaptation = plan.adaptation().cloned();
+        self.observe_report(&report);
+        Ok(report)
+    }
+
+    /// Feed one completed report back into the adaptive controller
+    /// (no-op for non-adaptive solvers).
+    fn observe_report(&self, report: &Report) {
+        if let Some(state) = &self.adaptive {
+            state.with_controller(
+                || self.backend.topology(),
+                report.threads,
+                |ctl| ctl.observe(&report.schedule.observation(report.dims)),
+            );
+        }
     }
 
     /// Factor every matrix in `sources` as one batched sweep and return
@@ -546,7 +686,18 @@ impl Solver {
             .iter()
             .map(|s| self.plan_for(s))
             .collect::<Result<Vec<_>, _>>()?;
-        self.backend.run_batch(&plans)
+        let mut batch = self.backend.run_batch(&plans)?;
+        // adaptive feedback: the whole sweep planned under one choice
+        // (plan_choice is idempotent between observations), so items are
+        // observed after the fact, in order — the next sweep adapts
+        let adaptation = plans.first().and_then(|p| p.adaptation().cloned());
+        for item in &mut batch.items {
+            item.adaptation = adaptation.clone();
+        }
+        for item in &batch.items {
+            self.observe_report(item);
+        }
+        Ok(batch)
     }
 }
 

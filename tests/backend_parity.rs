@@ -10,11 +10,11 @@
 use calu::core::calu_simple;
 use calu::dag::TaskGraph;
 use calu::matrix::{gen, ops, Layout, ProcessGrid};
-use calu::sched::SchedulerKind;
+use calu::sched::{CpuTopology, SchedulerKind};
 use calu::sim::{MachineConfig, NoiseConfig};
 use calu::{
-    Algorithm, Backend, ContentionStats, MatrixSource, QueueDiscipline, SimulatedBackend, Solver,
-    ThreadedBackend,
+    AdaptiveController, AdaptivePolicy, Algorithm, Backend, ContentionStats, MatrixSource,
+    Observation, QueueDiscipline, SimulatedBackend, Solver, ThreadedBackend,
 };
 
 #[test]
@@ -605,6 +605,82 @@ fn simulated_cholesky_task_counts_match_the_threaded_dag() {
         .run()
         .unwrap();
     assert_eq!(threaded.tasks, TaskGraph::build_cholesky(n2, b2).len());
+}
+
+#[test]
+fn the_adaptive_controller_is_backend_agnostic_over_identical_traces() {
+    // the feedback controller is pure in (seed topology, observation
+    // trace): seeded from the simulator's machine model or from the
+    // same shape written by hand for the threaded side, an identical
+    // canned trace must drive bitwise-identical split trajectories —
+    // the sweep covers idle pressure, steal contention, locality flips
+    // and a size histogram that crosses the cutoff window
+    let mach = MachineConfig::intel_xeon_16(NoiseConfig::off());
+    let policy = AdaptivePolicy::new(5);
+    let mut sim_ctl =
+        AdaptiveController::new(policy.clone(), &calu::sim::machine_topology(&mach), 16);
+    let mut hand_ctl = AdaptiveController::new(policy, &CpuTopology::uniform(4, 4), 16);
+    assert_eq!(
+        sim_ctl.seed_choice(),
+        hand_ctl.seed_choice(),
+        "equal topologies seed equal splits"
+    );
+    for i in 0..12usize {
+        let n = 128 * (1 + (i % 5));
+        let obs = Observation::new(16, 2.0, 0.4 * 16.0 * ((i % 3) as f64) / 3.0)
+            .with_contention(0.05 * (i % 2) as f64)
+            .with_remote_fraction(if i >= 6 { 0.7 } else { 0.2 })
+            .with_dims(n, n);
+        sim_ctl.observe(&obs);
+        hand_ctl.observe(&obs);
+        let (s, h) = (sim_ctl.plan_choice(), hand_ctl.plan_choice());
+        assert_eq!(s, h, "step {i}: the trajectories diverged");
+        assert_eq!(
+            s.dratio.to_bits(),
+            h.dratio.to_bits(),
+            "step {i}: dratio must agree to the last bit"
+        );
+    }
+}
+
+#[test]
+fn adaptive_factors_are_bitwise_identical_to_the_fixed_config_at_the_chosen_split() {
+    // adaptation moves knobs between runs, never inside a DAG: whatever
+    // split the controller lands on, rerunning with that split pinned by
+    // hand must reproduce the adaptive run's bits exactly
+    let a = gen::uniform(96, 96, 29);
+    let adaptive = Solver::new(a.clone())
+        .tile(16)
+        .threads(4)
+        .adaptive(AdaptivePolicy::new(7));
+    let mut last = None;
+    for _ in 0..3 {
+        last = Some(adaptive.run().unwrap());
+    }
+    let r = last.unwrap();
+    let chosen = r.adaptation.as_ref().unwrap().chosen;
+    let fixed = Solver::new(a)
+        .tile(16)
+        .threads(4)
+        .dratio(chosen.dratio)
+        .run()
+        .unwrap();
+    let (fa, ff) = (
+        r.factorization.as_ref().unwrap(),
+        fixed.factorization.as_ref().unwrap(),
+    );
+    assert_eq!(fa.lu.as_slice(), ff.lu.as_slice(), "packed LU bits");
+    assert_eq!(fa.perm.pivots(), ff.perm.pivots(), "pivot rows");
+    assert_eq!(
+        r.residual.unwrap().to_bits(),
+        fixed.residual.unwrap().to_bits(),
+        "residual bits"
+    );
+    // and the executed schedule really was the chosen one
+    match r.scheduler {
+        SchedulerKind::Hybrid { dratio } => assert_eq!(dratio.to_bits(), chosen.dratio.to_bits()),
+        other => panic!("adaptive plans always run Hybrid, got {other}"),
+    }
 }
 
 #[test]

@@ -13,8 +13,8 @@ use std::time::Duration;
 
 use calu::core::CaluError;
 use calu::{
-    Algorithm, Error, FaultPlan, JobClass, JobSpec, MatrixSource, QueueDiscipline, Report,
-    ServeError, ServiceConfig, ServiceEvent, Solver,
+    AdaptivePolicy, Algorithm, Error, FaultPlan, JobClass, JobSpec, MatrixSource, QueueDiscipline,
+    Report, ServeError, ServiceConfig, ServiceEvent, Solver,
 };
 
 /// The shared solo-run knobs of the fault matrix: small tiles so a 96²
@@ -86,6 +86,57 @@ fn every_fault_in_the_matrix_finishes_bitwise_identical_to_the_clean_run() {
                 let expected_lost = usize::from(*name == "lose");
                 assert_eq!(r.schedule.lost_workers(), expected_lost, "{ctx}");
             }
+        }
+    }
+}
+
+#[test]
+fn adaptive_runs_under_faults_stay_bitwise_identical_and_move_their_split() {
+    // {slow, lose} × {Global, LockFree} with the feedback controller on:
+    // every degraded adaptive run must still produce the exact bits of a
+    // clean fixed-dratio run at the controller's chosen split (adaptation
+    // moves knobs between runs, never the math), and after a few degraded
+    // runs the report's chosen split has left the topology seed behind
+    let queues = [QueueDiscipline::Global, QueueDiscipline::lock_free()];
+    let faults = [
+        ("slow", FaultPlan::off().with_seed(41).slow_worker(1, 3.0)),
+        ("lose", FaultPlan::off().with_seed(43).lose_worker(3, 2)),
+    ];
+    for &queue in &queues {
+        for (name, plan) in &faults {
+            let adaptive = base(false, queue)
+                .fault_plan(plan.clone())
+                .adaptive(AdaptivePolicy::new(97));
+            let mut last = None;
+            for run in 0..3 {
+                let ctx = format!("fault={name} queue={queue:?} run={run}");
+                let r = adaptive.run().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                let a = r
+                    .adaptation
+                    .clone()
+                    .unwrap_or_else(|| panic!("{ctx}: adaptive run carried no AdaptationReport"));
+                let clean = base(false, queue).dratio(a.chosen.dratio).run().unwrap();
+                assert_bitwise(&r, &clean, &ctx);
+                // the kill is armed at the victim's 2nd task; once the
+                // split adapts the victim may finish earlier, so only the
+                // seed run is guaranteed to lose it
+                if *name == "lose" && run == 0 {
+                    assert_eq!(r.schedule.lost_workers(), 1, "{ctx}");
+                }
+                last = Some(a);
+            }
+            let a = last.unwrap();
+            assert_eq!(
+                a.observations, 2,
+                "fault={name} queue={queue:?}: the third plan saw both earlier runs"
+            );
+            assert!(
+                a.adapted(),
+                "fault={name} queue={queue:?}: degraded feedback moved the split \
+                 (seed {:?}, chosen {:?})",
+                a.seed,
+                a.chosen
+            );
         }
     }
 }
